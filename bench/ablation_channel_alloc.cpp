@@ -1,0 +1,92 @@
+// Ablation: GT-TSCH's structured channel allocation vs hash-based channel
+// offsets (the Section III critique of Orchestra-style schedulers),
+// quantified by medium-level collision counts and delivery metrics.
+//
+// GT-TSCH's allocator is compared against Orchestra with (a) one fixed
+// unicast channel offset (Contiki-NG default) and (b) hashed per-receiver
+// offsets — isolating how much of the gap is frequency planning.
+#include <cstdio>
+
+#include "scenario/experiment.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gttsch;
+  using namespace gttsch::literals;
+
+  std::printf("Ablation — channel allocation strategy vs collisions "
+              "(1 DODAG, 9 nodes, 120 ppm)\n\n");
+
+  auto base = [] {
+    ScenarioConfig c;
+    c.dodag_count = 1;
+    c.nodes_per_dodag = 9;
+    c.traffic_ppm = 120.0;
+    c.warmup = 180_s;
+    c.measure = 240_s;
+    return c;
+  };
+
+  struct Variant {
+    const char* name;
+    SchedulerKind kind;
+    bool channel_hash;
+  };
+  const Variant variants[] = {
+      {"GT-TSCH (Alg 1 channels)", SchedulerKind::kGtTsch, false},
+      {"Orchestra (fixed offset)", SchedulerKind::kOrchestra, false},
+      {"Orchestra (hashed offset)", SchedulerKind::kOrchestra, true},
+  };
+
+  TablePrinter t({"variant", "PDR %", "collisions", "collision %", "PRR losses", "tx"});
+  for (const Variant& v : variants) {
+    ScenarioConfig c = base();
+    c.scheduler = v.kind;
+    // The hash variant is wired through the node config below.
+    auto seeds = default_seeds();
+    RunMetrics mean;
+    MediumStats medium;
+    int runs = 0;
+    for (const auto seed : seeds) {
+      c.seed = seed;
+      // run_scenario builds the node config internally; for the hashed
+      // variant we replicate its body with the flag flipped.
+      const TimeUs measure_end = c.warmup + c.measure;
+      RunStats stats(c.warmup, measure_end);
+      auto nc = c.make_node_config();
+      nc.orchestra.unicast_channel_hash = v.channel_hash;
+      Network net(c.seed,
+                  std::make_unique<UnitDiskModel>(c.radio_range, c.link_prr,
+                                                  c.interference_factor),
+                  c.make_topology(), nc, &stats);
+      net.sim().at(c.warmup, [&] { stats.begin_measurement(); });
+      net.sim().at(measure_end, [&] { stats.end_measurement(); });
+      net.start();
+      net.sim().run_until(c.warmup);
+      const MediumStats at_warmup = net.medium().stats();
+      net.sim().run_until(measure_end + c.drain);
+      const RunMetrics m = stats.finalize();
+      mean.pdr_percent += m.pdr_percent;
+      medium.transmissions += net.medium().stats().transmissions - at_warmup.transmissions;
+      medium.collision_losses +=
+          net.medium().stats().collision_losses - at_warmup.collision_losses;
+      medium.prr_losses += net.medium().stats().prr_losses - at_warmup.prr_losses;
+      ++runs;
+    }
+    mean.pdr_percent /= runs;
+    const double collision_pct =
+        medium.transmissions == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(medium.collision_losses) /
+                  static_cast<double>(medium.transmissions);
+    t.add_row({v.name, TablePrinter::num(mean.pdr_percent, 1),
+               TablePrinter::num(static_cast<std::int64_t>(medium.collision_losses)),
+               TablePrinter::num(collision_pct, 2),
+               TablePrinter::num(static_cast<std::int64_t>(medium.prr_losses)),
+               TablePrinter::num(static_cast<std::int64_t>(medium.transmissions))});
+  }
+  t.print();
+  std::printf("\nExpectation: GT-TSCH's three-hop-unique channels suppress "
+              "collision losses that hash-based offsets incur (Section III).\n");
+  return 0;
+}

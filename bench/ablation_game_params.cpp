@@ -1,0 +1,78 @@
+// Ablation: payoff weights alpha/beta/gamma (Eq 8) — how the user
+// preference parameters shift the equilibrium allocation and the resulting
+// network metrics. Sweeps the analytic solution densely, then validates
+// three contrasting settings in full simulation.
+#include <cstdio>
+
+#include "core/game/solver.hpp"
+#include "scenario/experiment.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace gttsch;
+  using namespace gttsch::literals;
+
+  // Part 1: analytic equilibrium surface (fast).
+  std::printf("Ablation — game weights: analytic optimum l*_tx "
+              "(rank hop 1, l_tx_min 1, l_rx 12, Qmax 16)\n\n");
+  {
+    TablePrinter t({"alpha", "beta", "gamma", "ETX=1 Q=2", "ETX=2 Q=2", "ETX=1 Q=14",
+                    "ETX=3 Q=8"});
+    for (const double alpha : {1.0, 2.0, 4.0, 8.0}) {
+      for (const double beta : {0.5, 1.0, 2.0}) {
+        for (const double gamma : {0.5, 1.0, 2.0}) {
+          const game::Weights w{alpha, beta, gamma};
+          auto solve = [&](double etx, double q) {
+            game::PlayerState p;
+            p.rank = 512;
+            p.rank_min = 256;
+            p.min_step_of_rank = 256;
+            p.etx = etx;
+            p.queue_avg = q;
+            p.queue_max = 16;
+            p.l_tx_min = 1;
+            p.l_rx_parent = 12;
+            return game::optimal_tx_slots(w, p);
+          };
+          t.add_row({TablePrinter::num(alpha, 1), TablePrinter::num(beta, 1),
+                     TablePrinter::num(gamma, 1), TablePrinter::num(solve(1, 2), 2),
+                     TablePrinter::num(solve(2, 2), 2), TablePrinter::num(solve(1, 14), 2),
+                     TablePrinter::num(solve(3, 8), 2)});
+        }
+      }
+    }
+    t.print();
+  }
+
+  // Part 2: full-stack validation of three contrasting weightings.
+  std::printf("\nAblation — game weights in simulation (1 DODAG, 7 nodes, 120 ppm)\n\n");
+  struct Setting {
+    const char* name;
+    double alpha, beta, gamma;
+  };
+  const Setting settings[] = {
+      {"balanced (4,1,1)", 4, 1, 1},
+      {"link-averse (4,4,1)", 4, 4, 1},
+      {"queue-first (4,1,4)", 4, 1, 4},
+  };
+  TablePrinter t({"weights", "PDR %", "delay ms", "queue loss/node", "duty %"});
+  for (const Setting& s : settings) {
+    ScenarioConfig c;
+    c.scheduler = SchedulerKind::kGtTsch;
+    c.dodag_count = 1;
+    c.nodes_per_dodag = 7;
+    c.traffic_ppm = 120.0;
+    c.alpha = s.alpha;
+    c.beta = s.beta;
+    c.gamma = s.gamma;
+    c.warmup = 180_s;
+    c.measure = 240_s;
+    const auto avg = run_averaged(c, default_seeds());
+    t.add_row({s.name, TablePrinter::num(avg.mean.pdr_percent, 1),
+               TablePrinter::num(avg.mean.avg_delay_ms, 0),
+               TablePrinter::num(avg.mean.queue_loss_per_node, 2),
+               TablePrinter::num(avg.mean.duty_cycle_percent, 2)});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Microbenchmarks for the game machinery: closed-form solve (runs every
+// monitor tick on a Cortex-M3 in the real system — must be cheap),
+// best-response dynamics, and the Nash verification helpers.
+#include <benchmark/benchmark.h>
+
+#include "core/game/nash.hpp"
+#include "core/game/solver.hpp"
+
+namespace {
+
+using namespace gttsch;
+using namespace gttsch::game;
+
+PlayerState make_player(int i) {
+  PlayerState p;
+  p.rank = 256.0 + 256.0 * (1 + i % 4);
+  p.rank_min = 256;
+  p.min_step_of_rank = 256;
+  p.etx = 1.0 + 0.37 * (i % 5);
+  p.queue_avg = static_cast<double>(i % 16);
+  p.queue_max = 16;
+  p.l_tx_min = i % 3;
+  p.l_rx_parent = 4 + i % 12;
+  return p;
+}
+
+void BM_ClosedFormSolve(benchmark::State& state) {
+  const Weights w{4, 1, 1};
+  int i = 0;
+  for (auto _ : state) {
+    const PlayerState p = make_player(++i);
+    benchmark::DoNotOptimize(optimal_tx_slots(w, p));
+  }
+}
+BENCHMARK(BM_ClosedFormSolve);
+
+void BM_IntegerSolve(benchmark::State& state) {
+  const Weights w{4, 1, 1};
+  int i = 0;
+  for (auto _ : state) {
+    const PlayerState p = make_player(++i);
+    benchmark::DoNotOptimize(optimal_tx_slots_int(w, p));
+  }
+}
+BENCHMARK(BM_IntegerSolve);
+
+void BM_KktSolveAndVerify(benchmark::State& state) {
+  const Weights w{4, 1, 1};
+  int i = 0;
+  for (auto _ : state) {
+    const PlayerState p = make_player(++i);
+    const KktPoint k = solve_kkt(w, p);
+    benchmark::DoNotOptimize(kkt_satisfied(w, p, k));
+  }
+}
+BENCHMARK(BM_KktSolveAndVerify);
+
+void BM_BestResponseDynamics(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<PlayerState> players;
+  players.reserve(n);
+  for (int i = 0; i < n; ++i) players.push_back(make_player(i));
+  TxAllocationGame game(Weights{4, 1, 1}, players);
+  for (auto _ : state) {
+    std::vector<double> init(n, 0.0);
+    benchmark::DoNotOptimize(game.best_response_dynamics(std::move(init)));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_BestResponseDynamics)->RangeMultiplier(4)->Range(4, 256)->Complexity();
+
+void BM_CoupledBestResponse(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<PlayerState> players;
+  for (int i = 0; i < n; ++i) players.push_back(make_player(i));
+  TxAllocationGame game(Weights{4, 1, 1}, players);
+  for (auto _ : state) {
+    std::vector<double> init(n, 0.0);
+    benchmark::DoNotOptimize(
+        game.best_response_dynamics(std::move(init), /*shared_capacity=*/n * 2.0));
+  }
+}
+BENCHMARK(BM_CoupledBestResponse)->Arg(8)->Arg(64);
+
+void BM_NashVerification(benchmark::State& state) {
+  std::vector<PlayerState> players;
+  for (int i = 0; i < 16; ++i) players.push_back(make_player(i));
+  TxAllocationGame game(Weights{4, 1, 1}, players);
+  const auto eq = game.closed_form_equilibrium();
+  for (auto _ : state) benchmark::DoNotOptimize(game.is_nash(eq, 16));
+}
+BENCHMARK(BM_NashVerification);
+
+}  // namespace

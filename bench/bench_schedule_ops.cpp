@@ -1,0 +1,94 @@
+// Microbenchmarks for schedule operations: cell lookup per slot (the MAC
+// hot path: once per 15 ms per node), cell add/remove, and the Section V
+// placement search used in every 6P ADD.
+#include <benchmark/benchmark.h>
+
+#include "core/channel_alloc.hpp"
+#include "core/slotframe_layout.hpp"
+#include "core/tx_alloc.hpp"
+#include "mac/schedule.hpp"
+
+namespace {
+
+using namespace gttsch;
+
+TschSchedule build_schedule(int cells) {
+  TschSchedule s;
+  auto& sf = s.add_slotframe(0, 101);
+  for (int i = 0; i < cells; ++i) {
+    Cell c;
+    c.slot_offset = static_cast<std::uint16_t>((i * 13) % 101);
+    c.channel_offset = static_cast<ChannelOffset>(i % 8);
+    c.options = (i % 2) ? kCellTx : kCellRx;
+    c.neighbor = static_cast<NodeId>(i % 6);
+    sf.add(c);
+  }
+  return s;
+}
+
+void BM_ActiveCellLookup(benchmark::State& state) {
+  const auto sched = build_schedule(static_cast<int>(state.range(0)));
+  Asn asn = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(sched.active_cells(++asn));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ActiveCellLookup)->Arg(8)->Arg(32)->Arg(96);
+
+void BM_CellAddRemove(benchmark::State& state) {
+  Slotframe sf(0, 101);
+  Cell c;
+  c.slot_offset = 50;
+  c.channel_offset = 3;
+  c.options = kCellTx;
+  c.neighbor = 9;
+  for (auto _ : state) {
+    sf.add(c);
+    sf.remove(c);
+  }
+}
+BENCHMARK(BM_CellAddRemove);
+
+void BM_PlaceRxSearch(benchmark::State& state) {
+  const SlotframeLayout layout({32, 4, 3});
+  Slotframe sf(0, 32);
+  for (std::uint16_t o : {3, 9, 14, 20, 26}) {
+    Cell c;
+    c.slot_offset = o;
+    c.channel_offset = 1;
+    c.options = kCellTx;
+    c.neighbor = 1;
+    sf.add(c);
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(TxSlotAllocator::place_rx(sf, layout, 7, 3, false));
+}
+BENCHMARK(BM_PlaceRxSearch);
+
+void BM_GrantableRx(benchmark::State& state) {
+  const SlotframeLayout layout({static_cast<std::uint16_t>(state.range(0)),
+                                static_cast<std::uint16_t>(state.range(0) / 8), 3});
+  Slotframe sf(0, static_cast<std::uint16_t>(state.range(0)));
+  Cell c;
+  c.channel_offset = 1;
+  c.options = kCellTx;
+  c.neighbor = 1;
+  for (std::uint16_t o : layout.negotiable_offsets()) {
+    if (o % 3 == 0) {
+      c.slot_offset = o;
+      sf.add(c);
+    }
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(TxSlotAllocator::grantable_rx(sf, layout, false));
+}
+BENCHMARK(BM_GrantableRx)->Arg(32)->Arg(80);
+
+void BM_ChannelAssignment(benchmark::State& state) {
+  ChannelAllocator alloc(8, 0);
+  const std::vector<ChannelOffset> siblings{3, 4, 5};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(alloc.assign_child_family_channel(1, 2, siblings));
+}
+BENCHMARK(BM_ChannelAssignment);
+
+}  // namespace

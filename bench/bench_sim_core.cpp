@@ -1,0 +1,70 @@
+// Microbenchmarks for the simulation substrate: event queue throughput,
+// medium delivery resolution, and end-to-end simulated-seconds-per-wall-
+// second for a formed 7-node GT-TSCH network.
+#include <benchmark/benchmark.h>
+
+#include "phy/medium.hpp"
+#include "scenario/experiment.hpp"
+#include "scenario/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace gttsch;
+using namespace gttsch::literals;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim(1);
+    for (int i = 0; i < batch; ++i) sim.after((i * 7919) % 100000, [] {});
+    sim.run_all();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Range(1 << 8, 1 << 14);
+
+void BM_MediumBroadcastResolution(benchmark::State& state) {
+  const int receivers = static_cast<int>(state.range(0));
+  Simulator sim(3);
+  Medium medium(sim, std::make_unique<UnitDiskModel>(100.0), Rng(3));
+  std::vector<std::unique_ptr<Radio>> radios;
+  radios.push_back(std::make_unique<Radio>(sim, medium, 0, Position{0, 0}));
+  for (int i = 1; i <= receivers; ++i) {
+    radios.push_back(std::make_unique<Radio>(sim, medium, static_cast<NodeId>(i),
+                                             Position{static_cast<double>(i % 10), 1.0}));
+    radios.back()->on_rx = [](FramePtr) {};
+  }
+  for (auto _ : state) {
+    for (int i = 1; i <= receivers; ++i) radios[static_cast<std::size_t>(i)]->listen(17);
+    radios[0]->transmit(make_data_frame(0, kBroadcastId, DataPayload{}), 17);
+    sim.run_until(sim.now() + 10_ms);
+  }
+  state.SetItemsProcessed(state.iterations() * receivers);
+}
+BENCHMARK(BM_MediumBroadcastResolution)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_FullNetworkSimulatedMinute(benchmark::State& state) {
+  // Cost of simulating one minute of a formed 7-node GT-TSCH network.
+  for (auto _ : state) {
+    state.PauseTiming();
+    ScenarioConfig c;
+    c.scheduler = SchedulerKind::kGtTsch;
+    c.dodag_count = 1;
+    c.nodes_per_dodag = 7;
+    c.traffic_ppm = 60;
+    auto nc = c.make_node_config();
+    nc.app_end = 0;
+    Network net(42, std::make_unique<UnitDiskModel>(40.0, 1.0, 1.6), c.make_topology(),
+                nc, nullptr);
+    net.start();
+    net.sim().run_until(180_s);  // formation
+    state.ResumeTiming();
+    net.sim().run_until(240_s);
+    benchmark::DoNotOptimize(net.sim().events_processed());
+  }
+}
+BENCHMARK(BM_FullNetworkSimulatedMinute)->Unit(benchmark::kMillisecond);
+
+}  // namespace

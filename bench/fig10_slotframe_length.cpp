@@ -1,0 +1,27 @@
+// Fig 10 (a-f): sensitivity to the unicast slotframe length 8 -> 20
+// (Section VIII, set 3). Per the paper's fairness rule, the GT-TSCH
+// slotframe is four times Orchestra's unicast slotframe.
+#include "figure_common.hpp"
+
+int main() {
+  using namespace gttsch;
+  using namespace gttsch::bench;
+
+  std::printf("Fig 10 — performance vs unicast slotframe length "
+              "(GT-TSCH slotframe = 4x, 120 ppm/node)\n");
+
+  std::vector<SweepPoint> points;
+  for (const int len : {8, 12, 16, 20}) {
+    SweepPoint p;
+    p.label = TablePrinter::num(static_cast<std::int64_t>(len));
+    p.gt = paper_base(SchedulerKind::kGtTsch);
+    p.gt.gt_slotframe_length = static_cast<std::uint16_t>(4 * len);
+    p.orchestra = paper_base(SchedulerKind::kOrchestra);
+    p.orchestra.orchestra_unicast_length = static_cast<std::uint16_t>(len);
+    points.push_back(std::move(p));
+  }
+
+  const auto rows = run_sweep(points, default_seeds());
+  print_panels("Fig 10", "Unicast slotframe length", rows);
+  return 0;
+}

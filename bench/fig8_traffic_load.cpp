@@ -1,0 +1,26 @@
+// Fig 8 (a-f): GT-TSCH vs Orchestra as per-node traffic grows
+// 30 -> 165 ppm on the 14-node / 2-DODAG network (Section VIII, set 1).
+#include "figure_common.hpp"
+
+int main() {
+  using namespace gttsch;
+  using namespace gttsch::bench;
+
+  std::printf("Fig 8 — performance vs traffic load "
+              "(2 DODAGs, 14 nodes, slotframe 32 / unicast 8)\n");
+
+  std::vector<SweepPoint> points;
+  for (const double ppm : {30.0, 75.0, 120.0, 165.0}) {
+    SweepPoint p;
+    p.label = TablePrinter::num(static_cast<std::int64_t>(ppm));
+    p.gt = paper_base(SchedulerKind::kGtTsch);
+    p.gt.traffic_ppm = ppm;
+    p.orchestra = paper_base(SchedulerKind::kOrchestra);
+    p.orchestra.traffic_ppm = ppm;
+    points.push_back(std::move(p));
+  }
+
+  const auto rows = run_sweep(points, default_seeds());
+  print_panels("Fig 8", "Traffic load (ppm/node)", rows);
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Fig 9 (a-f): scalability — nodes per DODAG 6 -> 9 at 120 ppm
+// (Section VIII, set 2; total network size 12 -> 18 over two DODAGs).
+#include "figure_common.hpp"
+
+int main() {
+  using namespace gttsch;
+  using namespace gttsch::bench;
+
+  std::printf("Fig 9 — performance vs DODAG size (2 DODAGs, 120 ppm/node)\n");
+
+  std::vector<SweepPoint> points;
+  for (const int size : {6, 7, 8, 9}) {
+    SweepPoint p;
+    p.label = TablePrinter::num(static_cast<std::int64_t>(size));
+    p.gt = paper_base(SchedulerKind::kGtTsch);
+    p.gt.nodes_per_dodag = size;
+    p.orchestra = paper_base(SchedulerKind::kOrchestra);
+    p.orchestra.nodes_per_dodag = size;
+    points.push_back(std::move(p));
+  }
+
+  const auto rows = run_sweep(points, default_seeds());
+  print_panels("Fig 9", "Nodes per DODAG", rows);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Shared plumbing for the figure-reproduction harnesses: runs both
+// schedulers over a sweep and prints the six panels of the paper's
+// figures (PDR, delay, packet loss, duty cycle, queue loss, throughput).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "scenario/experiment.hpp"
+#include "util/table.hpp"
+
+namespace gttsch::bench {
+
+struct SweepPoint {
+  std::string label;         ///< x-axis value as printed
+  ScenarioConfig gt;         ///< configured for GT-TSCH
+  ScenarioConfig orchestra;  ///< configured for Orchestra
+};
+
+struct PanelRow {
+  std::string x;
+  RunMetrics gt;
+  RunMetrics orchestra;
+};
+
+inline std::vector<PanelRow> run_sweep(const std::vector<SweepPoint>& points,
+                                       const std::vector<std::uint64_t>& seeds) {
+  std::vector<PanelRow> rows;
+  for (const auto& p : points) {
+    std::fprintf(stderr, "[bench] point %s: GT-TSCH...\n", p.label.c_str());
+    const auto gt = run_averaged(p.gt, seeds);
+    std::fprintf(stderr, "[bench] point %s: Orchestra...\n", p.label.c_str());
+    const auto orch = run_averaged(p.orchestra, seeds);
+    rows.push_back(PanelRow{p.label, gt.mean, orch.mean});
+  }
+  return rows;
+}
+
+inline void print_panels(const char* figure, const char* x_name,
+                         const std::vector<PanelRow>& rows) {
+  struct Panel {
+    const char* title;
+    double RunMetrics::*field;
+    int precision;
+  };
+  const Panel panels[] = {
+      {"(a) Packet delivery ratio (%)", &RunMetrics::pdr_percent, 1},
+      {"(b) Average end-to-end delay per packet (ms)", &RunMetrics::avg_delay_ms, 0},
+      {"(c) Average number of lost packets (packet/minute)", &RunMetrics::loss_per_minute, 1},
+      {"(d) Average radio duty cycle per node (%)", &RunMetrics::duty_cycle_percent, 2},
+      {"(e) Average queue loss per node", &RunMetrics::queue_loss_per_node, 1},
+      {"(f) Received packets per minute", &RunMetrics::throughput_per_minute, 0},
+  };
+  for (const auto& panel : panels) {
+    std::printf("\n%s — %s\n", figure, panel.title);
+    TablePrinter t({x_name, "GT-TSCH", "Orchestra"});
+    for (const auto& row : rows)
+      t.add_row({row.x, TablePrinter::num(row.gt.*panel.field, panel.precision),
+                 TablePrinter::num(row.orchestra.*panel.field, panel.precision)});
+    t.print();
+  }
+  std::printf("\n%s — diagnostics (generated/delivered per run-average)\n", figure);
+  TablePrinter t({x_name, "GT gen", "GT dlv", "GT join", "Or gen", "Or dlv", "Or join"});
+  for (const auto& row : rows)
+    t.add_row({row.x, TablePrinter::num(static_cast<std::int64_t>(row.gt.generated)),
+               TablePrinter::num(static_cast<std::int64_t>(row.gt.delivered)),
+               TablePrinter::num(static_cast<std::int64_t>(row.gt.nodes_joined)),
+               TablePrinter::num(static_cast<std::int64_t>(row.orchestra.generated)),
+               TablePrinter::num(static_cast<std::int64_t>(row.orchestra.delivered)),
+               TablePrinter::num(static_cast<std::int64_t>(row.orchestra.nodes_joined))});
+  t.print();
+}
+
+/// Shared base configuration for the paper's evaluation (Section VIII).
+inline ScenarioConfig paper_base(SchedulerKind kind) {
+  using namespace literals;
+  ScenarioConfig c;
+  c.scheduler = kind;
+  c.dodag_count = 2;
+  c.nodes_per_dodag = 7;  // 14 nodes total
+  c.traffic_ppm = 120.0;
+  c.gt_slotframe_length = 32;
+  c.orchestra_unicast_length = 8;
+  c.warmup = 180_s;
+  c.measure = 300_s;
+  return c;
+}
+
+}  // namespace gttsch::bench

@@ -1,0 +1,99 @@
+// Network dynamics: watch GT-TSCH adapt while a link degrades mid-run.
+// Records a per-second timeline (queue, ETX, allocated cells) to CSV,
+// injects a PRR drop on the relay link at t=300s, and reports Firefly
+// battery-life estimates from the measured radio activity.
+//
+//   ./network_dynamics [--csv=dynamics.csv] [--prr=0.5] [--seed=13]
+#include <cstdio>
+
+#include "phy/dynamic_link.hpp"
+#include "scenario/experiment.hpp"
+#include "scenario/network.hpp"
+#include "stats/energy.hpp"
+#include "stats/timeline.hpp"
+#include "util/flags.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gttsch;
+  using namespace gttsch::literals;
+
+  Flags flags(argc, argv);
+  const double degraded_prr = flags.get_double("prr", 0.5);
+  const std::string csv_path = flags.get("csv", "dynamics.csv");
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 13));
+
+  // Line: root 1 - relay 2 - sensor 3; the 2-3 link fades at t=300s.
+  const auto topo = build_line(1, {0, 0}, 2, 30.0);
+  NodeStackConfig nc;
+  {
+    ScenarioConfig sc;
+    sc.scheduler = SchedulerKind::kGtTsch;
+    sc.traffic_ppm = 60.0;
+    nc = sc.make_node_config();
+    nc.app_start = 120_s;
+    nc.app_end = 0;
+  }
+
+  DynamicLinkModel* dyn = nullptr;
+  Network net(
+      seed,
+      [&dyn](Simulator& sim) {
+        auto model = std::make_unique<DynamicLinkModel>(
+            sim, std::make_unique<UnitDiskModel>(40.0, 1.0, 1.6));
+        dyn = model.get();
+        return model;
+      },
+      topo, nc, nullptr);
+  dyn->override_prr(300_s, 2, 3, degraded_prr);
+
+  Timeline timeline(net.sim(), 1_s);
+  timeline.add_gauge("n3_queue", [&] {
+    return static_cast<double>(net.node(3).mac().data_queue_length());
+  });
+  timeline.add_gauge("n3_etx", [&] { return net.node(3).etx().etx(2); });
+  timeline.add_gauge("n3_tx_cells", [&] {
+    auto* sf = net.node(3).gt_sf();
+    return sf == nullptr ? 0.0 : static_cast<double>(sf->allocated_tx_cells());
+  });
+  timeline.add_gauge("n2_tx_cells", [&] {
+    auto* sf = net.node(2).gt_sf();
+    return sf == nullptr ? 0.0 : static_cast<double>(sf->allocated_tx_cells());
+  });
+  timeline.add_gauge("n3_rank", [&] { return static_cast<double>(net.node(3).rpl().rank()); });
+
+  std::vector<std::unique_ptr<EnergyMeter>> meters;
+  net.start();
+  net.sim().run_until(180_s);  // formation
+  for (const auto& [id, node] : net.nodes())
+    meters.push_back(std::make_unique<EnergyMeter>(node->radio()));
+  timeline.start();
+  net.sim().run_until(600_s);
+
+  std::printf("Link 2-3 degraded to PRR %.2f at t=300s. Final state:\n", degraded_prr);
+  std::printf("  n3 ETX to parent: %.2f (started near 1.0)\n", net.node(3).etx().etx(2));
+  std::printf("  n3 rank: %u\n", net.node(3).rpl().rank());
+  std::printf("  formed: %s\n\n", net.fully_formed() ? "yes" : "NO");
+
+  if (timeline.write_csv(csv_path))
+    std::printf("timeline written to %s (%zu samples, gauges:", csv_path.c_str(),
+                timeline.samples().size());
+  for (const auto& n : timeline.gauge_names()) std::printf(" %s", n.c_str());
+  std::printf(")\n\n");
+
+  // Battery budget over the measured window (420 s) on 2x AA (2600 mAh).
+  TablePrinter t({"node", "avg current (mA)", "charge (mAh)", "est. lifetime (days)"});
+  const TimeUs window = 600_s - 180_s;
+  std::size_t i = 0;
+  for (const auto& [id, node] : net.nodes()) {
+    const auto& meter = *meters[i++];
+    t.add_row({TablePrinter::num(static_cast<std::int64_t>(id)),
+               TablePrinter::num(meter.average_current_ma(window), 3),
+               TablePrinter::num(meter.charge_mah(window), 4),
+               TablePrinter::num(meter.lifetime_days(2600.0, window), 0)});
+  }
+  t.print();
+  std::printf("\n(The root listens the most and would be mains-powered in a\n"
+              "real deployment; leaf lifetimes show the low-duty-cycle win.)\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "app/traffic.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gttsch {
+
+PeriodicSource::PeriodicSource(Simulator& sim, Rng rng, double packets_per_minute,
+                               std::function<void()> on_generate)
+    : sim_(sim),
+      rng_(rng),
+      ppm_(packets_per_minute),
+      mean_interval_(packets_per_minute > 0
+                         ? static_cast<TimeUs>(60e6 / packets_per_minute)
+                         : 0),
+      on_generate_(std::move(on_generate)),
+      timer_(sim) {}
+
+void PeriodicSource::start(TimeUs start_delay) {
+  if (ppm_ <= 0) return;
+  GTTSCH_CHECK(mean_interval_ > 0);
+  // Random initial phase spreads nodes uniformly over one interval.
+  const TimeUs phase =
+      static_cast<TimeUs>(rng_.uniform(static_cast<std::uint64_t>(mean_interval_)));
+  timer_.start(start_delay + phase, [this] { arm_next(); });
+}
+
+void PeriodicSource::stop() { timer_.stop(); }
+
+void PeriodicSource::arm_next() {
+  if (end_time_ != 0 && sim_.now() >= end_time_) return;
+  ++generated_;
+  on_generate_();
+  // +/-20% jitter around the mean interval.
+  const TimeUs lo = mean_interval_ * 8 / 10;
+  const TimeUs hi = mean_interval_ * 12 / 10;
+  const TimeUs next =
+      lo + static_cast<TimeUs>(rng_.uniform(static_cast<std::uint64_t>(hi - lo + 1)));
+  timer_.start(next, [this] { arm_next(); });
+}
+
+}  // namespace gttsch

@@ -1,0 +1,48 @@
+#include "core/channel_alloc.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gttsch {
+
+ChannelAllocator::ChannelAllocator(std::size_t num_offsets, ChannelOffset broadcast_offset)
+    : num_offsets_(num_offsets), broadcast_offset_(broadcast_offset) {
+  GTTSCH_CHECK(num_offsets >= 4);  // f_bcast + parent + own + >=1 child family
+  GTTSCH_CHECK(broadcast_offset < num_offsets);
+}
+
+ChannelOffset ChannelAllocator::pick_root_family_channel(Rng& rng) const {
+  // Uniform over F - {f_bcast}.
+  const auto idx = rng.uniform(num_offsets_ - 1);
+  ChannelOffset ch = static_cast<ChannelOffset>(idx);
+  if (ch >= broadcast_offset_) ch = static_cast<ChannelOffset>(ch + 1);
+  return ch;
+}
+
+std::optional<ChannelOffset> ChannelAllocator::assign_child_family_channel(
+    ChannelOffset f_to_parent, ChannelOffset f_own_family,
+    const std::vector<ChannelOffset>& sibling_family_channels) const {
+  for (std::size_t z = 0; z < num_offsets_; ++z) {
+    const auto ch = static_cast<ChannelOffset>(z);
+    if (ch == broadcast_offset_ || ch == f_own_family) continue;
+    if (f_to_parent != kNoChannel && ch == f_to_parent) continue;
+    if (std::find(sibling_family_channels.begin(), sibling_family_channels.end(), ch) !=
+        sibling_family_channels.end())
+      continue;
+    return ch;
+  }
+  return std::nullopt;
+}
+
+bool ChannelAllocator::three_hop_unique(ChannelOffset f_child_family,
+                                        ChannelOffset f_own_family,
+                                        ChannelOffset f_to_parent) const {
+  if (f_child_family == broadcast_offset_ || f_own_family == broadcast_offset_) return false;
+  if (f_child_family == f_own_family) return false;
+  if (f_to_parent == kNoChannel) return true;  // node is the root
+  if (f_to_parent == broadcast_offset_) return false;
+  return f_child_family != f_to_parent && f_own_family != f_to_parent;
+}
+
+}  // namespace gttsch

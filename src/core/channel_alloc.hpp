@@ -1,0 +1,59 @@
+// GT-TSCH channel allocation (Section III, Algorithm 1).
+//
+// Channels here are TSCH *channel offsets*; the hopping sequence maps them
+// to distinct physical channels within any slot, so two cells with
+// different offsets never collide in frequency. The allocator enforces the
+// paper's strategies:
+//   - one channel per family: all children of node i reach i on f_{i,cs_i};
+//   - each node uses different channels toward its parent and children;
+//   - channels are unique on any three-hop routing path (and among sibling
+//     families), eliminating hidden-terminal collisions (problem 4);
+//   - one reserved broadcast channel f_bcast; consequently at most
+//     |F| - 3 children per node.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace gttsch {
+
+inline constexpr ChannelOffset kNoChannel = 0xFF;
+
+class ChannelAllocator {
+ public:
+  /// `num_offsets` is |F| (usable channel offsets, e.g. the hopping
+  /// sequence length); `broadcast_offset` is f_bcast.
+  ChannelAllocator(std::size_t num_offsets, ChannelOffset broadcast_offset);
+
+  ChannelOffset broadcast_offset() const { return broadcast_offset_; }
+  std::size_t num_offsets() const { return num_offsets_; }
+
+  /// The paper's children bound: |F| - 2 - 1.
+  std::size_t max_children() const { return num_offsets_ - 3; }
+
+  /// Root bootstrap: pick f_{root,cs} at random from F - {f_bcast}.
+  ChannelOffset pick_root_family_channel(Rng& rng) const;
+
+  /// Algorithm 1 inner loop, run at node i answering child j's
+  /// ASK-CHANNEL: choose z in F - {f_bcast, f_{i,p_i}, f_{i,cs_i}} not yet
+  /// assigned to a sibling. `f_to_parent` is kNoChannel at the root.
+  /// Returns nullopt when every channel is taken (too many children).
+  std::optional<ChannelOffset> assign_child_family_channel(
+      ChannelOffset f_to_parent, ChannelOffset f_own_family,
+      const std::vector<ChannelOffset>& sibling_family_channels) const;
+
+  /// Validation helper (tests / assertions): true if the three channels on
+  /// a path segment child->node->parent are pairwise distinct and distinct
+  /// from f_bcast (the paper's three-hop uniqueness property).
+  bool three_hop_unique(ChannelOffset f_child_family, ChannelOffset f_own_family,
+                        ChannelOffset f_to_parent) const;
+
+ private:
+  std::size_t num_offsets_;
+  ChannelOffset broadcast_offset_;
+};
+
+}  // namespace gttsch

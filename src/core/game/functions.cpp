@@ -1,0 +1,51 @@
+#include "core/game/functions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace gttsch::game {
+
+double rank_tilde(const PlayerState& p) {
+  const double depth = p.rank - p.rank_min;
+  GTTSCH_CHECK(depth > 0.0);  // the root does not play the game
+  return p.min_step_of_rank / depth;
+}
+
+double utility(const PlayerState& p, double s) {
+  GTTSCH_CHECK(s > -1.0);
+  return rank_tilde(p) * std::log(s + 1.0);
+}
+
+double utility_d1(const PlayerState& p, double s) { return rank_tilde(p) / (s + 1.0); }
+
+double utility_d2(const PlayerState& p, double s) {
+  const double d = s + 1.0;
+  return -rank_tilde(p) / (d * d);
+}
+
+double link_cost(const PlayerState& p, double s) { return s * (p.etx - 1.0); }
+
+double link_cost_d1(const PlayerState& p) { return p.etx - 1.0; }
+
+double queue_cost(const PlayerState& p, double s) {
+  GTTSCH_CHECK(p.queue_max > 0.0);
+  return s * (1.0 - p.queue_avg / p.queue_max);
+}
+
+double queue_cost_d1(const PlayerState& p) { return 1.0 - p.queue_avg / p.queue_max; }
+
+double payoff(const Weights& w, const PlayerState& p, double s) {
+  return w.alpha * utility(p, s) - w.beta * link_cost(p, s) - w.gamma * queue_cost(p, s);
+}
+
+double payoff_d1(const Weights& w, const PlayerState& p, double s) {
+  return w.alpha * utility_d1(p, s) - w.beta * link_cost_d1(p) - w.gamma * queue_cost_d1(p);
+}
+
+double payoff_d2(const Weights& w, const PlayerState& p, double s) {
+  return w.alpha * utility_d2(p, s);
+}
+
+}  // namespace gttsch::game

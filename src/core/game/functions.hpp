@@ -1,0 +1,35 @@
+// The building blocks of the GT-TSCH payoff (Section VII.A-D):
+// utility (Eqs 2-3), link-quality cost (Eqs 4-5), queue cost (Eq 7) and the
+// combined payoff (Eq 8), together with first and second derivatives in the
+// player's own strategy (used by the KKT solution and the Nash analysis).
+#pragma once
+
+#include "core/game/types.hpp"
+
+namespace gttsch::game {
+
+/// Eq 3: transformed rank, MinStepOfRank / (Rank_i - Rank_min).
+/// Larger for nodes logically closer to the root. Requires rank > rank_min
+/// (the root itself does not play: it has no parent to request cells from).
+double rank_tilde(const PlayerState& p);
+
+/// Eq 2: u_i(s) = rank_tilde * ln(s + 1). Strictly concave in s.
+double utility(const PlayerState& p, double s);
+double utility_d1(const PlayerState& p, double s);
+double utility_d2(const PlayerState& p, double s);
+
+/// Eq 5: d_i(s) = s * (ETX - 1). Zero on a perfect link.
+double link_cost(const PlayerState& p, double s);
+double link_cost_d1(const PlayerState& p);
+
+/// Eq 7: z_i(s) = s * (1 - Q_i / Q_max). Shrinks as the queue fills,
+/// prioritising congested nodes.
+double queue_cost(const PlayerState& p, double s);
+double queue_cost_d1(const PlayerState& p);
+
+/// Eq 8: v_i(s) = alpha*u - beta*d - gamma*z.
+double payoff(const Weights& w, const PlayerState& p, double s);
+double payoff_d1(const Weights& w, const PlayerState& p, double s);
+double payoff_d2(const Weights& w, const PlayerState& p, double s);
+
+}  // namespace gttsch::game

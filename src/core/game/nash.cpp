@@ -1,0 +1,136 @@
+#include "core/game/nash.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace gttsch::game {
+
+TxAllocationGame::TxAllocationGame(Weights weights, std::vector<PlayerState> players)
+    : weights_(weights), players_(std::move(players)) {
+  GTTSCH_CHECK(!players_.empty());
+}
+
+double TxAllocationGame::best_response(std::size_t i, double others_total,
+                                       double shared_capacity) const {
+  PlayerState p = players_[i];
+  if (shared_capacity >= 0.0) {
+    const double available = std::max(0.0, shared_capacity - others_total);
+    p.l_rx_parent = std::min(p.l_rx_parent, available);
+    p.l_rx_parent = std::max(p.l_rx_parent, p.l_tx_min);  // keep the set non-empty
+  }
+  return optimal_tx_slots(weights_, p);
+}
+
+BestResponseResult TxAllocationGame::best_response_dynamics(std::vector<double> s,
+                                                            double shared_capacity,
+                                                            int max_iterations,
+                                                            double tol) const {
+  GTTSCH_CHECK(s.size() == players_.size());
+  BestResponseResult result;
+  double total = 0.0;
+  for (double v : s) total += v;
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    double max_delta = 0.0;
+    // Gauss-Seidel sweep: each player responds to the freshest profile.
+    for (std::size_t i = 0; i < players_.size(); ++i) {
+      const double others = total - s[i];
+      const double next = best_response(i, others, shared_capacity);
+      max_delta = std::max(max_delta, std::abs(next - s[i]));
+      total += next - s[i];
+      s[i] = next;
+    }
+    result.iterations = iter + 1;
+    if (max_delta < tol) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.strategies = std::move(s);
+  return result;
+}
+
+std::vector<double> TxAllocationGame::closed_form_equilibrium() const {
+  std::vector<double> out;
+  out.reserve(players_.size());
+  for (const PlayerState& p : players_) out.push_back(optimal_tx_slots(weights_, p));
+  return out;
+}
+
+bool TxAllocationGame::is_nash(const std::vector<double>& s, int samples, double tol) const {
+  GTTSCH_CHECK(s.size() == players_.size());
+  for (std::size_t i = 0; i < players_.size(); ++i) {
+    const PlayerState& p = players_[i];
+    if (p.l_rx_parent <= p.l_tx_min) continue;  // degenerate set: no deviation
+    const double v_star = payoff(weights_, p, s[i]);
+    for (int k = 0; k <= samples; ++k) {
+      const double cand =
+          p.l_tx_min + (p.l_rx_parent - p.l_tx_min) * static_cast<double>(k) / samples;
+      if (payoff(weights_, p, cand) > v_star + tol) return false;
+    }
+  }
+  return true;
+}
+
+bool TxAllocationGame::existence_conditions_hold() const {
+  for (const PlayerState& p : players_) {
+    // S_i compact & convex: a closed bounded interval with lo <= hi.
+    if (!(p.l_tx_min >= 0.0) || !(p.l_rx_parent >= p.l_tx_min)) return false;
+    // Strict concavity in own strategy: v'' < 0 across the interval.
+    for (double s = p.l_tx_min; s <= p.l_rx_parent + 1e-12;
+         s += std::max(0.25, (p.l_rx_parent - p.l_tx_min) / 16.0)) {
+      if (!(payoff_d2(weights_, p, s) < 0.0)) return false;
+      if (p.l_rx_parent == p.l_tx_min) break;
+    }
+  }
+  return true;
+}
+
+bool TxAllocationGame::diagonally_strictly_concave(const std::vector<double>& s, Rng& rng,
+                                                   int directions) const {
+  GTTSCH_CHECK(s.size() == players_.size());
+  const std::size_t n = players_.size();
+  // Cross-partials of v_i w.r.t. s_j (j != i) vanish, so J is diagonal with
+  // entries v_i''(s_i); J + J^T is negative definite iff all entries < 0.
+  std::vector<double> diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = 2.0 * payoff_d2(weights_, players_[i], s[i]);
+
+  for (int d = 0; d < directions; ++d) {
+    std::vector<double> x(n);
+    double norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = rng.normal();
+      norm += x[i] * x[i];
+    }
+    if (norm < 1e-12) continue;
+    double quad = 0.0;
+    for (std::size_t i = 0; i < n; ++i) quad += diag[i] * x[i] * x[i];
+    if (!(quad < 0.0)) return false;
+  }
+  return true;
+}
+
+bool TxAllocationGame::unique_equilibrium(Rng& rng, int starts, double shared_capacity,
+                                          double tol) const {
+  std::vector<double> reference;
+  for (int k = 0; k < starts; ++k) {
+    std::vector<double> init(players_.size());
+    for (std::size_t i = 0; i < players_.size(); ++i) {
+      const PlayerState& p = players_[i];
+      init[i] = p.l_tx_min + rng.uniform_double() * std::max(0.0, p.l_rx_parent - p.l_tx_min);
+    }
+    const auto result = best_response_dynamics(std::move(init), shared_capacity);
+    if (!result.converged) return false;
+    if (reference.empty()) {
+      reference = result.strategies;
+      continue;
+    }
+    for (std::size_t i = 0; i < reference.size(); ++i)
+      if (std::abs(reference[i] - result.strategies[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace gttsch::game

@@ -1,0 +1,21 @@
+#include "core/game/queue_ewma.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gttsch::game {
+
+QueueEwma::QueueEwma(double zeta) : zeta_(std::clamp(zeta, 0.0, 1.0)) {}
+
+void QueueEwma::update(std::size_t queue_length) {
+  const double q = static_cast<double>(queue_length);
+  if (!initialized_) {
+    value_ = q;
+    initialized_ = true;
+    return;
+  }
+  value_ = zeta_ * value_ + (1.0 - zeta_) * q;
+}
+
+}  // namespace gttsch::game

@@ -1,0 +1,27 @@
+// Eq 6: the smoothed queue metric Q_i(t) = zeta*Q_i(t-1) + (1-zeta)*q_i(t).
+#pragma once
+
+#include <cstddef>
+
+namespace gttsch::game {
+
+class QueueEwma {
+ public:
+  /// `zeta` is the smoothing factor of Eq 6 (memory of the past estimate).
+  explicit QueueEwma(double zeta = 0.7);
+
+  /// Feed the instantaneous queue length q_i(t) at the end of a time frame.
+  void update(std::size_t queue_length);
+
+  double value() const { return value_; }
+  void reset() { value_ = 0.0; initialized_ = false; }
+  bool initialized() const { return initialized_; }
+  double zeta() const { return zeta_; }
+
+ private:
+  double zeta_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace gttsch::game

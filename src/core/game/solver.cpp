@@ -1,0 +1,73 @@
+#include "core/game/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace gttsch::game {
+
+double unconstrained_optimum(const Weights& w, const PlayerState& p) {
+  const double marginal_cost =
+      w.gamma * queue_cost_d1(p) + w.beta * link_cost_d1(p);
+  if (marginal_cost <= 0.0) return std::numeric_limits<double>::infinity();
+  return w.alpha * rank_tilde(p) / marginal_cost - 1.0;
+}
+
+double optimal_tx_slots(const Weights& w, const PlayerState& p) {
+  GTTSCH_CHECK(p.l_tx_min >= 0.0);
+  // Degenerate strategy set: the paper requests l_rx_parent outright.
+  if (p.l_rx_parent <= p.l_tx_min) return p.l_rx_parent;
+  const double x = unconstrained_optimum(w, p);
+  if (p.l_tx_min >= x) return p.l_tx_min;
+  if (p.l_rx_parent <= x) return p.l_rx_parent;
+  return x;
+}
+
+int optimal_tx_slots_int(const Weights& w, const PlayerState& p) {
+  const double lo_d = std::ceil(p.l_tx_min - 1e-9);
+  const double hi_d = std::floor(p.l_rx_parent + 1e-9);
+  const int lo = static_cast<int>(lo_d);
+  const int hi = static_cast<int>(hi_d);
+  if (hi <= lo) return std::max(0, hi);
+
+  const double s = optimal_tx_slots(w, p);
+  const int fl = std::clamp(static_cast<int>(std::floor(s)), lo, hi);
+  const int ce = std::clamp(static_cast<int>(std::ceil(s)), lo, hi);
+  if (fl == ce) return fl;
+  return payoff(w, p, static_cast<double>(fl)) >= payoff(w, p, static_cast<double>(ce)) ? fl
+                                                                                        : ce;
+}
+
+KktPoint solve_kkt(const Weights& w, const PlayerState& p) {
+  KktPoint k;
+  k.s = optimal_tx_slots(w, p);
+  const double grad = payoff_d1(w, p, k.s);
+  // Stationarity: dv/ds + w1 - w2 = 0 with complementary slackness.
+  if (std::abs(k.s - p.l_tx_min) < 1e-12 && grad < 0.0) {
+    k.w1 = -grad;  // lower bound active, payoff decreasing
+  } else if (std::abs(k.s - p.l_rx_parent) < 1e-12 && grad > 0.0) {
+    k.w2 = grad;  // upper bound active, payoff still increasing
+  }
+  return k;
+}
+
+bool kkt_satisfied(const Weights& w, const PlayerState& p, const KktPoint& k, double tol) {
+  // 1) primal feasibility (skip when the set is degenerate).
+  if (p.l_rx_parent > p.l_tx_min) {
+    if (k.s < p.l_tx_min - tol || k.s > p.l_rx_parent + tol) return false;
+  }
+  // 2) dual feasibility.
+  if (k.w1 < -tol || k.w2 < -tol) return false;
+  // 3) stationarity: dv/ds - w1*d(l_tx_min - s)/ds - w2*d(s - l_rx)/ds
+  //    = dv/ds + w1 - w2 = 0.
+  const double stationarity = payoff_d1(w, p, k.s) + k.w1 - k.w2;
+  if (std::abs(stationarity) > 1e-6) return false;
+  // 4) complementary slackness.
+  if (std::abs(k.w1 * (p.l_tx_min - k.s)) > tol) return false;
+  if (std::abs(k.w2 * (k.s - p.l_rx_parent)) > tol) return false;
+  return true;
+}
+
+}  // namespace gttsch::game

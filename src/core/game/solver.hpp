@@ -1,0 +1,44 @@
+// Closed-form game solution (Section VII.F): the KKT conditions of the
+// constrained payoff maximisation reduce to the clamped expression of
+// Eq 15 / Algorithm 2.
+#pragma once
+
+#include <optional>
+
+#include "core/game/functions.hpp"
+
+namespace gttsch::game {
+
+/// The interior stationary point X of Eq 15:
+///   X = alpha*rank_tilde / (gamma*(1 - Q/Qmax) + beta*(ETX-1)) - 1.
+/// Returns +infinity when the marginal cost is zero (perfect link AND full
+/// queue): the payoff is then strictly increasing, so the upper bound wins.
+double unconstrained_optimum(const Weights& w, const PlayerState& p);
+
+/// Algorithm 2: the optimal number of TSCH Tx timeslots, clamped into the
+/// strategy set [l_tx_min, l_rx_parent]. Continuous version.
+/// Pre-condition per the paper's protocol: requests are only issued when
+/// l_rx_parent > 0; if l_rx_parent <= l_tx_min the paper prescribes
+/// requesting l_rx_parent.
+double optimal_tx_slots(const Weights& w, const PlayerState& p);
+
+/// Integer-valued variant for actual cell counts: evaluates the payoff at
+/// floor/ceil of the continuous optimum (concavity makes one of them the
+/// integer argmax) and clamps into the integer strategy set.
+int optimal_tx_slots_int(const Weights& w, const PlayerState& p);
+
+/// Lagrange multipliers recovered from the KKT stationarity condition
+/// (Section VII.F conditions 1-4). Useful to verify optimality in tests.
+struct KktPoint {
+  double s = 0.0;   ///< primal solution
+  double w1 = 0.0;  ///< multiplier of (l_tx_min - s) <= 0
+  double w2 = 0.0;  ///< multiplier of (s - l_rx_parent) <= 0
+};
+
+KktPoint solve_kkt(const Weights& w, const PlayerState& p);
+
+/// True when (s, w1, w2) satisfies all four KKT conditions within `tol`.
+bool kkt_satisfied(const Weights& w, const PlayerState& p, const KktPoint& k,
+                   double tol = 1e-9);
+
+}  // namespace gttsch::game

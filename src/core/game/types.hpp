@@ -1,0 +1,26 @@
+// Shared types for the GT-TSCH non-cooperative game (Section VII).
+#pragma once
+
+namespace gttsch::game {
+
+/// User-preference weights of the payoff function (Eq 8):
+///   v_i = alpha*u_i - beta*d_i - gamma*z_i.
+struct Weights {
+  double alpha = 4.0;  ///< utility (Rank-scaled log of Tx cells)
+  double beta = 1.0;   ///< link-quality cost (ETX)
+  double gamma = 1.0;  ///< queue cost
+};
+
+/// Everything player i needs to evaluate its payoff and strategy set.
+struct PlayerState {
+  double rank = 512.0;            ///< Rank_i (raw RPL rank)
+  double rank_min = 256.0;        ///< Rank of the DODAG root
+  double min_step_of_rank = 256;  ///< MinHopRankIncrease
+  double etx = 1.0;               ///< ETX_{i,p_i} >= 1 (Eq 4)
+  double queue_avg = 0.0;         ///< Q_i, EWMA queue metric (Eq 6)
+  double queue_max = 16.0;        ///< Q_Max
+  double l_tx_min = 0.0;          ///< lower bound of S_i (Eq 1)
+  double l_rx_parent = 0.0;       ///< upper bound of S_i (parent's l^rx)
+};
+
+}  // namespace gttsch::game

@@ -1,0 +1,141 @@
+// GT-TSCH: the paper's distributed scheduling function.
+//
+// Composition of the pieces from Sections III-VII:
+//   * slotframe layout (broadcast / shared blocks; Section IV),
+//   * channel allocation via EB piggyback + 6P ASK-CHANNEL (Section III),
+//   * dedicated Unicast-6P cells per link (Section IV rule 2),
+//   * Unicast-Data placement under the Section V rules (parent side),
+//   * periodic load balancing (Eq 1) choosing ADD counts by the game
+//     solution (Eq 15) — Section VI/VII.
+//
+// Bootstrap of a non-root node, once RPL picks a parent:
+//   WaitChannel --(parent EB seen)--> AskChannel --(6P ASK-CHANNEL)-->
+//   AddSixp --(6P ADD of the two 6P cells)--> Operational (monitor runs).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/channel_alloc.hpp"
+#include "core/load_balancer.hpp"
+#include "core/slotframe_layout.hpp"
+#include "core/tx_alloc.hpp"
+#include "mac/tsch_mac.hpp"
+#include "net/rpl.hpp"
+#include "sim/timer.hpp"
+#include "sixp/sf.hpp"
+#include "sixp/sixp.hpp"
+
+namespace gttsch {
+
+struct GtTschConfig {
+  SlotframeLayoutConfig layout;          ///< m, k, shared slots
+  ChannelOffset broadcast_offset = 0;    ///< f_bcast
+  std::uint16_t sixp_cells_per_link = 2; ///< Section IV rule 2
+  LoadBalancerConfig load_balancer;
+  double queue_max = 16.0;  ///< Q_Max of the queue cost (Eq 7)
+  PlacementRules placement_rules;  ///< Section V rules (ablation toggles)
+  /// Reclaim a child's cells when nothing was heard from it for this long
+  /// (covers CLEAR messages lost during re-parenting). 0 disables.
+  TimeUs child_timeout = 120000000;
+};
+
+class GtTschSf final : public SchedulingFunction, public SixpSfCallbacks {
+ public:
+  GtTschSf(Simulator& sim, TschMac& mac, RplAgent& rpl, SixpAgent& sixp, EtxEstimator& etx,
+           GtTschConfig config, Rng rng);
+
+  // SchedulingFunction:
+  const char* name() const override { return "gt-tsch"; }
+  void start(bool is_root) override;
+  void on_associated() override;
+  void on_frame(const Frame& frame) override;
+  void on_parent_changed(NodeId old_parent, NodeId new_parent) override;
+  void on_local_packet_generated() override { ++generated_since_tick_; }
+  std::uint16_t advertised_free_rx() override;
+  std::optional<EbPayload> eb_info() override;
+
+  // SixpSfCallbacks:
+  SixpPayload sixp_handle_request(NodeId peer, const SixpPayload& request) override;
+  void sixp_transaction_done(NodeId peer, SixpCommand command, bool timed_out,
+                             const SixpPayload& response) override;
+
+  // Introspection (tests, reports):
+  enum class Stage { kIdle, kWaitChannel, kAskChannel, kAddSixp, kOperational };
+  Stage stage() const { return stage_; }
+  ChannelOffset family_channel() const { return f_own_family_; }
+  ChannelOffset channel_to_parent() const { return f_to_parent_; }
+  unsigned level() const { return level_; }
+  int allocated_tx_cells() const;
+  int allocated_rx_cells() const;
+  std::size_t child_count() const { return children_.size(); }
+  const LoadBalancer& load_balancer() const { return balancer_; }
+  const SlotframeLayout& layout() const { return layout_; }
+
+ private:
+  struct ChildState {
+    ChannelOffset family_channel = kNoChannel;  ///< f_{child,cs_child}
+    int granted_rx = 0;     ///< data Rx cells currently granted
+    int demanded = 0;       ///< child's latest requested total (l^tx_cs share)
+    bool sixp_cells = false;
+    TimeUs last_heard = 0;  ///< for inactivity garbage collection
+  };
+
+  Slotframe& own_slotframe();
+  std::vector<Cell> free_candidate_cells();
+  void install_base_cells();
+  void install_family_shared_cells(unsigned parent_level, ChannelOffset channel,
+                                   bool as_parent);
+  /// Drop and re-create all family shared cells from current state
+  /// (f_to_parent_, f_own_family_, level_); keeps re-parenting and level
+  /// changes from leaving stale cells in the wrong parity block.
+  void reinstall_shared_cells();
+  void remove_cells_with(NodeId peer);
+  void begin_bootstrap();
+  void continue_bootstrap();
+  void monitor_tick();
+  int children_demand() const;
+  SixpPayload handle_ask_channel(NodeId peer);
+  SixpPayload handle_add(NodeId peer, const SixpPayload& request);
+  SixpPayload handle_delete(NodeId peer, const SixpPayload& request);
+  void handle_clear(NodeId peer);
+
+  Simulator& sim_;
+  TschMac& mac_;
+  RplAgent& rpl_;
+  SixpAgent& sixp_;
+  EtxEstimator& etx_;
+  GtTschConfig config_;
+  Rng rng_;
+  SlotframeLayout layout_;
+  ChannelAllocator channels_;
+  LoadBalancer balancer_;
+
+  bool is_root_ = false;
+  Stage stage_ = Stage::kIdle;
+  unsigned level_ = 0;  ///< DAG level (root = 0); set during bootstrap
+
+  ChannelOffset f_to_parent_ = kNoChannel;   ///< f_{i,p_i}
+  ChannelOffset f_own_family_ = kNoChannel;  ///< f_{i,cs_i}
+
+  /// Family channels + levels learned from neighbors' EBs.
+  struct NeighborInfo {
+    ChannelOffset family_channel = kNoChannel;
+    std::uint8_t level = 0;
+  };
+  std::map<NodeId, NeighborInfo> neighbor_info_;
+
+  std::map<NodeId, ChildState> children_;
+  /// Granted cells we could not install (slot taken while the ADD was in
+  /// flight); returned to the parent via DELETE at the next monitor tick.
+  std::vector<Cell> conflicted_cells_;
+  PeriodicTimer monitor_;
+  int generated_since_tick_ = 0;
+  /// Parent's free Rx capacity, refreshed from DIOs and 6P responses.
+  std::uint16_t parent_free_rx_cache_ = 0;
+  std::uint16_t last_advertised_rx_ = 0;
+  int probe_counter_ = 0;
+};
+
+}  // namespace gttsch

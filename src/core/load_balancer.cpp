@@ -1,0 +1,71 @@
+#include "core/load_balancer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace gttsch {
+
+LoadBalancer::LoadBalancer(LoadBalancerConfig config)
+    : config_(config), queue_(config.queue_zeta) {}
+
+LoadBalancer::Decision LoadBalancer::tick(const Inputs& in) {
+  GTTSCH_CHECK(in.tick_period > 0 && in.slotframe_duration > 0);
+
+  // Eq 6: smoothed queue metric.
+  queue_.update(in.queue_length);
+
+  // Generation-rate estimate (packets per second, smoothed).
+  const double inst_rate =
+      static_cast<double>(in.generated_since_last_tick) / us_to_s(in.tick_period);
+  if (!rate_initialized_) {
+    gen_rate_pps_ = inst_rate;
+    rate_initialized_ = true;
+  } else {
+    gen_rate_pps_ = config_.gen_rate_alpha * gen_rate_pps_ +
+                    (1.0 - config_.gen_rate_alpha) * inst_rate;
+  }
+
+  // l^g: Tx slots per slotframe needed for local generation.
+  l_g_ = static_cast<int>(std::ceil(gen_rate_pps_ * us_to_s(in.slotframe_duration) - 1e-9));
+
+  // Eq 1: l^tx-min = l^g + l^tx_cs - l^tx-free, with l^tx-free the entire
+  // currently allocated (and thus re-usable) Tx capacity.
+  const int needed = l_g_ + in.children_demand;
+  l_tx_min_ = needed - in.allocated_tx;
+
+  Decision d;
+  if (l_tx_min_ > 0) {
+    surplus_streak_ = 0;
+    if (in.l_rx_parent <= 0) return d;  // parent cannot grant anything now
+    game::PlayerState p;
+    p.rank = in.rank;
+    p.rank_min = in.rank_min;
+    p.min_step_of_rank = in.min_step_of_rank;
+    p.etx = std::max(1.0, in.etx);
+    p.queue_avg = std::min(queue_.value(), in.queue_max);
+    p.queue_max = in.queue_max;
+    p.l_tx_min = l_tx_min_;
+    p.l_rx_parent = in.l_rx_parent;
+    d.action = Decision::Action::kAdd;
+    d.count = std::max(1, game::optimal_tx_slots_int(config_.weights, p));
+    return d;
+  }
+
+  const int surplus = -l_tx_min_;
+  if (surplus >= config_.surplus_threshold) {
+    ++surplus_streak_;
+    if (surplus_streak_ >= config_.surplus_ticks) {
+      surplus_streak_ = 0;
+      d.action = Decision::Action::kDelete;
+      d.count = surplus - 1;  // keep one slot of headroom
+      return d;
+    }
+  } else {
+    surplus_streak_ = 0;
+  }
+  return d;
+}
+
+}  // namespace gttsch

@@ -1,0 +1,70 @@
+// GT-TSCH load balancing (Section VI): the periodic monitor computing
+// l^tx-min (Eq 1) from the local generation rate and the children's
+// aggregated demand, deciding when to ADD (via the game solution, Eq 15)
+// or DELETE Tx cells.
+#pragma once
+
+#include <cstdint>
+
+#include "core/game/queue_ewma.hpp"
+#include "core/game/solver.hpp"
+#include "util/types.hpp"
+
+namespace gttsch {
+
+struct LoadBalancerConfig {
+  game::Weights weights;      ///< alpha / beta / gamma of the payoff
+  double queue_zeta = 0.7;    ///< Eq 6 smoothing factor
+  double gen_rate_alpha = 0.5;  ///< EWMA over per-tick generation counts
+  int surplus_threshold = 2;  ///< unused-Tx surplus that triggers DELETE…
+  int surplus_ticks = 4;      ///< …after this many consecutive ticks
+};
+
+class LoadBalancer {
+ public:
+  explicit LoadBalancer(LoadBalancerConfig config);
+
+  struct Inputs {
+    int generated_since_last_tick = 0;  ///< local app packets this window
+    TimeUs tick_period = 0;             ///< monitor period
+    TimeUs slotframe_duration = 0;
+    int children_demand = 0;  ///< sum of child-requested Tx totals (l^tx_cs)
+    int allocated_tx = 0;     ///< current data Tx cells toward the parent
+    int l_rx_parent = 0;      ///< parent's advertised free Rx cells
+    std::size_t queue_length = 0;  ///< instantaneous q_i
+    // Game context:
+    double rank = 0.0;
+    double rank_min = 0.0;
+    double min_step_of_rank = 256.0;
+    double etx = 1.0;
+    double queue_max = 16.0;
+  };
+
+  struct Decision {
+    enum class Action { kNone, kAdd, kDelete };
+    Action action = Action::kNone;
+    int count = 0;
+  };
+
+  /// Run one monitor period. Root nodes never request cells (no parent);
+  /// callers simply don't tick a root's ADD path (children_demand still
+  /// feeds the DIO advertisement elsewhere).
+  Decision tick(const Inputs& in);
+
+  /// Eq 1 outputs from the latest tick (for tests / introspection).
+  int l_g() const { return l_g_; }
+  int l_tx_min() const { return l_tx_min_; }
+  double queue_metric() const { return queue_.value(); }
+  double gen_rate_pps() const { return gen_rate_pps_; }
+
+ private:
+  LoadBalancerConfig config_;
+  game::QueueEwma queue_;
+  double gen_rate_pps_ = 0.0;
+  bool rate_initialized_ = false;
+  int l_g_ = 0;
+  int l_tx_min_ = 0;
+  int surplus_streak_ = 0;
+};
+
+}  // namespace gttsch

@@ -1,0 +1,46 @@
+#include "core/slotframe_layout.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gttsch {
+
+SlotframeLayout::SlotframeLayout(SlotframeLayoutConfig config) : config_(config) {
+  const std::uint16_t m = config_.length;
+  const std::uint16_t k = config_.broadcast_slots;
+  GTTSCH_CHECK(m > 0 && k > 0 && k < m);
+  GTTSCH_CHECK(2 * config_.shared_slots + k < m);
+
+  // Rule 1: uniformly distributed broadcast slots.
+  const std::uint16_t period = static_cast<std::uint16_t>(m / k);
+  for (std::uint16_t i = 0; i < k; ++i)
+    broadcast_.push_back(static_cast<std::uint16_t>(i * period));
+
+  // Shared blocks fill from the tail, skipping broadcast slots.
+  std::vector<std::uint16_t> tail;
+  for (std::uint16_t s = m; s-- > 0;) {
+    if (std::find(broadcast_.begin(), broadcast_.end(), s) != broadcast_.end()) continue;
+    tail.push_back(s);
+    if (tail.size() == static_cast<std::size_t>(2 * config_.shared_slots)) break;
+  }
+  GTTSCH_CHECK(tail.size() == static_cast<std::size_t>(2 * config_.shared_slots));
+  shared_even_.assign(tail.begin(), tail.begin() + config_.shared_slots);
+  shared_odd_.assign(tail.begin() + config_.shared_slots, tail.end());
+  std::sort(shared_even_.begin(), shared_even_.end());
+  std::sort(shared_odd_.begin(), shared_odd_.end());
+
+  for (std::uint16_t s = 0; s < m; ++s)
+    if (!is_broadcast_slot(s) && !is_shared_slot(s)) negotiable_.push_back(s);
+}
+
+bool SlotframeLayout::is_broadcast_slot(std::uint16_t offset) const {
+  return std::find(broadcast_.begin(), broadcast_.end(), offset) != broadcast_.end();
+}
+
+bool SlotframeLayout::is_shared_slot(std::uint16_t offset) const {
+  return std::find(shared_even_.begin(), shared_even_.end(), offset) != shared_even_.end() ||
+         std::find(shared_odd_.begin(), shared_odd_.end(), offset) != shared_odd_.end();
+}
+
+}  // namespace gttsch

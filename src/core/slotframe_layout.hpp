@@ -1,0 +1,55 @@
+// GT-TSCH slotframe structure (Section IV): a single slotframe of length m
+// partitioned into the five timeslot types. Broadcast and shared offsets
+// are deterministic functions of (m, k, n_shared), so every node derives
+// the same layout without signalling; 6P and unicast-data cells are then
+// negotiated out of the remaining pool.
+//
+// Shared cells are per-family (a parent and its children) and separated by
+// the parity of the parent's DAG level so that a node's two families (its
+// parent's and its own) never contend for the same slot.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gttsch {
+
+struct SlotframeLayoutConfig {
+  std::uint16_t length = 32;      ///< m, slotframe size (Table II: 32)
+  std::uint16_t broadcast_slots = 4;  ///< k
+  std::uint16_t shared_slots = 3;     ///< per family: ceil(max_children / 2)
+};
+
+class SlotframeLayout {
+ public:
+  explicit SlotframeLayout(SlotframeLayoutConfig config);
+
+  std::uint16_t length() const { return config_.length; }
+
+  /// Broadcast slot offsets: {x | x % floor(m/k) == 0}, first k of them,
+  /// uniformly spreading control traffic over the slotframe (Section IV
+  /// rule 1; e.g. m=20, k=5 -> {0,4,8,12,16}).
+  const std::vector<std::uint16_t>& broadcast_offsets() const { return broadcast_; }
+
+  /// Shared cells of a family whose parent sits at DAG level `level`
+  /// (root = 0). Even levels use the last block, odd levels the one before
+  /// it, so adjacent families never overlap in time.
+  const std::vector<std::uint16_t>& shared_offsets(unsigned level) const {
+    return level % 2 == 0 ? shared_even_ : shared_odd_;
+  }
+
+  /// Slots available for negotiated cells (Unicast-6P and Unicast-Data).
+  const std::vector<std::uint16_t>& negotiable_offsets() const { return negotiable_; }
+
+  bool is_broadcast_slot(std::uint16_t offset) const;
+  bool is_shared_slot(std::uint16_t offset) const;
+
+ private:
+  SlotframeLayoutConfig config_;
+  std::vector<std::uint16_t> broadcast_;
+  std::vector<std::uint16_t> shared_even_;
+  std::vector<std::uint16_t> shared_odd_;
+  std::vector<std::uint16_t> negotiable_;
+};
+
+}  // namespace gttsch

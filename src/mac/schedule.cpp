@@ -1,0 +1,105 @@
+#include "mac/schedule.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gttsch {
+
+Slotframe::Slotframe(std::uint16_t handle, std::uint16_t length)
+    : handle_(handle), length_(length), by_slot_(length) {
+  GTTSCH_CHECK(length > 0);
+}
+
+bool Slotframe::add(const Cell& cell) {
+  GTTSCH_CHECK(cell.slot_offset < length_);
+  auto& bucket = by_slot_[cell.slot_offset];
+  if (std::find(bucket.begin(), bucket.end(), cell) != bucket.end()) return false;
+  bucket.push_back(cell);
+  ++size_;
+  return true;
+}
+
+bool Slotframe::remove(const Cell& cell) {
+  if (cell.slot_offset >= length_) return false;
+  auto& bucket = by_slot_[cell.slot_offset];
+  const auto it = std::find(bucket.begin(), bucket.end(), cell);
+  if (it == bucket.end()) return false;
+  bucket.erase(it);
+  --size_;
+  return true;
+}
+
+std::size_t Slotframe::remove_if(const std::function<bool(const Cell&)>& pred) {
+  std::size_t removed = 0;
+  for (auto& bucket : by_slot_) {
+    const auto before = bucket.size();
+    bucket.erase(std::remove_if(bucket.begin(), bucket.end(), pred), bucket.end());
+    removed += before - bucket.size();
+  }
+  size_ -= removed;
+  return removed;
+}
+
+const std::vector<Cell>& Slotframe::cells_at(std::uint16_t slot) const {
+  static const std::vector<Cell> kEmpty;
+  if (slot >= length_) return kEmpty;
+  return by_slot_[slot];
+}
+
+std::vector<Cell> Slotframe::all_cells() const {
+  std::vector<Cell> out;
+  out.reserve(size_);
+  for (const auto& bucket : by_slot_) out.insert(out.end(), bucket.begin(), bucket.end());
+  return out;
+}
+
+std::vector<std::uint16_t> Slotframe::free_slots() const {
+  std::vector<std::uint16_t> out;
+  for (std::uint16_t s = 0; s < length_; ++s)
+    if (by_slot_[s].empty()) out.push_back(s);
+  return out;
+}
+
+Slotframe& TschSchedule::add_slotframe(std::uint16_t handle, std::uint16_t length) {
+  const auto [it, inserted] = frames_.try_emplace(handle, handle, length);
+  GTTSCH_CHECK(inserted);
+  return it->second;
+}
+
+void TschSchedule::remove_slotframe(std::uint16_t handle) { frames_.erase(handle); }
+
+Slotframe* TschSchedule::get(std::uint16_t handle) {
+  const auto it = frames_.find(handle);
+  return it == frames_.end() ? nullptr : &it->second;
+}
+
+const Slotframe* TschSchedule::get(std::uint16_t handle) const {
+  const auto it = frames_.find(handle);
+  return it == frames_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<std::uint16_t, Cell>> TschSchedule::active_cells(Asn asn) const {
+  std::vector<std::pair<std::uint16_t, Cell>> out;
+  for (const auto& [handle, sf] : frames_) {
+    const auto slot = static_cast<std::uint16_t>(asn % sf.length());
+    for (const Cell& c : sf.cells_at(slot)) out.emplace_back(handle, c);
+  }
+  return out;
+}
+
+std::size_t TschSchedule::total_cells() const {
+  std::size_t n = 0;
+  for (const auto& [_, sf] : frames_) n += sf.size();
+  return n;
+}
+
+void TschSchedule::for_each(const std::function<void(Slotframe&)>& fn) {
+  for (auto& [_, sf] : frames_) fn(sf);
+}
+
+void TschSchedule::for_each(const std::function<void(const Slotframe&)>& fn) const {
+  for (const auto& [_, sf] : frames_) fn(sf);
+}
+
+}  // namespace gttsch

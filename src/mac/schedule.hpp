@@ -1,0 +1,76 @@
+// The TSCH schedule: one or more slotframes holding cells of the CDU matrix.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "phy/wire.hpp"
+#include "util/types.hpp"
+
+namespace gttsch {
+
+class Slotframe {
+ public:
+  Slotframe(std::uint16_t handle, std::uint16_t length);
+
+  std::uint16_t handle() const { return handle_; }
+  std::uint16_t length() const { return length_; }
+  std::size_t size() const { return size_; }
+
+  /// Adds a cell; multiple cells may share a slot offset (distinct channel
+  /// offsets). Returns false if the exact cell already exists.
+  bool add(const Cell& cell);
+
+  /// Removes an exactly-matching cell. Returns true if found.
+  bool remove(const Cell& cell);
+
+  /// Removes all cells matching `pred`; returns removed count.
+  std::size_t remove_if(const std::function<bool(const Cell&)>& pred);
+
+  const std::vector<Cell>& cells_at(std::uint16_t slot) const;
+
+  /// All cells in slot order (flattened copy).
+  std::vector<Cell> all_cells() const;
+
+  /// Slot offsets with no cell at all.
+  std::vector<std::uint16_t> free_slots() const;
+
+  bool slot_in_use(std::uint16_t slot) const { return !by_slot_[slot].empty(); }
+
+ private:
+  std::uint16_t handle_;
+  std::uint16_t length_;
+  std::vector<std::vector<Cell>> by_slot_;
+  std::size_t size_ = 0;
+};
+
+/// A node's full schedule: slotframes keyed (and prioritised) by handle.
+class TschSchedule {
+ public:
+  Slotframe& add_slotframe(std::uint16_t handle, std::uint16_t length);
+  void remove_slotframe(std::uint16_t handle);
+  Slotframe* get(std::uint16_t handle);
+  const Slotframe* get(std::uint16_t handle) const;
+
+  bool empty() const { return frames_.empty(); }
+  std::size_t slotframe_count() const { return frames_.size(); }
+
+  /// Active cells at `asn` across all slotframes, ordered by slotframe
+  /// handle (ascending = higher priority first, per Contiki-NG convention).
+  /// Each entry is (slotframe handle, cell).
+  std::vector<std::pair<std::uint16_t, Cell>> active_cells(Asn asn) const;
+
+  /// Total number of cells across slotframes.
+  std::size_t total_cells() const;
+
+  /// Visit every slotframe in handle order.
+  void for_each(const std::function<void(Slotframe&)>& fn);
+  void for_each(const std::function<void(const Slotframe&)>& fn) const;
+
+ private:
+  std::map<std::uint16_t, Slotframe> frames_;
+};
+
+}  // namespace gttsch

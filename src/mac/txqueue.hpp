@@ -1,0 +1,90 @@
+// Transmit queues: one FIFO per unicast neighbor plus one broadcast FIFO.
+//
+// Data-frame occupancy is capped across all unicast queues (the node-level
+// queue length q_i of the paper); control frames have small per-queue caps
+// so congestion cannot starve signalling.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "phy/wire.hpp"
+#include "util/types.hpp"
+
+namespace gttsch {
+
+struct QueuedPacket {
+  FramePtr frame;
+  std::uint32_t mac_seq = 0;
+  int attempts = 0;  ///< transmission attempts so far
+  TimeUs enqueued_at = 0;
+};
+
+/// Per-neighbor queue with TSCH shared-cell backoff state.
+struct NeighborQueue {
+  std::deque<QueuedPacket> packets;
+  int backoff_exponent = 0;  ///< current BE (0 = no backoff pending)
+  int backoff_window = 0;    ///< shared-cell opportunities left to skip
+};
+
+class TxQueues {
+ public:
+  TxQueues(std::size_t data_capacity, std::size_t control_capacity_per_queue);
+
+  /// Enqueue toward a unicast neighbor. Returns false (drop) when the data
+  /// cap (for kData) or the per-queue control cap is hit.
+  bool enqueue_unicast(NodeId neighbor, FramePtr frame, std::uint32_t mac_seq, TimeUs now);
+
+  /// Enqueue a broadcast control frame (EB is built on the fly, not queued).
+  bool enqueue_broadcast(FramePtr frame, std::uint32_t mac_seq, TimeUs now);
+
+  /// Head-of-line packet for a neighbor; nullptr if empty.
+  QueuedPacket* peek_unicast(NodeId neighbor);
+  QueuedPacket* peek_broadcast();
+
+  void pop_unicast(NodeId neighbor);
+  void pop_broadcast();
+
+  NeighborQueue* queue_for(NodeId neighbor);  // nullptr if absent
+  NeighborQueue& ensure_queue(NodeId neighbor);
+
+  /// Neighbors with at least one queued packet, in round-robin order
+  /// starting after the last neighbor served via pick_any_unicast().
+  std::vector<NodeId> backlogged_neighbors() const;
+
+  /// Round-robin pick of a non-empty unicast queue (for shared cells).
+  /// Honors backoff: queues with backoff_window > 0 are skipped after
+  /// decrementing the window (a shared-cell opportunity passed).
+  std::optional<NodeId> pick_any_unicast_shared();
+
+  /// Same, but without consuming backoff (for tests / inspection).
+  std::optional<NodeId> any_backlogged() const;
+
+  /// Number of queued kData frames (the paper's q_i).
+  std::size_t data_queued() const { return data_queued_; }
+  std::size_t data_capacity() const { return data_capacity_; }
+  std::size_t broadcast_queued() const { return broadcast_.packets.size(); }
+  std::size_t total_queued() const;
+
+  /// Move all *data* frames queued for `from` to the queue of `to`
+  /// (RPL parent switch). Control frames for `from` are dropped.
+  /// Returns the number of moved frames.
+  std::size_t retarget(NodeId from, NodeId to);
+
+  /// Drop everything queued for a neighbor; returns dropped count.
+  std::size_t drop_queue(NodeId neighbor);
+
+ private:
+  bool is_data(const FramePtr& f) const { return f->type == FrameType::kData; }
+
+  std::size_t data_capacity_;
+  std::size_t control_capacity_;
+  std::size_t data_queued_ = 0;
+  std::map<NodeId, NeighborQueue> unicast_;
+  NeighborQueue broadcast_;
+  NodeId rr_cursor_ = 0;  ///< round-robin position for shared-cell picks
+};
+
+}  // namespace gttsch

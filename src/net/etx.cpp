@@ -1,0 +1,25 @@
+#include "net/etx.hpp"
+
+#include <algorithm>
+
+namespace gttsch {
+
+EtxEstimator::EtxEstimator(double alpha, double fail_penalty)
+    : alpha_(std::clamp(alpha, 0.0, 1.0)), fail_penalty_(std::max(1.0, fail_penalty)) {}
+
+void EtxEstimator::record(NodeId nbr, bool acked, int attempts) {
+  const double sample = acked ? static_cast<double>(std::max(1, attempts)) : fail_penalty_;
+  const auto it = values_.find(nbr);
+  if (it == values_.end()) {
+    values_[nbr] = sample;
+    return;
+  }
+  it->second = alpha_ * it->second + (1.0 - alpha_) * sample;
+}
+
+double EtxEstimator::etx(NodeId nbr) const {
+  const auto it = values_.find(nbr);
+  return it == values_.end() ? 1.0 : std::max(1.0, it->second);
+}
+
+}  // namespace gttsch

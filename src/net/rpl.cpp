@@ -1,0 +1,206 @@
+#include "net/rpl.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/log.hpp"
+#include "util/check.hpp"
+
+namespace gttsch {
+
+RplAgent::RplAgent(Simulator& sim, TschMac& mac, EtxEstimator& etx, RplConfig config, Rng rng)
+    : sim_(sim),
+      mac_(mac),
+      etx_(etx),
+      config_(config),
+      rng_(rng),
+      dio_trickle_(sim, rng.fork(0x0D10), config.dio_imin, config.dio_doublings,
+                   [this] { send_dio(); }),
+      dis_timer_(sim) {}
+
+void RplAgent::set_free_rx_provider(std::function<std::uint16_t()> provider) {
+  free_rx_provider_ = std::move(provider);
+}
+
+void RplAgent::start_as_root() {
+  is_root_ = true;
+  started_ = true;
+  dodag_root_ = mac_.id();
+  set_rank(config_.root_rank);
+  dio_trickle_.start();
+}
+
+void RplAgent::start() { started_ = true; }
+
+std::uint8_t RplAgent::hops() const {
+  if (rank_ == 0xFFFF) return 0xFF;
+  const std::uint32_t above_root = rank_ - std::min<std::uint16_t>(rank_, config_.root_rank);
+  const std::uint32_t h =
+      (above_root + config_.min_hop_rank_increase / 2) / config_.min_hop_rank_increase;
+  return static_cast<std::uint8_t>(std::min<std::uint32_t>(h, 0xFE));
+}
+
+std::uint16_t RplAgent::parent_free_rx() const {
+  const auto it = candidates_.find(parent_);
+  return it == candidates_.end() ? 0 : it->second.free_rx;
+}
+
+std::optional<std::uint16_t> RplAgent::neighbor_rank(NodeId nbr) const {
+  const auto it = candidates_.find(nbr);
+  if (it == candidates_.end()) return std::nullopt;
+  return it->second.rank;
+}
+
+void RplAgent::send_dio() {
+  if (!joined() || rank_ == 0xFFFF) return;
+  DioPayload dio;
+  dio.dodag_root = dodag_root_;
+  dio.rank = rank_;
+  dio.min_hop_rank_increase = config_.min_hop_rank_increase;
+  dio.free_rx_cells = free_rx_provider_ ? free_rx_provider_() : 0;
+  mac_.enqueue(make_dio_frame(mac_.id(), dio));
+}
+
+void RplAgent::start_soliciting() {
+  if (is_root_ || joined()) return;
+  // Randomized per-tick jitter (RFC 6550 DIS behavior): without it, two
+  // soliciting nodes phase-lock into the same broadcast slot and their
+  // DIS frames collide at the common neighbor indefinitely.
+  dis_timer_.start(0, config_.dis_period,
+                   [this] {
+                     if (joined()) {
+                       dis_timer_.stop();
+                       return;
+                     }
+                     mac_.enqueue(make_dis_frame(mac_.id()));
+                   },
+                   &rng_, config_.dis_period / 2);
+}
+
+void RplAgent::on_dis(const Frame&) {
+  // A neighbor is soliciting: make our next DIO prompt again.
+  if (joined()) dio_trickle_.reset();
+}
+
+void RplAgent::on_dio(const Frame& frame) {
+  if (!started_ || is_root_) return;
+  const DioPayload& dio = frame.as<DioPayload>();
+  // Single-instance RPL: once in a DODAG, ignore DIOs from other roots.
+  if (dodag_root_ != kNoNode && dio.dodag_root != dodag_root_) return;
+  Candidate& cand = candidates_[frame.src];
+  cand.rank = dio.rank;
+  cand.free_rx = dio.free_rx_cells;
+  cand.dodag_root = dio.dodag_root;
+  cand.last_heard = sim_.now();
+  evaluate_parent();
+}
+
+void RplAgent::on_tx_result(NodeId dst, bool acked, int attempts) {
+  etx_.record(dst, acked, attempts);
+  if (!is_root_ && dst == parent_) evaluate_parent();
+}
+
+double RplAgent::path_cost(NodeId cand) const {
+  const auto it = candidates_.find(cand);
+  if (it == candidates_.end()) return 1e18;
+  // MRHOF with the ETX metric: advertised rank + ETX * MinHopRankIncrease.
+  return static_cast<double>(it->second.rank) +
+         etx_.etx(cand) * static_cast<double>(config_.min_hop_rank_increase);
+}
+
+void RplAgent::evaluate_parent() {
+  // Age out silent candidates (but never the current parent purely by age:
+  // its ETX penalty already reflects delivery failures).
+  const TimeUs now = sim_.now();
+  for (auto it = candidates_.begin(); it != candidates_.end();) {
+    if (it->first != parent_ && now - it->second.last_heard > config_.neighbor_timeout)
+      it = candidates_.erase(it);
+    else
+      ++it;
+  }
+
+  NodeId best = kNoNode;
+  double best_cost = 1e18;
+  for (const auto& [id, cand] : candidates_) {
+    // Loop avoidance: never consider a candidate advertising a rank at or
+    // above our own current rank (unless we have no rank yet).
+    if (rank_ != 0xFFFF && parent_ != kNoNode && cand.rank >= rank_) continue;
+    if (cand.rank == 0xFFFF) continue;  // poisoned (detached neighbor)
+    const double cost = path_cost(id);
+    if (cost >= 65535.0) continue;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = id;
+    }
+  }
+
+  // Local repair: the preferred parent is effectively dead (ETX at the
+  // detach threshold or it poisoned itself) and nothing better is known.
+  if (parent_ != kNoNode) {
+    const auto pit = candidates_.find(parent_);
+    const bool poisoned = pit != candidates_.end() && pit->second.rank == 0xFFFF;
+    const bool dead_link = etx_.etx(parent_) >= config_.parent_detach_etx;
+    if ((poisoned || dead_link) && (best == kNoNode || best == parent_)) {
+      detach();
+      return;
+    }
+  }
+  if (best == kNoNode) return;
+
+  const double current_cost = parent_ == kNoNode ? 1e18 : path_cost(parent_);
+  const bool switch_parent =
+      parent_ == kNoNode ||
+      best_cost + static_cast<double>(config_.parent_switch_threshold) < current_cost;
+
+  const NodeId chosen = switch_parent ? best : parent_;
+  const double chosen_cost = switch_parent ? best_cost : current_cost;
+
+  if (chosen != parent_) {
+    const NodeId old = parent_;
+    parent_ = chosen;
+    dodag_root_ = candidates_[chosen].dodag_root;
+    GTTSCH_LOG_INFO("rpl", "node %u parent %u -> %u", mac_.id(), old, chosen);
+    set_rank(static_cast<std::uint16_t>(std::lround(std::min(chosen_cost, 65534.0))));
+    dio_trickle_.reset();
+    if (!dio_trickle_.running()) dio_trickle_.start();
+    if (callbacks_ != nullptr) callbacks_->rpl_parent_changed(old, chosen);
+  } else {
+    // Same parent; refresh rank as ETX drifts.
+    set_rank(static_cast<std::uint16_t>(std::lround(std::min(chosen_cost, 65534.0))));
+  }
+}
+
+void RplAgent::detach() {
+  const NodeId old = parent_;
+  GTTSCH_LOG_INFO("rpl", "node %u detaching from parent %u (local repair)", mac_.id(), old);
+  // Poison: tell descendants we no longer provide a route (RFC 6550).
+  DioPayload poison;
+  poison.dodag_root = dodag_root_;
+  poison.rank = 0xFFFF;
+  poison.min_hop_rank_increase = config_.min_hop_rank_increase;
+  mac_.enqueue(make_dio_frame(mac_.id(), poison));
+  dio_trickle_.stop();
+  parent_ = kNoNode;
+  rank_ = 0xFFFF;
+  candidates_.erase(old);
+  etx_.forget(old);
+  if (callbacks_ != nullptr) callbacks_->rpl_parent_changed(old, kNoNode);
+  start_soliciting();
+}
+
+void RplAgent::notify_metric_changed() {
+  if (dio_trickle_.running()) dio_trickle_.reset();
+}
+
+void RplAgent::set_rank(std::uint16_t rank) {
+  if (rank == rank_) return;
+  const bool significant =
+      rank_ == 0xFFFF ||
+      std::abs(static_cast<int>(rank) - static_cast<int>(rank_)) >
+          static_cast<int>(config_.min_hop_rank_increase) / 2;
+  rank_ = rank;
+  if (callbacks_ != nullptr) callbacks_->rpl_rank_changed(rank);
+  if (significant && dio_trickle_.running()) dio_trickle_.reset();
+}
+
+}  // namespace gttsch

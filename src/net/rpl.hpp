@@ -1,0 +1,137 @@
+// RPL-lite: upward-route DODAG formation with an MRHOF/ETX objective
+// function — the subset of RFC 6550/6551 the paper's scheduler consumes
+// (Rank, parent identity, link ETX), plus the paper's DIO extension
+// carrying the sender's free Rx-cell count l^rx.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "mac/tsch_mac.hpp"
+#include "net/etx.hpp"
+#include "net/trickle.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace gttsch {
+
+struct RplConfig {
+  /// MinHopRankIncrease; also the paper's MinStepOfRank (Eq 3).
+  std::uint16_t min_hop_rank_increase = 256;
+  /// Root advertises this rank (Contiki-NG style: ROOT_RANK = MHRI).
+  std::uint16_t root_rank = 256;
+  /// Hysteresis: switch parents only when the improvement exceeds this
+  /// many rank units (Contiki-NG PARENT_SWITCH_THRESHOLD ~ 192).
+  std::uint16_t parent_switch_threshold = 192;
+  /// Trickle: Imin and number of doublings. The paper's Table II lists a
+  /// 300 s DIO ceiling; we reach >= 512 s after doublings (see DESIGN.md).
+  TimeUs dio_imin = 4000000;
+  int dio_doublings = 7;
+  /// Forget DIO candidates not heard from for this long.
+  TimeUs neighbor_timeout = 180000000;
+  /// DIS solicitation period while associated but not yet joined
+  /// (RFC 6550: neighbors reset their trickle on hearing it).
+  TimeUs dis_period = 10000000;
+  /// Detach from the DODAG (poison + re-solicit) when the preferred
+  /// parent's ETX reaches this and no better candidate exists — the
+  /// local-repair path for mobility and parent death.
+  double parent_detach_etx = 6.0;
+};
+
+/// Events the integration layer / scheduling function subscribes to.
+class RplCallbacks {
+ public:
+  virtual ~RplCallbacks() = default;
+  virtual void rpl_parent_changed(NodeId old_parent, NodeId new_parent) = 0;
+  virtual void rpl_rank_changed(std::uint16_t rank) = 0;
+};
+
+class RplAgent {
+ public:
+  RplAgent(Simulator& sim, TschMac& mac, EtxEstimator& etx, RplConfig config, Rng rng);
+
+  void set_callbacks(RplCallbacks* cb) { callbacks_ = cb; }
+
+  /// The scheduler provides the l^rx value advertised in DIOs (the paper's
+  /// new DIO option). Nullable — defaults to 0.
+  void set_free_rx_provider(std::function<std::uint16_t()> provider);
+
+  /// Become DODAG root: rank = root_rank, begin DIO trickle.
+  void start_as_root();
+
+  /// Non-root start: wait for DIOs (MAC must be associated to hear them).
+  void start();
+
+  /// Feed an incoming DIO (dispatched by the Node layer).
+  void on_dio(const Frame& frame);
+
+  /// Feed an incoming DIS: a neighbor wants DIOs soon (trickle reset).
+  void on_dis(const Frame& frame);
+
+  /// Start soliciting DIOs (call when the MAC associates; stops itself
+  /// once joined). No-op for roots.
+  void start_soliciting();
+
+  /// Feed unicast transmission outcomes so ETX (and thus rank) updates.
+  void on_tx_result(NodeId dst, bool acked, int attempts);
+
+  bool is_root() const { return is_root_; }
+  bool joined() const { return is_root_ || parent_ != kNoNode; }
+  NodeId parent() const { return parent_; }
+  NodeId dodag_root() const { return dodag_root_; }
+  std::uint16_t rank() const { return rank_; }
+  std::uint16_t min_hop_rank_increase() const { return config_.min_hop_rank_increase; }
+  std::uint16_t root_rank() const { return config_.root_rank; }
+
+  /// DAG hop depth implied by rank (join priority for EBs).
+  std::uint8_t hops() const;
+
+  /// Parent's advertised free Rx cells, from its latest DIO (l^rx_{p_i}).
+  std::uint16_t parent_free_rx() const;
+
+  /// Latest advertised rank of a neighbor (for diagnostics/tests).
+  std::optional<std::uint16_t> neighbor_rank(NodeId nbr) const;
+
+  /// The scheduler signals that an advertised metric (e.g. the free-Rx DIO
+  /// option) changed materially; shrinks the trickle interval so
+  /// neighbors learn soon.
+  void notify_metric_changed();
+
+  const RplConfig& config() const { return config_; }
+
+ private:
+  struct Candidate {
+    std::uint16_t rank = 0xFFFF;
+    std::uint16_t free_rx = 0;
+    NodeId dodag_root = kNoNode;
+    TimeUs last_heard = 0;
+  };
+
+  void send_dio();
+  void evaluate_parent();
+  double path_cost(NodeId cand) const;
+  void set_rank(std::uint16_t rank);
+  /// Leave the DODAG: poison (INFINITE_RANK DIO), clear the parent, and
+  /// resume DIS solicitation.
+  void detach();
+
+  Simulator& sim_;
+  TschMac& mac_;
+  EtxEstimator& etx_;
+  RplConfig config_;
+  Rng rng_;
+  RplCallbacks* callbacks_ = nullptr;
+  std::function<std::uint16_t()> free_rx_provider_;
+
+  bool is_root_ = false;
+  bool started_ = false;
+  NodeId parent_ = kNoNode;
+  NodeId dodag_root_ = kNoNode;
+  std::uint16_t rank_ = 0xFFFF;
+  std::map<NodeId, Candidate> candidates_;
+  TrickleTimer dio_trickle_;
+  PeriodicTimer dis_timer_;
+};
+
+}  // namespace gttsch

@@ -1,0 +1,58 @@
+#include "net/trickle.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace gttsch {
+
+TrickleTimer::TrickleTimer(Simulator& sim, Rng rng, TimeUs imin, int doublings,
+                           std::function<void()> fire)
+    : sim_(sim),
+      rng_(rng),
+      imin_(imin),
+      imax_(imin << std::max(0, doublings)),
+      fire_(std::move(fire)),
+      fire_timer_(sim),
+      interval_timer_(sim) {
+  GTTSCH_CHECK(imin > 0);
+}
+
+void TrickleTimer::start() {
+  running_ = true;
+  interval_ = imin_;
+  begin_interval();
+}
+
+void TrickleTimer::reset() {
+  if (!running_) {
+    start();
+    return;
+  }
+  if (interval_ != imin_) {
+    interval_ = imin_;
+    begin_interval();
+  }
+}
+
+void TrickleTimer::stop() {
+  running_ = false;
+  fire_timer_.stop();
+  interval_timer_.stop();
+}
+
+void TrickleTimer::begin_interval() {
+  // Fire once at a random point in [I/2, I); then double.
+  const TimeUs half = interval_ / 2;
+  const TimeUs t =
+      half + static_cast<TimeUs>(rng_.uniform(static_cast<std::uint64_t>(interval_ - half)));
+  fire_timer_.start(t, [this] {
+    if (fire_) fire_();
+  });
+  interval_timer_.start(interval_, [this] {
+    interval_ = std::min(interval_ * 2, imax_);
+    begin_interval();
+  });
+}
+
+}  // namespace gttsch

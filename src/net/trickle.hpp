@@ -1,0 +1,42 @@
+// RFC 6206 Trickle timer (redundancy suppression omitted: k = infinity,
+// appropriate for the paper's small DODAGs).
+#pragma once
+
+#include <functional>
+
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "util/rng.hpp"
+
+namespace gttsch {
+
+class TrickleTimer {
+ public:
+  TrickleTimer(Simulator& sim, Rng rng, TimeUs imin, int doublings,
+               std::function<void()> fire);
+
+  /// Begin with I = Imin (also restarts a running timer).
+  void start();
+
+  /// Inconsistency observed: shrink the interval back to Imin.
+  void reset();
+
+  void stop();
+  bool running() const { return running_; }
+  TimeUs current_interval() const { return interval_; }
+
+ private:
+  void begin_interval();
+
+  Simulator& sim_;
+  Rng rng_;
+  TimeUs imin_;
+  TimeUs imax_;
+  TimeUs interval_ = 0;
+  bool running_ = false;
+  std::function<void()> fire_;
+  OneShotTimer fire_timer_;
+  OneShotTimer interval_timer_;
+};
+
+}  // namespace gttsch

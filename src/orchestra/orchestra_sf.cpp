@@ -1,0 +1,108 @@
+#include "orchestra/orchestra_sf.hpp"
+
+#include "util/check.hpp"
+
+namespace gttsch {
+
+namespace {
+constexpr std::uint16_t kEbHandle = 0;
+constexpr std::uint16_t kCommonHandle = 1;
+constexpr std::uint16_t kUnicastHandle = 2;
+}  // namespace
+
+OrchestraSf::OrchestraSf(TschMac& mac, RplAgent& rpl, OrchestraConfig config)
+    : mac_(mac), rpl_(rpl), config_(config) {}
+
+std::uint16_t OrchestraSf::hash(NodeId id, std::uint16_t modulus) {
+  GTTSCH_CHECK(modulus > 0);
+  return static_cast<std::uint16_t>((static_cast<std::uint32_t>(id) * 2654435761u) % modulus);
+}
+
+ChannelOffset OrchestraSf::unicast_offset_for(NodeId receiver) const {
+  if (!config_.unicast_channel_hash) return config_.unicast_channel_offset;
+  // Hash over offsets [3, num_channel_offsets) to avoid the EB/common ones.
+  const std::uint8_t span = static_cast<std::uint8_t>(config_.num_channel_offsets - 3);
+  return static_cast<ChannelOffset>(3 + hash(receiver, span));
+}
+
+void OrchestraSf::start(bool is_root) {
+  is_root_ = is_root;
+  mac_.set_eb_provider([this] { return eb_info(); });
+}
+
+void OrchestraSf::on_associated() {
+  TschSchedule& sched = mac_.schedule();
+
+  // EB slotframe: autonomous Tx cell for our own beacons.
+  Slotframe& eb = sched.add_slotframe(kEbHandle, config_.eb_slotframe_length);
+  Cell eb_tx;
+  eb_tx.slot_offset = hash(mac_.id(), config_.eb_slotframe_length);
+  eb_tx.channel_offset = config_.eb_channel_offset;
+  eb_tx.options = kCellTx;
+  eb_tx.neighbor = kBroadcastId;
+  eb.add(eb_tx);
+  // Rx cell for the time source's beacons (keep-alive/sync).
+  if (!is_root_ && mac_.time_source() != kNoNode) {
+    eb_rx_source_ = mac_.time_source();
+    Cell eb_rx;
+    eb_rx.slot_offset = hash(eb_rx_source_, config_.eb_slotframe_length);
+    eb_rx.channel_offset = config_.eb_channel_offset;
+    eb_rx.options = kCellRx;
+    eb_rx.neighbor = kBroadcastId;
+    eb.add(eb_rx);
+  }
+
+  // Common slotframe: one shared broadcast cell at slot 0.
+  Slotframe& common = sched.add_slotframe(kCommonHandle, config_.common_slotframe_length);
+  Cell shared;
+  shared.slot_offset = 0;
+  shared.channel_offset = config_.common_channel_offset;
+  shared.options = kCellTx | kCellRx | kCellShared;
+  shared.neighbor = kBroadcastId;
+  common.add(shared);
+
+  // Unicast slotframe, receiver-based: our dedicated Rx cell.
+  Slotframe& unicast = sched.add_slotframe(kUnicastHandle, config_.unicast_slotframe_length);
+  Cell rx;
+  rx.slot_offset = hash(mac_.id(), config_.unicast_slotframe_length);
+  rx.channel_offset = unicast_offset_for(mac_.id());
+  rx.options = kCellRx;
+  rx.neighbor = kBroadcastId;  // any sender that hashed onto us
+  unicast.add(rx);
+}
+
+void OrchestraSf::install_unicast_tx(NodeId parent) {
+  Slotframe* unicast = mac_.schedule().get(kUnicastHandle);
+  if (unicast == nullptr) return;
+  Cell tx;
+  tx.slot_offset = hash(parent, config_.unicast_slotframe_length);
+  tx.channel_offset = unicast_offset_for(parent);
+  // Shared: all the parent's children transmit in this same cell, so TSCH
+  // CSMA backoff must arbitrate it.
+  tx.options = kCellTx | kCellShared;
+  tx.neighbor = parent;
+  unicast->add(tx);
+}
+
+void OrchestraSf::on_parent_changed(NodeId old_parent, NodeId new_parent) {
+  Slotframe* unicast = mac_.schedule().get(kUnicastHandle);
+  if (unicast == nullptr) return;
+  if (old_parent != kNoNode)
+    unicast->remove_if(
+        [old_parent](const Cell& c) { return c.is_tx() && c.neighbor == old_parent; });
+  if (new_parent != kNoNode) install_unicast_tx(new_parent);
+}
+
+void OrchestraSf::on_frame(const Frame&) {}
+
+std::optional<EbPayload> OrchestraSf::eb_info() {
+  if (!is_root_ && !rpl_.joined()) return std::nullopt;
+  EbPayload eb;
+  eb.join_priority = rpl_.hops();
+  eb.slotframe_length = config_.unicast_slotframe_length;
+  eb.has_family_channel = false;
+  eb.dodag_root = rpl_.dodag_root();
+  return eb;
+}
+
+}  // namespace gttsch

@@ -1,0 +1,66 @@
+// Orchestra baseline (Duquennoy et al., SenSys'15), receiver-based variant
+// as shipped in Contiki-NG — the comparison scheduler of the paper.
+//
+// Three autonomous slotframes, priority by handle:
+//   0: EB slotframe       — Tx cell at hash(self), Rx cell at hash(time src)
+//   1: common/broadcast   — one shared Tx|Rx cell at slot 0 (DIOs, fallback)
+//   2: unicast            — receiver-based: dedicated Rx cell at
+//      hash(self); a shared Tx cell at hash(nbr) per RPL neighbor (parent
+//      here: traffic is convergecast). Multiple children of one parent
+//      hash onto the *same* (slot, channel) cell, which is exactly the
+//      contention GT-TSCH's Section III criticises; the shared flag
+//      engages TSCH CSMA backoff on collisions.
+//
+// No 6P signalling, no schedule adaptation to load — schedules follow the
+// topology only.
+#pragma once
+
+#include "mac/tsch_mac.hpp"
+#include "net/rpl.hpp"
+#include "sixp/sf.hpp"
+
+namespace gttsch {
+
+struct OrchestraConfig {
+  std::uint16_t eb_slotframe_length = 41;
+  std::uint16_t common_slotframe_length = 31;
+  std::uint16_t unicast_slotframe_length = 8;  ///< L_u; paper Fig 10 sweeps this
+  ChannelOffset eb_channel_offset = 0;
+  ChannelOffset common_channel_offset = 1;
+  ChannelOffset unicast_channel_offset = 2;
+  /// Contiki-NG option: hash the unicast channel offset per receiver over
+  /// the remaining offsets instead of using one fixed offset.
+  bool unicast_channel_hash = false;
+  std::uint8_t num_channel_offsets = 8;
+};
+
+class OrchestraSf final : public SchedulingFunction {
+ public:
+  OrchestraSf(TschMac& mac, RplAgent& rpl, OrchestraConfig config);
+
+  const char* name() const override { return "orchestra"; }
+  void start(bool is_root) override;
+  void on_associated() override;
+  void on_frame(const Frame& frame) override;
+  void on_parent_changed(NodeId old_parent, NodeId new_parent) override;
+  void on_local_packet_generated() override {}
+  std::uint16_t advertised_free_rx() override { return 0; }
+  std::optional<EbPayload> eb_info() override;
+
+  /// Orchestra's hash: Contiki-NG uses (id * prime) % L.
+  static std::uint16_t hash(NodeId id, std::uint16_t modulus);
+
+  const OrchestraConfig& config() const { return config_; }
+
+ private:
+  ChannelOffset unicast_offset_for(NodeId receiver) const;
+  void install_unicast_tx(NodeId parent);
+
+  TschMac& mac_;
+  RplAgent& rpl_;
+  OrchestraConfig config_;
+  bool is_root_ = false;
+  NodeId eb_rx_source_ = kNoNode;
+};
+
+}  // namespace gttsch

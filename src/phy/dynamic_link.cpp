@@ -1,0 +1,58 @@
+#include "phy/dynamic_link.hpp"
+
+#include "util/check.hpp"
+
+namespace gttsch {
+
+DynamicLinkModel::DynamicLinkModel(const Simulator& sim, std::unique_ptr<LinkModel> base)
+    : sim_(sim), base_(std::move(base)) {
+  GTTSCH_CHECK(base_ != nullptr);
+}
+
+void DynamicLinkModel::override_prr(TimeUs at, NodeId tx, NodeId rx, double prr,
+                                    bool symmetric) {
+  overrides_.push_back(Override{at, tx, rx, prr});
+  if (symmetric) overrides_.push_back(Override{at, rx, tx, prr});
+}
+
+void DynamicLinkModel::kill_node(TimeUs at, NodeId id) {
+  kills_.push_back(NodeKill{at, id});
+}
+
+const DynamicLinkModel::Override* DynamicLinkModel::active_override(NodeId tx,
+                                                                    NodeId rx) const {
+  const TimeUs now = sim_.now();
+  const Override* best = nullptr;
+  for (const Override& o : overrides_) {
+    if (o.tx != tx || o.rx != rx || o.at > now) continue;
+    if (best == nullptr || o.at >= best->at) best = &o;
+  }
+  return best;
+}
+
+bool DynamicLinkModel::node_dead(NodeId id) const {
+  const TimeUs now = sim_.now();
+  for (const NodeKill& k : kills_)
+    if (k.id == id && k.at <= now) return true;
+  return false;
+}
+
+double DynamicLinkModel::prr(NodeId tx, const Position& tx_pos, NodeId rx,
+                             const Position& rx_pos) const {
+  if (node_dead(tx) || node_dead(rx)) return 0.0;
+  if (const Override* o = active_override(tx, rx)) return o->prr;
+  return base_->prr(tx, tx_pos, rx, rx_pos);
+}
+
+bool DynamicLinkModel::interferes(NodeId tx, const Position& tx_pos, NodeId rx,
+                                  const Position& rx_pos) const {
+  if (node_dead(tx)) return false;  // a dead radio emits nothing
+  // PRR overrides model fading on the communication link; interference
+  // reach follows the base geometry unless the link is fully dead.
+  if (const Override* o = active_override(tx, rx)) {
+    if (o->prr <= 0.0) return false;
+  }
+  return base_->interferes(tx, tx_pos, rx, rx_pos);
+}
+
+}  // namespace gttsch

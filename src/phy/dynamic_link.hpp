@@ -1,0 +1,57 @@
+// Time-varying link quality: wraps a base model with scheduled per-link
+// PRR overrides. Used for the paper's core motivation — "changes of the
+// wireless link quality" — in tests, examples, and failure-injection
+// scenarios (an override of 0 at time T models a link or node dying).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "phy/link_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace gttsch {
+
+class DynamicLinkModel final : public LinkModel {
+ public:
+  DynamicLinkModel(const Simulator& sim, std::unique_ptr<LinkModel> base);
+
+  /// From `at` onward, the (tx -> rx) link has the given PRR (and, if
+  /// symmetric, the reverse one too). Later overrides supersede earlier
+  /// ones; links without overrides follow the base model.
+  void override_prr(TimeUs at, NodeId tx, NodeId rx, double prr, bool symmetric = true);
+
+  /// From `at` onward, node `id` is silent in both directions (radio dead
+  /// at the medium level): PRR 0 and no interference from it.
+  void kill_node(TimeUs at, NodeId id);
+
+  double prr(NodeId tx, const Position& tx_pos, NodeId rx,
+             const Position& rx_pos) const override;
+  bool interferes(NodeId tx, const Position& tx_pos, NodeId rx,
+                  const Position& rx_pos) const override;
+
+  const LinkModel& base() const { return *base_; }
+
+ private:
+  struct Override {
+    TimeUs at;
+    NodeId tx;
+    NodeId rx;
+    double prr;
+  };
+  struct NodeKill {
+    TimeUs at;
+    NodeId id;
+  };
+
+  /// Latest active override for (tx, rx), if any.
+  const Override* active_override(NodeId tx, NodeId rx) const;
+  bool node_dead(NodeId id) const;
+
+  const Simulator& sim_;
+  std::unique_ptr<LinkModel> base_;
+  std::vector<Override> overrides_;  // kept in insertion order
+  std::vector<NodeKill> kills_;
+};
+
+}  // namespace gttsch

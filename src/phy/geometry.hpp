@@ -1,0 +1,21 @@
+// 2-D node placement used by the distance-based link models.
+#pragma once
+
+#include <cmath>
+
+namespace gttsch {
+
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Position&, const Position&) = default;
+};
+
+inline double distance(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace gttsch

@@ -1,0 +1,58 @@
+#include "phy/link_model.hpp"
+
+#include <algorithm>
+
+namespace gttsch {
+
+UnitDiskModel::UnitDiskModel(double range, double prr_in_range, double interference_factor)
+    : range_(range),
+      prr_in_range_(std::clamp(prr_in_range, 0.0, 1.0)),
+      interference_range_(range * interference_factor) {}
+
+double UnitDiskModel::prr(NodeId, const Position& a, NodeId, const Position& b) const {
+  return distance(a, b) <= range_ ? prr_in_range_ : 0.0;
+}
+
+bool UnitDiskModel::interferes(NodeId, const Position& a, NodeId, const Position& b) const {
+  return distance(a, b) <= interference_range_;
+}
+
+DistancePrrModel::DistancePrrModel(double full_range, double max_range,
+                                   double interference_factor)
+    : full_range_(full_range),
+      max_range_(std::max(max_range, full_range)),
+      interference_range_(max_range_ * interference_factor) {}
+
+double DistancePrrModel::prr(NodeId, const Position& a, NodeId, const Position& b) const {
+  const double d = distance(a, b);
+  if (d <= full_range_) return 1.0;
+  if (d >= max_range_) return 0.0;
+  return 1.0 - (d - full_range_) / (max_range_ - full_range_);
+}
+
+bool DistancePrrModel::interferes(NodeId, const Position& a, NodeId, const Position& b) const {
+  return distance(a, b) <= interference_range_;
+}
+
+void MatrixLinkModel::set(NodeId tx, NodeId rx, double prr, bool symmetric) {
+  prr_[{tx, rx}] = std::clamp(prr, 0.0, 1.0);
+  if (symmetric) prr_[{rx, tx}] = std::clamp(prr, 0.0, 1.0);
+}
+
+void MatrixLinkModel::set_interference(NodeId tx, NodeId rx, bool on, bool symmetric) {
+  interference_[{tx, rx}] = on;
+  if (symmetric) interference_[{rx, tx}] = on;
+}
+
+double MatrixLinkModel::prr(NodeId tx, const Position&, NodeId rx, const Position&) const {
+  const auto it = prr_.find({tx, rx});
+  return it == prr_.end() ? 0.0 : it->second;
+}
+
+bool MatrixLinkModel::interferes(NodeId tx, const Position&, NodeId rx, const Position&) const {
+  const auto it = interference_.find({tx, rx});
+  if (it != interference_.end()) return it->second;
+  return prr(tx, {}, rx, {}) > 0.0;
+}
+
+}  // namespace gttsch

@@ -1,0 +1,78 @@
+// Link-quality models: map a (sender, receiver) pair to a packet reception
+// ratio, and decide whether a sender's signal can interfere at a receiver.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "phy/geometry.hpp"
+#include "util/types.hpp"
+
+namespace gttsch {
+
+/// Abstract link model. PRR is per-frame reception probability on a clean
+/// channel; interference reach is typically >= communication reach.
+class LinkModel {
+ public:
+  virtual ~LinkModel() = default;
+
+  /// Probability that a frame from `tx` at `tx_pos` is decodable by `rx` at
+  /// `rx_pos` absent interference, in [0,1].
+  virtual double prr(NodeId tx, const Position& tx_pos, NodeId rx,
+                     const Position& rx_pos) const = 0;
+
+  /// True if energy from `tx` is strong enough at `rx` to corrupt a
+  /// concurrent reception (even if not decodable).
+  virtual bool interferes(NodeId tx, const Position& tx_pos, NodeId rx,
+                          const Position& rx_pos) const = 0;
+};
+
+/// Cooja-UDGM-style disk: PRR = `prr_in_range` within `range`, zero outside;
+/// interference extends to `range * interference_factor`.
+class UnitDiskModel final : public LinkModel {
+ public:
+  UnitDiskModel(double range, double prr_in_range = 1.0, double interference_factor = 1.5);
+
+  double prr(NodeId, const Position& a, NodeId, const Position& b) const override;
+  bool interferes(NodeId, const Position& a, NodeId, const Position& b) const override;
+
+  double range() const { return range_; }
+
+ private:
+  double range_;
+  double prr_in_range_;
+  double interference_range_;
+};
+
+/// Distance-graded PRR: perfect up to `full_range`, then linear decay to 0
+/// at `max_range` (the classic "grey region" of low-power radios).
+class DistancePrrModel final : public LinkModel {
+ public:
+  DistancePrrModel(double full_range, double max_range, double interference_factor = 1.5);
+
+  double prr(NodeId, const Position& a, NodeId, const Position& b) const override;
+  bool interferes(NodeId, const Position& a, NodeId, const Position& b) const override;
+
+ private:
+  double full_range_;
+  double max_range_;
+  double interference_range_;
+};
+
+/// Explicit per-link PRR table; anything not listed has PRR 0. Interference
+/// follows connectivity (links with PRR > 0 interfere). For unit tests.
+class MatrixLinkModel final : public LinkModel {
+ public:
+  void set(NodeId tx, NodeId rx, double prr, bool symmetric = true);
+  void set_interference(NodeId tx, NodeId rx, bool on, bool symmetric = true);
+
+  double prr(NodeId tx, const Position&, NodeId rx, const Position&) const override;
+  bool interferes(NodeId tx, const Position&, NodeId rx, const Position&) const override;
+
+ private:
+  std::map<std::pair<NodeId, NodeId>, double> prr_;
+  std::map<std::pair<NodeId, NodeId>, bool> interference_;
+};
+
+}  // namespace gttsch

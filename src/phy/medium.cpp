@@ -1,0 +1,115 @@
+#include "phy/medium.hpp"
+
+#include <algorithm>
+
+#include "sim/log.hpp"
+#include "util/check.hpp"
+
+namespace gttsch {
+
+Medium::Medium(Simulator& sim, std::unique_ptr<LinkModel> model, Rng rng)
+    : sim_(sim), model_(std::move(model)), rng_(rng) {
+  GTTSCH_CHECK(model_ != nullptr);
+}
+
+void Medium::attach(Radio* radio) {
+  GTTSCH_CHECK(radio != nullptr);
+  radios_[radio->id()] = radio;
+}
+
+void Medium::detach(NodeId id) { radios_.erase(id); }
+
+double Medium::link_prr(NodeId tx, NodeId rx) const {
+  const auto a = radios_.find(tx);
+  const auto b = radios_.find(rx);
+  if (a == radios_.end() || b == radios_.end()) return 0.0;
+  return model_->prr(tx, a->second->position(), rx, b->second->position());
+}
+
+void Medium::start_transmission(Radio& sender, FramePtr frame, PhysChannel channel) {
+  const TimeUs air = frame_airtime(frame->length_bytes);
+  const std::uint64_t id = next_tx_id_++;
+  in_flight_.push_back(
+      Transmission{id, sender.id(), std::move(frame), channel, sim_.now(), sim_.now() + air});
+  ++stats_.transmissions;
+  sim_.after(air, [this, id] { finish_transmission(id); });
+}
+
+bool Medium::suffers_collision(const Transmission& tx, const Radio& rx) const {
+  for (const auto& other : in_flight_) {
+    if (other.id == tx.id) continue;
+    if (other.channel != tx.channel) continue;
+    if (other.sender == rx.id()) continue;  // a radio cannot jam itself here:
+    // it would be transmitting, and the listening check already failed.
+    const bool overlap = other.start < tx.end && tx.start < other.end;
+    if (!overlap) continue;
+    const auto it = radios_.find(other.sender);
+    if (it == radios_.end()) continue;
+    if (model_->interferes(other.sender, it->second->position(), rx.id(), rx.position()))
+      return true;
+  }
+  return false;
+}
+
+TimeUs Medium::busy_until(NodeId listener, PhysChannel channel) const {
+  const auto lit = radios_.find(listener);
+  if (lit == radios_.end()) return 0;
+  const Position& lpos = lit->second->position();
+  TimeUs latest = 0;
+  for (const auto& tx : in_flight_) {
+    if (tx.channel != channel) continue;
+    if (tx.sender == listener) continue;
+    if (tx.end <= sim_.now()) continue;
+    const auto sit = radios_.find(tx.sender);
+    if (sit == radios_.end()) continue;
+    const Position& spos = sit->second->position();
+    if (model_->prr(tx.sender, spos, listener, lpos) > 0.0 ||
+        model_->interferes(tx.sender, spos, listener, lpos)) {
+      latest = std::max(latest, tx.end);
+    }
+  }
+  return latest;
+}
+
+void Medium::finish_transmission(std::uint64_t tx_id) {
+  const auto it = std::find_if(in_flight_.begin(), in_flight_.end(),
+                               [tx_id](const Transmission& t) { return t.id == tx_id; });
+  GTTSCH_CHECK(it != in_flight_.end());
+  const Transmission tx = *it;  // copy: delivery callbacks may mutate the list
+
+  const auto sender_it = radios_.find(tx.sender);
+  Radio* sender = sender_it == radios_.end() ? nullptr : sender_it->second;
+
+  for (auto& [rid, radio] : radios_) {
+    if (rid == tx.sender) continue;
+    // Receiver must have been listening on the right channel for the whole
+    // frame (preamble included).
+    if (radio->state() != RadioState::kListening) continue;
+    if (radio->channel() != tx.channel) continue;
+    if (radio->listening_since() > tx.start) continue;
+    const Position& rx_pos = radio->position();
+    const Position& tx_pos = sender != nullptr ? sender->position() : Position{};
+    const double p = model_->prr(tx.sender, tx_pos, rid, rx_pos);
+    if (p <= 0.0) continue;  // out of communication range entirely
+    if (suffers_collision(tx, *radio)) {
+      ++stats_.collision_losses;
+      GTTSCH_LOG_DEBUG("medium", "collision at node %u (frame %s from %u)", rid,
+                       frame_type_name(tx.frame->type), tx.sender);
+      continue;
+    }
+    if (!rng_.bernoulli(p)) {
+      ++stats_.prr_losses;
+      continue;
+    }
+    ++stats_.deliveries;
+    radio->medium_deliver(tx.frame);
+  }
+
+  // Prune transmissions that can no longer overlap anything in flight.
+  const TimeUs horizon = sim_.now() - 20000;
+  std::erase_if(in_flight_, [&](const Transmission& t) { return t.end < horizon; });
+
+  if (sender != nullptr) sender->medium_tx_finished();
+}
+
+}  // namespace gttsch

@@ -1,0 +1,71 @@
+// The shared wireless medium: transports frames between radios, resolving
+// per-receiver outcomes (link loss, collisions, hidden terminals).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "phy/link_model.hpp"
+#include "phy/radio.hpp"
+#include "phy/wire.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace gttsch {
+
+/// Aggregate medium statistics (useful for tests and the channel-allocation
+/// ablation: GT-TSCH's claim is precisely that collisions vanish).
+struct MediumStats {
+  std::uint64_t transmissions = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t collision_losses = 0;  ///< receiver lost frame to interference
+  std::uint64_t prr_losses = 0;        ///< receiver lost frame to link quality
+};
+
+class Medium {
+ public:
+  Medium(Simulator& sim, std::unique_ptr<LinkModel> model, Rng rng);
+
+  void attach(Radio* radio);
+  void detach(NodeId id);
+
+  /// Called by Radio::transmit. Takes care of completion and delivery.
+  void start_transmission(Radio& sender, FramePtr frame, PhysChannel channel);
+
+  const MediumStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = MediumStats{}; }
+
+  /// Latest end time of any in-flight transmission on `channel` audible at
+  /// `listener` (carrier sense). Returns 0 when the channel is clear.
+  TimeUs busy_until(NodeId listener, PhysChannel channel) const;
+
+  const LinkModel& link_model() const { return *model_; }
+
+  /// PRR between two attached radios under the current model (testing aid).
+  double link_prr(NodeId tx, NodeId rx) const;
+
+ private:
+  struct Transmission {
+    std::uint64_t id;
+    NodeId sender;
+    FramePtr frame;
+    PhysChannel channel;
+    TimeUs start;
+    TimeUs end;
+  };
+
+  void finish_transmission(std::uint64_t tx_id);
+  bool suffers_collision(const Transmission& tx, const Radio& rx) const;
+
+  Simulator& sim_;
+  std::unique_ptr<LinkModel> model_;
+  Rng rng_;
+  std::map<NodeId, Radio*> radios_;
+  std::vector<Transmission> in_flight_;  // includes recently-ended, pruned lazily
+  std::uint64_t next_tx_id_ = 1;
+  MediumStats stats_;
+};
+
+}  // namespace gttsch

@@ -1,0 +1,97 @@
+#include "phy/wire.hpp"
+
+namespace gttsch {
+
+std::uint16_t default_frame_length(FrameType type) {
+  switch (type) {
+    case FrameType::kData: return 110;  // 6LoWPAN-compressed UDP sample
+    case FrameType::kEb: return 52;     // EB with sync + GT-TSCH channel IE
+    case FrameType::kDio: return 84;    // DIO with MRHOF + l^rx option
+    case FrameType::kDis: return 30;    // bare solicitation
+    case FrameType::kSixp: return 40;   // 6P header + short cell list
+    case FrameType::kAck: return 26;    // enhanced ACK
+  }
+  return 64;
+}
+
+namespace {
+FramePtr finish(Frame f) {
+  if (f.length_bytes == 0) f.length_bytes = default_frame_length(f.type);
+  return std::make_shared<const Frame>(std::move(f));
+}
+}  // namespace
+
+FramePtr make_data_frame(NodeId src, NodeId dst, DataPayload p) {
+  Frame f;
+  f.type = FrameType::kData;
+  f.src = src;
+  f.dst = dst;
+  f.payload = p;
+  return finish(std::move(f));
+}
+
+FramePtr make_eb_frame(NodeId src, EbPayload p) {
+  Frame f;
+  f.type = FrameType::kEb;
+  f.src = src;
+  f.dst = kBroadcastId;
+  f.payload = p;
+  return finish(std::move(f));
+}
+
+FramePtr make_dio_frame(NodeId src, DioPayload p) {
+  Frame f;
+  f.type = FrameType::kDio;
+  f.src = src;
+  f.dst = kBroadcastId;
+  f.payload = p;
+  return finish(std::move(f));
+}
+
+FramePtr make_dis_frame(NodeId src) {
+  Frame f;
+  f.type = FrameType::kDis;
+  f.src = src;
+  f.dst = kBroadcastId;
+  f.payload = DisPayload{};
+  return finish(std::move(f));
+}
+
+FramePtr make_sixp_frame(NodeId src, NodeId dst, SixpPayload p) {
+  Frame f;
+  f.type = FrameType::kSixp;
+  f.src = src;
+  f.dst = dst;
+  // A 6P frame grows with its cell list (4 bytes per encoded cell).
+  f.length_bytes =
+      static_cast<std::uint16_t>(default_frame_length(FrameType::kSixp) + 4 * p.cell_list.size());
+  f.payload = std::move(p);
+  return finish(std::move(f));
+}
+
+FramePtr make_ack_frame(NodeId src, NodeId dst) {
+  Frame f;
+  f.type = FrameType::kAck;
+  f.src = src;
+  f.dst = dst;
+  f.payload = AckPayload{};
+  return finish(std::move(f));
+}
+
+TimeUs frame_airtime(std::uint16_t length_bytes) {
+  return 192 + static_cast<TimeUs>(length_bytes) * 32;
+}
+
+const char* frame_type_name(FrameType type) {
+  switch (type) {
+    case FrameType::kData: return "DATA";
+    case FrameType::kEb: return "EB";
+    case FrameType::kDio: return "DIO";
+    case FrameType::kDis: return "DIS";
+    case FrameType::kSixp: return "6P";
+    case FrameType::kAck: return "ACK";
+  }
+  return "?";
+}
+
+}  // namespace gttsch

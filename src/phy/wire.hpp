@@ -1,0 +1,175 @@
+// Wire-level message definitions shared by all layers.
+//
+// These are plain data carriers: the MAC, RPL, and 6P logic live in their
+// own modules; this header only pins down what crosses the (simulated) air.
+// Keeping every payload in one variant keeps layer dependencies acyclic —
+// the medium transports `Frame`s without knowing what is inside them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gttsch {
+
+// ---------------------------------------------------------------------------
+// TSCH cells (also part of the 6P wire format, RFC 8480 CellList).
+// ---------------------------------------------------------------------------
+
+/// Link-option bits, mirroring IEEE 802.15.4e.
+enum CellOption : std::uint8_t {
+  kCellTx = 1u << 0,
+  kCellRx = 1u << 1,
+  kCellShared = 1u << 2,
+  /// Cell dedicated to 6P signalling (GT-TSCH "Unicast-6P" type).
+  kCellSixp = 1u << 3,
+};
+
+/// One entry of the CDU matrix: (timeslot offset, channel offset) plus role.
+struct Cell {
+  std::uint16_t slot_offset = 0;
+  ChannelOffset channel_offset = 0;
+  std::uint8_t options = 0;  // CellOption bitmask
+  /// Unicast peer, or kBroadcastId for broadcast/any-sender cells.
+  NodeId neighbor = kBroadcastId;
+
+  bool is_tx() const { return options & kCellTx; }
+  bool is_rx() const { return options & kCellRx; }
+  bool is_shared() const { return options & kCellShared; }
+  bool is_sixp() const { return options & kCellSixp; }
+
+  friend bool operator==(const Cell&, const Cell&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Frame payloads.
+// ---------------------------------------------------------------------------
+
+enum class FrameType : std::uint8_t { kData, kEb, kDio, kDis, kSixp, kAck };
+
+/// Application data (convergecast sample travelling toward a DODAG root).
+struct DataPayload {
+  NodeId origin = kNoNode;    ///< node that generated the packet
+  std::uint32_t seq = 0;      ///< per-origin sequence number
+  TimeUs generated_at = 0;    ///< for end-to-end delay measurement
+  std::uint8_t hops = 0;      ///< incremented per forwarding hop
+};
+
+/// TSCH Enhanced Beacon. Carries synchronisation info plus — GT-TSCH
+/// extension — the channel offset children of the sender must use to reach
+/// it (f_{sender,cs}), piggybacked per Section III of the paper.
+struct EbPayload {
+  Asn asn = 0;                      ///< ASN of the slot this EB is sent in
+  std::uint8_t join_priority = 0;   ///< hops from the DODAG root
+  std::uint16_t slotframe_length = 0;
+  bool has_family_channel = false;  ///< GT-TSCH: f_{sender,cs} present?
+  ChannelOffset family_channel = 0;
+  NodeId dodag_root = kNoNode;
+};
+
+/// RPL DODAG Information Object (the subset the scheduler consumes), plus
+/// the paper's new option: the sender's free Rx-cell count l^rx.
+struct DioPayload {
+  NodeId dodag_root = kNoNode;
+  std::uint16_t rank = 0;
+  std::uint16_t min_hop_rank_increase = 256;
+  /// GT-TSCH DIO option: Rx cells the sender can still grant (l^rx_{p}).
+  std::uint16_t free_rx_cells = 0;
+  std::uint8_t dio_interval_doublings = 0;
+};
+
+/// 6top protocol commands (RFC 8480) + the paper's ASK-CHANNEL (0x0A).
+enum class SixpCommand : std::uint8_t {
+  kAdd = 1,
+  kDelete = 2,
+  kClear = 5,
+  kAskChannel = 0x0A,
+};
+
+enum class SixpMsgType : std::uint8_t { kRequest, kResponse };
+
+enum class SixpReturnCode : std::uint8_t {
+  kSuccess = 0,
+  kErr,
+  kErrSeqnum,
+  kErrBusy,
+  kErrNoResource,
+};
+
+struct SixpPayload {
+  SixpMsgType type = SixpMsgType::kRequest;
+  SixpCommand command = SixpCommand::kAdd;
+  SixpReturnCode code = SixpReturnCode::kSuccess;  // responses only
+  std::uint8_t seqnum = 0;
+  /// ADD/DELETE: requested cell count (requests) / granted cells (responses).
+  std::uint8_t num_cells = 0;
+  /// ADD requests: CellOption bits of the requested cells (kCellSixp for
+  /// the dedicated signalling pair, kCellTx for Unicast-Data cells).
+  std::uint8_t cell_options = 0;
+  /// Cells are always expressed from the *requester's* perspective; the
+  /// responder installs the mirrored (Tx<->Rx swapped) cells.
+  std::vector<Cell> cell_list;
+  /// ASK-CHANNEL response: channel offset for the requester's children.
+  ChannelOffset channel_offset = 0;
+  /// ASK-CHANNEL response: the requester's DAG level (parent level + 1),
+  /// selecting the parity of its family's shared-cell block.
+  std::uint8_t level = 0;
+  /// Responses: the responder's current free Rx capacity, piggybacked so
+  /// children track l^rx between (possibly sparse) DIOs.
+  std::uint16_t free_rx = 0;
+};
+
+/// RPL DODAG Information Solicitation: a joining node asks neighbors to
+/// reset their DIO trickle so it does not wait out a mature interval.
+struct DisPayload {};
+
+struct AckPayload {};
+
+// ---------------------------------------------------------------------------
+// Frame.
+// ---------------------------------------------------------------------------
+
+struct Frame {
+  FrameType type = FrameType::kData;
+  NodeId src = kNoNode;
+  NodeId dst = kBroadcastId;
+  std::uint16_t length_bytes = 0;  ///< MAC frame length incl. headers
+  /// Per-sender MAC sequence number; set by the MAC at enqueue time and
+  /// reused across retransmissions so receivers can discard duplicates.
+  std::uint32_t mac_seq = 0;
+  std::variant<DataPayload, EbPayload, DioPayload, DisPayload, SixpPayload, AckPayload>
+      payload;
+
+  template <typename T>
+  const T& as() const {
+    return std::get<T>(payload);
+  }
+  template <typename T>
+  const T* get_if() const {
+    return std::get_if<T>(&payload);
+  }
+};
+
+using FramePtr = std::shared_ptr<const Frame>;
+
+/// Default encoded lengths (bytes, incl. MAC header) per frame type.
+/// Data frames model a compressed 6LoWPAN/UDP sample near the 127 B cap.
+std::uint16_t default_frame_length(FrameType type);
+
+/// Frame factory helpers; length defaults from default_frame_length().
+FramePtr make_data_frame(NodeId src, NodeId dst, DataPayload p);
+FramePtr make_eb_frame(NodeId src, EbPayload p);
+FramePtr make_dio_frame(NodeId src, DioPayload p);
+FramePtr make_dis_frame(NodeId src);
+FramePtr make_sixp_frame(NodeId src, NodeId dst, SixpPayload p);
+FramePtr make_ack_frame(NodeId src, NodeId dst);
+
+/// IEEE 802.15.4 O-QPSK at 250 kbit/s: 32 us per byte + 192 us preamble/SFD.
+TimeUs frame_airtime(std::uint16_t length_bytes);
+
+const char* frame_type_name(FrameType type);
+
+}  // namespace gttsch

@@ -1,0 +1,145 @@
+#include "scenario/experiment.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace gttsch {
+
+NodeStackConfig ScenarioConfig::make_node_config() const {
+  using namespace literals;
+  NodeStackConfig nc;
+  nc.scheduler = scheduler;
+
+  // MAC per Table II: 15 ms slots, sequence {17,23,15,25,19,11,13,21},
+  // EB period 2 s, 4 retransmissions.
+  nc.mac.timing.slot_duration = 15_ms;
+  nc.mac.eb_period = 2_s;
+  nc.mac.max_retries = 4;
+  nc.mac.data_queue_capacity = queue_capacity;
+
+  // RPL: MRHOF-style ETX objective.
+  nc.rpl.min_hop_rank_increase = 256;
+  nc.rpl.root_rank = 256;
+
+  // GT-TSCH layout: broadcast slots scale with the slotframe (m/8), three
+  // shared slots per family (ceil(max_children/2) with |F|=8 -> 5 children).
+  nc.gt.layout.length = gt_slotframe_length;
+  nc.gt.layout.broadcast_slots =
+      std::max<std::uint16_t>(2, static_cast<std::uint16_t>(gt_slotframe_length / 8));
+  nc.gt.layout.shared_slots = 3;
+  nc.gt.broadcast_offset = 0;
+  nc.gt.queue_max = static_cast<double>(queue_capacity);
+  nc.gt.load_balancer.weights = game::Weights{alpha, beta, gamma};
+  nc.gt.placement_rules.tx_margin = enforce_tx_margin;
+  nc.gt.placement_rules.interleave = enforce_interleave;
+
+  nc.orchestra.unicast_slotframe_length = orchestra_unicast_length;
+
+  nc.app_rate_ppm = traffic_ppm;
+  nc.app_start = std::max<TimeUs>(5_s, warmup / 3);
+  nc.app_end = warmup + measure;
+  return nc;
+}
+
+TopologySpec ScenarioConfig::make_topology() const {
+  return build_multi_dodag(dodag_count, nodes_per_dodag, hop_distance);
+}
+
+ExperimentResult run_scenario(const ScenarioConfig& config) {
+  GTTSCH_CHECK(config.measure > 0);
+  const TimeUs measure_end = config.warmup + config.measure;
+
+  RunStats stats(config.warmup, measure_end);
+  auto link_model = std::make_unique<UnitDiskModel>(config.radio_range, config.link_prr,
+                                                    config.interference_factor);
+  Network net(config.seed, std::move(link_model), config.make_topology(),
+              config.make_node_config(), &stats);
+
+  net.sim().at(config.warmup, [&stats] { stats.begin_measurement(); });
+  net.sim().at(measure_end, [&stats] { stats.end_measurement(); });
+
+  net.start();
+  net.medium().reset_stats();  // formation noise excluded below via snapshot
+  net.sim().run_until(config.warmup);
+  const MediumStats at_warmup = net.medium().stats();
+  net.sim().run_until(measure_end + config.drain);
+
+  // Mark join state for the report.
+  for (const auto& [id, node] : net.nodes())
+    stats.set_joined(id, node->is_root() || node->rpl().joined());
+
+  ExperimentResult result;
+  result.metrics = stats.finalize();
+  MediumStats window = net.medium().stats();
+  window.transmissions -= at_warmup.transmissions;
+  window.deliveries -= at_warmup.deliveries;
+  window.collision_losses -= at_warmup.collision_losses;
+  window.prr_losses -= at_warmup.prr_losses;
+  result.medium = window;
+  result.fully_formed = net.fully_formed();
+  return result;
+}
+
+AveragedMetrics run_averaged(ScenarioConfig config,
+                             const std::vector<std::uint64_t>& seeds) {
+  GTTSCH_CHECK(!seeds.empty());
+  AveragedMetrics out;
+  RunMetrics sum;
+  for (const std::uint64_t seed : seeds) {
+    config.seed = seed;
+    const ExperimentResult r = run_scenario(config);
+    sum.pdr_percent += r.metrics.pdr_percent;
+    sum.avg_delay_ms += r.metrics.avg_delay_ms;
+    sum.p95_delay_ms += r.metrics.p95_delay_ms;
+    sum.loss_per_minute += r.metrics.loss_per_minute;
+    sum.duty_cycle_percent += r.metrics.duty_cycle_percent;
+    sum.queue_loss_per_node += r.metrics.queue_loss_per_node;
+    sum.throughput_per_minute += r.metrics.throughput_per_minute;
+    sum.generated += r.metrics.generated;
+    sum.delivered += r.metrics.delivered;
+    sum.queue_drops += r.metrics.queue_drops;
+    sum.mac_drops += r.metrics.mac_drops;
+    sum.no_route_drops += r.metrics.no_route_drops;
+    sum.mean_hops += r.metrics.mean_hops;
+    sum.measure_minutes += r.metrics.measure_minutes;
+    sum.nodes_joined += r.metrics.nodes_joined;
+    sum.node_count = r.metrics.node_count;
+    out.medium_sum.transmissions += r.medium.transmissions;
+    out.medium_sum.deliveries += r.medium.deliveries;
+    out.medium_sum.collision_losses += r.medium.collision_losses;
+    out.medium_sum.prr_losses += r.medium.prr_losses;
+    if (r.fully_formed) ++out.fully_formed_runs;
+    ++out.runs;
+  }
+  const double n = static_cast<double>(out.runs);
+  out.mean = sum;
+  out.mean.pdr_percent /= n;
+  out.mean.avg_delay_ms /= n;
+  out.mean.p95_delay_ms /= n;
+  out.mean.loss_per_minute /= n;
+  out.mean.duty_cycle_percent /= n;
+  out.mean.queue_loss_per_node /= n;
+  out.mean.throughput_per_minute /= n;
+  out.mean.mean_hops /= n;
+  out.mean.measure_minutes /= n;
+  return out;
+}
+
+std::vector<std::uint64_t> default_seeds() {
+  int count = 3;
+  if (const char* env = std::getenv("GTTSCH_SEEDS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0 && parsed <= 64) count = parsed;
+  }
+  std::vector<std::uint64_t> seeds;
+  for (int i = 0; i < count; ++i) seeds.push_back(1000 + 17ull * static_cast<std::uint64_t>(i));
+  return seeds;
+}
+
+const char* scheduler_name(SchedulerKind kind) {
+  return kind == SchedulerKind::kGtTsch ? "GT-TSCH" : "Orchestra";
+}
+
+}  // namespace gttsch

@@ -1,0 +1,85 @@
+// Experiment runner: turns a declarative ScenarioConfig (Table II settings,
+// topology, traffic, scheduler) into seed-averaged RunMetrics — the engine
+// behind every figure-reproduction bench.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/network.hpp"
+
+namespace gttsch {
+
+struct ScenarioConfig {
+  SchedulerKind scheduler = SchedulerKind::kGtTsch;
+
+  // Topology.
+  int dodag_count = 2;
+  int nodes_per_dodag = 7;
+  double hop_distance = 30.0;
+
+  // Radio / medium.
+  double radio_range = 40.0;
+  double interference_factor = 1.6;
+  double link_prr = 1.0;
+
+  // Traffic (per non-root node).
+  double traffic_ppm = 30.0;
+
+  // Schedules. GT-TSCH uses one slotframe of gt_slotframe_length; per the
+  // paper's fairness rule (Section VIII) it is 4x Orchestra's unicast
+  // slotframe length in the Fig 10 sweep.
+  std::uint16_t gt_slotframe_length = 32;
+  std::uint16_t orchestra_unicast_length = 8;
+
+  // Queueing (Q_Max).
+  std::size_t queue_capacity = 16;
+
+  // Game weights (alpha, beta, gamma).
+  double alpha = 4.0;
+  double beta = 1.0;
+  double gamma = 1.0;
+
+  // Section V placement-rule toggles (for the ablation bench).
+  bool enforce_tx_margin = true;
+  bool enforce_interleave = true;
+
+  // Timing.
+  TimeUs warmup = 180000000;    ///< formation + settling
+  TimeUs measure = 300000000;   ///< measurement window length
+  TimeUs drain = 10000000;      ///< run-out so in-flight packets arrive
+
+  std::uint64_t seed = 1;
+
+  /// Derived: Table-II-style MAC settings for this scenario.
+  NodeStackConfig make_node_config() const;
+  TopologySpec make_topology() const;
+};
+
+/// One run (single seed). Exposes the end-state network for inspection.
+struct ExperimentResult {
+  RunMetrics metrics;
+  MediumStats medium;
+  bool fully_formed = false;
+};
+
+ExperimentResult run_scenario(const ScenarioConfig& config);
+
+/// Averages the panel metrics over `seeds` runs of the same scenario.
+struct AveragedMetrics {
+  RunMetrics mean;          ///< each field averaged over seeds
+  MediumStats medium_sum;   ///< summed medium counters
+  int runs = 0;
+  int fully_formed_runs = 0;
+};
+
+AveragedMetrics run_averaged(ScenarioConfig config, const std::vector<std::uint64_t>& seeds);
+
+/// Default seed list used by the figure benches (override length with the
+/// GTTSCH_SEEDS environment variable).
+std::vector<std::uint64_t> default_seeds();
+
+const char* scheduler_name(SchedulerKind kind);
+
+}  // namespace gttsch

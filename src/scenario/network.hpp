@@ -1,0 +1,54 @@
+// Network: a simulator, a shared medium and a set of Nodes built from a
+// TopologySpec — the unit a scenario runs.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "phy/medium.hpp"
+#include "scenario/node.hpp"
+#include "scenario/topology.hpp"
+#include "sim/simulator.hpp"
+#include "stats/run_stats.hpp"
+
+namespace gttsch {
+
+class Network {
+ public:
+  /// Factory for link models that need the network's simulator (e.g.
+  /// DynamicLinkModel reading the clock for failure injection).
+  using LinkModelFactory = std::function<std::unique_ptr<LinkModel>(Simulator&)>;
+
+  /// `link_model` ownership moves in; `stats` may be null (tests).
+  Network(std::uint64_t seed, std::unique_ptr<LinkModel> link_model,
+          const TopologySpec& topology, const NodeStackConfig& node_config,
+          RunStats* stats);
+
+  /// Same, but the model is built against this network's simulator.
+  Network(std::uint64_t seed, const LinkModelFactory& factory,
+          const TopologySpec& topology, const NodeStackConfig& node_config,
+          RunStats* stats);
+
+  /// Boots every node (roots first) — call once, then run the simulator.
+  void start();
+
+  Simulator& sim() { return sim_; }
+  Medium& medium() { return medium_; }
+  Node& node(NodeId id);
+  const std::map<NodeId, std::unique_ptr<Node>>& nodes() const { return nodes_; }
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Number of non-root nodes currently joined to a DODAG.
+  std::size_t joined_count() const;
+
+  /// True when every non-root node has an RPL parent and an associated MAC.
+  bool fully_formed() const;
+
+ private:
+  Simulator sim_;
+  Medium medium_;
+  std::map<NodeId, std::unique_ptr<Node>> nodes_;
+  RunStats* stats_;
+};
+
+}  // namespace gttsch

@@ -1,0 +1,165 @@
+#include "scenario/node.hpp"
+
+#include "sim/log.hpp"
+#include "util/check.hpp"
+
+namespace gttsch {
+
+namespace {
+/// Instantiate this node's MAC config, drawing its oscillator error.
+MacConfig node_mac_config(const NodeStackConfig& config, Rng rng) {
+  MacConfig mc = config.mac;
+  if (config.max_drift_ppm > 0.0) {
+    mc.drift_ppm =
+        rng.fork(0xD81F).uniform_double(-config.max_drift_ppm, config.max_drift_ppm);
+  }
+  return mc;
+}
+}  // namespace
+
+Node::Node(Simulator& sim, Medium& medium, const NodeSpec& spec,
+           const NodeStackConfig& config, RunStats* stats, Rng rng)
+    : sim_(sim),
+      id_(spec.id),
+      is_root_(spec.is_root),
+      stats_(stats),
+      rng_(rng),
+      radio_(sim, medium, spec.id, spec.pos),
+      mac_(sim, medium, radio_, node_mac_config(config, rng), rng.fork(0x3AC)),
+      etx_(),
+      rpl_(sim, mac_, etx_, config.rpl, rng.fork(0x491)),
+      sixp_(sim, mac_),
+      app_(sim, rng.fork(0xA99), spec.is_root ? 0.0 : config.app_rate_ppm,
+           [this] { generate_packet(); }),
+      app_start_(config.app_start),
+      max_scan_start_delay_(config.max_scan_start_delay) {
+  mac_.set_upcalls(this);
+  rpl_.set_callbacks(this);
+  if (config.scheduler == SchedulerKind::kGtTsch) {
+    auto sf = std::make_unique<GtTschSf>(sim, mac_, rpl_, sixp_, etx_, config.gt,
+                                         rng.fork(0x67));
+    gt_sf_ = sf.get();
+    sf_ = std::move(sf);
+  } else {
+    sf_ = std::make_unique<OrchestraSf>(mac_, rpl_, config.orchestra);
+  }
+  if (config.app_end != 0) app_.set_end_time(config.app_end);
+}
+
+Node::~Node() = default;
+
+void Node::start() {
+  sf_->start(is_root_);
+  if (is_root_) {
+    rpl_.start_as_root();
+    mac_.start_as_root();
+  } else {
+    rpl_.start();
+    const TimeUs delay = static_cast<TimeUs>(
+        rng_.uniform(static_cast<std::uint64_t>(std::max<TimeUs>(1, max_scan_start_delay_))));
+    sim_.after(delay, [this] { mac_.start_scanning(); });
+  }
+  app_.start(app_start_);
+}
+
+void Node::fail() {
+  failed_ = true;
+  app_.stop();
+  mac_.shutdown();
+}
+
+void Node::mac_associated(Asn, const Frame&) {
+  sf_->on_associated();
+  rpl_.start_soliciting();
+}
+
+void Node::mac_frame_received(const Frame& frame) {
+  // SF-specific sniffing sees everything (GT-TSCH learns channels from EBs
+  // and l^rx from DIOs).
+  sf_->on_frame(frame);
+  switch (frame.type) {
+    case FrameType::kData:
+      handle_data(frame);
+      break;
+    case FrameType::kDio:
+      rpl_.on_dio(frame);
+      break;
+    case FrameType::kDis:
+      rpl_.on_dis(frame);
+      break;
+    case FrameType::kSixp:
+      sixp_.on_frame(frame);
+      break;
+    case FrameType::kEb:
+    case FrameType::kAck:
+      break;
+  }
+}
+
+void Node::mac_tx_result(const Frame& frame, bool acked, int attempts) {
+  if (frame.dst == kBroadcastId) return;
+  rpl_.on_tx_result(frame.dst, acked, attempts);
+  if (!acked && frame.type == FrameType::kData && stats_ != nullptr)
+    stats_->on_mac_drop(id_, sim_.now());
+}
+
+void Node::rpl_parent_changed(NodeId old_parent, NodeId new_parent) {
+  if (old_parent != kNoNode) {
+    if (new_parent != kNoNode) {
+      mac_.queues().retarget(old_parent, new_parent);
+    } else {
+      // Detached (local repair): the backlog has nowhere to go.
+      const std::size_t dropped = mac_.queues().drop_queue(old_parent);
+      if (stats_ != nullptr)
+        for (std::size_t i = 0; i < dropped; ++i) stats_->on_no_route(id_, sim_.now());
+    }
+  }
+  sixp_.abort_peer(old_parent);
+  sf_->on_parent_changed(old_parent, new_parent);
+  if (stats_ != nullptr) stats_->set_joined(id_, new_parent != kNoNode);
+}
+
+void Node::rpl_rank_changed(std::uint16_t) {}
+
+void Node::generate_packet() {
+  GTTSCH_CHECK(!is_root_);
+  ++app_generated_;
+  sf_->on_local_packet_generated();
+  const NodeId parent = rpl_.parent();
+  if (stats_ != nullptr) stats_->on_generated(id_, sim_.now());
+  if (parent == kNoNode || !mac_.associated()) {
+    if (stats_ != nullptr) stats_->on_no_route(id_, sim_.now());
+    return;
+  }
+  DataPayload data;
+  data.origin = id_;
+  data.seq = app_seq_++;
+  data.generated_at = sim_.now();
+  data.hops = 0;
+  if (!mac_.enqueue(make_data_frame(id_, parent, data))) {
+    if (stats_ != nullptr) stats_->on_queue_drop(id_, sim_.now());
+  }
+}
+
+void Node::handle_data(const Frame& frame) {
+  const DataPayload& data = frame.as<DataPayload>();
+  if (is_root_) {
+    if (stats_ != nullptr) stats_->on_delivered(id_, data, sim_.now());
+    return;
+  }
+  // Forward upward.
+  const NodeId parent = rpl_.parent();
+  if (parent == kNoNode) {
+    if (stats_ != nullptr) stats_->on_no_route(id_, sim_.now());
+    return;
+  }
+  DataPayload fwd = data;
+  fwd.hops = static_cast<std::uint8_t>(data.hops + 1);
+  if (!mac_.enqueue(make_data_frame(id_, parent, fwd))) {
+    if (stats_ != nullptr) stats_->on_queue_drop(id_, sim_.now());
+    return;
+  }
+  if (stats_ != nullptr) stats_->on_forwarded(id_, sim_.now());
+}
+
+}  // namespace gttsch

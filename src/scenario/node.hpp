@@ -1,0 +1,110 @@
+// The full per-node protocol stack: radio + TSCH MAC + RPL + 6P + a
+// scheduling function (GT-TSCH or Orchestra) + application traffic.
+// This is the integration layer that dispatches MAC upcalls to the right
+// protocol module and implements convergecast forwarding.
+#pragma once
+
+#include <memory>
+
+#include "app/traffic.hpp"
+#include "core/gt_tsch_sf.hpp"
+#include "mac/tsch_mac.hpp"
+#include "net/rpl.hpp"
+#include "orchestra/orchestra_sf.hpp"
+#include "phy/medium.hpp"
+#include "scenario/topology.hpp"
+#include "sixp/sf.hpp"
+#include "sixp/sixp.hpp"
+#include "stats/run_stats.hpp"
+
+namespace gttsch {
+
+enum class SchedulerKind { kGtTsch, kOrchestra };
+
+struct NodeStackConfig {
+  SchedulerKind scheduler = SchedulerKind::kGtTsch;
+  MacConfig mac;
+  RplConfig rpl;
+  GtTschConfig gt;
+  OrchestraConfig orchestra;
+  double app_rate_ppm = 0.0;  ///< 0 = no local traffic (roots)
+  TimeUs app_start = 5000000;
+  TimeUs app_end = 0;  ///< absolute; 0 = run forever
+  /// Non-root nodes begin scanning after a random delay below this bound.
+  TimeUs max_scan_start_delay = 2000000;
+  /// Per-node oscillator error drawn uniformly from [-max, +max] ppm
+  /// (0 = perfect clocks). EB time corrections keep drifted nodes aligned.
+  double max_drift_ppm = 0.0;
+};
+
+class Node final : public MacUpcalls, public RplCallbacks {
+ public:
+  Node(Simulator& sim, Medium& medium, const NodeSpec& spec, const NodeStackConfig& config,
+       RunStats* stats, Rng rng);
+  ~Node() override;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Boot the stack (roots start the TSCH network; others scan).
+  void start();
+
+  /// Simulate node failure: the stack halts and the radio goes silent.
+  /// Pair with DynamicLinkModel::kill_node so in-flight frames die too.
+  void fail();
+
+  bool failed() const { return failed_; }
+
+  /// Relocate the node (mobility). Takes effect for all subsequent
+  /// transmissions; link qualities follow the distance-based model.
+  void move_to(Position pos) { radio_.set_position(pos); }
+  const Position& position() const { return radio_.position(); }
+
+  NodeId id() const { return id_; }
+  bool is_root() const { return is_root_; }
+
+  Radio& radio() { return radio_; }
+  TschMac& mac() { return mac_; }
+  RplAgent& rpl() { return rpl_; }
+  SixpAgent& sixp() { return sixp_; }
+  EtxEstimator& etx() { return etx_; }
+  SchedulingFunction& sf() { return *sf_; }
+  GtTschSf* gt_sf() { return gt_sf_; }
+
+  std::uint64_t app_generated() const { return app_generated_; }
+
+  // MacUpcalls:
+  void mac_associated(Asn asn, const Frame& eb) override;
+  void mac_frame_received(const Frame& frame) override;
+  void mac_tx_result(const Frame& frame, bool acked, int attempts) override;
+
+  // RplCallbacks:
+  void rpl_parent_changed(NodeId old_parent, NodeId new_parent) override;
+  void rpl_rank_changed(std::uint16_t rank) override;
+
+ private:
+  void generate_packet();
+  void handle_data(const Frame& frame);
+
+  Simulator& sim_;
+  NodeId id_;
+  bool is_root_;
+  RunStats* stats_;
+  Rng rng_;
+
+  Radio radio_;
+  TschMac mac_;
+  EtxEstimator etx_;
+  RplAgent rpl_;
+  SixpAgent sixp_;
+  std::unique_ptr<SchedulingFunction> sf_;
+  GtTschSf* gt_sf_ = nullptr;  // non-owning view when scheduler == kGtTsch
+  PeriodicSource app_;
+  TimeUs app_start_;
+  TimeUs max_scan_start_delay_;
+
+  std::uint32_t app_seq_ = 0;
+  std::uint64_t app_generated_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace gttsch

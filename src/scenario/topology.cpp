@@ -1,0 +1,104 @@
+#include "scenario/topology.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace gttsch {
+
+std::size_t TopologySpec::root_count() const {
+  std::size_t n = 0;
+  for (const auto& node : nodes)
+    if (node.is_root) ++n;
+  return n;
+}
+
+std::vector<NodeId> TopologySpec::roots() const {
+  std::vector<NodeId> out;
+  for (const auto& node : nodes)
+    if (node.is_root) out.push_back(node.id);
+  return out;
+}
+
+TopologySpec build_dodag(NodeId first_id, Position center, int n_nodes,
+                         double hop_distance) {
+  GTTSCH_CHECK(n_nodes >= 2);
+  TopologySpec spec;
+  NodeId next = first_id;
+  spec.nodes.push_back(NodeSpec{next++, center, true});
+
+  const int routers = std::max(1, (n_nodes - 1 + 2) / 3);  // ceil((n-1)/3)
+  const int ring1 = std::min(routers, n_nodes - 1);
+  const int leaves = n_nodes - 1 - ring1;
+
+  // First-hop routers on a circle around the root. The angular spread
+  // keeps siblings within interference range of each other.
+  const double two_pi = 6.283185307179586;
+  std::vector<Position> router_pos;
+  for (int i = 0; i < ring1; ++i) {
+    const double angle = two_pi * static_cast<double>(i) / std::max(ring1, 2) + 0.35;
+    Position p{center.x + hop_distance * std::cos(angle),
+               center.y + hop_distance * std::sin(angle)};
+    router_pos.push_back(p);
+    spec.nodes.push_back(NodeSpec{next++, p, false});
+  }
+
+  // Leaves one hop outward from their router, fanned slightly so two
+  // leaves of one router do not coincide.
+  std::vector<int> leaf_count(static_cast<std::size_t>(ring1), 0);
+  for (int i = 0; i < leaves; ++i) {
+    const int r = i % ring1;
+    const Position& rp = router_pos[static_cast<std::size_t>(r)];
+    const double out_x = rp.x - center.x;
+    const double out_y = rp.y - center.y;
+    const double norm = std::sqrt(out_x * out_x + out_y * out_y);
+    const double fan = 0.55 * static_cast<double>(leaf_count[static_cast<std::size_t>(r)]++) -
+                       0.27;
+    // Rotate the outward direction by `fan` radians.
+    const double ux = (out_x * std::cos(fan) - out_y * std::sin(fan)) / norm;
+    const double uy = (out_x * std::sin(fan) + out_y * std::cos(fan)) / norm;
+    Position p{rp.x + hop_distance * ux, rp.y + hop_distance * uy};
+    spec.nodes.push_back(NodeSpec{next++, p, false});
+  }
+  return spec;
+}
+
+TopologySpec build_multi_dodag(int dodag_count, int nodes_per_dodag, double hop_distance) {
+  GTTSCH_CHECK(dodag_count >= 1);
+  TopologySpec spec;
+  const double separation = hop_distance * 1000.0;  // radio silence between DODAGs
+  NodeId next = 1;
+  for (int d = 0; d < dodag_count; ++d) {
+    const Position center{separation * d, 0.0};
+    TopologySpec one = build_dodag(next, center, nodes_per_dodag, hop_distance);
+    next = static_cast<NodeId>(next + one.nodes.size());
+    spec.nodes.insert(spec.nodes.end(), one.nodes.begin(), one.nodes.end());
+  }
+  return spec;
+}
+
+TopologySpec build_line(NodeId first_id, Position start, int hops, double hop_distance) {
+  GTTSCH_CHECK(hops >= 1);
+  TopologySpec spec;
+  for (int i = 0; i <= hops; ++i) {
+    spec.nodes.push_back(
+        NodeSpec{static_cast<NodeId>(first_id + i),
+                 Position{start.x + hop_distance * i, start.y}, i == 0});
+  }
+  return spec;
+}
+
+TopologySpec build_grid(NodeId first_id, Position origin, int cols, int rows,
+                        double spacing) {
+  GTTSCH_CHECK(cols >= 1 && rows >= 1);
+  TopologySpec spec;
+  NodeId next = first_id;
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      spec.nodes.push_back(NodeSpec{
+          next++, Position{origin.x + spacing * c, origin.y + spacing * r},
+          r == 0 && c == 0});
+  return spec;
+}
+
+}  // namespace gttsch

@@ -1,0 +1,47 @@
+// Topology builders for the paper's experiments: tree-shaped DODAGs placed
+// so that parent-child links are reliable while sibling / uncle / two-hop
+// transmissions interfere — the four problem cases of Section III.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phy/geometry.hpp"
+#include "util/types.hpp"
+
+namespace gttsch {
+
+struct NodeSpec {
+  NodeId id = 0;
+  Position pos;
+  bool is_root = false;
+};
+
+struct TopologySpec {
+  std::vector<NodeSpec> nodes;
+
+  std::size_t size() const { return nodes.size(); }
+  std::size_t root_count() const;
+  std::vector<NodeId> roots() const;
+};
+
+/// One DODAG of `n_nodes` total (including the root at `center`), shaped
+/// like the paper's Fig 6: a ring of first-hop routers at `hop_distance`,
+/// and leaf nodes one further hop outward, attached round-robin.
+/// First-hop count is ceil((n-1)/3) (paper sizes 6..9 give 2..3 routers).
+TopologySpec build_dodag(NodeId first_id, Position center, int n_nodes,
+                         double hop_distance);
+
+/// The paper's main setup: `dodag_count` independent DODAGs of
+/// `nodes_per_dodag` nodes each, spaced far apart (no mutual interference),
+/// e.g. two 7-node DODAGs = the 14-node network of Fig 8.
+TopologySpec build_multi_dodag(int dodag_count, int nodes_per_dodag, double hop_distance);
+
+/// A simple line (chain) topology: root plus `hops` relays in a row.
+TopologySpec build_line(NodeId first_id, Position start, int hops, double hop_distance);
+
+/// Regular grid with the root in a corner; for the monitoring example.
+TopologySpec build_grid(NodeId first_id, Position origin, int cols, int rows,
+                        double spacing);
+
+}  // namespace gttsch

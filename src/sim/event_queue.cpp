@@ -1,0 +1,56 @@
+#include "sim/event_queue.hpp"
+
+#include "util/check.hpp"
+
+namespace gttsch {
+
+EventId EventQueue::schedule(TimeUs at, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id, std::move(fn)});
+  ++live_;
+  return id;
+}
+
+bool EventQueue::is_cancelled(EventId id) const {
+  return id < cancelled_flags_.size() && cancelled_flags_[id];
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id == kInvalidEvent || id >= next_id_ || is_cancelled(id)) return;
+  if (cancelled_flags_.size() <= id) cancelled_flags_.resize(id + 1, false);
+  cancelled_flags_[id] = true;
+  GTTSCH_CHECK(live_ > 0);
+  --live_;
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty() && is_cancelled(heap_.top().id)) heap_.pop();
+}
+
+TimeUs EventQueue::next_time() {
+  drop_cancelled();
+  return heap_.empty() ? kInfiniteTime : heap_.top().at;
+}
+
+bool EventQueue::pop_next(TimeUs& out_time, std::function<void()>& out_fn) {
+  drop_cancelled();
+  if (heap_.empty()) return false;
+  // Move the callback out before running it: the callback may schedule
+  // new events and mutate the heap.
+  Entry top = heap_.top();
+  heap_.pop();
+  GTTSCH_CHECK(live_ > 0);
+  --live_;
+  out_time = top.at;
+  out_fn = std::move(top.fn);
+  return true;
+}
+
+bool EventQueue::run_next(TimeUs& out_time) {
+  std::function<void()> fn;
+  if (!pop_next(out_time, fn)) return false;
+  fn();
+  return true;
+}
+
+}  // namespace gttsch

@@ -1,0 +1,62 @@
+// Priority queue of timed events with stable FIFO ordering at equal times.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gttsch {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+/// Min-heap of (time, insertion order) -> callback. Events inserted earlier
+/// fire first among equal timestamps, which keeps runs reproducible.
+/// Cancellation is lazy: cancelled entries are skipped on pop.
+class EventQueue {
+ public:
+  EventId schedule(TimeUs at, std::function<void()> fn);
+  void cancel(EventId id);
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event; kInfiniteTime when empty.
+  TimeUs next_time();
+
+  /// Pop the earliest live event without running it. Returns false if
+  /// none. The caller advances its clock to `out_time` *before* invoking
+  /// `out_fn`, so callbacks observe the correct current time.
+  bool pop_next(TimeUs& out_time, std::function<void()>& out_fn);
+
+  /// Pop and run the earliest live event. Returns false if none.
+  bool run_next(TimeUs& out_time);
+
+ private:
+  struct Entry {
+    TimeUs at;
+    EventId id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<EventId> cancelled_;  // sorted lazily via flag set
+  std::size_t live_ = 0;
+  EventId next_id_ = 1;
+
+  bool is_cancelled(EventId id) const;
+  std::vector<bool> cancelled_flags_;  // indexed by id (grows as needed)
+};
+
+}  // namespace gttsch

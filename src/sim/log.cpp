@@ -1,0 +1,40 @@
+#include "sim/log.hpp"
+
+#include <cstdio>
+
+namespace gttsch {
+namespace {
+LogLevel g_level = LogLevel::kNone;
+const TimeUs* g_clock = nullptr;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "E";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kDebug: return "D";
+    default: return "?";
+  }
+}
+}  // namespace
+
+void Log::set_level(LogLevel level) { g_level = level; }
+LogLevel Log::level() { return g_level; }
+void Log::set_clock(const TimeUs* now) { g_clock = now; }
+
+void Log::write(LogLevel level, const char* component, const char* fmt, ...) {
+  if (static_cast<int>(g_level) < static_cast<int>(level)) return;
+  char body[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(body, sizeof body, fmt, args);
+  va_end(args);
+  if (g_clock != nullptr) {
+    std::fprintf(stderr, "[%10.4fs] %s %-8s %s\n", us_to_s(*g_clock), level_tag(level),
+                 component, body);
+  } else {
+    std::fprintf(stderr, "%s %-8s %s\n", level_tag(level), component, body);
+  }
+}
+
+}  // namespace gttsch

@@ -1,0 +1,36 @@
+// Sim-time-stamped logging with per-run verbosity. Off by default so large
+// parameter sweeps stay quiet; tests and examples can raise the level.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace gttsch {
+
+enum class LogLevel { kNone = 0, kError, kWarn, kInfo, kDebug };
+
+class Log {
+ public:
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  /// Sim clock used for timestamps; may be null (wall-less logging).
+  static void set_clock(const TimeUs* now);
+
+  static void write(LogLevel level, const char* component, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4)));
+};
+
+#define GTTSCH_LOG(lvl, component, ...)                                   \
+  do {                                                                    \
+    if (static_cast<int>(::gttsch::Log::level()) >= static_cast<int>(lvl)) \
+      ::gttsch::Log::write(lvl, component, __VA_ARGS__);                  \
+  } while (false)
+
+#define GTTSCH_LOG_INFO(component, ...) GTTSCH_LOG(::gttsch::LogLevel::kInfo, component, __VA_ARGS__)
+#define GTTSCH_LOG_WARN(component, ...) GTTSCH_LOG(::gttsch::LogLevel::kWarn, component, __VA_ARGS__)
+#define GTTSCH_LOG_DEBUG(component, ...) GTTSCH_LOG(::gttsch::LogLevel::kDebug, component, __VA_ARGS__)
+
+}  // namespace gttsch

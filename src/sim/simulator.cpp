@@ -1,0 +1,46 @@
+#include "sim/simulator.hpp"
+
+#include "util/check.hpp"
+
+namespace gttsch {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed), seed_(seed) {}
+
+EventId Simulator::at(TimeUs when, std::function<void()> fn) {
+  GTTSCH_CHECK(when >= now_);
+  return queue_.schedule(when, std::move(fn));
+}
+
+EventId Simulator::after(TimeUs delay, std::function<void()> fn) {
+  GTTSCH_CHECK(delay >= 0);
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+void Simulator::cancel(EventId id) { queue_.cancel(id); }
+
+void Simulator::run_until(TimeUs until) {
+  while (queue_.next_time() <= until) {
+    TimeUs t = 0;
+    std::function<void()> fn;
+    if (!queue_.pop_next(t, fn)) break;
+    GTTSCH_CHECK(t >= now_);
+    // Advance the clock before running: callbacks must see now() == t.
+    now_ = t;
+    fn();
+    ++processed_;
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::run_all() {
+  TimeUs t = 0;
+  std::function<void()> fn;
+  while (queue_.pop_next(t, fn)) {
+    GTTSCH_CHECK(t >= now_);
+    now_ = t;
+    fn();
+    ++processed_;
+  }
+}
+
+}  // namespace gttsch

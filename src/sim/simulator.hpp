@@ -1,0 +1,49 @@
+// Discrete-event simulation core: a virtual clock plus an event queue.
+#pragma once
+
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace gttsch {
+
+class Simulator {
+ public:
+  /// `seed` is the run seed from which all component streams are forked.
+  explicit Simulator(std::uint64_t seed = 1);
+
+  TimeUs now() const { return now_; }
+
+  /// Schedule `fn` at absolute virtual time `at` (must be >= now()).
+  EventId at(TimeUs when, std::function<void()> fn);
+
+  /// Schedule `fn` after `delay` microseconds.
+  EventId after(TimeUs delay, std::function<void()> fn);
+
+  void cancel(EventId id);
+
+  /// Run events until the queue drains or the clock passes `until`.
+  /// Events scheduled exactly at `until` still run.
+  void run_until(TimeUs until);
+
+  /// Run everything (use only in tests with naturally finite event sets).
+  void run_all();
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+  /// Root RNG for this run; components should fork() their own streams.
+  Rng& rng() { return rng_; }
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  TimeUs now_ = 0;
+  EventQueue queue_;
+  Rng rng_;
+  std::uint64_t seed_;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace gttsch

@@ -1,0 +1,52 @@
+// Restartable one-shot and periodic timers bound to a Simulator.
+#pragma once
+
+#include <functional>
+
+#include "sim/simulator.hpp"
+
+namespace gttsch {
+
+/// One-shot timer; re-arming cancels any pending expiry.
+class OneShotTimer {
+ public:
+  explicit OneShotTimer(Simulator& sim) : sim_(sim) {}
+  ~OneShotTimer() { stop(); }
+  OneShotTimer(const OneShotTimer&) = delete;
+  OneShotTimer& operator=(const OneShotTimer&) = delete;
+
+  void start(TimeUs delay, std::function<void()> fn);
+  void stop();
+  bool running() const { return id_ != kInvalidEvent; }
+
+ private:
+  Simulator& sim_;
+  EventId id_ = kInvalidEvent;
+};
+
+/// Fixed-period timer. The callback runs every `period` after `start`,
+/// optionally with a uniformly random per-tick jitter in [0, jitter).
+class PeriodicTimer {
+ public:
+  explicit PeriodicTimer(Simulator& sim) : sim_(sim) {}
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void start(TimeUs first_delay, TimeUs period, std::function<void()> fn,
+             Rng* jitter_rng = nullptr, TimeUs jitter = 0);
+  void stop();
+  bool running() const { return id_ != kInvalidEvent; }
+
+ private:
+  void arm(TimeUs delay);
+
+  Simulator& sim_;
+  EventId id_ = kInvalidEvent;
+  TimeUs period_ = 0;
+  TimeUs jitter_ = 0;
+  Rng* jitter_rng_ = nullptr;
+  std::function<void()> fn_;
+};
+
+}  // namespace gttsch

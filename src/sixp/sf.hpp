@@ -1,0 +1,46 @@
+// The scheduling-function interface (the "SF" role of RFC 8480/8180):
+// the pluggable policy that owns the TSCH schedule content. GT-TSCH and
+// the Orchestra baseline both implement it; the Node integration layer
+// drives it with MAC/RPL events.
+#pragma once
+
+#include <optional>
+
+#include "phy/wire.hpp"
+#include "util/types.hpp"
+
+namespace gttsch {
+
+class SchedulingFunction {
+ public:
+  virtual ~SchedulingFunction() = default;
+
+  /// Name for reports ("gt-tsch", "orchestra").
+  virtual const char* name() const = 0;
+
+  /// Called once after the node's stack is wired (before association).
+  virtual void start(bool is_root) = 0;
+
+  /// The MAC joined a TSCH network (always called for roots at startup).
+  virtual void on_associated() = 0;
+
+  /// Every decodable frame the MAC passed up, for SF-specific sniffing
+  /// (e.g. GT-TSCH learns family channels from EBs). Called in addition to
+  /// the normal protocol dispatch.
+  virtual void on_frame(const Frame& frame) = 0;
+
+  /// RPL selected / changed the preferred parent.
+  virtual void on_parent_changed(NodeId old_parent, NodeId new_parent) = 0;
+
+  /// A local application generated a packet (drives l^g estimation).
+  virtual void on_local_packet_generated() = 0;
+
+  /// Value of the paper's DIO option: free Rx cells this node can grant.
+  virtual std::uint16_t advertised_free_rx() = 0;
+
+  /// EB content (join priority, GT-TSCH family channel). nullopt = do not
+  /// beacon yet.
+  virtual std::optional<EbPayload> eb_info() = 0;
+};
+
+}  // namespace gttsch

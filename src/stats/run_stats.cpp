@@ -1,0 +1,112 @@
+#include "stats/run_stats.hpp"
+
+#include "util/check.hpp"
+
+namespace gttsch {
+
+RunStats::RunStats(TimeUs warmup, TimeUs measure_end)
+    : warmup_(warmup), measure_end_(measure_end) {
+  GTTSCH_CHECK(measure_end > warmup);
+}
+
+void RunStats::register_node(NodeId id, bool is_root, const Radio* radio) {
+  NodeEntry entry;
+  entry.is_root = is_root;
+  entry.radio = radio;
+  entry.joined = is_root;  // roots are always part of their DODAG
+  nodes_[id] = entry;
+  counters_[id];  // default-construct
+}
+
+void RunStats::on_generated(NodeId origin, TimeUs now) {
+  if (in_window(now)) ++counters_[origin].generated;
+}
+
+void RunStats::on_delivered(NodeId root, const DataPayload& data, TimeUs now) {
+  ++counters_[root].delivered_sink;
+  if (!in_window(data.generated_at)) return;
+  ++counters_[data.origin].delivered_origin;
+  delay_ms_.add(us_to_ms(now - data.generated_at));
+  delay_hist_.add(us_to_ms(now - data.generated_at));
+  hops_.add(static_cast<double>(data.hops));
+}
+
+void RunStats::on_forwarded(NodeId node, TimeUs now) {
+  if (in_window(now)) ++counters_[node].forwarded;
+}
+
+void RunStats::on_queue_drop(NodeId node, TimeUs now) {
+  if (in_window(now)) ++counters_[node].queue_drops;
+}
+
+void RunStats::on_mac_drop(NodeId node, TimeUs now) {
+  if (in_window(now)) ++counters_[node].mac_drops;
+}
+
+void RunStats::on_no_route(NodeId node, TimeUs now) {
+  if (in_window(now)) ++counters_[node].no_route_drops;
+}
+
+void RunStats::begin_measurement() {
+  for (auto& [id, entry] : nodes_)
+    if (entry.radio != nullptr) entry.on_time_at_warmup = entry.radio->on_time();
+}
+
+void RunStats::end_measurement() {
+  for (auto& [id, entry] : nodes_)
+    if (entry.radio != nullptr) entry.on_time_at_end = entry.radio->on_time();
+}
+
+void RunStats::set_joined(NodeId node, bool joined) {
+  const auto it = nodes_.find(node);
+  if (it != nodes_.end()) it->second.joined = joined || it->second.is_root;
+}
+
+RunMetrics RunStats::finalize() const {
+  RunMetrics m;
+  m.node_count = nodes_.size();
+  for (const auto& [id, c] : counters_) {
+    m.generated += c.generated;
+    m.delivered += c.delivered_origin;
+    m.queue_drops += c.queue_drops;
+    m.mac_drops += c.mac_drops;
+    m.no_route_drops += c.no_route_drops;
+  }
+  const double minutes = us_to_min(measure_end_ - warmup_);
+  m.measure_minutes = minutes;
+  m.pdr_percent =
+      m.generated == 0 ? 0.0
+                       : 100.0 * static_cast<double>(m.delivered) /
+                             static_cast<double>(m.generated);
+  m.avg_delay_ms = delay_ms_.mean();
+  m.p95_delay_ms = delay_hist_.quantile(0.95);
+  m.loss_per_minute =
+      minutes <= 0.0 ? 0.0
+                     : static_cast<double>(m.generated - m.delivered) / minutes;
+  m.throughput_per_minute =
+      minutes <= 0.0 ? 0.0 : static_cast<double>(m.delivered) / minutes;
+  m.queue_loss_per_node =
+      nodes_.empty() ? 0.0
+                     : static_cast<double>(m.queue_drops) /
+                           static_cast<double>(nodes_.size());
+  m.mean_hops = hops_.mean();
+
+  double duty_sum = 0.0;
+  std::size_t duty_n = 0;
+  const double window = static_cast<double>(measure_end_ - warmup_);
+  for (const auto& [id, entry] : nodes_) {
+    if (entry.radio == nullptr || window <= 0.0) continue;
+    const TimeUs end_on =
+        entry.on_time_at_end >= 0 ? entry.on_time_at_end : entry.radio->on_time();
+    const double on = static_cast<double>(end_on - entry.on_time_at_warmup);
+    duty_sum += 100.0 * on / window;
+    ++duty_n;
+  }
+  m.duty_cycle_percent = duty_n == 0 ? 0.0 : duty_sum / static_cast<double>(duty_n);
+
+  for (const auto& [id, entry] : nodes_)
+    if (entry.joined) ++m.nodes_joined;
+  return m;
+}
+
+}  // namespace gttsch

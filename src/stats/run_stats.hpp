@@ -1,0 +1,100 @@
+// Run-level metric collection: everything the paper's six evaluation
+// panels report (PDR, end-to-end delay, packet loss per minute, radio duty
+// cycle, queue loss per node, received packets per minute).
+//
+// Measurement windowing: packets count toward PDR/throughput only when
+// generated inside [warmup, measure_end] — join transients and the final
+// drain are excluded, like steady-state Cooja measurements.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "phy/radio.hpp"
+#include "phy/wire.hpp"
+#include "stats/histogram.hpp"
+#include "util/types.hpp"
+
+namespace gttsch {
+
+struct NodeCounters {
+  std::uint64_t generated = 0;       ///< app packets originated (in window)
+  std::uint64_t delivered_origin = 0;  ///< of those, delivered to a root
+  std::uint64_t delivered_sink = 0;    ///< packets this (root) node sank
+  std::uint64_t forwarded = 0;
+  std::uint64_t queue_drops = 0;  ///< enqueue failures (queue loss)
+  std::uint64_t mac_drops = 0;    ///< retry budget exhausted
+  std::uint64_t no_route_drops = 0;
+};
+
+/// The six panel metrics plus diagnostics.
+struct RunMetrics {
+  double pdr_percent = 0.0;
+  double avg_delay_ms = 0.0;
+  double p95_delay_ms = 0.0;
+  double loss_per_minute = 0.0;        ///< (generated - delivered) / min
+  double duty_cycle_percent = 0.0;     ///< mean over nodes
+  double queue_loss_per_node = 0.0;    ///< total queue drops / #nodes
+  double throughput_per_minute = 0.0;  ///< delivered / min
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t queue_drops = 0;
+  std::uint64_t mac_drops = 0;
+  std::uint64_t no_route_drops = 0;
+  double mean_hops = 0.0;
+  double measure_minutes = 0.0;
+  std::uint64_t nodes_joined = 0;  ///< nodes with an RPL parent (or root)
+  std::uint64_t node_count = 0;
+};
+
+class RunStats {
+ public:
+  /// Window: [warmup, measure_end]. The simulation may run a little past
+  /// measure_end so in-flight packets can still be delivered and counted.
+  RunStats(TimeUs warmup, TimeUs measure_end);
+
+  void register_node(NodeId id, bool is_root, const Radio* radio);
+
+  // --- event hooks (called by the Node layer) ---------------------------
+  void on_generated(NodeId origin, TimeUs now);
+  void on_delivered(NodeId root, const DataPayload& data, TimeUs now);
+  void on_forwarded(NodeId node, TimeUs now);
+  void on_queue_drop(NodeId node, TimeUs now);
+  void on_mac_drop(NodeId node, TimeUs now);
+  void on_no_route(NodeId node, TimeUs now);
+
+  /// Call exactly at t = warmup to snapshot radio on-times.
+  void begin_measurement();
+
+  /// Call exactly at t = measure_end to close the duty-cycle window (the
+  /// drain period afterwards is excluded).
+  void end_measurement();
+
+  /// Report whether a node ended the run joined (set before finalize).
+  void set_joined(NodeId node, bool joined);
+
+  RunMetrics finalize() const;
+  const std::map<NodeId, NodeCounters>& per_node() const { return counters_; }
+  TimeUs warmup() const { return warmup_; }
+  TimeUs measure_end() const { return measure_end_; }
+
+ private:
+  bool in_window(TimeUs t) const { return t >= warmup_ && t <= measure_end_; }
+
+  TimeUs warmup_;
+  TimeUs measure_end_;
+  struct NodeEntry {
+    bool is_root = false;
+    const Radio* radio = nullptr;
+    TimeUs on_time_at_warmup = 0;
+    TimeUs on_time_at_end = -1;  ///< -1 until end_measurement() runs
+    bool joined = false;
+  };
+  std::map<NodeId, NodeEntry> nodes_;
+  std::map<NodeId, NodeCounters> counters_;
+  SummaryStats delay_ms_;
+  Histogram delay_hist_{0.0, 5000.0, 250};
+  SummaryStats hops_;
+};
+
+}  // namespace gttsch

@@ -1,0 +1,58 @@
+#include "stats/timeline.hpp"
+
+#include <cmath>
+#include <fstream>
+
+#include "util/check.hpp"
+
+namespace gttsch {
+
+Timeline::Timeline(Simulator& sim, TimeUs period)
+    : sim_(sim), period_(period), timer_(sim) {
+  GTTSCH_CHECK(period > 0);
+}
+
+void Timeline::add_gauge(std::string name, std::function<double()> fn) {
+  GTTSCH_CHECK(fn != nullptr);
+  names_.push_back(std::move(name));
+  gauges_.push_back(std::move(fn));
+}
+
+void Timeline::start() {
+  timer_.start(period_, period_, [this] { sample_once(); });
+}
+
+void Timeline::stop() { timer_.stop(); }
+
+void Timeline::sample_once() {
+  Sample s;
+  s.at = sim_.now();
+  s.values.reserve(gauges_.size());
+  for (const auto& g : gauges_) s.values.push_back(g());
+  samples_.push_back(std::move(s));
+}
+
+bool Timeline::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  out << "time_s";
+  for (const auto& name : names_) out << ',' << name;
+  out << '\n';
+  for (const auto& s : samples_) {
+    out << us_to_s(s.at);
+    for (double v : s.values) out << ',' << v;
+    out << '\n';
+  }
+  return out.good();
+}
+
+double Timeline::latest(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] != name) continue;
+    if (samples_.empty()) break;
+    return samples_.back().values[i];
+  }
+  return std::nan("");
+}
+
+}  // namespace gttsch

@@ -1,0 +1,53 @@
+// Time-series recorder: samples named per-node gauges on a fixed period
+// and dumps them as CSV — used to visualise the game's convergence (queue
+// lengths, allocated Tx cells, ETX) over a run.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "util/types.hpp"
+
+namespace gttsch {
+
+class Timeline {
+ public:
+  Timeline(Simulator& sim, TimeUs period);
+
+  /// Register a gauge; `fn` is sampled once per period.
+  void add_gauge(std::string name, std::function<double()> fn);
+
+  /// Begin sampling (first sample after one period).
+  void start();
+  void stop();
+
+  struct Sample {
+    TimeUs at;
+    std::vector<double> values;  ///< parallel to gauge registration order
+  };
+
+  const std::vector<std::string>& gauge_names() const { return names_; }
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Write "time_s,<gauge...>" rows to `path`. Returns false on I/O error.
+  bool write_csv(const std::string& path) const;
+
+  /// Last sampled value of a gauge (by name); NaN if never sampled.
+  double latest(const std::string& name) const;
+
+ private:
+  void sample_once();
+
+  Simulator& sim_;
+  TimeUs period_;
+  std::vector<std::string> names_;
+  std::vector<std::function<double()>> gauges_;
+  std::vector<Sample> samples_;
+  PeriodicTimer timer_;
+};
+
+}  // namespace gttsch

@@ -1,0 +1,18 @@
+// Lightweight always-on invariant checks. The simulator is deterministic, so
+// a failed check is a programming error worth aborting on even in Release.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gttsch::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line) {
+  std::fprintf(stderr, "GTTSCH_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+}  // namespace gttsch::detail
+
+#define GTTSCH_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) ::gttsch::detail::check_failed(#expr, __FILE__, __LINE__); \
+  } while (false)

@@ -1,0 +1,27 @@
+// Minimal CSV emission for benchmark series (easy to plot externally).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace gttsch {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row immediately.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  bool ok() const { return out_.good(); }
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+
+  static std::string escape(const std::string& cell);
+  void write_row(const std::vector<std::string>& cells);
+};
+
+}  // namespace gttsch

@@ -1,0 +1,34 @@
+// Tiny command-line flag parser for examples and figure harnesses.
+// Accepts `--name=value` and `--name value`; unknown flags are reported.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gttsch {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags seen but never queried; useful to warn about typos.
+  std::vector<std::string> unknown() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gttsch

@@ -1,0 +1,35 @@
+// Aligned plain-text tables for benchmark / example output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gttsch {
+
+/// Collects rows of cells and renders them with aligned columns, in the
+/// style of the series the paper's figures report.
+class TablePrinter {
+ public:
+  /// Construct with column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::int64_t v);
+
+  /// Render the full table (headers, separator, rows).
+  std::string to_string() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gttsch

@@ -1,0 +1,45 @@
+// Fundamental identifiers and time units shared by every layer.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gttsch {
+
+/// Node (MAC/short) address. The simulator uses one flat address space.
+using NodeId = std::uint16_t;
+
+/// Destination address used by broadcast frames (EB, DIO).
+inline constexpr NodeId kBroadcastId = 0xFFFF;
+
+/// Sentinel for "no node" (e.g. no RPL parent yet).
+inline constexpr NodeId kNoNode = 0xFFFE;
+
+/// TSCH logical channel (channel offset). The physical channel is derived
+/// from the hopping sequence: phys = seq[(ASN + offset) % |seq|].
+using ChannelOffset = std::uint8_t;
+
+/// Physical IEEE 802.15.4 channel number (11..26).
+using PhysChannel = std::uint8_t;
+
+/// Absolute Slot Number since network start.
+using Asn = std::uint64_t;
+
+/// Simulation time in microseconds.
+using TimeUs = std::int64_t;
+
+inline constexpr TimeUs kInfiniteTime = std::numeric_limits<TimeUs>::max();
+
+namespace literals {
+constexpr TimeUs operator"" _us(unsigned long long v) { return static_cast<TimeUs>(v); }
+constexpr TimeUs operator"" _ms(unsigned long long v) { return static_cast<TimeUs>(v) * 1000; }
+constexpr TimeUs operator"" _s(unsigned long long v) { return static_cast<TimeUs>(v) * 1000000; }
+constexpr TimeUs operator"" _min(unsigned long long v) { return static_cast<TimeUs>(v) * 60000000; }
+}  // namespace literals
+
+/// Convert microseconds to fractional milliseconds / seconds / minutes.
+constexpr double us_to_ms(TimeUs t) { return static_cast<double>(t) / 1e3; }
+constexpr double us_to_s(TimeUs t) { return static_cast<double>(t) / 1e6; }
+constexpr double us_to_min(TimeUs t) { return static_cast<double>(t) / 60e6; }
+
+}  // namespace gttsch

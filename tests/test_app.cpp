@@ -1,0 +1,112 @@
+// Traffic-source tests: rate accuracy, jitter bounds, start/stop behavior.
+#include <gtest/gtest.h>
+
+#include "app/traffic.hpp"
+
+namespace gttsch {
+namespace {
+
+using namespace literals;
+
+TEST(PeriodicSource, RateMatchesConfiguredPpm) {
+  Simulator sim(77);
+  int generated = 0;
+  PeriodicSource src(sim, Rng(1), 60.0, [&] { ++generated; });  // 1 pps
+  src.start(0);
+  sim.run_until(120_s);
+  EXPECT_NEAR(generated, 120, 8);  // +/- jitter tolerance
+}
+
+TEST(PeriodicSource, HighRate) {
+  Simulator sim(77);
+  int generated = 0;
+  PeriodicSource src(sim, Rng(2), 165.0, [&] { ++generated; });
+  src.start(0);
+  sim.run_until(60_s);
+  EXPECT_NEAR(generated, 165, 12);
+}
+
+TEST(PeriodicSource, ZeroRateNeverFires) {
+  Simulator sim(77);
+  int generated = 0;
+  PeriodicSource src(sim, Rng(3), 0.0, [&] { ++generated; });
+  src.start(0);
+  sim.run_until(60_s);
+  EXPECT_EQ(generated, 0);
+}
+
+TEST(PeriodicSource, StartDelayHonored) {
+  Simulator sim(77);
+  TimeUs first = -1;
+  PeriodicSource src(sim, Rng(4), 60.0, [&] {
+    if (first < 0) first = sim.now();
+  });
+  src.start(10_s);
+  sim.run_until(60_s);
+  EXPECT_GE(first, 10_s);
+  EXPECT_LE(first, 11_s);  // delay + at most one interval of phase
+}
+
+TEST(PeriodicSource, StopHalts) {
+  Simulator sim(77);
+  int generated = 0;
+  PeriodicSource src(sim, Rng(5), 600.0, [&] { ++generated; });
+  src.start(0);
+  sim.run_until(10_s);
+  const int at_stop = generated;
+  src.stop();
+  sim.run_until(60_s);
+  EXPECT_EQ(generated, at_stop);
+  EXPECT_GT(at_stop, 50);
+}
+
+TEST(PeriodicSource, EndTimeHonored) {
+  Simulator sim(77);
+  int generated = 0;
+  PeriodicSource src(sim, Rng(6), 600.0, [&] { ++generated; });
+  src.set_end_time(5_s);
+  src.start(0);
+  sim.run_until(60_s);
+  // ~50 packets in the first 5 s, then silence.
+  EXPECT_NEAR(generated, 50, 10);
+}
+
+TEST(PeriodicSource, JitterKeepsIntervalsBounded) {
+  Simulator sim(77);
+  std::vector<TimeUs> times;
+  PeriodicSource src(sim, Rng(7), 60.0, [&] { times.push_back(sim.now()); });
+  src.start(0);
+  sim.run_until(60_s);
+  ASSERT_GE(times.size(), 10u);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    const TimeUs gap = times[i] - times[i - 1];
+    EXPECT_GE(gap, 800_ms);   // 80% of the 1 s mean
+    EXPECT_LE(gap, 1200_ms);  // 120%
+  }
+}
+
+TEST(PeriodicSource, DistinctSeedsDesynchronize) {
+  Simulator sim(77);
+  TimeUs first_a = -1, first_b = -1;
+  PeriodicSource a(sim, Rng(10), 60.0, [&] {
+    if (first_a < 0) first_a = sim.now();
+  });
+  PeriodicSource b(sim, Rng(11), 60.0, [&] {
+    if (first_b < 0) first_b = sim.now();
+  });
+  a.start(0);
+  b.start(0);
+  sim.run_until(10_s);
+  EXPECT_NE(first_a, first_b);
+}
+
+TEST(PeriodicSource, GeneratedCounter) {
+  Simulator sim(77);
+  PeriodicSource src(sim, Rng(12), 120.0, [] {});
+  src.start(0);
+  sim.run_until(30_s);
+  EXPECT_NEAR(static_cast<double>(src.generated()), 60.0, 8.0);
+}
+
+}  // namespace
+}  // namespace gttsch

@@ -1,0 +1,172 @@
+// Channel-allocation tests (Section III / Algorithm 1): the four problem
+// cases must be structurally impossible under GT-TSCH's assignment.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/channel_alloc.hpp"
+
+namespace gttsch {
+namespace {
+
+TEST(ChannelAlloc, MaxChildrenFormula) {
+  EXPECT_EQ(ChannelAllocator(8, 0).max_children(), 5u);  // paper's example
+  EXPECT_EQ(ChannelAllocator(4, 0).max_children(), 1u);
+  EXPECT_EQ(ChannelAllocator(16, 3).max_children(), 13u);
+}
+
+TEST(ChannelAlloc, RootChannelAvoidsBroadcast) {
+  ChannelAllocator a(8, 2);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const ChannelOffset ch = a.pick_root_family_channel(rng);
+    EXPECT_NE(ch, 2);
+    EXPECT_LT(ch, 8);
+  }
+}
+
+TEST(ChannelAlloc, RootChannelCoversAllNonBroadcast) {
+  ChannelAllocator a(8, 0);
+  Rng rng(7);
+  std::set<ChannelOffset> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(a.pick_root_family_channel(rng));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(seen.count(0), 0u);
+}
+
+TEST(ChannelAlloc, AssignmentAvoidsReservedSet) {
+  ChannelAllocator a(8, 0);
+  // Node with f_to_parent=1, f_own=2; siblings already took 3 and 4.
+  const auto ch = a.assign_child_family_channel(1, 2, {3, 4});
+  ASSERT_TRUE(ch.has_value());
+  EXPECT_NE(*ch, 0);  // broadcast
+  EXPECT_NE(*ch, 1);
+  EXPECT_NE(*ch, 2);
+  EXPECT_NE(*ch, 3);
+  EXPECT_NE(*ch, 4);
+}
+
+TEST(ChannelAlloc, ExhaustionReturnsNothing) {
+  ChannelAllocator a(8, 0);
+  // f_bcast=0, parent=1, own=2, siblings take 3,4,5,6,7 -> nothing left.
+  EXPECT_FALSE(a.assign_child_family_channel(1, 2, {3, 4, 5, 6, 7}).has_value());
+}
+
+TEST(ChannelAlloc, RootHasNoParentConstraint) {
+  ChannelAllocator a(4, 0);
+  // At the root (f_to_parent = kNoChannel), only bcast + own excluded.
+  const auto ch = a.assign_child_family_channel(kNoChannel, 1, {});
+  ASSERT_TRUE(ch.has_value());
+  EXPECT_TRUE(*ch == 2 || *ch == 3);
+}
+
+TEST(ChannelAlloc, ThreeHopUniquenessValidator) {
+  ChannelAllocator a(8, 0);
+  EXPECT_TRUE(a.three_hop_unique(3, 2, 1));
+  EXPECT_FALSE(a.three_hop_unique(2, 2, 1));   // child == own
+  EXPECT_FALSE(a.three_hop_unique(1, 2, 1));   // child == parent-link
+  EXPECT_FALSE(a.three_hop_unique(3, 1, 1));   // own == parent-link
+  EXPECT_FALSE(a.three_hop_unique(0, 2, 1));   // broadcast reuse
+  EXPECT_TRUE(a.three_hop_unique(3, 2, kNoChannel));  // at root
+}
+
+/// Build a whole tree via Algorithm 1 and verify the paper's properties
+/// globally: per-family uniqueness, sibling-family separation, and
+/// three-hop path uniqueness (kills problems 2, 3 and 4 of Section III).
+class TreeAllocation : public ::testing::TestWithParam<int> {
+ protected:
+  struct NodeCh {
+    ChannelOffset to_parent = kNoChannel;
+    ChannelOffset family = kNoChannel;
+    int parent = -1;
+    std::vector<int> children;
+  };
+
+  // Builds a complete tree with `branching` children per node, 3 levels.
+  std::vector<NodeCh> build(int branching) {
+    ChannelAllocator alloc(8, 0);
+    Rng rng(42);
+    std::vector<NodeCh> nodes(1);
+    nodes[0].family = alloc.pick_root_family_channel(rng);
+    std::vector<int> frontier{0};
+    for (int level = 0; level < 2; ++level) {
+      std::vector<int> next;
+      for (int parent : frontier) {
+        std::vector<ChannelOffset> sibling_channels;
+        for (int c = 0; c < branching; ++c) {
+          const int id = static_cast<int>(nodes.size());
+          nodes.push_back(NodeCh{});
+          nodes[id].parent = parent;
+          nodes[id].to_parent = nodes[parent].family;
+          const auto ch = alloc.assign_child_family_channel(
+              nodes[parent].to_parent, nodes[parent].family, sibling_channels);
+          if (ch.has_value()) {
+            nodes[id].family = *ch;
+            sibling_channels.push_back(*ch);
+          }
+          nodes[parent].children.push_back(id);
+          next.push_back(id);
+        }
+      }
+      frontier = next;
+    }
+    return nodes;
+  }
+};
+
+TEST_P(TreeAllocation, AllFamiliesAssigned) {
+  const auto nodes = build(GetParam());
+  for (const auto& n : nodes) EXPECT_NE(n.family, kNoChannel);
+}
+
+TEST_P(TreeAllocation, SiblingFamiliesDistinct) {
+  const auto nodes = build(GetParam());
+  for (const auto& n : nodes) {
+    std::set<ChannelOffset> fams;
+    for (int c : n.children) fams.insert(nodes[c].family);
+    EXPECT_EQ(fams.size(), n.children.size());
+  }
+}
+
+TEST_P(TreeAllocation, ThreeHopPathsUnique) {
+  ChannelAllocator alloc(8, 0);
+  const auto nodes = build(GetParam());
+  // For every node with a grandparent: the three upward links use three
+  // distinct channels (f_child_family used by ITS children, f_own, f_up).
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    const auto& n = nodes[i];
+    const ChannelOffset up = n.to_parent;                        // i -> parent
+    const ChannelOffset own = n.family;                          // children -> i
+    if (n.parent >= 0) {
+      const ChannelOffset parent_up = nodes[n.parent].to_parent;  // parent -> gp
+      EXPECT_NE(own, up);
+      if (parent_up != kNoChannel) {
+        EXPECT_TRUE(alloc.three_hop_unique(own, up, parent_up))
+            << "violation at node " << i;
+      }
+    }
+  }
+}
+
+TEST_P(TreeAllocation, UnclesUseDifferentChannelsThanNephews) {
+  // Problem 3: nodes one hop apart in depth must not share channels when
+  // within interference range. Structurally: a node's family channel
+  // differs from its grandchildren-side channels via three-hop uniqueness,
+  // and sibling subtrees are separated at assignment time.
+  const auto nodes = build(GetParam());
+  for (const auto& n : nodes) {
+    for (int c1 : n.children)
+      for (int c2 : n.children)
+        if (c1 != c2) EXPECT_NE(nodes[c1].family, nodes[c2].family);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Branching, TreeAllocation, ::testing::Values(1, 2));
+
+TEST(ChannelAlloc, RequiresMinimumOffsets) {
+  EXPECT_DEATH(ChannelAllocator(3, 0), "");
+}
+
+}  // namespace
+}  // namespace gttsch

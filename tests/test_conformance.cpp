@@ -1,0 +1,144 @@
+// Live-schedule conformance: after long runs under various loads and
+// seeds, every node's installed schedule must satisfy structural
+// invariants (single-radio slots, layout partitioning, channel-offset
+// validity, Section III channel properties), and the network-level
+// outcome must be robust across seeds (parameterized sweep).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/tx_alloc.hpp"
+#include "scenario/experiment.hpp"
+#include "scenario/network.hpp"
+
+namespace gttsch {
+namespace {
+
+using namespace literals;
+
+struct SweepCase {
+  std::uint64_t seed;
+  double ppm;
+};
+
+class GtConformance : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  static NodeStackConfig config(double ppm) {
+    ScenarioConfig sc;
+    sc.scheduler = SchedulerKind::kGtTsch;
+    sc.traffic_ppm = ppm;
+    auto nc = sc.make_node_config();
+    nc.app_start = 60_s;
+    nc.app_end = 0;
+    return nc;
+  }
+};
+
+TEST_P(GtConformance, ScheduleInvariantsAfterLongRun) {
+  const SweepCase c = GetParam();
+  const auto topo = build_multi_dodag(1, 7, 30.0);
+  Network net(c.seed, std::make_unique<UnitDiskModel>(40.0, 1.0, 1.6), topo,
+              config(c.ppm), nullptr);
+  net.start();
+  net.sim().run_until(420_s);
+  ASSERT_TRUE(net.fully_formed());
+
+  SlotframeLayout layout({32, 4, 3});
+  for (const auto& [id, node] : net.nodes()) {
+    const Slotframe* sf = node->mac().schedule().get(0);
+    ASSERT_NE(sf, nullptr) << "node " << id;
+    EXPECT_EQ(sf->length(), 32);
+
+    // Single radio: at most one cell per slot offset.
+    for (std::uint16_t s = 0; s < sf->length(); ++s)
+      EXPECT_LE(sf->cells_at(s).size(), 1u) << "node " << id << " slot " << s;
+
+    for (const Cell& cell : sf->all_cells()) {
+      // Channel offsets within the hopping space.
+      EXPECT_LT(cell.channel_offset, 8) << "node " << id;
+      // Broadcast cells exactly at layout offsets, on f_bcast.
+      if (cell.neighbor == kBroadcastId && cell.channel_offset == 0) {
+        EXPECT_TRUE(layout.is_broadcast_slot(cell.slot_offset)) << "node " << id;
+        EXPECT_TRUE(cell.is_shared());
+      }
+      // Negotiated (data/6P) cells never sit on broadcast or shared slots.
+      if (cell.neighbor != kBroadcastId) {
+        EXPECT_FALSE(layout.is_broadcast_slot(cell.slot_offset))
+            << "node " << id << " slot " << cell.slot_offset;
+        EXPECT_FALSE(layout.is_shared_slot(cell.slot_offset))
+            << "node " << id << " slot " << cell.slot_offset;
+      }
+    }
+
+    // Section V rules hold on every non-root forwarder.
+    if (!node->is_root()) {
+      EXPECT_TRUE(TxSlotAllocator::tx_exceeds_rx(*sf)) << "node " << id;
+      EXPECT_TRUE(TxSlotAllocator::rx_interleaved(*sf)) << "node " << id;
+    }
+  }
+
+  // Section III: family channels distinct among any node's children.
+  for (const auto& [id, node] : net.nodes()) {
+    (void)id;
+    std::set<ChannelOffset> child_channels;
+    for (const auto& [cid, child] : net.nodes()) {
+      if (child->is_root() || child->rpl().parent() != node->id()) continue;
+      auto* csf = child->gt_sf();
+      ASSERT_NE(csf, nullptr);
+      if (csf->family_channel() == kNoChannel) continue;
+      EXPECT_TRUE(child_channels.insert(csf->family_channel()).second)
+          << "children of " << node->id() << " share a family channel";
+    }
+  }
+}
+
+TEST_P(GtConformance, PdrRobustAcrossSeeds) {
+  const SweepCase c = GetParam();
+  ScenarioConfig sc;
+  sc.scheduler = SchedulerKind::kGtTsch;
+  sc.dodag_count = 1;
+  sc.nodes_per_dodag = 7;
+  sc.traffic_ppm = c.ppm;
+  sc.warmup = 180_s;
+  sc.measure = 180_s;
+  sc.seed = c.seed;
+  const auto r = run_scenario(sc);
+  EXPECT_TRUE(r.fully_formed) << "seed " << c.seed;
+  EXPECT_GT(r.metrics.pdr_percent, 95.0) << "seed " << c.seed << " ppm " << c.ppm;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndLoads, GtConformance,
+    ::testing::Values(SweepCase{201, 30}, SweepCase{202, 30}, SweepCase{203, 120},
+                      SweepCase{204, 120}, SweepCase{205, 165}, SweepCase{206, 165},
+                      SweepCase{207, 75}, SweepCase{208, 75}));
+
+TEST(OrchestraConformance, ScheduleStableUnderLoad) {
+  ScenarioConfig sc;
+  sc.scheduler = SchedulerKind::kOrchestra;
+  sc.traffic_ppm = 120.0;
+  auto nc = sc.make_node_config();
+  nc.app_start = 60_s;
+  nc.app_end = 0;
+  const auto topo = build_multi_dodag(1, 7, 30.0);
+  Network net(301, std::make_unique<UnitDiskModel>(40.0, 1.0, 1.6), topo, nc, nullptr);
+  net.start();
+  net.sim().run_until(420_s);
+  ASSERT_TRUE(net.fully_formed());
+  for (const auto& [id, node] : net.nodes()) {
+    const auto& sched = node->mac().schedule();
+    ASSERT_EQ(sched.slotframe_count(), 3u) << "node " << id;
+    // Autonomous schedules: cell counts never grow with load.
+    EXPECT_LE(sched.total_cells(), 5u) << "node " << id;
+    // Exactly one rx cell in the unicast slotframe, at the node's hash.
+    const Slotframe* unicast = sched.get(2);
+    ASSERT_NE(unicast, nullptr);
+    int rx = 0;
+    for (const Cell& cell : unicast->all_cells())
+      if (cell.is_rx() && !cell.is_tx()) ++rx;
+    EXPECT_EQ(rx, 1) << "node " << id;
+  }
+}
+
+}  // namespace
+}  // namespace gttsch

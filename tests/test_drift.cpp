@@ -1,0 +1,162 @@
+// Clock-drift and time-synchronization tests: drifted nodes stay slot-
+// aligned through EB time corrections, and a realistic network keeps
+// delivering with per-node oscillator errors.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mac/tsch_mac.hpp"
+#include "phy/medium.hpp"
+#include "scenario/experiment.hpp"
+#include "scenario/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace gttsch {
+namespace {
+
+using namespace literals;
+
+struct NullUpcalls final : MacUpcalls {
+  void mac_associated(Asn, const Frame&) override {}
+  void mac_frame_received(const Frame&) override {}
+  void mac_tx_result(const Frame&, bool, int) override {}
+};
+
+Cell broadcast_cell() {
+  Cell c;
+  c.slot_offset = 0;
+  c.channel_offset = 0;
+  c.options = kCellTx | kCellRx | kCellShared;
+  c.neighbor = kBroadcastId;
+  return c;
+}
+
+TEST(Drift, DriftedSlotsRunLong) {
+  Simulator sim(9);
+  Medium medium(sim, std::make_unique<UnitDiskModel>(50.0), Rng(9));
+  Radio radio(sim, medium, 1, {});
+  MacConfig cfg;
+  cfg.drift_ppm = 100.0;  // exaggerated for observability
+  TschMac mac(sim, medium, radio, cfg, Rng(10));
+  NullUpcalls up;
+  mac.set_upcalls(&up);
+  mac.start_as_root();
+  mac.schedule().add_slotframe(0, 8).add(broadcast_cell());
+  // After 1000 nominal slots, a +100ppm node has ticked fewer slots:
+  // expected asn ~ 1000 / 1.0001 ≈ 999.9.
+  sim.run_until(1000 * 15_ms);
+  EXPECT_LE(mac.asn(), 1000u);
+  EXPECT_GE(mac.asn(), 998u);
+}
+
+TEST(Drift, ZeroDriftExactTiming) {
+  Simulator sim(9);
+  Medium medium(sim, std::make_unique<UnitDiskModel>(50.0), Rng(9));
+  Radio radio(sim, medium, 1, {});
+  TschMac mac(sim, medium, radio, MacConfig{}, Rng(10));
+  NullUpcalls up;
+  mac.set_upcalls(&up);
+  mac.start_as_root();
+  mac.schedule().add_slotframe(0, 8).add(broadcast_cell());
+  sim.run_until(500 * 15_ms);
+  EXPECT_EQ(mac.asn(), 500u);
+  EXPECT_EQ(mac.total_sync_correction(), 0);
+}
+
+TEST(Drift, ChildResyncsToTimeSource) {
+  Simulator sim(11);
+  auto* model = new MatrixLinkModel;
+  model->set(1, 2, 1.0);
+  Medium medium(sim, std::unique_ptr<LinkModel>(model), Rng(11));
+  Radio r1(sim, medium, 1, {});
+  Radio r2(sim, medium, 2, {});
+  MacConfig root_cfg;  // root is the time reference
+  MacConfig child_cfg;
+  child_cfg.drift_ppm = 40.0;  // CC2538-class crystal error
+  TschMac root(sim, medium, r1, root_cfg, Rng(12));
+  TschMac child(sim, medium, r2, child_cfg, Rng(13));
+  NullUpcalls up;
+  root.set_upcalls(&up);
+  child.set_upcalls(&up);
+  root.set_eb_provider([] { return EbPayload{}; });
+  root.start_as_root();
+  root.schedule().add_slotframe(0, 8).add(broadcast_cell());
+  child.start_scanning();
+  // Install cells promptly after association (as a real SF does): an idle
+  // drifted node would otherwise walk out of the guard within ~30 s.
+  while (!child.associated() && sim.now() < 60_s) sim.run_until(sim.now() + 500_ms);
+  ASSERT_TRUE(child.associated());
+  child.schedule().add_slotframe(0, 8).add(broadcast_cell());
+
+  // 30 simulated minutes: uncorrected 40ppm drift would be 72 ms — far
+  // beyond the 1.1 ms guard. EB corrections must keep the ASN aligned
+  // (within one slot: the drifted boundary fires a hair later than the
+  // reference at the sampling instant).
+  sim.run_until(30_min);
+  const auto asn_gap = child.asn() > root.asn() ? child.asn() - root.asn()
+                                                : root.asn() - child.asn();
+  EXPECT_LE(asn_gap, 1u);
+  EXPECT_GT(child.total_sync_correction(), 0);
+  // And the child still hears the root's beacons (sync alive).
+  const auto rx_before = child.counters().rx_frames;
+  sim.run_until(31_min);
+  EXPECT_GT(child.counters().rx_frames, rx_before);
+}
+
+TEST(Drift, NetworkDeliversWithRealisticClocks) {
+  // Full GT-TSCH stack with ±40 ppm per-node clocks (typical crystal).
+  ScenarioConfig sc;
+  sc.scheduler = SchedulerKind::kGtTsch;
+  sc.traffic_ppm = 60.0;
+  auto nc = sc.make_node_config();
+  nc.app_start = 60_s;
+  nc.app_end = 0;
+  nc.max_drift_ppm = 40.0;
+
+  const auto topo = build_dodag(1, {0, 0}, 7, 30.0);
+  RunStats stats(180_s, 480_s);
+  Network net(91, std::make_unique<UnitDiskModel>(40.0, 1.0, 1.6), topo, nc, &stats);
+  net.sim().at(180_s, [&] { stats.begin_measurement(); });
+  net.sim().at(480_s, [&] { stats.end_measurement(); });
+  net.start();
+  net.sim().run_until(485_s);
+  EXPECT_TRUE(net.fully_formed());
+  const auto m = stats.finalize();
+  EXPECT_GT(m.pdr_percent, 90.0);
+  // Someone actually needed corrections.
+  TimeUs total_corrections = 0;
+  for (const auto& [id, node] : net.nodes())
+    total_corrections += node->mac().total_sync_correction();
+  EXPECT_GT(total_corrections, 0);
+}
+
+TEST(Drift, LargeOffsetRejectedByResync) {
+  // A bogus EB claiming the current ASN but wildly misaligned must not
+  // yank the slot boundary (correction beyond the guard is ignored).
+  Simulator sim(13);
+  auto* model = new MatrixLinkModel;
+  model->set(1, 2, 1.0);
+  Medium medium(sim, std::unique_ptr<LinkModel>(model), Rng(13));
+  Radio r1(sim, medium, 1, {});
+  Radio r2(sim, medium, 2, {});
+  TschMac root(sim, medium, r1, MacConfig{}, Rng(14));
+  TschMac child(sim, medium, r2, MacConfig{}, Rng(15));
+  NullUpcalls up;
+  root.set_upcalls(&up);
+  child.set_upcalls(&up);
+  root.set_eb_provider([] { return EbPayload{}; });
+  root.start_as_root();
+  root.schedule().add_slotframe(0, 8).add(broadcast_cell());
+  child.start_scanning();
+  sim.run_until(60_s);
+  ASSERT_TRUE(child.associated());
+  child.schedule().add_slotframe(0, 8).add(broadcast_cell());
+  sim.run_until(120_s);
+  // Perfect clocks: corrections should stay (near) zero even though EBs
+  // keep arriving — the anchor is already exact.
+  EXPECT_LE(child.total_sync_correction(), 16);
+  EXPECT_EQ(child.asn(), root.asn());
+}
+
+}  // namespace
+}  // namespace gttsch

@@ -1,0 +1,120 @@
+// Experiment-runner tests: config derivation, metric sanity, seed
+// averaging, and the paper's headline comparison (GT-TSCH >= Orchestra
+// under heavy load) on a reduced-size run.
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.hpp"
+
+namespace gttsch {
+namespace {
+
+using namespace literals;
+
+ScenarioConfig small(SchedulerKind kind, double ppm) {
+  ScenarioConfig c;
+  c.scheduler = kind;
+  c.dodag_count = 1;
+  c.nodes_per_dodag = 7;
+  c.traffic_ppm = ppm;
+  c.warmup = 180_s;
+  c.measure = 120_s;
+  c.seed = 5;
+  return c;
+}
+
+TEST(ScenarioConfig, NodeConfigFollowsTableII) {
+  ScenarioConfig c;
+  const auto nc = c.make_node_config();
+  EXPECT_EQ(nc.mac.timing.slot_duration, 15_ms);
+  EXPECT_EQ(nc.mac.eb_period, 2_s);
+  EXPECT_EQ(nc.mac.max_retries, 4);
+  EXPECT_EQ(nc.mac.hopping.sequence(),
+            (std::vector<PhysChannel>{17, 23, 15, 25, 19, 11, 13, 21}));
+  EXPECT_EQ(nc.gt.layout.length, 32);
+  EXPECT_EQ(nc.gt.layout.broadcast_slots, 4);
+  EXPECT_EQ(nc.rpl.min_hop_rank_increase, 256);
+}
+
+TEST(ScenarioConfig, SlotframeScaling) {
+  ScenarioConfig c;
+  c.gt_slotframe_length = 80;
+  const auto nc = c.make_node_config();
+  EXPECT_EQ(nc.gt.layout.length, 80);
+  EXPECT_EQ(nc.gt.layout.broadcast_slots, 10);
+}
+
+TEST(ScenarioConfig, TopologyMatchesCounts) {
+  ScenarioConfig c;
+  c.dodag_count = 2;
+  c.nodes_per_dodag = 8;
+  const auto t = c.make_topology();
+  EXPECT_EQ(t.size(), 16u);
+  EXPECT_EQ(t.root_count(), 2u);
+}
+
+TEST(Experiment, GtRunProducesSaneMetrics) {
+  const auto r = run_scenario(small(SchedulerKind::kGtTsch, 30.0));
+  EXPECT_TRUE(r.fully_formed);
+  EXPECT_GT(r.metrics.generated, 40u);  // 6 senders x 30ppm x 2min x margin
+  EXPECT_GT(r.metrics.pdr_percent, 85.0);
+  EXPECT_GT(r.metrics.avg_delay_ms, 10.0);
+  EXPECT_LT(r.metrics.avg_delay_ms, 1500.0);
+  EXPECT_GT(r.metrics.duty_cycle_percent, 0.5);
+  EXPECT_LT(r.metrics.duty_cycle_percent, 60.0);
+}
+
+TEST(Experiment, OrchestraRunProducesSaneMetrics) {
+  const auto r = run_scenario(small(SchedulerKind::kOrchestra, 30.0));
+  EXPECT_TRUE(r.fully_formed);
+  EXPECT_GT(r.metrics.generated, 40u);
+  EXPECT_GT(r.metrics.pdr_percent, 50.0);
+}
+
+TEST(Experiment, DeterministicPerSeed) {
+  const auto a = run_scenario(small(SchedulerKind::kGtTsch, 60.0));
+  const auto b = run_scenario(small(SchedulerKind::kGtTsch, 60.0));
+  EXPECT_EQ(a.metrics.generated, b.metrics.generated);
+  EXPECT_EQ(a.metrics.delivered, b.metrics.delivered);
+  EXPECT_DOUBLE_EQ(a.metrics.avg_delay_ms, b.metrics.avg_delay_ms);
+}
+
+TEST(Experiment, SeedsChangeOutcomes) {
+  auto c = small(SchedulerKind::kGtTsch, 60.0);
+  const auto a = run_scenario(c);
+  c.seed = 6;
+  const auto b = run_scenario(c);
+  EXPECT_NE(a.metrics.generated, b.metrics.generated);
+}
+
+TEST(Experiment, HeadlineComparisonUnderHeavyLoad) {
+  // The paper's core claim (Fig 8): under heavy traffic GT-TSCH keeps PDR
+  // high while Orchestra collapses toward ~50%.
+  const auto gt = run_scenario(small(SchedulerKind::kGtTsch, 120.0));
+  const auto orch = run_scenario(small(SchedulerKind::kOrchestra, 120.0));
+  EXPECT_GT(gt.metrics.pdr_percent, orch.metrics.pdr_percent + 10.0);
+  EXPECT_GT(gt.metrics.throughput_per_minute, orch.metrics.throughput_per_minute);
+}
+
+TEST(Experiment, AveragingAccumulates) {
+  auto c = small(SchedulerKind::kGtTsch, 30.0);
+  c.measure = 60_s;
+  const auto avg = run_averaged(c, {1, 2});
+  EXPECT_EQ(avg.runs, 2);
+  EXPECT_GT(avg.mean.pdr_percent, 0.0);
+  EXPECT_GT(avg.medium_sum.transmissions, 0u);
+}
+
+TEST(Experiment, DefaultSeedsNonEmpty) {
+  const auto seeds = default_seeds();
+  EXPECT_GE(seeds.size(), 1u);
+  // Distinct seeds.
+  for (std::size_t i = 1; i < seeds.size(); ++i) EXPECT_NE(seeds[i], seeds[i - 1]);
+}
+
+TEST(Experiment, SchedulerNames) {
+  EXPECT_STREQ(scheduler_name(SchedulerKind::kGtTsch), "GT-TSCH");
+  EXPECT_STREQ(scheduler_name(SchedulerKind::kOrchestra), "Orchestra");
+}
+
+}  // namespace
+}  // namespace gttsch

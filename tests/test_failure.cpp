@@ -1,0 +1,243 @@
+// Failure injection and dynamics: time-varying link quality (the paper's
+// core motivation), node death with RPL re-parenting, and the GT-TSCH
+// child-timeout cell reclamation path.
+#include <gtest/gtest.h>
+
+#include "phy/dynamic_link.hpp"
+#include "scenario/experiment.hpp"
+#include "scenario/network.hpp"
+
+namespace gttsch {
+namespace {
+
+using namespace literals;
+
+NodeStackConfig gt_config(double ppm) {
+  ScenarioConfig sc;
+  sc.scheduler = SchedulerKind::kGtTsch;
+  sc.traffic_ppm = ppm;
+  auto nc = sc.make_node_config();
+  nc.app_start = 60_s;
+  nc.app_end = 0;
+  return nc;
+}
+
+/// Network factory wiring a DynamicLinkModel to the network's simulator.
+Network::LinkModelFactory dynamic_disk(DynamicLinkModel** out) {
+  return [out](Simulator& sim) {
+    auto model =
+        std::make_unique<DynamicLinkModel>(sim, std::make_unique<UnitDiskModel>(40.0, 1.0, 1.6));
+    *out = model.get();
+    return model;
+  };
+}
+
+TEST(DynamicLink, OverridesTakeEffectAtTime) {
+  Simulator sim(1);
+  DynamicLinkModel model(sim, std::make_unique<UnitDiskModel>(40.0));
+  model.override_prr(10_s, 1, 2, 0.25);
+  const Position a{0, 0}, b{10, 0};
+  EXPECT_DOUBLE_EQ(model.prr(1, a, 2, b), 1.0);  // before override
+  sim.run_until(10_s);
+  EXPECT_DOUBLE_EQ(model.prr(1, a, 2, b), 0.25);
+  EXPECT_DOUBLE_EQ(model.prr(2, b, 1, a), 0.25);  // symmetric by default
+}
+
+TEST(DynamicLink, LaterOverrideWins) {
+  Simulator sim(1);
+  DynamicLinkModel model(sim, std::make_unique<UnitDiskModel>(40.0));
+  model.override_prr(5_s, 1, 2, 0.5);
+  model.override_prr(15_s, 1, 2, 0.9);
+  sim.run_until(10_s);
+  EXPECT_DOUBLE_EQ(model.prr(1, {}, 2, {0, 1}), 0.5);
+  sim.run_until(20_s);
+  EXPECT_DOUBLE_EQ(model.prr(1, {}, 2, {0, 1}), 0.9);
+}
+
+TEST(DynamicLink, AsymmetricOverride) {
+  Simulator sim(1);
+  DynamicLinkModel model(sim, std::make_unique<UnitDiskModel>(40.0));
+  model.override_prr(1_s, 1, 2, 0.3, /*symmetric=*/false);
+  sim.run_until(2_s);
+  EXPECT_DOUBLE_EQ(model.prr(1, {}, 2, {0, 1}), 0.3);
+  EXPECT_DOUBLE_EQ(model.prr(2, {0, 1}, 1, {}), 1.0);
+}
+
+TEST(DynamicLink, DeadLinkStopsInterfering) {
+  Simulator sim(1);
+  DynamicLinkModel model(sim, std::make_unique<UnitDiskModel>(40.0));
+  model.override_prr(1_s, 1, 2, 0.0);
+  sim.run_until(2_s);
+  EXPECT_FALSE(model.interferes(1, {}, 2, {0, 1}));
+}
+
+TEST(DynamicLink, KilledNodeSilentBothWays) {
+  Simulator sim(1);
+  DynamicLinkModel model(sim, std::make_unique<UnitDiskModel>(40.0));
+  model.kill_node(5_s, 3);
+  sim.run_until(6_s);
+  EXPECT_DOUBLE_EQ(model.prr(3, {}, 2, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(model.prr(2, {}, 3, {0, 1}), 0.0);
+  EXPECT_FALSE(model.interferes(3, {}, 2, {0, 1}));
+  // Unrelated links unaffected.
+  EXPECT_DOUBLE_EQ(model.prr(1, {}, 2, {0, 1}), 1.0);
+}
+
+TEST(DynamicLink, BaseModelPassThrough) {
+  Simulator sim(1);
+  DynamicLinkModel model(sim, std::make_unique<UnitDiskModel>(40.0, 0.8, 1.5));
+  EXPECT_DOUBLE_EQ(model.prr(1, {0, 0}, 2, {0, 39}), 0.8);
+  EXPECT_DOUBLE_EQ(model.prr(1, {0, 0}, 2, {0, 41}), 0.0);
+  EXPECT_TRUE(model.interferes(1, {0, 0}, 2, {0, 59}));
+}
+
+TEST(Failure, EtxReactsToLinkDegradation) {
+  // Line root(1) - 2 - 3; the 2-3 link degrades mid-run. Node 3's ETX to
+  // its parent must rise, raising its rank (MRHOF).
+  const auto topo = build_line(1, {0, 0}, 2, 30.0);
+  DynamicLinkModel* dyn = nullptr;
+  Network net(77, dynamic_disk(&dyn), topo, gt_config(60.0), nullptr);
+  ASSERT_NE(dyn, nullptr);
+
+  dyn->override_prr(240_s, 2, 3, 0.45);
+  net.start();
+  net.sim().run_until(230_s);
+  ASSERT_TRUE(net.fully_formed());
+  const double etx_before = net.node(3).etx().etx(2);
+  net.sim().run_until(500_s);
+  const double etx_after = net.node(3).etx().etx(2);
+  EXPECT_LT(etx_before, 1.4);
+  EXPECT_GT(etx_after, etx_before + 0.4);  // ~1/0.45 ≈ 2.2 at steady state
+  EXPECT_GT(net.node(3).rpl().rank(), 512 + 256);
+}
+
+TEST(Failure, GameShrinksHeadroomOnBadLink) {
+  // Same degradation; the Eq 15 request with higher ETX must not exceed
+  // the healthy-link one (comparative statics, on the live stack).
+  const auto topo = build_line(1, {0, 0}, 2, 30.0);
+  DynamicLinkModel* dyn = nullptr;
+  Network net(85, dynamic_disk(&dyn), topo, gt_config(60.0), nullptr);
+  dyn->override_prr(240_s, 2, 3, 0.5);
+  net.start();
+  net.sim().run_until(230_s);
+  ASSERT_TRUE(net.fully_formed());
+  net.sim().run_until(500_s);
+  // The node still holds enough cells to carry its traffic...
+  ASSERT_NE(net.node(3).gt_sf(), nullptr);
+  EXPECT_GE(net.node(3).gt_sf()->allocated_tx_cells(), 1);
+  // ...but its ETX-driven link cost is visibly above 1.
+  EXPECT_GT(net.node(3).etx().etx(2), 1.5);
+}
+
+TEST(Failure, LeafReparentsWhenRouterDies) {
+  // Diamond: root 1; routers 2 and 3 both reachable from leaf 4.
+  TopologySpec topo;
+  topo.nodes.push_back(NodeSpec{1, {0, 0}, true});
+  topo.nodes.push_back(NodeSpec{2, {30, 12}, false});
+  topo.nodes.push_back(NodeSpec{3, {30, -12}, false});
+  topo.nodes.push_back(NodeSpec{4, {55, 0}, false});  // reaches 2 and 3 only
+
+  DynamicLinkModel* dyn = nullptr;
+  Network net(79, dynamic_disk(&dyn), topo, gt_config(60.0), nullptr);
+  net.start();
+  net.sim().run_until(200_s);
+  ASSERT_TRUE(net.fully_formed());
+  const NodeId first_parent = net.node(4).rpl().parent();
+  ASSERT_TRUE(first_parent == 2 || first_parent == 3);
+  const NodeId other = first_parent == 2 ? 3 : 2;
+
+  dyn->kill_node(210_s, first_parent);
+  net.sim().at(210_s, [&] { net.node(first_parent).fail(); });
+  net.sim().run_until(600_s);
+
+  EXPECT_TRUE(net.node(first_parent).failed());
+  EXPECT_EQ(net.node(4).rpl().parent(), other);
+  // The leaf is operational again under the new parent.
+  ASSERT_NE(net.node(4).gt_sf(), nullptr);
+  EXPECT_EQ(net.node(4).gt_sf()->stage(), GtTschSf::Stage::kOperational);
+  EXPECT_EQ(net.node(4).gt_sf()->channel_to_parent(),
+            net.node(other).gt_sf()->family_channel());
+}
+
+TEST(Failure, ParentReclaimsCellsOfDeadChild) {
+  // Line: root 1 - relay 2 - leaf 3. Kill the leaf; after child_timeout
+  // the relay must reclaim its Rx cells and erase the child.
+  const auto topo = build_line(1, {0, 0}, 2, 30.0);
+  auto nc = gt_config(60.0);
+  nc.gt.child_timeout = 60_s;
+  DynamicLinkModel* dyn = nullptr;
+  Network net(81, dynamic_disk(&dyn), topo, nc, nullptr);
+
+  net.start();
+  net.sim().run_until(240_s);
+  ASSERT_TRUE(net.fully_formed());
+  ASSERT_EQ(net.node(2).gt_sf()->child_count(), 1u);
+  ASSERT_GT(net.node(2).gt_sf()->allocated_rx_cells(), 0);
+
+  dyn->kill_node(250_s, 3);
+  net.sim().at(250_s, [&] { net.node(3).fail(); });
+  net.sim().run_until(600_s);
+
+  EXPECT_EQ(net.node(2).gt_sf()->child_count(), 0u);
+  EXPECT_EQ(net.node(2).gt_sf()->allocated_rx_cells(), 0);
+}
+
+TEST(Failure, DeliveryRecoversAfterRouterFailure) {
+  TopologySpec topo;
+  topo.nodes.push_back(NodeSpec{1, {0, 0}, true});
+  topo.nodes.push_back(NodeSpec{2, {30, 12}, false});
+  topo.nodes.push_back(NodeSpec{3, {30, -12}, false});
+  topo.nodes.push_back(NodeSpec{4, {55, 0}, false});
+
+  // Measure only the post-failure window.
+  RunStats stats(330_s, 630_s);
+  DynamicLinkModel* dyn = nullptr;
+  Network net(83, dynamic_disk(&dyn), topo, gt_config(60.0), &stats);
+
+  net.start();
+  net.sim().run_until(200_s);
+  ASSERT_TRUE(net.fully_formed());
+  const NodeId victim = net.node(4).rpl().parent();
+  dyn->kill_node(210_s, victim);
+  net.sim().at(210_s, [&] { net.node(victim).fail(); });
+  net.sim().at(330_s, [&] { stats.begin_measurement(); });
+  net.sim().at(630_s, [&] { stats.end_measurement(); });
+  net.sim().run_until(640_s);
+
+  // The leaf's packets flow again via the surviving router.
+  const auto& leaf = stats.per_node().at(4);
+  EXPECT_GT(leaf.generated, 200u);
+  EXPECT_GT(static_cast<double>(leaf.delivered_origin),
+            0.9 * static_cast<double>(leaf.generated));
+}
+
+TEST(Failure, OrchestraAlsoRecovers) {
+  // Baseline sanity: Orchestra's autonomous cells follow the new parent.
+  TopologySpec topo;
+  topo.nodes.push_back(NodeSpec{1, {0, 0}, true});
+  topo.nodes.push_back(NodeSpec{2, {30, 12}, false});
+  topo.nodes.push_back(NodeSpec{3, {30, -12}, false});
+  topo.nodes.push_back(NodeSpec{4, {55, 0}, false});
+
+  ScenarioConfig sc;
+  sc.scheduler = SchedulerKind::kOrchestra;
+  sc.traffic_ppm = 30.0;
+  auto nc = sc.make_node_config();
+  nc.app_start = 60_s;
+  nc.app_end = 0;
+
+  DynamicLinkModel* dyn = nullptr;
+  Network net(87, dynamic_disk(&dyn), topo, nc, nullptr);
+  net.start();
+  net.sim().run_until(200_s);
+  ASSERT_TRUE(net.fully_formed());
+  const NodeId victim = net.node(4).rpl().parent();
+  const NodeId other = victim == 2 ? 3 : 2;
+  dyn->kill_node(210_s, victim);
+  net.sim().at(210_s, [&] { net.node(victim).fail(); });
+  net.sim().run_until(600_s);
+  EXPECT_EQ(net.node(4).rpl().parent(), other);
+}
+
+}  // namespace
+}  // namespace gttsch

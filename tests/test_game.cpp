@@ -1,0 +1,304 @@
+// Game-model tests: Eqs 2-8 building blocks, the closed-form optimum
+// (Eq 15 / Algorithm 2), KKT conditions, and the queue EWMA (Eq 6).
+// Property-style sweeps use parameterized tests over the state space.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/game/functions.hpp"
+#include "core/game/queue_ewma.hpp"
+#include "core/game/solver.hpp"
+
+namespace gttsch::game {
+namespace {
+
+PlayerState base_state() {
+  PlayerState p;
+  p.rank = 512;
+  p.rank_min = 256;
+  p.min_step_of_rank = 256;
+  p.etx = 1.5;
+  p.queue_avg = 4;
+  p.queue_max = 16;
+  p.l_tx_min = 1;
+  p.l_rx_parent = 10;
+  return p;
+}
+
+TEST(RankTilde, OneHopPerfectLinkIsOne) {
+  PlayerState p = base_state();
+  p.rank = 512;  // root + 1 * 256
+  EXPECT_DOUBLE_EQ(rank_tilde(p), 1.0);
+}
+
+TEST(RankTilde, DeeperNodesGetLess) {
+  PlayerState p = base_state();
+  p.rank = 512;
+  const double one_hop = rank_tilde(p);
+  p.rank = 768;
+  const double two_hop = rank_tilde(p);
+  p.rank = 1024;
+  const double three_hop = rank_tilde(p);
+  EXPECT_GT(one_hop, two_hop);
+  EXPECT_GT(two_hop, three_hop);
+  EXPECT_DOUBLE_EQ(two_hop, 0.5);
+}
+
+TEST(Utility, LogShapeAndMonotonicity) {
+  const PlayerState p = base_state();
+  EXPECT_DOUBLE_EQ(utility(p, 0.0), 0.0);  // log(1) = 0
+  EXPECT_GT(utility(p, 5.0), utility(p, 2.0));
+  EXPECT_GT(utility_d1(p, 1.0), 0.0);
+}
+
+TEST(Utility, StrictConcavity) {
+  const PlayerState p = base_state();
+  for (double s = 0.0; s <= 20.0; s += 0.5) EXPECT_LT(utility_d2(p, s), 0.0);
+}
+
+TEST(Utility, DerivativeMatchesFiniteDifference) {
+  const PlayerState p = base_state();
+  const double h = 1e-6;
+  for (double s : {0.5, 2.0, 7.0}) {
+    const double fd = (utility(p, s + h) - utility(p, s - h)) / (2 * h);
+    EXPECT_NEAR(utility_d1(p, s), fd, 1e-5);
+  }
+}
+
+TEST(LinkCost, ZeroOnPerfectLink) {
+  PlayerState p = base_state();
+  p.etx = 1.0;
+  EXPECT_DOUBLE_EQ(link_cost(p, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(link_cost_d1(p), 0.0);
+}
+
+TEST(LinkCost, GrowsWithEtxAndSlots) {
+  PlayerState p = base_state();
+  p.etx = 2.0;
+  EXPECT_DOUBLE_EQ(link_cost(p, 3.0), 3.0);
+  p.etx = 3.0;
+  EXPECT_DOUBLE_EQ(link_cost(p, 3.0), 6.0);
+}
+
+TEST(QueueCost, FullQueueCostsNothing) {
+  PlayerState p = base_state();
+  p.queue_avg = p.queue_max;
+  EXPECT_DOUBLE_EQ(queue_cost(p, 5.0), 0.0);
+}
+
+TEST(QueueCost, EmptyQueueCostsMost) {
+  PlayerState p = base_state();
+  p.queue_avg = 0;
+  EXPECT_DOUBLE_EQ(queue_cost(p, 5.0), 5.0);
+  p.queue_avg = 8;  // half full
+  EXPECT_DOUBLE_EQ(queue_cost(p, 5.0), 2.5);
+}
+
+TEST(Payoff, CombinesTerms) {
+  const Weights w{2.0, 3.0, 4.0};
+  const PlayerState p = base_state();
+  const double s = 2.5;
+  EXPECT_NEAR(payoff(w, p, s),
+              2.0 * utility(p, s) - 3.0 * link_cost(p, s) - 4.0 * queue_cost(p, s), 1e-12);
+}
+
+TEST(Payoff, SecondDerivativeNegativeEverywhere) {
+  const Weights w{4, 1, 1};
+  const PlayerState p = base_state();
+  for (double s = 0.0; s < 30.0; s += 0.25) EXPECT_LT(payoff_d2(w, p, s), 0.0);
+}
+
+TEST(Solver, InteriorOptimumMatchesEq15) {
+  const Weights w{4, 1, 1};
+  PlayerState p = base_state();
+  // Eq 15: X = alpha*rt / (gamma*(1 - Q/Qmax) + beta*(ETX-1)) - 1
+  const double rt = rank_tilde(p);
+  const double expected = 4.0 * rt / (1.0 * (1.0 - 4.0 / 16.0) + 1.0 * 0.5) - 1.0;
+  EXPECT_NEAR(unconstrained_optimum(w, p), expected, 1e-12);
+  ASSERT_GT(expected, p.l_tx_min);
+  ASSERT_LT(expected, p.l_rx_parent);
+  EXPECT_NEAR(optimal_tx_slots(w, p), expected, 1e-12);
+}
+
+TEST(Solver, GradientVanishesAtInteriorOptimum) {
+  const Weights w{4, 1, 1};
+  const PlayerState p = base_state();
+  const double s = optimal_tx_slots(w, p);
+  EXPECT_NEAR(payoff_d1(w, p, s), 0.0, 1e-9);
+}
+
+TEST(Solver, ClampsToLowerBound) {
+  const Weights w{1, 1, 1};
+  PlayerState p = base_state();
+  p.etx = 6.0;  // terrible link: optimum near 0 -> clamp up to l_tx_min
+  p.l_tx_min = 3;
+  EXPECT_DOUBLE_EQ(optimal_tx_slots(w, p), 3.0);
+}
+
+TEST(Solver, ClampsToUpperBound) {
+  const Weights w{50, 1, 1};
+  PlayerState p = base_state();
+  p.etx = 1.0;
+  p.queue_avg = 0;
+  EXPECT_DOUBLE_EQ(optimal_tx_slots(w, p), p.l_rx_parent);
+}
+
+TEST(Solver, DegenerateSetRequestsParentCapacity) {
+  const Weights w{4, 1, 1};
+  PlayerState p = base_state();
+  p.l_tx_min = 8;
+  p.l_rx_parent = 5;  // parent can give less than we need
+  EXPECT_DOUBLE_EQ(optimal_tx_slots(w, p), 5.0);
+}
+
+TEST(Solver, ZeroMarginalCostTakesUpperBound) {
+  const Weights w{4, 1, 1};
+  PlayerState p = base_state();
+  p.etx = 1.0;
+  p.queue_avg = p.queue_max;  // both cost slopes vanish
+  EXPECT_TRUE(std::isinf(unconstrained_optimum(w, p)));
+  EXPECT_DOUBLE_EQ(optimal_tx_slots(w, p), p.l_rx_parent);
+}
+
+TEST(Solver, IntegerOptimumIsArgmaxOverIntegers) {
+  const Weights w{4, 1, 1};
+  const PlayerState p = base_state();
+  const int s = optimal_tx_slots_int(w, p);
+  const int lo = static_cast<int>(p.l_tx_min);
+  const int hi = static_cast<int>(p.l_rx_parent);
+  for (int k = lo; k <= hi; ++k)
+    EXPECT_GE(payoff(w, p, s), payoff(w, p, k) - 1e-12) << "better integer at " << k;
+}
+
+TEST(Solver, IntegerRespectsDegenerateBounds) {
+  const Weights w{4, 1, 1};
+  PlayerState p = base_state();
+  p.l_tx_min = 7;
+  p.l_rx_parent = 4;
+  EXPECT_EQ(optimal_tx_slots_int(w, p), 4);
+}
+
+TEST(Solver, KktHoldsAtInteriorPoint) {
+  const Weights w{4, 1, 1};
+  const PlayerState p = base_state();
+  const KktPoint k = solve_kkt(w, p);
+  EXPECT_TRUE(kkt_satisfied(w, p, k));
+  EXPECT_NEAR(k.w1, 0.0, 1e-9);
+  EXPECT_NEAR(k.w2, 0.0, 1e-9);
+}
+
+TEST(Solver, KktMultiplierActiveAtLowerBound) {
+  const Weights w{1, 1, 1};
+  PlayerState p = base_state();
+  p.etx = 6.0;
+  p.l_tx_min = 3;
+  const KktPoint k = solve_kkt(w, p);
+  EXPECT_TRUE(kkt_satisfied(w, p, k));
+  EXPECT_GT(k.w1, 0.0);
+  EXPECT_DOUBLE_EQ(k.w2, 0.0);
+}
+
+TEST(Solver, KktMultiplierActiveAtUpperBound) {
+  const Weights w{50, 1, 1};
+  PlayerState p = base_state();
+  p.etx = 1.0;
+  p.queue_avg = 0;
+  const KktPoint k = solve_kkt(w, p);
+  EXPECT_TRUE(kkt_satisfied(w, p, k));
+  EXPECT_GT(k.w2, 0.0);
+  EXPECT_DOUBLE_EQ(k.w1, 0.0);
+}
+
+// --- Property sweep: the closed form equals Algorithm 2 for a grid of
+// states, and KKT conditions always hold. ---------------------------------
+
+struct SweepCase {
+  double alpha, beta, gamma, rank_hops, etx, queue_frac;
+  double l_tx_min, l_rx_parent;
+};
+
+class SolverSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(SolverSweep, Eq15AndKkt) {
+  const SweepCase c = GetParam();
+  const Weights w{c.alpha, c.beta, c.gamma};
+  PlayerState p;
+  p.rank = 256 + 256 * c.rank_hops;
+  p.rank_min = 256;
+  p.min_step_of_rank = 256;
+  p.etx = c.etx;
+  p.queue_max = 16;
+  p.queue_avg = c.queue_frac * p.queue_max;
+  p.l_tx_min = c.l_tx_min;
+  p.l_rx_parent = c.l_rx_parent;
+
+  const double s = optimal_tx_slots(w, p);
+  // Always inside the (possibly degenerate) strategy set.
+  EXPECT_LE(s, std::max(p.l_rx_parent, p.l_tx_min) + 1e-9);
+  if (p.l_rx_parent > p.l_tx_min) {
+    EXPECT_GE(s, p.l_tx_min - 1e-9);
+    // Argmax property over a dense sample of the interval.
+    const double v_star = payoff(w, p, s);
+    for (int k = 0; k <= 100; ++k) {
+      const double cand = p.l_tx_min + (p.l_rx_parent - p.l_tx_min) * k / 100.0;
+      EXPECT_LE(payoff(w, p, cand), v_star + 1e-9);
+    }
+    EXPECT_TRUE(kkt_satisfied(w, p, solve_kkt(w, p)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StateGrid, SolverSweep,
+    ::testing::Values(
+        SweepCase{4, 1, 1, 1, 1.0, 0.00, 0, 8}, SweepCase{4, 1, 1, 1, 1.0, 0.50, 0, 8},
+        SweepCase{4, 1, 1, 1, 2.0, 0.25, 1, 6}, SweepCase{4, 1, 1, 2, 1.2, 0.75, 2, 12},
+        SweepCase{4, 1, 1, 3, 3.0, 0.10, 0, 4}, SweepCase{1, 2, 3, 1, 1.5, 0.33, 1, 9},
+        SweepCase{8, 1, 2, 2, 2.5, 0.90, 3, 20}, SweepCase{2, 4, 1, 1, 4.0, 0.60, 0, 5},
+        SweepCase{6, 1, 1, 4, 1.1, 0.20, 1, 15}, SweepCase{4, 3, 2, 2, 1.8, 0.45, 2, 2},
+        SweepCase{4, 1, 1, 1, 1.0, 1.00, 0, 7}, SweepCase{10, 5, 5, 5, 5.0, 0.50, 4, 10},
+        SweepCase{4, 1, 1, 1, 1.0, 0.00, 6, 3}, SweepCase{3, 2, 1, 2, 2.2, 0.66, 0, 30}));
+
+// --- Queue EWMA (Eq 6) -----------------------------------------------------
+
+TEST(QueueEwma, FirstSampleInitializes) {
+  QueueEwma q(0.7);
+  EXPECT_FALSE(q.initialized());
+  q.update(6);
+  EXPECT_TRUE(q.initialized());
+  EXPECT_DOUBLE_EQ(q.value(), 6.0);
+}
+
+TEST(QueueEwma, FollowsEq6) {
+  QueueEwma q(0.7);
+  q.update(10);
+  q.update(0);
+  EXPECT_DOUBLE_EQ(q.value(), 0.7 * 10.0);  // zeta*Q + (1-zeta)*0
+  q.update(4);
+  EXPECT_NEAR(q.value(), 0.7 * 7.0 + 0.3 * 4.0, 1e-12);
+}
+
+TEST(QueueEwma, ConvergesToConstantInput) {
+  QueueEwma q(0.9);
+  q.update(0);
+  for (int i = 0; i < 300; ++i) q.update(5);
+  EXPECT_NEAR(q.value(), 5.0, 0.01);
+}
+
+TEST(QueueEwma, SmoothsSpikes) {
+  QueueEwma q(0.8);
+  q.update(2);
+  q.update(16);  // spike
+  EXPECT_LT(q.value(), 6.0);
+  EXPECT_GT(q.value(), 2.0);
+}
+
+TEST(QueueEwma, ResetClears) {
+  QueueEwma q(0.5);
+  q.update(8);
+  q.reset();
+  EXPECT_FALSE(q.initialized());
+  EXPECT_DOUBLE_EQ(q.value(), 0.0);
+}
+
+}  // namespace
+}  // namespace gttsch::game

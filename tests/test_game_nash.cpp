@@ -1,0 +1,184 @@
+// Nash-equilibrium analysis tests (Theorems 1-2): existence conditions,
+// best-response convergence to the closed form, uniqueness from random
+// starts, diagonal strict concavity, and the capacity-coupled variant.
+#include <gtest/gtest.h>
+
+#include "core/game/nash.hpp"
+
+namespace gttsch::game {
+namespace {
+
+PlayerState player(double hops, double etx, double q_frac, double lo, double hi) {
+  PlayerState p;
+  p.rank = 256 + 256 * hops;
+  p.rank_min = 256;
+  p.min_step_of_rank = 256;
+  p.etx = etx;
+  p.queue_max = 16;
+  p.queue_avg = q_frac * 16;
+  p.l_tx_min = lo;
+  p.l_rx_parent = hi;
+  return p;
+}
+
+std::vector<PlayerState> five_players() {
+  return {player(1, 1.0, 0.2, 0, 10), player(1, 1.5, 0.5, 1, 8),
+          player(2, 1.2, 0.0, 0, 6),  player(2, 2.0, 0.8, 2, 12),
+          player(3, 1.1, 0.4, 0, 9)};
+}
+
+TEST(Nash, ExistenceConditionsHold) {
+  TxAllocationGame g(Weights{4, 1, 1}, five_players());
+  EXPECT_TRUE(g.existence_conditions_hold());
+}
+
+TEST(Nash, ExistenceFailsForInvertedBounds) {
+  auto players = five_players();
+  players[2].l_tx_min = 9;
+  players[2].l_rx_parent = 3;  // S_i empty -> not compact-convex-nonempty
+  TxAllocationGame g(Weights{4, 1, 1}, players);
+  EXPECT_FALSE(g.existence_conditions_hold());
+}
+
+TEST(Nash, ClosedFormIsNash) {
+  TxAllocationGame g(Weights{4, 1, 1}, five_players());
+  EXPECT_TRUE(g.is_nash(g.closed_form_equilibrium()));
+}
+
+TEST(Nash, PerturbedProfileIsNotNash) {
+  TxAllocationGame g(Weights{4, 1, 1}, five_players());
+  auto s = g.closed_form_equilibrium();
+  s[0] = g.players()[0].l_tx_min;  // force player 0 off its optimum
+  // Only not-Nash if the optimum differed from the bound in the first place.
+  ASSERT_GT(g.closed_form_equilibrium()[0], g.players()[0].l_tx_min + 0.5);
+  EXPECT_FALSE(g.is_nash(s));
+}
+
+TEST(Nash, BestResponseConvergesToClosedForm) {
+  TxAllocationGame g(Weights{4, 1, 1}, five_players());
+  std::vector<double> init(5, 0.0);
+  for (std::size_t i = 0; i < 5; ++i) init[i] = g.players()[i].l_tx_min;
+  const auto r = g.best_response_dynamics(init);
+  EXPECT_TRUE(r.converged);
+  const auto closed = g.closed_form_equilibrium();
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(r.strategies[i], closed[i], 1e-6);
+  // Decoupled game: one sweep suffices.
+  EXPECT_LE(r.iterations, 3);
+}
+
+TEST(Nash, UniqueFromRandomStarts) {
+  TxAllocationGame g(Weights{4, 1, 1}, five_players());
+  Rng rng(77);
+  EXPECT_TRUE(g.unique_equilibrium(rng, 24));
+}
+
+TEST(Nash, DiagonalStrictConcavityAtManyPoints) {
+  TxAllocationGame g(Weights{4, 1, 1}, five_players());
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> s(5);
+    for (std::size_t i = 0; i < 5; ++i) {
+      const auto& p = g.players()[i];
+      s[i] = p.l_tx_min + rng.uniform_double() * (p.l_rx_parent - p.l_tx_min);
+    }
+    EXPECT_TRUE(g.diagonally_strictly_concave(s, rng));
+  }
+}
+
+TEST(Nash, CoupledCapacityRespected) {
+  // Five children sharing a parent budget of 12 Rx cells.
+  TxAllocationGame g(Weights{4, 1, 1}, five_players());
+  std::vector<double> init(5, 0.0);
+  const auto r = g.best_response_dynamics(init, /*shared_capacity=*/12.0);
+  EXPECT_TRUE(r.converged);
+  double total = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    total += r.strategies[i];
+    EXPECT_GE(r.strategies[i], g.players()[i].l_tx_min - 1e-9);
+  }
+  // Aggregate demand cannot exceed the budget by more than the forced
+  // minima (kept so strategy sets stay non-empty).
+  double forced = 0.0;
+  for (const auto& p : g.players()) forced += p.l_tx_min;
+  EXPECT_LE(total, std::max(12.0, forced) + 1e-6);
+}
+
+TEST(Nash, CoupledConvergesFromManyStarts) {
+  // When the shared budget binds, the coupled game's equilibrium set is a
+  // continuum (order of claims matters), so unlike the decoupled paper
+  // formulation we assert convergence + feasibility, not uniqueness.
+  TxAllocationGame g(Weights{4, 1, 1}, five_players());
+  Rng rng(123);
+  for (int start = 0; start < 12; ++start) {
+    std::vector<double> init(5);
+    for (std::size_t i = 0; i < 5; ++i) {
+      const auto& p = g.players()[i];
+      init[i] = p.l_tx_min + rng.uniform_double() * (p.l_rx_parent - p.l_tx_min);
+    }
+    const auto r = g.best_response_dynamics(std::move(init), /*shared_capacity=*/10.0);
+    EXPECT_TRUE(r.converged);
+    for (std::size_t i = 0; i < 5; ++i)
+      EXPECT_GE(r.strategies[i], g.players()[i].l_tx_min - 1e-9);
+  }
+}
+
+TEST(Nash, CoupledUniqueWhenBudgetSlack) {
+  // With a non-binding budget the equilibrium is unique again.
+  TxAllocationGame g(Weights{4, 1, 1}, five_players());
+  Rng rng(321);
+  EXPECT_TRUE(g.unique_equilibrium(rng, 12, /*shared_capacity=*/500.0));
+}
+
+TEST(Nash, LooseCouplingMatchesUncoupled) {
+  // With a budget far above total demand the coupled solution equals the
+  // paper's decoupled closed form.
+  TxAllocationGame g(Weights{4, 1, 1}, five_players());
+  std::vector<double> init(5, 0.0);
+  const auto coupled = g.best_response_dynamics(init, /*shared_capacity=*/1000.0);
+  const auto closed = g.closed_form_equilibrium();
+  ASSERT_TRUE(coupled.converged);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_NEAR(coupled.strategies[i], closed[i], 1e-6);
+}
+
+// --- Parameterized: equilibrium comparative statics -------------------------
+
+struct StaticsCase {
+  double etx_a, etx_b;       // player 0 variants
+  double expect_order;       // +1: s(etx_a) > s(etx_b)
+};
+
+class NashStatics : public ::testing::TestWithParam<int> {};
+
+TEST_P(NashStatics, WorseLinkNeverIncreasesEquilibriumShare) {
+  const int scenario = GetParam();
+  const double etx_low = 1.0 + 0.2 * scenario;
+  const double etx_high = etx_low + 1.0;
+  auto p_low = player(1 + scenario % 3, etx_low, 0.3, 0, 10);
+  auto p_high = p_low;
+  p_high.etx = etx_high;
+  const Weights w{4, 1, 1};
+  EXPECT_GE(optimal_tx_slots(w, p_low), optimal_tx_slots(w, p_high));
+}
+
+TEST_P(NashStatics, FullerQueueNeverDecreasesEquilibriumShare) {
+  const int scenario = GetParam();
+  auto p_empty = player(1 + scenario % 3, 1.0 + 0.3 * scenario, 0.1, 0, 10);
+  auto p_full = p_empty;
+  p_full.queue_avg = 0.9 * p_full.queue_max;
+  const Weights w{4, 1, 1};
+  EXPECT_LE(optimal_tx_slots(w, p_empty), optimal_tx_slots(w, p_full));
+}
+
+TEST_P(NashStatics, ShallowerNodeNeverGetsLess) {
+  const int scenario = GetParam();
+  auto p_shallow = player(1, 1.0 + 0.25 * scenario, 0.4, 0, 10);
+  auto p_deep = p_shallow;
+  p_deep.rank = 256 + 256 * 3;
+  const Weights w{4, 1, 1};
+  EXPECT_GE(optimal_tx_slots(w, p_shallow), optimal_tx_slots(w, p_deep));
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, NashStatics, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace gttsch::game

@@ -1,0 +1,287 @@
+// GT-TSCH scheduling-function unit tests, driving the 6P request handlers
+// and bootstrap machinery directly (no full network needed): channel
+// assignment per Algorithm 1, 6P-cell and data-cell ADD semantics,
+// DELETE/CLEAR, demand registration, and the l^rx advertisement.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/gt_tsch_sf.hpp"
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+
+namespace gttsch {
+namespace {
+
+using namespace literals;
+
+class GtSfTest : public ::testing::Test {
+ protected:
+  GtSfTest()
+      : sim_(51),
+        medium_(sim_, std::make_unique<UnitDiskModel>(100.0), Rng(51)),
+        radio_(sim_, medium_, 1, {}),
+        mac_(sim_, medium_, radio_, MacConfig{}, Rng(52)),
+        rpl_(sim_, mac_, etx_, RplConfig{}, Rng(53)),
+        sixp_(sim_, mac_),
+        sf_(sim_, mac_, rpl_, sixp_, etx_, GtTschConfig{}, Rng(54)) {}
+
+  /// Boot node 1 as an operational root. (The fixture drives the SF
+  /// directly, so the association upcall is delivered by hand.)
+  void become_root() {
+    sf_.start(true);
+    rpl_.start_as_root();
+    mac_.start_as_root();
+    sf_.on_associated();
+    ASSERT_EQ(sf_.stage(), GtTschSf::Stage::kOperational);
+  }
+
+  SixpPayload ask_channel(NodeId peer) {
+    SixpPayload ask;
+    ask.command = SixpCommand::kAskChannel;
+    return sf_.sixp_handle_request(peer, ask);
+  }
+
+  SixpPayload add_sixp_cells(NodeId peer) {
+    SixpPayload add;
+    add.command = SixpCommand::kAdd;
+    add.num_cells = 2;
+    add.cell_options = kCellSixp;
+    return sf_.sixp_handle_request(peer, add);
+  }
+
+  SixpPayload add_data_cells(NodeId peer, int count) {
+    SixpPayload add;
+    add.command = SixpCommand::kAdd;
+    add.num_cells = static_cast<std::uint8_t>(count);
+    add.cell_options = kCellTx;
+    return sf_.sixp_handle_request(peer, add);
+  }
+
+  Simulator sim_;
+  Medium medium_;
+  Radio radio_;
+  TschMac mac_;
+  EtxEstimator etx_;
+  RplAgent rpl_;
+  SixpAgent sixp_;
+  GtTschSf sf_;
+};
+
+TEST_F(GtSfTest, RootBecomesOperationalWithFamilyChannel) {
+  become_root();
+  EXPECT_NE(sf_.family_channel(), kNoChannel);
+  EXPECT_NE(sf_.family_channel(), 0);  // not f_bcast
+  EXPECT_EQ(sf_.level(), 0u);
+  EXPECT_EQ(sf_.channel_to_parent(), kNoChannel);
+}
+
+TEST_F(GtSfTest, BaseCellsInstalled) {
+  become_root();
+  const Slotframe* sf = mac_.schedule().get(0);
+  ASSERT_NE(sf, nullptr);
+  // 4 broadcast cells + 3 shared (even parity) for Table-II defaults.
+  int broadcast = 0, shared = 0;
+  for (const Cell& c : sf->all_cells()) {
+    if (c.channel_offset == 0 && c.is_shared()) ++broadcast;
+    if (c.channel_offset == sf_.family_channel() && c.is_shared()) ++shared;
+  }
+  EXPECT_EQ(broadcast, 4);
+  EXPECT_EQ(shared, 3);
+}
+
+TEST_F(GtSfTest, AskChannelAssignsDistinctChannelsPerChild) {
+  become_root();
+  const auto r1 = ask_channel(10);
+  const auto r2 = ask_channel(11);
+  ASSERT_EQ(r1.code, SixpReturnCode::kSuccess);
+  ASSERT_EQ(r2.code, SixpReturnCode::kSuccess);
+  EXPECT_NE(r1.channel_offset, r2.channel_offset);
+  EXPECT_NE(r1.channel_offset, sf_.family_channel());
+  EXPECT_NE(r2.channel_offset, sf_.family_channel());
+  EXPECT_EQ(r1.level, 1);  // children sit one level below the root
+  EXPECT_EQ(sf_.child_count(), 2u);
+}
+
+TEST_F(GtSfTest, AskChannelIdempotentPerChild) {
+  become_root();
+  const auto first = ask_channel(10);
+  const auto second = ask_channel(10);
+  EXPECT_EQ(first.channel_offset, second.channel_offset);
+  EXPECT_EQ(sf_.child_count(), 1u);
+}
+
+TEST_F(GtSfTest, AskChannelExhaustsAtMaxChildren) {
+  become_root();
+  // |F|=8, f_bcast + own family -> at most 6 assignable, but the paper's
+  // bound is |F|-3 = 5 (the root has no parent channel; our allocator
+  // then allows one extra). Request many and count successes.
+  int granted = 0;
+  for (NodeId child = 10; child < 24; ++child)
+    if (ask_channel(child).code == SixpReturnCode::kSuccess) ++granted;
+  EXPECT_GE(granted, 5);
+  EXPECT_LE(granted, 6);
+  // Subsequent requests keep failing.
+  EXPECT_EQ(ask_channel(99).code, SixpReturnCode::kErrNoResource);
+}
+
+TEST_F(GtSfTest, SixpCellPairGranted) {
+  become_root();
+  ask_channel(10);
+  const auto r = add_sixp_cells(10);
+  ASSERT_EQ(r.code, SixpReturnCode::kSuccess);
+  ASSERT_EQ(r.cell_list.size(), 2u);
+  // Requester perspective: one Tx (child->parent), one Rx (parent->child).
+  EXPECT_TRUE(r.cell_list[0].is_tx());
+  EXPECT_TRUE(r.cell_list[0].is_sixp());
+  EXPECT_TRUE(r.cell_list[1].is_rx());
+  // Both on the root's family channel.
+  EXPECT_EQ(r.cell_list[0].channel_offset, sf_.family_channel());
+  // Mirrored cells installed locally.
+  int installed = 0;
+  for (const Cell& c : mac_.schedule().get(0)->all_cells())
+    if (c.neighbor == 10 && c.is_sixp()) ++installed;
+  EXPECT_EQ(installed, 2);
+}
+
+TEST_F(GtSfTest, SixpCellPairIdempotent) {
+  become_root();
+  ask_channel(10);
+  const auto first = add_sixp_cells(10);
+  const auto again = add_sixp_cells(10);
+  ASSERT_EQ(again.code, SixpReturnCode::kSuccess);
+  EXPECT_EQ(first.cell_list.size(), again.cell_list.size());
+  int installed = 0;
+  for (const Cell& c : mac_.schedule().get(0)->all_cells())
+    if (c.neighbor == 10 && c.is_sixp()) ++installed;
+  EXPECT_EQ(installed, 2);  // no duplicates
+}
+
+TEST_F(GtSfTest, DataAddGrantsAndRegistersDemand) {
+  become_root();
+  ask_channel(10);
+  const auto r = add_data_cells(10, 3);
+  ASSERT_EQ(r.code, SixpReturnCode::kSuccess);
+  EXPECT_EQ(static_cast<int>(r.cell_list.size()), 3);
+  for (const Cell& c : r.cell_list) {
+    EXPECT_TRUE(c.is_tx());  // requester perspective
+    EXPECT_FALSE(c.is_sixp());
+    EXPECT_EQ(c.channel_offset, sf_.family_channel());
+  }
+  EXPECT_EQ(sf_.allocated_rx_cells(), 3);
+}
+
+TEST_F(GtSfTest, DataAddHonorsCandidateList) {
+  become_root();
+  ask_channel(10);
+  SixpPayload add;
+  add.command = SixpCommand::kAdd;
+  add.num_cells = 4;
+  add.cell_options = kCellTx;
+  Cell cand;
+  cand.slot_offset = 5;
+  cand.options = kCellTx;
+  add.cell_list.push_back(cand);
+  cand.slot_offset = 6;
+  add.cell_list.push_back(cand);
+  const auto r = sf_.sixp_handle_request(10, add);
+  EXPECT_LE(r.cell_list.size(), 2u);
+  for (const Cell& c : r.cell_list) EXPECT_TRUE(c.slot_offset == 5 || c.slot_offset == 6);
+}
+
+TEST_F(GtSfTest, DataDeleteRemovesCells) {
+  become_root();
+  ask_channel(10);
+  const auto granted = add_data_cells(10, 2);
+  ASSERT_EQ(granted.cell_list.size(), 2u);
+  SixpPayload del;
+  del.command = SixpCommand::kDelete;
+  del.cell_list = granted.cell_list;
+  del.num_cells = 2;
+  const auto r = sf_.sixp_handle_request(10, del);
+  EXPECT_EQ(r.code, SixpReturnCode::kSuccess);
+  EXPECT_EQ(r.num_cells, 2);
+  EXPECT_EQ(sf_.allocated_rx_cells(), 0);
+}
+
+TEST_F(GtSfTest, ClearRemovesChildEntirely) {
+  become_root();
+  ask_channel(10);
+  add_sixp_cells(10);
+  add_data_cells(10, 2);
+  SixpPayload clear;
+  clear.command = SixpCommand::kClear;
+  sf_.sixp_handle_request(10, clear);
+  EXPECT_EQ(sf_.child_count(), 0u);
+  for (const Cell& c : mac_.schedule().get(0)->all_cells()) EXPECT_NE(c.neighbor, 10);
+}
+
+TEST_F(GtSfTest, AdvertisedFreeRxShrinksWithGrants) {
+  become_root();
+  ask_channel(10);
+  const int before = sf_.advertised_free_rx();
+  ASSERT_GT(before, 0);
+  add_data_cells(10, 3);
+  const int after = sf_.advertised_free_rx();
+  EXPECT_LT(after, before);
+}
+
+TEST_F(GtSfTest, ResponsesCarryFreeRx) {
+  become_root();
+  const auto r = ask_channel(10);
+  EXPECT_GT(r.free_rx, 0);
+}
+
+TEST_F(GtSfTest, NonRootRejectsAskChannelUntilOperational) {
+  sf_.start(false);
+  rpl_.start();
+  const auto r = ask_channel(10);
+  EXPECT_EQ(r.code, SixpReturnCode::kErrBusy);
+  EXPECT_EQ(sf_.child_count(), 0u);
+}
+
+TEST_F(GtSfTest, EbInfoOnlyWhenOperational) {
+  sf_.start(false);
+  EXPECT_FALSE(sf_.eb_info().has_value());
+  // Root path: operational immediately.
+  GtSfTest* self = this;
+  (void)self;
+}
+
+TEST_F(GtSfTest, RootEbCarriesFamilyChannel) {
+  become_root();
+  const auto eb = sf_.eb_info();
+  ASSERT_TRUE(eb.has_value());
+  EXPECT_TRUE(eb->has_family_channel);
+  EXPECT_EQ(eb->family_channel, sf_.family_channel());
+  EXPECT_EQ(eb->join_priority, 0);
+  EXPECT_EQ(eb->slotframe_length, 32);
+}
+
+TEST_F(GtSfTest, SectionVHoldsAtRootAfterManyGrants) {
+  become_root();
+  for (NodeId child : {10, 11, 12}) {
+    ask_channel(child);
+    add_sixp_cells(child);
+    add_data_cells(child, 2);
+  }
+  const Slotframe* sf = mac_.schedule().get(0);
+  // Root is exempt from Tx>Rx, but fairness still spreads the cells; check
+  // no slot double-booked.
+  for (std::uint16_t s = 0; s < sf->length(); ++s)
+    EXPECT_LE(sf->cells_at(s).size(), 1u) << "slot " << s;
+}
+
+TEST_F(GtSfTest, ChildDemandAccumulatesForEq1) {
+  become_root();
+  ask_channel(10);
+  ask_channel(11);
+  add_data_cells(10, 2);
+  add_data_cells(11, 3);
+  // Demand is visible via the advertisement path indirectly; directly we
+  // can only observe grants here: 5 Rx cells total.
+  EXPECT_EQ(sf_.allocated_rx_cells(), 5);
+}
+
+}  // namespace
+}  // namespace gttsch

@@ -1,0 +1,222 @@
+// Full-stack integration tests: network formation, GT-TSCH bootstrap
+// (channel allocation + 6P + data cells), end-to-end delivery under both
+// schedulers, and the Section III / V invariants checked on live schedules.
+#include <gtest/gtest.h>
+
+#include "core/tx_alloc.hpp"
+#include "scenario/experiment.hpp"
+#include "scenario/network.hpp"
+
+namespace gttsch {
+namespace {
+
+using namespace literals;
+
+NodeStackConfig gt_config(double ppm = 30.0) {
+  ScenarioConfig sc;
+  sc.scheduler = SchedulerKind::kGtTsch;
+  sc.traffic_ppm = ppm;
+  auto nc = sc.make_node_config();
+  nc.app_start = 60_s;
+  nc.app_end = 0;
+  return nc;
+}
+
+NodeStackConfig orchestra_config(double ppm = 30.0) {
+  ScenarioConfig sc;
+  sc.scheduler = SchedulerKind::kOrchestra;
+  sc.traffic_ppm = ppm;
+  auto nc = sc.make_node_config();
+  nc.app_start = 60_s;
+  nc.app_end = 0;
+  return nc;
+}
+
+std::unique_ptr<LinkModel> disk() {
+  return std::make_unique<UnitDiskModel>(40.0, 1.0, 1.6);
+}
+
+TEST(Integration, GtNetworkFormsSevenNodes) {
+  const auto topo = build_dodag(1, {0, 0}, 7, 30.0);
+  Network net(11, disk(), topo, gt_config(), nullptr);
+  net.start();
+  net.sim().run_until(180_s);
+  EXPECT_TRUE(net.fully_formed());
+  // Routers (in root range) attach directly.
+  EXPECT_EQ(net.node(2).rpl().parent(), 1);
+  EXPECT_EQ(net.node(3).rpl().parent(), 1);
+  // Every node has a loop-free upward path to the root. (Leaves may ride
+  // through a sibling leaf transiently — normal RPL behavior — so exact
+  // depth is not asserted.)
+  for (NodeId start = 2; start <= 7; ++start) {
+    NodeId hop = start;
+    int steps = 0;
+    while (hop != 1 && steps < 7) {
+      hop = net.node(hop).rpl().parent();
+      ASSERT_NE(hop, kNoNode) << "node " << start;
+      ++steps;
+    }
+    EXPECT_EQ(hop, 1) << "node " << start << " does not reach the root";
+  }
+}
+
+TEST(Integration, OrchestraNetworkForms) {
+  const auto topo = build_dodag(1, {0, 0}, 7, 30.0);
+  Network net(13, disk(), topo, orchestra_config(), nullptr);
+  net.start();
+  net.sim().run_until(180_s);
+  EXPECT_TRUE(net.fully_formed());
+}
+
+TEST(Integration, GtBootstrapReachesOperational) {
+  const auto topo = build_dodag(1, {0, 0}, 7, 30.0);
+  Network net(17, disk(), topo, gt_config(), nullptr);
+  net.start();
+  net.sim().run_until(240_s);
+  for (const auto& [id, node] : net.nodes()) {
+    auto* sf = node->gt_sf();
+    ASSERT_NE(sf, nullptr);
+    EXPECT_EQ(sf->stage(), GtTschSf::Stage::kOperational) << "node " << id;
+    EXPECT_NE(sf->family_channel(), kNoChannel) << "node " << id;
+  }
+}
+
+TEST(Integration, GtChannelPropertiesHoldOnLiveTree) {
+  const auto topo = build_dodag(1, {0, 0}, 7, 30.0);
+  Network net(19, disk(), topo, gt_config(), nullptr);
+  net.start();
+  net.sim().run_until(240_s);
+  // Three-hop uniqueness on every leaf -> router -> root path.
+  for (NodeId leaf = 4; leaf <= 7; ++leaf) {
+    auto* leaf_sf = net.node(leaf).gt_sf();
+    const NodeId router = net.node(leaf).rpl().parent();
+    auto* router_sf = net.node(router).gt_sf();
+    ASSERT_NE(leaf_sf, nullptr);
+    ASSERT_NE(router_sf, nullptr);
+    // Leaf tx channel == router family channel.
+    EXPECT_EQ(leaf_sf->channel_to_parent(), router_sf->family_channel());
+    // Distinct along the path.
+    EXPECT_NE(leaf_sf->channel_to_parent(), router_sf->channel_to_parent());
+    EXPECT_NE(leaf_sf->family_channel(), router_sf->family_channel());
+    EXPECT_NE(leaf_sf->family_channel(), leaf_sf->channel_to_parent());
+  }
+  // Sibling routers have distinct family channels.
+  EXPECT_NE(net.node(2).gt_sf()->family_channel(), net.node(3).gt_sf()->family_channel());
+}
+
+TEST(Integration, GtSectionVInvariantsOnLiveSchedules) {
+  const auto topo = build_dodag(1, {0, 0}, 7, 30.0);
+  auto config = gt_config(60.0);
+  Network net(23, disk(), topo, config, nullptr);
+  net.start();
+  net.sim().run_until(300_s);
+  for (const auto& [id, node] : net.nodes()) {
+    if (node->is_root()) continue;
+    const Slotframe* sf = node->mac().schedule().get(0);
+    ASSERT_NE(sf, nullptr);
+    EXPECT_TRUE(TxSlotAllocator::tx_exceeds_rx(*sf)) << "node " << id;
+    EXPECT_TRUE(TxSlotAllocator::rx_interleaved(*sf)) << "node " << id;
+  }
+}
+
+TEST(Integration, GtDataCellsFollowDemand) {
+  const auto topo = build_dodag(1, {0, 0}, 7, 30.0);
+  Network net(29, disk(), topo, gt_config(120.0), nullptr);
+  net.start();
+  net.sim().run_until(300_s);
+  // Routers forward two leaves' traffic plus their own: they must have
+  // acquired more Tx cells than the leaves.
+  const int router_tx = net.node(2).gt_sf()->allocated_tx_cells();
+  const int leaf_tx = net.node(4).gt_sf()->allocated_tx_cells();
+  EXPECT_GT(router_tx, 0);
+  EXPECT_GT(leaf_tx, 0);
+  EXPECT_GE(router_tx, leaf_tx);
+}
+
+TEST(Integration, EndToEndDeliveryGt) {
+  const auto topo = build_dodag(1, {0, 0}, 7, 30.0);
+  RunStats stats(180_s, 360_s);
+  auto nc = gt_config(60.0);
+  Network net(31, disk(), topo, nc, &stats);
+  net.sim().at(180_s, [&] { stats.begin_measurement(); });
+  net.sim().at(360_s, [&] { stats.end_measurement(); });
+  net.start();
+  net.sim().run_until(365_s);
+  const auto m = stats.finalize();
+  EXPECT_GT(m.generated, 0u);
+  EXPECT_GT(m.pdr_percent, 90.0);
+  EXPECT_GT(m.avg_delay_ms, 0.0);
+  EXPECT_LT(m.avg_delay_ms, 2000.0);
+}
+
+TEST(Integration, EndToEndDeliveryOrchestra) {
+  const auto topo = build_dodag(1, {0, 0}, 7, 30.0);
+  RunStats stats(180_s, 360_s);
+  auto nc = orchestra_config(30.0);
+  Network net(37, disk(), topo, nc, &stats);
+  net.sim().at(180_s, [&] { stats.begin_measurement(); });
+  net.sim().at(360_s, [&] { stats.end_measurement(); });
+  net.start();
+  net.sim().run_until(365_s);
+  const auto m = stats.finalize();
+  EXPECT_GT(m.generated, 0u);
+  // Light load: Orchestra delivers most packets (paper: ~99% at 1 ppm,
+  // still high at 30 ppm).
+  EXPECT_GT(m.pdr_percent, 70.0);
+}
+
+TEST(Integration, TwoDodagsStayIsolated) {
+  const auto topo = build_multi_dodag(2, 7, 30.0);
+  Network net(41, disk(), topo, gt_config(), nullptr);
+  net.start();
+  net.sim().run_until(240_s);
+  EXPECT_TRUE(net.fully_formed());
+  // Every node's DODAG root is its own root (1 or 8).
+  for (const auto& [id, node] : net.nodes()) {
+    if (node->is_root()) continue;
+    EXPECT_EQ(node->rpl().dodag_root(), id <= 7 ? 1 : 8) << "node " << id;
+  }
+}
+
+TEST(Integration, HopCountsRecordedInDelivery) {
+  const auto topo = build_dodag(1, {0, 0}, 7, 30.0);
+  RunStats stats(180_s, 300_s);
+  Network net(43, disk(), topo, gt_config(30.0), &stats);
+  net.sim().at(180_s, [&] { stats.begin_measurement(); });
+  net.start();
+  net.sim().run_until(305_s);
+  const auto m = stats.finalize();
+  // Mix of 1-hop (routers) and 2-hop (leaves) sources.
+  EXPECT_GT(m.mean_hops, 0.4);
+  EXPECT_LT(m.mean_hops, 2.1);
+}
+
+TEST(Integration, LineTopologyMultiHop) {
+  const auto topo = build_line(1, {0, 0}, 3, 30.0);
+  RunStats stats(240_s, 420_s);
+  Network net(47, disk(), topo, gt_config(30.0), &stats);
+  net.sim().at(240_s, [&] { stats.begin_measurement(); });
+  net.start();
+  net.sim().run_until(425_s);
+  EXPECT_TRUE(net.fully_formed());
+  const auto m = stats.finalize();
+  EXPECT_GT(m.pdr_percent, 80.0);
+}
+
+TEST(Integration, GtDeterministicForSameSeed) {
+  const auto topo = build_dodag(1, {0, 0}, 7, 30.0);
+  auto run_once = [&](std::uint64_t seed) {
+    RunStats stats(180_s, 300_s);
+    Network net(seed, disk(), topo, gt_config(60.0), &stats);
+    net.sim().at(180_s, [&] { stats.begin_measurement(); });
+    net.start();
+    net.sim().run_until(305_s);
+    const auto m = stats.finalize();
+    return std::make_tuple(m.generated, m.delivered, m.queue_drops);
+  };
+  EXPECT_EQ(run_once(99), run_once(99));
+  EXPECT_NE(std::get<0>(run_once(99)), 0u);
+}
+
+}  // namespace
+}  // namespace gttsch

@@ -1,0 +1,184 @@
+// Load-balancer tests (Section VI, Eq 1): l^g estimation, l^tx-min, ADD
+// count via the game solution, DELETE hysteresis.
+#include <gtest/gtest.h>
+
+#include "core/load_balancer.hpp"
+
+namespace gttsch {
+namespace {
+
+using namespace literals;
+using Action = LoadBalancer::Decision::Action;
+
+LoadBalancer::Inputs base_inputs() {
+  LoadBalancer::Inputs in;
+  in.generated_since_last_tick = 1;
+  in.tick_period = 480_ms;  // slotframe 32 x 15ms
+  in.slotframe_duration = 480_ms;
+  in.children_demand = 0;
+  in.allocated_tx = 0;
+  in.l_rx_parent = 10;
+  in.queue_length = 0;
+  in.rank = 512;
+  in.rank_min = 256;
+  in.min_step_of_rank = 256;
+  in.etx = 1.0;
+  in.queue_max = 16;
+  return in;
+}
+
+LoadBalancerConfig config() {
+  LoadBalancerConfig c;
+  c.weights = game::Weights{4, 1, 1};
+  return c;
+}
+
+TEST(LoadBalancer, GenRateToSlots) {
+  LoadBalancer lb(config());
+  auto in = base_inputs();
+  in.generated_since_last_tick = 2;  // 2 packets / 0.48s ≈ 4.17 pps
+  lb.tick(in);
+  // l^g = ceil(4.17 * 0.48) = 2.
+  EXPECT_EQ(lb.l_g(), 2);
+}
+
+TEST(LoadBalancer, Eq1LtxMin) {
+  LoadBalancer lb(config());
+  auto in = base_inputs();
+  in.generated_since_last_tick = 1;
+  in.children_demand = 3;
+  in.allocated_tx = 2;
+  lb.tick(in);
+  // l^g = 1, demand = 1 + 3 = 4, allocated 2 -> l^tx-min = 2.
+  EXPECT_EQ(lb.l_g(), 1);
+  EXPECT_EQ(lb.l_tx_min(), 2);
+}
+
+TEST(LoadBalancer, AddsWhenShort) {
+  LoadBalancer lb(config());
+  auto in = base_inputs();
+  in.children_demand = 4;
+  const auto d = lb.tick(in);
+  EXPECT_EQ(d.action, Action::kAdd);
+  EXPECT_GE(d.count, lb.l_tx_min());
+  EXPECT_LE(d.count, in.l_rx_parent);
+}
+
+TEST(LoadBalancer, NoAddWhenParentHasNothing) {
+  LoadBalancer lb(config());
+  auto in = base_inputs();
+  in.children_demand = 4;
+  in.l_rx_parent = 0;
+  const auto d = lb.tick(in);
+  EXPECT_EQ(d.action, Action::kNone);
+  EXPECT_GT(lb.l_tx_min(), 0);  // need is still recorded
+}
+
+TEST(LoadBalancer, GameBoundsRespectedWhenParentConstrains) {
+  LoadBalancer lb(config());
+  auto in = base_inputs();
+  in.children_demand = 8;
+  in.l_rx_parent = 3;  // less than l^tx-min -> request exactly 3 (paper rule)
+  const auto d = lb.tick(in);
+  EXPECT_EQ(d.action, Action::kAdd);
+  EXPECT_EQ(d.count, 3);
+}
+
+TEST(LoadBalancer, OpportunisticHeadroomUnderGoodConditions) {
+  // Perfect link + sizeable queue backlog: the game optimum exceeds the
+  // bare minimum — selfish headroom grabbing (Section VII intro).
+  LoadBalancer lb(config());
+  auto in = base_inputs();
+  in.generated_since_last_tick = 1;
+  in.queue_length = 14;  // nearly full queue -> low queue cost
+  in.children_demand = 1;
+  const auto d = lb.tick(in);
+  ASSERT_EQ(d.action, Action::kAdd);
+  EXPECT_GT(d.count, lb.l_tx_min());
+}
+
+TEST(LoadBalancer, PoorLinkShrinksRequestTowardMinimum) {
+  LoadBalancer good(config()), bad(config());
+  auto in = base_inputs();
+  in.children_demand = 2;
+  in.queue_length = 8;
+  const auto d_good = good.tick(in);
+  in.etx = 4.0;  // lossy link raises the marginal cost
+  const auto d_bad = bad.tick(in);
+  ASSERT_EQ(d_good.action, Action::kAdd);
+  ASSERT_EQ(d_bad.action, Action::kAdd);
+  EXPECT_LE(d_bad.count, d_good.count);
+}
+
+TEST(LoadBalancer, DeleteNeedsSustainedSurplus) {
+  auto cfg = config();
+  cfg.surplus_threshold = 2;
+  cfg.surplus_ticks = 3;
+  LoadBalancer lb(cfg);
+  auto in = base_inputs();
+  in.generated_since_last_tick = 0;
+  in.allocated_tx = 5;  // way more than needed
+  // First ticks: establish a zero-rate estimate; no DELETE before streak.
+  auto d = lb.tick(in);
+  EXPECT_EQ(d.action, Action::kNone);
+  d = lb.tick(in);
+  EXPECT_EQ(d.action, Action::kNone);
+  d = lb.tick(in);
+  EXPECT_EQ(d.action, Action::kDelete);
+  EXPECT_EQ(d.count, lb.l_tx_min() == 0 ? 4 : -lb.l_tx_min() - 1);
+}
+
+TEST(LoadBalancer, SurplusStreakResetsOnDemand) {
+  auto cfg = config();
+  cfg.surplus_threshold = 2;
+  cfg.surplus_ticks = 2;
+  LoadBalancer lb(cfg);
+  auto in = base_inputs();
+  in.generated_since_last_tick = 0;
+  in.allocated_tx = 5;
+  EXPECT_EQ(lb.tick(in).action, Action::kNone);
+  // Burst of demand interrupts the streak.
+  in.generated_since_last_tick = 4;
+  (void)lb.tick(in);
+  in.generated_since_last_tick = 0;
+  EXPECT_EQ(lb.tick(in).action, Action::kNone);  // streak restarted
+}
+
+TEST(LoadBalancer, QueueMetricFollowsEwma) {
+  LoadBalancer lb(config());
+  auto in = base_inputs();
+  in.queue_length = 8;
+  lb.tick(in);
+  EXPECT_DOUBLE_EQ(lb.queue_metric(), 8.0);
+  in.queue_length = 0;
+  lb.tick(in);
+  EXPECT_NEAR(lb.queue_metric(), 0.7 * 8.0, 1e-9);
+}
+
+TEST(LoadBalancer, RateEstimateSmoothed) {
+  LoadBalancer lb(config());
+  auto in = base_inputs();
+  in.generated_since_last_tick = 4;
+  lb.tick(in);
+  const double first = lb.gen_rate_pps();
+  in.generated_since_last_tick = 0;
+  lb.tick(in);
+  EXPECT_LT(lb.gen_rate_pps(), first);
+  EXPECT_GT(lb.gen_rate_pps(), 0.0);
+}
+
+TEST(LoadBalancer, ChildrenDemandDrivesUpwardCascade) {
+  // A pure forwarder (no local traffic) still requests cells when its
+  // children register demand — the mechanism behind Eq 1's l^tx_cs term.
+  LoadBalancer lb(config());
+  auto in = base_inputs();
+  in.generated_since_last_tick = 0;
+  in.children_demand = 6;
+  in.allocated_tx = 1;
+  const auto d = lb.tick(in);
+  EXPECT_EQ(d.action, Action::kAdd);
+  EXPECT_GE(d.count, 5);  // at least the missing cells
+}
+
+}  // namespace
+}  // namespace gttsch

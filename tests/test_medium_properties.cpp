@@ -1,0 +1,135 @@
+// Randomized property tests on the wireless medium: conservation laws,
+// determinism, and metamorphic relations that must hold for any topology.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+
+namespace gttsch {
+namespace {
+
+using namespace literals;
+
+struct RandomAirScenario {
+  std::uint64_t seed;
+  int nodes;
+  double range;
+  int transmissions;
+};
+
+/// Runs `transmissions` randomly timed broadcasts from random nodes with
+/// all other radios listening on a random channel, and returns the medium
+/// stats plus per-node delivery counts.
+struct AirResult {
+  MediumStats stats;
+  std::vector<int> rx_count;
+};
+
+AirResult run_random_air(const RandomAirScenario& sc, double range_override = -1) {
+  Simulator sim(sc.seed);
+  Rng rng(sc.seed * 77 + 1);
+  const double range = range_override > 0 ? range_override : sc.range;
+  Medium medium(sim, std::make_unique<UnitDiskModel>(range, 1.0, 1.5), Rng(sc.seed));
+  std::vector<std::unique_ptr<Radio>> radios;
+  AirResult result;
+  result.rx_count.assign(static_cast<std::size_t>(sc.nodes), 0);
+  for (int i = 0; i < sc.nodes; ++i) {
+    radios.push_back(std::make_unique<Radio>(
+        sim, medium, static_cast<NodeId>(i),
+        Position{rng.uniform_double(0, 100), rng.uniform_double(0, 100)}));
+    const auto idx = static_cast<std::size_t>(i);
+    radios.back()->on_rx = [&result, idx](FramePtr) { ++result.rx_count[idx]; };
+  }
+  for (int t = 0; t < sc.transmissions; ++t) {
+    const TimeUs at = static_cast<TimeUs>(rng.uniform(60000000));
+    const auto sender = static_cast<std::size_t>(rng.uniform(sc.nodes));
+    const PhysChannel ch = static_cast<PhysChannel>(11 + rng.uniform(8));
+    sim.at(at, [&radios, &medium, sender, ch, sc] {
+      // Everyone else listens on the channel (if idle).
+      for (std::size_t r = 0; r < radios.size(); ++r) {
+        if (r == sender) continue;
+        if (radios[r]->state() == RadioState::kOff) radios[r]->listen(ch);
+      }
+      if (radios[sender]->state() != RadioState::kTransmitting) {
+        if (radios[sender]->state() == RadioState::kListening) radios[sender]->turn_off();
+        radios[sender]->transmit(
+            make_data_frame(static_cast<NodeId>(sender), kBroadcastId, DataPayload{}), ch);
+      }
+    });
+    sim.at(at + 8_ms, [&radios] {
+      for (auto& r : radios)
+        if (r->state() == RadioState::kListening) r->turn_off();
+    });
+  }
+  sim.run_until(70_s);
+  result.stats = medium.stats();
+  return result;
+}
+
+class MediumProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MediumProperties, AccountingConserved) {
+  const RandomAirScenario sc{GetParam(), 8, 45.0, 300};
+  const AirResult r = run_random_air(sc);
+  // Every loss category is bounded by potential receptions. (A sender
+  // drawn while already transmitting skips that round, so allow slack.)
+  EXPECT_LE(r.stats.transmissions, 300u);
+  EXPECT_GE(r.stats.transmissions, 290u);
+  int total_rx = 0;
+  for (int c : r.rx_count) total_rx += c;
+  EXPECT_EQ(static_cast<std::uint64_t>(total_rx), r.stats.deliveries);
+  // deliveries + losses <= transmissions * (nodes-1).
+  EXPECT_LE(r.stats.deliveries + r.stats.collision_losses + r.stats.prr_losses,
+            r.stats.transmissions * 7);
+}
+
+TEST_P(MediumProperties, DeterministicReplay) {
+  const RandomAirScenario sc{GetParam(), 6, 45.0, 200};
+  const AirResult a = run_random_air(sc);
+  const AirResult b = run_random_air(sc);
+  EXPECT_EQ(a.stats.deliveries, b.stats.deliveries);
+  EXPECT_EQ(a.stats.collision_losses, b.stats.collision_losses);
+  EXPECT_EQ(a.rx_count, b.rx_count);
+}
+
+TEST_P(MediumProperties, PerfectPrrMeansNoPrrLosses) {
+  const RandomAirScenario sc{GetParam(), 8, 45.0, 300};
+  const AirResult r = run_random_air(sc);
+  EXPECT_EQ(r.stats.prr_losses, 0u);  // unit disk at PRR 1.0
+}
+
+TEST_P(MediumProperties, ShrinkingRangeNeverIncreasesDeliveries) {
+  // Metamorphic: with the same traffic pattern, a smaller radio range can
+  // only remove receivers (and collisions), never add receptions beyond
+  // what extra collisions free up... strictly: deliveries with range 0 are
+  // 0, and deliveries grow monotonically only without collisions. Use a
+  // sparse pattern (few transmissions, overlap unlikely) where
+  // monotonicity must hold.
+  const RandomAirScenario sc{GetParam(), 6, 60.0, 40};
+  const AirResult wide = run_random_air(sc);
+  const AirResult narrow = run_random_air(sc, /*range_override=*/20.0);
+  if (wide.stats.collision_losses == 0 && narrow.stats.collision_losses == 0)
+    EXPECT_LE(narrow.stats.deliveries, wide.stats.deliveries);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MediumProperties,
+                         ::testing::Values(11u, 23u, 37u, 59u, 71u, 97u));
+
+TEST(MediumProperty, ZeroRangeZeroDeliveries) {
+  const RandomAirScenario sc{5, 6, 0.0001, 100};
+  const AirResult r = run_random_air(sc);
+  EXPECT_EQ(r.stats.deliveries, 0u);
+}
+
+TEST(MediumProperty, SingleNodeNoReceivers) {
+  const RandomAirScenario sc{7, 1, 50.0, 50};
+  const AirResult r = run_random_air(sc);
+  EXPECT_EQ(r.stats.deliveries, 0u);
+  EXPECT_EQ(r.stats.transmissions, 50u);
+}
+
+}  // namespace
+}  // namespace gttsch

@@ -1,0 +1,107 @@
+// Mobility: node positions feed the distance-based link models live, so a
+// moving node's links fade and RPL + GT-TSCH re-home it (the scenario of
+// the authors' companion work DT-SF, exercised here as an extension).
+#include <gtest/gtest.h>
+
+#include "scenario/experiment.hpp"
+#include "scenario/network.hpp"
+
+namespace gttsch {
+namespace {
+
+using namespace literals;
+
+NodeStackConfig gt_config(double ppm) {
+  ScenarioConfig sc;
+  sc.scheduler = SchedulerKind::kGtTsch;
+  sc.traffic_ppm = ppm;
+  auto nc = sc.make_node_config();
+  nc.app_start = 60_s;
+  nc.app_end = 0;
+  return nc;
+}
+
+TEST(Mobility, PositionUpdatesAffectLinks) {
+  // Two routers; the mobile node walks from router 2's area to router 3's.
+  TopologySpec topo;
+  topo.nodes.push_back(NodeSpec{1, {0, 0}, true});
+  topo.nodes.push_back(NodeSpec{2, {0, 35}, false});
+  topo.nodes.push_back(NodeSpec{3, {0, -35}, false});
+  topo.nodes.push_back(NodeSpec{4, {25, 35}, false});  // near router 2
+
+  Network net(101, std::make_unique<UnitDiskModel>(40.0, 1.0, 1.6), topo, gt_config(60.0),
+              nullptr);
+  net.start();
+  net.sim().run_until(200_s);
+  ASSERT_TRUE(net.fully_formed());
+  ASSERT_EQ(net.node(4).rpl().parent(), 2);
+
+  // Teleport-walk south in steps (a slow walk, 5 steps over 50 s).
+  for (int step = 1; step <= 5; ++step) {
+    const double y = 35.0 - 14.0 * step;  // ends at -35
+    net.sim().at(200_s + step * 10_s, [&net, y] { net.node(4).move_to({25, y}); });
+  }
+  net.sim().run_until(600_s);
+
+  // The old link is out of range now; the node must have re-homed to 3.
+  EXPECT_EQ(net.node(4).rpl().parent(), 3);
+  ASSERT_NE(net.node(4).gt_sf(), nullptr);
+  EXPECT_EQ(net.node(4).gt_sf()->stage(), GtTschSf::Stage::kOperational);
+  EXPECT_EQ(net.node(4).gt_sf()->channel_to_parent(),
+            net.node(3).gt_sf()->family_channel());
+}
+
+TEST(Mobility, DeliveryContinuesAfterRoam) {
+  TopologySpec topo;
+  topo.nodes.push_back(NodeSpec{1, {0, 0}, true});
+  topo.nodes.push_back(NodeSpec{2, {0, 35}, false});
+  topo.nodes.push_back(NodeSpec{3, {0, -35}, false});
+  topo.nodes.push_back(NodeSpec{4, {25, 35}, false});
+
+  RunStats stats(420_s, 720_s);  // measure after the roam settles
+  Network net(103, std::make_unique<UnitDiskModel>(40.0, 1.0, 1.6), topo, gt_config(60.0),
+              &stats);
+  net.sim().at(420_s, [&] { stats.begin_measurement(); });
+  net.sim().at(720_s, [&] { stats.end_measurement(); });
+  net.start();
+  net.sim().run_until(200_s);
+  ASSERT_TRUE(net.fully_formed());
+  for (int step = 1; step <= 5; ++step) {
+    const double y = 35.0 - 14.0 * step;
+    net.sim().at(200_s + step * 10_s, [&net, y] { net.node(4).move_to({25, y}); });
+  }
+  net.sim().run_until(730_s);
+
+  const auto& roamer = stats.per_node().at(4);
+  EXPECT_GT(roamer.generated, 200u);
+  EXPECT_GT(static_cast<double>(roamer.delivered_origin),
+            0.85 * static_cast<double>(roamer.generated));
+}
+
+TEST(Mobility, StationaryNetworkUnaffectedByFarRoamer) {
+  // A node roaming far out of everyone's range must not disturb others.
+  TopologySpec topo;
+  topo.nodes.push_back(NodeSpec{1, {0, 0}, true});
+  topo.nodes.push_back(NodeSpec{2, {30, 0}, false});
+  topo.nodes.push_back(NodeSpec{3, {30, 20}, false});
+
+  RunStats stats(300_s, 540_s);
+  Network net(107, std::make_unique<UnitDiskModel>(40.0, 1.0, 1.6), topo, gt_config(60.0),
+              &stats);
+  net.sim().at(300_s, [&] { stats.begin_measurement(); });
+  net.sim().at(540_s, [&] { stats.end_measurement(); });
+  net.start();
+  net.sim().run_until(200_s);
+  ASSERT_TRUE(net.fully_formed());
+  net.sim().at(250_s, [&] { net.node(3).move_to({5000, 5000}); });
+  net.sim().run_until(550_s);
+
+  // Node 2 keeps delivering flawlessly.
+  const auto& n2 = stats.per_node().at(2);
+  EXPECT_GT(n2.generated, 200u);
+  EXPECT_GT(static_cast<double>(n2.delivered_origin),
+            0.95 * static_cast<double>(n2.generated));
+}
+
+}  // namespace
+}  // namespace gttsch

@@ -1,0 +1,260 @@
+// RPL-lite and ETX estimator unit tests.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/etx.hpp"
+#include "net/rpl.hpp"
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+
+namespace gttsch {
+namespace {
+
+using namespace literals;
+
+TEST(Etx, UnknownNeighborIsOptimistic) {
+  EtxEstimator e;
+  EXPECT_DOUBLE_EQ(e.etx(42), 1.0);
+  EXPECT_FALSE(e.has_estimate(42));
+}
+
+TEST(Etx, FirstSampleSetsValue) {
+  EtxEstimator e;
+  e.record(1, true, 3);
+  EXPECT_DOUBLE_EQ(e.etx(1), 3.0);
+}
+
+TEST(Etx, EwmaConverges) {
+  EtxEstimator e(0.9, 8.0);
+  e.record(1, true, 1);
+  for (int i = 0; i < 400; ++i) e.record(1, true, 2);
+  EXPECT_NEAR(e.etx(1), 2.0, 0.05);
+}
+
+TEST(Etx, FailurePenalty) {
+  EtxEstimator e(0.9, 8.0);
+  e.record(1, true, 1);
+  const double before = e.etx(1);
+  e.record(1, false, 5);
+  EXPECT_GT(e.etx(1), before);
+}
+
+TEST(Etx, NeverBelowOne) {
+  EtxEstimator e;
+  e.record(1, true, 1);
+  for (int i = 0; i < 50; ++i) e.record(1, true, 1);
+  EXPECT_GE(e.etx(1), 1.0);
+  EXPECT_DOUBLE_EQ(e.prr(1), 1.0);
+}
+
+TEST(Etx, ForgetRemovesState) {
+  EtxEstimator e;
+  e.record(1, true, 4);
+  e.forget(1);
+  EXPECT_DOUBLE_EQ(e.etx(1), 1.0);
+}
+
+// --- RPL -------------------------------------------------------------------
+
+struct RplEvents final : RplCallbacks {
+  std::vector<std::pair<NodeId, NodeId>> parent_changes;
+  std::vector<std::uint16_t> ranks;
+  void rpl_parent_changed(NodeId o, NodeId n) override { parent_changes.emplace_back(o, n); }
+  void rpl_rank_changed(std::uint16_t r) override { ranks.push_back(r); }
+};
+
+class RplTest : public ::testing::Test {
+ protected:
+  RplTest()
+      : sim_(5),
+        medium_(sim_, std::make_unique<UnitDiskModel>(100.0), Rng(5)),
+        radio_(sim_, medium_, 10, {}),
+        mac_(sim_, medium_, radio_, MacConfig{}, Rng(6)),
+        rpl_(sim_, mac_, etx_, RplConfig{}, Rng(7)) {
+    rpl_.set_callbacks(&events_);
+  }
+
+  Frame dio_from(NodeId src, std::uint16_t rank, NodeId root = 1,
+                 std::uint16_t free_rx = 0) {
+    DioPayload p;
+    p.dodag_root = root;
+    p.rank = rank;
+    p.free_rx_cells = free_rx;
+    return *make_dio_frame(src, p);
+  }
+
+  Simulator sim_;
+  Medium medium_;
+  Radio radio_;
+  TschMac mac_;
+  EtxEstimator etx_;
+  RplEvents events_;
+  RplAgent rpl_;
+};
+
+TEST_F(RplTest, RootHasRootRank) {
+  rpl_.start_as_root();
+  EXPECT_TRUE(rpl_.is_root());
+  EXPECT_TRUE(rpl_.joined());
+  EXPECT_EQ(rpl_.rank(), 256);
+  EXPECT_EQ(rpl_.hops(), 0);
+}
+
+TEST_F(RplTest, JoinsOnFirstDio) {
+  rpl_.start();
+  EXPECT_FALSE(rpl_.joined());
+  rpl_.on_dio(dio_from(1, 256));
+  EXPECT_TRUE(rpl_.joined());
+  EXPECT_EQ(rpl_.parent(), 1);
+  EXPECT_EQ(rpl_.dodag_root(), 1);
+  // Rank = parent rank + ETX(=1) * 256.
+  EXPECT_EQ(rpl_.rank(), 512);
+  EXPECT_EQ(rpl_.hops(), 1);
+  ASSERT_EQ(events_.parent_changes.size(), 1u);
+  EXPECT_EQ(events_.parent_changes[0].first, kNoNode);
+  EXPECT_EQ(events_.parent_changes[0].second, 1);
+}
+
+TEST_F(RplTest, PrefersLowerPathCost) {
+  rpl_.start();
+  rpl_.on_dio(dio_from(2, 512));  // 2-hop path
+  EXPECT_EQ(rpl_.parent(), 2);
+  rpl_.on_dio(dio_from(1, 256));  // direct root: much better
+  EXPECT_EQ(rpl_.parent(), 1);
+  EXPECT_EQ(rpl_.rank(), 512);
+}
+
+TEST_F(RplTest, HysteresisBlocksMarginalSwitch) {
+  rpl_.start();
+  rpl_.on_dio(dio_from(2, 300));
+  ASSERT_EQ(rpl_.parent(), 2);
+  // Candidate 3 is better by only 100 rank units < threshold 192.
+  rpl_.on_dio(dio_from(3, 200));
+  EXPECT_EQ(rpl_.parent(), 2);
+  // Candidate 4 is better by 250 > 192: switch.
+  rpl_.on_dio(dio_from(4, 50));
+  EXPECT_EQ(rpl_.parent(), 4);
+}
+
+TEST_F(RplTest, EtxDegradationRaisesRankAndCanSwitch) {
+  rpl_.start();
+  rpl_.on_dio(dio_from(2, 256));
+  rpl_.on_dio(dio_from(3, 300));
+  ASSERT_EQ(rpl_.parent(), 2);
+  const auto rank_before = rpl_.rank();
+  // Repeated failures to 2: ETX climbs, rank climbs, eventually 3 wins.
+  for (int i = 0; i < 40; ++i) rpl_.on_tx_result(2, false, 5);
+  EXPECT_GT(rpl_.rank(), rank_before);
+  EXPECT_EQ(rpl_.parent(), 3);
+}
+
+TEST_F(RplTest, IgnoresOtherDodagAfterJoining) {
+  rpl_.start();
+  rpl_.on_dio(dio_from(2, 256, /*root=*/1));
+  rpl_.on_dio(dio_from(9, 100, /*root=*/50));  // different DODAG, better rank
+  EXPECT_EQ(rpl_.parent(), 2);
+  EXPECT_EQ(rpl_.dodag_root(), 1);
+}
+
+TEST_F(RplTest, ParentFreeRxTracksLatestDio) {
+  rpl_.start();
+  rpl_.on_dio(dio_from(2, 256, 1, 5));
+  EXPECT_EQ(rpl_.parent_free_rx(), 5);
+  rpl_.on_dio(dio_from(2, 256, 1, 9));
+  EXPECT_EQ(rpl_.parent_free_rx(), 9);
+}
+
+TEST_F(RplTest, RootIgnoresDios) {
+  rpl_.start_as_root();
+  rpl_.on_dio(dio_from(2, 100));
+  EXPECT_EQ(rpl_.parent(), kNoNode);
+  EXPECT_EQ(rpl_.rank(), 256);
+}
+
+TEST_F(RplTest, DioCarriesProviderValue) {
+  rpl_.set_free_rx_provider([] { return std::uint16_t{7}; });
+  rpl_.start_as_root();
+  sim_.run_until(10_s);  // trickle fires at least once
+  // The DIO landed in the MAC broadcast queue.
+  ASSERT_GE(mac_.queues().broadcast_queued(), 1u);
+  const auto* pkt = mac_.queues().peek_broadcast();
+  ASSERT_NE(pkt, nullptr);
+  ASSERT_EQ(pkt->frame->type, FrameType::kDio);
+  EXPECT_EQ(pkt->frame->as<DioPayload>().free_rx_cells, 7);
+  EXPECT_EQ(pkt->frame->as<DioPayload>().rank, 256);
+}
+
+TEST_F(RplTest, HopsFromRank) {
+  rpl_.start();
+  rpl_.on_dio(dio_from(2, 512));
+  EXPECT_EQ(rpl_.rank(), 768);
+  EXPECT_EQ(rpl_.hops(), 2);
+}
+
+TEST_F(RplTest, NeighborRankVisible) {
+  rpl_.start();
+  rpl_.on_dio(dio_from(2, 300));
+  ASSERT_TRUE(rpl_.neighbor_rank(2).has_value());
+  EXPECT_EQ(*rpl_.neighbor_rank(2), 300);
+  EXPECT_FALSE(rpl_.neighbor_rank(99).has_value());
+}
+
+TEST_F(RplTest, DetachesWhenParentDiesWithoutAlternative) {
+  rpl_.start();
+  rpl_.on_dio(dio_from(2, 256));
+  ASSERT_EQ(rpl_.parent(), 2);
+  // Dead link: repeated total failures push ETX past the detach threshold.
+  for (int i = 0; i < 40; ++i) rpl_.on_tx_result(2, false, 5);
+  EXPECT_FALSE(rpl_.joined());
+  EXPECT_EQ(rpl_.parent(), kNoNode);
+  EXPECT_EQ(rpl_.rank(), 0xFFFF);
+  ASSERT_EQ(events_.parent_changes.size(), 2u);
+  EXPECT_EQ(events_.parent_changes[1].second, kNoNode);
+  // A fresh DIO re-joins immediately.
+  rpl_.on_dio(dio_from(3, 256));
+  EXPECT_TRUE(rpl_.joined());
+  EXPECT_EQ(rpl_.parent(), 3);
+}
+
+TEST_F(RplTest, SwitchesInsteadOfDetachingWhenAlternativeExists) {
+  rpl_.start();
+  rpl_.on_dio(dio_from(2, 256));
+  rpl_.on_dio(dio_from(3, 300));
+  ASSERT_EQ(rpl_.parent(), 2);
+  for (int i = 0; i < 40; ++i) rpl_.on_tx_result(2, false, 5);
+  EXPECT_TRUE(rpl_.joined());
+  EXPECT_EQ(rpl_.parent(), 3);  // local repair via the alternative
+}
+
+TEST_F(RplTest, PoisonedParentTriggersDetach) {
+  rpl_.start();
+  rpl_.on_dio(dio_from(2, 256));
+  ASSERT_EQ(rpl_.parent(), 2);
+  rpl_.on_dio(dio_from(2, 0xFFFF));  // parent poisons itself
+  EXPECT_FALSE(rpl_.joined());
+}
+
+TEST_F(RplTest, PoisonedCandidateNeverSelected) {
+  rpl_.start();
+  rpl_.on_dio(dio_from(9, 0xFFFF));
+  EXPECT_FALSE(rpl_.joined());
+  rpl_.on_dio(dio_from(2, 512));
+  EXPECT_EQ(rpl_.parent(), 2);
+}
+
+TEST_F(RplTest, DetachEnqueuesPoisonDio) {
+  rpl_.start();
+  rpl_.on_dio(dio_from(2, 256));
+  const auto before = mac_.queues().broadcast_queued();
+  for (int i = 0; i < 40; ++i) rpl_.on_tx_result(2, false, 5);
+  ASSERT_FALSE(rpl_.joined());
+  ASSERT_GT(mac_.queues().broadcast_queued(), before);
+  const auto* pkt = mac_.queues().peek_broadcast();
+  ASSERT_NE(pkt, nullptr);
+  ASSERT_EQ(pkt->frame->type, FrameType::kDio);
+  EXPECT_EQ(pkt->frame->as<DioPayload>().rank, 0xFFFF);
+}
+
+}  // namespace
+}  // namespace gttsch

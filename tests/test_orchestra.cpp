@@ -1,0 +1,162 @@
+// Orchestra baseline tests: hash determinism, autonomous cell install,
+// parent-change reconfiguration, the sibling-collision property the paper
+// exploits.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "orchestra/orchestra_sf.hpp"
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+
+namespace gttsch {
+namespace {
+
+TEST(OrchestraHash, DeterministicAndBounded) {
+  for (NodeId id = 0; id < 200; ++id) {
+    const auto h = OrchestraSf::hash(id, 7);
+    EXPECT_LT(h, 7);
+    EXPECT_EQ(h, OrchestraSf::hash(id, 7));
+  }
+}
+
+TEST(OrchestraHash, SpreadsOverSlots) {
+  std::vector<int> histogram(8, 0);
+  for (NodeId id = 1; id <= 80; ++id) ++histogram[OrchestraSf::hash(id, 8)];
+  for (int count : histogram) EXPECT_GT(count, 0);
+}
+
+class OrchestraTest : public ::testing::Test {
+ protected:
+  OrchestraTest()
+      : sim_(3),
+        medium_(sim_, std::make_unique<UnitDiskModel>(100.0), Rng(3)),
+        radio_(sim_, medium_, 10, {}),
+        mac_(sim_, medium_, radio_, MacConfig{}, Rng(4)),
+        rpl_(sim_, mac_, etx_, RplConfig{}, Rng(5)),
+        sf_(mac_, rpl_, OrchestraConfig{}) {}
+
+  Simulator sim_;
+  Medium medium_;
+  Radio radio_;
+  TschMac mac_;
+  EtxEstimator etx_;
+  RplAgent rpl_;
+  OrchestraSf sf_;
+};
+
+TEST_F(OrchestraTest, InstallsThreeSlotframes) {
+  sf_.start(true);
+  sf_.on_associated();
+  EXPECT_EQ(mac_.schedule().slotframe_count(), 3u);
+  EXPECT_NE(mac_.schedule().get(0), nullptr);  // EB
+  EXPECT_NE(mac_.schedule().get(1), nullptr);  // common
+  EXPECT_NE(mac_.schedule().get(2), nullptr);  // unicast
+}
+
+TEST_F(OrchestraTest, EbTxCellAtOwnHash) {
+  sf_.start(true);
+  sf_.on_associated();
+  const auto& eb_sf = *mac_.schedule().get(0);
+  const auto slot = OrchestraSf::hash(10, sf_.config().eb_slotframe_length);
+  ASSERT_EQ(eb_sf.cells_at(slot).size(), 1u);
+  EXPECT_TRUE(eb_sf.cells_at(slot)[0].is_tx());
+}
+
+TEST_F(OrchestraTest, CommonCellIsSharedBroadcast) {
+  sf_.start(true);
+  sf_.on_associated();
+  const auto& common = *mac_.schedule().get(1);
+  ASSERT_EQ(common.cells_at(0).size(), 1u);
+  const Cell& c = common.cells_at(0)[0];
+  EXPECT_TRUE(c.is_tx());
+  EXPECT_TRUE(c.is_rx());
+  EXPECT_TRUE(c.is_shared());
+  EXPECT_EQ(c.neighbor, kBroadcastId);
+}
+
+TEST_F(OrchestraTest, UnicastRxAtOwnHash) {
+  sf_.start(true);
+  sf_.on_associated();
+  const auto& unicast = *mac_.schedule().get(2);
+  const auto slot = OrchestraSf::hash(10, sf_.config().unicast_slotframe_length);
+  ASSERT_EQ(unicast.cells_at(slot).size(), 1u);
+  EXPECT_TRUE(unicast.cells_at(slot)[0].is_rx());
+}
+
+TEST_F(OrchestraTest, ParentChangeInstallsTxCell) {
+  sf_.start(false);
+  sf_.on_associated();
+  sf_.on_parent_changed(kNoNode, 3);
+  const auto& unicast = *mac_.schedule().get(2);
+  const auto slot = OrchestraSf::hash(3, sf_.config().unicast_slotframe_length);
+  bool found = false;
+  for (const Cell& c : unicast.cells_at(slot))
+    if (c.is_tx() && c.neighbor == 3) {
+      found = true;
+      EXPECT_TRUE(c.is_shared());  // contention-prone by design
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(OrchestraTest, ParentSwitchMovesTxCell) {
+  sf_.start(false);
+  sf_.on_associated();
+  sf_.on_parent_changed(kNoNode, 3);
+  sf_.on_parent_changed(3, 4);
+  const auto& unicast = *mac_.schedule().get(2);
+  int tx_to_3 = 0, tx_to_4 = 0;
+  for (const Cell& c : unicast.all_cells()) {
+    if (c.is_tx() && c.neighbor == 3) ++tx_to_3;
+    if (c.is_tx() && c.neighbor == 4) ++tx_to_4;
+  }
+  EXPECT_EQ(tx_to_3, 0);
+  EXPECT_EQ(tx_to_4, 1);
+}
+
+TEST_F(OrchestraTest, SiblingsCollideOnParentRxCell) {
+  // The structural weakness GT-TSCH targets: every child's Tx cell toward
+  // parent P lands on the same (slot, channel offset).
+  OrchestraConfig cfg;
+  const NodeId parent = 42;
+  const auto slot = OrchestraSf::hash(parent, cfg.unicast_slotframe_length);
+  // All senders compute the same coordinates regardless of their own id.
+  for (NodeId child = 1; child < 6; ++child) {
+    EXPECT_EQ(OrchestraSf::hash(parent, cfg.unicast_slotframe_length), slot);
+  }
+}
+
+TEST_F(OrchestraTest, AdvertisesNoFreeRx) {
+  EXPECT_EQ(sf_.advertised_free_rx(), 0);  // no 6P, nothing to advertise
+}
+
+TEST_F(OrchestraTest, EbInfoGatedOnJoin) {
+  sf_.start(false);
+  EXPECT_FALSE(sf_.eb_info().has_value());  // not joined yet
+}
+
+TEST_F(OrchestraTest, RootEbInfoAvailable) {
+  sf_.start(true);
+  rpl_.start_as_root();
+  const auto eb = sf_.eb_info();
+  ASSERT_TRUE(eb.has_value());
+  EXPECT_FALSE(eb->has_family_channel);
+  EXPECT_EQ(eb->join_priority, 0);
+}
+
+TEST_F(OrchestraTest, ChannelHashVariantSpreadsOffsets) {
+  OrchestraConfig cfg;
+  cfg.unicast_channel_hash = true;
+  OrchestraSf sf(mac_, rpl_, cfg);
+  sf.start(true);
+  rpl_.start_as_root();
+  sf.on_associated();
+  const auto& unicast = *mac_.schedule().get(2);
+  for (const Cell& c : unicast.all_cells()) {
+    EXPECT_GE(c.channel_offset, 3);
+    EXPECT_LT(c.channel_offset, cfg.num_channel_offsets);
+  }
+}
+
+}  // namespace
+}  // namespace gttsch

@@ -1,0 +1,229 @@
+// Unit tests for the discrete-event kernel: ordering, cancellation, timers,
+// trickle behavior.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/trickle.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace gttsch {
+namespace {
+
+using namespace literals;
+
+TEST(EventQueue, FifoAtEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(10, [&] { order.push_back(2); });
+  q.schedule(5, [&] { order.push_back(0); });
+  TimeUs t = 0;
+  while (q.run_next(t)) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(1, [&] { ran = true; });
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+  TimeUs t = 0;
+  EXPECT_FALSE(q.run_next(t));
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceIsSafe) {
+  EventQueue q;
+  const EventId id = q.schedule(1, [] {});
+  q.cancel(id);
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.schedule(1, [] {});
+  q.schedule(9, [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), 9);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(Simulator, ClockAdvancesToEventTimes) {
+  Simulator sim(1);
+  std::vector<TimeUs> seen;
+  sim.at(100, [&] { seen.push_back(sim.now()); });
+  sim.at(300, [&] { seen.push_back(sim.now()); });
+  sim.run_until(1000);
+  EXPECT_EQ(seen, (std::vector<TimeUs>{100, 300}));
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(Simulator, RunUntilIncludesBoundary) {
+  Simulator sim(1);
+  bool ran = false;
+  sim.at(50, [&] { ran = true; });
+  sim.run_until(50);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, EventsScheduleMoreEvents) {
+  Simulator sim(1);
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) sim.after(10, chain);
+  };
+  sim.after(10, chain);
+  sim.run_until(1000);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.events_processed(), 5u);
+}
+
+TEST(Simulator, AfterUsesCurrentTime) {
+  Simulator sim(1);
+  TimeUs fired_at = -1;
+  sim.at(40, [&] { sim.after(5, [&] { fired_at = sim.now(); }); });
+  sim.run_until(100);
+  EXPECT_EQ(fired_at, 45);
+}
+
+TEST(Simulator, RunUntilPastQueueLeavesClockAtBound) {
+  Simulator sim(1);
+  sim.run_until(123);
+  EXPECT_EQ(sim.now(), 123);
+}
+
+TEST(OneShotTimer, FiresOnce) {
+  Simulator sim(1);
+  OneShotTimer t(sim);
+  int fires = 0;
+  t.start(10, [&] { ++fires; });
+  sim.run_until(100);
+  EXPECT_EQ(fires, 1);
+  EXPECT_FALSE(t.running());
+}
+
+TEST(OneShotTimer, RestartCancelsPrevious) {
+  Simulator sim(1);
+  OneShotTimer t(sim);
+  int value = 0;
+  t.start(10, [&] { value = 1; });
+  t.start(20, [&] { value = 2; });
+  sim.run_until(100);
+  EXPECT_EQ(value, 2);
+}
+
+TEST(OneShotTimer, StopPreventsFire) {
+  Simulator sim(1);
+  OneShotTimer t(sim);
+  bool fired = false;
+  t.start(10, [&] { fired = true; });
+  t.stop();
+  sim.run_until(100);
+  EXPECT_FALSE(fired);
+}
+
+TEST(PeriodicTimer, FiresAtFixedPeriod) {
+  Simulator sim(1);
+  PeriodicTimer t(sim);
+  std::vector<TimeUs> fires;
+  t.start(10, 100, [&] { fires.push_back(sim.now()); });
+  sim.run_until(450);
+  EXPECT_EQ(fires, (std::vector<TimeUs>{10, 110, 210, 310, 410}));
+}
+
+TEST(PeriodicTimer, StopInsideCallback) {
+  Simulator sim(1);
+  PeriodicTimer t(sim);
+  int fires = 0;
+  t.start(10, 10, [&] {
+    if (++fires == 3) t.stop();
+  });
+  sim.run_until(1000);
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(PeriodicTimer, JitterStaysWithinBound) {
+  Simulator sim(1);
+  Rng rng(5);
+  PeriodicTimer t(sim);
+  std::vector<TimeUs> fires;
+  t.start(0, 100, [&] { fires.push_back(sim.now()); }, &rng, 50);
+  sim.run_until(2000);
+  ASSERT_GE(fires.size(), 2u);
+  for (std::size_t i = 1; i < fires.size(); ++i) {
+    const TimeUs gap = fires[i] - fires[i - 1];
+    EXPECT_GE(gap, 100);
+    EXPECT_LE(gap, 200);  // period + own jitter + previous-fire shift
+  }
+}
+
+TEST(Trickle, FirstFireWithinFirstInterval) {
+  Simulator sim(1);
+  TimeUs fired = -1;
+  TrickleTimer t(sim, Rng(3), 1000, 4, [&] { fired = sim.now(); });
+  t.start();
+  sim.run_until(1000);
+  EXPECT_GE(fired, 500);   // in [I/2, I)
+  EXPECT_LT(fired, 1000);
+}
+
+TEST(Trickle, IntervalDoublesUpToImax) {
+  Simulator sim(1);
+  TrickleTimer t(sim, Rng(3), 1000, 2, [] {});
+  t.start();
+  EXPECT_EQ(t.current_interval(), 1000);
+  sim.run_until(1000);
+  EXPECT_EQ(t.current_interval(), 2000);
+  sim.run_until(3000);
+  EXPECT_EQ(t.current_interval(), 4000);
+  sim.run_until(60000);
+  EXPECT_EQ(t.current_interval(), 4000);  // Imax = 1000 << 2
+}
+
+TEST(Trickle, ResetShrinksToImin) {
+  Simulator sim(1);
+  TrickleTimer t(sim, Rng(3), 1000, 4, [] {});
+  t.start();
+  sim.run_until(3100);
+  EXPECT_GT(t.current_interval(), 1000);
+  t.reset();
+  EXPECT_EQ(t.current_interval(), 1000);
+}
+
+TEST(Trickle, FiresRepeatedly) {
+  Simulator sim(1);
+  int fires = 0;
+  TrickleTimer t(sim, Rng(3), 1000, 8, [&] { ++fires; });
+  t.start();
+  sim.run_until(30000);
+  EXPECT_GE(fires, 4);  // intervals 1k,2k,4k,8k,16k -> at least 5 fires
+}
+
+TEST(Trickle, StopHaltsFiring) {
+  Simulator sim(1);
+  int fires = 0;
+  TrickleTimer t(sim, Rng(3), 1000, 4, [&] { ++fires; });
+  t.start();
+  sim.run_until(1000);
+  const int at_stop = fires;
+  t.stop();
+  sim.run_until(50000);
+  EXPECT_EQ(fires, at_stop);
+}
+
+}  // namespace
+}  // namespace gttsch

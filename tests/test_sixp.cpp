@@ -1,0 +1,182 @@
+// 6P transaction-engine tests (request/response matching, seqnums,
+// timeouts, single-outstanding rule) using a loopback-style SF stub.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "phy/medium.hpp"
+#include "sim/simulator.hpp"
+#include "sixp/sixp.hpp"
+
+namespace gttsch {
+namespace {
+
+using namespace literals;
+
+struct SfStub final : SixpSfCallbacks {
+  SixpReturnCode respond_with = SixpReturnCode::kSuccess;
+  int requests = 0;
+  std::vector<std::tuple<NodeId, SixpCommand, bool>> done;  // peer, cmd, timeout
+
+  SixpPayload sixp_handle_request(NodeId, const SixpPayload& request) override {
+    ++requests;
+    SixpPayload r;
+    r.code = respond_with;
+    r.num_cells = request.num_cells;
+    r.free_rx = 11;
+    return r;
+  }
+  void sixp_transaction_done(NodeId peer, SixpCommand cmd, bool timed_out,
+                             const SixpPayload&) override {
+    done.emplace_back(peer, cmd, timed_out);
+  }
+};
+
+/// Two MACs wired over a perfect medium with an always-on shared cell so 6P
+/// frames actually flow.
+class SixpTest : public ::testing::Test {
+ protected:
+  SixpTest()
+      : sim_(31),
+        model_(new MatrixLinkModel),
+        medium_(sim_, std::unique_ptr<LinkModel>(model_), Rng(31)),
+        radio_a_(sim_, medium_, 1, {}),
+        radio_b_(sim_, medium_, 2, {}),
+        mac_a_(sim_, medium_, radio_a_, MacConfig{}, Rng(1)),
+        mac_b_(sim_, medium_, radio_b_, MacConfig{}, Rng(2)),
+        sixp_a_(sim_, mac_a_, 8_s),
+        sixp_b_(sim_, mac_b_, 8_s),
+        up_a_(sixp_a_),
+        up_b_(sixp_b_) {
+    model_->set(1, 2, 1.0);
+    sixp_a_.set_callbacks(&sf_a_);
+    sixp_b_.set_callbacks(&sf_b_);
+    mac_a_.set_upcalls(&up_a_);
+    mac_b_.set_upcalls(&up_b_);
+    mac_a_.set_eb_provider([] { return EbPayload{}; });
+    mac_a_.start_as_root();
+    install_cells(mac_a_);
+    mac_b_.start_scanning();
+    sim_.run_until(sim_.now() + 40_s);
+    EXPECT_TRUE(mac_b_.associated());
+    install_cells(mac_b_);
+  }
+
+  static void install_cells(TschMac& mac) {
+    auto& sf = mac.schedule().add_slotframe(0, 8);
+    Cell c;
+    c.slot_offset = 0;
+    c.channel_offset = 0;
+    c.options = kCellTx | kCellRx | kCellShared;
+    c.neighbor = kBroadcastId;
+    sf.add(c);
+    Cell s = c;
+    s.slot_offset = 4;
+    s.channel_offset = 2;
+    sf.add(s);
+  }
+
+  struct Dispatcher final : MacUpcalls {
+    explicit Dispatcher(SixpAgent& agent) : agent(agent) {}
+    SixpAgent& agent;
+    void mac_associated(Asn, const Frame&) override {}
+    void mac_frame_received(const Frame& f) override {
+      if (f.type == FrameType::kSixp) agent.on_frame(f);
+    }
+    void mac_tx_result(const Frame&, bool, int) override {}
+  };
+
+  Simulator sim_;
+  MatrixLinkModel* model_;
+  Medium medium_;
+  Radio radio_a_, radio_b_;
+  TschMac mac_a_, mac_b_;
+  SixpAgent sixp_a_, sixp_b_;
+  SfStub sf_a_, sf_b_;
+  Dispatcher up_a_, up_b_;
+};
+
+TEST_F(SixpTest, RequestResponseRoundTrip) {
+  SixpPayload add;
+  add.command = SixpCommand::kAdd;
+  add.num_cells = 3;
+  EXPECT_TRUE(sixp_b_.request(1, add));
+  EXPECT_TRUE(sixp_b_.busy_with(1));
+  sim_.run_until(sim_.now() + 40_s);
+  EXPECT_FALSE(sixp_b_.busy_with(1));
+  EXPECT_EQ(sf_a_.requests, 1);
+  ASSERT_EQ(sf_b_.done.size(), 1u);
+  EXPECT_EQ(std::get<0>(sf_b_.done[0]), 1);
+  EXPECT_EQ(std::get<1>(sf_b_.done[0]), SixpCommand::kAdd);
+  EXPECT_FALSE(std::get<2>(sf_b_.done[0]));
+  EXPECT_EQ(sixp_b_.counters().responses_received, 1u);
+}
+
+TEST_F(SixpTest, SingleOutstandingPerPeer) {
+  SixpPayload p;
+  p.command = SixpCommand::kAdd;
+  EXPECT_TRUE(sixp_b_.request(1, p));
+  EXPECT_FALSE(sixp_b_.request(1, p));  // rejected while outstanding
+  EXPECT_EQ(sixp_b_.counters().busy_rejections, 1u);
+  sim_.run_until(sim_.now() + 40_s);
+  EXPECT_TRUE(sixp_b_.request(1, p));  // free again after completion
+}
+
+TEST_F(SixpTest, TimeoutWhenPeerUnreachable) {
+  model_->set(1, 2, 0.0);  // kill the link
+  SixpPayload p;
+  p.command = SixpCommand::kAskChannel;
+  EXPECT_TRUE(sixp_b_.request(1, p));
+  sim_.run_until(sim_.now() + 40_s);
+  ASSERT_EQ(sf_b_.done.size(), 1u);
+  EXPECT_TRUE(std::get<2>(sf_b_.done[0]));  // timed out
+  EXPECT_EQ(sixp_b_.counters().timeouts, 1u);
+  EXPECT_FALSE(sixp_b_.busy_with(1));
+}
+
+TEST_F(SixpTest, AbortPeerForgetsTransaction) {
+  SixpPayload p;
+  p.command = SixpCommand::kAdd;
+  EXPECT_TRUE(sixp_b_.request(1, p));
+  sixp_b_.abort_peer(1);
+  EXPECT_FALSE(sixp_b_.busy_with(1));
+  sim_.run_until(sim_.now() + 40_s);
+  // The (now unsolicited) response is dropped as stale.
+  EXPECT_TRUE(sf_b_.done.empty());
+  EXPECT_GE(sixp_b_.counters().stale_responses, 0u);
+}
+
+TEST_F(SixpTest, SequentialTransactionsIncrementSeqnum) {
+  for (int i = 0; i < 3; ++i) {
+    SixpPayload p;
+    p.command = SixpCommand::kAdd;
+    EXPECT_TRUE(sixp_b_.request(1, p));
+    sim_.run_until(sim_.now() + 30_s);
+    EXPECT_FALSE(sixp_b_.busy_with(1));
+  }
+  EXPECT_EQ(sf_b_.done.size(), 3u);
+  EXPECT_EQ(sixp_b_.counters().requests_sent, 3u);
+  EXPECT_EQ(sixp_b_.counters().responses_received, 3u);
+}
+
+TEST_F(SixpTest, ResponseCarriesFreeRx) {
+  SixpPayload p;
+  p.command = SixpCommand::kAdd;
+  std::uint16_t seen_free_rx = 0;
+  struct Capture final : SixpSfCallbacks {
+    std::uint16_t* out;
+    explicit Capture(std::uint16_t* out) : out(out) {}
+    SixpPayload sixp_handle_request(NodeId, const SixpPayload&) override { return {}; }
+    void sixp_transaction_done(NodeId, SixpCommand, bool timed_out,
+                               const SixpPayload& resp) override {
+      if (!timed_out) *out = resp.free_rx;
+    }
+  } capture(&seen_free_rx);
+  sixp_b_.set_callbacks(&capture);
+  EXPECT_TRUE(sixp_b_.request(1, p));
+  sim_.run_until(sim_.now() + 40_s);
+  EXPECT_EQ(seen_free_rx, 11);
+}
+
+}  // namespace
+}  // namespace gttsch

@@ -1,0 +1,104 @@
+// Slotframe-layout tests (Section IV): broadcast slot spreading, shared
+// blocks by level parity, negotiable pool partition.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/slotframe_layout.hpp"
+
+namespace gttsch {
+namespace {
+
+TEST(Layout, PaperExampleBroadcastOffsets) {
+  // m=20, k=5 -> {0,4,8,12,16} (Section IV rule 1).
+  SlotframeLayout layout({20, 5, 2});
+  EXPECT_EQ(layout.broadcast_offsets(), (std::vector<std::uint16_t>{0, 4, 8, 12, 16}));
+}
+
+TEST(Layout, DefaultTableIIConfig) {
+  SlotframeLayout layout({32, 4, 3});
+  EXPECT_EQ(layout.broadcast_offsets(), (std::vector<std::uint16_t>{0, 8, 16, 24}));
+  EXPECT_EQ(layout.shared_offsets(0).size(), 3u);
+  EXPECT_EQ(layout.shared_offsets(1).size(), 3u);
+}
+
+TEST(Layout, PartitionIsDisjointAndComplete) {
+  SlotframeLayout layout({32, 4, 3});
+  std::set<std::uint16_t> all;
+  std::size_t total = 0;
+  for (auto s : layout.broadcast_offsets()) {
+    all.insert(s);
+    ++total;
+  }
+  for (auto s : layout.shared_offsets(0)) {
+    all.insert(s);
+    ++total;
+  }
+  for (auto s : layout.shared_offsets(1)) {
+    all.insert(s);
+    ++total;
+  }
+  for (auto s : layout.negotiable_offsets()) {
+    all.insert(s);
+    ++total;
+  }
+  EXPECT_EQ(all.size(), 32u);   // covers every slot
+  EXPECT_EQ(total, 32u);        // no overlaps
+}
+
+TEST(Layout, SharedBlocksDisjointAcrossParity) {
+  SlotframeLayout layout({32, 4, 3});
+  for (auto even : layout.shared_offsets(0))
+    for (auto odd : layout.shared_offsets(1)) EXPECT_NE(even, odd);
+}
+
+TEST(Layout, ParityRepeatsEveryTwoLevels) {
+  SlotframeLayout layout({32, 4, 3});
+  EXPECT_EQ(layout.shared_offsets(0), layout.shared_offsets(2));
+  EXPECT_EQ(layout.shared_offsets(1), layout.shared_offsets(3));
+}
+
+TEST(Layout, SharedAvoidsBroadcastSlots) {
+  // Tail slots can collide with broadcast offsets for small m/k; the
+  // builder must skip them.
+  SlotframeLayout layout({16, 4, 3});
+  for (unsigned parity = 0; parity < 2; ++parity)
+    for (auto s : layout.shared_offsets(parity)) EXPECT_FALSE(layout.is_broadcast_slot(s));
+}
+
+TEST(Layout, PredicatesConsistent) {
+  SlotframeLayout layout({32, 4, 3});
+  for (std::uint16_t s = 0; s < 32; ++s) {
+    const bool b = layout.is_broadcast_slot(s);
+    const bool sh = layout.is_shared_slot(s);
+    EXPECT_FALSE(b && sh);
+  }
+  EXPECT_TRUE(layout.is_broadcast_slot(0));
+  EXPECT_FALSE(layout.is_broadcast_slot(1));
+}
+
+class LayoutSweep : public ::testing::TestWithParam<std::uint16_t> {};
+
+TEST_P(LayoutSweep, ScalesWithSlotframeLength) {
+  const std::uint16_t m = GetParam();
+  const std::uint16_t k = std::max<std::uint16_t>(2, m / 8);
+  SlotframeLayout layout({m, k, 3});
+  EXPECT_EQ(layout.length(), m);
+  EXPECT_EQ(layout.broadcast_offsets().size(), k);
+  // Broadcast slots uniformly spread: consecutive gaps equal floor(m/k).
+  const auto& b = layout.broadcast_offsets();
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_EQ(b[i] - b[i - 1], m / k);
+  // Negotiable pool is the remainder.
+  EXPECT_EQ(layout.negotiable_offsets().size(),
+            static_cast<std::size_t>(m) - k - 6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, LayoutSweep,
+                         ::testing::Values<std::uint16_t>(20, 32, 48, 64, 80));
+
+TEST(Layout, RejectsOversubscribedConfig) {
+  EXPECT_DEATH(SlotframeLayout({8, 4, 3}), "");  // 4 + 6 >= 8
+}
+
+}  // namespace
+}  // namespace gttsch

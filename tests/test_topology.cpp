@@ -1,0 +1,100 @@
+// Topology-builder tests: structure, reachability and interference
+// geometry that the Section III analysis relies on.
+#include <gtest/gtest.h>
+
+#include "scenario/topology.hpp"
+
+namespace gttsch {
+namespace {
+
+double dist(const TopologySpec& t, std::size_t a, std::size_t b) {
+  return distance(t.nodes[a].pos, t.nodes[b].pos);
+}
+
+TEST(Topology, PaperDodagSeven) {
+  const auto t = build_dodag(1, {0, 0}, 7, 30.0);
+  EXPECT_EQ(t.size(), 7u);
+  EXPECT_EQ(t.root_count(), 1u);
+  EXPECT_TRUE(t.nodes[0].is_root);
+  // 2 routers + 4 leaves (Fig 6 shape).
+  for (std::size_t i = 1; i <= 2; ++i) EXPECT_NEAR(dist(t, 0, i), 30.0, 1e-6);
+  for (std::size_t i = 3; i < 7; ++i) EXPECT_GT(dist(t, 0, i), 40.0);
+}
+
+class DodagSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(DodagSizes, SizesAndIds) {
+  const int n = GetParam();
+  const auto t = build_dodag(10, {5, 5}, n, 25.0);
+  EXPECT_EQ(t.size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(t.root_count(), 1u);
+  for (std::size_t i = 0; i < t.size(); ++i)
+    EXPECT_EQ(t.nodes[i].id, static_cast<NodeId>(10 + i));
+}
+
+TEST_P(DodagSizes, LeavesReachExactlyOneRouterStrongly) {
+  const int n = GetParam();
+  const double d = 30.0;
+  const auto t = build_dodag(1, {0, 0}, n, d);
+  const int routers = std::max(1, (n - 1 + 2) / 3);
+  for (std::size_t leaf = 1 + routers; leaf < t.size(); ++leaf) {
+    int reachable_routers = 0;
+    for (std::size_t r = 1; r <= static_cast<std::size_t>(routers); ++r)
+      if (dist(t, leaf, r) <= d * 1.35) ++reachable_routers;
+    EXPECT_GE(reachable_routers, 1) << "leaf " << leaf;
+    // Root unreachable from leaves (forces multi-hop).
+    EXPECT_GT(dist(t, leaf, 0), d * 1.35);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRange, DodagSizes, ::testing::Values(6, 7, 8, 9));
+
+TEST(Topology, MultiDodagIsolation) {
+  const auto t = build_multi_dodag(2, 7, 30.0);
+  EXPECT_EQ(t.size(), 14u);
+  EXPECT_EQ(t.root_count(), 2u);
+  // Everything in DODAG 0 is radio-silent to everything in DODAG 1.
+  for (std::size_t a = 0; a < 7; ++a)
+    for (std::size_t b = 7; b < 14; ++b) EXPECT_GT(dist(t, a, b), 1000.0);
+}
+
+TEST(Topology, MultiDodagUniqueIds) {
+  const auto t = build_multi_dodag(3, 6, 30.0);
+  std::set<NodeId> ids;
+  for (const auto& n : t.nodes) ids.insert(n.id);
+  EXPECT_EQ(ids.size(), t.size());
+}
+
+TEST(Topology, SiblingsWithinInterferenceRange) {
+  // Problem 2 of Section III requires overlapping sibling coverage.
+  const double d = 30.0;
+  const auto t = build_dodag(1, {0, 0}, 7, d);
+  EXPECT_LT(dist(t, 1, 2), 2.1 * d);  // the two routers hear each other('s tx)
+}
+
+TEST(Topology, Line) {
+  const auto t = build_line(1, {0, 0}, 4, 20.0);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_TRUE(t.nodes[0].is_root);
+  for (std::size_t i = 1; i < t.size(); ++i) EXPECT_NEAR(dist(t, i - 1, i), 20.0, 1e-9);
+  EXPECT_NEAR(dist(t, 0, 4), 80.0, 1e-9);
+}
+
+TEST(Topology, Grid) {
+  const auto t = build_grid(1, {0, 0}, 3, 2, 10.0);
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.root_count(), 1u);
+  EXPECT_TRUE(t.nodes[0].is_root);
+  EXPECT_NEAR(dist(t, 0, 5), std::sqrt(400.0 + 100.0), 1e-9);
+}
+
+TEST(Topology, RootsHelper) {
+  const auto t = build_multi_dodag(2, 6, 30.0);
+  const auto roots = t.roots();
+  ASSERT_EQ(roots.size(), 2u);
+  EXPECT_EQ(roots[0], 1);
+  EXPECT_EQ(roots[1], 7);
+}
+
+}  // namespace
+}  // namespace gttsch
