@@ -7,6 +7,7 @@
 // offsets — isolating how much of the gap is frequency planning.
 #include <cstdio>
 
+#include "campaign/runner.hpp"
 #include "scenario/experiment.hpp"
 #include "util/table.hpp"
 
@@ -42,44 +43,15 @@ int main() {
   for (const Variant& v : variants) {
     ScenarioConfig c = base();
     c.scheduler = v.kind;
-    // The hash variant is wired through the node config below.
-    auto seeds = default_seeds();
-    RunMetrics mean;
-    MediumStats medium;
-    int runs = 0;
-    for (const auto seed : seeds) {
-      c.seed = seed;
-      // run_scenario builds the node config internally; for the hashed
-      // variant we replicate its body with the flag flipped.
-      const TimeUs measure_end = c.warmup + c.measure;
-      RunStats stats(c.warmup, measure_end);
-      auto nc = c.make_node_config();
-      nc.orchestra.unicast_channel_hash = v.channel_hash;
-      Network net(c.seed,
-                  std::make_unique<UnitDiskModel>(c.radio_range, c.link_prr,
-                                                  c.interference_factor),
-                  c.make_topology(), nc, &stats);
-      net.sim().at(c.warmup, [&] { stats.begin_measurement(); });
-      net.sim().at(measure_end, [&] { stats.end_measurement(); });
-      net.start();
-      net.sim().run_until(c.warmup);
-      const MediumStats at_warmup = net.medium().stats();
-      net.sim().run_until(measure_end + c.drain);
-      const RunMetrics m = stats.finalize();
-      mean.pdr_percent += m.pdr_percent;
-      medium.transmissions += net.medium().stats().transmissions - at_warmup.transmissions;
-      medium.collision_losses +=
-          net.medium().stats().collision_losses - at_warmup.collision_losses;
-      medium.prr_losses += net.medium().stats().prr_losses - at_warmup.prr_losses;
-      ++runs;
-    }
-    mean.pdr_percent /= runs;
+    c.orchestra_channel_hash = v.channel_hash;
+    const auto agg = campaign::run_point(c, default_seeds());
+    const MediumStats& medium = agg.medium_sum;
     const double collision_pct =
         medium.transmissions == 0
             ? 0.0
             : 100.0 * static_cast<double>(medium.collision_losses) /
                   static_cast<double>(medium.transmissions);
-    t.add_row({v.name, TablePrinter::num(mean.pdr_percent, 1),
+    t.add_row({v.name, TablePrinter::num(agg.pdr_percent.mean, 1),
                TablePrinter::num(static_cast<std::int64_t>(medium.collision_losses)),
                TablePrinter::num(collision_pct, 2),
                TablePrinter::num(static_cast<std::int64_t>(medium.prr_losses)),

@@ -4,6 +4,7 @@
 // three contrasting settings in full simulation.
 #include <cstdio>
 
+#include "campaign/runner.hpp"
 #include "core/game/solver.hpp"
 #include "scenario/experiment.hpp"
 #include "util/table.hpp"
@@ -55,7 +56,8 @@ int main() {
       {"link-averse (4,4,1)", 4, 4, 1},
       {"queue-first (4,1,4)", 4, 1, 4},
   };
-  TablePrinter t({"weights", "PDR %", "delay ms", "queue loss/node", "duty %"});
+  TablePrinter t({"weights", "PDR % (±sd)", "delay ms (±sd)", "queue loss/node",
+                  "duty %"});
   for (const Setting& s : settings) {
     ScenarioConfig c;
     c.scheduler = SchedulerKind::kGtTsch;
@@ -67,11 +69,14 @@ int main() {
     c.gamma = s.gamma;
     c.warmup = 180_s;
     c.measure = 240_s;
-    const auto avg = run_averaged(c, default_seeds());
-    t.add_row({s.name, TablePrinter::num(avg.mean.pdr_percent, 1),
-               TablePrinter::num(avg.mean.avg_delay_ms, 0),
-               TablePrinter::num(avg.mean.queue_loss_per_node, 2),
-               TablePrinter::num(avg.mean.duty_cycle_percent, 2)});
+    const auto agg = campaign::run_point(c, default_seeds());
+    t.add_row({s.name,
+               TablePrinter::num(agg.pdr_percent.mean, 1) + " ±" +
+                   TablePrinter::num(agg.pdr_percent.stddev, 1),
+               TablePrinter::num(agg.avg_delay_ms.mean, 0) + " ±" +
+                   TablePrinter::num(agg.avg_delay_ms.stddev, 0),
+               TablePrinter::num(agg.queue_loss_per_node.mean, 2),
+               TablePrinter::num(agg.duty_cycle_percent.mean, 2)});
   }
   t.print();
   return 0;

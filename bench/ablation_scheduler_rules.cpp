@@ -4,6 +4,7 @@
 //   - no interleaving  -> bursts of consecutive Rx grow the queue (Fig 5).
 #include <cstdio>
 
+#include "campaign/runner.hpp"
 #include "scenario/experiment.hpp"
 #include "util/table.hpp"
 
@@ -26,8 +27,8 @@ int main() {
       {"neither rule", false, false},
   };
 
-  TablePrinter t(
-      {"variant", "PDR %", "delay ms", "queue loss/node", "loss/min", "throughput/min"});
+  TablePrinter t({"variant", "PDR % (±sd)", "delay ms (±sd)", "queue loss/node",
+                  "loss/min", "throughput/min"});
   for (const Variant& v : variants) {
     ScenarioConfig c;
     c.scheduler = SchedulerKind::kGtTsch;
@@ -39,12 +40,15 @@ int main() {
     c.enforce_interleave = v.interleave;
     c.warmup = 180_s;
     c.measure = 240_s;
-    const auto avg = run_averaged(c, default_seeds());
-    t.add_row({v.name, TablePrinter::num(avg.mean.pdr_percent, 1),
-               TablePrinter::num(avg.mean.avg_delay_ms, 0),
-               TablePrinter::num(avg.mean.queue_loss_per_node, 2),
-               TablePrinter::num(avg.mean.loss_per_minute, 1),
-               TablePrinter::num(avg.mean.throughput_per_minute, 0)});
+    const auto agg = campaign::run_point(c, default_seeds());
+    t.add_row({v.name,
+               TablePrinter::num(agg.pdr_percent.mean, 1) + " ±" +
+                   TablePrinter::num(agg.pdr_percent.stddev, 1),
+               TablePrinter::num(agg.avg_delay_ms.mean, 0) + " ±" +
+                   TablePrinter::num(agg.avg_delay_ms.stddev, 0),
+               TablePrinter::num(agg.queue_loss_per_node.mean, 2),
+               TablePrinter::num(agg.loss_per_minute.mean, 1),
+               TablePrinter::num(agg.throughput_per_minute.mean, 0)});
   }
   t.print();
   return 0;

@@ -1,9 +1,10 @@
 // Fig 10 (a-f): sensitivity to the unicast slotframe length 8 -> 20
 // (Section VIII, set 3). Per the paper's fairness rule, the GT-TSCH
 // slotframe is four times Orchestra's unicast slotframe.
+// Seeds parallelize on the campaign pool; see run_figure for the flags.
 #include "figure_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gttsch;
   using namespace gttsch::bench;
 
@@ -21,7 +22,5 @@ int main() {
     points.push_back(std::move(p));
   }
 
-  const auto rows = run_sweep(points, default_seeds());
-  print_panels("Fig 10", "Unicast slotframe length", rows);
-  return 0;
+  return run_figure(argc, argv, "Fig 10", "Unicast slotframe length", points);
 }

@@ -1,8 +1,9 @@
 // Fig 8 (a-f): GT-TSCH vs Orchestra as per-node traffic grows
 // 30 -> 165 ppm on the 14-node / 2-DODAG network (Section VIII, set 1).
+// Seeds parallelize on the campaign pool; see run_figure for the flags.
 #include "figure_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gttsch;
   using namespace gttsch::bench;
 
@@ -20,7 +21,5 @@ int main() {
     points.push_back(std::move(p));
   }
 
-  const auto rows = run_sweep(points, default_seeds());
-  print_panels("Fig 8", "Traffic load (ppm/node)", rows);
-  return 0;
+  return run_figure(argc, argv, "Fig 8", "Traffic load (ppm/node)", points);
 }

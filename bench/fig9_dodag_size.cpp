@@ -1,8 +1,9 @@
 // Fig 9 (a-f): scalability — nodes per DODAG 6 -> 9 at 120 ppm
 // (Section VIII, set 2; total network size 12 -> 18 over two DODAGs).
+// Seeds parallelize on the campaign pool; see run_figure for the flags.
 #include "figure_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gttsch;
   using namespace gttsch::bench;
 
@@ -19,7 +20,5 @@ int main() {
     points.push_back(std::move(p));
   }
 
-  const auto rows = run_sweep(points, default_seeds());
-  print_panels("Fig 9", "Nodes per DODAG", rows);
-  return 0;
+  return run_figure(argc, argv, "Fig 9", "Nodes per DODAG", points);
 }

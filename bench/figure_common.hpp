@@ -1,13 +1,22 @@
 // Shared plumbing for the figure-reproduction harnesses: runs both
-// schedulers over a sweep and prints the six panels of the paper's
-// figures (PDR, delay, packet loss, duty cycle, queue loss, throughput).
+// schedulers over a sweep on the campaign worker pool and prints the six
+// panels of the paper's figures (PDR, delay, packet loss, duty cycle,
+// queue loss, throughput) as mean ±stddev across seeds.
+//
+// Parallelism: every (sweep point, scheduler, seed) combination is one
+// campaign job; GTTSCH_JOBS overrides the worker count (default: hardware
+// concurrency). Results are bit-identical to a serial run.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "campaign/report.hpp"
+#include "campaign/runner.hpp"
 #include "scenario/experiment.hpp"
+#include "util/flags.hpp"
 #include "util/table.hpp"
 
 namespace gttsch::bench {
@@ -20,19 +29,56 @@ struct SweepPoint {
 
 struct PanelRow {
   std::string x;
-  RunMetrics gt;
-  RunMetrics orchestra;
+  campaign::PointAggregate gt;
+  campaign::PointAggregate orchestra;
 };
 
 inline std::vector<PanelRow> run_sweep(const std::vector<SweepPoint>& points,
-                                       const std::vector<std::uint64_t>& seeds) {
+                                       const std::vector<std::uint64_t>& seeds,
+                                       int worker_count = 0) {
+  // One job per (point, scheduler, seed); grid point 2i is GT-TSCH and
+  // 2i+1 Orchestra for sweep point i.
+  std::vector<campaign::Job> jobs;
+  jobs.reserve(points.size() * 2 * seeds.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (const ScenarioConfig* config : {&points[i].gt, &points[i].orchestra}) {
+      const std::size_t point_index =
+          2 * i + (config == &points[i].orchestra ? 1 : 0);
+      for (std::size_t s = 0; s < seeds.size(); ++s) {
+        campaign::Job job;
+        job.index = jobs.size();
+        job.point_index = point_index;
+        job.seed_index = s;
+        job.config = *config;
+        job.config.seed = seeds[s];
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+
+  campaign::RunnerOptions options;
+  options.jobs = worker_count;
+  options.on_progress = [&points](const campaign::Progress& p) {
+    const SweepPoint& point = points[p.job->point_index / 2];
+    std::fprintf(stderr, "[bench] %zu/%zu: point %s %s seed #%zu done\n",
+                 p.completed, p.total, point.label.c_str(),
+                 p.job->point_index % 2 == 0 ? "GT-TSCH" : "Orchestra",
+                 p.job->seed_index);
+  };
+
+  campaign::Runner runner(options);
+  const campaign::Runner::Result run = runner.run(jobs);
+
+  std::vector<campaign::PointAccumulator> accumulators(points.size() * 2);
+  for (const campaign::Job& job : jobs) {
+    accumulators[job.point_index].add(job.seed_index, run.results[job.index]);
+  }
+
   std::vector<PanelRow> rows;
-  for (const auto& p : points) {
-    std::fprintf(stderr, "[bench] point %s: GT-TSCH...\n", p.label.c_str());
-    const auto gt = run_averaged(p.gt, seeds);
-    std::fprintf(stderr, "[bench] point %s: Orchestra...\n", p.label.c_str());
-    const auto orch = run_averaged(p.orchestra, seeds);
-    rows.push_back(PanelRow{p.label, gt.mean, orch.mean});
+  rows.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    rows.push_back(PanelRow{points[i].label, accumulators[2 * i].finalize(),
+                            accumulators[2 * i + 1].finalize()});
   }
   return rows;
 }
@@ -41,35 +87,97 @@ inline void print_panels(const char* figure, const char* x_name,
                          const std::vector<PanelRow>& rows) {
   struct Panel {
     const char* title;
-    double RunMetrics::*field;
+    campaign::SampleStats campaign::PointAggregate::*field;
     int precision;
   };
   const Panel panels[] = {
-      {"(a) Packet delivery ratio (%)", &RunMetrics::pdr_percent, 1},
-      {"(b) Average end-to-end delay per packet (ms)", &RunMetrics::avg_delay_ms, 0},
-      {"(c) Average number of lost packets (packet/minute)", &RunMetrics::loss_per_minute, 1},
-      {"(d) Average radio duty cycle per node (%)", &RunMetrics::duty_cycle_percent, 2},
-      {"(e) Average queue loss per node", &RunMetrics::queue_loss_per_node, 1},
-      {"(f) Received packets per minute", &RunMetrics::throughput_per_minute, 0},
+      {"(a) Packet delivery ratio (%)", &campaign::PointAggregate::pdr_percent, 1},
+      {"(b) Average end-to-end delay per packet (ms)",
+       &campaign::PointAggregate::avg_delay_ms, 0},
+      {"(c) Average number of lost packets (packet/minute)",
+       &campaign::PointAggregate::loss_per_minute, 1},
+      {"(d) Average radio duty cycle per node (%)",
+       &campaign::PointAggregate::duty_cycle_percent, 2},
+      {"(e) Average queue loss per node",
+       &campaign::PointAggregate::queue_loss_per_node, 1},
+      {"(f) Received packets per minute",
+       &campaign::PointAggregate::throughput_per_minute, 0},
+  };
+  auto cell = [](const campaign::SampleStats& s, int precision) {
+    std::string text = TablePrinter::num(s.mean, precision);
+    if (s.n > 1) text += " ±" + TablePrinter::num(s.stddev, precision);
+    return text;
   };
   for (const auto& panel : panels) {
-    std::printf("\n%s — %s\n", figure, panel.title);
+    std::printf("\n%s — %s (mean ±stddev over seeds)\n", figure, panel.title);
     TablePrinter t({x_name, "GT-TSCH", "Orchestra"});
     for (const auto& row : rows)
-      t.add_row({row.x, TablePrinter::num(row.gt.*panel.field, panel.precision),
-                 TablePrinter::num(row.orchestra.*panel.field, panel.precision)});
+      t.add_row({row.x, cell(row.gt.*panel.field, panel.precision),
+                 cell(row.orchestra.*panel.field, panel.precision)});
     t.print();
   }
   std::printf("\n%s — diagnostics (generated/delivered per run-average)\n", figure);
   TablePrinter t({x_name, "GT gen", "GT dlv", "GT join", "Or gen", "Or dlv", "Or join"});
   for (const auto& row : rows)
-    t.add_row({row.x, TablePrinter::num(static_cast<std::int64_t>(row.gt.generated)),
-               TablePrinter::num(static_cast<std::int64_t>(row.gt.delivered)),
-               TablePrinter::num(static_cast<std::int64_t>(row.gt.nodes_joined)),
-               TablePrinter::num(static_cast<std::int64_t>(row.orchestra.generated)),
-               TablePrinter::num(static_cast<std::int64_t>(row.orchestra.delivered)),
-               TablePrinter::num(static_cast<std::int64_t>(row.orchestra.nodes_joined))});
+    t.add_row({row.x,
+               TablePrinter::num(static_cast<std::int64_t>(row.gt.mean.generated)),
+               TablePrinter::num(static_cast<std::int64_t>(row.gt.mean.delivered)),
+               TablePrinter::num(static_cast<std::int64_t>(row.gt.mean.nodes_joined)),
+               TablePrinter::num(static_cast<std::int64_t>(row.orchestra.mean.generated)),
+               TablePrinter::num(static_cast<std::int64_t>(row.orchestra.mean.delivered)),
+               TablePrinter::num(static_cast<std::int64_t>(row.orchestra.mean.nodes_joined))});
   t.print();
+}
+
+/// Entry point shared by the figure harnesses: parses --jobs N, --seeds
+/// LIST and --out PREFIX (CSV/JSON artifacts), runs the sweep on the
+/// campaign pool, prints the panels. Returns the process exit code.
+inline int run_figure(int argc, char** argv, const char* figure,
+                      const char* x_name, const std::vector<SweepPoint>& points) {
+  Flags flags(argc, argv);
+  // 0 = runner default: GTTSCH_JOBS, then hardware concurrency.
+  const int jobs = static_cast<int>(flags.get_int("jobs", 0));
+  std::vector<std::uint64_t> seeds = default_seeds();
+  if (flags.has("seeds")) {
+    std::string error;
+    if (!campaign::parse_seeds(flags.get("seeds", ""), &seeds, &error)) {
+      std::fprintf(stderr, "%s: --seeds: %s\n", figure, error.c_str());
+      return 2;
+    }
+  }
+  const std::string out_prefix = flags.get("out", "");
+  for (const std::string& flag : flags.unknown()) {
+    std::fprintf(stderr, "%s: unknown flag --%s\n", figure, flag.c_str());
+    return 2;
+  }
+
+  const std::vector<PanelRow> rows = run_sweep(points, seeds, jobs);
+  print_panels(figure, x_name, rows);
+
+  if (!out_prefix.empty()) {
+    std::vector<campaign::PointAggregate> aggregates;
+    aggregates.reserve(rows.size() * 2);
+    for (const PanelRow& row : rows) {
+      for (const campaign::PointAggregate* a : {&row.gt, &row.orchestra}) {
+        campaign::PointAggregate tagged = *a;
+        const char* scheduler = (a == &row.gt) ? "gt-tsch" : "orchestra";
+        tagged.label = std::string(x_name) + '=' + row.x + " scheduler=" + scheduler;
+        tagged.coords = {{x_name, row.x}, {"scheduler", scheduler}};
+        aggregates.push_back(std::move(tagged));
+      }
+    }
+    const std::string csv_path = out_prefix + ".csv";
+    const std::string json_path = out_prefix + ".json";
+    if (!campaign::write_csv(csv_path, aggregates) ||
+        !campaign::write_json(json_path, aggregates)) {
+      std::fprintf(stderr, "%s: failed to write artifacts at %s.{csv,json}\n",
+                   figure, out_prefix.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[bench] wrote %s and %s\n", csv_path.c_str(),
+                 json_path.c_str());
+  }
+  return 0;
 }
 
 /// Shared base configuration for the paper's evaluation (Section VIII).

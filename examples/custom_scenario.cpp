@@ -1,9 +1,9 @@
 // Fully parameterised scenario runner: every knob of ScenarioConfig on the
 // command line. The "do anything" CLI for exploring the design space.
 //
-//   ./custom_scenario --scheduler=gt --dodags=2 --nodes=7 --ppm=120 \
-//       --slotframe=32 --orchestra-unicast=8 --alpha=4 --beta=1 --gamma=1 \
-//       --queue=16 --warmup-s=180 --measure-s=300 --seeds=3 --drift-ppm=0
+//   ./custom_scenario --scheduler=gt --dodags=2 --nodes=7 --ppm=120 --slotframe=32
+//   ./custom_scenario --orchestra-unicast=8 --alpha=4 --beta=1 --gamma=1 --queue=16
+//   ./custom_scenario --warmup-s=180 --measure-s=300 --seeds=3 --drift-ppm=0
 #include <cstdio>
 
 #include "scenario/experiment.hpp"

@@ -1,0 +1,108 @@
+#include "campaign/aggregate.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace gttsch::campaign {
+
+double t_critical_95(std::uint64_t df) {
+  // Two-sided 95% quantiles of the Student-t distribution; beyond df=30
+  // the normal value is accurate to well under the precision we report.
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df <= 30) return kTable[df - 1];
+  return 1.960;
+}
+
+SampleStats summarize(const std::vector<double>& samples) {
+  SampleStats s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  s.min = samples.front();
+  s.max = samples.front();
+  double sum = 0.0;
+  for (const double x : samples) {
+    sum += x;
+    if (x < s.min) s.min = x;
+    if (x > s.max) s.max = x;
+  }
+  const double n = static_cast<double>(s.n);
+  s.mean = sum / n;
+  if (s.n > 1) {
+    double sq = 0.0;
+    for (const double x : samples) sq += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(sq / (n - 1.0));
+    s.ci95_half = t_critical_95(s.n - 1) * s.stddev / std::sqrt(n);
+  }
+  return s;
+}
+
+void PointAccumulator::add(std::size_t seed_index, const ExperimentResult& result) {
+  const bool inserted = by_seed_.emplace(seed_index, result).second;
+  GTTSCH_CHECK(inserted);
+}
+
+PointAggregate PointAccumulator::finalize() const {
+  PointAggregate out;
+  if (by_seed_.empty()) return out;
+
+  // Collect per-metric sample vectors in seed order (std::map iterates in
+  // key order, so arrival order is irrelevant).
+  struct Series {
+    SampleStats PointAggregate::*stats;
+    double RunMetrics::*metric;
+  };
+  static constexpr Series kSeries[] = {
+      {&PointAggregate::pdr_percent, &RunMetrics::pdr_percent},
+      {&PointAggregate::avg_delay_ms, &RunMetrics::avg_delay_ms},
+      {&PointAggregate::p95_delay_ms, &RunMetrics::p95_delay_ms},
+      {&PointAggregate::loss_per_minute, &RunMetrics::loss_per_minute},
+      {&PointAggregate::duty_cycle_percent, &RunMetrics::duty_cycle_percent},
+      {&PointAggregate::queue_loss_per_node, &RunMetrics::queue_loss_per_node},
+      {&PointAggregate::throughput_per_minute, &RunMetrics::throughput_per_minute},
+      {&PointAggregate::mean_hops, &RunMetrics::mean_hops},
+  };
+  std::vector<double> samples;
+  samples.reserve(by_seed_.size());
+  for (const Series& series : kSeries) {
+    samples.clear();
+    for (const auto& [seed_index, result] : by_seed_) {
+      samples.push_back(result.metrics.*series.metric);
+    }
+    out.*series.stats = summarize(samples);
+  }
+
+  for (const auto& [seed_index, result] : by_seed_) {
+    const RunMetrics& m = result.metrics;
+    out.mean.generated += m.generated;
+    out.mean.delivered += m.delivered;
+    out.mean.queue_drops += m.queue_drops;
+    out.mean.mac_drops += m.mac_drops;
+    out.mean.no_route_drops += m.no_route_drops;
+    out.mean.nodes_joined += m.nodes_joined;
+    out.mean.node_count = m.node_count;
+    out.mean.measure_minutes += m.measure_minutes;
+    out.medium_sum.transmissions += result.medium.transmissions;
+    out.medium_sum.deliveries += result.medium.deliveries;
+    out.medium_sum.collision_losses += result.medium.collision_losses;
+    out.medium_sum.prr_losses += result.medium.prr_losses;
+    if (result.fully_formed) ++out.fully_formed_runs;
+    ++out.runs;
+  }
+  out.mean.pdr_percent = out.pdr_percent.mean;
+  out.mean.avg_delay_ms = out.avg_delay_ms.mean;
+  out.mean.p95_delay_ms = out.p95_delay_ms.mean;
+  out.mean.loss_per_minute = out.loss_per_minute.mean;
+  out.mean.duty_cycle_percent = out.duty_cycle_percent.mean;
+  out.mean.queue_loss_per_node = out.queue_loss_per_node.mean;
+  out.mean.throughput_per_minute = out.throughput_per_minute.mean;
+  out.mean.mean_hops = out.mean_hops.mean;
+  out.mean.measure_minutes /= static_cast<double>(out.runs);
+  return out;
+}
+
+}  // namespace gttsch::campaign

@@ -1,0 +1,71 @@
+// Order-independent aggregation of per-job ExperimentResults into
+// seed-averaged statistics (mean / stddev / 95% CI per panel metric).
+//
+// Parallel workers finish in nondeterministic order; the accumulator keys
+// every result by its seed index and reduces in seed order at finalize(),
+// so the aggregate is bit-identical to a serial run of the same seed list.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scenario/experiment.hpp"
+
+namespace gttsch::campaign {
+
+/// Spread of one scalar metric across seeds.
+struct SampleStats {
+  std::uint64_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;     ///< sample standard deviation (n-1)
+  double ci95_half = 0.0;  ///< Student-t 95% half-width of the mean
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Summarizes `samples` in the given (deterministic) order.
+SampleStats summarize(const std::vector<double>& samples);
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom.
+double t_critical_95(std::uint64_t df);
+
+/// Seed-aggregated metrics for one grid point: the six panel metrics with
+/// across-seed spread, plus the packed means the table printers consume.
+struct PointAggregate {
+  std::string label;
+  std::vector<std::pair<std::string, std::string>> coords;
+
+  SampleStats pdr_percent;
+  SampleStats avg_delay_ms;
+  SampleStats p95_delay_ms;
+  SampleStats loss_per_minute;
+  SampleStats duty_cycle_percent;
+  SampleStats queue_loss_per_node;
+  SampleStats throughput_per_minute;
+  SampleStats mean_hops;
+
+  RunMetrics mean;        ///< means (and summed counters), as run_averaged
+  MediumStats medium_sum; ///< summed medium counters over seeds
+  int runs = 0;
+  int fully_formed_runs = 0;
+};
+
+/// Accumulates per-seed results for one grid point in any arrival order.
+class PointAccumulator {
+ public:
+  /// `seed_index` positions the result in the deterministic reduction
+  /// order; adding the same index twice is a programming error.
+  void add(std::size_t seed_index, const ExperimentResult& result);
+
+  std::size_t size() const { return by_seed_.size(); }
+
+  PointAggregate finalize() const;
+
+ private:
+  std::map<std::size_t, ExperimentResult> by_seed_;
+};
+
+}  // namespace gttsch::campaign

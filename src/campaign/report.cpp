@@ -1,0 +1,153 @@
+#include "campaign/report.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/csv.hpp"
+
+namespace gttsch::campaign {
+namespace {
+
+struct MetricColumn {
+  const char* name;
+  SampleStats PointAggregate::*stats;
+};
+
+constexpr MetricColumn kMetrics[] = {
+    {"pdr_percent", &PointAggregate::pdr_percent},
+    {"avg_delay_ms", &PointAggregate::avg_delay_ms},
+    {"p95_delay_ms", &PointAggregate::p95_delay_ms},
+    {"loss_per_minute", &PointAggregate::loss_per_minute},
+    {"duty_cycle_percent", &PointAggregate::duty_cycle_percent},
+    {"queue_loss_per_node", &PointAggregate::queue_loss_per_node},
+    {"throughput_per_minute", &PointAggregate::throughput_per_minute},
+    {"mean_hops", &PointAggregate::mean_hops},
+};
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string fmt(std::uint64_t v) { return std::to_string(v); }
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> csv_header(const std::vector<PointAggregate>& aggregates) {
+  std::vector<std::string> header{"label"};
+  if (!aggregates.empty()) {
+    for (const auto& [field, value] : aggregates.front().coords) header.push_back(field);
+  }
+  header.push_back("runs");
+  header.push_back("fully_formed_runs");
+  for (const MetricColumn& m : kMetrics) {
+    header.push_back(std::string(m.name) + "_mean");
+    header.push_back(std::string(m.name) + "_stddev");
+    header.push_back(std::string(m.name) + "_ci95");
+  }
+  for (const char* name : {"generated", "delivered", "queue_drops", "mac_drops",
+                           "no_route_drops", "medium_transmissions",
+                           "medium_collision_losses", "medium_prr_losses"}) {
+    header.push_back(name);
+  }
+  return header;
+}
+
+std::vector<std::string> csv_row(const PointAggregate& a) {
+  std::vector<std::string> row{a.label};
+  for (const auto& [field, value] : a.coords) row.push_back(value);
+  row.push_back(std::to_string(a.runs));
+  row.push_back(std::to_string(a.fully_formed_runs));
+  for (const MetricColumn& m : kMetrics) {
+    const SampleStats& s = a.*m.stats;
+    row.push_back(fmt(s.mean));
+    row.push_back(fmt(s.stddev));
+    row.push_back(fmt(s.ci95_half));
+  }
+  row.push_back(fmt(a.mean.generated));
+  row.push_back(fmt(a.mean.delivered));
+  row.push_back(fmt(a.mean.queue_drops));
+  row.push_back(fmt(a.mean.mac_drops));
+  row.push_back(fmt(a.mean.no_route_drops));
+  row.push_back(fmt(a.medium_sum.transmissions));
+  row.push_back(fmt(a.medium_sum.collision_losses));
+  row.push_back(fmt(a.medium_sum.prr_losses));
+  return row;
+}
+
+bool write_csv(const std::string& path,
+               const std::vector<PointAggregate>& aggregates) {
+  CsvWriter csv(path, csv_header(aggregates));
+  for (const PointAggregate& a : aggregates) csv.add_row(csv_row(a));
+  return csv.ok();
+}
+
+std::string render_json(const std::vector<PointAggregate>& aggregates) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < aggregates.size(); ++i) {
+    const PointAggregate& a = aggregates[i];
+    out += "  {\n";
+    out += "    \"label\": \"" + json_escape(a.label) + "\",\n";
+    out += "    \"coords\": {";
+    for (std::size_t c = 0; c < a.coords.size(); ++c) {
+      if (c > 0) out += ", ";
+      out += '"';
+      out += json_escape(a.coords[c].first);
+      out += "\": \"";
+      out += json_escape(a.coords[c].second);
+      out += '"';
+    }
+    out += "},\n";
+    out += "    \"runs\": " + std::to_string(a.runs) + ",\n";
+    out += "    \"fully_formed_runs\": " + std::to_string(a.fully_formed_runs) + ",\n";
+    out += "    \"metrics\": {\n";
+    for (std::size_t m = 0; m < std::size(kMetrics); ++m) {
+      const SampleStats& s = a.*kMetrics[m].stats;
+      out += "      \"";
+      out += kMetrics[m].name;
+      out += "\": {\"mean\": " + fmt(s.mean) + ", \"stddev\": " + fmt(s.stddev) +
+             ", \"ci95\": " + fmt(s.ci95_half) + ", \"min\": " + fmt(s.min) +
+             ", \"max\": " + fmt(s.max) + ", \"n\": " + std::to_string(s.n) + "}";
+      out += (m + 1 < std::size(kMetrics)) ? ",\n" : "\n";
+    }
+    out += "    },\n";
+    out += "    \"counters\": {\"generated\": " + fmt(a.mean.generated) +
+           ", \"delivered\": " + fmt(a.mean.delivered) +
+           ", \"queue_drops\": " + fmt(a.mean.queue_drops) +
+           ", \"mac_drops\": " + fmt(a.mean.mac_drops) +
+           ", \"no_route_drops\": " + fmt(a.mean.no_route_drops) + "},\n";
+    out += "    \"medium\": {\"transmissions\": " + fmt(a.medium_sum.transmissions) +
+           ", \"deliveries\": " + fmt(a.medium_sum.deliveries) +
+           ", \"collision_losses\": " + fmt(a.medium_sum.collision_losses) +
+           ", \"prr_losses\": " + fmt(a.medium_sum.prr_losses) + "}\n";
+    out += (i + 1 < aggregates.size()) ? "  },\n" : "  }\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+bool write_json(const std::string& path,
+                const std::vector<PointAggregate>& aggregates) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << render_json(aggregates);
+  return out.good();
+}
+
+}  // namespace gttsch::campaign

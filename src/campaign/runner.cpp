@@ -1,0 +1,127 @@
+#include "campaign/runner.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace gttsch::campaign {
+namespace {
+
+int default_worker_count() {
+  if (const char* env = std::getenv("GTTSCH_JOBS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+Runner::Runner(RunnerOptions options) : options_(std::move(options)) {}
+
+Runner::Result Runner::run(const std::vector<Job>& jobs) {
+  cancel_.store(false, std::memory_order_relaxed);
+
+  Result out;
+  out.results.resize(jobs.size());
+  out.completed.assign(jobs.size(), 0);
+  if (jobs.empty()) return out;
+
+  int workers = options_.jobs > 0 ? options_.jobs : default_worker_count();
+  workers = std::min<int>(workers, static_cast<int>(jobs.size()));
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex progress_mutex;
+
+  auto worker = [&] {
+    for (;;) {
+      if (cancel_.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) return;
+      out.results[i] = run_scenario(jobs[i].config);
+      out.completed[i] = 1;
+      const std::size_t completed = done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (options_.on_progress) {
+        Progress p;
+        p.completed = completed;
+        p.total = jobs.size();
+        p.job = &jobs[i];
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        options_.on_progress(p);
+      }
+    }
+  };
+
+  if (workers == 1) {
+    // Serial fast path: no threads, same claim order, same results.
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  out.cancelled = cancel_.load(std::memory_order_relaxed);
+  return out;
+}
+
+bool run_campaign(const CampaignSpec& spec, const RunnerOptions& options,
+                  CampaignResult* out, std::string* error) {
+  std::vector<GridPoint> points = expand_grid(spec, error);
+  if (points.empty()) return false;
+  const std::vector<Job> jobs = make_jobs(points, spec.seeds);
+  if (jobs.empty()) return false;
+
+  Runner runner(options);
+  const Runner::Result run = runner.run(jobs);
+
+  std::vector<PointAccumulator> accumulators(points.size());
+  for (const Job& job : jobs) {
+    if (!run.completed[job.index]) continue;
+    accumulators[job.point_index].add(job.seed_index, run.results[job.index]);
+  }
+
+  out->points = std::move(points);
+  out->aggregates.clear();
+  out->aggregates.reserve(out->points.size());
+  for (std::size_t i = 0; i < out->points.size(); ++i) {
+    PointAggregate agg = accumulators[i].finalize();
+    agg.label = out->points[i].label;
+    agg.coords = out->points[i].coords;
+    out->aggregates.push_back(std::move(agg));
+  }
+  out->cancelled = run.cancelled;
+  return true;
+}
+
+PointAggregate run_point(const ScenarioConfig& config,
+                         const std::vector<std::uint64_t>& seeds,
+                         const RunnerOptions& options) {
+  GTTSCH_CHECK(!seeds.empty());
+  std::vector<Job> jobs;
+  jobs.reserve(seeds.size());
+  for (std::size_t s = 0; s < seeds.size(); ++s) {
+    Job job;
+    job.index = s;
+    job.point_index = 0;
+    job.seed_index = s;
+    job.config = config;
+    job.config.seed = seeds[s];
+    jobs.push_back(std::move(job));
+  }
+  Runner runner(options);
+  const Runner::Result run = runner.run(jobs);
+  PointAccumulator acc;
+  for (const Job& job : jobs) {
+    if (run.completed[job.index]) acc.add(job.seed_index, run.results[job.index]);
+  }
+  return acc.finalize();
+}
+
+}  // namespace gttsch::campaign

@@ -1,0 +1,74 @@
+// Parallel campaign execution: a std::thread worker pool pulls jobs off a
+// shared index counter, each job running its own private Simulator via
+// run_scenario — runs are embarrassingly parallel and bit-identical to
+// serial execution for the same seed, whatever the completion order.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/aggregate.hpp"
+#include "campaign/spec.hpp"
+
+namespace gttsch::campaign {
+
+/// Snapshot handed to the progress callback after each job completes.
+struct Progress {
+  std::size_t completed = 0;  ///< jobs finished so far (including this one)
+  std::size_t total = 0;
+  const Job* job = nullptr;  ///< the job that just finished
+};
+
+struct RunnerOptions {
+  /// Worker threads; 0 defers to the GTTSCH_JOBS environment variable,
+  /// then std::thread::hardware_concurrency().
+  int jobs = 0;
+  /// Invoked after every job, serialized (never concurrently).
+  std::function<void(const Progress&)> on_progress;
+};
+
+class Runner {
+ public:
+  explicit Runner(RunnerOptions options = {});
+
+  struct Result {
+    /// Indexed like the input jobs, regardless of completion order.
+    std::vector<ExperimentResult> results;
+    /// completed[i] is false only when the run was cancelled before job i.
+    std::vector<std::uint8_t> completed;
+    bool cancelled = false;
+  };
+
+  /// Executes every job; blocks until done (or cancelled). Safe to call
+  /// repeatedly; each call resets the cancellation flag.
+  Result run(const std::vector<Job>& jobs);
+
+  /// Thread-safe: workers stop claiming new jobs; in-flight jobs finish.
+  void cancel() { cancel_.store(true, std::memory_order_relaxed); }
+
+ private:
+  RunnerOptions options_;
+  std::atomic<bool> cancel_{false};
+};
+
+/// A campaign end-to-end: expand the spec, run all jobs on the pool, merge
+/// per-seed results into one PointAggregate per grid point.
+struct CampaignResult {
+  std::vector<GridPoint> points;
+  std::vector<PointAggregate> aggregates;  ///< parallel to `points`
+  bool cancelled = false;
+};
+
+bool run_campaign(const CampaignSpec& spec, const RunnerOptions& options,
+                  CampaignResult* out, std::string* error);
+
+/// Drop-in parallel replacement for run_averaged: one scenario, all seeds
+/// on the pool, spread statistics included.
+PointAggregate run_point(const ScenarioConfig& config,
+                         const std::vector<std::uint64_t>& seeds,
+                         const RunnerOptions& options = {});
+
+}  // namespace gttsch::campaign

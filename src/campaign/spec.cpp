@@ -1,0 +1,342 @@
+#include "campaign/spec.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+
+namespace gttsch::campaign {
+namespace {
+
+bool parse_double(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  // strtoull accepts leading whitespace and '-' (wrapping around); a seed
+  // must be plain digits.
+  if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end != text.c_str() + text.size()) return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parse_bool(const std::string& text, bool* out) {
+  if (text == "1" || text == "true" || text == "on" || text == "yes") {
+    *out = true;
+    return true;
+  }
+  if (text == "0" || text == "false" || text == "off" || text == "no") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+/// One settable ScenarioConfig field: parse + range-check + assign.
+struct FieldDef {
+  const char* name;
+  bool (*apply)(ScenarioConfig&, const std::string&, std::string*);
+};
+
+std::string format_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+template <typename T>
+bool set_number(ScenarioConfig& c, const std::string& value, std::string* error,
+                const char* name, T ScenarioConfig::*member, double lo, double hi) {
+  double v = 0;
+  if (!parse_double(value, &v)) {
+    return fail(error, std::string(name) + ": unparseable value '" + value + "'");
+  }
+  // Written so NaN fails too (NaN would otherwise pass a < lo || > hi
+  // check and invoke UB when cast to an integral field).
+  if (!(v >= lo && v <= hi)) {
+    return fail(error, std::string(name) + ": value " + value + " out of range [" +
+                           format_number(lo) + ", " + format_number(hi) + "]");
+  }
+  c.*member = static_cast<T>(v);
+  return true;
+}
+
+bool apply_scheduler(ScenarioConfig& c, const std::string& value, std::string* error) {
+  if (value == "gt-tsch" || value == "gt") {
+    c.scheduler = SchedulerKind::kGtTsch;
+    return true;
+  }
+  if (value == "orchestra") {
+    c.scheduler = SchedulerKind::kOrchestra;
+    return true;
+  }
+  return fail(error, "scheduler: unknown value '" + value +
+                         "' (expected gt-tsch or orchestra)");
+}
+
+bool apply_warmup(ScenarioConfig& c, const std::string& value, std::string* error) {
+  double v = 0;
+  if (!parse_double(value, &v) || v < 0) {
+    return fail(error, "warmup_s: expected a non-negative number of seconds");
+  }
+  c.warmup = static_cast<TimeUs>(v * 1e6);
+  return true;
+}
+
+bool apply_measure(ScenarioConfig& c, const std::string& value, std::string* error) {
+  double v = 0;
+  if (!parse_double(value, &v) || v <= 0) {
+    return fail(error, "measure_s: expected a positive number of seconds");
+  }
+  c.measure = static_cast<TimeUs>(v * 1e6);
+  return true;
+}
+
+bool apply_tx_margin(ScenarioConfig& c, const std::string& value, std::string* error) {
+  if (parse_bool(value, &c.enforce_tx_margin)) return true;
+  return fail(error, "enforce_tx_margin: expected a boolean, got '" + value + "'");
+}
+
+bool apply_interleave(ScenarioConfig& c, const std::string& value, std::string* error) {
+  if (parse_bool(value, &c.enforce_interleave)) return true;
+  return fail(error, "enforce_interleave: expected a boolean, got '" + value + "'");
+}
+
+const FieldDef kFields[] = {
+    {"scheduler", apply_scheduler},
+    {"dodag_count",
+     [](ScenarioConfig& c, const std::string& v, std::string* e) {
+       return set_number(c, v, e, "dodag_count", &ScenarioConfig::dodag_count, 1, 64);
+     }},
+    {"nodes_per_dodag",
+     [](ScenarioConfig& c, const std::string& v, std::string* e) {
+       return set_number(c, v, e, "nodes_per_dodag", &ScenarioConfig::nodes_per_dodag,
+                         2, 256);
+     }},
+    {"hop_distance",
+     [](ScenarioConfig& c, const std::string& v, std::string* e) {
+       return set_number(c, v, e, "hop_distance", &ScenarioConfig::hop_distance, 1,
+                         1000);
+     }},
+    {"radio_range",
+     [](ScenarioConfig& c, const std::string& v, std::string* e) {
+       return set_number(c, v, e, "radio_range", &ScenarioConfig::radio_range, 1, 1000);
+     }},
+    {"interference_factor",
+     [](ScenarioConfig& c, const std::string& v, std::string* e) {
+       return set_number(c, v, e, "interference_factor",
+                         &ScenarioConfig::interference_factor, 1, 10);
+     }},
+    {"link_prr",
+     [](ScenarioConfig& c, const std::string& v, std::string* e) {
+       return set_number(c, v, e, "link_prr", &ScenarioConfig::link_prr, 0, 1);
+     }},
+    {"traffic_ppm",
+     [](ScenarioConfig& c, const std::string& v, std::string* e) {
+       return set_number(c, v, e, "traffic_ppm", &ScenarioConfig::traffic_ppm, 0, 1e6);
+     }},
+    {"gt_slotframe_length",
+     [](ScenarioConfig& c, const std::string& v, std::string* e) {
+       return set_number(c, v, e, "gt_slotframe_length",
+                         &ScenarioConfig::gt_slotframe_length, 4, 65535);
+     }},
+    {"orchestra_unicast_length",
+     [](ScenarioConfig& c, const std::string& v, std::string* e) {
+       return set_number(c, v, e, "orchestra_unicast_length",
+                         &ScenarioConfig::orchestra_unicast_length, 1, 65535);
+     }},
+    {"queue_capacity",
+     [](ScenarioConfig& c, const std::string& v, std::string* e) {
+       return set_number(c, v, e, "queue_capacity", &ScenarioConfig::queue_capacity, 1,
+                         4096);
+     }},
+    {"alpha",
+     [](ScenarioConfig& c, const std::string& v, std::string* e) {
+       return set_number(c, v, e, "alpha", &ScenarioConfig::alpha, 0, 1e6);
+     }},
+    {"beta",
+     [](ScenarioConfig& c, const std::string& v, std::string* e) {
+       return set_number(c, v, e, "beta", &ScenarioConfig::beta, 0, 1e6);
+     }},
+    {"gamma",
+     [](ScenarioConfig& c, const std::string& v, std::string* e) {
+       return set_number(c, v, e, "gamma", &ScenarioConfig::gamma, 0, 1e6);
+     }},
+    {"orchestra_channel_hash",
+     [](ScenarioConfig& c, const std::string& v, std::string* e) {
+       if (parse_bool(v, &c.orchestra_channel_hash)) return true;
+       return fail(e, "orchestra_channel_hash: expected a boolean, got '" + v + "'");
+     }},
+    {"enforce_tx_margin", apply_tx_margin},
+    {"enforce_interleave", apply_interleave},
+    {"warmup_s", apply_warmup},
+    {"measure_s", apply_measure},
+};
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+const std::vector<std::string>& known_fields() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const FieldDef& f : kFields) v.push_back(f.name);
+    return v;
+  }();
+  return names;
+}
+
+bool apply_field(ScenarioConfig& config, const std::string& field,
+                 const std::string& value, std::string* error) {
+  for (const FieldDef& f : kFields) {
+    if (field == f.name) return f.apply(config, value, error);
+  }
+  return fail(error, "unknown field '" + field + "'");
+}
+
+bool validate(const CampaignSpec& spec, std::string* error) {
+  std::set<std::string> seen;
+  for (const Axis& axis : spec.axes) {
+    if (axis.values.empty()) {
+      return fail(error, "axis '" + axis.field + "' has no values");
+    }
+    if (!seen.insert(axis.field).second) {
+      return fail(error, "axis '" + axis.field + "' appears twice");
+    }
+    ScenarioConfig probe = spec.base;
+    for (const std::string& value : axis.values) {
+      if (!apply_field(probe, axis.field, value, error)) return false;
+    }
+  }
+  if (spec.seeds.empty()) return fail(error, "seed list is empty");
+  std::set<std::uint64_t> unique(spec.seeds.begin(), spec.seeds.end());
+  if (unique.size() != spec.seeds.size()) {
+    return fail(error, "seed list contains duplicates");
+  }
+  return true;
+}
+
+std::vector<GridPoint> expand_grid(const CampaignSpec& spec, std::string* error) {
+  if (!validate(spec, error)) return {};
+
+  std::vector<GridPoint> points;
+  GridPoint base;
+  base.config = spec.base;
+  points.push_back(base);
+  for (const Axis& axis : spec.axes) {
+    std::vector<GridPoint> next;
+    next.reserve(points.size() * axis.values.size());
+    for (const GridPoint& p : points) {
+      for (const std::string& value : axis.values) {
+        GridPoint q = p;
+        // Validated above; re-applying cannot fail.
+        apply_field(q.config, axis.field, value, nullptr);
+        q.coords.emplace_back(axis.field, value);
+        if (!q.label.empty()) q.label += ' ';
+        q.label += axis.field + '=' + value;
+        next.push_back(std::move(q));
+      }
+    }
+    points = std::move(next);
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) points[i].index = i;
+  return points;
+}
+
+std::vector<Job> make_jobs(const CampaignSpec& spec, std::string* error) {
+  const std::vector<GridPoint> points = expand_grid(spec, error);
+  if (points.empty()) return {};
+  return make_jobs(points, spec.seeds);
+}
+
+std::vector<Job> make_jobs(const std::vector<GridPoint>& points,
+                           const std::vector<std::uint64_t>& seeds) {
+  std::vector<Job> jobs;
+  jobs.reserve(points.size() * seeds.size());
+  for (const GridPoint& point : points) {
+    for (std::size_t s = 0; s < seeds.size(); ++s) {
+      Job job;
+      job.index = jobs.size();
+      job.point_index = point.index;
+      job.seed_index = s;
+      job.config = point.config;
+      job.config.seed = seeds[s];
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+bool parse_grid(const std::string& text, std::vector<Axis>* axes,
+                std::string* error) {
+  axes->clear();
+  if (text.empty()) return true;
+  for (const std::string& part : split(text, ';')) {
+    if (part.empty()) continue;
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return fail(error, "grid axis '" + part + "' is not of the form field=v1,v2");
+    }
+    Axis axis;
+    axis.field = part.substr(0, eq);
+    for (const std::string& value : split(part.substr(eq + 1), ',')) {
+      if (value.empty()) {
+        return fail(error, "grid axis '" + axis.field + "' has an empty value");
+      }
+      axis.values.push_back(value);
+    }
+    if (axis.values.empty()) {
+      return fail(error, "grid axis '" + axis.field + "' has no values");
+    }
+    axes->push_back(std::move(axis));
+  }
+  return true;
+}
+
+bool parse_seeds(const std::string& text, std::vector<std::uint64_t>* seeds,
+                 std::string* error) {
+  seeds->clear();
+  for (const std::string& part : split(text, ',')) {
+    if (part.empty()) continue;
+    std::uint64_t seed = 0;
+    if (!parse_u64(part, &seed)) {
+      return fail(error, "seed '" + part + "' is not an unsigned integer");
+    }
+    if (std::find(seeds->begin(), seeds->end(), seed) != seeds->end()) {
+      return fail(error, "seed " + part + " appears twice");
+    }
+    seeds->push_back(seed);
+  }
+  if (seeds->empty()) return fail(error, "seed list '" + text + "' is empty");
+  return true;
+}
+
+}  // namespace gttsch::campaign

@@ -1,0 +1,82 @@
+// Declarative experiment-campaign specs: a parameter grid over
+// ScenarioConfig fields plus a seed list, expanded into the cartesian
+// product of grid points and then into one Job per (point, seed).
+//
+// Every swept value is carried as a string (so one grammar covers numeric,
+// boolean and scheduler axes); `apply_field` owns parsing and range
+// validation, which makes bad specs fail loudly before any simulation runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scenario/experiment.hpp"
+
+namespace gttsch::campaign {
+
+/// One swept parameter: a ScenarioConfig field name and the values it takes.
+struct Axis {
+  std::string field;
+  std::vector<std::string> values;
+};
+
+/// A campaign: base scenario, swept axes (cartesian product), seed list.
+struct CampaignSpec {
+  ScenarioConfig base;
+  std::vector<Axis> axes;
+  std::vector<std::uint64_t> seeds;
+};
+
+/// A fully resolved grid point (seed not yet applied).
+struct GridPoint {
+  std::size_t index = 0;
+  std::string label;  ///< "traffic_ppm=120 scheduler=gt-tsch"
+  std::vector<std::pair<std::string, std::string>> coords;  ///< axis order
+  ScenarioConfig config;
+};
+
+/// One unit of work for the runner: grid point x seed.
+struct Job {
+  std::size_t index = 0;  ///< dense 0..N-1, == point_index * #seeds + seed_index
+  std::size_t point_index = 0;
+  std::size_t seed_index = 0;
+  ScenarioConfig config;  ///< seed applied
+};
+
+/// Field names accepted by `apply_field` (and therefore by grid axes).
+const std::vector<std::string>& known_fields();
+
+/// Applies `field=value` to `config`. On failure returns false and, when
+/// `error` is non-null, stores a message naming the field and the problem
+/// (unknown field, unparseable value, or out-of-range value).
+bool apply_field(ScenarioConfig& config, const std::string& field,
+                 const std::string& value, std::string* error);
+
+/// Checks axes (known fields, non-empty values, no duplicate field, every
+/// value applies cleanly) and the seed list (non-empty, no duplicates).
+bool validate(const CampaignSpec& spec, std::string* error);
+
+/// Cartesian product of the axes over the base config; the first axis
+/// varies slowest. A spec with no axes yields the single base point.
+/// Returns an empty vector with `error` set when validation fails.
+std::vector<GridPoint> expand_grid(const CampaignSpec& spec, std::string* error);
+
+/// Grid points x seeds, in deterministic (point-major) order.
+std::vector<Job> make_jobs(const CampaignSpec& spec, std::string* error);
+
+/// Same, over an already-expanded grid (avoids re-expanding the product).
+std::vector<Job> make_jobs(const std::vector<GridPoint>& points,
+                           const std::vector<std::uint64_t>& seeds);
+
+/// Parses a grid description of the form
+/// "traffic_ppm=30,75,120;scheduler=gt-tsch,orchestra" into axes.
+bool parse_grid(const std::string& text, std::vector<Axis>* axes,
+                std::string* error);
+
+/// Parses a comma-separated seed list ("1,2,3").
+bool parse_seeds(const std::string& text, std::vector<std::uint64_t>* seeds,
+                 std::string* error);
+
+}  // namespace gttsch::campaign

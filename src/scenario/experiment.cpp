@@ -36,6 +36,7 @@ NodeStackConfig ScenarioConfig::make_node_config() const {
   nc.gt.placement_rules.interleave = enforce_interleave;
 
   nc.orchestra.unicast_slotframe_length = orchestra_unicast_length;
+  nc.orchestra.unicast_channel_hash = orchestra_channel_hash;
 
   nc.app_rate_ppm = traffic_ppm;
   nc.app_start = std::max<TimeUs>(5_s, warmup / 3);

@@ -33,6 +33,10 @@ struct ScenarioConfig {
   std::uint16_t gt_slotframe_length = 32;
   std::uint16_t orchestra_unicast_length = 8;
 
+  // Orchestra channel strategy (the Section III critique): false = one
+  // fixed unicast offset (Contiki-NG default), true = hashed per receiver.
+  bool orchestra_channel_hash = false;
+
   // Queueing (Q_Max).
   std::size_t queue_capacity = 16;
 

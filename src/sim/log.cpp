@@ -1,11 +1,14 @@
 #include "sim/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace gttsch {
 namespace {
-LogLevel g_level = LogLevel::kNone;
-const TimeUs* g_clock = nullptr;
+// Atomics: the campaign runner drives many simulators from worker threads,
+// and all of them consult the shared level/clock.
+std::atomic<LogLevel> g_level{LogLevel::kNone};
+std::atomic<const TimeUs*> g_clock{nullptr};
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -23,14 +26,18 @@ LogLevel Log::level() { return g_level; }
 void Log::set_clock(const TimeUs* now) { g_clock = now; }
 
 void Log::write(LogLevel level, const char* component, const char* fmt, ...) {
-  if (static_cast<int>(g_level) < static_cast<int>(level)) return;
+  if (static_cast<int>(g_level.load(std::memory_order_relaxed)) <
+      static_cast<int>(level)) {
+    return;
+  }
   char body[512];
   va_list args;
   va_start(args, fmt);
   std::vsnprintf(body, sizeof body, fmt, args);
   va_end(args);
-  if (g_clock != nullptr) {
-    std::fprintf(stderr, "[%10.4fs] %s %-8s %s\n", us_to_s(*g_clock), level_tag(level),
+  const TimeUs* clock = g_clock.load(std::memory_order_relaxed);
+  if (clock != nullptr) {
+    std::fprintf(stderr, "[%10.4fs] %s %-8s %s\n", us_to_s(*clock), level_tag(level),
                  component, body);
   } else {
     std::fprintf(stderr, "%s %-8s %s\n", level_tag(level), component, body);

@@ -1,0 +1,401 @@
+// Campaign-engine tests: grid expansion (full cartesian product, loud
+// validation failures), order-independent aggregation, report layout, and
+// the determinism contract — a parallel run produces metrics bit-identical
+// to a serial run of the same spec.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "campaign/report.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/spec.hpp"
+
+namespace gttsch {
+namespace {
+
+using namespace literals;
+using campaign::Axis;
+using campaign::CampaignSpec;
+using campaign::GridPoint;
+using campaign::Job;
+using campaign::PointAccumulator;
+using campaign::PointAggregate;
+using campaign::SampleStats;
+
+// Tiny scenario so the determinism tests stay fast: single DODAG, short
+// warmup/measure windows.
+ScenarioConfig tiny() {
+  ScenarioConfig c;
+  c.dodag_count = 1;
+  c.nodes_per_dodag = 5;
+  c.warmup = 60_s;
+  c.measure = 60_s;
+  return c;
+}
+
+CampaignSpec tiny_spec() {
+  CampaignSpec spec;
+  spec.base = tiny();
+  spec.axes = {{"scheduler", {"gt-tsch", "orchestra"}}, {"traffic_ppm", {"30", "120"}}};
+  spec.seeds = {1, 2, 3};
+  return spec;
+}
+
+// ------------------------------------------------------------------ spec --
+
+TEST(CampaignSpec, GridIsFullCartesianProduct) {
+  CampaignSpec spec;
+  spec.seeds = {1};
+  spec.axes = {{"traffic_ppm", {"30", "75", "120"}},
+               {"scheduler", {"gt-tsch", "orchestra"}}};
+  std::string error;
+  const auto points = campaign::expand_grid(spec, &error);
+  ASSERT_EQ(points.size(), 6u) << error;
+
+  // First axis varies slowest; every combination appears exactly once.
+  EXPECT_EQ(points[0].label, "traffic_ppm=30 scheduler=gt-tsch");
+  EXPECT_EQ(points[1].label, "traffic_ppm=30 scheduler=orchestra");
+  EXPECT_EQ(points[5].label, "traffic_ppm=120 scheduler=orchestra");
+  EXPECT_DOUBLE_EQ(points[4].config.traffic_ppm, 120.0);
+  EXPECT_EQ(points[4].config.scheduler, SchedulerKind::kGtTsch);
+  EXPECT_EQ(points[5].config.scheduler, SchedulerKind::kOrchestra);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].index, i);
+    EXPECT_EQ(points[i].coords.size(), 2u);
+  }
+}
+
+TEST(CampaignSpec, NoAxesYieldsSingleBasePoint) {
+  CampaignSpec spec;
+  spec.base.traffic_ppm = 42.0;
+  spec.seeds = {7};
+  std::string error;
+  const auto points = campaign::expand_grid(spec, &error);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_DOUBLE_EQ(points[0].config.traffic_ppm, 42.0);
+  EXPECT_TRUE(points[0].label.empty());
+}
+
+TEST(CampaignSpec, JobsArePointMajorWithSeedsApplied) {
+  const CampaignSpec spec = tiny_spec();
+  std::string error;
+  const auto jobs = campaign::make_jobs(spec, &error);
+  ASSERT_EQ(jobs.size(), 4u * 3u) << error;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].index, i);
+    EXPECT_EQ(jobs[i].point_index, i / 3);
+    EXPECT_EQ(jobs[i].seed_index, i % 3);
+    EXPECT_EQ(jobs[i].config.seed, spec.seeds[i % 3]);
+  }
+}
+
+TEST(CampaignSpec, RejectsBadSpecs) {
+  std::string error;
+
+  CampaignSpec unknown = tiny_spec();
+  unknown.axes.push_back({"warp_factor", {"9"}});
+  EXPECT_FALSE(campaign::validate(unknown, &error));
+  EXPECT_NE(error.find("warp_factor"), std::string::npos);
+  EXPECT_TRUE(campaign::expand_grid(unknown, &error).empty());
+
+  CampaignSpec empty_axis = tiny_spec();
+  empty_axis.axes.push_back({"alpha", {}});
+  EXPECT_FALSE(campaign::validate(empty_axis, &error));
+  EXPECT_NE(error.find("alpha"), std::string::npos);
+
+  CampaignSpec duplicate = tiny_spec();
+  duplicate.axes.push_back({"scheduler", {"gt-tsch"}});
+  EXPECT_FALSE(campaign::validate(duplicate, &error));
+  EXPECT_NE(error.find("twice"), std::string::npos);
+
+  CampaignSpec bad_value = tiny_spec();
+  bad_value.axes.push_back({"link_prr", {"0.9", "1.5"}});
+  EXPECT_FALSE(campaign::validate(bad_value, &error));
+  EXPECT_NE(error.find("link_prr"), std::string::npos);
+
+  CampaignSpec no_seeds = tiny_spec();
+  no_seeds.seeds.clear();
+  EXPECT_FALSE(campaign::validate(no_seeds, &error));
+
+  CampaignSpec dup_seeds = tiny_spec();
+  dup_seeds.seeds = {1, 2, 1};
+  EXPECT_FALSE(campaign::validate(dup_seeds, &error));
+
+  EXPECT_TRUE(campaign::validate(tiny_spec(), &error)) << error;
+}
+
+TEST(CampaignSpec, ApplyFieldParsesAndRangeChecks) {
+  ScenarioConfig c;
+  std::string error;
+  EXPECT_TRUE(campaign::apply_field(c, "scheduler", "orchestra", &error));
+  EXPECT_EQ(c.scheduler, SchedulerKind::kOrchestra);
+  EXPECT_TRUE(campaign::apply_field(c, "scheduler", "gt", &error));
+  EXPECT_EQ(c.scheduler, SchedulerKind::kGtTsch);
+  EXPECT_TRUE(campaign::apply_field(c, "gt_slotframe_length", "64", &error));
+  EXPECT_EQ(c.gt_slotframe_length, 64);
+  EXPECT_TRUE(campaign::apply_field(c, "enforce_interleave", "false", &error));
+  EXPECT_FALSE(c.enforce_interleave);
+  EXPECT_TRUE(campaign::apply_field(c, "orchestra_channel_hash", "true", &error));
+  EXPECT_TRUE(c.orchestra_channel_hash);
+  EXPECT_TRUE(campaign::apply_field(c, "warmup_s", "90", &error));
+  EXPECT_EQ(c.warmup, 90_s);
+
+  EXPECT_FALSE(campaign::apply_field(c, "scheduler", "tasa", &error));
+  EXPECT_FALSE(campaign::apply_field(c, "traffic_ppm", "fast", &error));
+  EXPECT_FALSE(campaign::apply_field(c, "dodag_count", "0", &error));
+  EXPECT_FALSE(campaign::apply_field(c, "nope", "1", &error));
+  // NaN must fail the range check (it would be UB cast to an int field).
+  EXPECT_FALSE(campaign::apply_field(c, "dodag_count", "nan", &error));
+  EXPECT_FALSE(campaign::apply_field(c, "traffic_ppm", "nan", &error));
+  EXPECT_FALSE(campaign::known_fields().empty());
+}
+
+TEST(CampaignSpec, ParsesGridAndSeedStrings) {
+  std::vector<Axis> axes;
+  std::string error;
+  ASSERT_TRUE(campaign::parse_grid("traffic_ppm=30,75;scheduler=gt-tsch", &axes, &error))
+      << error;
+  ASSERT_EQ(axes.size(), 2u);
+  EXPECT_EQ(axes[0].field, "traffic_ppm");
+  EXPECT_EQ(axes[0].values, (std::vector<std::string>{"30", "75"}));
+  EXPECT_EQ(axes[1].values, (std::vector<std::string>{"gt-tsch"}));
+
+  EXPECT_FALSE(campaign::parse_grid("=30", &axes, &error));
+  EXPECT_FALSE(campaign::parse_grid("traffic_ppm", &axes, &error));
+  EXPECT_FALSE(campaign::parse_grid("traffic_ppm=30,,75", &axes, &error));
+
+  std::vector<std::uint64_t> seeds;
+  ASSERT_TRUE(campaign::parse_seeds("1,2,30", &seeds, &error));
+  EXPECT_EQ(seeds, (std::vector<std::uint64_t>{1, 2, 30}));
+  EXPECT_FALSE(campaign::parse_seeds("1,x", &seeds, &error));
+  EXPECT_FALSE(campaign::parse_seeds("", &seeds, &error));
+  // No strtoull wraparound: a typo'd negative seed must be rejected, and
+  // duplicates would silently bias the stddev/CI.
+  EXPECT_FALSE(campaign::parse_seeds("-1", &seeds, &error));
+  EXPECT_FALSE(campaign::parse_seeds("1,2,1", &seeds, &error));
+}
+
+// ------------------------------------------------------------- aggregate --
+
+TEST(CampaignAggregate, SummarizeMatchesHandComputation) {
+  const SampleStats s = campaign::summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.n, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, 1.2909944487358056, 1e-12);
+  // t(df=3, 95%) = 3.182; half-width = t * sd / sqrt(4).
+  EXPECT_NEAR(s.ci95_half, 3.182 * 1.2909944487358056 / 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+
+  const SampleStats single = campaign::summarize({5.0});
+  EXPECT_EQ(single.n, 1u);
+  EXPECT_DOUBLE_EQ(single.mean, 5.0);
+  EXPECT_DOUBLE_EQ(single.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(single.ci95_half, 0.0);
+
+  EXPECT_EQ(campaign::summarize({}).n, 0u);
+}
+
+TEST(CampaignAggregate, TCriticalCoversSmallAndLargeDf) {
+  EXPECT_DOUBLE_EQ(campaign::t_critical_95(1), 12.706);
+  EXPECT_DOUBLE_EQ(campaign::t_critical_95(4), 2.776);
+  EXPECT_DOUBLE_EQ(campaign::t_critical_95(30), 2.042);
+  EXPECT_DOUBLE_EQ(campaign::t_critical_95(1000), 1.960);
+  EXPECT_DOUBLE_EQ(campaign::t_critical_95(0), 0.0);
+}
+
+ExperimentResult fake_result(double pdr, double delay, std::uint64_t generated) {
+  ExperimentResult r;
+  r.metrics.pdr_percent = pdr;
+  r.metrics.avg_delay_ms = delay;
+  r.metrics.generated = generated;
+  r.metrics.delivered = generated / 2;
+  r.metrics.node_count = 5;
+  r.metrics.measure_minutes = 1.0;
+  r.medium.transmissions = generated * 3;
+  r.fully_formed = pdr > 50.0;
+  return r;
+}
+
+TEST(CampaignAggregate, MergeIsOrderIndependent) {
+  const std::vector<ExperimentResult> results = {
+      fake_result(90.0, 100.0, 240), fake_result(80.0, 150.0, 260),
+      fake_result(95.5, 90.0, 250), fake_result(40.0, 700.0, 255),
+      fake_result(88.25, 120.5, 245)};
+
+  std::vector<std::size_t> order(results.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  PointAccumulator in_order;
+  for (const std::size_t i : order) in_order.add(i, results[i]);
+  const PointAggregate expected = in_order.finalize();
+
+  std::mt19937 shuffler(42);
+  for (int round = 0; round < 10; ++round) {
+    std::shuffle(order.begin(), order.end(), shuffler);
+    PointAccumulator shuffled;
+    for (const std::size_t i : order) shuffled.add(i, results[i]);
+    const PointAggregate agg = shuffled.finalize();
+
+    // Bit-identical, not merely approximately equal.
+    EXPECT_EQ(agg.pdr_percent.mean, expected.pdr_percent.mean);
+    EXPECT_EQ(agg.pdr_percent.stddev, expected.pdr_percent.stddev);
+    EXPECT_EQ(agg.pdr_percent.ci95_half, expected.pdr_percent.ci95_half);
+    EXPECT_EQ(agg.avg_delay_ms.mean, expected.avg_delay_ms.mean);
+    EXPECT_EQ(agg.avg_delay_ms.stddev, expected.avg_delay_ms.stddev);
+    EXPECT_EQ(agg.mean.generated, expected.mean.generated);
+    EXPECT_EQ(agg.medium_sum.transmissions, expected.medium_sum.transmissions);
+    EXPECT_EQ(agg.runs, expected.runs);
+    EXPECT_EQ(agg.fully_formed_runs, expected.fully_formed_runs);
+  }
+}
+
+TEST(CampaignAggregate, PackedMeansMatchLegacyRunAveraged) {
+  // The accumulator must agree bit-for-bit with the serial run_averaged
+  // path it replaces in the benches.
+  ScenarioConfig c = tiny();
+  c.traffic_ppm = 60.0;
+  const std::vector<std::uint64_t> seeds = {1, 2};
+
+  const AveragedMetrics legacy = run_averaged(c, seeds);
+  const PointAggregate agg = campaign::run_point(c, seeds);
+
+  EXPECT_EQ(agg.runs, legacy.runs);
+  EXPECT_EQ(agg.mean.pdr_percent, legacy.mean.pdr_percent);
+  EXPECT_EQ(agg.mean.avg_delay_ms, legacy.mean.avg_delay_ms);
+  EXPECT_EQ(agg.mean.throughput_per_minute, legacy.mean.throughput_per_minute);
+  EXPECT_EQ(agg.mean.generated, legacy.mean.generated);
+  EXPECT_EQ(agg.mean.delivered, legacy.mean.delivered);
+  EXPECT_EQ(agg.medium_sum.transmissions, legacy.medium_sum.transmissions);
+}
+
+// ---------------------------------------------------------------- runner --
+
+void expect_identical(const PointAggregate& a, const PointAggregate& b) {
+  const SampleStats PointAggregate::*kStats[] = {
+      &PointAggregate::pdr_percent,        &PointAggregate::avg_delay_ms,
+      &PointAggregate::p95_delay_ms,       &PointAggregate::loss_per_minute,
+      &PointAggregate::duty_cycle_percent, &PointAggregate::queue_loss_per_node,
+      &PointAggregate::throughput_per_minute, &PointAggregate::mean_hops};
+  for (const auto member : kStats) {
+    EXPECT_EQ((a.*member).mean, (b.*member).mean);
+    EXPECT_EQ((a.*member).stddev, (b.*member).stddev);
+    EXPECT_EQ((a.*member).ci95_half, (b.*member).ci95_half);
+    EXPECT_EQ((a.*member).min, (b.*member).min);
+    EXPECT_EQ((a.*member).max, (b.*member).max);
+  }
+  EXPECT_EQ(a.mean.generated, b.mean.generated);
+  EXPECT_EQ(a.mean.delivered, b.mean.delivered);
+  EXPECT_EQ(a.medium_sum.transmissions, b.medium_sum.transmissions);
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.fully_formed_runs, b.fully_formed_runs);
+}
+
+TEST(CampaignRunner, ParallelRunMatchesSerialBitForBit) {
+  const CampaignSpec spec = tiny_spec();  // 4 points x 3 seeds = 12 jobs
+  std::string error;
+
+  campaign::RunnerOptions serial;
+  serial.jobs = 1;
+  campaign::CampaignResult serial_result;
+  ASSERT_TRUE(campaign::run_campaign(spec, serial, &serial_result, &error)) << error;
+
+  campaign::RunnerOptions parallel;
+  parallel.jobs = 4;
+  campaign::CampaignResult parallel_result;
+  ASSERT_TRUE(campaign::run_campaign(spec, parallel, &parallel_result, &error)) << error;
+
+  ASSERT_EQ(serial_result.aggregates.size(), 4u);
+  ASSERT_EQ(parallel_result.aggregates.size(), 4u);
+  for (std::size_t i = 0; i < serial_result.aggregates.size(); ++i) {
+    expect_identical(serial_result.aggregates[i], parallel_result.aggregates[i]);
+  }
+  EXPECT_FALSE(serial_result.cancelled);
+  EXPECT_FALSE(parallel_result.cancelled);
+}
+
+TEST(CampaignRunner, ProgressReportsEveryJob) {
+  CampaignSpec spec = tiny_spec();
+  spec.axes = {{"traffic_ppm", {"30"}}};
+  spec.seeds = {1, 2, 3};
+  std::string error;
+  const auto jobs = campaign::make_jobs(spec, &error);
+  ASSERT_EQ(jobs.size(), 3u);
+
+  std::vector<std::size_t> completions;
+  campaign::RunnerOptions options;
+  options.jobs = 2;
+  options.on_progress = [&completions](const campaign::Progress& p) {
+    completions.push_back(p.completed);
+    EXPECT_EQ(p.total, 3u);
+    EXPECT_NE(p.job, nullptr);
+  };
+  campaign::Runner runner(options);
+  const auto result = runner.run(jobs);
+  EXPECT_EQ(completions.size(), 3u);
+  EXPECT_TRUE(std::all_of(result.completed.begin(), result.completed.end(),
+                          [](std::uint8_t c) { return c == 1; }));
+}
+
+TEST(CampaignRunner, CancelStopsClaimingJobs) {
+  CampaignSpec spec = tiny_spec();
+  spec.axes = {{"traffic_ppm", {"30"}}};
+  spec.seeds = {1, 2, 3, 4, 5, 6};
+  std::string error;
+  const auto jobs = campaign::make_jobs(spec, &error);
+  ASSERT_EQ(jobs.size(), 6u);
+
+  // The callback cancels the runner it belongs to; bind via pointer since
+  // the runner is constructed after the options.
+  campaign::Runner* target = nullptr;
+  campaign::RunnerOptions options;
+  options.jobs = 1;  // serial: the cancellation point is deterministic
+  options.on_progress = [&target](const campaign::Progress& p) {
+    if (p.completed == 2) target->cancel();
+  };
+  campaign::Runner runner(options);
+  target = &runner;
+  const auto result = runner.run(jobs);
+  EXPECT_TRUE(result.cancelled);
+  const std::size_t done = static_cast<std::size_t>(
+      std::count(result.completed.begin(), result.completed.end(), 1));
+  EXPECT_EQ(done, 2u);
+}
+
+// ---------------------------------------------------------------- report --
+
+TEST(CampaignReport, CsvRowsMatchHeaderWidth) {
+  PointAccumulator acc;
+  acc.add(0, fake_result(90.0, 100.0, 240));
+  acc.add(1, fake_result(80.0, 150.0, 260));
+  PointAggregate agg = acc.finalize();
+  agg.label = "traffic_ppm=30";
+  agg.coords = {{"traffic_ppm", "30"}};
+
+  const std::vector<PointAggregate> aggregates{agg};
+  const auto header = campaign::csv_header(aggregates);
+  const auto row = campaign::csv_row(agg);
+  EXPECT_EQ(header.size(), row.size());
+  EXPECT_EQ(header.front(), "label");
+  EXPECT_EQ(header[1], "traffic_ppm");
+  EXPECT_EQ(row[1], "30");
+}
+
+TEST(CampaignReport, JsonCarriesLabelsAndSpread) {
+  PointAccumulator acc;
+  acc.add(0, fake_result(90.0, 100.0, 240));
+  acc.add(1, fake_result(80.0, 150.0, 260));
+  PointAggregate agg = acc.finalize();
+  agg.label = "scheduler=gt-tsch";
+  agg.coords = {{"scheduler", "gt-tsch"}};
+
+  const std::string json = campaign::render_json({agg});
+  EXPECT_NE(json.find("\"label\": \"scheduler=gt-tsch\""), std::string::npos);
+  EXPECT_NE(json.find("\"pdr_percent\""), std::string::npos);
+  EXPECT_NE(json.find("\"stddev\""), std::string::npos);
+  EXPECT_NE(json.find("\"runs\": 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gttsch

@@ -156,9 +156,13 @@ TEST_P(TreeAllocation, UnclesUseDifferentChannelsThanNephews) {
   // and sibling subtrees are separated at assignment time.
   const auto nodes = build(GetParam());
   for (const auto& n : nodes) {
-    for (int c1 : n.children)
-      for (int c2 : n.children)
-        if (c1 != c2) EXPECT_NE(nodes[c1].family, nodes[c2].family);
+    for (int c1 : n.children) {
+      for (int c2 : n.children) {
+        if (c1 != c2) {
+          EXPECT_NE(nodes[c1].family, nodes[c2].family);
+        }
+      }
+    }
   }
 }
 

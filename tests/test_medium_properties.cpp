@@ -111,8 +111,9 @@ TEST_P(MediumProperties, ShrinkingRangeNeverIncreasesDeliveries) {
   const RandomAirScenario sc{GetParam(), 6, 60.0, 40};
   const AirResult wide = run_random_air(sc);
   const AirResult narrow = run_random_air(sc, /*range_override=*/20.0);
-  if (wide.stats.collision_losses == 0 && narrow.stats.collision_losses == 0)
+  if (wide.stats.collision_losses == 0 && narrow.stats.collision_losses == 0) {
     EXPECT_LE(narrow.stats.deliveries, wide.stats.deliveries);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MediumProperties,
