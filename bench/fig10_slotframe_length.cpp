@@ -1,7 +1,9 @@
 // Fig 10 (a-f): sensitivity to the unicast slotframe length 8 -> 20
 // (Section VIII, set 3). Per the paper's fairness rule, the GT-TSCH
 // slotframe is four times Orchestra's unicast slotframe.
-// Seeds parallelize on the campaign pool; see run_figure for the flags.
+// Seeds parallelize on the campaign pool and the run shards/resumes like
+// any campaign (--shard i/N, --journal/--resume, --ci-rel adaptive
+// seeding); see run_figure for the full flag list.
 #include "figure_common.hpp"
 
 int main(int argc, char** argv) {

@@ -1,6 +1,8 @@
 // Fig 8 (a-f): GT-TSCH vs Orchestra as per-node traffic grows
 // 30 -> 165 ppm on the 14-node / 2-DODAG network (Section VIII, set 1).
-// Seeds parallelize on the campaign pool; see run_figure for the flags.
+// Seeds parallelize on the campaign pool and the run shards/resumes like
+// any campaign (--shard i/N, --journal/--resume, --ci-rel adaptive
+// seeding); see run_figure for the full flag list.
 #include "figure_common.hpp"
 
 int main(int argc, char** argv) {

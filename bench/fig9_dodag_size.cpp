@@ -1,6 +1,8 @@
 // Fig 9 (a-f): scalability — nodes per DODAG 6 -> 9 at 120 ppm
 // (Section VIII, set 2; total network size 12 -> 18 over two DODAGs).
-// Seeds parallelize on the campaign pool; see run_figure for the flags.
+// Seeds parallelize on the campaign pool and the run shards/resumes like
+// any campaign (--shard i/N, --journal/--resume, --ci-rel adaptive
+// seeding); see run_figure for the full flag list.
 #include "figure_common.hpp"
 
 int main(int argc, char** argv) {

@@ -1,11 +1,16 @@
 // Shared plumbing for the figure-reproduction harnesses: runs both
-// schedulers over a sweep on the campaign worker pool and prints the six
+// schedulers over a sweep on the campaign engine and prints the six
 // panels of the paper's figures (PDR, delay, packet loss, duty cycle,
 // queue loss, throughput) as mean ±stddev across seeds.
 //
 // Parallelism: every (sweep point, scheduler, seed) combination is one
 // campaign job; GTTSCH_JOBS overrides the worker count (default: hardware
 // concurrency). Results are bit-identical to a serial run.
+//
+// Scale-out: the harnesses expose the campaign engine's sharding
+// (--shard i/N), crash-safe journaling (--journal / --resume) and
+// CI-driven adaptive seeding (--ci-rel / --max-seeds); per-shard
+// journals merge with `gt_campaign merge`.
 #pragma once
 
 #include <cstdio>
@@ -33,54 +38,71 @@ struct PanelRow {
   campaign::PointAggregate orchestra;
 };
 
-inline std::vector<PanelRow> run_sweep(const std::vector<SweepPoint>& points,
-                                       const std::vector<std::uint64_t>& seeds,
-                                       int worker_count = 0) {
-  // One job per (point, scheduler, seed); grid point 2i is GT-TSCH and
-  // 2i+1 Orchestra for sweep point i.
-  std::vector<campaign::Job> jobs;
-  jobs.reserve(points.size() * 2 * seeds.size());
-  for (std::size_t i = 0; i < points.size(); ++i) {
-    for (const ScenarioConfig* config : {&points[i].gt, &points[i].orchestra}) {
-      const std::size_t point_index =
-          2 * i + (config == &points[i].orchestra ? 1 : 0);
-      for (std::size_t s = 0; s < seeds.size(); ++s) {
-        campaign::Job job;
-        job.index = jobs.size();
-        job.point_index = point_index;
-        job.seed_index = s;
-        job.config = *config;
-        job.config.seed = seeds[s];
-        jobs.push_back(std::move(job));
-      }
+/// The sweep as campaign grid points: 2i is GT-TSCH and 2i+1 Orchestra
+/// for sweep point i, labelled/coordinated so journals and CSV artifacts
+/// are self-describing.
+inline std::vector<campaign::GridPoint> sweep_grid(
+    const std::vector<SweepPoint>& points, const char* x_name) {
+  std::vector<campaign::GridPoint> grid;
+  grid.reserve(points.size() * 2);
+  for (const SweepPoint& point : points) {
+    for (const ScenarioConfig* config : {&point.gt, &point.orchestra}) {
+      const char* scheduler = (config == &point.gt) ? "gt-tsch" : "orchestra";
+      campaign::GridPoint g;
+      g.index = grid.size();
+      g.label = std::string(x_name) + '=' + point.label + " scheduler=" + scheduler;
+      g.coords = {{x_name, point.label}, {"scheduler", scheduler}};
+      g.config = *config;
+      grid.push_back(std::move(g));
     }
   }
+  return grid;
+}
 
-  campaign::RunnerOptions options;
-  options.jobs = worker_count;
-  options.on_progress = [&points](const campaign::Progress& p) {
-    const SweepPoint& point = points[p.job->point_index / 2];
-    std::fprintf(stderr, "[bench] %zu/%zu: point %s %s seed #%zu done\n",
-                 p.completed, p.total, point.label.c_str(),
-                 p.job->point_index % 2 == 0 ? "GT-TSCH" : "Orchestra",
-                 p.job->seed_index);
-  };
+/// Runs the sweep on the campaign engine. `options.runner.on_progress`
+/// is overridden with the bench progress line unless already set.
+inline std::vector<PanelRow> run_sweep(const std::vector<SweepPoint>& points,
+                                       const std::vector<std::uint64_t>& seeds,
+                                       campaign::CampaignOptions options,
+                                       const char* x_name,
+                                       campaign::CampaignResult* result_out,
+                                       std::string* error) {
+  const std::vector<campaign::GridPoint> grid = sweep_grid(points, x_name);
 
-  campaign::Runner runner(options);
-  const campaign::Runner::Result run = runner.run(jobs);
+  if (!options.runner.on_progress) {
+    options.runner.on_progress = [&points](const campaign::Progress& p) {
+      const SweepPoint& point = points[p.job->point_index / 2];
+      std::fprintf(stderr, "[bench] %zu/%zu: point %s %s seed #%zu done\n",
+                   p.completed, p.total, point.label.c_str(),
+                   p.job->point_index % 2 == 0 ? "GT-TSCH" : "Orchestra",
+                   p.job->seed_index);
+    };
+  }
 
-  std::vector<campaign::PointAccumulator> accumulators(points.size() * 2);
-  for (const campaign::Job& job : jobs) {
-    accumulators[job.point_index].add(job.seed_index, run.results[job.index]);
+  campaign::CampaignResult result;
+  if (!campaign::run_points_campaign(grid, seeds, options, &result, error)) {
+    if (result_out != nullptr) *result_out = std::move(result);  // error_kind
+    return {};
   }
 
   std::vector<PanelRow> rows;
   rows.reserve(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
-    rows.push_back(PanelRow{points[i].label, accumulators[2 * i].finalize(),
-                            accumulators[2 * i + 1].finalize()});
+    rows.push_back(PanelRow{points[i].label, result.aggregates[2 * i],
+                            result.aggregates[2 * i + 1]});
   }
+  if (result_out != nullptr) *result_out = std::move(result);
   return rows;
+}
+
+/// Back-compat convenience: whole sweep, fixed seeds, no journal.
+inline std::vector<PanelRow> run_sweep(const std::vector<SweepPoint>& points,
+                                       const std::vector<std::uint64_t>& seeds,
+                                       int worker_count = 0) {
+  campaign::CampaignOptions options;
+  options.runner.jobs = worker_count;
+  std::string error;
+  return run_sweep(points, seeds, options, "x", nullptr, &error);
 }
 
 inline void print_panels(const char* figure, const char* x_name,
@@ -104,6 +126,7 @@ inline void print_panels(const char* figure, const char* x_name,
        &campaign::PointAggregate::throughput_per_minute, 0},
   };
   auto cell = [](const campaign::SampleStats& s, int precision) {
+    if (s.n == 0) return std::string("-");  // other shard's point
     std::string text = TablePrinter::num(s.mean, precision);
     if (s.n > 1) text += " ±" + TablePrinter::num(s.stddev, precision);
     return text;
@@ -129,21 +152,31 @@ inline void print_panels(const char* figure, const char* x_name,
   t.print();
 }
 
-/// Entry point shared by the figure harnesses: parses --jobs N, --seeds
-/// LIST and --out PREFIX (CSV/JSON artifacts), runs the sweep on the
-/// campaign pool, prints the panels. Returns the process exit code.
+/// Entry point shared by the figure harnesses. Flags:
+///   --jobs N, --seeds LIST, --out PREFIX        (as before)
+///   --shard i/N                                 run one shard of the sweep
+///   --journal PATH, --resume PATH               checkpoint / crash recovery
+///   --ci-rel FRAC, --max-seeds N, --min-seeds N, --batch N, --metric NAME
+///                                               adaptive seeding
+/// Returns the process exit code (0 ok, 1 runtime failure, 2 bad usage).
 inline int run_figure(int argc, char** argv, const char* figure,
                       const char* x_name, const std::vector<SweepPoint>& points) {
   Flags flags(argc, argv);
+  std::string error;
+
+  campaign::CampaignOptions options;
   // 0 = runner default: GTTSCH_JOBS, then hardware concurrency.
-  const int jobs = static_cast<int>(flags.get_int("jobs", 0));
+  options.runner.jobs = static_cast<int>(flags.get_int("jobs", 0));
   std::vector<std::uint64_t> seeds = default_seeds();
   if (flags.has("seeds")) {
-    std::string error;
     if (!campaign::parse_seeds(flags.get("seeds", ""), &seeds, &error)) {
       std::fprintf(stderr, "%s: --seeds: %s\n", figure, error.c_str());
       return 2;
     }
+  }
+  if (!campaign::parse_campaign_flags(flags, &options, &error)) {
+    std::fprintf(stderr, "%s: %s\n", figure, error.c_str());
+    return 2;
   }
   const std::string out_prefix = flags.get("out", "");
   for (const std::string& flag : flags.unknown()) {
@@ -151,25 +184,24 @@ inline int run_figure(int argc, char** argv, const char* figure,
     return 2;
   }
 
-  const std::vector<PanelRow> rows = run_sweep(points, seeds, jobs);
+  campaign::CampaignResult result;
+  const std::vector<PanelRow> rows =
+      run_sweep(points, seeds, options, x_name, &result, &error);
+  if (rows.empty()) {
+    std::fprintf(stderr, "%s: %s\n", figure, error.c_str());
+    return result.error_kind == campaign::CampaignErrorKind::kIo ? 1 : 2;
+  }
+  if (result.jobs_skipped > 0) {
+    std::fprintf(stderr, "[bench] resumed: %zu jobs from journal, %zu run now\n",
+                 result.jobs_skipped, result.jobs_run);
+  }
   print_panels(figure, x_name, rows);
 
   if (!out_prefix.empty()) {
-    std::vector<campaign::PointAggregate> aggregates;
-    aggregates.reserve(rows.size() * 2);
-    for (const PanelRow& row : rows) {
-      for (const campaign::PointAggregate* a : {&row.gt, &row.orchestra}) {
-        campaign::PointAggregate tagged = *a;
-        const char* scheduler = (a == &row.gt) ? "gt-tsch" : "orchestra";
-        tagged.label = std::string(x_name) + '=' + row.x + " scheduler=" + scheduler;
-        tagged.coords = {{x_name, row.x}, {"scheduler", scheduler}};
-        aggregates.push_back(std::move(tagged));
-      }
-    }
     const std::string csv_path = out_prefix + ".csv";
     const std::string json_path = out_prefix + ".json";
-    if (!campaign::write_csv(csv_path, aggregates) ||
-        !campaign::write_json(json_path, aggregates)) {
+    if (!campaign::write_csv(csv_path, result.aggregates) ||
+        !campaign::write_json(json_path, result.aggregates)) {
       std::fprintf(stderr, "%s: failed to write artifacts at %s.{csv,json}\n",
                    figure, out_prefix.c_str());
       return 1;
@@ -177,7 +209,7 @@ inline int run_figure(int argc, char** argv, const char* figure,
     std::fprintf(stderr, "[bench] wrote %s and %s\n", csv_path.c_str(),
                  json_path.c_str());
   }
-  return 0;
+  return result.cancelled ? 1 : 0;
 }
 
 /// Shared base configuration for the paper's evaluation (Section VIII).

@@ -41,6 +41,42 @@ SampleStats summarize(const std::vector<double>& samples) {
   return s;
 }
 
+namespace {
+
+struct NamedMetric {
+  const char* name;
+  SampleStats PointAggregate::*stats;
+};
+
+constexpr NamedMetric kNamedMetrics[] = {
+    {"pdr_percent", &PointAggregate::pdr_percent},
+    {"avg_delay_ms", &PointAggregate::avg_delay_ms},
+    {"p95_delay_ms", &PointAggregate::p95_delay_ms},
+    {"loss_per_minute", &PointAggregate::loss_per_minute},
+    {"duty_cycle_percent", &PointAggregate::duty_cycle_percent},
+    {"queue_loss_per_node", &PointAggregate::queue_loss_per_node},
+    {"throughput_per_minute", &PointAggregate::throughput_per_minute},
+    {"mean_hops", &PointAggregate::mean_hops},
+};
+
+}  // namespace
+
+SampleStats PointAggregate::*metric_by_name(const std::string& name) {
+  for (const NamedMetric& m : kNamedMetrics) {
+    if (name == m.name) return m.stats;
+  }
+  return nullptr;
+}
+
+const std::vector<std::string>& metric_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const NamedMetric& m : kNamedMetrics) v.push_back(m.name);
+    return v;
+  }();
+  return names;
+}
+
 void PointAccumulator::add(std::size_t seed_index, const ExperimentResult& result) {
   const bool inserted = by_seed_.emplace(seed_index, result).second;
   GTTSCH_CHECK(inserted);

@@ -53,6 +53,14 @@ struct PointAggregate {
   int fully_formed_runs = 0;
 };
 
+/// Maps a panel-metric name ("pdr_percent", "avg_delay_ms", ...) to its
+/// SampleStats member, or nullptr when unknown — used by adaptive
+/// stopping (--metric) and anything else that selects metrics by name.
+SampleStats PointAggregate::*metric_by_name(const std::string& name);
+
+/// The selectable metric names, in report order.
+const std::vector<std::string>& metric_names();
+
 /// Accumulates per-seed results for one grid point in any arrival order.
 class PointAccumulator {
  public:

@@ -1,0 +1,458 @@
+#include "campaign/journal.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <set>
+
+namespace gttsch::campaign {
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+/// %.17g: enough digits that strtod recovers the exact IEEE-754 double,
+/// which is what keeps resumed/merged aggregation bit-identical.
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Per-field serialization tables: one row per RunMetrics / MediumStats
+/// member, shared by the writer and the parser so they cannot drift.
+struct DoubleField {
+  const char* name;
+  double RunMetrics::*member;
+};
+struct U64Field {
+  const char* name;
+  std::uint64_t RunMetrics::*member;
+};
+struct MediumField {
+  const char* name;
+  std::uint64_t MediumStats::*member;
+};
+
+constexpr DoubleField kMetricDoubles[] = {
+    {"pdr_percent", &RunMetrics::pdr_percent},
+    {"avg_delay_ms", &RunMetrics::avg_delay_ms},
+    {"p95_delay_ms", &RunMetrics::p95_delay_ms},
+    {"loss_per_minute", &RunMetrics::loss_per_minute},
+    {"duty_cycle_percent", &RunMetrics::duty_cycle_percent},
+    {"queue_loss_per_node", &RunMetrics::queue_loss_per_node},
+    {"throughput_per_minute", &RunMetrics::throughput_per_minute},
+    {"mean_hops", &RunMetrics::mean_hops},
+    {"measure_minutes", &RunMetrics::measure_minutes},
+};
+
+constexpr U64Field kMetricCounters[] = {
+    {"generated", &RunMetrics::generated},
+    {"delivered", &RunMetrics::delivered},
+    {"queue_drops", &RunMetrics::queue_drops},
+    {"mac_drops", &RunMetrics::mac_drops},
+    {"no_route_drops", &RunMetrics::no_route_drops},
+    {"nodes_joined", &RunMetrics::nodes_joined},
+    {"node_count", &RunMetrics::node_count},
+};
+
+constexpr MediumField kMediumCounters[] = {
+    {"transmissions", &MediumStats::transmissions},
+    {"deliveries", &MediumStats::deliveries},
+    {"collision_losses", &MediumStats::collision_losses},
+    {"prr_losses", &MediumStats::prr_losses},
+};
+
+// ------------------------------------------------------------ parsing --
+// A minimal recursive-descent reader for the flat JSON we emit: objects,
+// strings, numbers and booleans (no arrays, no nested escapes beyond the
+// ones `escape` produces). Unknown keys are skipped for forward compat.
+
+class Cursor {
+ public:
+  explicit Cursor(const std::string& text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool peek(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  bool parse_string(std::string* out) {
+    if (!expect('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 't': *out += '\t'; break;
+          default: return false;
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return false;  // unterminated (the truncation case)
+  }
+
+  bool parse_double(double* out) {
+    skip_ws();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    *out = std::strtod(start, &end);
+    if (end == start) return false;
+    pos_ += static_cast<std::size_t>(end - start);
+    return true;
+  }
+
+  bool parse_u64(std::uint64_t* out) {
+    skip_ws();
+    const char* start = text_.c_str() + pos_;
+    if (*start < '0' || *start > '9') return false;
+    char* end = nullptr;
+    *out = std::strtoull(start, &end, 10);
+    if (end == start) return false;
+    pos_ += static_cast<std::size_t>(end - start);
+    return true;
+  }
+
+  bool parse_bool(bool* out) {
+    skip_ws();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      *out = true;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      *out = false;
+      return true;
+    }
+    return false;
+  }
+
+  /// Skips a string, number, boolean, or (possibly nested) object.
+  bool skip_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '"') {
+      std::string ignored;
+      return parse_string(&ignored);
+    }
+    if (c == '{') {
+      ++pos_;
+      if (peek('}')) return expect('}');
+      for (;;) {
+        std::string key;
+        if (!parse_string(&key) || !expect(':') || !skip_value()) return false;
+        if (expect(',')) continue;
+        return expect('}');
+      }
+    }
+    if (c == 't' || c == 'f') {
+      bool ignored = false;
+      return parse_bool(&ignored);
+    }
+    double ignored = 0;
+    return parse_double(&ignored);
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+/// Parses `{"key": value, ...}` dispatching each pair through `field`.
+template <typename FieldFn>
+bool parse_object(Cursor& cur, FieldFn&& field) {
+  if (!cur.expect('{')) return false;
+  if (cur.peek('}')) return cur.expect('}');
+  for (;;) {
+    std::string key;
+    if (!cur.parse_string(&key) || !cur.expect(':')) return false;
+    if (!field(key)) return false;
+    if (cur.expect(',')) continue;
+    return cur.expect('}');
+  }
+}
+
+bool parse_metrics(Cursor& cur, RunMetrics* metrics) {
+  return parse_object(cur, [&](const std::string& key) {
+    for (const DoubleField& f : kMetricDoubles) {
+      if (key == f.name) return cur.parse_double(&(metrics->*f.member));
+    }
+    for (const U64Field& f : kMetricCounters) {
+      if (key == f.name) return cur.parse_u64(&(metrics->*f.member));
+    }
+    return cur.skip_value();
+  });
+}
+
+bool parse_medium(Cursor& cur, MediumStats* medium) {
+  return parse_object(cur, [&](const std::string& key) {
+    for (const MediumField& f : kMediumCounters) {
+      if (key == f.name) return cur.parse_u64(&(medium->*f.member));
+    }
+    return cur.skip_value();
+  });
+}
+
+bool parse_coords(Cursor& cur,
+                  std::vector<std::pair<std::string, std::string>>* coords) {
+  coords->clear();
+  return parse_object(cur, [&](const std::string& key) {
+    std::string value;
+    if (!cur.parse_string(&value)) return false;
+    coords->emplace_back(key, std::move(value));
+    return true;
+  });
+}
+
+}  // namespace
+
+std::string render_journal_line(const JournalRecord& r) {
+  std::string out = "{\"point_index\": " + std::to_string(r.point_index) +
+                    ", \"seed_index\": " + std::to_string(r.seed_index) +
+                    ", \"seed\": " + std::to_string(r.seed) + ", \"label\": \"" +
+                    escape(r.label) + "\", \"coords\": {";
+  for (std::size_t i = 0; i < r.coords.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += '"' + escape(r.coords[i].first) + "\": \"" + escape(r.coords[i].second) +
+           '"';
+  }
+  out += "}, \"fully_formed\": ";
+  out += r.result.fully_formed ? "true" : "false";
+  out += ", \"metrics\": {";
+  bool first = true;
+  for (const DoubleField& f : kMetricDoubles) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"' + std::string(f.name) + "\": " + fmt_double(r.result.metrics.*f.member);
+  }
+  for (const U64Field& f : kMetricCounters) {
+    out += ", \"" + std::string(f.name) +
+           "\": " + std::to_string(r.result.metrics.*f.member);
+  }
+  out += "}, \"medium\": {";
+  first = true;
+  for (const MediumField& f : kMediumCounters) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"' + std::string(f.name) + "\": " + std::to_string(r.result.medium.*f.member);
+  }
+  out += "}}";
+  return out;
+}
+
+bool parse_journal_line(const std::string& line, JournalRecord* out,
+                        std::string* error) {
+  *out = JournalRecord{};
+  Cursor cur(line);
+  const bool ok = parse_object(cur, [&](const std::string& key) {
+    if (key == "point_index") {
+      std::uint64_t v = 0;
+      if (!cur.parse_u64(&v)) return false;
+      out->point_index = static_cast<std::size_t>(v);
+      return true;
+    }
+    if (key == "seed_index") {
+      std::uint64_t v = 0;
+      if (!cur.parse_u64(&v)) return false;
+      out->seed_index = static_cast<std::size_t>(v);
+      return true;
+    }
+    if (key == "seed") return cur.parse_u64(&out->seed);
+    if (key == "label") return cur.parse_string(&out->label);
+    if (key == "coords") return parse_coords(cur, &out->coords);
+    if (key == "fully_formed") return cur.parse_bool(&out->result.fully_formed);
+    if (key == "metrics") return parse_metrics(cur, &out->result.metrics);
+    if (key == "medium") return parse_medium(cur, &out->result.medium);
+    return cur.skip_value();
+  });
+  if (!ok || !cur.at_end()) {
+    return fail(error, "malformed journal line: " +
+                           (line.size() > 80 ? line.substr(0, 80) + "..." : line));
+  }
+  return true;
+}
+
+namespace {
+
+/// Drops a trailing partial line — the artifact of a crash mid-append —
+/// so resumed appends start on a fresh line. Without this, the first new
+/// record would glue onto the partial line, turning a tolerated
+/// truncated *last* line into a fatal malformed *middle* line.
+void trim_partial_tail(const std::string& path) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec || size == 0) return;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  std::uintmax_t keep = size;  // bytes up to and including the last '\n'
+  while (keep > 0) {
+    in.seekg(static_cast<std::streamoff>(keep - 1));
+    char c = 0;
+    if (!in.get(c)) return;
+    if (c == '\n') break;
+    --keep;
+  }
+  if (keep != size) std::filesystem::resize_file(path, keep, ec);
+}
+
+}  // namespace
+
+JournalWriter::JournalWriter(const std::string& path, bool append_mode) {
+  if (append_mode) trim_partial_tail(path);
+  out_.open(path, append_mode ? std::ios::app : std::ios::trunc);
+}
+
+bool JournalWriter::append(const JournalRecord& record) {
+  if (!out_.good()) return false;
+  // One complete line per write, flushed immediately: a crash can truncate
+  // only the line being written, which read_journal drops.
+  out_ << render_journal_line(record) << '\n';
+  out_.flush();
+  return out_.good();
+}
+
+bool read_journal(const std::string& path, std::vector<JournalRecord>* out,
+                  std::string* error) {
+  out->clear();
+  std::ifstream in(path);
+  if (!in) return fail(error, "cannot open journal '" + path + "'");
+
+  std::set<std::pair<std::size_t, std::size_t>> seen;
+  std::string line;
+  std::string pending_error;
+  bool pending_bad_line = false;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (pending_bad_line) {
+      // A malformed line in the *middle* of the journal is corruption,
+      // not a crash artifact; refuse rather than silently drop results.
+      return fail(error, pending_error + " (line " +
+                             std::to_string(line_number - 1) +
+                             " is malformed but not the last line)");
+    }
+    JournalRecord record;
+    if (!parse_journal_line(line, &record, &pending_error)) {
+      pending_bad_line = true;  // tolerated iff it turns out to be the last line
+      continue;
+    }
+    if (seen.emplace(record.point_index, record.seed_index).second) {
+      out->push_back(std::move(record));
+    }
+  }
+  return true;
+}
+
+bool aggregate_records(const std::vector<JournalRecord>& records,
+                       std::vector<PointAggregate>* out, std::string* error) {
+  // point_index -> (accumulator, label, coords); std::map iterates in
+  // point order, which is the unsharded report order.
+  struct PointData {
+    PointAccumulator accumulator;
+    std::string label;
+    std::vector<std::pair<std::string, std::string>> coords;
+    std::map<std::size_t, std::uint64_t> seed_by_index;
+  };
+  std::map<std::size_t, PointData> by_point;
+  for (const JournalRecord& r : records) {
+    PointData& data = by_point[r.point_index];
+    if (data.seed_by_index.empty()) {
+      data.label = r.label;
+      data.coords = r.coords;
+    } else if (r.label != data.label || r.coords != data.coords) {
+      // Same point index, different identity: these journals belong to
+      // two different campaigns and must not be averaged together.
+      return fail(error, "journals disagree about point " +
+                             std::to_string(r.point_index) + ": '" + data.label +
+                             "' vs '" + r.label + "'");
+    }
+    const auto [it, inserted] = data.seed_by_index.emplace(r.seed_index, r.seed);
+    if (!inserted) {
+      if (it->second != r.seed) {
+        return fail(error, "journals disagree about point " +
+                               std::to_string(r.point_index) + " seed #" +
+                               std::to_string(r.seed_index) + ": " +
+                               std::to_string(it->second) + " vs " +
+                               std::to_string(r.seed));
+      }
+      continue;  // exact duplicate (e.g. overlapping resumed journals)
+    }
+    data.accumulator.add(r.seed_index, r.result);
+  }
+  out->clear();
+  out->reserve(by_point.size());
+  for (const auto& [point_index, data] : by_point) {
+    PointAggregate agg = data.accumulator.finalize();
+    agg.label = data.label;
+    agg.coords = data.coords;
+    out->push_back(std::move(agg));
+  }
+  return true;
+}
+
+bool write_text_atomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << text;
+    out.flush();
+    if (!out.good()) return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace gttsch::campaign

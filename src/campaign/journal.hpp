@@ -1,0 +1,82 @@
+// Append-only JSONL results journal: one line per completed (grid point,
+// seed) job, carrying the full ExperimentResult at %.17g precision so a
+// resumed or merged campaign re-aggregates bit-identically to an
+// uninterrupted run.
+//
+// Crash safety: every append is a single write of one complete line
+// followed by a flush, so a killed campaign leaves at most a truncated
+// final line — which read_journal tolerates — and loses only in-flight
+// work. Final CSV/JSON reports use write-temp-then-rename (see
+// write_text_atomic) so observers never see a partial report.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "campaign/aggregate.hpp"
+#include "campaign/spec.hpp"
+#include "scenario/experiment.hpp"
+
+namespace gttsch::campaign {
+
+/// One completed job, keyed by (point_index, seed_index) — the stable
+/// identity shared by every shard of the same campaign spec.
+struct JournalRecord {
+  std::size_t point_index = 0;
+  std::size_t seed_index = 0;
+  std::uint64_t seed = 0;
+  std::string label;  ///< grid-point label, for merge output and sanity checks
+  std::vector<std::pair<std::string, std::string>> coords;
+  ExperimentResult result;
+};
+
+/// Renders one record as a single JSON line (no trailing newline).
+/// Doubles are emitted with %.17g and round-trip exactly through
+/// parse_journal_line.
+std::string render_journal_line(const JournalRecord& record);
+
+/// Parses one journal line. Returns false (with `error` set when
+/// non-null) on malformed input; never throws.
+bool parse_journal_line(const std::string& line, JournalRecord* out,
+                        std::string* error);
+
+/// Appends records to a JSONL journal, one flushed line per append.
+class JournalWriter {
+ public:
+  /// `append_mode` keeps existing records (resume); otherwise the file is
+  /// truncated. An unopenable path leaves ok() false.
+  JournalWriter(const std::string& path, bool append_mode);
+
+  bool append(const JournalRecord& record);
+  bool ok() const { return out_.good(); }
+
+ private:
+  std::ofstream out_;
+};
+
+/// Reads a journal written by JournalWriter. A truncated or malformed
+/// *final* line (the crash case) is dropped silently; a malformed line
+/// followed by further records is a hard error, as is an unreadable
+/// file. Exact duplicate keys keep the first record.
+bool read_journal(const std::string& path, std::vector<JournalRecord>* out,
+                  std::string* error);
+
+/// Reconstructs per-point aggregates from journal records — typically the
+/// concatenated union of per-shard journals. Records reduce keyed by
+/// (point_index, seed_index) with exact duplicates keeping the first, so
+/// the output is bit-identical to an unsharded run over the same jobs,
+/// ordered by point_index. Returns false (with `error` set when non-null)
+/// when the records disagree about a point's label/coords or a seed
+/// index's seed value — the signature of journals from two different
+/// campaigns, which would otherwise silently corrupt the statistics.
+bool aggregate_records(const std::vector<JournalRecord>& records,
+                       std::vector<PointAggregate>* out, std::string* error);
+
+/// Writes `text` to `path` via a temporary file and atomic rename, so a
+/// crash mid-write never leaves a partial file at `path`.
+bool write_text_atomic(const std::string& path, const std::string& text);
+
+}  // namespace gttsch::campaign

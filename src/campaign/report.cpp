@@ -1,8 +1,8 @@
 #include "campaign/report.hpp"
 
 #include <cstdio>
-#include <fstream>
 
+#include "campaign/journal.hpp"
 #include "util/csv.hpp"
 
 namespace gttsch::campaign {
@@ -91,11 +91,23 @@ std::vector<std::string> csv_row(const PointAggregate& a) {
   return row;
 }
 
+std::string render_csv(const std::vector<PointAggregate>& aggregates) {
+  std::string out;
+  auto append_row = [&out](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) out += ',';
+      out += CsvWriter::escape(cells[i]);
+    }
+    out += '\n';
+  };
+  append_row(csv_header(aggregates));
+  for (const PointAggregate& a : aggregates) append_row(csv_row(a));
+  return out;
+}
+
 bool write_csv(const std::string& path,
                const std::vector<PointAggregate>& aggregates) {
-  CsvWriter csv(path, csv_header(aggregates));
-  for (const PointAggregate& a : aggregates) csv.add_row(csv_row(a));
-  return csv.ok();
+  return write_text_atomic(path, render_csv(aggregates));
 }
 
 std::string render_json(const std::vector<PointAggregate>& aggregates) {
@@ -144,10 +156,7 @@ std::string render_json(const std::vector<PointAggregate>& aggregates) {
 
 bool write_json(const std::string& path,
                 const std::vector<PointAggregate>& aggregates) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return false;
-  out << render_json(aggregates);
-  return out.good();
+  return write_text_atomic(path, render_json(aggregates));
 }
 
 }  // namespace gttsch::campaign

@@ -16,7 +16,12 @@ namespace gttsch::campaign {
 std::vector<std::string> csv_header(const std::vector<PointAggregate>& aggregates);
 std::vector<std::string> csv_row(const PointAggregate& aggregate);
 
-/// Writes the aggregates as CSV; returns false on I/O failure.
+/// Renders the aggregates as CSV text (header + one row per point).
+std::string render_csv(const std::vector<PointAggregate>& aggregates);
+
+/// Writes the aggregates as CSV via write-temp-then-rename, so a crash
+/// mid-write never leaves a truncated report; returns false on I/O
+/// failure.
 bool write_csv(const std::string& path,
                const std::vector<PointAggregate>& aggregates);
 

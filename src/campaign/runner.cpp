@@ -1,10 +1,15 @@
 #include "campaign/runner.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
+#include <filesystem>
 #include <mutex>
+#include <optional>
+#include <set>
 #include <thread>
 
+#include "campaign/journal.hpp"
 #include "util/check.hpp"
 
 namespace gttsch::campaign {
@@ -17,6 +22,253 @@ int default_worker_count() {
   }
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
   return hw > 0 ? hw : 1;
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+/// Loads `path` (when resuming) and validates every record against the
+/// campaign: in-range point with the same label, in-range seed index
+/// holding the same seed value. A missing file is an empty journal so
+/// crash-loop scripts can pass --resume unconditionally.
+bool load_resume_records(const std::string& path,
+                         const std::vector<GridPoint>& points,
+                         const std::vector<std::uint64_t>& seeds,
+                         std::vector<JournalRecord>* records,
+                         CampaignErrorKind* kind, std::string* error) {
+  records->clear();
+  *kind = CampaignErrorKind::kSpec;
+  if (path.empty() || !std::filesystem::exists(path)) return true;
+  if (!read_journal(path, records, error)) {
+    *kind = CampaignErrorKind::kIo;  // unreadable or corrupt mid-file
+    return false;
+  }
+  for (const JournalRecord& r : *records) {
+    if (r.point_index >= points.size()) {
+      return fail(error, "journal record for point " + std::to_string(r.point_index) +
+                             " is out of range (grid has " +
+                             std::to_string(points.size()) + " points)");
+    }
+    if (r.label != points[r.point_index].label) {
+      return fail(error, "journal does not match this campaign: point " +
+                             std::to_string(r.point_index) + " is '" +
+                             points[r.point_index].label + "' but the journal says '" +
+                             r.label + "'");
+    }
+    if (r.seed_index >= seeds.size() || seeds[r.seed_index] != r.seed) {
+      return fail(error, "journal does not match this campaign: point " +
+                             std::to_string(r.point_index) + " seed #" +
+                             std::to_string(r.seed_index) +
+                             " disagrees with the seed list");
+    }
+  }
+  return true;
+}
+
+/// Wraps the user's progress callback so every completed job is appended
+/// to the journal first. on_progress is serialized by the Runner, so the
+/// writer needs no extra locking.
+RunnerOptions with_journal(const RunnerOptions& base, JournalWriter* writer,
+                           const std::vector<GridPoint>& points) {
+  if (writer == nullptr) return base;
+  RunnerOptions wrapped = base;
+  const auto user = base.on_progress;
+  wrapped.on_progress = [writer, &points, user](const Progress& p) {
+    JournalRecord record;
+    record.point_index = p.job->point_index;
+    record.seed_index = p.job->seed_index;
+    record.seed = p.job->config.seed;
+    record.label = points[p.job->point_index].label;
+    record.coords = points[p.job->point_index].coords;
+    record.result = *p.result;
+    writer->append(record);
+    if (user) user(p);
+  };
+  return wrapped;
+}
+
+void finalize_into(const std::vector<GridPoint>& points,
+                   const std::vector<PointAccumulator>& accumulators,
+                   CampaignResult* out) {
+  out->points = points;
+  out->aggregates.clear();
+  out->aggregates.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    PointAggregate agg = accumulators[i].finalize();
+    agg.label = points[i].label;
+    agg.coords = points[i].coords;
+    out->aggregates.push_back(std::move(agg));
+  }
+}
+
+bool open_journal(const CampaignOptions& options,
+                  std::optional<JournalWriter>& writer, CampaignResult* out,
+                  std::string* error) {
+  if (options.journal_path.empty()) return true;
+  writer.emplace(options.journal_path, /*append_mode=*/options.resume);
+  if (!writer->ok()) {
+    out->error_kind = CampaignErrorKind::kIo;
+    return fail(error,
+                "cannot open journal '" + options.journal_path + "' for writing");
+  }
+  return true;
+}
+
+/// A journal that went bad mid-run (disk full, handle yanked) breaks the
+/// "loses at most in-flight work" contract, so the campaign must fail
+/// loudly instead of exiting 0 with records silently missing.
+bool check_journal_health(const std::optional<JournalWriter>& writer,
+                          const CampaignOptions& options, CampaignResult* out,
+                          std::string* error) {
+  if (!writer || writer->ok()) return true;
+  out->error_kind = CampaignErrorKind::kIo;
+  return fail(error, "journal write to '" + options.journal_path +
+                         "' failed (disk full?); journal is incomplete");
+}
+
+/// Fixed-seed mode: the classic (point x seed) job grid, minus jobs from
+/// other shards, minus jobs already in the resume journal.
+bool run_fixed(const std::vector<GridPoint>& points,
+               const std::vector<std::uint64_t>& seeds,
+               const CampaignOptions& options, CampaignResult* out,
+               std::string* error) {
+  const std::vector<Job> all_jobs = make_jobs(points, seeds);
+  const std::vector<Job> my_jobs = shard_jobs(all_jobs, options.shard);
+
+  std::vector<JournalRecord> prior;
+  if (options.resume &&
+      !load_resume_records(options.journal_path, points, seeds, &prior,
+                           &out->error_kind, error)) {
+    return false;
+  }
+  std::set<std::pair<std::size_t, std::size_t>> done;
+  for (const JournalRecord& r : prior) done.emplace(r.point_index, r.seed_index);
+
+  std::vector<Job> pending;
+  pending.reserve(my_jobs.size());
+  for (const Job& job : my_jobs) {
+    if (done.count({job.point_index, job.seed_index}) == 0) pending.push_back(job);
+  }
+
+  std::optional<JournalWriter> writer;
+  if (!open_journal(options, writer, out, error)) return false;
+
+  Runner runner(with_journal(options.runner, writer ? &*writer : nullptr, points));
+  const Runner::Result run = runner.run(pending);
+
+  std::vector<PointAccumulator> accumulators(points.size());
+  for (const JournalRecord& r : prior) {
+    accumulators[r.point_index].add(r.seed_index, r.result);
+  }
+  out->jobs_run = 0;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (!run.completed[i]) continue;
+    accumulators[pending[i].point_index].add(pending[i].seed_index, run.results[i]);
+    ++out->jobs_run;
+  }
+  out->jobs_skipped = my_jobs.size() - pending.size();
+  out->cancelled = run.cancelled;
+  if (!check_journal_health(writer, options, out, error)) return false;
+  finalize_into(points, accumulators, out);
+  return true;
+}
+
+/// Adaptive mode: per-point sequential seed batches with a CI-driven
+/// stopping rule. Points (not jobs) are sharded, because each point's
+/// final seed count is data-dependent.
+bool run_adaptive(const std::vector<GridPoint>& points,
+                  const std::vector<std::uint64_t>& base_seeds,
+                  const CampaignOptions& options, CampaignResult* out,
+                  std::string* error) {
+  const AdaptiveOptions& ad = options.adaptive;
+  SampleStats PointAggregate::*metric = metric_by_name(ad.metric);
+  if (metric == nullptr) {
+    return fail(error, "adaptive: unknown metric '" + ad.metric + "'");
+  }
+  const std::size_t max_seeds = ad.max_seeds > 0 ? ad.max_seeds : base_seeds.size();
+  if (max_seeds == 0) return fail(error, "adaptive: empty seed budget");
+  // The CI needs a stddev, so never stop below two seeds.
+  const std::size_t min_seeds =
+      std::min(std::max<std::size_t>(2, ad.min_seeds), max_seeds);
+  const std::size_t batch = std::max<std::size_t>(1, ad.batch);
+  const std::vector<std::uint64_t> seeds = extend_seeds(base_seeds, max_seeds);
+
+  const std::vector<GridPoint> my_points = shard_points(points, options.shard);
+
+  std::vector<JournalRecord> prior;
+  if (options.resume &&
+      !load_resume_records(options.journal_path, points, seeds, &prior,
+                           &out->error_kind, error)) {
+    return false;
+  }
+  std::vector<std::vector<std::uint8_t>> done(
+      points.size(), std::vector<std::uint8_t>(max_seeds, 0));
+  std::vector<PointAccumulator> accumulators(points.size());
+  out->jobs_skipped = 0;
+  for (const JournalRecord& r : prior) {
+    done[r.point_index][r.seed_index] = 1;
+    accumulators[r.point_index].add(r.seed_index, r.result);
+    ++out->jobs_skipped;
+  }
+
+  std::optional<JournalWriter> writer;
+  if (!open_journal(options, writer, out, error)) return false;
+
+  Runner runner(with_journal(options.runner, writer ? &*writer : nullptr, points));
+
+  std::vector<std::uint8_t> settled(points.size(), 0);
+  auto converged = [&](std::size_t point_index) {
+    const PointAggregate agg = accumulators[point_index].finalize();
+    const SampleStats& s = agg.*metric;
+    return s.ci95_half <= ad.ci_rel * std::fabs(s.mean);
+  };
+
+  out->jobs_run = 0;
+  out->cancelled = false;
+  for (;;) {
+    std::vector<Job> wave;
+    for (const GridPoint& point : my_points) {
+      if (settled[point.index]) continue;
+      const std::size_t n = accumulators[point.index].size();
+      if ((n >= min_seeds && converged(point.index)) || n >= max_seeds) {
+        settled[point.index] = 1;
+        continue;
+      }
+      const std::size_t target =
+          n < min_seeds ? min_seeds : std::min(n + batch, max_seeds);
+      std::size_t scheduled = 0;
+      for (std::size_t s = 0; s < max_seeds && n + scheduled < target; ++s) {
+        if (done[point.index][s]) continue;
+        Job job;
+        job.index = wave.size();
+        job.point_index = point.index;
+        job.seed_index = s;
+        job.config = point.config;
+        job.config.seed = seeds[s];
+        wave.push_back(std::move(job));
+        ++scheduled;
+      }
+    }
+    if (wave.empty()) break;
+
+    const Runner::Result run = runner.run(wave);
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      if (!run.completed[i]) continue;
+      accumulators[wave[i].point_index].add(wave[i].seed_index, run.results[i]);
+      done[wave[i].point_index][wave[i].seed_index] = 1;
+      ++out->jobs_run;
+    }
+    if (run.cancelled) {
+      out->cancelled = true;
+      break;
+    }
+  }
+
+  if (!check_journal_health(writer, options, out, error)) return false;
+  finalize_into(points, accumulators, out);
+  return true;
 }
 
 }  // namespace
@@ -43,7 +295,8 @@ Runner::Result Runner::run(const std::vector<Job>& jobs) {
       if (cancel_.load(std::memory_order_relaxed)) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= jobs.size()) return;
-      out.results[i] = run_scenario(jobs[i].config);
+      out.results[i] = options_.run_fn ? options_.run_fn(jobs[i].config)
+                                       : run_scenario(jobs[i].config);
       out.completed[i] = 1;
       const std::size_t completed = done.fetch_add(1, std::memory_order_relaxed) + 1;
       if (options_.on_progress) {
@@ -51,6 +304,7 @@ Runner::Result Runner::run(const std::vector<Job>& jobs) {
         p.completed = completed;
         p.total = jobs.size();
         p.job = &jobs[i];
+        p.result = &out.results[i];
         std::lock_guard<std::mutex> lock(progress_mutex);
         options_.on_progress(p);
       }
@@ -71,32 +325,85 @@ Runner::Result Runner::run(const std::vector<Job>& jobs) {
   return out;
 }
 
+bool run_points_campaign(const std::vector<GridPoint>& points,
+                         const std::vector<std::uint64_t>& seeds,
+                         const CampaignOptions& options, CampaignResult* out,
+                         std::string* error) {
+  if (points.empty()) return fail(error, "campaign has no grid points");
+  if (seeds.empty()) return fail(error, "campaign has no seeds");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    // Journals and shards key on point.index; it must be the position.
+    GTTSCH_CHECK(points[i].index == i);
+  }
+  if (options.shard.count == 0 || options.shard.index >= options.shard.count) {
+    return fail(error, "invalid shard spec");
+  }
+  if (options.resume && options.journal_path.empty()) {
+    return fail(error, "resume requested without a journal path");
+  }
+  return options.adaptive.enabled()
+             ? run_adaptive(points, seeds, options, out, error)
+             : run_fixed(points, seeds, options, out, error);
+}
+
+bool run_campaign(const CampaignSpec& spec, const CampaignOptions& options,
+                  CampaignResult* out, std::string* error) {
+  const std::vector<GridPoint> points = expand_grid(spec, error);
+  if (points.empty()) return false;
+  return run_points_campaign(points, spec.seeds, options, out, error);
+}
+
 bool run_campaign(const CampaignSpec& spec, const RunnerOptions& options,
                   CampaignResult* out, std::string* error) {
-  std::vector<GridPoint> points = expand_grid(spec, error);
-  if (points.empty()) return false;
-  const std::vector<Job> jobs = make_jobs(points, spec.seeds);
-  if (jobs.empty()) return false;
+  CampaignOptions full;
+  full.runner = options;
+  return run_campaign(spec, full, out, error);
+}
 
-  Runner runner(options);
-  const Runner::Result run = runner.run(jobs);
-
-  std::vector<PointAccumulator> accumulators(points.size());
-  for (const Job& job : jobs) {
-    if (!run.completed[job.index]) continue;
-    accumulators[job.point_index].add(job.seed_index, run.results[job.index]);
+bool parse_campaign_flags(const Flags& flags, CampaignOptions* options,
+                          std::string* error) {
+  if (flags.has("shard") &&
+      !parse_shard(flags.get("shard", ""), &options->shard, error)) {
+    return false;
+  }
+  options->journal_path = flags.get("journal", "");
+  if (flags.has("resume")) {
+    const std::string resume_path = flags.get("resume", "");
+    // A bare `--resume` parses as the value "true"; require a real path.
+    if (resume_path.empty() || resume_path == "true") {
+      return fail(error, "--resume: expected a journal path");
+    }
+    if (!options->journal_path.empty() && options->journal_path != resume_path) {
+      return fail(error, "--resume conflicts with --journal (pass one or the other)");
+    }
+    options->journal_path = resume_path;
+    options->resume = true;
   }
 
-  out->points = std::move(points);
-  out->aggregates.clear();
-  out->aggregates.reserve(out->points.size());
-  for (std::size_t i = 0; i < out->points.size(); ++i) {
-    PointAggregate agg = accumulators[i].finalize();
-    agg.label = out->points[i].label;
-    agg.coords = out->points[i].coords;
-    out->aggregates.push_back(std::move(agg));
+  AdaptiveOptions& adaptive = options->adaptive;
+  if (flags.has("ci-rel")) {
+    adaptive.ci_rel = flags.get_double("ci-rel", 0.0);
+    if (!(adaptive.ci_rel > 0.0)) {
+      return fail(error, "--ci-rel: expected a positive fraction, got '" +
+                             flags.get("ci-rel", "") + "'");
+    }
   }
-  out->cancelled = run.cancelled;
+  for (const char* name : {"max-seeds", "min-seeds", "batch", "metric"}) {
+    if (flags.has(name) && !adaptive.enabled()) {
+      return fail(error, std::string("--") + name +
+                             " only takes effect with --ci-rel (adaptive seeding)");
+    }
+  }
+  adaptive.max_seeds = static_cast<std::size_t>(flags.get_int("max-seeds", 0));
+  adaptive.min_seeds = static_cast<std::size_t>(
+      flags.get_int("min-seeds", static_cast<std::int64_t>(adaptive.min_seeds)));
+  adaptive.batch = static_cast<std::size_t>(
+      flags.get_int("batch", static_cast<std::int64_t>(adaptive.batch)));
+  adaptive.metric = flags.get("metric", adaptive.metric);
+  if (metric_by_name(adaptive.metric) == nullptr) {
+    return fail(error, "--metric: unknown metric '" + adaptive.metric +
+                           "' (see --list-metrics)");
+  }
   return true;
 }
 

@@ -2,6 +2,14 @@
 // shared index counter, each job running its own private Simulator via
 // run_scenario — runs are embarrassingly parallel and bit-identical to
 // serial execution for the same seed, whatever the completion order.
+//
+// On top of the pool, run_points_campaign adds the three pieces that make
+// million-run campaigns practical (see ROADMAP):
+//   * sharding   — run only `--shard i/N` of the jobs; shards merge later,
+//   * journaling — append each finished job to a crash-safe JSONL journal
+//                  and `resume` by skipping jobs already recorded,
+//   * adaptive seeding — per-point sequential seed batches that stop once
+//                  the 95% CI half-width of a chosen metric is tight.
 #pragma once
 
 #include <atomic>
@@ -11,7 +19,9 @@
 #include <vector>
 
 #include "campaign/aggregate.hpp"
+#include "campaign/shard.hpp"
 #include "campaign/spec.hpp"
+#include "util/flags.hpp"
 
 namespace gttsch::campaign {
 
@@ -19,7 +29,8 @@ namespace gttsch::campaign {
 struct Progress {
   std::size_t completed = 0;  ///< jobs finished so far (including this one)
   std::size_t total = 0;
-  const Job* job = nullptr;  ///< the job that just finished
+  const Job* job = nullptr;     ///< the job that just finished
+  const ExperimentResult* result = nullptr;  ///< its result
 };
 
 struct RunnerOptions {
@@ -28,6 +39,9 @@ struct RunnerOptions {
   int jobs = 0;
   /// Invoked after every job, serialized (never concurrently).
   std::function<void(const Progress&)> on_progress;
+  /// How one job is executed; defaults to run_scenario. Tests substitute
+  /// a synthetic function to count invocations and shape metric noise.
+  std::function<ExperimentResult(const ScenarioConfig&)> run_fn;
 };
 
 class Runner {
@@ -35,7 +49,8 @@ class Runner {
   explicit Runner(RunnerOptions options = {});
 
   struct Result {
-    /// Indexed like the input jobs, regardless of completion order.
+    /// Positional: results[i] belongs to jobs[i] of the run() argument,
+    /// regardless of completion order.
     std::vector<ExperimentResult> results;
     /// completed[i] is false only when the run was cancelled before job i.
     std::vector<std::uint8_t> completed;
@@ -54,16 +69,74 @@ class Runner {
   std::atomic<bool> cancel_{false};
 };
 
+/// Statistical stopping rule for adaptive seeding: grow each grid point's
+/// seed count in batches until the 95% CI half-width of `metric` drops to
+/// `ci_rel` * |mean| (relative half-width), or `max_seeds` is reached.
+struct AdaptiveOptions {
+  double ci_rel = 0.0;        ///< relative CI target; <= 0 disables adaptivity
+  std::size_t min_seeds = 3;  ///< never stop before this many seeds
+  std::size_t max_seeds = 0;  ///< hard cap; 0 = the provided seed-list length
+  std::size_t batch = 2;      ///< seeds added per wave after min_seeds
+  std::string metric = "pdr_percent";  ///< see metric_names()
+
+  bool enabled() const { return ci_rel > 0.0; }
+};
+
+/// Everything beyond raw pool execution: sharding, journal/resume,
+/// adaptive seeding.
+struct CampaignOptions {
+  RunnerOptions runner;
+  ShardSpec shard;           ///< jobs (fixed mode) / points (adaptive mode)
+  std::string journal_path;  ///< append per-job JSONL records ("" = off)
+  /// Read `journal_path` first and skip every job it records; a missing
+  /// journal file is an empty journal (fresh start), so crash-loop
+  /// scripts can pass --resume unconditionally.
+  bool resume = false;
+  AdaptiveOptions adaptive;
+};
+
+/// Why a campaign call returned false — callers map kSpec to a usage
+/// exit (2) and kIo to a runtime exit (1).
+enum class CampaignErrorKind {
+  kSpec,  ///< bad spec/options or a journal that mismatches the campaign
+  kIo,    ///< journal unreadable/unwritable, write failure (disk full, ...)
+};
+
 /// A campaign end-to-end: expand the spec, run all jobs on the pool, merge
 /// per-seed results into one PointAggregate per grid point.
 struct CampaignResult {
   std::vector<GridPoint> points;
   std::vector<PointAggregate> aggregates;  ///< parallel to `points`
   bool cancelled = false;
+  std::size_t jobs_run = 0;      ///< executed by this invocation
+  std::size_t jobs_skipped = 0;  ///< satisfied from the resume journal
+  CampaignErrorKind error_kind = CampaignErrorKind::kSpec;  ///< valid on failure
 };
 
+/// The full engine over an explicit point list (points[i].index must be i,
+/// as expand_grid produces). Grid points outside this process's shard get
+/// empty aggregates (runs == 0); their results live in other shards'
+/// journals until `gt_campaign merge`.
+bool run_points_campaign(const std::vector<GridPoint>& points,
+                         const std::vector<std::uint64_t>& seeds,
+                         const CampaignOptions& options, CampaignResult* out,
+                         std::string* error);
+
+bool run_campaign(const CampaignSpec& spec, const CampaignOptions& options,
+                  CampaignResult* out, std::string* error);
+
+/// Legacy entry point: whole campaign, no journal, fixed seeds.
 bool run_campaign(const CampaignSpec& spec, const RunnerOptions& options,
                   CampaignResult* out, std::string* error);
+
+/// Shared command-line surface for the scale-out options — used by both
+/// gt_campaign and the figure benches so the flag grammar cannot drift:
+///   --shard i/N, --journal PATH, --resume PATH (conflicts with an
+///   unequal --journal), --ci-rel FRAC, and the adaptive-only flags
+///   --max-seeds/--min-seeds/--batch/--metric, which error out loudly
+///   when given without --ci-rel (they would otherwise be silent no-ops).
+bool parse_campaign_flags(const Flags& flags, CampaignOptions* options,
+                          std::string* error);
 
 /// Drop-in parallel replacement for run_averaged: one scenario, all seeds
 /// on the pool, spread statistics included.

@@ -1,0 +1,68 @@
+#include "campaign/shard.hpp"
+
+namespace gttsch::campaign {
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool parse_size(const std::string& text, std::size_t* out) {
+  if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *out = 0;
+  for (const char c : text) {
+    *out = *out * 10 + static_cast<std::size_t>(c - '0');
+    if (*out > 1'000'000) return false;  // a million hosts is enough
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parse_shard(const std::string& text, ShardSpec* out, std::string* error) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) {
+    return fail(error, "shard '" + text + "' is not of the form i/N");
+  }
+  ShardSpec spec;
+  if (!parse_size(text.substr(0, slash), &spec.index) ||
+      !parse_size(text.substr(slash + 1), &spec.count)) {
+    return fail(error, "shard '" + text + "' is not of the form i/N");
+  }
+  if (spec.count == 0) {
+    return fail(error, "shard '" + text + "': shard count must be at least 1");
+  }
+  if (spec.index >= spec.count) {
+    return fail(error, "shard '" + text + "': index " + std::to_string(spec.index) +
+                           " out of range for " + std::to_string(spec.count) +
+                           " shards");
+  }
+  *out = spec;
+  return true;
+}
+
+std::vector<Job> shard_jobs(const std::vector<Job>& jobs, const ShardSpec& shard) {
+  if (shard.is_whole()) return jobs;
+  std::vector<Job> mine;
+  mine.reserve(jobs.size() / shard.count + 1);
+  for (const Job& job : jobs) {
+    if (job.index % shard.count == shard.index) mine.push_back(job);
+  }
+  return mine;
+}
+
+std::vector<GridPoint> shard_points(const std::vector<GridPoint>& points,
+                                    const ShardSpec& shard) {
+  if (shard.is_whole()) return points;
+  std::vector<GridPoint> mine;
+  mine.reserve(points.size() / shard.count + 1);
+  for (const GridPoint& point : points) {
+    if (point.index % shard.count == shard.index) mine.push_back(point);
+  }
+  return mine;
+}
+
+}  // namespace gttsch::campaign

@@ -339,4 +339,20 @@ bool parse_seeds(const std::string& text, std::vector<std::uint64_t>* seeds,
   return true;
 }
 
+std::vector<std::uint64_t> extend_seeds(std::vector<std::uint64_t> seeds,
+                                        std::size_t count) {
+  std::set<std::uint64_t> used(seeds.begin(), seeds.end());
+  std::uint64_t i = 0;
+  while (seeds.size() < count) {
+    // splitmix64: well-distributed, stateless in the index, so the n-th
+    // appended seed is the same on every host.
+    std::uint64_t z = (i++) + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z = z ^ (z >> 31);
+    if (used.insert(z).second) seeds.push_back(z);
+  }
+  return seeds;
+}
+
 }  // namespace gttsch::campaign

@@ -79,4 +79,12 @@ bool parse_grid(const std::string& text, std::vector<Axis>* axes,
 bool parse_seeds(const std::string& text, std::vector<std::uint64_t>* seeds,
                  std::string* error);
 
+/// Deterministically extends `seeds` to `count` entries (no-op when it is
+/// already long enough): adaptive campaigns may need more seeds than the
+/// base list, and every shard / resumed process must derive the *same*
+/// sequence from the same spec. Appended seeds are splitmix64(i) values,
+/// skipping collisions with earlier entries.
+std::vector<std::uint64_t> extend_seeds(std::vector<std::uint64_t> seeds,
+                                        std::size_t count);
+
 }  // namespace gttsch::campaign

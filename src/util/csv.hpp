@@ -16,11 +16,13 @@ class CsvWriter {
 
   bool ok() const { return out_.good(); }
 
+  /// RFC-4180-style quoting, shared with renderers that build CSV text
+  /// in memory (e.g. campaign reports written via atomic rename).
+  static std::string escape(const std::string& cell);
+
  private:
   std::ofstream out_;
   std::size_t columns_;
-
-  static std::string escape(const std::string& cell);
   void write_row(const std::vector<std::string>& cells);
 };
 

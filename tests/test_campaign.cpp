@@ -1,14 +1,21 @@
 // Campaign-engine tests: grid expansion (full cartesian product, loud
 // validation failures), order-independent aggregation, report layout, and
-// the determinism contract — a parallel run produces metrics bit-identical
-// to a serial run of the same spec.
+// the determinism contracts — a parallel run produces metrics bit-identical
+// to a serial run, merged shards reproduce the unsharded CSV byte for
+// byte, --resume re-runs exactly the missing jobs, and adaptive seeding
+// stops tight grid points early while noisy ones run to the cap.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <random>
 
+#include "campaign/journal.hpp"
 #include "campaign/report.hpp"
 #include "campaign/runner.hpp"
+#include "campaign/shard.hpp"
 #include "campaign/spec.hpp"
 
 namespace gttsch {
@@ -361,6 +368,294 @@ TEST(CampaignRunner, CancelStopsClaimingJobs) {
   const std::size_t done = static_cast<std::size_t>(
       std::count(result.completed.begin(), result.completed.end(), 1));
   EXPECT_EQ(done, 2u);
+}
+
+// ----------------------------------------------------------------- shard --
+
+TEST(CampaignShard, ParsesShardSpecs) {
+  campaign::ShardSpec shard;
+  std::string error;
+  ASSERT_TRUE(campaign::parse_shard("0/4", &shard, &error)) << error;
+  EXPECT_EQ(shard.index, 0u);
+  EXPECT_EQ(shard.count, 4u);
+  ASSERT_TRUE(campaign::parse_shard("3/4", &shard, &error));
+  EXPECT_EQ(shard.index, 3u);
+
+  EXPECT_FALSE(campaign::parse_shard("4/4", &shard, &error));
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+  EXPECT_FALSE(campaign::parse_shard("0/0", &shard, &error));
+  EXPECT_FALSE(campaign::parse_shard("1", &shard, &error));
+  EXPECT_FALSE(campaign::parse_shard("a/b", &shard, &error));
+  EXPECT_FALSE(campaign::parse_shard("-1/2", &shard, &error));
+  EXPECT_FALSE(campaign::parse_shard("", &shard, &error));
+}
+
+TEST(CampaignShard, JobPartitionIsDisjointAndComplete) {
+  const CampaignSpec spec = tiny_spec();  // 4 points x 3 seeds = 12 jobs
+  std::string error;
+  const auto jobs = campaign::make_jobs(spec, &error);
+  ASSERT_EQ(jobs.size(), 12u);
+
+  std::vector<int> claimed(jobs.size(), 0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto mine = campaign::shard_jobs(jobs, {i, 3});
+    EXPECT_EQ(mine.size(), 4u);
+    for (const Job& job : mine) ++claimed[job.index];
+  }
+  EXPECT_TRUE(std::all_of(claimed.begin(), claimed.end(),
+                          [](int c) { return c == 1; }));
+
+  // Shard 0/1 is the identity.
+  EXPECT_EQ(campaign::shard_jobs(jobs, {0, 1}).size(), jobs.size());
+
+  // Point partition: disjoint cover too.
+  const auto points = campaign::expand_grid(spec, &error);
+  std::vector<int> point_claimed(points.size(), 0);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (const auto& p : campaign::shard_points(points, {i, 2})) {
+      ++point_claimed[p.index];
+    }
+  }
+  EXPECT_TRUE(std::all_of(point_claimed.begin(), point_claimed.end(),
+                          [](int c) { return c == 1; }));
+}
+
+// Deterministic synthetic experiment for the shard/resume/adaptive tests:
+// metrics depend on (scheduler, traffic, seed) through awkward fractions,
+// so any serialization or ordering slip breaks byte-equality.
+ExperimentResult synthetic_run(const ScenarioConfig& c) {
+  ExperimentResult r;
+  const double seed = static_cast<double>(c.seed);
+  const double scheduler_bias = c.scheduler == SchedulerKind::kGtTsch ? 0.0 : 7.0;
+  r.metrics.pdr_percent = 100.0 / 3.0 + seed / 7.0 + c.traffic_ppm / 11.0;
+  r.metrics.avg_delay_ms = 100.0 + seed * 1.1 + scheduler_bias;
+  r.metrics.p95_delay_ms = 280.0 + seed / 3.0;
+  r.metrics.loss_per_minute = seed / 13.0;
+  r.metrics.duty_cycle_percent = 10.0 + scheduler_bias / 9.0;
+  r.metrics.queue_loss_per_node = 0.25 * seed;
+  r.metrics.throughput_per_minute = c.traffic_ppm + seed;
+  r.metrics.mean_hops = 2.0 + 1.0 / (seed + 1.0);
+  r.metrics.measure_minutes = 5.0;
+  r.metrics.generated = 240 + c.seed;
+  r.metrics.delivered = 200 + c.seed;
+  r.metrics.node_count = 5;
+  r.medium.transmissions = 700 + 3 * c.seed;
+  r.medium.deliveries = 650 + 2 * c.seed;
+  r.fully_formed = true;
+  return r;
+}
+
+std::string test_file(const char* name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+TEST(CampaignShard, MergedShardJournalsReproduceUnshardedCsvByteForByte) {
+  const CampaignSpec spec = tiny_spec();  // 4 points x 3 seeds = 12 jobs
+
+  campaign::CampaignOptions unsharded;
+  unsharded.runner.jobs = 1;
+  unsharded.runner.run_fn = synthetic_run;
+  campaign::CampaignResult reference;
+  std::string error;
+  ASSERT_TRUE(campaign::run_campaign(spec, unsharded, &reference, &error)) << error;
+  const std::string reference_csv = campaign::render_csv(reference.aggregates);
+
+  // Three independent shard processes, each with its own journal.
+  std::vector<campaign::JournalRecord> merged_records;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::string journal =
+        test_file(("shard_eq_" + std::to_string(i) + ".jsonl").c_str());
+    std::filesystem::remove(journal);
+    campaign::CampaignOptions options;
+    options.runner.jobs = 2;  // exercise parallel completion order too
+    options.runner.run_fn = synthetic_run;
+    options.shard = {i, 3};
+    options.journal_path = journal;
+    campaign::CampaignResult result;
+    ASSERT_TRUE(campaign::run_campaign(spec, options, &result, &error)) << error;
+    EXPECT_EQ(result.jobs_run, 4u);
+
+    std::vector<campaign::JournalRecord> records;
+    ASSERT_TRUE(campaign::read_journal(journal, &records, &error)) << error;
+    EXPECT_EQ(records.size(), 4u);
+    merged_records.insert(merged_records.end(), records.begin(), records.end());
+  }
+
+  std::vector<campaign::PointAggregate> merged;
+  ASSERT_TRUE(campaign::aggregate_records(merged_records, &merged, &error)) << error;
+  EXPECT_EQ(campaign::render_csv(merged), reference_csv);
+}
+
+// ---------------------------------------------------------------- resume --
+
+TEST(CampaignResume, RerunsExactlyTheMissingJobs) {
+  const CampaignSpec spec = tiny_spec();  // n = 12 jobs
+  const std::string journal = test_file("resume_count.jsonl");
+  std::filesystem::remove(journal);
+  std::string error;
+
+  std::atomic<int> invocations{0};
+  campaign::CampaignOptions options;
+  options.runner.jobs = 1;
+  options.runner.run_fn = [&invocations](const ScenarioConfig& c) {
+    ++invocations;
+    return synthetic_run(c);
+  };
+  options.journal_path = journal;
+
+  campaign::CampaignResult first;
+  ASSERT_TRUE(campaign::run_campaign(spec, options, &first, &error)) << error;
+  EXPECT_EQ(invocations.load(), 12);
+  EXPECT_EQ(first.jobs_run, 12u);
+  EXPECT_EQ(first.jobs_skipped, 0u);
+  const std::string reference_csv = campaign::render_csv(first.aggregates);
+
+  // Simulate a crash after k = 5 completed jobs: keep the first 5 journal
+  // lines plus a truncated 6th (the in-flight write).
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(journal);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 12u);
+  {
+    std::ofstream out(journal, std::ios::trunc);
+    for (std::size_t i = 0; i < 5; ++i) out << lines[i] << '\n';
+    out << lines[5].substr(0, lines[5].size() / 2);
+  }
+
+  invocations = 0;
+  options.resume = true;
+  campaign::CampaignResult resumed;
+  ASSERT_TRUE(campaign::run_campaign(spec, options, &resumed, &error)) << error;
+  EXPECT_EQ(invocations.load(), 7);  // exactly n - k
+  EXPECT_EQ(resumed.jobs_skipped, 5u);
+  EXPECT_EQ(resumed.jobs_run, 7u);
+  EXPECT_EQ(campaign::render_csv(resumed.aggregates), reference_csv);
+
+  // A second resume finds everything done and runs nothing.
+  invocations = 0;
+  campaign::CampaignResult idle;
+  ASSERT_TRUE(campaign::run_campaign(spec, options, &idle, &error)) << error;
+  EXPECT_EQ(invocations.load(), 0);
+  EXPECT_EQ(idle.jobs_skipped, 12u);
+  EXPECT_EQ(campaign::render_csv(idle.aggregates), reference_csv);
+}
+
+TEST(CampaignResume, RejectsJournalFromADifferentCampaign) {
+  const CampaignSpec spec = tiny_spec();
+  const std::string journal = test_file("resume_mismatch.jsonl");
+  std::filesystem::remove(journal);
+  std::string error;
+
+  campaign::CampaignOptions options;
+  options.runner.jobs = 1;
+  options.runner.run_fn = synthetic_run;
+  options.journal_path = journal;
+  campaign::CampaignResult result;
+  ASSERT_TRUE(campaign::run_campaign(spec, options, &result, &error)) << error;
+
+  // Same journal, different grid: labels disagree -> hard error, because
+  // silently mixing results from two campaigns would corrupt the stats.
+  CampaignSpec other = tiny_spec();
+  other.axes = {{"scheduler", {"gt-tsch", "orchestra"}},
+                {"traffic_ppm", {"45", "90"}}};
+  options.resume = true;
+  campaign::CampaignResult mismatched;
+  EXPECT_FALSE(campaign::run_campaign(other, options, &mismatched, &error));
+  EXPECT_NE(error.find("does not match"), std::string::npos);
+
+  // Changing the seed list is a mismatch too.
+  CampaignSpec reseeded = tiny_spec();
+  reseeded.seeds = {9, 8, 7};
+  EXPECT_FALSE(campaign::run_campaign(reseeded, options, &mismatched, &error));
+
+  // Resume without a journal path is a usage error.
+  campaign::CampaignOptions no_path;
+  no_path.runner.run_fn = synthetic_run;
+  no_path.resume = true;
+  EXPECT_FALSE(campaign::run_campaign(spec, no_path, &mismatched, &error));
+}
+
+// -------------------------------------------------------------- adaptive --
+
+TEST(CampaignAdaptive, TightPointStopsEarlyAndNoisyPointHitsCap) {
+  CampaignSpec spec;
+  spec.base = tiny();
+  spec.axes = {{"traffic_ppm", {"30", "120"}}};
+  spec.seeds = {1, 2, 3};  // adaptive may extend beyond the base list
+
+  std::atomic<int> invocations{0};
+  campaign::CampaignOptions options;
+  options.runner.jobs = 1;
+  options.runner.run_fn = [&invocations](const ScenarioConfig& c) {
+    ++invocations;
+    ExperimentResult r = synthetic_run(c);
+    if (c.traffic_ppm < 100.0) {
+      r.metrics.pdr_percent = 90.0;  // zero variance: CI collapses immediately
+    } else {
+      // Alternating 10/90: the relative CI half-width stays far above any
+      // reasonable threshold, so the point must run to the cap.
+      r.metrics.pdr_percent = (c.seed % 2 == 0) ? 10.0 : 90.0;
+    }
+    return r;
+  };
+  options.adaptive.ci_rel = 0.2;
+  options.adaptive.min_seeds = 3;
+  options.adaptive.max_seeds = 10;
+  options.adaptive.batch = 2;
+  options.adaptive.metric = "pdr_percent";
+
+  campaign::CampaignResult result;
+  std::string error;
+  ASSERT_TRUE(campaign::run_campaign(spec, options, &result, &error)) << error;
+  ASSERT_EQ(result.aggregates.size(), 2u);
+  EXPECT_EQ(result.aggregates[0].runs, 3);   // stopped at min_seeds
+  EXPECT_EQ(result.aggregates[1].runs, 10);  // ran to --max-seeds
+  EXPECT_EQ(invocations.load(), 13);
+  EXPECT_EQ(result.jobs_run, 13u);
+  EXPECT_DOUBLE_EQ(result.aggregates[0].pdr_percent.stddev, 0.0);
+
+  // Unknown metric fails loudly instead of never stopping.
+  options.adaptive.metric = "warp_speed";
+  EXPECT_FALSE(campaign::run_campaign(spec, options, &result, &error));
+  EXPECT_NE(error.find("warp_speed"), std::string::npos);
+}
+
+TEST(CampaignAdaptive, ResumedAdaptiveCampaignRunsNothingWhenConverged) {
+  CampaignSpec spec;
+  spec.base = tiny();
+  spec.axes = {{"traffic_ppm", {"30"}}};
+  spec.seeds = {1, 2, 3};
+
+  const std::string journal = test_file("adaptive_resume.jsonl");
+  std::filesystem::remove(journal);
+
+  std::atomic<int> invocations{0};
+  campaign::CampaignOptions options;
+  options.runner.jobs = 1;
+  options.runner.run_fn = [&invocations](const ScenarioConfig& c) {
+    ++invocations;
+    ExperimentResult r = synthetic_run(c);
+    r.metrics.pdr_percent = 90.0;
+    return r;
+  };
+  options.adaptive.ci_rel = 0.2;
+  options.adaptive.max_seeds = 10;
+  options.journal_path = journal;
+
+  campaign::CampaignResult first;
+  std::string error;
+  ASSERT_TRUE(campaign::run_campaign(spec, options, &first, &error)) << error;
+  EXPECT_EQ(invocations.load(), 3);
+
+  invocations = 0;
+  options.resume = true;
+  campaign::CampaignResult resumed;
+  ASSERT_TRUE(campaign::run_campaign(spec, options, &resumed, &error)) << error;
+  EXPECT_EQ(invocations.load(), 0);  // already converged; journal satisfies it
+  EXPECT_EQ(resumed.aggregates[0].runs, 3);
 }
 
 // ---------------------------------------------------------------- report --

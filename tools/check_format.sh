@@ -1,0 +1,32 @@
+#!/bin/sh
+# clang-format dry run over the C++ tree; exits nonzero when any file
+# needs reformatting. Wired into CI as a non-blocking step — style drift
+# is reported, not build-breaking. Run `tools/check_format.sh --fix` to
+# apply the formatting in place.
+set -u
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+    echo "check_format: clang-format not found; skipping" >&2
+    exit 0
+fi
+
+mode="--dry-run"
+if [ "${1:-}" = "--fix" ]; then
+    mode="-i"
+fi
+
+status=0
+for f in $(find src tests tools bench examples -name '*.cpp' -o -name '*.hpp' | sort); do
+    if ! clang-format $mode --Werror "$f" 2>/dev/null; then
+        echo "needs formatting: $f"
+        status=1
+    fi
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "check_format: all files clean"
+else
+    echo "check_format: run tools/check_format.sh --fix to apply" >&2
+fi
+exit $status

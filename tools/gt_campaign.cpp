@@ -1,16 +1,26 @@
-// gt_campaign: one-command parallel experiment campaigns.
+// gt_campaign: one-command parallel experiment campaigns, shardable
+// across processes/hosts, resumable after a crash, and optionally
+// adaptive in seed count.
 //
 // Expands a declarative parameter grid over ScenarioConfig fields into
-// (grid point x seed) jobs, runs them on a worker pool, and reports
-// seed-aggregated metrics (mean / stddev / 95% CI) as a table plus
-// optional CSV/JSON artifacts.
+// (grid point x seed) jobs, runs this process's shard of them on a
+// worker pool, journals every completed job, and reports seed-aggregated
+// metrics (mean / stddev / 95% CI) as a table plus optional CSV/JSON
+// artifacts.
 //
-// Example — the Fig 8 traffic-load sweep, both schedulers, in parallel:
-//   gt_campaign --grid "scheduler=gt-tsch,orchestra;traffic_ppm=30,75,120,165"
-//               --seeds 1000,1017,1034 --jobs $(nproc) --out fig8
+// Example — the Fig 8 traffic-load sweep split across two hosts:
+//   host A: gt_campaign --grid "scheduler=gt-tsch,orchestra;traffic_ppm=30,75,120,165"
+//                       --seeds 1000,1017,1034 --shard 0/2 --journal a.jsonl
+//   host B: same with --shard 1/2 --journal b.jsonl
+//   then:   gt_campaign merge --out fig8 a.jsonl b.jsonl
+//
+// Exit codes: 0 success, 1 runtime/I-O failure or cancellation, 2 bad
+// usage (unknown flag/field, malformed value, mismatched journal).
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 
+#include "campaign/journal.hpp"
 #include "campaign/report.hpp"
 #include "campaign/runner.hpp"
 #include "util/flags.hpp"
@@ -22,15 +32,180 @@ using namespace gttsch;
 
 void print_usage() {
   std::printf(
-      "Usage: gt_campaign [options]\n"
+      "Usage: gt_campaign [run] [options]\n"
+      "       gt_campaign merge --out PREFIX JOURNAL.jsonl [JOURNAL.jsonl...]\n"
+      "\n"
+      "Run options:\n"
       "  --grid SPEC    axes as \"field=v1,v2;field2=v3,v4\" (cartesian product)\n"
       "  --set SPEC     base-config overrides, same \"field=v;field2=v\" grammar\n"
       "  --seeds LIST   comma-separated seed list (default: the bench seeds,\n"
       "                 count adjustable via GTTSCH_SEEDS)\n"
       "  --jobs N       worker threads (default: hardware concurrency)\n"
+      "  --shard i/N    run only this shard's share of the jobs (default 0/1)\n"
+      "  --journal PATH append one JSONL record per completed job\n"
+      "  --resume PATH  skip jobs already in PATH, append new ones to it\n"
+      "  --ci-rel FRAC  adaptive seeding: stop a grid point once the 95%% CI\n"
+      "                 half-width of --metric is under FRAC * |mean|\n"
+      "  --max-seeds N  adaptive cap per point (default: seed-list length)\n"
+      "  --min-seeds N  never stop a point below N seeds (default 3)\n"
+      "  --batch N      seeds added per adaptive wave (default 2)\n"
+      "  --metric NAME  adaptive stopping metric (default pdr_percent)\n"
       "  --out PREFIX   write PREFIX.csv and PREFIX.json artifacts\n"
       "  --quiet        suppress per-job progress on stderr\n"
-      "  --list-fields  print the sweepable ScenarioConfig fields and exit\n");
+      "  --list-fields  print the sweepable ScenarioConfig fields and exit\n"
+      "  --list-metrics print the adaptive stopping metrics and exit\n"
+      "\n"
+      "merge combines per-shard journals into one aggregate report,\n"
+      "bit-identical to an unsharded run over the same jobs.\n");
+}
+
+int fail_usage(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "gt_campaign: %s: %s\n", what, detail.c_str());
+  return 2;
+}
+
+void print_table(const std::vector<campaign::PointAggregate>& aggregates) {
+  TablePrinter table({"point", "runs", "PDR % (±sd)", "delay ms (±sd)",
+                      "loss/min (±sd)", "duty % (±sd)", "qloss/node (±sd)",
+                      "rx/min (±sd)"});
+  auto cell = [](const campaign::SampleStats& s, int precision) {
+    return TablePrinter::num(s.mean, precision) + " ±" +
+           TablePrinter::num(s.stddev, precision);
+  };
+  for (const campaign::PointAggregate& a : aggregates) {
+    table.add_row({a.label.empty() ? std::string("base") : a.label,
+                   TablePrinter::num(static_cast<std::int64_t>(a.runs)),
+                   cell(a.pdr_percent, 1), cell(a.avg_delay_ms, 0),
+                   cell(a.loss_per_minute, 1), cell(a.duty_cycle_percent, 2),
+                   cell(a.queue_loss_per_node, 1),
+                   cell(a.throughput_per_minute, 0)});
+  }
+  table.print();
+}
+
+/// Writes PREFIX.csv / PREFIX.json (atomically); returns the exit code.
+int write_artifacts(const std::string& out_prefix,
+                    const std::vector<campaign::PointAggregate>& aggregates) {
+  if (out_prefix.empty()) return 0;
+  const std::string csv_path = out_prefix + ".csv";
+  const std::string json_path = out_prefix + ".json";
+  if (!campaign::write_csv(csv_path, aggregates)) {
+    std::fprintf(stderr, "gt_campaign: failed to write %s\n", csv_path.c_str());
+    return 1;
+  }
+  if (!campaign::write_json(json_path, aggregates)) {
+    std::fprintf(stderr, "gt_campaign: failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[campaign] wrote %s and %s\n", csv_path.c_str(),
+               json_path.c_str());
+  return 0;
+}
+
+/// `gt_campaign merge --out PREFIX journal...`: re-aggregate per-shard
+/// journals into the report an unsharded run would have produced.
+int run_merge(const Flags& flags, const std::vector<std::string>& journals) {
+  const std::string out_prefix = flags.get("out", "");
+  for (const std::string& flag : flags.unknown()) {
+    return fail_usage("merge: unknown flag", "--" + flag + " (see --help)");
+  }
+  if (journals.empty()) {
+    return fail_usage("merge", "at least one journal file is required");
+  }
+  std::vector<campaign::JournalRecord> records;
+  std::string error;
+  for (const std::string& path : journals) {
+    std::vector<campaign::JournalRecord> shard_records;
+    if (!campaign::read_journal(path, &shard_records, &error)) {
+      return fail_usage("merge", error);
+    }
+    std::fprintf(stderr, "[merge] %s: %zu records\n", path.c_str(),
+                 shard_records.size());
+    records.insert(records.end(), shard_records.begin(), shard_records.end());
+  }
+  std::vector<campaign::PointAggregate> aggregates;
+  if (!campaign::aggregate_records(records, &aggregates, &error)) {
+    return fail_usage("merge", error);
+  }
+  if (aggregates.empty()) {
+    return fail_usage("merge", "journals contain no records");
+  }
+  print_table(aggregates);
+  return write_artifacts(out_prefix, aggregates);
+}
+
+int run_campaign_command(const Flags& flags) {
+  campaign::CampaignSpec spec;
+  std::string error;
+
+  // Base-config overrides reuse the axis grammar with single values; a
+  // repeated key would silently shadow an earlier override, so reject it.
+  std::vector<campaign::Axis> overrides;
+  if (!campaign::parse_grid(flags.get("set", ""), &overrides, &error)) {
+    return fail_usage("--set", error);
+  }
+  std::set<std::string> override_keys;
+  for (const campaign::Axis& o : overrides) {
+    if (o.values.size() != 1) {
+      return fail_usage("--set", o.field + ": exactly one value expected");
+    }
+    if (!override_keys.insert(o.field).second) {
+      return fail_usage("--set", o.field + ": key appears twice");
+    }
+    if (!campaign::apply_field(spec.base, o.field, o.values.front(), &error)) {
+      return fail_usage("--set", error);
+    }
+  }
+
+  if (!campaign::parse_grid(flags.get("grid", ""), &spec.axes, &error)) {
+    return fail_usage("--grid", error);
+  }
+
+  if (flags.has("seeds")) {
+    if (!campaign::parse_seeds(flags.get("seeds", ""), &spec.seeds, &error)) {
+      return fail_usage("--seeds", error);
+    }
+  } else {
+    spec.seeds = default_seeds();
+  }
+
+  campaign::CampaignOptions options;
+  options.runner.jobs = static_cast<int>(flags.get_int("jobs", 0));
+  const bool quiet = flags.get_bool("quiet", false);
+  if (!quiet) {
+    options.runner.on_progress = [](const campaign::Progress& p) {
+      std::fprintf(stderr, "[campaign] %zu/%zu jobs done (point %zu, seed #%zu)\n",
+                   p.completed, p.total, p.job->point_index, p.job->seed_index);
+    };
+  }
+
+  if (!campaign::parse_campaign_flags(flags, &options, &error)) {
+    return fail_usage("bad option", error);
+  }
+
+  const std::string out_prefix = flags.get("out", "");
+  for (const std::string& flag : flags.unknown()) {
+    return fail_usage("unknown flag", "--" + flag + " (see --help)");
+  }
+
+  campaign::CampaignResult result;
+  if (!campaign::run_campaign(spec, options, &result, &error)) {
+    if (result.error_kind == campaign::CampaignErrorKind::kIo) {
+      std::fprintf(stderr, "gt_campaign: %s\n", error.c_str());
+      return 1;
+    }
+    return fail_usage("invalid campaign", error);
+  }
+  if (result.jobs_skipped > 0) {
+    std::fprintf(stderr, "[campaign] resumed: %zu jobs from journal, %zu run now\n",
+                 result.jobs_skipped, result.jobs_run);
+  }
+
+  print_table(result.aggregates);
+
+  const int artifact_code = write_artifacts(out_prefix, result.aggregates);
+  if (artifact_code != 0) return artifact_code;
+  return result.cancelled ? 1 : 0;
 }
 
 }  // namespace
@@ -48,95 +223,27 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-
-  campaign::CampaignSpec spec;
-  std::string error;
-
-  // Base-config overrides reuse the axis grammar with single values.
-  std::vector<campaign::Axis> overrides;
-  if (!campaign::parse_grid(flags.get("set", ""), &overrides, &error)) {
-    std::fprintf(stderr, "gt_campaign: --set: %s\n", error.c_str());
-    return 2;
-  }
-  for (const campaign::Axis& o : overrides) {
-    if (o.values.size() != 1) {
-      std::fprintf(stderr, "gt_campaign: --set %s: exactly one value expected\n",
-                   o.field.c_str());
-      return 2;
+  if (flags.get_bool("list-metrics", false)) {
+    for (const std::string& name : campaign::metric_names()) {
+      std::printf("%s\n", name.c_str());
     }
-    if (!campaign::apply_field(spec.base, o.field, o.values.front(), &error)) {
-      std::fprintf(stderr, "gt_campaign: --set: %s\n", error.c_str());
-      return 2;
-    }
+    return 0;
   }
 
-  if (!campaign::parse_grid(flags.get("grid", ""), &spec.axes, &error)) {
-    std::fprintf(stderr, "gt_campaign: --grid: %s\n", error.c_str());
-    return 2;
+  // Subcommand dispatch. Stray positionals used to be silently ignored
+  // (a typo'd invocation would run the full default campaign and exit 0);
+  // now anything unrecognized is a usage error.
+  std::vector<std::string> positional = flags.positional();
+  if (!positional.empty() && positional.front() == "merge") {
+    positional.erase(positional.begin());
+    return run_merge(flags, positional);
   }
-
-  if (flags.has("seeds")) {
-    if (!campaign::parse_seeds(flags.get("seeds", ""), &spec.seeds, &error)) {
-      std::fprintf(stderr, "gt_campaign: --seeds: %s\n", error.c_str());
-      return 2;
-    }
-  } else {
-    spec.seeds = default_seeds();
+  if (!positional.empty() && positional.front() == "run") {
+    positional.erase(positional.begin());
   }
-
-  campaign::RunnerOptions options;
-  options.jobs = static_cast<int>(flags.get_int("jobs", 0));
-  const bool quiet = flags.get_bool("quiet", false);
-  if (!quiet) {
-    options.on_progress = [](const campaign::Progress& p) {
-      std::fprintf(stderr, "[campaign] %zu/%zu jobs done (point %zu, seed #%zu)\n",
-                   p.completed, p.total, p.job->point_index, p.job->seed_index);
-    };
+  if (!positional.empty()) {
+    return fail_usage("unexpected argument",
+                      "'" + positional.front() + "' (see --help)");
   }
-
-  const std::string out_prefix = flags.get("out", "");
-  for (const std::string& flag : flags.unknown()) {
-    std::fprintf(stderr, "gt_campaign: unknown flag --%s (see --help)\n",
-                 flag.c_str());
-    return 2;
-  }
-
-  campaign::CampaignResult result;
-  if (!campaign::run_campaign(spec, options, &result, &error)) {
-    std::fprintf(stderr, "gt_campaign: invalid campaign: %s\n", error.c_str());
-    return 2;
-  }
-
-  TablePrinter table({"point", "runs", "PDR % (±sd)", "delay ms (±sd)",
-                      "loss/min (±sd)", "duty % (±sd)", "qloss/node (±sd)",
-                      "rx/min (±sd)"});
-  auto cell = [](const campaign::SampleStats& s, int precision) {
-    return TablePrinter::num(s.mean, precision) + " ±" +
-           TablePrinter::num(s.stddev, precision);
-  };
-  for (const campaign::PointAggregate& a : result.aggregates) {
-    table.add_row({a.label.empty() ? std::string("base") : a.label,
-                   TablePrinter::num(static_cast<std::int64_t>(a.runs)),
-                   cell(a.pdr_percent, 1), cell(a.avg_delay_ms, 0),
-                   cell(a.loss_per_minute, 1), cell(a.duty_cycle_percent, 2),
-                   cell(a.queue_loss_per_node, 1),
-                   cell(a.throughput_per_minute, 0)});
-  }
-  table.print();
-
-  if (!out_prefix.empty()) {
-    const std::string csv_path = out_prefix + ".csv";
-    const std::string json_path = out_prefix + ".json";
-    if (!campaign::write_csv(csv_path, result.aggregates)) {
-      std::fprintf(stderr, "gt_campaign: failed to write %s\n", csv_path.c_str());
-      return 1;
-    }
-    if (!campaign::write_json(json_path, result.aggregates)) {
-      std::fprintf(stderr, "gt_campaign: failed to write %s\n", json_path.c_str());
-      return 1;
-    }
-    std::fprintf(stderr, "[campaign] wrote %s and %s\n", csv_path.c_str(),
-                 json_path.c_str());
-  }
-  return result.cancelled ? 1 : 0;
+  return run_campaign_command(flags);
 }
