@@ -95,16 +95,6 @@ inline std::vector<PanelRow> run_sweep(const std::vector<SweepPoint>& points,
   return rows;
 }
 
-/// Back-compat convenience: whole sweep, fixed seeds, no journal.
-inline std::vector<PanelRow> run_sweep(const std::vector<SweepPoint>& points,
-                                       const std::vector<std::uint64_t>& seeds,
-                                       int worker_count = 0) {
-  campaign::CampaignOptions options;
-  options.runner.jobs = worker_count;
-  std::string error;
-  return run_sweep(points, seeds, options, "x", nullptr, &error);
-}
-
 inline void print_panels(const char* figure, const char* x_name,
                          const std::vector<PanelRow>& rows) {
   struct Panel {
@@ -165,8 +155,6 @@ inline int run_figure(int argc, char** argv, const char* figure,
   std::string error;
 
   campaign::CampaignOptions options;
-  // 0 = runner default: GTTSCH_JOBS, then hardware concurrency.
-  options.runner.jobs = static_cast<int>(flags.get_int("jobs", 0));
   std::vector<std::uint64_t> seeds = default_seeds();
   if (flags.has("seeds")) {
     if (!campaign::parse_seeds(flags.get("seeds", ""), &seeds, &error)) {

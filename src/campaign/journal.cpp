@@ -4,7 +4,6 @@
 #include <cstdlib>
 #include <filesystem>
 #include <map>
-#include <set>
 
 namespace gttsch::campaign {
 namespace {
@@ -257,7 +256,8 @@ bool parse_coords(Cursor& cur,
 std::string render_journal_line(const JournalRecord& r) {
   std::string out = "{\"point_index\": " + std::to_string(r.point_index) +
                     ", \"seed_index\": " + std::to_string(r.seed_index) +
-                    ", \"seed\": " + std::to_string(r.seed) + ", \"label\": \"" +
+                    ", \"seed\": " + std::to_string(r.seed) + ", \"campaign_fp\": " +
+                    std::to_string(r.campaign_fp) + ", \"label\": \"" +
                     escape(r.label) + "\", \"coords\": {";
   for (std::size_t i = 0; i < r.coords.size(); ++i) {
     if (i > 0) out += ", ";
@@ -306,6 +306,7 @@ bool parse_journal_line(const std::string& line, JournalRecord* out,
       return true;
     }
     if (key == "seed") return cur.parse_u64(&out->seed);
+    if (key == "campaign_fp") return cur.parse_u64(&out->campaign_fp);
     if (key == "label") return cur.parse_string(&out->label);
     if (key == "coords") return parse_coords(cur, &out->coords);
     if (key == "fully_formed") return cur.parse_bool(&out->result.fully_formed);
@@ -325,28 +326,37 @@ namespace {
 /// Drops a trailing partial line — the artifact of a crash mid-append —
 /// so resumed appends start on a fresh line. Without this, the first new
 /// record would glue onto the partial line, turning a tolerated
-/// truncated *last* line into a fatal malformed *middle* line.
-void trim_partial_tail(const std::string& path) {
+/// truncated *last* line into a fatal malformed *middle* line. Returns
+/// false when the journal could not be inspected or truncated; appending
+/// after a failed trim would cause exactly that corruption.
+bool trim_partial_tail(const std::string& path) {
   std::error_code ec;
   const std::uintmax_t size = std::filesystem::file_size(path, ec);
-  if (ec || size == 0) return;
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return;
+  if (ec || size == 0) return true;  // missing/empty journal: nothing to trim
   std::uintmax_t keep = size;  // bytes up to and including the last '\n'
-  while (keep > 0) {
-    in.seekg(static_cast<std::streamoff>(keep - 1));
-    char c = 0;
-    if (!in.get(c)) return;
-    if (c == '\n') break;
-    --keep;
-  }
-  if (keep != size) std::filesystem::resize_file(path, keep, ec);
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    while (keep > 0) {
+      in.seekg(static_cast<std::streamoff>(keep - 1));
+      char c = 0;
+      if (!in.get(c)) return false;
+      if (c == '\n') break;
+      --keep;
+    }
+  }  // close the read handle: an open one can block resize_file (Windows)
+  if (keep == size) return true;
+  std::filesystem::resize_file(path, keep, ec);
+  return !ec;
 }
 
 }  // namespace
 
 JournalWriter::JournalWriter(const std::string& path, bool append_mode) {
-  if (append_mode) trim_partial_tail(path);
+  if (append_mode && !trim_partial_tail(path)) {
+    out_.setstate(std::ios::failbit);  // surfaced via ok(), like an open failure
+    return;
+  }
   out_.open(path, append_mode ? std::ios::app : std::ios::trunc);
 }
 
@@ -365,7 +375,7 @@ bool read_journal(const std::string& path, std::vector<JournalRecord>* out,
   std::ifstream in(path);
   if (!in) return fail(error, "cannot open journal '" + path + "'");
 
-  std::set<std::pair<std::size_t, std::size_t>> seen;
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> seen;  // key -> out index
   std::string line;
   std::string pending_error;
   bool pending_bad_line = false;
@@ -385,8 +395,27 @@ bool read_journal(const std::string& path, std::vector<JournalRecord>* out,
       pending_bad_line = true;  // tolerated iff it turns out to be the last line
       continue;
     }
-    if (seen.emplace(record.point_index, record.seed_index).second) {
+    const auto [it, inserted] =
+        seen.emplace(std::make_pair(record.point_index, record.seed_index),
+                     out->size());
+    if (inserted) {
       out->push_back(std::move(record));
+      continue;
+    }
+    // Duplicate key: tolerable only when it is the *same* job (overlapping
+    // resumed journals). A different seed/label under the same key is two
+    // campaigns concatenated into one file — dropping one silently would
+    // bypass the mixed-campaign rejection that aggregate_records enforces
+    // for separate files.
+    const JournalRecord& kept = (*out)[it->second];
+    if (record.seed != kept.seed || record.label != kept.label ||
+        record.coords != kept.coords ||
+        (record.campaign_fp != 0 && kept.campaign_fp != 0 &&
+         record.campaign_fp != kept.campaign_fp)) {
+      return fail(error, "journal disagrees with itself about point " +
+                             std::to_string(record.point_index) + " seed #" +
+                             std::to_string(record.seed_index) +
+                             " (two campaigns concatenated?)");
     }
   }
   return true;
@@ -403,7 +432,22 @@ bool aggregate_records(const std::vector<JournalRecord>& records,
     std::map<std::size_t, std::uint64_t> seed_by_index;
   };
   std::map<std::size_t, PointData> by_point;
+  // One fingerprint across ALL records, not per point: two campaigns that
+  // differ only in the base config (e.g. --set nodes_per_dodag) produce
+  // identical labels/coords, and sharded journals never collide on a
+  // point, so a per-point or per-key check would not catch the mix.
+  std::uint64_t campaign_fp = 0;
   for (const JournalRecord& r : records) {
+    if (r.campaign_fp != 0) {
+      if (campaign_fp == 0) {
+        campaign_fp = r.campaign_fp;
+      } else if (r.campaign_fp != campaign_fp) {
+        return fail(error,
+                    "journals come from different campaigns (base "
+                    "configuration or seed list differs) and must not be "
+                    "merged");
+      }
+    }
     PointData& data = by_point[r.point_index];
     if (data.seed_by_index.empty()) {
       data.label = r.label;

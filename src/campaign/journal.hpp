@@ -28,6 +28,11 @@ struct JournalRecord {
   std::size_t point_index = 0;
   std::size_t seed_index = 0;
   std::uint64_t seed = 0;
+  /// campaign_fingerprint() of the writing campaign: lets merge/resume
+  /// reject journals whose campaigns differ *outside* the swept axes
+  /// (e.g. a different --set base config), which label/coords cannot
+  /// see. 0 = written before fingerprinting (checks are skipped).
+  std::uint64_t campaign_fp = 0;
   std::string label;  ///< grid-point label, for merge output and sanity checks
   std::vector<std::pair<std::string, std::string>> coords;
   ExperimentResult result;
@@ -46,8 +51,10 @@ bool parse_journal_line(const std::string& line, JournalRecord* out,
 /// Appends records to a JSONL journal, one flushed line per append.
 class JournalWriter {
  public:
-  /// `append_mode` keeps existing records (resume); otherwise the file is
-  /// truncated. An unopenable path leaves ok() false.
+  /// `append_mode` keeps existing records (resume) after trimming any
+  /// crash-truncated partial last line; otherwise the file is truncated.
+  /// An unopenable path — or a partial line that cannot be trimmed away —
+  /// leaves ok() false.
   JournalWriter(const std::string& path, bool append_mode);
 
   bool append(const JournalRecord& record);
@@ -60,7 +67,9 @@ class JournalWriter {
 /// Reads a journal written by JournalWriter. A truncated or malformed
 /// *final* line (the crash case) is dropped silently; a malformed line
 /// followed by further records is a hard error, as is an unreadable
-/// file. Exact duplicate keys keep the first record.
+/// file. Exact duplicate keys keep the first record; a duplicate key
+/// with a different seed/label/coords — the signature of two campaigns'
+/// journals concatenated into one file — is a hard error.
 bool read_journal(const std::string& path, std::vector<JournalRecord>* out,
                   std::string* error);
 

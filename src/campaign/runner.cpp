@@ -29,13 +29,37 @@ bool fail(std::string* error, const std::string& message) {
   return false;
 }
 
+/// Parses a count-valued flag with validation, leaving `*out` untouched
+/// when the flag is absent. Digits only and capped, so `--max-seeds -1`
+/// is a usage error instead of wrapping to ~2^64 (which would send
+/// extend_seeds toward an endless loop / OOM), and `--max-seeds abc` is
+/// a usage error instead of silently parsing as 0. The cap is low enough
+/// that the per-seed bookkeeping it authorizes (the extended seed list,
+/// one byte per (point, seed)) stays affordable, not just representable.
+bool parse_count_flag(const Flags& flags, const char* name, std::size_t* out,
+                      std::string* error) {
+  if (!flags.has(name)) return true;
+  constexpr std::uint64_t kMaxCount = 1'000'000;
+  const std::string v = flags.get(name, "");
+  std::uint64_t parsed = 0;
+  if (!parse_bounded_u64(v, kMaxCount, &parsed)) {
+    return fail(error, std::string("--") + name +
+                           ": expected a non-negative integer no greater than " +
+                           std::to_string(kMaxCount) + ", got '" + v + "'");
+  }
+  *out = static_cast<std::size_t>(parsed);
+  return true;
+}
+
 /// Loads `path` (when resuming) and validates every record against the
 /// campaign: in-range point with the same label, in-range seed index
-/// holding the same seed value. A missing file is an empty journal so
-/// crash-loop scripts can pass --resume unconditionally.
+/// holding the same seed value, matching campaign fingerprint. A missing
+/// file is an empty journal so crash-loop scripts can pass --resume
+/// unconditionally.
 bool load_resume_records(const std::string& path,
                          const std::vector<GridPoint>& points,
                          const std::vector<std::uint64_t>& seeds,
+                         std::uint64_t campaign_fp,
                          std::vector<JournalRecord>* records,
                          CampaignErrorKind* kind, std::string* error) {
   records->clear();
@@ -46,6 +70,14 @@ bool load_resume_records(const std::string& path,
     return false;
   }
   for (const JournalRecord& r : *records) {
+    if (r.campaign_fp != 0 && r.campaign_fp != campaign_fp) {
+      // Labels/coords below only cover the swept axes; the fingerprint
+      // also covers the base config, so a journal from the same grid run
+      // over a different --set (or seed list) is rejected here.
+      return fail(error,
+                  "journal does not match this campaign: it was written "
+                  "with a different base configuration or seed list");
+    }
     if (r.point_index >= points.size()) {
       return fail(error, "journal record for point " + std::to_string(r.point_index) +
                              " is out of range (grid has " +
@@ -69,21 +101,26 @@ bool load_resume_records(const std::string& path,
 
 /// Wraps the user's progress callback so every completed job is appended
 /// to the journal first. on_progress is serialized by the Runner, so the
-/// writer needs no extra locking.
+/// writer needs no extra locking. `runner` is filled in by the caller
+/// after construction; a failed append cancels it, because finishing a
+/// long campaign whose results can no longer be saved only burns compute
+/// — cancelling keeps the journaled prefix resumable.
 RunnerOptions with_journal(const RunnerOptions& base, JournalWriter* writer,
-                           const std::vector<GridPoint>& points) {
+                           const std::vector<GridPoint>& points,
+                           std::uint64_t campaign_fp, Runner** runner) {
   if (writer == nullptr) return base;
   RunnerOptions wrapped = base;
   const auto user = base.on_progress;
-  wrapped.on_progress = [writer, &points, user](const Progress& p) {
+  wrapped.on_progress = [writer, &points, campaign_fp, runner, user](const Progress& p) {
     JournalRecord record;
     record.point_index = p.job->point_index;
     record.seed_index = p.job->seed_index;
     record.seed = p.job->config.seed;
+    record.campaign_fp = campaign_fp;
     record.label = points[p.job->point_index].label;
     record.coords = points[p.job->point_index].coords;
     record.result = *p.result;
-    writer->append(record);
+    if (!writer->append(record) && *runner != nullptr) (*runner)->cancel();
     if (user) user(p);
   };
   return wrapped;
@@ -132,15 +169,15 @@ bool check_journal_health(const std::optional<JournalWriter>& writer,
 /// other shards, minus jobs already in the resume journal.
 bool run_fixed(const std::vector<GridPoint>& points,
                const std::vector<std::uint64_t>& seeds,
-               const CampaignOptions& options, CampaignResult* out,
-               std::string* error) {
+               std::uint64_t campaign_fp, const CampaignOptions& options,
+               CampaignResult* out, std::string* error) {
   const std::vector<Job> all_jobs = make_jobs(points, seeds);
   const std::vector<Job> my_jobs = shard_jobs(all_jobs, options.shard);
 
   std::vector<JournalRecord> prior;
   if (options.resume &&
-      !load_resume_records(options.journal_path, points, seeds, &prior,
-                           &out->error_kind, error)) {
+      !load_resume_records(options.journal_path, points, seeds, campaign_fp,
+                           &prior, &out->error_kind, error)) {
     return false;
   }
   std::set<std::pair<std::size_t, std::size_t>> done;
@@ -155,7 +192,10 @@ bool run_fixed(const std::vector<GridPoint>& points,
   std::optional<JournalWriter> writer;
   if (!open_journal(options, writer, out, error)) return false;
 
-  Runner runner(with_journal(options.runner, writer ? &*writer : nullptr, points));
+  Runner* runner_ptr = nullptr;
+  Runner runner(with_journal(options.runner, writer ? &*writer : nullptr, points,
+                             campaign_fp, &runner_ptr));
+  runner_ptr = &runner;
   const Runner::Result run = runner.run(pending);
 
   std::vector<PointAccumulator> accumulators(points.size());
@@ -180,8 +220,8 @@ bool run_fixed(const std::vector<GridPoint>& points,
 /// final seed count is data-dependent.
 bool run_adaptive(const std::vector<GridPoint>& points,
                   const std::vector<std::uint64_t>& base_seeds,
-                  const CampaignOptions& options, CampaignResult* out,
-                  std::string* error) {
+                  std::uint64_t campaign_fp, const CampaignOptions& options,
+                  CampaignResult* out, std::string* error) {
   const AdaptiveOptions& ad = options.adaptive;
   SampleStats PointAggregate::*metric = metric_by_name(ad.metric);
   if (metric == nullptr) {
@@ -196,11 +236,13 @@ bool run_adaptive(const std::vector<GridPoint>& points,
   const std::vector<std::uint64_t> seeds = extend_seeds(base_seeds, max_seeds);
 
   const std::vector<GridPoint> my_points = shard_points(points, options.shard);
+  std::vector<std::uint8_t> in_shard(points.size(), 0);
+  for (const GridPoint& point : my_points) in_shard[point.index] = 1;
 
   std::vector<JournalRecord> prior;
   if (options.resume &&
-      !load_resume_records(options.journal_path, points, seeds, &prior,
-                           &out->error_kind, error)) {
+      !load_resume_records(options.journal_path, points, seeds, campaign_fp,
+                           &prior, &out->error_kind, error)) {
     return false;
   }
   std::vector<std::vector<std::uint8_t>> done(
@@ -208,15 +250,32 @@ bool run_adaptive(const std::vector<GridPoint>& points,
   std::vector<PointAccumulator> accumulators(points.size());
   out->jobs_skipped = 0;
   for (const JournalRecord& r : prior) {
+    if (r.seed_index >= max_seeds) {
+      // load_resume_records checks against the *extended* seed list, which
+      // keeps every base seed even when max_seeds is smaller — but the
+      // bookkeeping rows below are only max_seeds wide, so a journal from a
+      // run with a larger seed budget must be rejected, not indexed.
+      return fail(error, "journal seed #" + std::to_string(r.seed_index) +
+                             " for point " + std::to_string(r.point_index) +
+                             " exceeds the adaptive seed cap of " +
+                             std::to_string(max_seeds) +
+                             "; rerun with a larger --max-seeds or without "
+                             "adaptive seeding");
+    }
     done[r.point_index][r.seed_index] = 1;
     accumulators[r.point_index].add(r.seed_index, r.result);
-    ++out->jobs_skipped;
+    // Match fixed mode: report only this shard's jobs as skipped, even
+    // when the journal also carries other shards' records.
+    if (in_shard[r.point_index]) ++out->jobs_skipped;
   }
 
   std::optional<JournalWriter> writer;
   if (!open_journal(options, writer, out, error)) return false;
 
-  Runner runner(with_journal(options.runner, writer ? &*writer : nullptr, points));
+  Runner* runner_ptr = nullptr;
+  Runner runner(with_journal(options.runner, writer ? &*writer : nullptr, points,
+                             campaign_fp, &runner_ptr));
+  runner_ptr = &runner;
 
   std::vector<std::uint8_t> settled(points.size(), 0);
   auto converged = [&](std::size_t point_index) {
@@ -341,9 +400,10 @@ bool run_points_campaign(const std::vector<GridPoint>& points,
   if (options.resume && options.journal_path.empty()) {
     return fail(error, "resume requested without a journal path");
   }
+  const std::uint64_t campaign_fp = campaign_fingerprint(points, seeds);
   return options.adaptive.enabled()
-             ? run_adaptive(points, seeds, options, out, error)
-             : run_fixed(points, seeds, options, out, error);
+             ? run_adaptive(points, seeds, campaign_fp, options, out, error)
+             : run_fixed(points, seeds, campaign_fp, options, out, error);
 }
 
 bool run_campaign(const CampaignSpec& spec, const CampaignOptions& options,
@@ -362,11 +422,21 @@ bool run_campaign(const CampaignSpec& spec, const RunnerOptions& options,
 
 bool parse_campaign_flags(const Flags& flags, CampaignOptions* options,
                           std::string* error) {
+  std::size_t jobs = 0;
+  if (!parse_count_flag(flags, "jobs", &jobs, error)) return false;
+  if (flags.has("jobs")) options->runner.jobs = static_cast<int>(jobs);
   if (flags.has("shard") &&
       !parse_shard(flags.get("shard", ""), &options->shard, error)) {
     return false;
   }
-  options->journal_path = flags.get("journal", "");
+  if (flags.has("journal")) {
+    const std::string journal_path = flags.get("journal", "");
+    // A bare `--journal` parses as the value "true"; require a real path.
+    if (journal_path.empty() || journal_path == "true") {
+      return fail(error, "--journal: expected a journal path");
+    }
+    options->journal_path = journal_path;
+  }
   if (flags.has("resume")) {
     const std::string resume_path = flags.get("resume", "");
     // A bare `--resume` parses as the value "true"; require a real path.
@@ -394,11 +464,11 @@ bool parse_campaign_flags(const Flags& flags, CampaignOptions* options,
                              " only takes effect with --ci-rel (adaptive seeding)");
     }
   }
-  adaptive.max_seeds = static_cast<std::size_t>(flags.get_int("max-seeds", 0));
-  adaptive.min_seeds = static_cast<std::size_t>(
-      flags.get_int("min-seeds", static_cast<std::int64_t>(adaptive.min_seeds)));
-  adaptive.batch = static_cast<std::size_t>(
-      flags.get_int("batch", static_cast<std::int64_t>(adaptive.batch)));
+  if (!parse_count_flag(flags, "max-seeds", &adaptive.max_seeds, error) ||
+      !parse_count_flag(flags, "min-seeds", &adaptive.min_seeds, error) ||
+      !parse_count_flag(flags, "batch", &adaptive.batch, error)) {
+    return false;
+  }
   adaptive.metric = flags.get("metric", adaptive.metric);
   if (metric_by_name(adaptive.metric) == nullptr) {
     return fail(error, "--metric: unknown metric '" + adaptive.metric +

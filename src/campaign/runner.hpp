@@ -131,10 +131,13 @@ bool run_campaign(const CampaignSpec& spec, const RunnerOptions& options,
 
 /// Shared command-line surface for the scale-out options — used by both
 /// gt_campaign and the figure benches so the flag grammar cannot drift:
-///   --shard i/N, --journal PATH, --resume PATH (conflicts with an
-///   unequal --journal), --ci-rel FRAC, and the adaptive-only flags
+///   --jobs N, --shard i/N, --journal PATH, --resume PATH (conflicts with
+///   an unequal --journal), --ci-rel FRAC, and the adaptive-only flags
 ///   --max-seeds/--min-seeds/--batch/--metric, which error out loudly
 ///   when given without --ci-rel (they would otherwise be silent no-ops).
+/// Count-valued flags are validated (digits only, bounded): a negative,
+/// non-numeric, or bare path-less value is a usage error, never a silent
+/// wraparound or a journal literally named "true".
 bool parse_campaign_flags(const Flags& flags, CampaignOptions* options,
                           std::string* error);
 

@@ -9,14 +9,9 @@ bool fail(std::string* error, const std::string& message) {
 }
 
 bool parse_size(const std::string& text, std::size_t* out) {
-  if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos) {
-    return false;
-  }
-  *out = 0;
-  for (const char c : text) {
-    *out = *out * 10 + static_cast<std::size_t>(c - '0');
-    if (*out > 1'000'000) return false;  // a million hosts is enough
-  }
+  std::uint64_t v = 0;
+  if (!parse_bounded_u64(text, 1'000'000, &v)) return false;  // 1M hosts is enough
+  *out = static_cast<std::size_t>(v);
   return true;
 }
 

@@ -1,6 +1,7 @@
 #include "campaign/spec.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <set>
@@ -14,19 +15,6 @@ bool parse_double(const std::string& text, double* out) {
   const double v = std::strtod(text.c_str(), &end);
   if (end != text.c_str() + text.size()) return false;
   *out = v;
-  return true;
-}
-
-bool parse_u64(const std::string& text, std::uint64_t* out) {
-  // strtoull accepts leading whitespace and '-' (wrapping around); a seed
-  // must be plain digits.
-  if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos) {
-    return false;
-  }
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
-  if (end != text.c_str() + text.size()) return false;
-  *out = static_cast<std::uint64_t>(v);
   return true;
 }
 
@@ -321,13 +309,29 @@ bool parse_grid(const std::string& text, std::vector<Axis>* axes,
   return true;
 }
 
+bool parse_bounded_u64(const std::string& text, std::uint64_t max,
+                       std::uint64_t* out) {
+  // strtoull accepts leading whitespace and '-' (wrapping around); require
+  // plain digits. Overflow clamps to ULLONG_MAX and sets ERANGE, which
+  // must be rejected even when max == UINT64_MAX.
+  if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno == ERANGE || end != text.c_str() + text.size() || v > max) return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
 bool parse_seeds(const std::string& text, std::vector<std::uint64_t>* seeds,
                  std::string* error) {
   seeds->clear();
   for (const std::string& part : split(text, ',')) {
     if (part.empty()) continue;
-    std::uint64_t seed = 0;
-    if (!parse_u64(part, &seed)) {
+    std::uint64_t seed = 0;  // seeds use the full 64-bit range (splitmix64)
+    if (!parse_bounded_u64(part, UINT64_MAX, &seed)) {
       return fail(error, "seed '" + part + "' is not an unsigned integer");
     }
     if (std::find(seeds->begin(), seeds->end(), seed) != seeds->end()) {
@@ -353,6 +357,82 @@ std::vector<std::uint64_t> extend_seeds(std::vector<std::uint64_t> seeds,
     if (used.insert(z).second) seeds.push_back(z);
   }
   return seeds;
+}
+
+namespace {
+
+/// Incremental 64-bit FNV-1a.
+class Fingerprint {
+ public:
+  void mix(const std::string& s) {
+    for (const char c : s) mix_byte(static_cast<unsigned char>(c));
+    mix_byte(0xff);  // separator: {"ab","c"} must differ from {"a","bc"}
+  }
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<unsigned char>(v >> (8 * i)));
+  }
+  void mix(double v) {
+    // %.17g round-trips the exact IEEE-754 value (same convention as the
+    // journal), so the fingerprint is stable across hosts and rebuilds.
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    mix(std::string(buf));
+  }
+  std::uint64_t value() const { return hash_ == 0 ? 1 : hash_; }
+
+ private:
+  void mix_byte(unsigned char b) {
+    hash_ = (hash_ ^ b) * 1099511628211ull;
+  }
+  std::uint64_t hash_ = 14695981039346656037ull;
+};
+
+/// Every ScenarioConfig field except `seed` (per-job, journaled
+/// separately), in declaration order. The static_assert below fires when
+/// a field is added or resized: extend this list before adjusting it.
+void mix_config(Fingerprint& fp, const ScenarioConfig& c) {
+  fp.mix(static_cast<std::uint64_t>(c.scheduler));
+  fp.mix(static_cast<std::uint64_t>(c.dodag_count));
+  fp.mix(static_cast<std::uint64_t>(c.nodes_per_dodag));
+  fp.mix(c.hop_distance);
+  fp.mix(c.radio_range);
+  fp.mix(c.interference_factor);
+  fp.mix(c.link_prr);
+  fp.mix(c.traffic_ppm);
+  fp.mix(static_cast<std::uint64_t>(c.gt_slotframe_length));
+  fp.mix(static_cast<std::uint64_t>(c.orchestra_unicast_length));
+  fp.mix(static_cast<std::uint64_t>(c.orchestra_channel_hash));
+  fp.mix(static_cast<std::uint64_t>(c.queue_capacity));
+  fp.mix(c.alpha);
+  fp.mix(c.beta);
+  fp.mix(c.gamma);
+  fp.mix(static_cast<std::uint64_t>(c.enforce_tx_margin));
+  fp.mix(static_cast<std::uint64_t>(c.enforce_interleave));
+  fp.mix(static_cast<std::uint64_t>(c.warmup));
+  fp.mix(static_cast<std::uint64_t>(c.measure));
+  fp.mix(static_cast<std::uint64_t>(c.drain));
+}
+#if defined(__x86_64__) || defined(__aarch64__)
+static_assert(sizeof(ScenarioConfig) == 136,
+              "ScenarioConfig changed: add the new field to mix_config, then "
+              "update this size");
+#endif
+
+}  // namespace
+
+std::uint64_t campaign_fingerprint(const std::vector<GridPoint>& points,
+                                   const std::vector<std::uint64_t>& seeds) {
+  Fingerprint fp;
+  for (const GridPoint& point : points) {
+    fp.mix(point.label);
+    for (const auto& [key, value] : point.coords) {
+      fp.mix(key);
+      fp.mix(value);
+    }
+    mix_config(fp, point.config);
+  }
+  for (const std::uint64_t seed : seeds) fp.mix(seed);
+  return fp.value();
 }
 
 }  // namespace gttsch::campaign

@@ -79,6 +79,13 @@ bool parse_grid(const std::string& text, std::vector<Axis>* axes,
 bool parse_seeds(const std::string& text, std::vector<std::uint64_t>* seeds,
                  std::string* error);
 
+/// Parses a plain-digits non-negative integer: no sign, no whitespace, no
+/// wraparound, rejected when above `max`. The one grammar behind seed
+/// lists, shard specs, and count-valued campaign flags — shared so the
+/// three cannot drift.
+bool parse_bounded_u64(const std::string& text, std::uint64_t max,
+                       std::uint64_t* out);
+
 /// Deterministically extends `seeds` to `count` entries (no-op when it is
 /// already long enough): adaptive campaigns may need more seeds than the
 /// base list, and every shard / resumed process must derive the *same*
@@ -86,5 +93,17 @@ bool parse_seeds(const std::string& text, std::vector<std::uint64_t>* seeds,
 /// skipping collisions with earlier entries.
 std::vector<std::uint64_t> extend_seeds(std::vector<std::uint64_t> seeds,
                                         std::size_t count);
+
+/// Order-sensitive FNV-1a fingerprint of a fully resolved campaign
+/// identity: every grid point's label, coords, and config (seed excluded,
+/// doubles at %.17g) plus the base seed list. Every shard and every
+/// resumed process of the same campaign computes the same value from the
+/// same (points, seeds), whatever subset of jobs it runs — so journal
+/// records stamped with it can be rejected when they come from a campaign
+/// that differs *outside* the swept axes (e.g. a different --set base
+/// config), which labels and coords alone cannot see. Never returns 0;
+/// 0 is reserved for "record predates fingerprinting".
+std::uint64_t campaign_fingerprint(const std::vector<GridPoint>& points,
+                                   const std::vector<std::uint64_t>& seeds);
 
 }  // namespace gttsch::campaign

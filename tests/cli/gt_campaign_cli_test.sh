@@ -60,8 +60,16 @@ expect_exit 2 "unknown flag" --frobnicate 1
 expect_exit 2 "merge without journals" merge
 expect_exit 2 "merge with missing journal" merge "$TMP/nope.jsonl"
 expect_exit 2 "resume without path" --resume
+expect_exit 2 "journal without path" --journal
+expect_stderr "journal path" "journal without path"
 expect_exit 2 "adaptive flag without --ci-rel" --max-seeds 50
 expect_stderr "ci-rel" "adaptive flag without --ci-rel"
+expect_exit 2 "negative max-seeds" --ci-rel 0.1 --max-seeds -1
+expect_stderr "max-seeds" "negative max-seeds"
+expect_exit 2 "non-numeric min-seeds" --ci-rel 0.1 --min-seeds abc
+expect_stderr "min-seeds" "non-numeric min-seeds"
+expect_exit 2 "non-numeric jobs" --jobs many
+expect_stderr "jobs" "non-numeric jobs"
 
 # Runtime I/O failures are exit 1, not the usage code 2.
 expect_exit 1 "unwritable journal" --grid traffic_ppm=30 --seeds 1 --quiet \
@@ -86,7 +94,19 @@ expect_exit 0 "journal A" --grid traffic_ppm=30 --seeds 1 --quiet \
 expect_exit 0 "journal B" --grid traffic_ppm=120 --seeds 2 --quiet \
     --set "$SET" --journal "$TMP/jb.jsonl"
 expect_exit 2 "merge of mixed campaigns" merge "$TMP/ja.jsonl" "$TMP/jb.jsonl"
-expect_stderr "disagree" "merge of mixed campaigns"
+expect_stderr "different campaigns" "merge of mixed campaigns"
+# ... and concatenating them into ONE file must not sneak past that check.
+cat "$TMP/ja.jsonl" "$TMP/jb.jsonl" > "$TMP/jab.jsonl"
+expect_exit 2 "merge of concatenated mixed campaigns" merge "$TMP/jab.jsonl"
+expect_stderr "disagree" "merge of concatenated mixed campaigns"
+
+# Same grid + seeds over a different --set base config: labels and seeds
+# agree, so only the campaign fingerprint tells the journals apart.
+expect_exit 0 "journal C (different base)" --grid traffic_ppm=30 --seeds 1 --quiet \
+    --set "dodag_count=1;nodes_per_dodag=5;warmup_s=30;measure_s=30" \
+    --journal "$TMP/jc.jsonl"
+expect_exit 2 "merge of different base configs" merge "$TMP/ja.jsonl" "$TMP/jc.jsonl"
+expect_stderr "different campaigns" "merge of different base configs"
 
 # Resume finds every job in the journal and re-runs nothing (instant).
 expect_exit 0 "full-journal resume" $COMMON --set "$SET" --resume "$TMP/s0.jsonl" --shard 0/2

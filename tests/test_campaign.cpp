@@ -183,6 +183,27 @@ TEST(CampaignSpec, ParsesGridAndSeedStrings) {
   EXPECT_FALSE(campaign::parse_seeds("1,2,1", &seeds, &error));
 }
 
+TEST(CampaignSpec, FingerprintSeesBaseConfigAndSeedChanges) {
+  const CampaignSpec spec = tiny_spec();
+  std::string error;
+  const auto points = campaign::expand_grid(spec, &error);
+  ASSERT_FALSE(points.empty()) << error;
+  const std::uint64_t fp = campaign::campaign_fingerprint(points, spec.seeds);
+  EXPECT_NE(fp, 0u);
+  EXPECT_EQ(fp, campaign::campaign_fingerprint(points, spec.seeds));  // stable
+
+  // A base-config change outside the swept axes leaves every label/coord
+  // identical; the fingerprint is the only thing that can tell them apart.
+  CampaignSpec other = tiny_spec();
+  other.base.nodes_per_dodag += 1;
+  const auto other_points = campaign::expand_grid(other, &error);
+  ASSERT_EQ(other_points.size(), points.size());
+  EXPECT_EQ(other_points[0].label, points[0].label);
+  EXPECT_NE(campaign::campaign_fingerprint(other_points, other.seeds), fp);
+
+  EXPECT_NE(campaign::campaign_fingerprint(points, {9, 8, 7}), fp);
+}
+
 // ------------------------------------------------------------- aggregate --
 
 TEST(CampaignAggregate, SummarizeMatchesHandComputation) {
@@ -578,6 +599,54 @@ TEST(CampaignResume, RejectsJournalFromADifferentCampaign) {
   EXPECT_FALSE(campaign::run_campaign(spec, no_path, &mismatched, &error));
 }
 
+TEST(CampaignResume, RejectsJournalFromDifferentBaseConfig) {
+  // Same grid, same seeds, different --set base: every label and seed the
+  // journal validation compares agrees, so only the campaign fingerprint
+  // stops results from a different network being silently reused.
+  const CampaignSpec spec = tiny_spec();
+  const std::string journal = test_file("resume_base_mismatch.jsonl");
+  std::filesystem::remove(journal);
+  std::string error;
+
+  campaign::CampaignOptions options;
+  options.runner.jobs = 1;
+  options.runner.run_fn = synthetic_run;
+  options.journal_path = journal;
+  campaign::CampaignResult result;
+  ASSERT_TRUE(campaign::run_campaign(spec, options, &result, &error)) << error;
+
+  CampaignSpec other = tiny_spec();
+  other.base.nodes_per_dodag += 1;
+  options.resume = true;
+  campaign::CampaignResult mismatched;
+  EXPECT_FALSE(campaign::run_campaign(other, options, &mismatched, &error));
+  EXPECT_NE(error.find("base configuration"), std::string::npos) << error;
+}
+
+TEST(CampaignRunner, DeadJournalCancelsInsteadOfBurningTheCampaign) {
+  // If the journal dies mid-run (disk full), finishing the remaining jobs
+  // only burns compute on results that can no longer be saved: the first
+  // failed append must cancel the run, keeping the journaled prefix
+  // resumable. /dev/full accepts the open and fails every flush.
+  if (!std::filesystem::exists("/dev/full")) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  const CampaignSpec spec = tiny_spec();  // 12 jobs
+  std::atomic<int> invocations{0};
+  campaign::CampaignOptions options;
+  options.runner.jobs = 1;  // serial: the cancellation point is deterministic
+  options.runner.run_fn = [&invocations](const ScenarioConfig& c) {
+    ++invocations;
+    return synthetic_run(c);
+  };
+  options.journal_path = "/dev/full";
+  campaign::CampaignResult result;
+  std::string error;
+  EXPECT_FALSE(campaign::run_campaign(spec, options, &result, &error));
+  EXPECT_EQ(result.error_kind, campaign::CampaignErrorKind::kIo);
+  EXPECT_EQ(invocations.load(), 1);  // stopped after the first failed append
+}
+
 // -------------------------------------------------------------- adaptive --
 
 TEST(CampaignAdaptive, TightPointStopsEarlyAndNoisyPointHitsCap) {
@@ -623,6 +692,42 @@ TEST(CampaignAdaptive, TightPointStopsEarlyAndNoisyPointHitsCap) {
   EXPECT_NE(error.find("warp_speed"), std::string::npos);
 }
 
+TEST(CampaignAdaptive, RejectsResumeJournalSeedsBeyondMaxSeeds) {
+  // A fixed-seed run journals 5 seeds per point; resuming that journal
+  // adaptively with --max-seeds 3 leaves seed #3/#4 no slot in the
+  // adaptive bookkeeping. That must be a loud mismatch error — writing
+  // them through would index past the per-point `done` rows (heap OOB).
+  CampaignSpec spec;
+  spec.base = tiny();
+  spec.axes = {{"traffic_ppm", {"30"}}};
+  spec.seeds = {1, 2, 3, 4, 5};
+
+  const std::string journal = test_file("adaptive_cap.jsonl");
+  std::filesystem::remove(journal);
+  std::string error;
+
+  campaign::CampaignOptions fixed;
+  fixed.runner.jobs = 1;
+  fixed.runner.run_fn = synthetic_run;
+  fixed.journal_path = journal;
+  campaign::CampaignResult first;
+  ASSERT_TRUE(campaign::run_campaign(spec, fixed, &first, &error)) << error;
+  EXPECT_EQ(first.jobs_run, 5u);
+
+  campaign::CampaignOptions adaptive = fixed;
+  adaptive.resume = true;
+  adaptive.adaptive.ci_rel = 0.2;
+  adaptive.adaptive.max_seeds = 3;
+  campaign::CampaignResult resumed;
+  EXPECT_FALSE(campaign::run_campaign(spec, adaptive, &resumed, &error));
+  EXPECT_NE(error.find("seed cap"), std::string::npos) << error;
+
+  // With a cap that covers the journal, the same resume is satisfied.
+  adaptive.adaptive.max_seeds = 5;
+  ASSERT_TRUE(campaign::run_campaign(spec, adaptive, &resumed, &error)) << error;
+  EXPECT_EQ(resumed.jobs_skipped, 5u);
+}
+
 TEST(CampaignAdaptive, ResumedAdaptiveCampaignRunsNothingWhenConverged) {
   CampaignSpec spec;
   spec.base = tiny();
@@ -656,6 +761,114 @@ TEST(CampaignAdaptive, ResumedAdaptiveCampaignRunsNothingWhenConverged) {
   ASSERT_TRUE(campaign::run_campaign(spec, options, &resumed, &error)) << error;
   EXPECT_EQ(invocations.load(), 0);  // already converged; journal satisfies it
   EXPECT_EQ(resumed.aggregates[0].runs, 3);
+}
+
+TEST(CampaignAdaptive, ShardedResumeCountsOnlyThisShardsSkippedJobs) {
+  // jobs_skipped feeds the "[campaign] resumed: N jobs from journal" line
+  // that scripts (and the CI smoke job) grep; like fixed mode, it must
+  // count only this shard's jobs even when the journal carries other
+  // shards' records (e.g. a shared filesystem journal).
+  CampaignSpec spec;
+  spec.base = tiny();
+  spec.axes = {{"traffic_ppm", {"30", "120"}}};
+  spec.seeds = {1, 2, 3};
+
+  const std::string journal = test_file("adaptive_shard_resume.jsonl");
+  std::filesystem::remove(journal);
+  std::string error;
+
+  std::atomic<int> invocations{0};
+  campaign::CampaignOptions options;
+  options.runner.jobs = 1;
+  options.runner.run_fn = [&invocations](const ScenarioConfig& c) {
+    ++invocations;
+    ExperimentResult r = synthetic_run(c);
+    r.metrics.pdr_percent = 90.0;  // zero variance: stop at min_seeds
+    return r;
+  };
+  options.adaptive.ci_rel = 0.2;
+  options.adaptive.max_seeds = 10;
+  options.journal_path = journal;
+
+  // Unsharded pass journals min_seeds = 3 records for each of the 2 points.
+  campaign::CampaignResult first;
+  ASSERT_TRUE(campaign::run_campaign(spec, options, &first, &error)) << error;
+  EXPECT_EQ(invocations.load(), 6);
+
+  invocations = 0;
+  options.resume = true;
+  options.shard = {0, 2};
+  campaign::CampaignResult resumed;
+  ASSERT_TRUE(campaign::run_campaign(spec, options, &resumed, &error)) << error;
+  EXPECT_EQ(invocations.load(), 0);
+  EXPECT_EQ(resumed.jobs_skipped, 3u);  // this shard's point only, not all 6
+}
+
+// ----------------------------------------------------------------- flags --
+
+bool parse_flags(std::vector<const char*> args, campaign::CampaignOptions* options,
+                 std::string* error) {
+  args.insert(args.begin(), "prog");
+  Flags flags(static_cast<int>(args.size()), const_cast<char**>(args.data()));
+  return campaign::parse_campaign_flags(flags, options, error);
+}
+
+TEST(CampaignFlags, ValidatesCountFlags) {
+  campaign::CampaignOptions options;
+  std::string error;
+  ASSERT_TRUE(parse_flags({"--jobs=3", "--ci-rel=0.1", "--max-seeds=50",
+                           "--min-seeds=5", "--batch=4"},
+                          &options, &error))
+      << error;
+  EXPECT_EQ(options.runner.jobs, 3);
+  EXPECT_EQ(options.adaptive.max_seeds, 50u);
+  EXPECT_EQ(options.adaptive.min_seeds, 5u);
+  EXPECT_EQ(options.adaptive.batch, 4u);
+
+  // A negative count must be a usage error naming the flag — cast to
+  // size_t it would wrap to ~2^64 and send extend_seeds toward OOM.
+  options = {};
+  EXPECT_FALSE(parse_flags({"--ci-rel=0.1", "--max-seeds=-1"}, &options, &error));
+  EXPECT_NE(error.find("max-seeds"), std::string::npos) << error;
+  // Non-numeric values must not silently parse as 0 via strtoll.
+  options = {};
+  EXPECT_FALSE(parse_flags({"--ci-rel=0.1", "--max-seeds=abc"}, &options, &error));
+  EXPECT_NE(error.find("abc"), std::string::npos) << error;
+  options = {};
+  EXPECT_FALSE(parse_flags({"--ci-rel=0.1", "--min-seeds=-3"}, &options, &error));
+  options = {};
+  EXPECT_FALSE(parse_flags({"--ci-rel=0.1", "--batch=2.5"}, &options, &error));
+  options = {};
+  EXPECT_FALSE(parse_flags({"--jobs=-4"}, &options, &error));
+  EXPECT_NE(error.find("jobs"), std::string::npos) << error;
+  // Large values are bounded where the per-seed bookkeeping they authorize
+  // is still affordable — not merely below integer wraparound.
+  options = {};
+  EXPECT_FALSE(
+      parse_flags({"--ci-rel=0.1", "--max-seeds=999999999"}, &options, &error));
+  EXPECT_NE(error.find("no greater than"), std::string::npos) << error;
+  options = {};
+  EXPECT_FALSE(
+      parse_flags({"--ci-rel=0.1", "--max-seeds=99999999999999999999"}, &options,
+                  &error));
+}
+
+TEST(CampaignFlags, BareJournalAndResumeRequirePaths) {
+  // A value-less flag parses as the string "true"; without the guard the
+  // campaign would silently journal to a file literally named 'true'.
+  campaign::CampaignOptions options;
+  std::string error;
+  EXPECT_FALSE(parse_flags({"--journal"}, &options, &error));
+  EXPECT_NE(error.find("journal path"), std::string::npos) << error;
+  EXPECT_TRUE(options.journal_path.empty());
+  options = {};
+  EXPECT_FALSE(parse_flags({"--journal", "--quiet"}, &options, &error));
+  options = {};
+  EXPECT_FALSE(parse_flags({"--resume"}, &options, &error));
+  EXPECT_NE(error.find("journal path"), std::string::npos) << error;
+  options = {};
+  ASSERT_TRUE(parse_flags({"--journal=j.jsonl"}, &options, &error)) << error;
+  EXPECT_EQ(options.journal_path, "j.jsonl");
 }
 
 // ---------------------------------------------------------------- report --

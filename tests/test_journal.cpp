@@ -29,6 +29,7 @@ JournalRecord nasty_record(std::size_t point_index, std::size_t seed_index) {
   r.point_index = point_index;
   r.seed_index = seed_index;
   r.seed = 1000 + 17 * seed_index;
+  r.campaign_fp = 0xfeedface12345678ull;
   r.label = "traffic_ppm=30 scheduler=gt-tsch";
   r.coords = {{"traffic_ppm", "30"}, {"scheduler", "gt-tsch"}};
   r.result.fully_formed = (seed_index % 2) == 0;
@@ -59,6 +60,7 @@ void expect_equal(const JournalRecord& a, const JournalRecord& b) {
   EXPECT_EQ(a.point_index, b.point_index);
   EXPECT_EQ(a.seed_index, b.seed_index);
   EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.campaign_fp, b.campaign_fp);
   EXPECT_EQ(a.label, b.label);
   EXPECT_EQ(a.coords, b.coords);
   EXPECT_EQ(a.result.fully_formed, b.result.fully_formed);
@@ -234,6 +236,28 @@ TEST(Journal, DuplicateKeysKeepFirstRecord) {
             first.result.metrics.pdr_percent);
 }
 
+TEST(Journal, RejectsConflictingDuplicateKeys) {
+  // Two campaigns' journals concatenated into one file (`cat a b > all`)
+  // collide on (point_index, seed_index) with different identities. If the
+  // reader silently kept the first, a single-file merge would print
+  // first-campaign-only statistics and exit 0 while `merge a b` on the
+  // same data is correctly rejected — so the reader must reject it too.
+  const std::string path = temp_path("journal_conflict.jsonl");
+  JournalRecord a = nasty_record(0, 0);
+  JournalRecord b = nasty_record(0, 0);
+  b.seed = 4242;
+  b.label = "traffic_ppm=120 scheduler=gt-tsch";
+  {
+    JournalWriter writer(path, false);
+    writer.append(a);
+    writer.append(b);
+  }
+  std::vector<JournalRecord> records;
+  std::string error;
+  EXPECT_FALSE(campaign::read_journal(path, &records, &error));
+  EXPECT_NE(error.find("disagrees"), std::string::npos) << error;
+}
+
 TEST(Journal, AggregateRecordsMatchesDirectAccumulation) {
   // Shard-merge contract: records shuffled across shards reduce to the
   // same aggregates as in-process accumulation.
@@ -281,6 +305,27 @@ TEST(Journal, AggregateRecordsRejectsMixedCampaigns) {
   c.result.metrics.pdr_percent = 1.0;
   EXPECT_FALSE(campaign::aggregate_records({a, c}, &merged, &error));
   EXPECT_NE(error.find("seed"), std::string::npos);
+}
+
+TEST(Journal, AggregateRecordsRejectsDifferentCampaignFingerprints) {
+  // Journals from two campaigns that differ only in the base config (e.g.
+  // --set nodes_per_dodag) have identical labels/coords, and sharded
+  // journals never collide on a point — only the cross-record campaign
+  // fingerprint can catch the mix.
+  JournalRecord a = nasty_record(0, 0);
+  JournalRecord b = nasty_record(1, 0);
+  b.label = "traffic_ppm=120 scheduler=gt-tsch";  // different point: no key clash
+  b.coords = {{"traffic_ppm", "120"}, {"scheduler", "gt-tsch"}};
+  b.campaign_fp = 0x1111111111111111ull;
+  std::vector<PointAggregate> merged;
+  std::string error;
+  EXPECT_FALSE(campaign::aggregate_records({a, b}, &merged, &error));
+  EXPECT_NE(error.find("different campaigns"), std::string::npos) << error;
+
+  // A pre-fingerprint record (fp 0) is a wildcard, not a mismatch.
+  b.campaign_fp = 0;
+  EXPECT_TRUE(campaign::aggregate_records({a, b}, &merged, &error)) << error;
+  EXPECT_EQ(merged.size(), 2u);
 }
 
 TEST(Journal, WriteTextAtomicLeavesNoTempFile) {

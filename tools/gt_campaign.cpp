@@ -170,7 +170,6 @@ int run_campaign_command(const Flags& flags) {
   }
 
   campaign::CampaignOptions options;
-  options.runner.jobs = static_cast<int>(flags.get_int("jobs", 0));
   const bool quiet = flags.get_bool("quiet", false);
   if (!quiet) {
     options.runner.on_progress = [](const campaign::Progress& p) {
