@@ -12,8 +12,7 @@ namespace {
 
 using namespace gttsch;
 
-TschSchedule build_schedule(int cells) {
-  TschSchedule s;
+void build_schedule(TschSchedule& s, int cells) {  // TschSchedule is non-copyable
   auto& sf = s.add_slotframe(0, 101);
   for (int i = 0; i < cells; ++i) {
     Cell c;
@@ -23,11 +22,11 @@ TschSchedule build_schedule(int cells) {
     c.neighbor = static_cast<NodeId>(i % 6);
     sf.add(c);
   }
-  return s;
 }
 
 void BM_ActiveCellLookup(benchmark::State& state) {
-  const auto sched = build_schedule(static_cast<int>(state.range(0)));
+  TschSchedule sched;
+  build_schedule(sched, static_cast<int>(state.range(0)));
   Asn asn = 0;
   for (auto _ : state) benchmark::DoNotOptimize(sched.active_cells(++asn));
   state.SetItemsProcessed(state.iterations());

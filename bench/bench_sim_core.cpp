@@ -1,7 +1,24 @@
 // Microbenchmarks for the simulation substrate: event queue throughput,
 // medium delivery resolution, and end-to-end simulated-seconds-per-wall-
-// second for a formed 7-node GT-TSCH network.
+// second for a formed GT-TSCH network.
+//
+// Beyond the Google-Benchmark microbenches, this harness owns the repo's
+// perf-trajectory baseline: it measures the sparse-schedule end-to-end
+// scenario (7 nodes, slotframe length 397 at 6TiSCH-minimal-style
+// occupancy — idle-slot-dominated) with the fast path on and in
+// GTTSCH_FORCE_PER_SLOT-equivalent reference mode, and writes the numbers
+// to BENCH_simcore.json so every later PR can be compared against it.
+//
+// Flags (consumed before Google Benchmark sees argv):
+//   --simcore-json[=PATH]  write the end-to-end comparison (default path
+//                          BENCH_simcore.json) after the microbenches
+//   --simcore-only         skip the microbenches (CI perf-smoke mode)
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "phy/medium.hpp"
 #include "scenario/experiment.hpp"
@@ -45,6 +62,61 @@ void BM_MediumBroadcastResolution(benchmark::State& state) {
 }
 BENCHMARK(BM_MediumBroadcastResolution)->Arg(4)->Arg(16)->Arg(64);
 
+/// The sparse-schedule end-to-end scenario shared by the wall-clock
+/// benchmark and the BENCH_simcore.json baseline below.
+ScenarioConfig sparse_scenario() {
+  ScenarioConfig c;
+  c.scheduler = SchedulerKind::kGtTsch;
+  c.dodag_count = 1;
+  c.nodes_per_dodag = 7;
+  c.traffic_ppm = 30;
+  c.gt_slotframe_length = 397;
+  return c;
+}
+
+constexpr TimeUs kFormation = 180_s;
+constexpr TimeUs kMeasureSim = 3600_s;
+
+/// Build and form the sparse network (`per_slot` selects the reference
+/// stepping mode) — shared by the wall-clock benchmark and the JSON
+/// baseline so the two can never measure different scenarios.
+std::unique_ptr<Network> make_sparse_network(bool per_slot) {
+  const ScenarioConfig c = sparse_scenario();
+  auto nc = c.make_node_config();
+  nc.app_end = 0;
+  nc.mac.per_slot_stepping = per_slot;
+  // 6TiSCH-minimal-style occupancy: 2 broadcast slots instead of the
+  // default m/8 = 49, leaving ~98% of the 397 slots idle.
+  nc.gt.layout.broadcast_slots = 2;
+  auto net = std::make_unique<Network>(
+      42, std::make_unique<UnitDiskModel>(40.0, 1.0, 1.6), c.make_topology(), nc, nullptr);
+  net->start();
+  net->sim().run_until(kFormation);
+  return net;
+}
+
+struct EndToEnd {
+  double wall_seconds = 0.0;
+  double sim_per_wall = 0.0;
+  std::uint64_t events = 0;
+};
+
+/// Form the sparse network, then time `kMeasureSim` of steady-state
+/// simulation.
+EndToEnd run_end_to_end(bool per_slot) {
+  const std::unique_ptr<Network> net_ptr = make_sparse_network(per_slot);
+  Network& net = *net_ptr;
+  const std::uint64_t events_before = net.sim().events_processed();
+  const auto wall_start = std::chrono::steady_clock::now();
+  net.sim().run_until(kFormation + kMeasureSim);
+  const auto wall_end = std::chrono::steady_clock::now();
+  EndToEnd r;
+  r.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
+  r.sim_per_wall = us_to_s(kMeasureSim) / (r.wall_seconds > 0 ? r.wall_seconds : 1e-9);
+  r.events = net.sim().events_processed() - events_before;
+  return r;
+}
+
 void BM_FullNetworkSimulatedMinute(benchmark::State& state) {
   // Cost of simulating one minute of a formed 7-node GT-TSCH network.
   for (auto _ : state) {
@@ -67,4 +139,100 @@ void BM_FullNetworkSimulatedMinute(benchmark::State& state) {
 }
 BENCHMARK(BM_FullNetworkSimulatedMinute)->Unit(benchmark::kMillisecond);
 
+void BM_SparseNetworkSimulatedMinute(benchmark::State& state) {
+  // One minute of the idle-slot-dominated scenario; range(0) == 1 forces
+  // the per-slot reference so the skip ratio shows up in the report.
+  const bool per_slot = state.range(0) != 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const std::unique_ptr<Network> net = make_sparse_network(per_slot);
+    state.ResumeTiming();
+    net->sim().run_until(kFormation + 60_s);
+    benchmark::DoNotOptimize(net->sim().events_processed());
+  }
+}
+BENCHMARK(BM_SparseNetworkSimulatedMinute)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("per_slot")
+    ->Unit(benchmark::kMillisecond);
+
+bool write_simcore_json(const std::string& path) {
+  const EndToEnd fast = run_end_to_end(/*per_slot=*/false);
+  const EndToEnd ref = run_end_to_end(/*per_slot=*/true);
+  const double speedup =
+      ref.wall_seconds / (fast.wall_seconds > 0 ? fast.wall_seconds : 1e-9);
+  const double event_reduction = static_cast<double>(ref.events) /
+                                 static_cast<double>(fast.events > 0 ? fast.events : 1);
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_sim_core: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"sim_core_end_to_end\",\n"
+               "  \"scenario\": {\"scheduler\": \"gt-tsch\", \"nodes\": 7,\n"
+               "               \"slotframe_length\": 397, \"broadcast_slots\": 2,\n"
+               "               \"traffic_ppm\": 30, \"measured_sim_seconds\": %.0f},\n"
+               "  \"fast_path\": {\"wall_seconds\": %.6f,\n"
+               "                \"sim_seconds_per_wall_second\": %.1f,\n"
+               "                \"events_processed\": %llu},\n"
+               "  \"per_slot\": {\"wall_seconds\": %.6f,\n"
+               "               \"sim_seconds_per_wall_second\": %.1f,\n"
+               "               \"events_processed\": %llu},\n"
+               "  \"speedup\": %.2f,\n"
+               "  \"event_reduction\": %.2f\n"
+               "}\n",
+               us_to_s(kMeasureSim), fast.wall_seconds, fast.sim_per_wall,
+               static_cast<unsigned long long>(fast.events), ref.wall_seconds,
+               ref.sim_per_wall, static_cast<unsigned long long>(ref.events),
+               speedup, event_reduction);
+  std::fclose(f);
+  std::printf("sparse end-to-end: fast path %.0f sim-s/wall-s (%llu events), "
+              "per-slot %.0f sim-s/wall-s (%llu events) -> %.2fx speedup, "
+              "%.2fx fewer events; wrote %s\n",
+              fast.sim_per_wall, static_cast<unsigned long long>(fast.events),
+              ref.sim_per_wall, static_cast<unsigned long long>(ref.events), speedup,
+              event_reduction, path.c_str());
+  return true;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool simcore_only = false;
+  // Strip our flags before Google Benchmark validates argv.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--simcore-only") == 0) {
+      simcore_only = true;
+      if (json_path.empty()) json_path = "BENCH_simcore.json";
+    } else if (std::strcmp(arg, "--simcore-json") == 0) {
+      json_path = "BENCH_simcore.json";
+    } else if (std::strncmp(arg, "--simcore-json=", 15) == 0) {
+      // An empty value (e.g. an unset shell variable) falls back to the
+      // default path rather than silently disabling the baseline.
+      json_path = arg[15] != '\0' ? arg + 15 : "BENCH_simcore.json";
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
+  if (!simcore_only) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  } else if (argc > 1) {
+    // Google Benchmark never sees argv in this mode; reject leftovers
+    // ourselves so a mistyped flag cannot silently change the output path.
+    std::fprintf(stderr, "bench_sim_core: unrecognized flag %s\n", argv[1]);
+    return 1;
+  }
+  if (!json_path.empty() && !write_simcore_json(json_path)) return 1;
+  return 0;
+}

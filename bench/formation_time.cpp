@@ -2,10 +2,24 @@
 // discussed in the paper's related work). Measures, for both schedulers,
 // when every node has (a) associated to TSCH, (b) acquired an RPL parent,
 // and — GT-TSCH only — (c) completed the 6P bootstrap to Operational.
+//
+// Runs on the campaign engine, so it speaks the full scale-out flag set
+// shared with the figure benches (see figure_common.hpp / ROADMAP):
+//   --jobs N, --seeds LIST, --out PREFIX, --shard i/N,
+//   --journal PATH, --resume PATH, --ci-rel FRAC (+ --min-seeds/
+//   --max-seeds/--batch/--metric)
+// Journal/CSV metric mapping (formation seconds ride in the panel slots):
+//   pdr_percent <- assoc_s, avg_delay_ms <- joined_s,
+//   p95_delay_ms <- operational_s (0 for Orchestra); 600 = never (budget).
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "campaign/report.hpp"
+#include "campaign/runner.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/network.hpp"
+#include "util/flags.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -13,25 +27,27 @@ namespace {
 using namespace gttsch;
 using namespace gttsch::literals;
 
+constexpr double kBudgetSeconds = 600;
+
 struct FormationResult {
   double assoc_s = -1;        ///< last node associated
   double joined_s = -1;       ///< last node joined RPL
   double operational_s = -1;  ///< last GT node operational (GT only)
+  bool formed = false;
 };
 
-FormationResult measure(SchedulerKind kind, int nodes, std::uint64_t seed) {
-  ScenarioConfig sc;
-  sc.scheduler = kind;
-  sc.traffic_ppm = 0.0;  // formation only
+FormationResult measure(const ScenarioConfig& sc) {
   auto nc = sc.make_node_config();
-  nc.app_rate_ppm = 0.0;
+  nc.app_rate_ppm = 0.0;  // formation only
 
-  const auto topo = build_dodag(1, {0, 0}, nodes, 30.0);
-  Network net(seed, std::make_unique<UnitDiskModel>(40.0, 1.0, 1.6), topo, nc, nullptr);
+  const auto topo = build_dodag(1, {0, 0}, sc.nodes_per_dodag, sc.hop_distance);
+  Network net(sc.seed, std::make_unique<UnitDiskModel>(sc.radio_range, sc.link_prr,
+                                                       sc.interference_factor),
+              topo, nc, nullptr);
   net.start();
 
   FormationResult r;
-  for (int t = 1; t <= 600; ++t) {
+  for (int t = 1; t <= static_cast<int>(kBudgetSeconds); ++t) {
     net.sim().run_until(static_cast<TimeUs>(t) * 1000000);
     bool all_assoc = true, all_joined = true, all_oper = true;
     for (const auto& [id, node] : net.nodes()) {
@@ -43,38 +59,123 @@ FormationResult measure(SchedulerKind kind, int nodes, std::uint64_t seed) {
     }
     if (r.assoc_s < 0 && all_assoc) r.assoc_s = t;
     if (r.joined_s < 0 && all_joined) r.joined_s = t;
-    if (kind == SchedulerKind::kGtTsch && r.operational_s < 0 && all_oper)
+    if (sc.scheduler == SchedulerKind::kGtTsch && r.operational_s < 0 && all_oper)
       r.operational_s = t;
-    if (r.joined_s >= 0 && (kind != SchedulerKind::kGtTsch || r.operational_s >= 0)) break;
+    if (r.joined_s >= 0 &&
+        (sc.scheduler != SchedulerKind::kGtTsch || r.operational_s >= 0)) {
+      r.formed = true;
+      break;
+    }
   }
   return r;
 }
 
-}  // namespace
+/// Campaign job: formation seconds packed into the panel-metric slots (see
+/// file header) so journaling, sharded merge, and adaptive CI stopping all
+/// work unchanged.
+ExperimentResult run_formation_job(const ScenarioConfig& sc) {
+  const FormationResult r = measure(sc);
+  ExperimentResult out;
+  out.metrics.pdr_percent = r.assoc_s > 0 ? r.assoc_s : kBudgetSeconds;
+  out.metrics.avg_delay_ms = r.joined_s > 0 ? r.joined_s : kBudgetSeconds;
+  // Operational is a GT-TSCH-only stage: 0 marks "not applicable"
+  // (Orchestra); a GT run that never got there charges the full budget so
+  // bootstrap failures cannot average (or CI-converge) toward zero.
+  if (sc.scheduler == SchedulerKind::kGtTsch)
+    out.metrics.p95_delay_ms = r.operational_s > 0 ? r.operational_s : kBudgetSeconds;
+  out.metrics.node_count = static_cast<std::uint64_t>(sc.nodes_per_dodag);
+  out.fully_formed = r.formed;
+  return out;
+}
 
-int main() {
-  std::printf("Formation time (s until the LAST node reaches each stage; "
-              "<=600 s budget, 0 = never)\n\n");
-  TablePrinter t({"nodes", "scheduler", "assoc", "RPL joined", "GT operational"});
+std::vector<campaign::GridPoint> formation_grid() {
+  std::vector<campaign::GridPoint> grid;
   for (const int nodes : {4, 7, 9}) {
     for (const SchedulerKind kind : {SchedulerKind::kGtTsch, SchedulerKind::kOrchestra}) {
-      double assoc = 0, joined = 0, oper = 0;
-      const int seeds = 3;
-      for (int s = 0; s < seeds; ++s) {
-        const auto r = measure(kind, nodes, 500 + 7ull * s);
-        assoc += r.assoc_s > 0 ? r.assoc_s : 600;
-        joined += r.joined_s > 0 ? r.joined_s : 600;
-        oper += r.operational_s > 0 ? r.operational_s : 0;
-      }
-      t.add_row({TablePrinter::num(static_cast<std::int64_t>(nodes)),
-                 scheduler_name(kind), TablePrinter::num(assoc / seeds, 1),
-                 TablePrinter::num(joined / seeds, 1),
-                 kind == SchedulerKind::kGtTsch ? TablePrinter::num(oper / seeds, 1)
-                                                : std::string("-")});
+      const char* scheduler = kind == SchedulerKind::kGtTsch ? "gt-tsch" : "orchestra";
+      campaign::GridPoint g;
+      g.index = grid.size();
+      g.label = "nodes=" + std::to_string(nodes) + " scheduler=" + scheduler;
+      g.coords = {{"nodes", std::to_string(nodes)}, {"scheduler", scheduler}};
+      g.config.scheduler = kind;
+      g.config.dodag_count = 1;
+      g.config.nodes_per_dodag = nodes;
+      g.config.traffic_ppm = 0.0;
+      grid.push_back(std::move(g));
     }
   }
+  return grid;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  std::string error;
+
+  campaign::CampaignOptions options;
+  std::vector<std::uint64_t> seeds = {500, 507, 514};
+  if (flags.has("seeds")) {
+    if (!campaign::parse_seeds(flags.get("seeds", ""), &seeds, &error)) {
+      std::fprintf(stderr, "formation_time: --seeds: %s\n", error.c_str());
+      return 2;
+    }
+  }
+  if (!campaign::parse_campaign_flags(flags, &options, &error)) {
+    std::fprintf(stderr, "formation_time: %s\n", error.c_str());
+    return 2;
+  }
+  const std::string out_prefix = flags.get("out", "");
+  for (const std::string& flag : flags.unknown()) {
+    std::fprintf(stderr, "formation_time: unknown flag --%s\n", flag.c_str());
+    return 2;
+  }
+  options.runner.run_fn = run_formation_job;
+
+  const std::vector<campaign::GridPoint> grid = formation_grid();
+  campaign::CampaignResult result;
+  if (!campaign::run_points_campaign(grid, seeds, options, &result, &error)) {
+    std::fprintf(stderr, "formation_time: %s\n", error.c_str());
+    return result.error_kind == campaign::CampaignErrorKind::kIo ? 1 : 2;
+  }
+  if (result.jobs_skipped > 0) {
+    std::fprintf(stderr, "[bench] resumed: %zu jobs from journal, %zu run now\n",
+                 result.jobs_skipped, result.jobs_run);
+  }
+
+  std::printf("Formation time (s until the LAST node reaches each stage; "
+              "<=%d s budget; mean ±stddev over seeds)\n\n",
+              static_cast<int>(kBudgetSeconds));
+  auto cell = [](const campaign::SampleStats& s, bool applicable = true) {
+    if (!applicable || s.n == 0) return std::string("-");  // other shard / Orchestra
+    std::string text = TablePrinter::num(s.mean, 1);
+    if (s.n > 1) text += " ±" + TablePrinter::num(s.stddev, 1);
+    return text;
+  };
+  TablePrinter t({"nodes", "scheduler", "assoc", "RPL joined", "GT operational"});
+  for (const auto& agg : result.aggregates) {
+    if (agg.coords.size() < 2) continue;  // point owned by another shard
+    const bool gt = agg.coords[1].second == "gt-tsch";
+    t.add_row({agg.coords[0].second, gt ? "GT-TSCH" : "Orchestra",
+               cell(agg.pdr_percent), cell(agg.avg_delay_ms),
+               cell(agg.p95_delay_ms, gt)});
+  }
   t.print();
-  std::printf("\nGT-TSCH's extra stage (ASK-CHANNEL + 6P bootstrap) costs little\n"
+  std::printf("\nMetric slots: assoc -> pdr_percent, joined -> avg_delay_ms, "
+              "operational -> p95_delay_ms (for --metric / CSV columns).\n"
+              "GT-TSCH's extra stage (ASK-CHANNEL + 6P bootstrap) costs little\n"
               "beyond RPL join; association dominates for both schedulers.\n");
-  return 0;
+
+  if (!out_prefix.empty()) {
+    const std::string csv_path = out_prefix + ".csv";
+    const std::string json_path = out_prefix + ".json";
+    if (!campaign::write_csv(csv_path, result.aggregates) ||
+        !campaign::write_json(json_path, result.aggregates)) {
+      std::fprintf(stderr, "formation_time: failed to write artifacts at %s.{csv,json}\n",
+                   out_prefix.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[bench] wrote %s and %s\n", csv_path.c_str(), json_path.c_str());
+  }
+  return result.cancelled ? 1 : 0;
 }

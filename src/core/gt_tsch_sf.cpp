@@ -270,9 +270,16 @@ void GtTschSf::monitor_tick() {
       !sixp_.busy_with(rpl_.parent())) {
     SixpPayload del;
     del.command = SixpCommand::kDelete;
-    del.num_cells = static_cast<std::uint8_t>(conflicted_cells_.size());
-    del.cell_list = std::move(conflicted_cells_);
-    conflicted_cells_.clear();
+    // The CellList must fit the 127-byte 6P frame; heavy churn can pile up
+    // more conflicted cells than that, so flush in chunks — the remainder
+    // goes out on later ticks.
+    const std::size_t chunk =
+        std::min(conflicted_cells_.size(), kMaxSixpCellListCells);
+    del.num_cells = static_cast<std::uint8_t>(chunk);
+    del.cell_list.assign(conflicted_cells_.begin(),
+                         conflicted_cells_.begin() + static_cast<std::ptrdiff_t>(chunk));
+    conflicted_cells_.erase(conflicted_cells_.begin(),
+                            conflicted_cells_.begin() + static_cast<std::ptrdiff_t>(chunk));
     sixp_.request(rpl_.parent(), del);
     generated_since_tick_ = 0;
     return;  // one transaction per tick
@@ -342,6 +349,7 @@ void GtTschSf::monitor_tick() {
     std::vector<std::uint16_t> remaining_tx = cells.tx;
     for (const Cell& cand : candidates) {
       if (static_cast<int>(chosen.size()) >= d.count) break;
+      if (chosen.size() >= kMaxSixpCellListCells) break;  // 127-byte frame cap
       std::vector<std::uint16_t> trial = remaining_tx;
       std::erase(trial, cand.slot_offset);
       const bool margin_ok = trial.size() > cells.rx.size() || cells.rx.empty();
@@ -426,6 +434,9 @@ std::vector<Cell> GtTschSf::free_candidate_cells() {
   const Slotframe& sf = own_slotframe();
   for (std::uint16_t s : layout_.negotiable_offsets()) {
     if (sf.slot_in_use(s)) continue;
+    // Long slotframes can have hundreds of free offsets; the CellList must
+    // fit the 127-byte 6P frame or its airtime outgrows the timeslot.
+    if (out.size() >= kMaxSixpCellListCells) break;
     Cell c;
     c.slot_offset = s;
     c.channel_offset = f_to_parent_;
@@ -488,11 +499,13 @@ SixpPayload GtTschSf::handle_add(NodeId peer, const SixpPayload& request) {
     return r;
   }
 
-  // Unicast-Data ADD: register demand, then grant what the rules allow.
+  // Unicast-Data ADD: register demand, then grant what the rules allow —
+  // at most a response CellList's worth per transaction (127-byte frame).
   child.demanded = child.granted_rx + request.num_cells;
-  const auto offsets = TxSlotAllocator::place_rx(sf, layout_, peer, request.num_cells,
-                                                 is_root_, allowed_ptr,
-                                                 config_.placement_rules);
+  const int grant_cap = std::min<int>(request.num_cells,
+                                      static_cast<int>(kMaxSixpCellListCells));
+  const auto offsets = TxSlotAllocator::place_rx(sf, layout_, peer, grant_cap, is_root_,
+                                                 allowed_ptr, config_.placement_rules);
   for (std::uint16_t offset : offsets) {
     Cell mine;
     mine.slot_offset = offset;

@@ -29,6 +29,25 @@ bool tx_between(const std::vector<std::uint16_t>& tx, std::uint16_t a, std::uint
   return false;
 }
 
+/// Min cyclic distance from `cand` to any element of the *sorted* list `v`
+/// (m when empty). The cyclically nearest element is the sorted
+/// predecessor or successor, so two lookups replace a full scan — place_rx
+/// runs this once per candidate per pick, which at long slotframes (the
+/// fig10 sweep, l^rx dry runs) used to make placement cubic in the free
+/// slot count.
+std::uint16_t nearest_cyclic(const std::vector<std::uint16_t>& v, std::uint16_t cand,
+                             std::uint16_t m) {
+  if (v.empty()) return m;
+  const auto it = std::lower_bound(v.begin(), v.end(), cand);
+  const std::uint16_t next = it == v.end() ? v.front() : *it;
+  const std::uint16_t prev = it == v.begin() ? v.back() : *(it - 1);
+  const std::uint16_t d_next =
+      std::min(forward_dist(cand, next, m), forward_dist(next, cand, m));
+  const std::uint16_t d_prev =
+      std::min(forward_dist(cand, prev, m), forward_dist(prev, cand, m));
+  return std::min(d_prev, d_next);
+}
+
 }  // namespace
 
 TxSlotAllocator::DataCells TxSlotAllocator::extract_data_cells(const Slotframe& sf) {
@@ -60,18 +79,23 @@ bool TxSlotAllocator::placement_valid(const std::vector<std::uint16_t>& tx,
                                       const std::vector<std::uint16_t>& rx,
                                       std::uint16_t cand, std::uint16_t length) {
   if (rx.empty()) return !tx.empty();
-  // Find the cyclic neighbors of cand among existing rx offsets.
-  std::vector<std::uint16_t> all = rx;
-  all.push_back(cand);
-  std::sort(all.begin(), all.end());
-  const auto it = std::find(all.begin(), all.end(), cand);
-  const std::uint16_t prev = it == all.begin() ? all.back() : *(it - 1);
-  const std::uint16_t next = (it + 1) == all.end() ? all.front() : *(it + 1);
+  // Cyclic neighbors of cand among the (sorted) existing rx offsets.
+  const auto it = std::lower_bound(rx.begin(), rx.end(), cand);
+  const std::uint16_t next = it == rx.end() ? rx.front() : *it;
+  const std::uint16_t prev = it == rx.begin() ? rx.back() : *(it - 1);
   return tx_between(tx, prev, cand, length) && tx_between(tx, cand, next, length);
 }
 
 int TxSlotAllocator::grantable_rx(const Slotframe& sf, const SlotframeLayout& layout,
                                   bool is_root, const PlacementRules& rules) {
+  if (is_root || (!rules.tx_margin && !rules.interleave)) {
+    // No rule constrains the root (it is the sink): every free negotiable
+    // offset is grantable, so skip the greedy dry run entirely.
+    int free = 0;
+    for (std::uint16_t s : layout.negotiable_offsets())
+      if (!sf.slot_in_use(s)) ++free;
+    return free;
+  }
   // Dry-run placement for a hypothetical child; the count is identical for
   // every requester since the rules constrain offsets, not identities.
   const auto placed = place_rx(sf, layout, kNoNode, std::numeric_limits<int>::max() / 2,
@@ -108,6 +132,12 @@ std::vector<std::uint16_t> TxSlotAllocator::place_rx(
     budget = std::min(budget, std::max(0, margin));
   }
 
+  // Sorted offsets of `child`'s existing Rx cells (fairness rule c below);
+  // cells.rx is sorted, so the filtered view is too.
+  std::vector<std::uint16_t> own;
+  for (std::size_t i = 0; i < cells.rx.size(); ++i)
+    if (cells.rx_owner[i] == child) own.push_back(cells.rx[i]);
+
   while (static_cast<int>(chosen.size()) < budget && !free.empty()) {
     std::uint16_t best = 0;
     long best_score = std::numeric_limits<long>::min();
@@ -117,16 +147,7 @@ std::vector<std::uint16_t> TxSlotAllocator::place_rx(
         continue;
       // Fairness scoring (rule c): prefer offsets whose cyclically nearest
       // Rx cells belong to other children, and spread a child's own cells.
-      long score = 0;
-      std::uint16_t nearest_any = m;
-      std::uint16_t nearest_own = m;
-      for (std::size_t i = 0; i < cells.rx.size(); ++i) {
-        const std::uint16_t d = std::min(forward_dist(cells.rx[i], cand, m),
-                                         forward_dist(cand, cells.rx[i], m));
-        nearest_any = std::min(nearest_any, d);
-        if (cells.rx_owner[i] == child) nearest_own = std::min(nearest_own, d);
-      }
-      score += 4L * nearest_own + nearest_any;
+      long score = 4L * nearest_cyclic(own, cand, m) + nearest_cyclic(cells.rx, cand, m);
       score -= cand / 4;  // mild bias toward early offsets (lower latency)
       if (score > best_score) {
         best_score = score;
@@ -136,17 +157,11 @@ std::vector<std::uint16_t> TxSlotAllocator::place_rx(
     }
     if (!found) break;
     chosen.push_back(best);
-    cells.rx.push_back(best);
-    cells.rx_owner.push_back(child);
     // Keep rx sorted together with owners for the validity checks.
-    for (std::size_t i = cells.rx.size(); i-- > 1;) {
-      if (cells.rx[i] < cells.rx[i - 1]) {
-        std::swap(cells.rx[i], cells.rx[i - 1]);
-        std::swap(cells.rx_owner[i], cells.rx_owner[i - 1]);
-      } else {
-        break;
-      }
-    }
+    const auto pos = std::lower_bound(cells.rx.begin(), cells.rx.end(), best);
+    cells.rx_owner.insert(cells.rx_owner.begin() + (pos - cells.rx.begin()), child);
+    cells.rx.insert(pos, best);
+    own.insert(std::lower_bound(own.begin(), own.end(), best), best);
     free.erase(std::find(free.begin(), free.end(), best));
   }
   std::sort(chosen.begin(), chosen.end());

@@ -11,12 +11,17 @@ Slotframe::Slotframe(std::uint16_t handle, std::uint16_t length)
   GTTSCH_CHECK(length > 0);
 }
 
+void Slotframe::notify_owner() {
+  if (owner_ != nullptr) owner_->on_mutated();
+}
+
 bool Slotframe::add(const Cell& cell) {
   GTTSCH_CHECK(cell.slot_offset < length_);
   auto& bucket = by_slot_[cell.slot_offset];
   if (std::find(bucket.begin(), bucket.end(), cell) != bucket.end()) return false;
   bucket.push_back(cell);
   ++size_;
+  notify_owner();
   return true;
 }
 
@@ -27,6 +32,7 @@ bool Slotframe::remove(const Cell& cell) {
   if (it == bucket.end()) return false;
   bucket.erase(it);
   --size_;
+  notify_owner();
   return true;
 }
 
@@ -38,6 +44,7 @@ std::size_t Slotframe::remove_if(const std::function<bool(const Cell&)>& pred) {
     removed += before - bucket.size();
   }
   size_ -= removed;
+  if (removed > 0) notify_owner();
   return removed;
 }
 
@@ -64,10 +71,14 @@ std::vector<std::uint16_t> Slotframe::free_slots() const {
 Slotframe& TschSchedule::add_slotframe(std::uint16_t handle, std::uint16_t length) {
   const auto [it, inserted] = frames_.try_emplace(handle, handle, length);
   GTTSCH_CHECK(inserted);
+  it->second.owner_ = this;
+  on_mutated();
   return it->second;
 }
 
-void TschSchedule::remove_slotframe(std::uint16_t handle) { frames_.erase(handle); }
+void TschSchedule::remove_slotframe(std::uint16_t handle) {
+  if (frames_.erase(handle) > 0) on_mutated();
+}
 
 Slotframe* TschSchedule::get(std::uint16_t handle) {
   const auto it = frames_.find(handle);
@@ -79,13 +90,63 @@ const Slotframe* TschSchedule::get(std::uint16_t handle) const {
   return it == frames_.end() ? nullptr : &it->second;
 }
 
-std::vector<std::pair<std::uint16_t, Cell>> TschSchedule::active_cells(Asn asn) const {
-  std::vector<std::pair<std::uint16_t, Cell>> out;
+void TschSchedule::on_mutated() {
+  ++version_;
+  table_dirty_ = true;
+  if (change_listener_) change_listener_();
+}
+
+void TschSchedule::set_change_listener(std::function<void()> listener) {
+  change_listener_ = std::move(listener);
+}
+
+void TschSchedule::ensure_table() const {
+  if (!table_dirty_) return;
+  table_.clear();
+  table_.reserve(frames_.size());
+  for (const auto& [handle, sf] : frames_) {
+    (void)handle;
+    FrameTable t;
+    t.length = sf.length();
+    for (std::uint16_t s = 0; s < sf.length(); ++s)
+      if (!sf.by_slot_[s].empty()) t.occupied.push_back(s);
+    table_.push_back(std::move(t));
+  }
+  table_dirty_ = false;
+}
+
+Asn TschSchedule::next_active_asn(Asn after) const {
+  ensure_table();
+  Asn best = kNoActiveAsn;
+  const Asn base = after + 1;
+  for (const FrameTable& t : table_) {
+    if (t.occupied.empty()) continue;
+    const auto slot = static_cast<std::uint16_t>(base % t.length);
+    const auto it = std::lower_bound(t.occupied.begin(), t.occupied.end(), slot);
+    Asn candidate;
+    if (it != t.occupied.end()) {
+      candidate = base + (*it - slot);
+    } else {
+      // Wrap to the first occupied slot of the next slotframe cycle.
+      candidate = base + (t.length - slot) + t.occupied.front();
+    }
+    best = std::min(best, candidate);
+  }
+  return best;
+}
+
+std::vector<TschSchedule::ActiveCell> TschSchedule::active_cells(Asn asn) const {
+  std::vector<ActiveCell> out;
+  active_cells_into(asn, out);
+  return out;
+}
+
+void TschSchedule::active_cells_into(Asn asn, std::vector<ActiveCell>& out) const {
+  out.clear();
   for (const auto& [handle, sf] : frames_) {
     const auto slot = static_cast<std::uint16_t>(asn % sf.length());
     for (const Cell& c : sf.cells_at(slot)) out.emplace_back(handle, c);
   }
-  return out;
 }
 
 std::size_t TschSchedule::total_cells() const {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <vector>
 
@@ -11,9 +12,15 @@
 
 namespace gttsch {
 
+class TschSchedule;
+
 class Slotframe {
  public:
   Slotframe(std::uint16_t handle, std::uint16_t length);
+  // Non-copyable: a copy would carry the owner_ backpointer and notify
+  // (or dangle into) the original schedule on mutation.
+  Slotframe(const Slotframe&) = delete;
+  Slotframe& operator=(const Slotframe&) = delete;
 
   std::uint16_t handle() const { return handle_; }
   std::uint16_t length() const { return length_; }
@@ -40,15 +47,37 @@ class Slotframe {
   bool slot_in_use(std::uint16_t slot) const { return !by_slot_[slot].empty(); }
 
  private:
+  friend class TschSchedule;
+  void notify_owner();
+
   std::uint16_t handle_;
   std::uint16_t length_;
   std::vector<std::vector<Cell>> by_slot_;
   std::size_t size_ = 0;
+  TschSchedule* owner_ = nullptr;  ///< set when owned by a TschSchedule
 };
 
 /// A node's full schedule: slotframes keyed (and prioritised) by handle.
+///
+/// Beyond the cell containers, the schedule maintains a compiled timetable
+/// — per slotframe, the sorted list of occupied slot offsets — rebuilt
+/// (lazily) whenever any cell or slotframe is added or removed. The MAC
+/// fast path uses it to jump directly to the next ASN holding at least one
+/// cell instead of waking on every slot, and registers a change listener so
+/// mid-run 6P/RPL schedule edits re-aim an already-armed wakeup.
 class TschSchedule {
  public:
+  TschSchedule() = default;
+  // Non-copyable: the change listener captures the owning MAC and the
+  // slotframes' owner backpointers reference this object.
+  TschSchedule(const TschSchedule&) = delete;
+  TschSchedule& operator=(const TschSchedule&) = delete;
+
+  using ActiveCell = std::pair<std::uint16_t, Cell>;
+
+  /// Returned by next_active_asn when no slotframe holds any cell.
+  static constexpr Asn kNoActiveAsn = std::numeric_limits<Asn>::max();
+
   Slotframe& add_slotframe(std::uint16_t handle, std::uint16_t length);
   void remove_slotframe(std::uint16_t handle);
   Slotframe* get(std::uint16_t handle);
@@ -60,17 +89,49 @@ class TschSchedule {
   /// Active cells at `asn` across all slotframes, ordered by slotframe
   /// handle (ascending = higher priority first, per Contiki-NG convention).
   /// Each entry is (slotframe handle, cell).
-  std::vector<std::pair<std::uint16_t, Cell>> active_cells(Asn asn) const;
+  std::vector<ActiveCell> active_cells(Asn asn) const;
+
+  /// Allocation-free variant: fills `out` (cleared first) with the same
+  /// contents as active_cells. The steady-state slot loop reuses one
+  /// scratch vector so no allocation happens once its capacity settles.
+  void active_cells_into(Asn asn, std::vector<ActiveCell>& out) const;
+
+  /// Smallest ASN strictly greater than `after` whose slot holds at least
+  /// one cell in any slotframe, or kNoActiveAsn when every slotframe is
+  /// empty. This is the Contiki-NG `tsch_schedule_get_next_active_link`
+  /// discipline: idle slots are never visited.
+  Asn next_active_asn(Asn after) const;
 
   /// Total number of cells across slotframes.
   std::size_t total_cells() const;
+
+  /// Bumped on every mutation (cell or slotframe add/remove).
+  std::uint64_t version() const { return version_; }
+
+  /// Invoked (synchronously) after every mutation; one listener only —
+  /// the owning MAC uses it to re-aim its next-active-slot wakeup.
+  void set_change_listener(std::function<void()> listener);
 
   /// Visit every slotframe in handle order.
   void for_each(const std::function<void(Slotframe&)>& fn);
   void for_each(const std::function<void(const Slotframe&)>& fn) const;
 
  private:
+  friend class Slotframe;
+  void on_mutated();
+  void ensure_table() const;
+
+  /// Compiled timetable entry: one slotframe's occupied slot offsets.
+  struct FrameTable {
+    std::uint16_t length = 0;
+    std::vector<std::uint16_t> occupied;  ///< sorted, slots with >=1 cell
+  };
+
   std::map<std::uint16_t, Slotframe> frames_;
+  std::uint64_t version_ = 0;
+  std::function<void()> change_listener_;
+  mutable std::vector<FrameTable> table_;
+  mutable bool table_dirty_ = true;
 };
 
 }  // namespace gttsch

@@ -19,6 +19,13 @@ struct SlotTiming {
   TimeUs ack_delay = 1000;
   /// Extra slack the sender waits for an ACK beyond its nominal end.
   TimeUs ack_slack = 400;
+  /// When carrier sense finds the channel busy at the end of the rx guard,
+  /// the receiver stays on and re-polls this long after the sensed
+  /// transmission's predicted end — covering the turnaround between a
+  /// heard frame and the ACK we may owe for it (ack_delay is 1000 us; a
+  /// fraction of it suffices since the poll only needs to outlive the
+  /// frame-end bookkeeping, not the ACK itself).
+  TimeUs rx_repoll_slack = 200;
 
   /// Radio-on cost of an idle (no frame) Rx slot.
   TimeUs idle_rx_cost() const { return rx_guard_before + rx_guard_after; }

@@ -1,6 +1,9 @@
 #include "mac/tsch_mac.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <string>
 
 #include "sim/log.hpp"
 #include "util/check.hpp"
@@ -9,7 +12,48 @@ namespace gttsch {
 
 namespace {
 constexpr std::size_t kDedupWindow = 16;
+
+/// GTTSCH_FORCE_PER_SLOT=1 forces every MAC into per-slot reference
+/// stepping — the baseline the fast-path equivalence tests and benches
+/// compare against. The common falsey spellings ("", "0", "false", "no",
+/// "off") leave the fast path on; anything else enables the override.
+bool force_per_slot_env() {
+  static const bool forced = [] {
+    const char* v = std::getenv("GTTSCH_FORCE_PER_SLOT");
+    if (v == nullptr) return false;
+    std::string value(v);
+    for (char& c : value) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return !(value.empty() || value == "0" || value == "false" || value == "no" ||
+             value == "off");
+  }();
+  return forced;
 }
+
+/// One slot of drifted-boundary arithmetic: the oscillator error adds
+/// `step` (fractional) microseconds per slot; whole microseconds extend
+/// the boundary, the sub-microsecond residue carries over. Every consumer
+/// of the slot timeline — wake arming, anchor advance, asn() — must share
+/// this exact operation sequence, or skipped spans stop being
+/// bit-identical to per-slot stepping.
+struct DriftWalk {
+  double step;
+  double accum;
+
+  static DriftWalk from(const MacConfig& config, double accum) {
+    return {static_cast<double>(config.timing.slot_duration) * config.drift_ppm * 1e-6,
+            accum};
+  }
+
+  /// Advance one slot; returns the extra whole microseconds beyond the
+  /// nominal slot duration (truncated toward zero, residue retained).
+  TimeUs advance() {
+    accum += step;
+    const TimeUs extra = static_cast<TimeUs>(accum);  // trunc toward zero
+    accum -= static_cast<double>(extra);
+    return extra;
+  }
+};
+}  // namespace
 
 TschMac::TschMac(Simulator& sim, Medium& medium, Radio& radio, MacConfig config, Rng rng)
     : sim_(sim),
@@ -18,14 +62,16 @@ TschMac::TschMac(Simulator& sim, Medium& medium, Radio& radio, MacConfig config,
       config_(std::move(config)),
       rng_(rng),
       queues_(config_.data_queue_capacity, config_.control_queue_capacity),
-      slot_timer_(sim),
+      slot_timer_(sim, radio.id()),
       action_timer_(sim),
       ack_timer_(sim),
       ack_tx_timer_(sim),
       radio_off_timer_(sim),
       scan_timer_(sim) {
+  per_slot_ = config_.per_slot_stepping || force_per_slot_env();
   radio_.on_rx = [this](FramePtr f) { on_radio_rx(std::move(f)); };
   radio_.on_tx_done = [this] { on_radio_tx_done(); };
+  schedule_.set_change_listener([this] { on_schedule_changed(); });
 }
 
 TschMac::~TschMac() {
@@ -41,10 +87,19 @@ void TschMac::start_as_root() {
   GTTSCH_CHECK(state_ == State::kOff);
   state_ = State::kAssociated;
   asn_ = 0;
-  next_asn_ = 0;
+  current_slot_start_ = sim_.now();
+  drift_accum_ = 0.0;
+  anchor_slot_active_ = false;
   time_source_ = radio_.id();
   eb_next_due_ = sim_.now() + static_cast<TimeUs>(rng_.uniform(
                      static_cast<std::uint64_t>(config_.eb_period)));
+  // Arm slot 0 for *now* before the upcall: the scheduling function
+  // installs its first cells inside mac_associated, and the change
+  // listener must see the pending wake so it does not re-aim past slot 0.
+  wake_asn_ = 0;
+  wake_drift_accum_ = 0.0;
+  next_slot_time_ = sim_.now();
+  arm_slot_timer();
   if (upcalls_ != nullptr) {
     Frame synthetic;
     synthetic.type = FrameType::kEb;
@@ -52,7 +107,6 @@ void TschMac::start_as_root() {
     synthetic.payload = EbPayload{};
     upcalls_->mac_associated(0, synthetic);
   }
-  slot_timer_.start(0, [this] { on_slot_start(); });
 }
 
 void TschMac::start_scanning() {
@@ -87,8 +141,9 @@ void TschMac::associate_from_eb(const Frame& frame) {
   const TimeUs air = frame_airtime(frame.length_bytes);
   const TimeUs slot_start = sim_.now() - air - config_.timing.tx_offset;
   asn_ = eb.asn;
-  next_asn_ = eb.asn + 1;
   current_slot_start_ = slot_start;
+  drift_accum_ = 0.0;
+  anchor_slot_active_ = false;
   state_ = State::kAssociated;
   time_source_ = frame.src;
   radio_.turn_off();
@@ -97,8 +152,7 @@ void TschMac::associate_from_eb(const Frame& frame) {
   GTTSCH_LOG_INFO("mac", "node %u associated via EB from %u at ASN %llu", radio_.id(),
                   frame.src, static_cast<unsigned long long>(eb.asn));
   if (upcalls_ != nullptr) upcalls_->mac_associated(eb.asn, frame);
-  next_slot_time_ = current_slot_start_ + local_slot_duration();
-  arm_slot_timer();
+  schedule_next_slot();
 }
 
 TimeUs TschMac::local_slot_duration() const { return config_.timing.slot_duration; }
@@ -108,21 +162,109 @@ void TschMac::arm_slot_timer() {
                     [this] { on_slot_start(); });
 }
 
-void TschMac::schedule_next_slot() {
-  // The node's oscillator error stretches (or shrinks) its local slots;
-  // sub-microsecond residue accumulates so any ppm value is honoured.
-  drift_accum_ +=
-      static_cast<double>(config_.timing.slot_duration) * config_.drift_ppm * 1e-6;
-  TimeUs extra = static_cast<TimeUs>(drift_accum_);  // trunc toward zero
-  drift_accum_ -= static_cast<double>(extra);
-  next_slot_time_ = current_slot_start_ + config_.timing.slot_duration + extra;
+void TschMac::arm_wake_at(Asn target) {
+  GTTSCH_CHECK(target > asn_);
+  const std::uint64_t span = target - asn_;
+  double accum = drift_accum_;
+  TimeUs total = 0;
+  if (config_.drift_ppm == 0.0) {
+    total = static_cast<TimeUs>(span) * config_.timing.slot_duration;
+  } else {
+    // The node's oscillator error stretches (or shrinks) its local slots;
+    // sub-microsecond residue accumulates so any ppm value is honoured.
+    // Iterated per skipped slot so the accumulator holds bit-identical
+    // values to per-slot stepping at every boundary.
+    DriftWalk walk = DriftWalk::from(config_, accum);
+    for (std::uint64_t i = 0; i < span; ++i)
+      total += config_.timing.slot_duration + walk.advance();
+    accum = walk.accum;
+  }
+  wake_asn_ = target;
+  wake_drift_accum_ = accum;
+  next_slot_time_ = current_slot_start_ + total;
   arm_slot_timer();
 }
 
+void TschMac::schedule_next_slot() {
+  if (per_slot_ || anchor_slot_active_) {
+    // Per-slot reference mode, or the slot after an active one: the next
+    // boundary must run unconditionally (it performs the end-of-slot
+    // defensive clears — e.g. cutting off a carrier-sense listen that the
+    // rx guard extended across the boundary).
+    arm_wake_at(asn_ + 1);
+    return;
+  }
+  const Asn target = schedule_.next_active_asn(asn_);
+  if (target == TschSchedule::kNoActiveAsn) {
+    // Nothing scheduled anywhere: sleep until the schedule changes.
+    slot_timer_.stop();
+    return;
+  }
+  arm_wake_at(target);
+}
+
+bool TschMac::walk_anchor(Asn& asn, TimeUs& slot_start, double& accum,
+                          TimeUs now) const {
+  const TimeUs dur = config_.timing.slot_duration;
+  if (config_.drift_ppm == 0.0) {
+    if (now - slot_start < dur) return false;
+    const auto k = static_cast<std::uint64_t>((now - slot_start) / dur);
+    asn += k;
+    slot_start += static_cast<TimeUs>(k) * dur;
+    return true;
+  }
+  DriftWalk walk = DriftWalk::from(config_, accum);
+  bool moved = false;
+  while (true) {
+    DriftWalk next = walk;
+    const TimeUs boundary = slot_start + dur + next.advance();
+    if (boundary > now) break;
+    walk = next;
+    slot_start = boundary;
+    ++asn;
+    moved = true;
+  }
+  accum = walk.accum;
+  return moved;
+}
+
+void TschMac::advance_anchor_to_now() {
+  if (walk_anchor(asn_, current_slot_start_, drift_accum_, sim_.now()))
+    anchor_slot_active_ = false;
+}
+
+void TschMac::on_schedule_changed() {
+  if (per_slot_ || state_ != State::kAssociated) return;
+  // A wake armed for this exact instant fires right after the current
+  // event (slot events precede same-time protocol events) and will read
+  // the updated schedule itself.
+  if (slot_timer_.running() && next_slot_time_ <= sim_.now()) return;
+  advance_anchor_to_now();
+  if (anchor_slot_active_) return;  // boundary at asn_+1 is already armed
+  const Asn target = schedule_.next_active_asn(asn_);
+  if (target == TschSchedule::kNoActiveAsn) {
+    slot_timer_.stop();
+    return;
+  }
+  arm_wake_at(target);
+}
+
+Asn TschMac::asn() const {
+  if (state_ != State::kAssociated) return asn_;
+  // Count the slot boundaries that have elapsed since the anchor (all
+  // idle, or per-slot stepping would have moved the anchor already) —
+  // exactly the ASN a per-slot MAC would hold at this instant.
+  Asn asn = asn_;
+  TimeUs slot_start = current_slot_start_;
+  double accum = drift_accum_;
+  walk_anchor(asn, slot_start, accum, sim_.now());
+  return asn;
+}
+
 void TschMac::on_slot_start() {
-  asn_ = next_asn_++;
+  asn_ = wake_asn_;
+  drift_accum_ = wake_drift_accum_;
   current_slot_start_ = sim_.now();
-  schedule_next_slot();
 
   // A well-formed slot never leaks state past its end; clear defensively.
   action_timer_.stop();
@@ -136,16 +278,18 @@ void TschMac::on_slot_start() {
   }
   if (radio_.state() == RadioState::kListening) radio_.turn_off();
 
-  const auto cells = schedule_.active_cells(asn_);
-  if (cells.empty()) return;
+  schedule_.active_cells_into(asn_, cells_scratch_);
+  anchor_slot_active_ = !cells_scratch_.empty();
+  schedule_next_slot();
+  if (cells_scratch_.empty()) return;
 
   // Pass 1: a transmit opportunity with a concrete frame wins.
-  for (const auto& [handle, cell] : cells) {
+  for (const auto& [handle, cell] : cells_scratch_) {
     (void)handle;
     if (cell.is_tx() && try_start_tx(cell)) return;
   }
   // Pass 2: otherwise listen on the first Rx cell.
-  for (const auto& [handle, cell] : cells) {
+  for (const auto& [handle, cell] : cells_scratch_) {
     (void)handle;
     if (cell.is_rx()) {
       start_rx(cell);
@@ -320,7 +464,8 @@ void TschMac::rx_guard_check(PhysChannel channel) {
     if (!ack_tx_timer_.running()) radio_.turn_off();
     return;
   }
-  radio_off_timer_.start(busy + 200 - sim_.now(), [this, channel] { rx_guard_check(channel); });
+  radio_off_timer_.start(busy + config_.timing.rx_repoll_slack - sim_.now(),
+                         [this, channel] { rx_guard_check(channel); });
 }
 
 void TschMac::on_radio_rx(FramePtr frame) {

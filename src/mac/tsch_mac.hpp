@@ -5,12 +5,22 @@
 // CSMA backoff, Enhanced Beacon emission, and network association by
 // EB scanning. Scheduling functions (GT-TSCH, Orchestra) own the schedule
 // content; the MAC only executes it.
+//
+// Fast path: by default the slot timer jumps directly from one *active*
+// slot to the next (the schedule's compiled timetable provides
+// next_active_asn), so idle slots — the overwhelming majority under sparse
+// schedules — cost no simulator event at all. Idle slots touch no RNG and
+// no externally visible state, so skipping them is observably identical to
+// per-slot stepping; the GTTSCH_FORCE_PER_SLOT environment variable (or
+// MacConfig::per_slot_stepping) restores the reference per-slot behaviour,
+// which the fast-path equivalence tests compare bit-for-bit.
 #pragma once
 
 #include <deque>
 #include <functional>
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "mac/hopping.hpp"
 #include "mac/schedule.hpp"
@@ -44,6 +54,10 @@ struct MacConfig {
   double drift_ppm = 0.0;
   std::size_t data_queue_capacity = 16;    ///< Q_max of the paper
   std::size_t control_queue_capacity = 8;  ///< per-neighbor control cap
+  /// Reference mode: wake on every slot boundary instead of jumping to the
+  /// next active slot. Only useful for equivalence testing and debugging;
+  /// the GTTSCH_FORCE_PER_SLOT environment variable forces it globally.
+  bool per_slot_stepping = false;
 };
 
 /// Upper-layer hooks (implemented by the Node integration layer).
@@ -97,7 +111,12 @@ class TschMac {
 
   bool associated() const { return state_ == State::kAssociated; }
   bool scanning() const { return state_ == State::kScanning; }
-  Asn asn() const { return asn_; }
+
+  /// The ASN of the current slot. With idle-slot skipping the MAC may not
+  /// have woken since the last active slot, so this is computed from the
+  /// slot anchor — it always matches what per-slot stepping would report.
+  Asn asn() const;
+
   NodeId time_source() const { return time_source_; }
 
   /// Cumulative time corrections applied from time-source EBs (diagnostic;
@@ -120,6 +139,9 @@ class TschMac {
   const MacCounters& counters() const { return counters_; }
   NodeId id() const { return radio_.id(); }
 
+  /// True when this MAC steps every slot (reference mode).
+  bool per_slot_stepping() const { return per_slot_; }
+
   /// Duration of one slotframe of `length` slots.
   TimeUs slotframe_duration(std::uint16_t length) const {
     return config_.timing.slot_duration * length;
@@ -140,7 +162,25 @@ class TschMac {
   /// This node's (possibly drifted) slot duration.
   TimeUs local_slot_duration() const;
   void arm_slot_timer();
+  /// Arm the next wakeup from the current slot anchor: the next slot after
+  /// an active one (so the boundary's defensive clears still run), else
+  /// the next ASN holding any cell, else nothing.
   void schedule_next_slot();
+  /// Arm the slot timer for `target` (> asn_), accumulating the drifted
+  /// duration of every slot in between exactly as per-slot stepping would.
+  void arm_wake_at(Asn target);
+  /// Walk an anchor (asn, slot start, drift residue) forward over every
+  /// slot boundary at or before `now`, using the exact per-slot drift
+  /// arithmetic. Returns true when at least one boundary was crossed.
+  /// The single walker behind advance_anchor_to_now() and asn() — they
+  /// must share the operation sequence or fast-path equivalence breaks.
+  bool walk_anchor(Asn& asn, TimeUs& slot_start, double& accum, TimeUs now) const;
+  /// Walk the slot anchor over boundaries that have already elapsed (all
+  /// idle by construction); keeps asn_/current_slot_start_/drift_accum_
+  /// equal to what per-slot stepping would hold at this instant.
+  void advance_anchor_to_now();
+  /// Schedule-change hook: re-aim the pending wakeup (fast path only).
+  void on_schedule_changed();
   void on_slot_start();
   void maybe_resync(const Frame& eb_frame);
   bool try_start_tx(const Cell& cell);
@@ -165,13 +205,21 @@ class TschMac {
   std::function<std::optional<EbPayload>()> eb_provider_;
 
   State state_ = State::kOff;
+  bool per_slot_ = false;  ///< config.per_slot_stepping or env override
+
+  // --- slot anchor: state of the most recently started slot -------------
   Asn asn_ = 0;
-  Asn next_asn_ = 0;
-  double drift_accum_ = 0.0;
-  TimeUs next_slot_time_ = 0;
   /// Start of the current slot (anchored at association, advanced by the
   /// node's drifted local slot duration, corrected by time-source EBs).
   TimeUs current_slot_start_ = 0;
+  double drift_accum_ = 0.0;     ///< sub-microsecond drift residue at anchor
+  bool anchor_slot_active_ = false;  ///< anchor slot had >=1 cell at start
+
+  // --- pending wakeup ----------------------------------------------------
+  Asn wake_asn_ = 0;             ///< slot the armed slot timer will start
+  TimeUs next_slot_time_ = 0;    ///< its boundary time
+  double wake_drift_accum_ = 0.0;  ///< drift residue to commit at the wake
+
   NodeId time_source_ = kNoNode;
   TimeUs total_sync_correction_ = 0;
 
@@ -180,7 +228,7 @@ class TschMac {
   std::uint32_t next_mac_seq_ = 1;
   std::map<NodeId, std::deque<std::uint32_t>> recent_rx_seqs_;
 
-  OneShotTimer slot_timer_;
+  OneShotTimer slot_timer_;     // keyed by node id (see kDefaultEventKey)
   OneShotTimer action_timer_;   // tx start / rx guard inside the slot
   OneShotTimer ack_timer_;      // sender-side ACK deadline
   OneShotTimer ack_tx_timer_;   // receiver-side delayed ACK
@@ -191,6 +239,8 @@ class TschMac {
   bool awaiting_ack_ = false;
   TimeUs eb_next_due_ = 0;
   std::size_t scan_channel_index_ = 0;
+
+  std::vector<TschSchedule::ActiveCell> cells_scratch_;  ///< per-slot reuse
 
   MacCounters counters_;
 };

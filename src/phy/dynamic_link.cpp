@@ -1,5 +1,7 @@
 #include "phy/dynamic_link.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace gttsch {
@@ -13,10 +15,12 @@ void DynamicLinkModel::override_prr(TimeUs at, NodeId tx, NodeId rx, double prr,
                                     bool symmetric) {
   overrides_.push_back(Override{at, tx, rx, prr});
   if (symmetric) overrides_.push_back(Override{at, rx, tx, prr});
+  next_recount_at_ = std::min(next_recount_at_, at);
 }
 
 void DynamicLinkModel::kill_node(TimeUs at, NodeId id) {
   kills_.push_back(NodeKill{at, id});
+  next_recount_at_ = std::min(next_recount_at_, at);
 }
 
 const DynamicLinkModel::Override* DynamicLinkModel::active_override(NodeId tx,
@@ -28,6 +32,29 @@ const DynamicLinkModel::Override* DynamicLinkModel::active_override(NodeId tx,
     if (best == nullptr || o.at >= best->at) best = &o;
   }
   return best;
+}
+
+std::uint64_t DynamicLinkModel::version() const {
+  const TimeUs now = sim_.now();
+  if (now >= next_recount_at_) {
+    // Recount activations and remember when the next one lands, so the
+    // common call (nothing changed) is O(1).
+    active_count_ = 0;
+    next_recount_at_ = kInfiniteTime;
+    for (const Override& o : overrides_) {
+      if (o.at <= now)
+        ++active_count_;
+      else
+        next_recount_at_ = std::min(next_recount_at_, o.at);
+    }
+    for (const NodeKill& k : kills_) {
+      if (k.at <= now)
+        ++active_count_;
+      else
+        next_recount_at_ = std::min(next_recount_at_, k.at);
+    }
+  }
+  return base_->version() + active_count_;
 }
 
 bool DynamicLinkModel::node_dead(NodeId id) const {

@@ -30,6 +30,16 @@ class DynamicLinkModel final : public LinkModel {
   bool interferes(NodeId tx, const Position& tx_pos, NodeId rx,
                   const Position& rx_pos) const override;
 
+  /// Base version + the number of overrides/kills whose activation time
+  /// has passed: activations never revert and inserting an
+  /// already-active override raises the count too, so this is monotone
+  /// and changes exactly when the effective link table can change.
+  /// Amortized O(1): the active count is cached together with the next
+  /// pending activation time, and only recounted once sim time (or an
+  /// insertion) reaches it — version() sits on the medium's per-frame
+  /// cache-validity check.
+  std::uint64_t version() const override;
+
   const LinkModel& base() const { return *base_; }
 
  private:
@@ -52,6 +62,8 @@ class DynamicLinkModel final : public LinkModel {
   std::unique_ptr<LinkModel> base_;
   std::vector<Override> overrides_;  // kept in insertion order
   std::vector<NodeKill> kills_;
+  mutable std::uint64_t active_count_ = 0;   ///< entries with at <= now
+  mutable TimeUs next_recount_at_ = 0;       ///< recount when now reaches this
 };
 
 }  // namespace gttsch

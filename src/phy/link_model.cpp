@@ -37,11 +37,13 @@ bool DistancePrrModel::interferes(NodeId, const Position& a, NodeId, const Posit
 void MatrixLinkModel::set(NodeId tx, NodeId rx, double prr, bool symmetric) {
   prr_[{tx, rx}] = std::clamp(prr, 0.0, 1.0);
   if (symmetric) prr_[{rx, tx}] = std::clamp(prr, 0.0, 1.0);
+  ++version_;
 }
 
 void MatrixLinkModel::set_interference(NodeId tx, NodeId rx, bool on, bool symmetric) {
   interference_[{tx, rx}] = on;
   if (symmetric) interference_[{rx, tx}] = on;
+  ++version_;
 }
 
 double MatrixLinkModel::prr(NodeId tx, const Position&, NodeId rx, const Position&) const {

@@ -26,6 +26,13 @@ class LinkModel {
   /// concurrent reception (even if not decodable).
   virtual bool interferes(NodeId tx, const Position& tx_pos, NodeId rx,
                           const Position& rx_pos) const = 0;
+
+  /// Monotone change counter: must return a new (larger) value whenever
+  /// prr()/interferes() may answer differently than before for identical
+  /// positions. Purely geometric models are constant (0); mutable or
+  /// time-varying models bump it so the Medium's pairwise link cache can
+  /// invalidate itself.
+  virtual std::uint64_t version() const { return 0; }
 };
 
 /// Cooja-UDGM-style disk: PRR = `prr_in_range` within `range`, zero outside;
@@ -69,10 +76,12 @@ class MatrixLinkModel final : public LinkModel {
 
   double prr(NodeId tx, const Position&, NodeId rx, const Position&) const override;
   bool interferes(NodeId tx, const Position&, NodeId rx, const Position&) const override;
+  std::uint64_t version() const override { return version_; }
 
  private:
   std::map<std::pair<NodeId, NodeId>, double> prr_;
   std::map<std::pair<NodeId, NodeId>, bool> interference_;
+  std::uint64_t version_ = 0;  ///< bumped on every set()/set_interference()
 };
 
 }  // namespace gttsch

@@ -7,6 +7,15 @@
 
 namespace gttsch {
 
+namespace {
+/// How long a finished transmission stays in its channel bucket. A finished
+/// frame only matters for collision resolution of frames that overlapped it
+/// in time, and no frame is airborne longer than kMaxFrameAirtime — so
+/// anything that ended more than one maximal airtime ago can no longer
+/// overlap a transmission still in flight.
+constexpr TimeUs kInFlightRetention = kMaxFrameAirtime;
+}  // namespace
+
 Medium::Medium(Simulator& sim, std::unique_ptr<LinkModel> model, Rng rng)
     : sim_(sim), model_(std::move(model)), rng_(rng) {
   GTTSCH_CHECK(model_ != nullptr);
@@ -15,9 +24,18 @@ Medium::Medium(Simulator& sim, std::unique_ptr<LinkModel> model, Rng rng)
 void Medium::attach(Radio* radio) {
   GTTSCH_CHECK(radio != nullptr);
   radios_[radio->id()] = radio;
+  ++topo_version_;
 }
 
-void Medium::detach(NodeId id) { radios_.erase(id); }
+void Medium::detach(NodeId id) {
+  radios_.erase(id);
+  ++topo_version_;
+}
+
+void Medium::position_changed(NodeId id) {
+  (void)id;
+  ++topo_version_;
+}
 
 double Medium::link_prr(NodeId tx, NodeId rx) const {
   const auto a = radios_.find(tx);
@@ -26,23 +44,76 @@ double Medium::link_prr(NodeId tx, NodeId rx) const {
   return model_->prr(tx, a->second->position(), rx, b->second->position());
 }
 
+void Medium::ensure_cache() const {
+  const std::uint64_t model_version = model_->version();
+  if (cache_valid_ && cached_topo_version_ == topo_version_ &&
+      cached_model_version_ == model_version) {
+    return;
+  }
+  const std::size_t n = radios_.size();
+  cache_ids_.clear();
+  cache_radios_.clear();
+  cache_ids_.reserve(n);
+  cache_radios_.reserve(n);
+  for (const auto& [id, radio] : radios_) {
+    cache_ids_.push_back(id);
+    cache_radios_.push_back(radio);
+  }
+  cache_pairs_.assign(n * n, PairLink{});
+  cache_receivers_.assign(n, {});
+  for (std::size_t t = 0; t < n; ++t) {
+    const Position& tx_pos = cache_radios_[t]->position();
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == t) continue;
+      const Position& rx_pos = cache_radios_[r]->position();
+      PairLink& link = cache_pairs_[t * n + r];
+      link.prr = model_->prr(cache_ids_[t], tx_pos, cache_ids_[r], rx_pos);
+      link.interferes =
+          model_->interferes(cache_ids_[t], tx_pos, cache_ids_[r], rx_pos);
+      if (link.prr > 0.0)
+        cache_receivers_[t].push_back(static_cast<std::uint32_t>(r));
+    }
+  }
+  cached_topo_version_ = topo_version_;
+  cached_model_version_ = model_version;
+  cache_valid_ = true;
+}
+
+std::size_t Medium::cache_index(NodeId id) const {
+  const auto it = std::lower_bound(cache_ids_.begin(), cache_ids_.end(), id);
+  if (it == cache_ids_.end() || *it != id) return static_cast<std::size_t>(-1);
+  return static_cast<std::size_t>(it - cache_ids_.begin());
+}
+
 void Medium::start_transmission(Radio& sender, FramePtr frame, PhysChannel channel) {
+  // kInFlightRetention's overlap bound assumes no frame outlives the
+  // maximal legal airtime; enforce the 127-byte invariant at the source.
+  GTTSCH_CHECK(frame->length_bytes <= kMaxMacFrameBytes);
   const TimeUs air = frame_airtime(frame->length_bytes);
   const std::uint64_t id = next_tx_id_++;
-  in_flight_.push_back(
+  in_flight_[channel].push_back(
       Transmission{id, sender.id(), std::move(frame), channel, sim_.now(), sim_.now() + air});
   ++stats_.transmissions;
-  sim_.after(air, [this, id] { finish_transmission(id); });
+  sim_.after(air, [this, channel, id] { finish_transmission(channel, id); });
 }
 
 bool Medium::suffers_collision(const Transmission& tx, const Radio& rx) const {
-  for (const auto& other : in_flight_) {
+  const auto bucket_it = in_flight_.find(tx.channel);
+  if (bucket_it == in_flight_.end()) return false;
+  const std::size_t rx_idx = cache_index(rx.id());
+  const std::size_t n = cache_ids_.size();
+  for (const auto& other : bucket_it->second) {
     if (other.id == tx.id) continue;
-    if (other.channel != tx.channel) continue;
     if (other.sender == rx.id()) continue;  // a radio cannot jam itself here:
     // it would be transmitting, and the listening check already failed.
     const bool overlap = other.start < tx.end && tx.start < other.end;
     if (!overlap) continue;
+    const std::size_t s_idx = cache_index(other.sender);
+    if (rx_idx != static_cast<std::size_t>(-1) && s_idx != static_cast<std::size_t>(-1)) {
+      if (cache_pairs_[s_idx * n + rx_idx].interferes) return true;
+      continue;
+    }
+    // Uncached (e.g. sender detached mid-flight): ask the model directly.
     const auto it = radios_.find(other.sender);
     if (it == radios_.end()) continue;
     if (model_->interferes(other.sender, it->second->position(), rx.id(), rx.position()))
@@ -54,12 +125,22 @@ bool Medium::suffers_collision(const Transmission& tx, const Radio& rx) const {
 TimeUs Medium::busy_until(NodeId listener, PhysChannel channel) const {
   const auto lit = radios_.find(listener);
   if (lit == radios_.end()) return 0;
+  const auto bucket_it = in_flight_.find(channel);
+  if (bucket_it == in_flight_.end()) return 0;
+  ensure_cache();
+  const std::size_t l_idx = cache_index(listener);
+  const std::size_t n = cache_ids_.size();
   const Position& lpos = lit->second->position();
   TimeUs latest = 0;
-  for (const auto& tx : in_flight_) {
-    if (tx.channel != channel) continue;
+  for (const auto& tx : bucket_it->second) {
     if (tx.sender == listener) continue;
     if (tx.end <= sim_.now()) continue;
+    const std::size_t s_idx = cache_index(tx.sender);
+    if (s_idx != static_cast<std::size_t>(-1) && l_idx != static_cast<std::size_t>(-1)) {
+      const PairLink& link = cache_pairs_[s_idx * n + l_idx];
+      if (link.prr > 0.0 || link.interferes) latest = std::max(latest, tx.end);
+      continue;
+    }
     const auto sit = radios_.find(tx.sender);
     if (sit == radios_.end()) continue;
     const Position& spos = sit->second->position();
@@ -71,45 +152,88 @@ TimeUs Medium::busy_until(NodeId listener, PhysChannel channel) const {
   return latest;
 }
 
-void Medium::finish_transmission(std::uint64_t tx_id) {
-  const auto it = std::find_if(in_flight_.begin(), in_flight_.end(),
+void Medium::resolve_receiver(const Transmission& tx, NodeId rid, Radio& radio,
+                              double prr) {
+  // Receiver must have been listening on the right channel for the whole
+  // frame (preamble included).
+  if (radio.state() != RadioState::kListening) return;
+  if (radio.channel() != tx.channel) return;
+  if (radio.listening_since() > tx.start) return;
+  if (prr <= 0.0) return;  // out of communication range entirely
+  if (suffers_collision(tx, radio)) {
+    ++stats_.collision_losses;
+    GTTSCH_LOG_DEBUG("medium", "collision at node %u (frame %s from %u)", rid,
+                     frame_type_name(tx.frame->type), tx.sender);
+    return;
+  }
+  if (!rng_.bernoulli(prr)) {
+    ++stats_.prr_losses;
+    return;
+  }
+  ++stats_.deliveries;
+  radio.medium_deliver(tx.frame);
+}
+
+void Medium::finish_transmission(PhysChannel channel, std::uint64_t tx_id) {
+  auto& bucket = in_flight_[channel];
+  const auto it = std::find_if(bucket.begin(), bucket.end(),
                                [tx_id](const Transmission& t) { return t.id == tx_id; });
-  GTTSCH_CHECK(it != in_flight_.end());
+  GTTSCH_CHECK(it != bucket.end());
   const Transmission tx = *it;  // copy: delivery callbacks may mutate the list
 
   const auto sender_it = radios_.find(tx.sender);
   Radio* sender = sender_it == radios_.end() ? nullptr : sender_it->second;
 
-  for (auto& [rid, radio] : radios_) {
-    if (rid == tx.sender) continue;
-    // Receiver must have been listening on the right channel for the whole
-    // frame (preamble included).
-    if (radio->state() != RadioState::kListening) continue;
-    if (radio->channel() != tx.channel) continue;
-    if (radio->listening_since() > tx.start) continue;
-    const Position& rx_pos = radio->position();
-    const Position& tx_pos = sender != nullptr ? sender->position() : Position{};
-    const double p = model_->prr(tx.sender, tx_pos, rid, rx_pos);
-    if (p <= 0.0) continue;  // out of communication range entirely
-    if (suffers_collision(tx, *radio)) {
-      ++stats_.collision_losses;
-      GTTSCH_LOG_DEBUG("medium", "collision at node %u (frame %s from %u)", rid,
-                       frame_type_name(tx.frame->type), tx.sender);
-      continue;
+  ensure_cache();
+  const std::size_t s_idx = sender != nullptr ? cache_index(tx.sender)
+                                              : static_cast<std::size_t>(-1);
+  if (s_idx != static_cast<std::size_t>(-1)) {
+    const std::size_t n = cache_ids_.size();
+    // Only receivers in communication range (prr > 0) draw from the RNG,
+    // in ascending node id — matching the full-radio iteration this fast
+    // path replaces. Snapshot the candidates first: like the Transmission
+    // copy above, delivery callbacks may invalidate the cache vectors.
+    delivery_scratch_.clear();
+    for (const std::uint32_t r_idx : cache_receivers_[s_idx]) {
+      delivery_scratch_.push_back(DeliveryCandidate{
+          cache_ids_[r_idx], cache_radios_[r_idx], cache_pairs_[s_idx * n + r_idx].prr});
     }
-    if (!rng_.bernoulli(p)) {
-      ++stats_.prr_losses;
-      continue;
+    for (const DeliveryCandidate& cand : delivery_scratch_) {
+      // An earlier delivery callback may have detached (destroyed) this
+      // radio; skip unless it is still the attached one.
+      const auto rit = radios_.find(cand.id);
+      if (rit == radios_.end() || rit->second != cand.radio) continue;
+      resolve_receiver(tx, cand.id, *cand.radio, cand.prr);
     }
-    ++stats_.deliveries;
-    radio->medium_deliver(tx.frame);
+  } else {
+    // Sender unknown to the cache (detached mid-flight): resolve each
+    // receiver against the model directly, as the uncached path did —
+    // with the same snapshot + revalidation discipline as above, since
+    // delivery callbacks may detach radios mid-loop.
+    delivery_scratch_.clear();
+    for (auto& [rid, radio] : radios_) {
+      if (rid == tx.sender) continue;
+      const Position& tx_pos = sender != nullptr ? sender->position() : Position{};
+      delivery_scratch_.push_back(DeliveryCandidate{
+          rid, radio, model_->prr(tx.sender, tx_pos, rid, radio->position())});
+    }
+    for (const DeliveryCandidate& cand : delivery_scratch_) {
+      const auto rit = radios_.find(cand.id);
+      if (rit == radios_.end() || rit->second != cand.radio) continue;
+      resolve_receiver(tx, cand.id, *cand.radio, cand.prr);
+    }
   }
 
-  // Prune transmissions that can no longer overlap anything in flight.
-  const TimeUs horizon = sim_.now() - 20000;
-  std::erase_if(in_flight_, [&](const Transmission& t) { return t.end < horizon; });
+  // Prune this channel's transmissions that can no longer overlap anything
+  // still in flight.
+  const TimeUs horizon = sim_.now() - kInFlightRetention;
+  std::erase_if(bucket, [&](const Transmission& t) { return t.end < horizon; });
 
-  if (sender != nullptr) sender->medium_tx_finished();
+  // Same revalidation as the receivers: a delivery callback may have
+  // detached (destroyed) the sender since the lookup above.
+  const auto sit = radios_.find(tx.sender);
+  if (sit != radios_.end() && sit->second == sender && sender != nullptr)
+    sender->medium_tx_finished();
 }
 
 }  // namespace gttsch

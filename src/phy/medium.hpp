@@ -24,12 +24,21 @@ struct MediumStats {
   std::uint64_t prr_losses = 0;        ///< receiver lost frame to link quality
 };
 
+/// Delivery resolution is cached: the pairwise PRR/interference matrix and
+/// the per-sender in-range receiver lists are compiled from the link model
+/// and rebuilt whenever a radio attaches/detaches/moves or the model
+/// reports a new version() (mobility, dynamic link overrides, matrix
+/// edits). In-flight transmissions are bucketed per physical channel so
+/// carrier sense and collision checks touch only same-channel frames.
 class Medium {
  public:
   Medium(Simulator& sim, std::unique_ptr<LinkModel> model, Rng rng);
 
   void attach(Radio* radio);
   void detach(NodeId id);
+
+  /// Radio position changed (mobility): invalidates the link cache.
+  void position_changed(NodeId id);
 
   /// Called by Radio::transmit. Takes care of completion and delivery.
   void start_transmission(Radio& sender, FramePtr frame, PhysChannel channel);
@@ -56,16 +65,60 @@ class Medium {
     TimeUs end;
   };
 
-  void finish_transmission(std::uint64_t tx_id);
+  /// One compiled link-cache entry (row-major: pairs_[tx_idx*n + rx_idx]).
+  struct PairLink {
+    double prr = 0.0;
+    bool interferes = false;
+  };
+
+  void finish_transmission(PhysChannel channel, std::uint64_t tx_id);
+  /// Resolve one candidate receiver of a finished transmission: listening
+  /// filters, collision check, PRR draw, stats, delivery. Shared by the
+  /// cached fast path and the detached-sender fallback so the filter order
+  /// and RNG-draw discipline (part of the fast-path bit-equivalence
+  /// contract) cannot drift between them. `prr` <= 0 draws nothing.
+  void resolve_receiver(const Transmission& tx, NodeId rid, Radio& radio, double prr);
   bool suffers_collision(const Transmission& tx, const Radio& rx) const;
+  void ensure_cache() const;
+  /// Cache row index for `id`, or npos when unknown (e.g. detached).
+  std::size_t cache_index(NodeId id) const;
 
   Simulator& sim_;
   std::unique_ptr<LinkModel> model_;
   Rng rng_;
   std::map<NodeId, Radio*> radios_;
-  std::vector<Transmission> in_flight_;  // includes recently-ended, pruned lazily
+  /// In-flight (and recently-ended, pruned lazily) transmissions, one
+  /// bucket per physical channel.
+  std::map<PhysChannel, std::vector<Transmission>> in_flight_;
   std::uint64_t next_tx_id_ = 1;
   MediumStats stats_;
+
+  // --- compiled link cache (see class comment) --------------------------
+  std::uint64_t topo_version_ = 1;  ///< attach/detach/move counter
+  mutable std::uint64_t cached_topo_version_ = 0;
+  mutable std::uint64_t cached_model_version_ = 0;
+  mutable bool cache_valid_ = false;
+  mutable std::vector<NodeId> cache_ids_;     ///< ascending
+  mutable std::vector<Radio*> cache_radios_;  ///< parallel to cache_ids_
+  mutable std::vector<PairLink> cache_pairs_;
+  /// Per sender index: receiver indices with prr > 0, ascending by NodeId
+  /// (the delivery-loop order, so RNG draws match the uncached iteration).
+  mutable std::vector<std::vector<std::uint32_t>> cache_receivers_;
+  /// Snapshot of one sender's candidates taken before the delivery loop:
+  /// delivery callbacks may invalidate/rebuild the cache (mobility hooks,
+  /// attach/detach), so the loop must not read cache vectors directly, and
+  /// each entry is re-validated against radios_ before dereferencing in
+  /// case a callback detached that radio. Reused across calls — no
+  /// steady-state allocation. Safe because finish_transmission never
+  /// nests: it only runs as a queue event, and although delivery
+  /// callbacks execute synchronously inside it (Radio::medium_deliver ->
+  /// on_rx), no rx path synchronously completes another transmission.
+  struct DeliveryCandidate {
+    NodeId id;
+    Radio* radio;
+    double prr;
+  };
+  std::vector<DeliveryCandidate> delivery_scratch_;
 };
 
 }  // namespace gttsch

@@ -13,6 +13,11 @@ Radio::Radio(Simulator& sim, Medium& medium, NodeId id, Position pos)
 
 Radio::~Radio() { medium_.detach(id_); }
 
+void Radio::set_position(Position pos) {
+  pos_ = pos;
+  medium_.position_changed(id_);
+}
+
 void Radio::accumulate() const {
   const TimeUs now = sim_.now();
   const TimeUs span = now - last_change_;

@@ -24,7 +24,9 @@ class Radio {
 
   NodeId id() const { return id_; }
   const Position& position() const { return pos_; }
-  void set_position(Position pos) { pos_ = pos; }
+  /// Relocate (mobility); notifies the medium so cached link qualities
+  /// for this radio are recomputed.
+  void set_position(Position pos);
 
   RadioState state() const { return state_; }
   PhysChannel channel() const { return channel_; }

@@ -1,18 +1,8 @@
 #include "phy/wire.hpp"
 
-namespace gttsch {
+#include "util/check.hpp"
 
-std::uint16_t default_frame_length(FrameType type) {
-  switch (type) {
-    case FrameType::kData: return 110;  // 6LoWPAN-compressed UDP sample
-    case FrameType::kEb: return 52;     // EB with sync + GT-TSCH channel IE
-    case FrameType::kDio: return 84;    // DIO with MRHOF + l^rx option
-    case FrameType::kDis: return 30;    // bare solicitation
-    case FrameType::kSixp: return 40;   // 6P header + short cell list
-    case FrameType::kAck: return 26;    // enhanced ACK
-  }
-  return 64;
-}
+namespace gttsch {
 
 namespace {
 FramePtr finish(Frame f) {
@@ -63,6 +53,9 @@ FramePtr make_sixp_frame(NodeId src, NodeId dst, SixpPayload p) {
   f.src = src;
   f.dst = dst;
   // A 6P frame grows with its cell list (4 bytes per encoded cell).
+  // Producers chunk their CellLists to kMaxSixpCellListCells; an oversized
+  // list here would outlive the timeslot in the air, so trip loudly.
+  GTTSCH_CHECK(p.cell_list.size() <= kMaxSixpCellListCells);
   f.length_bytes =
       static_cast<std::uint16_t>(default_frame_length(FrameType::kSixp) + 4 * p.cell_list.size());
   f.payload = std::move(p);
@@ -76,10 +69,6 @@ FramePtr make_ack_frame(NodeId src, NodeId dst) {
   f.dst = dst;
   f.payload = AckPayload{};
   return finish(std::move(f));
-}
-
-TimeUs frame_airtime(std::uint16_t length_bytes) {
-  return 192 + static_cast<TimeUs>(length_bytes) * 32;
 }
 
 const char* frame_type_name(FrameType type) {

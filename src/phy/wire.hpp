@@ -155,9 +155,30 @@ struct Frame {
 
 using FramePtr = std::shared_ptr<const Frame>;
 
+/// IEEE 802.15.4 aMaxPHYPacketSize: no MAC frame exceeds this, so
+/// frame_airtime(kMaxMacFrameBytes) bounds any transmission's airtime.
+inline constexpr std::uint16_t kMaxMacFrameBytes = 127;
+
 /// Default encoded lengths (bytes, incl. MAC header) per frame type.
 /// Data frames model a compressed 6LoWPAN/UDP sample near the 127 B cap.
-std::uint16_t default_frame_length(FrameType type);
+constexpr std::uint16_t default_frame_length(FrameType type) {
+  switch (type) {
+    case FrameType::kData: return 110;  // 6LoWPAN-compressed UDP sample
+    case FrameType::kEb: return 52;     // EB with sync + GT-TSCH channel IE
+    case FrameType::kDio: return 84;    // DIO with MRHOF + l^rx option
+    case FrameType::kDis: return 30;    // bare solicitation
+    case FrameType::kSixp: return 40;   // 6P header + short cell list
+    case FrameType::kAck: return 26;    // enhanced ACK
+  }
+  return 64;
+}
+
+/// RFC 8480 CellList cap: a 6P frame (40 B header + 4 B per encoded cell)
+/// must stay within the 127-byte MAC frame. Long slotframes can offer far
+/// more free offsets than this; proposers truncate their CellList to it so
+/// no 6P frame ever outgrows a timeslot.
+inline constexpr std::size_t kMaxSixpCellListCells =
+    (kMaxMacFrameBytes - default_frame_length(FrameType::kSixp)) / 4;
 
 /// Frame factory helpers; length defaults from default_frame_length().
 FramePtr make_data_frame(NodeId src, NodeId dst, DataPayload p);
@@ -168,7 +189,12 @@ FramePtr make_sixp_frame(NodeId src, NodeId dst, SixpPayload p);
 FramePtr make_ack_frame(NodeId src, NodeId dst);
 
 /// IEEE 802.15.4 O-QPSK at 250 kbit/s: 32 us per byte + 192 us preamble/SFD.
-TimeUs frame_airtime(std::uint16_t length_bytes);
+constexpr TimeUs frame_airtime(std::uint16_t length_bytes) {
+  return 192 + static_cast<TimeUs>(length_bytes) * 32;
+}
+
+/// Upper bound on any single frame's airtime (the longest legal frame).
+inline constexpr TimeUs kMaxFrameAirtime = frame_airtime(kMaxMacFrameBytes);
 
 const char* frame_type_name(FrameType type);
 

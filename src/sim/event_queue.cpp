@@ -4,27 +4,71 @@
 
 namespace gttsch {
 
-EventId EventQueue::schedule(TimeUs at, std::function<void()> fn) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{at, id, std::move(fn)});
+namespace {
+// An EventId packs (generation << 32) | (slot + 1); the +1 keeps 0 free for
+// kInvalidEvent. Generations advance when a slot is reclaimed, so stale ids
+// (fired or cancelled long ago) can never alias a live event.
+constexpr EventId make_id(std::uint32_t generation, std::uint32_t slot) {
+  return (static_cast<EventId>(generation) << 32) | (slot + 1u);
+}
+constexpr std::uint32_t id_slot(EventId id) {
+  return static_cast<std::uint32_t>(id & 0xFFFFFFFFu) - 1u;
+}
+constexpr std::uint32_t id_generation(EventId id) {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+}  // namespace
+
+EventId EventQueue::schedule_keyed(TimeUs at, std::uint32_t key, SmallFn fn) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  Record& rec = pool_[slot];
+  rec.fn = std::move(fn);
+  rec.armed = true;
+  rec.cancelled = false;
+  heap_.push(Entry{at, next_seq_++, key, slot});
   ++live_;
-  return id;
+  return make_id(rec.generation, slot);
 }
 
-bool EventQueue::is_cancelled(EventId id) const {
-  return id < cancelled_flags_.size() && cancelled_flags_[id];
+EventQueue::Record* EventQueue::record_for(EventId id) {
+  if (id == kInvalidEvent) return nullptr;
+  const std::uint32_t slot = id_slot(id);
+  if (slot >= pool_.size()) return nullptr;
+  Record& rec = pool_[slot];
+  if (rec.generation != id_generation(id)) return nullptr;  // already reclaimed
+  return &rec;
 }
 
 void EventQueue::cancel(EventId id) {
-  if (id == kInvalidEvent || id >= next_id_ || is_cancelled(id)) return;
-  if (cancelled_flags_.size() <= id) cancelled_flags_.resize(id + 1, false);
-  cancelled_flags_[id] = true;
+  Record* rec = record_for(id);
+  if (rec == nullptr || !rec->armed || rec->cancelled) return;
+  rec->cancelled = true;
+  rec->fn.reset();  // release captures now; the heap entry dies lazily
   GTTSCH_CHECK(live_ > 0);
   --live_;
 }
 
+void EventQueue::release_slot(std::uint32_t slot) {
+  Record& rec = pool_[slot];
+  rec.fn.reset();
+  rec.armed = false;
+  rec.cancelled = false;
+  ++rec.generation;
+  free_slots_.push_back(slot);
+}
+
 void EventQueue::drop_cancelled() {
-  while (!heap_.empty() && is_cancelled(heap_.top().id)) heap_.pop();
+  while (!heap_.empty() && pool_[heap_.top().slot].cancelled) {
+    release_slot(heap_.top().slot);
+    heap_.pop();
+  }
 }
 
 TimeUs EventQueue::next_time() {
@@ -32,22 +76,23 @@ TimeUs EventQueue::next_time() {
   return heap_.empty() ? kInfiniteTime : heap_.top().at;
 }
 
-bool EventQueue::pop_next(TimeUs& out_time, std::function<void()>& out_fn) {
+bool EventQueue::pop_next(TimeUs& out_time, SmallFn& out_fn) {
   drop_cancelled();
   if (heap_.empty()) return false;
   // Move the callback out before running it: the callback may schedule
-  // new events and mutate the heap.
-  Entry top = heap_.top();
+  // new events and mutate both the heap and the slot pool.
+  const Entry top = heap_.top();
   heap_.pop();
+  out_time = top.at;
+  out_fn = std::move(pool_[top.slot].fn);
+  release_slot(top.slot);
   GTTSCH_CHECK(live_ > 0);
   --live_;
-  out_time = top.at;
-  out_fn = std::move(top.fn);
   return true;
 }
 
 bool EventQueue::run_next(TimeUs& out_time) {
-  std::function<void()> fn;
+  SmallFn fn;
   if (!pop_next(out_time, fn)) return false;
   fn();
   return true;

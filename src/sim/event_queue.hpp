@@ -2,10 +2,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
+#include "sim/small_fn.hpp"
 #include "util/types.hpp"
 
 namespace gttsch {
@@ -13,12 +13,32 @@ namespace gttsch {
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
-/// Min-heap of (time, insertion order) -> callback. Events inserted earlier
-/// fire first among equal timestamps, which keeps runs reproducible.
-/// Cancellation is lazy: cancelled entries are skipped on pop.
+/// Ordering class for events that share a timestamp. Most events use the
+/// default key and keep FIFO (insertion-order) semantics among themselves;
+/// lower keys run first. TSCH slot-boundary events are keyed by node id so
+/// that (a) a slot boundary always precedes same-instant protocol events —
+/// mirroring a real MAC, where the slot interrupt preempts deferred work —
+/// and (b) nodes whose boundaries coincide fire in a fixed id order. Both
+/// properties make the slot-skipping fast path bit-identical to per-slot
+/// stepping: they decouple tie-breaking from *when* a timer was armed,
+/// which is precisely what differs between the two modes.
+inline constexpr std::uint32_t kDefaultEventKey = 0xFFFFFFFFu;
+
+/// Min-heap of (time, key, insertion order) -> callback. Events inserted
+/// earlier fire first among equal (time, key) pairs, which keeps runs
+/// reproducible. Cancellation is lazy: cancelled entries are skipped on pop.
+///
+/// Callbacks live in a recycled slot pool (an EventId is slot + generation),
+/// so the queue performs no per-event heap allocation in steady state and
+/// its memory footprint is bounded by the peak number of *concurrently
+/// pending* events — not, as the earlier id-indexed cancellation bitmap
+/// was, by the total number of events ever scheduled.
 class EventQueue {
  public:
-  EventId schedule(TimeUs at, std::function<void()> fn);
+  EventId schedule(TimeUs at, SmallFn fn) {
+    return schedule_keyed(at, kDefaultEventKey, std::move(fn));
+  }
+  EventId schedule_keyed(TimeUs at, std::uint32_t key, SmallFn fn);
   void cancel(EventId id);
 
   bool empty() const { return live_ == 0; }
@@ -30,33 +50,45 @@ class EventQueue {
   /// Pop the earliest live event without running it. Returns false if
   /// none. The caller advances its clock to `out_time` *before* invoking
   /// `out_fn`, so callbacks observe the correct current time.
-  bool pop_next(TimeUs& out_time, std::function<void()>& out_fn);
+  bool pop_next(TimeUs& out_time, SmallFn& out_fn);
 
   /// Pop and run the earliest live event. Returns false if none.
   bool run_next(TimeUs& out_time);
 
+  /// Number of callback slots ever allocated — bounded by the peak count of
+  /// concurrently pending events (regression hook for the memory tests).
+  std::size_t slot_pool_size() const { return pool_.size(); }
+
  private:
   struct Entry {
     TimeUs at;
-    EventId id;
-    std::function<void()> fn;
+    std::uint64_t seq;   // global insertion order (FIFO tie-break)
+    std::uint32_t key;   // ordering class at equal times
+    std::uint32_t slot;  // index into pool_
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;
+      if (a.key != b.key) return a.key > b.key;
+      return a.seq > b.seq;
     }
+  };
+  struct Record {
+    SmallFn fn;
+    std::uint32_t generation = 1;
+    bool armed = false;      // an entry in the heap references this slot
+    bool cancelled = false;  // armed but logically dead; reclaimed on pop
   };
 
   void drop_cancelled();
+  void release_slot(std::uint32_t slot);
+  Record* record_for(EventId id);
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::vector<EventId> cancelled_;  // sorted lazily via flag set
+  std::vector<Record> pool_;
+  std::vector<std::uint32_t> free_slots_;
   std::size_t live_ = 0;
-  EventId next_id_ = 1;
-
-  bool is_cancelled(EventId id) const;
-  std::vector<bool> cancelled_flags_;  // indexed by id (grows as needed)
+  std::uint64_t next_seq_ = 1;
 };
 
 }  // namespace gttsch

@@ -6,22 +6,30 @@ namespace gttsch {
 
 Simulator::Simulator(std::uint64_t seed) : rng_(seed), seed_(seed) {}
 
-EventId Simulator::at(TimeUs when, std::function<void()> fn) {
-  GTTSCH_CHECK(when >= now_);
-  return queue_.schedule(when, std::move(fn));
+EventId Simulator::at(TimeUs when, SmallFn fn) {
+  return at_keyed(when, kDefaultEventKey, std::move(fn));
 }
 
-EventId Simulator::after(TimeUs delay, std::function<void()> fn) {
+EventId Simulator::after(TimeUs delay, SmallFn fn) {
+  return after_keyed(delay, kDefaultEventKey, std::move(fn));
+}
+
+EventId Simulator::at_keyed(TimeUs when, std::uint32_t key, SmallFn fn) {
+  GTTSCH_CHECK(when >= now_);
+  return queue_.schedule_keyed(when, key, std::move(fn));
+}
+
+EventId Simulator::after_keyed(TimeUs delay, std::uint32_t key, SmallFn fn) {
   GTTSCH_CHECK(delay >= 0);
-  return queue_.schedule(now_ + delay, std::move(fn));
+  return queue_.schedule_keyed(now_ + delay, key, std::move(fn));
 }
 
 void Simulator::cancel(EventId id) { queue_.cancel(id); }
 
 void Simulator::run_until(TimeUs until) {
+  SmallFn fn;
   while (queue_.next_time() <= until) {
     TimeUs t = 0;
-    std::function<void()> fn;
     if (!queue_.pop_next(t, fn)) break;
     GTTSCH_CHECK(t >= now_);
     // Advance the clock before running: callbacks must see now() == t.
@@ -34,7 +42,7 @@ void Simulator::run_until(TimeUs until) {
 
 void Simulator::run_all() {
   TimeUs t = 0;
-  std::function<void()> fn;
+  SmallFn fn;
   while (queue_.pop_next(t, fn)) {
     GTTSCH_CHECK(t >= now_);
     now_ = t;

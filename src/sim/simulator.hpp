@@ -1,8 +1,6 @@
 // Discrete-event simulation core: a virtual clock plus an event queue.
 #pragma once
 
-#include <functional>
-
 #include "sim/event_queue.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
@@ -17,10 +15,16 @@ class Simulator {
   TimeUs now() const { return now_; }
 
   /// Schedule `fn` at absolute virtual time `at` (must be >= now()).
-  EventId at(TimeUs when, std::function<void()> fn);
+  EventId at(TimeUs when, SmallFn fn);
 
   /// Schedule `fn` after `delay` microseconds.
-  EventId after(TimeUs delay, std::function<void()> fn);
+  EventId after(TimeUs delay, SmallFn fn);
+
+  /// Keyed variants: `key` picks the ordering class among same-time events
+  /// (lower first; see kDefaultEventKey). Slot-boundary timers use the
+  /// node id so boundary ordering is independent of when they were armed.
+  EventId at_keyed(TimeUs when, std::uint32_t key, SmallFn fn);
+  EventId after_keyed(TimeUs delay, std::uint32_t key, SmallFn fn);
 
   void cancel(EventId id);
 

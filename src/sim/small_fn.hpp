@@ -1,0 +1,110 @@
+// A move-only `void()` callable with guaranteed small-buffer storage.
+//
+// The simulator's steady-state loop arms and fires millions of tiny
+// closures (slot timers, ACK deadlines, medium completions), all of which
+// capture a `this` pointer plus at most a few scalars. std::function's
+// small-object optimisation is an implementation detail (libstdc++ caps it
+// at 16 bytes); SmallFn makes the no-allocation guarantee explicit: any
+// nothrow-movable callable up to kInlineSize bytes lives inside the object,
+// larger ones fall back to the heap so the type stays fully general.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gttsch {
+
+class SmallFn {
+ public:
+  /// Large enough for `this` + several captured scalars, and for a moved-in
+  /// std::function (32 bytes in libstdc++), with room to spare.
+  static constexpr std::size_t kInlineSize = 48;
+
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, SmallFn> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): callable wrapper
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) ops_->relocate(other.buf_, buf_);
+    other.ops_ = nullptr;
+  }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this == &other) return *this;
+    reset();
+    ops_ = other.ops_;
+    if (ops_ != nullptr) ops_->relocate(other.buf_, buf_);
+    other.ops_ = nullptr;
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    /// Move-construct the callable at `dst` from `src`, then destroy `src`.
+    void (*relocate)(void* src, void* dst);
+    void (*destroy)(void* self);
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineSize && alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* self) { (*std::launder(reinterpret_cast<Fn*>(self)))(); },
+      [](void* src, void* dst) {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* self) { std::launder(reinterpret_cast<Fn*>(self))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](void* self) { (**std::launder(reinterpret_cast<Fn**>(self)))(); },
+      [](void* src, void* dst) {
+        ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+      },
+      [](void* self) { delete *std::launder(reinterpret_cast<Fn**>(self)); },
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace gttsch

@@ -2,11 +2,15 @@
 
 namespace gttsch {
 
-void OneShotTimer::start(TimeUs delay, std::function<void()> fn) {
+void OneShotTimer::start(TimeUs delay, SmallFn fn) {
   stop();
-  id_ = sim_.after(delay, [this, fn = std::move(fn)] {
+  fn_ = std::move(fn);
+  id_ = sim_.after_keyed(delay, key_, [this] {
     id_ = kInvalidEvent;
-    fn();
+    // Move to a local first: the callback may re-arm this timer (which
+    // assigns fn_) without destroying the closure mid-invocation.
+    SmallFn f = std::move(fn_);
+    f();
   });
 }
 
@@ -15,6 +19,7 @@ void OneShotTimer::stop() {
     sim_.cancel(id_);
     id_ = kInvalidEvent;
   }
+  fn_.reset();
 }
 
 void PeriodicTimer::start(TimeUs first_delay, TimeUs period, std::function<void()> fn,

@@ -8,20 +8,29 @@
 namespace gttsch {
 
 /// One-shot timer; re-arming cancels any pending expiry.
+///
+/// The callback is stored in the timer object (SmallFn), and the scheduled
+/// event captures only `this` — so arming a timer never heap-allocates for
+/// the usual small closures, which keeps the per-slot MAC hot path
+/// allocation-free. `key` (default kDefaultEventKey) selects the event's
+/// same-time ordering class; the MAC slot timer passes the node id.
 class OneShotTimer {
  public:
-  explicit OneShotTimer(Simulator& sim) : sim_(sim) {}
+  explicit OneShotTimer(Simulator& sim, std::uint32_t key = kDefaultEventKey)
+      : sim_(sim), key_(key) {}
   ~OneShotTimer() { stop(); }
   OneShotTimer(const OneShotTimer&) = delete;
   OneShotTimer& operator=(const OneShotTimer&) = delete;
 
-  void start(TimeUs delay, std::function<void()> fn);
+  void start(TimeUs delay, SmallFn fn);
   void stop();
   bool running() const { return id_ != kInvalidEvent; }
 
  private:
   Simulator& sim_;
+  std::uint32_t key_;
   EventId id_ = kInvalidEvent;
+  SmallFn fn_;
 };
 
 /// Fixed-period timer. The callback runs every `period` after `start`,

@@ -1,0 +1,247 @@
+// Fast-path equivalence: idle-slot skipping must be *observably pure* —
+// bit-identical MAC counters, Medium stats, RunStats, radio duty times and
+// RNG consumption versus per-slot reference stepping
+// (MacConfig::per_slot_stepping / GTTSCH_FORCE_PER_SLOT) — while
+// processing strictly fewer simulator events.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "mac/tsch_mac.hpp"
+#include "scenario/experiment.hpp"
+#include "scenario/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace gttsch {
+namespace {
+
+using namespace literals;
+
+struct NodeSnapshot {
+  MacCounters mac;
+  TimeUs radio_on = 0;
+  TimeUs radio_tx = 0;
+  TimeUs radio_rx = 0;
+  TimeUs sync_correction = 0;
+  Asn asn = 0;
+  std::uint64_t app_generated = 0;
+  bool joined = false;
+};
+
+struct ModeResult {
+  RunMetrics metrics;
+  MediumStats medium;
+  std::map<NodeId, NodeSnapshot> nodes;
+  std::uint64_t events_processed = 0;
+  bool fully_formed = false;
+};
+
+/// Mirrors run_scenario(), but with direct control of per_slot_stepping.
+ModeResult run_mode(const ScenarioConfig& sc, std::uint64_t seed, bool per_slot,
+                    double max_drift_ppm = 0.0, std::uint16_t broadcast_slots = 0) {
+  const TimeUs measure_end = sc.warmup + sc.measure;
+  RunStats stats(sc.warmup, measure_end);
+  auto nc = sc.make_node_config();
+  nc.mac.per_slot_stepping = per_slot;
+  nc.max_drift_ppm = max_drift_ppm;
+  if (broadcast_slots > 0) nc.gt.layout.broadcast_slots = broadcast_slots;
+  auto model =
+      std::make_unique<UnitDiskModel>(sc.radio_range, sc.link_prr, sc.interference_factor);
+  Network net(seed, std::move(model), sc.make_topology(), nc, &stats);
+  net.sim().at(sc.warmup, [&stats] { stats.begin_measurement(); });
+  net.sim().at(measure_end, [&stats] { stats.end_measurement(); });
+  net.start();
+  net.medium().reset_stats();
+  net.sim().run_until(measure_end + sc.drain);
+
+  ModeResult out;
+  for (const auto& [id, node] : net.nodes()) {
+    stats.set_joined(id, node->is_root() || node->rpl().joined());
+    NodeSnapshot snap;
+    snap.mac = node->mac().counters();
+    snap.radio_on = node->radio().on_time();
+    snap.radio_tx = node->radio().tx_time();
+    snap.radio_rx = node->radio().rx_time();
+    snap.sync_correction = node->mac().total_sync_correction();
+    snap.asn = node->mac().asn();
+    snap.app_generated = node->app_generated();
+    snap.joined = node->is_root() || node->rpl().joined();
+    out.nodes.emplace(id, snap);
+  }
+  out.metrics = stats.finalize();
+  out.medium = net.medium().stats();
+  out.events_processed = net.sim().events_processed();
+  out.fully_formed = net.fully_formed();
+  return out;
+}
+
+void expect_identical(const ModeResult& fast, const ModeResult& ref) {
+  // MAC counters, radio on-times and ASN per node: exact.
+  ASSERT_EQ(fast.nodes.size(), ref.nodes.size());
+  for (const auto& [id, f] : fast.nodes) {
+    SCOPED_TRACE(::testing::Message() << "node " << id);
+    const NodeSnapshot& r = ref.nodes.at(id);
+    EXPECT_EQ(f.mac.unicast_tx_attempts, r.mac.unicast_tx_attempts);
+    EXPECT_EQ(f.mac.unicast_success, r.mac.unicast_success);
+    EXPECT_EQ(f.mac.unicast_drops, r.mac.unicast_drops);
+    EXPECT_EQ(f.mac.retransmissions, r.mac.retransmissions);
+    EXPECT_EQ(f.mac.broadcast_sent, r.mac.broadcast_sent);
+    EXPECT_EQ(f.mac.eb_sent, r.mac.eb_sent);
+    EXPECT_EQ(f.mac.rx_frames, r.mac.rx_frames);
+    EXPECT_EQ(f.mac.rx_duplicates, r.mac.rx_duplicates);
+    EXPECT_EQ(f.mac.acks_sent, r.mac.acks_sent);
+    EXPECT_EQ(f.radio_on, r.radio_on);
+    EXPECT_EQ(f.radio_tx, r.radio_tx);
+    EXPECT_EQ(f.radio_rx, r.radio_rx);
+    EXPECT_EQ(f.sync_correction, r.sync_correction);
+    EXPECT_EQ(f.asn, r.asn);
+    EXPECT_EQ(f.app_generated, r.app_generated);
+    EXPECT_EQ(f.joined, r.joined);
+  }
+
+  // Medium stats: exact (same RNG draw sequence).
+  EXPECT_EQ(fast.medium.transmissions, ref.medium.transmissions);
+  EXPECT_EQ(fast.medium.deliveries, ref.medium.deliveries);
+  EXPECT_EQ(fast.medium.collision_losses, ref.medium.collision_losses);
+  EXPECT_EQ(fast.medium.prr_losses, ref.medium.prr_losses);
+
+  // RunStats: bit-identical doubles, not just approximately equal.
+  EXPECT_EQ(fast.metrics.pdr_percent, ref.metrics.pdr_percent);
+  EXPECT_EQ(fast.metrics.avg_delay_ms, ref.metrics.avg_delay_ms);
+  EXPECT_EQ(fast.metrics.p95_delay_ms, ref.metrics.p95_delay_ms);
+  EXPECT_EQ(fast.metrics.loss_per_minute, ref.metrics.loss_per_minute);
+  EXPECT_EQ(fast.metrics.duty_cycle_percent, ref.metrics.duty_cycle_percent);
+  EXPECT_EQ(fast.metrics.queue_loss_per_node, ref.metrics.queue_loss_per_node);
+  EXPECT_EQ(fast.metrics.throughput_per_minute, ref.metrics.throughput_per_minute);
+  EXPECT_EQ(fast.metrics.generated, ref.metrics.generated);
+  EXPECT_EQ(fast.metrics.delivered, ref.metrics.delivered);
+  EXPECT_EQ(fast.metrics.queue_drops, ref.metrics.queue_drops);
+  EXPECT_EQ(fast.metrics.mac_drops, ref.metrics.mac_drops);
+  EXPECT_EQ(fast.metrics.no_route_drops, ref.metrics.no_route_drops);
+  EXPECT_EQ(fast.metrics.mean_hops, ref.metrics.mean_hops);
+  EXPECT_EQ(fast.metrics.nodes_joined, ref.metrics.nodes_joined);
+  EXPECT_EQ(fast.fully_formed, ref.fully_formed);
+
+  // The entire point: the fast path must do strictly less event work.
+  EXPECT_LT(fast.events_processed, ref.events_processed);
+}
+
+/// Fig 8 default setup (paper Section VIII), shortened run so the per-slot
+/// reference stays cheap under sanitizers.
+ScenarioConfig fig8_config(SchedulerKind kind) {
+  ScenarioConfig sc;
+  sc.scheduler = kind;
+  sc.dodag_count = 2;
+  sc.nodes_per_dodag = 7;  // 14 nodes total
+  sc.traffic_ppm = 120.0;
+  sc.gt_slotframe_length = 32;
+  sc.orchestra_unicast_length = 8;
+  sc.warmup = 120_s;
+  sc.measure = 120_s;
+  sc.drain = 10_s;
+  return sc;
+}
+
+TEST(FastPathEquivalence, GtTschFig8SeedA) {
+  const ScenarioConfig sc = fig8_config(SchedulerKind::kGtTsch);
+  const ModeResult fast = run_mode(sc, 1000, /*per_slot=*/false);
+  const ModeResult ref = run_mode(sc, 1000, /*per_slot=*/true);
+  expect_identical(fast, ref);
+}
+
+TEST(FastPathEquivalence, GtTschFig8SeedB) {
+  const ScenarioConfig sc = fig8_config(SchedulerKind::kGtTsch);
+  const ModeResult fast = run_mode(sc, 1017, /*per_slot=*/false);
+  const ModeResult ref = run_mode(sc, 1017, /*per_slot=*/true);
+  expect_identical(fast, ref);
+}
+
+TEST(FastPathEquivalence, OrchestraFig8) {
+  const ScenarioConfig sc = fig8_config(SchedulerKind::kOrchestra);
+  const ModeResult fast = run_mode(sc, 1000, /*per_slot=*/false);
+  const ModeResult ref = run_mode(sc, 1000, /*per_slot=*/true);
+  expect_identical(fast, ref);
+}
+
+TEST(FastPathEquivalence, HoldsUnderClockDrift) {
+  // ±40 ppm per-node oscillators: skipped spans must accumulate the exact
+  // same drifted boundary times (bit-identical double residue) as stepping
+  // slot by slot, including across EB time corrections.
+  ScenarioConfig sc = fig8_config(SchedulerKind::kGtTsch);
+  sc.dodag_count = 1;
+  const ModeResult fast = run_mode(sc, 2000, /*per_slot=*/false, /*drift=*/40.0);
+  const ModeResult ref = run_mode(sc, 2000, /*per_slot=*/true, /*drift=*/40.0);
+  expect_identical(fast, ref);
+}
+
+TEST(FastPathEquivalence, SparseScheduleSkipsProportionally) {
+  // Slotframe length 397 with GT-TSCH's default layout rule (m/8 -> 49
+  // broadcast slots): ~15% occupancy, so the fast path should shed the
+  // ~85% idle boundaries while every rx-guard listen still costs events.
+  ScenarioConfig sc = fig8_config(SchedulerKind::kGtTsch);
+  sc.dodag_count = 1;
+  sc.gt_slotframe_length = 397;
+  sc.traffic_ppm = 30.0;
+  const ModeResult fast = run_mode(sc, 1000, /*per_slot=*/false);
+  const ModeResult ref = run_mode(sc, 1000, /*per_slot=*/true);
+  expect_identical(fast, ref);
+  EXPECT_LT(fast.events_processed * 3, ref.events_processed * 2);  // >= 1.5x
+}
+
+TEST(FastPathEquivalence, MinimalScheduleSkipsByOccupancy) {
+  // 6TiSCH-minimal-style occupancy: length 397 with only 2 broadcast
+  // slots (plus the shared/unicast handful) — the idle-slot-dominated
+  // regime the bench_sim_core end-to-end benchmark measures. Events must
+  // collapse by the occupancy ratio, not a constant factor.
+  ScenarioConfig sc = fig8_config(SchedulerKind::kGtTsch);
+  sc.dodag_count = 1;
+  sc.gt_slotframe_length = 397;
+  sc.traffic_ppm = 30.0;
+  const ModeResult fast =
+      run_mode(sc, 1000, /*per_slot=*/false, /*drift=*/0.0, /*broadcast_slots=*/2);
+  const ModeResult ref =
+      run_mode(sc, 1000, /*per_slot=*/true, /*drift=*/0.0, /*broadcast_slots=*/2);
+  expect_identical(fast, ref);
+  EXPECT_LT(fast.events_processed * 5, ref.events_processed);  // >= 5x fewer
+}
+
+TEST(FastPathEquivalence, IdleAssociatedMacReportsCurrentAsn) {
+  // A MAC with an empty schedule never wakes, yet asn() must track the
+  // slot count a per-slot MAC would report at any query instant.
+  Simulator sim(3);
+  Medium medium(sim, std::make_unique<UnitDiskModel>(50.0), Rng(3));
+  Radio radio(sim, medium, 1, {});
+  TschMac mac(sim, medium, radio, MacConfig{}, Rng(4));
+  mac.start_as_root();
+  sim.run_until(1000 * 15_ms);
+  EXPECT_EQ(mac.asn(), 1000u);
+  sim.run_until(1000 * 15_ms + 7_ms);  // mid-slot
+  EXPECT_EQ(mac.asn(), 1000u);
+  sim.run_until(1001 * 15_ms);
+  EXPECT_EQ(mac.asn(), 1001u);
+}
+
+TEST(FastPathEquivalence, LateInstalledCellIsServed) {
+  // Installing a cell while the MAC sleeps through an empty schedule must
+  // re-aim the wakeup: EBs start flowing from the next occurrence.
+  Simulator sim(5);
+  Medium medium(sim, std::make_unique<UnitDiskModel>(50.0), Rng(5));
+  Radio radio(sim, medium, 1, {});
+  TschMac mac(sim, medium, radio, MacConfig{}, Rng(6));
+  mac.set_eb_provider([] { return EbPayload{}; });
+  mac.start_as_root();
+  sim.run_until(30_s);
+  EXPECT_EQ(mac.counters().eb_sent, 0u);  // no cells, nothing to send on
+  Cell bcast;
+  bcast.slot_offset = 3;
+  bcast.channel_offset = 0;
+  bcast.options = kCellTx | kCellRx | kCellShared;
+  bcast.neighbor = kBroadcastId;
+  mac.schedule().add_slotframe(0, 101).add(bcast);
+  sim.run_until(90_s);
+  EXPECT_GE(mac.counters().eb_sent, 20u);  // EB period 2 s over 60 s
+}
+
+}  // namespace
+}  // namespace gttsch

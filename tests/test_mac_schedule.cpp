@@ -95,6 +95,78 @@ TEST(Schedule, ActiveCellsAcrossSlotframes) {
   EXPECT_EQ(cells[0].first, 0);
 }
 
+TEST(Schedule, ActiveCellsIntoMatchesAllocatingVariant) {
+  TschSchedule s;
+  s.add_slotframe(0, 4).add(make_cell(2, 0, kCellTx));
+  s.add_slotframe(1, 3).add(make_cell(2, 1, kCellRx));
+  std::vector<TschSchedule::ActiveCell> scratch;
+  for (Asn asn = 0; asn < 24; ++asn) {
+    s.active_cells_into(asn, scratch);
+    EXPECT_EQ(scratch, s.active_cells(asn)) << "asn " << asn;
+  }
+}
+
+TEST(Schedule, NextActiveAsnSkipsEmptySlots) {
+  TschSchedule s;
+  s.add_slotframe(0, 8).add(make_cell(5, 0, kCellTx));
+  // Slot 5 of 8: occurrences at 5, 13, 21, ...
+  EXPECT_EQ(s.next_active_asn(0), 5u);
+  EXPECT_EQ(s.next_active_asn(4), 5u);
+  EXPECT_EQ(s.next_active_asn(5), 13u);  // strictly greater than `after`
+  EXPECT_EQ(s.next_active_asn(12), 13u);
+  EXPECT_EQ(s.next_active_asn(1000), 1005u);
+}
+
+TEST(Schedule, NextActiveAsnMergesSlotframes) {
+  TschSchedule s;
+  s.add_slotframe(0, 10).add(make_cell(7, 0, kCellTx));
+  s.add_slotframe(1, 3).add(make_cell(1, 0, kCellRx));
+  // sf1 hits at 1, 4, 7, 10, ...; sf0 hits at 7, 17, 27, ...
+  EXPECT_EQ(s.next_active_asn(0), 1u);
+  EXPECT_EQ(s.next_active_asn(1), 4u);
+  EXPECT_EQ(s.next_active_asn(5), 7u);  // both frames; earliest wins
+}
+
+TEST(Schedule, NextActiveAsnTracksMutations) {
+  TschSchedule s;
+  EXPECT_EQ(s.next_active_asn(0), TschSchedule::kNoActiveAsn);
+  auto& sf = s.add_slotframe(0, 16);
+  EXPECT_EQ(s.next_active_asn(0), TschSchedule::kNoActiveAsn);
+  const Cell c = make_cell(9, 2, kCellTx, 7);
+  sf.add(c);
+  EXPECT_EQ(s.next_active_asn(0), 9u);
+  sf.remove(c);
+  EXPECT_EQ(s.next_active_asn(0), TschSchedule::kNoActiveAsn);
+  sf.add(make_cell(3, 0, kCellRx));
+  sf.remove_if([](const Cell&) { return true; });
+  EXPECT_EQ(s.next_active_asn(0), TschSchedule::kNoActiveAsn);
+  s.add_slotframe(2, 5).add(make_cell(0, 0, kCellTx));
+  EXPECT_EQ(s.next_active_asn(0), 5u);  // slot 0 of len 5: 0, 5, 10, ...
+  s.remove_slotframe(2);
+  EXPECT_EQ(s.next_active_asn(0), TschSchedule::kNoActiveAsn);
+}
+
+TEST(Schedule, ChangeListenerFiresOnEveryMutation) {
+  TschSchedule s;
+  int calls = 0;
+  s.set_change_listener([&] { ++calls; });
+  auto& sf = s.add_slotframe(0, 8);
+  EXPECT_EQ(calls, 1);
+  const Cell c = make_cell(1, 0, kCellTx, 3);
+  sf.add(c);
+  EXPECT_EQ(calls, 2);
+  sf.add(c);  // duplicate: no change, no notification
+  EXPECT_EQ(calls, 2);
+  sf.remove(c);
+  EXPECT_EQ(calls, 3);
+  sf.remove(c);  // absent: no change
+  EXPECT_EQ(calls, 3);
+  const std::uint64_t v = s.version();
+  s.remove_slotframe(0);
+  EXPECT_EQ(calls, 4);
+  EXPECT_GT(s.version(), v);
+}
+
 TEST(Schedule, RemoveSlotframe) {
   TschSchedule s;
   s.add_slotframe(0, 4);
