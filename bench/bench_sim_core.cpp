@@ -1,29 +1,39 @@
 // Microbenchmarks for the simulation substrate: event queue throughput,
 // medium delivery resolution, and end-to-end simulated-seconds-per-wall-
-// second for a formed GT-TSCH network.
+// second for formed GT-TSCH networks.
 //
 // Beyond the Google-Benchmark microbenches, this harness owns the repo's
-// perf-trajectory baseline: it measures the sparse-schedule end-to-end
-// scenario (7 nodes, slotframe length 397 at 6TiSCH-minimal-style
-// occupancy — idle-slot-dominated) with the fast path on and in
-// GTTSCH_FORCE_PER_SLOT-equivalent reference mode, and writes the numbers
-// to BENCH_simcore.json so every later PR can be compared against it.
+// perf-trajectory baseline: a *multi-point* sweep over scenario classes —
+//   sparse-7    7 nodes, slotframe 397 at 6TiSCH-minimal occupancy
+//               (idle-slot-dominated; also run in GTTSCH_FORCE_PER_SLOT-
+//               equivalent reference mode for the speedup ratio)
+//   dense-50    50-node grid, denser schedule, heavier traffic
+//   mobile-100  100-node random-disk mesh with a population of random-
+//               walk movers (exercises the incremental medium cache)
+//   nodes-200   200-node random-disk mesh over a full simulated hour
+// — written to BENCH_simcore.json so every later PR can be compared per
+// scenario class (tools/perf_diff.py prints the delta table; CI's
+// perf-smoke job runs it against the committed baseline).
 //
 // Flags (consumed before Google Benchmark sees argv):
-//   --simcore-json[=PATH]  write the end-to-end comparison (default path
+//   --simcore-json[=PATH]  write the end-to-end baseline (default path
 //                          BENCH_simcore.json) after the microbenches
 //   --simcore-only         skip the microbenches (CI perf-smoke mode)
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "phy/medium.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/network.hpp"
 #include "sim/simulator.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -62,139 +72,242 @@ void BM_MediumBroadcastResolution(benchmark::State& state) {
 }
 BENCHMARK(BM_MediumBroadcastResolution)->Arg(4)->Arg(16)->Arg(64);
 
-/// The sparse-schedule end-to-end scenario shared by the wall-clock
-/// benchmark and the BENCH_simcore.json baseline below.
-ScenarioConfig sparse_scenario() {
-  ScenarioConfig c;
-  c.scheduler = SchedulerKind::kGtTsch;
-  c.dodag_count = 1;
-  c.nodes_per_dodag = 7;
-  c.traffic_ppm = 30;
-  c.gt_slotframe_length = 397;
-  return c;
+void BM_MediumSingleMoveRefresh(benchmark::State& state) {
+  // Cost of one Radio::set_position + cache refresh in a spread-out
+  // field: O(degree) with the grid index, not O(n^2).
+  const int nodes = static_cast<int>(state.range(0));
+  Simulator sim(5);
+  Medium medium(sim, std::make_unique<UnitDiskModel>(40.0, 1.0, 1.6), Rng(5));
+  std::vector<std::unique_ptr<Radio>> radios;
+  Rng place(7);
+  const double side = 30.0 * std::sqrt(static_cast<double>(nodes));
+  for (int i = 0; i < nodes; ++i) {
+    radios.push_back(std::make_unique<Radio>(
+        sim, medium, static_cast<NodeId>(i),
+        Position{place.uniform_double(0, side), place.uniform_double(0, side)}));
+    radios.back()->on_rx = [](FramePtr) {};
+  }
+  // Build the cache once, then move one node back and forth; each
+  // busy-path touch (a transmission) refreshes the single dirty row.
+  double dx = 1.0;
+  for (auto _ : state) {
+    radios[0]->set_position(Position{radios[0]->position().x + dx, 5.0});
+    dx = -dx;
+    radios[1]->listen(17);
+    radios[0]->transmit(make_data_frame(0, kBroadcastId, DataPayload{}), 17);
+    sim.run_until(sim.now() + 10_ms);
+    radios[1]->turn_off();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MediumSingleMoveRefresh)->Arg(50)->Arg(200);
+
+// ---------------------------------------------------------------------------
+// The end-to-end multi-point baseline.
+// ---------------------------------------------------------------------------
+
+/// One scenario class of the perf baseline.
+struct ScenarioPoint {
+  const char* name;
+  ScenarioConfig config;
+  std::uint16_t broadcast_slots = 0;  ///< override; 0 = layout default
+  TimeUs formation = 180_s;
+  TimeUs measure = 600_s;
+  bool with_per_slot = false;  ///< also time the per-slot reference
+  int movers = 0;              ///< random-walk movers during the window
+};
+
+ScenarioPoint sparse7_point() {
+  ScenarioPoint p;
+  p.name = "sparse-7";
+  p.config.scheduler = SchedulerKind::kGtTsch;
+  p.config.dodag_count = 1;
+  p.config.nodes_per_dodag = 7;
+  p.config.traffic_ppm = 30;
+  p.config.gt_slotframe_length = 397;
+  // 6TiSCH-minimal-style occupancy: 2 broadcast slots instead of the
+  // default m/8 = 49, leaving ~98% of the 397 slots idle. The scant
+  // beacons make formation slow — give it time before measuring.
+  p.broadcast_slots = 2;
+  p.formation = 600_s;
+  p.measure = 3600_s;
+  p.with_per_slot = true;
+  return p;
 }
 
-constexpr TimeUs kFormation = 180_s;
-constexpr TimeUs kMeasureSim = 3600_s;
+// The larger points run the default slotframe (length 32): GT-TSCH's
+// channel-family bootstrap needs the denser beacon/shared-cell supply to
+// actually form at these scales, and a formed network is what loads the
+// medium, queues and schedule machinery the points are meant to stress.
 
-/// Build and form the sparse network (`per_slot` selects the reference
-/// stepping mode) — shared by the wall-clock benchmark and the JSON
-/// baseline so the two can never measure different scenarios.
-std::unique_ptr<Network> make_sparse_network(bool per_slot) {
-  const ScenarioConfig c = sparse_scenario();
-  auto nc = c.make_node_config();
-  nc.app_end = 0;
-  nc.mac.per_slot_stepping = per_slot;
-  // 6TiSCH-minimal-style occupancy: 2 broadcast slots instead of the
-  // default m/8 = 49, leaving ~98% of the 397 slots idle.
-  nc.gt.layout.broadcast_slots = 2;
-  auto net = std::make_unique<Network>(
-      42, std::make_unique<UnitDiskModel>(40.0, 1.0, 1.6), c.make_topology(), nc, nullptr);
-  net->start();
-  net->sim().run_until(kFormation);
-  return net;
+ScenarioPoint dense50_point() {
+  ScenarioPoint p;
+  p.name = "dense-50";
+  p.config.scheduler = SchedulerKind::kGtTsch;
+  p.config.topology = TopologyKind::kGrid;
+  p.config.topology_nodes = 50;
+  p.config.traffic_ppm = 60;
+  p.formation = 600_s;
+  p.measure = 600_s;
+  return p;
+}
+
+ScenarioPoint mobile100_point() {
+  ScenarioPoint p;
+  p.name = "mobile-100";
+  p.config.scheduler = SchedulerKind::kGtTsch;
+  p.config.topology = TopologyKind::kRandomDisk;
+  p.config.topology_nodes = 100;
+  p.config.disk_radius = 150.0;
+  p.config.traffic_ppm = 30;
+  p.formation = 600_s;
+  p.measure = 600_s;
+  p.movers = 20;
+  return p;
+}
+
+ScenarioPoint nodes200_point() {
+  ScenarioPoint p;
+  p.name = "nodes-200";
+  p.config.scheduler = SchedulerKind::kGtTsch;
+  p.config.topology = TopologyKind::kRandomDisk;
+  p.config.topology_nodes = 200;
+  p.config.disk_radius = 220.0;
+  p.config.traffic_ppm = 15;
+  p.formation = 600_s;
+  p.measure = 3600_s;
+  return p;
+}
+
+/// Deterministic random-walk mobility: `movers` non-root nodes take a
+/// small step every 2 s of the measurement window, drifting back toward
+/// the origin when they stray past the placement radius.
+void schedule_mobility(Network& net, const ScenarioPoint& p, TimeUs from, TimeUs until) {
+  if (p.movers <= 0) return;
+  Rng rng(90210);
+  std::vector<NodeId> candidates;
+  for (const auto& [id, node] : net.nodes()) {
+    if (!node->is_root()) candidates.push_back(id);
+  }
+  const int movers = std::min<int>(p.movers, static_cast<int>(candidates.size()));
+  const double bound = p.config.disk_radius;
+  for (int m = 0; m < movers; ++m) {
+    const NodeId id = candidates[static_cast<std::size_t>(m) * candidates.size() /
+                                 static_cast<std::size_t>(movers)];
+    for (TimeUs t = from + (m % 20) * 100_ms; t < until; t += 2_s) {
+      const double dx = rng.uniform_double(-5.0, 5.0);
+      const double dy = rng.uniform_double(-5.0, 5.0);
+      net.sim().at(t, [&net, id, dx, dy, bound] {
+        Node& node = net.node(id);
+        Position pos = node.position();
+        pos.x += dx;
+        pos.y += dy;
+        // Stay roughly inside the deployment: fold runaway walkers back.
+        if (pos.x * pos.x + pos.y * pos.y > bound * bound * 1.2) {
+          pos.x *= 0.8;
+          pos.y *= 0.8;
+        }
+        node.move_to(pos);
+      });
+    }
+  }
 }
 
 struct EndToEnd {
   double wall_seconds = 0.0;
   double sim_per_wall = 0.0;
   std::uint64_t events = 0;
+  std::size_t nodes = 0;
+  std::size_t joined = 0;
 };
 
-/// Form the sparse network, then time `kMeasureSim` of steady-state
-/// simulation.
-EndToEnd run_end_to_end(bool per_slot) {
-  const std::unique_ptr<Network> net_ptr = make_sparse_network(per_slot);
-  Network& net = *net_ptr;
-  const std::uint64_t events_before = net.sim().events_processed();
+/// Build + form the point's network (`per_slot` selects the reference
+/// stepping mode), then time `measure` sim-seconds of steady state.
+EndToEnd run_point(const ScenarioPoint& p, bool per_slot) {
+  auto nc = p.config.make_node_config();
+  nc.app_end = 0;
+  nc.mac.per_slot_stepping = per_slot;
+  if (p.broadcast_slots > 0) nc.gt.layout.broadcast_slots = p.broadcast_slots;
+  auto net = std::make_unique<Network>(
+      42,
+      std::make_unique<UnitDiskModel>(p.config.radio_range, p.config.link_prr,
+                                      p.config.interference_factor),
+      p.config.make_topology(), nc, nullptr);
+  net->start();
+  net->sim().run_until(p.formation);
+  schedule_mobility(*net, p, p.formation, p.formation + p.measure);
+
+  const std::uint64_t events_before = net->sim().events_processed();
   const auto wall_start = std::chrono::steady_clock::now();
-  net.sim().run_until(kFormation + kMeasureSim);
+  net->sim().run_until(p.formation + p.measure);
   const auto wall_end = std::chrono::steady_clock::now();
+
   EndToEnd r;
   r.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
-  r.sim_per_wall = us_to_s(kMeasureSim) / (r.wall_seconds > 0 ? r.wall_seconds : 1e-9);
-  r.events = net.sim().events_processed() - events_before;
+  r.sim_per_wall = us_to_s(p.measure) / (r.wall_seconds > 0 ? r.wall_seconds : 1e-9);
+  r.events = net->sim().events_processed() - events_before;
+  r.nodes = net->size();
+  r.joined = net->joined_count();
   return r;
 }
 
-void BM_FullNetworkSimulatedMinute(benchmark::State& state) {
-  // Cost of simulating one minute of a formed 7-node GT-TSCH network.
-  for (auto _ : state) {
-    state.PauseTiming();
-    ScenarioConfig c;
-    c.scheduler = SchedulerKind::kGtTsch;
-    c.dodag_count = 1;
-    c.nodes_per_dodag = 7;
-    c.traffic_ppm = 60;
-    auto nc = c.make_node_config();
-    nc.app_end = 0;
-    Network net(42, std::make_unique<UnitDiskModel>(40.0, 1.0, 1.6), c.make_topology(),
-                nc, nullptr);
-    net.start();
-    net.sim().run_until(180_s);  // formation
-    state.ResumeTiming();
-    net.sim().run_until(240_s);
-    benchmark::DoNotOptimize(net.sim().events_processed());
-  }
+void print_mode_json(FILE* f, const char* key, const EndToEnd& r, bool trailing_comma) {
+  std::fprintf(f,
+               "      \"%s\": {\"wall_seconds\": %.6f,\n"
+               "        \"sim_seconds_per_wall_second\": %.1f,\n"
+               "        \"events_processed\": %llu}%s\n",
+               key, r.wall_seconds, r.sim_per_wall,
+               static_cast<unsigned long long>(r.events), trailing_comma ? "," : "");
 }
-BENCHMARK(BM_FullNetworkSimulatedMinute)->Unit(benchmark::kMillisecond);
-
-void BM_SparseNetworkSimulatedMinute(benchmark::State& state) {
-  // One minute of the idle-slot-dominated scenario; range(0) == 1 forces
-  // the per-slot reference so the skip ratio shows up in the report.
-  const bool per_slot = state.range(0) != 0;
-  for (auto _ : state) {
-    state.PauseTiming();
-    const std::unique_ptr<Network> net = make_sparse_network(per_slot);
-    state.ResumeTiming();
-    net->sim().run_until(kFormation + 60_s);
-    benchmark::DoNotOptimize(net->sim().events_processed());
-  }
-}
-BENCHMARK(BM_SparseNetworkSimulatedMinute)
-    ->Arg(0)
-    ->Arg(1)
-    ->ArgName("per_slot")
-    ->Unit(benchmark::kMillisecond);
 
 bool write_simcore_json(const std::string& path) {
-  const EndToEnd fast = run_end_to_end(/*per_slot=*/false);
-  const EndToEnd ref = run_end_to_end(/*per_slot=*/true);
-  const double speedup =
-      ref.wall_seconds / (fast.wall_seconds > 0 ? fast.wall_seconds : 1e-9);
-  const double event_reduction = static_cast<double>(ref.events) /
-                                 static_cast<double>(fast.events > 0 ? fast.events : 1);
+  const std::vector<ScenarioPoint> points = {sparse7_point(), dense50_point(),
+                                             mobile100_point(), nodes200_point()};
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_sim_core: cannot write %s\n", path.c_str());
     return false;
   }
-  std::fprintf(f,
-               "{\n"
-               "  \"bench\": \"sim_core_end_to_end\",\n"
-               "  \"scenario\": {\"scheduler\": \"gt-tsch\", \"nodes\": 7,\n"
-               "               \"slotframe_length\": 397, \"broadcast_slots\": 2,\n"
-               "               \"traffic_ppm\": 30, \"measured_sim_seconds\": %.0f},\n"
-               "  \"fast_path\": {\"wall_seconds\": %.6f,\n"
-               "                \"sim_seconds_per_wall_second\": %.1f,\n"
-               "                \"events_processed\": %llu},\n"
-               "  \"per_slot\": {\"wall_seconds\": %.6f,\n"
-               "               \"sim_seconds_per_wall_second\": %.1f,\n"
-               "               \"events_processed\": %llu},\n"
-               "  \"speedup\": %.2f,\n"
-               "  \"event_reduction\": %.2f\n"
-               "}\n",
-               us_to_s(kMeasureSim), fast.wall_seconds, fast.sim_per_wall,
-               static_cast<unsigned long long>(fast.events), ref.wall_seconds,
-               ref.sim_per_wall, static_cast<unsigned long long>(ref.events),
-               speedup, event_reduction);
+  std::fprintf(f, "{\n  \"bench\": \"sim_core_end_to_end\",\n  \"scenarios\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ScenarioPoint& p = points[i];
+    const EndToEnd fast = run_point(p, /*per_slot=*/false);
+    std::fprintf(f,
+                 "    {\"name\": \"%s\",\n"
+                 "      \"topology\": \"%s\", \"nodes\": %zu, \"joined\": %zu,\n"
+                 "      \"slotframe_length\": %u, \"traffic_ppm\": %.0f,\n"
+                 "      \"movers\": %d, \"measured_sim_seconds\": %.0f,\n",
+                 p.name, topology_name(p.config.topology), fast.nodes, fast.joined,
+                 p.config.gt_slotframe_length, p.config.traffic_ppm, p.movers,
+                 us_to_s(p.measure));
+    if (p.with_per_slot) {
+      const EndToEnd ref = run_point(p, /*per_slot=*/true);
+      const double speedup =
+          ref.wall_seconds / (fast.wall_seconds > 0 ? fast.wall_seconds : 1e-9);
+      const double event_reduction = static_cast<double>(ref.events) /
+                                     static_cast<double>(fast.events > 0 ? fast.events : 1);
+      print_mode_json(f, "fast_path", fast, true);
+      print_mode_json(f, "per_slot", ref, true);
+      std::fprintf(f, "      \"speedup\": %.2f,\n      \"event_reduction\": %.2f}%s\n",
+                   speedup, event_reduction, i + 1 < points.size() ? "," : "");
+      std::printf("%-10s fast %.0f sim-s/wall-s (%llu events), per-slot %.0f "
+                  "(%llu events) -> %.2fx speedup, %.2fx fewer events\n",
+                  p.name, fast.sim_per_wall, static_cast<unsigned long long>(fast.events),
+                  ref.sim_per_wall, static_cast<unsigned long long>(ref.events), speedup,
+                  event_reduction);
+    } else {
+      print_mode_json(f, "fast_path", fast, false);
+      std::fprintf(f, "    }%s\n", i + 1 < points.size() ? "," : "");
+      std::printf("%-10s fast %.0f sim-s/wall-s (%llu events, %zu/%zu joined), "
+                  "%.1f wall-s for %.0f sim-s\n",
+                  p.name, fast.sim_per_wall, static_cast<unsigned long long>(fast.events),
+                  fast.joined, fast.nodes, fast.wall_seconds, us_to_s(p.measure));
+    }
+    std::fflush(f);
+  }
+  std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
-  std::printf("sparse end-to-end: fast path %.0f sim-s/wall-s (%llu events), "
-              "per-slot %.0f sim-s/wall-s (%llu events) -> %.2fx speedup, "
-              "%.2fx fewer events; wrote %s\n",
-              fast.sim_per_wall, static_cast<unsigned long long>(fast.events),
-              ref.sim_per_wall, static_cast<unsigned long long>(ref.events), speedup,
-              event_reduction, path.c_str());
+  std::printf("wrote %s\n", path.c_str());
   return true;
 }
 

@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <set>
 
 namespace gttsch::campaign {
@@ -77,6 +78,19 @@ bool apply_scheduler(ScenarioConfig& c, const std::string& value, std::string* e
                          "' (expected gt-tsch or orchestra)");
 }
 
+bool apply_topology(ScenarioConfig& c, const std::string& value, std::string* error) {
+  for (const TopologyKind kind :
+       {TopologyKind::kMultiDodag, TopologyKind::kGrid, TopologyKind::kLine,
+        TopologyKind::kRandomDisk}) {
+    if (value == topology_name(kind)) {
+      c.topology = kind;
+      return true;
+    }
+  }
+  return fail(error, "topology: unknown value '" + value +
+                         "' (expected multi-dodag, grid, line or random-disk)");
+}
+
 bool apply_warmup(ScenarioConfig& c, const std::string& value, std::string* error) {
   double v = 0;
   if (!parse_double(value, &v) || v < 0) {
@@ -107,6 +121,28 @@ bool apply_interleave(ScenarioConfig& c, const std::string& value, std::string* 
 
 const FieldDef kFields[] = {
     {"scheduler", apply_scheduler},
+    {"topology", apply_topology},
+    {"topology_nodes",
+     [](ScenarioConfig& c, const std::string& v, std::string* e) {
+       return set_number(c, v, e, "topology_nodes", &ScenarioConfig::topology_nodes, 1,
+                         4096);
+     }},
+    {"disk_radius",
+     [](ScenarioConfig& c, const std::string& v, std::string* e) {
+       return set_number(c, v, e, "disk_radius", &ScenarioConfig::disk_radius, 1, 1e5);
+     }},
+    {"topology_seed",
+     [](ScenarioConfig& c, const std::string& v, std::string* e) {
+       // Parsed through the count grammar, not strtod: a seed must
+       // round-trip exactly (doubles lose integers beyond 2^53).
+       std::uint64_t seed = 0;
+       if (!parse_bounded_u64(v, std::numeric_limits<std::uint64_t>::max(), &seed)) {
+         return fail(e, "topology_seed: expected a non-negative integer, got '" + v +
+                            "'");
+       }
+       c.topology_seed = seed;
+       return true;
+     }},
     {"dodag_count",
      [](ScenarioConfig& c, const std::string& v, std::string* e) {
        return set_number(c, v, e, "dodag_count", &ScenarioConfig::dodag_count, 1, 64);
@@ -392,9 +428,13 @@ class Fingerprint {
 /// a field is added or resized: extend this list before adjusting it.
 void mix_config(Fingerprint& fp, const ScenarioConfig& c) {
   fp.mix(static_cast<std::uint64_t>(c.scheduler));
+  fp.mix(static_cast<std::uint64_t>(c.topology));
   fp.mix(static_cast<std::uint64_t>(c.dodag_count));
   fp.mix(static_cast<std::uint64_t>(c.nodes_per_dodag));
   fp.mix(c.hop_distance);
+  fp.mix(static_cast<std::uint64_t>(c.topology_nodes));
+  fp.mix(c.disk_radius);
+  fp.mix(c.topology_seed);
   fp.mix(c.radio_range);
   fp.mix(c.interference_factor);
   fp.mix(c.link_prr);
@@ -413,7 +453,7 @@ void mix_config(Fingerprint& fp, const ScenarioConfig& c) {
   fp.mix(static_cast<std::uint64_t>(c.drain));
 }
 #if defined(__x86_64__) || defined(__aarch64__)
-static_assert(sizeof(ScenarioConfig) == 136,
+static_assert(sizeof(ScenarioConfig) == 160,
               "ScenarioConfig changed: add the new field to mix_config, then "
               "update this size");
 #endif

@@ -221,9 +221,18 @@ int GtTschSf::allocated_rx_cells() const {
 std::uint16_t GtTschSf::advertised_free_rx() {
   const Slotframe* sf = mac_.schedule().get(kSlotframeHandle);
   if (sf == nullptr || stage_ != Stage::kOperational) return 0;
+  // grantable_rx scans the slotframe; memoize on the schedule version so
+  // the many callers between schedule mutations (DIOs, 6P responses,
+  // monitor ticks) pay for the scan once.
+  const std::uint64_t version = mac_.schedule().version();
+  if (grantable_cache_valid_ && grantable_cache_version_ == version)
+    return grantable_cache_;
   const int grantable =
       TxSlotAllocator::grantable_rx(*sf, layout_, is_root_, config_.placement_rules);
-  return static_cast<std::uint16_t>(std::clamp(grantable, 0, 0xFFFF));
+  grantable_cache_ = static_cast<std::uint16_t>(std::clamp(grantable, 0, 0xFFFF));
+  grantable_cache_version_ = version;
+  grantable_cache_valid_ = true;
+  return grantable_cache_;
 }
 
 std::optional<EbPayload> GtTschSf::eb_info() {

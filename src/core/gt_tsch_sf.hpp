@@ -136,6 +136,13 @@ class GtTschSf final : public SchedulingFunction, public SixpSfCallbacks {
   std::uint16_t parent_free_rx_cache_ = 0;
   std::uint16_t last_advertised_rx_ = 0;
   int probe_counter_ = 0;
+  /// Memoized grantable_rx result, keyed on the schedule's mutation
+  /// counter: advertised_free_rx runs on every DIO, 6P response and
+  /// monitor tick, but its input (the slotframe content) only changes
+  /// when the schedule version moves.
+  std::uint64_t grantable_cache_version_ = 0;
+  bool grantable_cache_valid_ = false;
+  std::uint16_t grantable_cache_ = 0;
 };
 
 }  // namespace gttsch

@@ -188,9 +188,10 @@ void TschMac::arm_wake_at(Asn target) {
 void TschMac::schedule_next_slot() {
   if (per_slot_ || anchor_slot_active_) {
     // Per-slot reference mode, or the slot after an active one: the next
-    // boundary must run unconditionally (it performs the end-of-slot
-    // defensive clears — e.g. cutting off a carrier-sense listen that the
-    // rx guard extended across the boundary).
+    // boundary runs to perform the end-of-slot defensive clears — e.g.
+    // cutting off a carrier-sense listen that the rx guard extended
+    // across the boundary. maybe_skip_cutoff_slot() re-aims this wake
+    // later if the active slot winds down with nothing left to clear.
     arm_wake_at(asn_ + 1);
     return;
   }
@@ -249,6 +250,25 @@ void TschMac::on_schedule_changed() {
   arm_wake_at(target);
 }
 
+void TschMac::maybe_skip_cutoff_slot() {
+  if (per_slot_ || state_ != State::kAssociated || !anchor_slot_active_) return;
+  // Quiescence: nothing the cutoff boundary's defensive clears would
+  // touch. Every in-slot continuation lives in these timers / flags, so
+  // when all are idle and the radio is dark the slot is provably over.
+  if (pending_tx_.has_value() || awaiting_ack_) return;
+  if (radio_.state() != RadioState::kOff) return;
+  if (action_timer_.running() || ack_timer_.running() || ack_tx_timer_.running() ||
+      radio_off_timer_.running()) {
+    return;
+  }
+  // The armed wake is the asn_+1 cutoff boundary; demote the anchor slot
+  // to "nothing to clear" and aim at the next active slot instead. The
+  // skipped boundary was externally pure (no RNG, no radio, no counters),
+  // so fast-path equivalence is preserved.
+  anchor_slot_active_ = false;
+  schedule_next_slot();
+}
+
 Asn TschMac::asn() const {
   if (state_ != State::kAssociated) return asn_;
   // Count the slot boundaries that have elapsed since the anchor (all
@@ -296,6 +316,9 @@ void TschMac::on_slot_start() {
       return;
     }
   }
+  // No cell engaged (e.g. Tx cells with empty queues): the slot is already
+  // quiescent, so the cutoff boundary has nothing to clear.
+  maybe_skip_cutoff_slot();
 }
 
 bool TschMac::try_start_tx(const Cell& cell) {
@@ -353,6 +376,7 @@ bool TschMac::try_start_tx(const Cell& cell) {
       auto info = eb_provider_ ? eb_provider_() : std::nullopt;
       if (!info.has_value()) {
         pending_tx_.reset();
+        maybe_skip_cutoff_slot();
         return;
       }
       EbPayload eb = *info;
@@ -363,6 +387,7 @@ bool TschMac::try_start_tx(const Cell& cell) {
       if (head == nullptr || head->mac_seq != pt2.mac_seq) {
         // Queue changed underneath us (e.g. parent switch); abort cleanly.
         pending_tx_.reset();
+        maybe_skip_cutoff_slot();
         return;
       }
       ++head->attempts;
@@ -376,7 +401,11 @@ bool TschMac::try_start_tx(const Cell& cell) {
 }
 
 void TschMac::on_radio_tx_done() {
-  if (!pending_tx_.has_value()) return;  // e.g. an ACK we sent
+  if (!pending_tx_.has_value()) {
+    // e.g. an ACK we sent — usually the slot's last action.
+    maybe_skip_cutoff_slot();
+    return;
+  }
   PendingTx& pt = *pending_tx_;
   if (pt.target == kBroadcastId) {
     if (pt.is_eb) {
@@ -389,6 +418,7 @@ void TschMac::on_radio_tx_done() {
       queues_.pop_broadcast();
     }
     pending_tx_.reset();
+    maybe_skip_cutoff_slot();
     return;
   }
   // Unicast: listen for the ACK.
@@ -400,7 +430,10 @@ void TschMac::on_radio_tx_done() {
                    [this] { on_ack_timeout(); });
 }
 
-void TschMac::on_ack_timeout() { conclude_tx(false); }
+void TschMac::on_ack_timeout() {
+  conclude_tx(false);
+  maybe_skip_cutoff_slot();
+}
 
 void TschMac::conclude_tx(bool acked) {
   if (!pending_tx_.has_value()) return;
@@ -457,11 +490,17 @@ void TschMac::start_rx(const Cell& cell) {
 }
 
 void TschMac::rx_guard_check(PhysChannel channel) {
-  if (radio_.state() != RadioState::kListening) return;
+  if (radio_.state() != RadioState::kListening) {
+    maybe_skip_cutoff_slot();
+    return;
+  }
   const TimeUs busy = medium_.busy_until(radio_.id(), channel);
   if (busy <= sim_.now()) {
     // Keep listening if we owe an ACK transmission shortly; otherwise idle.
-    if (!ack_tx_timer_.running()) radio_.turn_off();
+    if (!ack_tx_timer_.running()) {
+      radio_.turn_off();
+      maybe_skip_cutoff_slot();
+    }
     return;
   }
   radio_off_timer_.start(busy + config_.timing.rx_repoll_slack - sim_.now(),
@@ -478,6 +517,7 @@ void TschMac::on_radio_rx(FramePtr frame) {
     if (frame->type == FrameType::kAck && pending_tx_.has_value() &&
         frame->src == pending_tx_->target && frame->dst == radio_.id()) {
       conclude_tx(true);
+      maybe_skip_cutoff_slot();
     }
     return;
   }

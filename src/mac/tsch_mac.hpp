@@ -181,6 +181,14 @@ class TschMac {
   void advance_anchor_to_now();
   /// Schedule-change hook: re-aim the pending wakeup (fast path only).
   void on_schedule_changed();
+  /// Fast path: the boundary after an active slot exists only to clear
+  /// state the slot may have left running (an rx-guard listen, a pending
+  /// frame). When the slot provably wound down — radio off, no pending
+  /// frame or ACK, no in-slot timer armed — there is nothing to clear, so
+  /// the wake re-aims at the next *active* slot instead. Called from every
+  /// point where in-slot activity can conclude; a no-op unless the armed
+  /// wake is the post-active cutoff boundary.
+  void maybe_skip_cutoff_slot();
   void on_slot_start();
   void maybe_resync(const Frame& eb_frame);
   bool try_start_tx(const Cell& cell);

@@ -1,6 +1,7 @@
 #include "phy/dynamic_link.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/check.hpp"
 
@@ -13,13 +14,14 @@ DynamicLinkModel::DynamicLinkModel(const Simulator& sim, std::unique_ptr<LinkMod
 
 void DynamicLinkModel::override_prr(TimeUs at, NodeId tx, NodeId rx, double prr,
                                     bool symmetric) {
-  overrides_.push_back(Override{at, tx, rx, prr});
-  if (symmetric) overrides_.push_back(Override{at, rx, tx, prr});
+  overrides_.push_back(Override{at, tx, rx, prr, false});
+  if (symmetric) overrides_.push_back(Override{at, rx, tx, prr, false});
+  if (prr > 0.0) has_positive_override_ = true;
   next_recount_at_ = std::min(next_recount_at_, at);
 }
 
 void DynamicLinkModel::kill_node(TimeUs at, NodeId id) {
-  kills_.push_back(NodeKill{at, id});
+  kills_.push_back(NodeKill{at, id, false});
   next_recount_at_ = std::min(next_recount_at_, at);
 }
 
@@ -38,23 +40,52 @@ std::uint64_t DynamicLinkModel::version() const {
   const TimeUs now = sim_.now();
   if (now >= next_recount_at_) {
     // Recount activations and remember when the next one lands, so the
-    // common call (nothing changed) is O(1).
+    // common call (nothing changed) is O(1). Newly observed activations
+    // land in the append-only log exactly once (`logged`), keeping
+    // activation_log_.size() == active_count_ for changed_nodes_since.
     active_count_ = 0;
     next_recount_at_ = kInfiniteTime;
-    for (const Override& o : overrides_) {
-      if (o.at <= now)
+    for (Override& o : overrides_) {
+      if (o.at <= now) {
         ++active_count_;
-      else
+        if (!o.logged) {
+          o.logged = true;
+          activation_log_.emplace_back(o.tx, o.rx);
+        }
+      } else {
         next_recount_at_ = std::min(next_recount_at_, o.at);
+      }
     }
-    for (const NodeKill& k : kills_) {
-      if (k.at <= now)
+    for (NodeKill& k : kills_) {
+      if (k.at <= now) {
         ++active_count_;
-      else
+        if (!k.logged) {
+          k.logged = true;
+          activation_log_.emplace_back(k.id, k.id);
+        }
+      } else {
         next_recount_at_ = std::min(next_recount_at_, k.at);
+      }
     }
   }
   return base_->version() + active_count_;
+}
+
+double DynamicLinkModel::max_interaction_range() const {
+  if (has_positive_override_) return std::numeric_limits<double>::infinity();
+  return base_->max_interaction_range();
+}
+
+bool DynamicLinkModel::changed_nodes_since(std::uint64_t since,
+                                           std::vector<NodeId>& out) const {
+  if (base_->version() != 0) return false;  // cannot attribute base changes
+  (void)version();                          // bring the activation log up to date
+  if (since > activation_log_.size()) return false;  // foreign version value
+  for (std::size_t i = static_cast<std::size_t>(since); i < activation_log_.size(); ++i) {
+    out.push_back(activation_log_[i].first);
+    out.push_back(activation_log_[i].second);
+  }
+  return true;
 }
 
 bool DynamicLinkModel::node_dead(NodeId id) const {

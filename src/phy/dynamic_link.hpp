@@ -40,6 +40,18 @@ class DynamicLinkModel final : public LinkModel {
   /// cache-validity check.
   std::uint64_t version() const override;
 
+  /// Base bound while every registered override only removes links
+  /// (prr 0 — kills, link-downs); infinity once a positive override is
+  /// registered, since it may connect a pair beyond the base geometry.
+  /// Pre-activation the base bound still holds for current answers, and
+  /// the activation bumps version() — satisfying the LinkModel contract.
+  double max_interaction_range() const override;
+
+  /// Exhaustive when the base model is static (version 0): the activation
+  /// log maps every version step to the pair of nodes it touched. A
+  /// mutable base cannot be attributed -> full-rebuild answer (false).
+  bool changed_nodes_since(std::uint64_t since, std::vector<NodeId>& out) const override;
+
   const LinkModel& base() const { return *base_; }
 
  private:
@@ -48,10 +60,12 @@ class DynamicLinkModel final : public LinkModel {
     NodeId tx;
     NodeId rx;
     double prr;
+    bool logged = false;  ///< already appended to activation_log_
   };
   struct NodeKill {
     TimeUs at;
     NodeId id;
+    bool logged = false;
   };
 
   /// Latest active override for (tx, rx), if any.
@@ -60,10 +74,17 @@ class DynamicLinkModel final : public LinkModel {
 
   const Simulator& sim_;
   std::unique_ptr<LinkModel> base_;
-  std::vector<Override> overrides_;  // kept in insertion order
-  std::vector<NodeKill> kills_;
+  // The entry vectors are mutable because the lazy recount in version()
+  // stamps `logged` as activations land in activation_log_.
+  mutable std::vector<Override> overrides_;  // kept in insertion order
+  mutable std::vector<NodeKill> kills_;
+  bool has_positive_override_ = false;  ///< any registered prr > 0 override
   mutable std::uint64_t active_count_ = 0;   ///< entries with at <= now
   mutable TimeUs next_recount_at_ = 0;       ///< recount when now reaches this
+  /// Append-only: the node pair behind each activation, in the order the
+  /// recounts observed them (activation_log_.size() == active_count_).
+  /// With a static base this makes version v <-> log prefix of length v.
+  mutable std::vector<std::pair<NodeId, NodeId>> activation_log_;
 };
 
 }  // namespace gttsch

@@ -1,8 +1,17 @@
 #include "phy/link_model.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace gttsch {
+
+double LinkModel::max_interaction_range() const {
+  return std::numeric_limits<double>::infinity();
+}
+
+bool LinkModel::changed_nodes_since(std::uint64_t, std::vector<NodeId>&) const {
+  return false;
+}
 
 UnitDiskModel::UnitDiskModel(double range, double prr_in_range, double interference_factor)
     : range_(range),
@@ -15,6 +24,10 @@ double UnitDiskModel::prr(NodeId, const Position& a, NodeId, const Position& b) 
 
 bool UnitDiskModel::interferes(NodeId, const Position& a, NodeId, const Position& b) const {
   return distance(a, b) <= interference_range_;
+}
+
+double UnitDiskModel::max_interaction_range() const {
+  return std::max(range_, interference_range_);
 }
 
 DistancePrrModel::DistancePrrModel(double full_range, double max_range,
@@ -34,16 +47,32 @@ bool DistancePrrModel::interferes(NodeId, const Position& a, NodeId, const Posit
   return distance(a, b) <= interference_range_;
 }
 
+double DistancePrrModel::max_interaction_range() const {
+  return std::max(max_range_, interference_range_);
+}
+
 void MatrixLinkModel::set(NodeId tx, NodeId rx, double prr, bool symmetric) {
   prr_[{tx, rx}] = std::clamp(prr, 0.0, 1.0);
   if (symmetric) prr_[{rx, tx}] = std::clamp(prr, 0.0, 1.0);
+  change_log_.emplace_back(tx, rx);
   ++version_;
 }
 
 void MatrixLinkModel::set_interference(NodeId tx, NodeId rx, bool on, bool symmetric) {
   interference_[{tx, rx}] = on;
   if (symmetric) interference_[{rx, tx}] = on;
+  change_log_.emplace_back(tx, rx);
   ++version_;
+}
+
+bool MatrixLinkModel::changed_nodes_since(std::uint64_t since,
+                                          std::vector<NodeId>& out) const {
+  if (since > change_log_.size()) return false;  // foreign version value
+  for (std::size_t i = static_cast<std::size_t>(since); i < change_log_.size(); ++i) {
+    out.push_back(change_log_[i].first);
+    out.push_back(change_log_[i].second);
+  }
+  return true;
 }
 
 double MatrixLinkModel::prr(NodeId tx, const Position&, NodeId rx, const Position&) const {

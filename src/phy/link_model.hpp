@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "phy/geometry.hpp"
 #include "util/types.hpp"
@@ -33,6 +34,26 @@ class LinkModel {
   /// time-varying models bump it so the Medium's pairwise link cache can
   /// invalidate itself.
   virtual std::uint64_t version() const { return 0; }
+
+  /// Spatial locality bound: two nodes farther apart than this can neither
+  /// communicate (prr() == 0) nor interfere (interferes() == false),
+  /// whatever their ids. The Medium sizes its uniform-grid spatial index
+  /// from it, so per-node cache refreshes touch only the grid
+  /// neighborhood. Models without a geometric bound return infinity (the
+  /// grid then degenerates to all-pairs per refreshed node — still never
+  /// O(n^2) per move). The bound must hold for the model's *current*
+  /// answers at all times; a model whose bound grows must bump version()
+  /// no later than the first answer exceeding the old bound (the Medium
+  /// re-reads the bound whenever version() moves).
+  virtual double max_interaction_range() const;
+
+  /// Appends the ids of every node whose links may answer differently now
+  /// than they did at version `since` (a value previously returned by
+  /// version()). Returns true when the list is exhaustive — the caller may
+  /// then refresh only those rows/columns of a link cache; false when the
+  /// model cannot attribute the change (full rebuild required). The
+  /// default attributes nothing.
+  virtual bool changed_nodes_since(std::uint64_t since, std::vector<NodeId>& out) const;
 };
 
 /// Cooja-UDGM-style disk: PRR = `prr_in_range` within `range`, zero outside;
@@ -43,6 +64,7 @@ class UnitDiskModel final : public LinkModel {
 
   double prr(NodeId, const Position& a, NodeId, const Position& b) const override;
   bool interferes(NodeId, const Position& a, NodeId, const Position& b) const override;
+  double max_interaction_range() const override;
 
   double range() const { return range_; }
 
@@ -60,6 +82,7 @@ class DistancePrrModel final : public LinkModel {
 
   double prr(NodeId, const Position& a, NodeId, const Position& b) const override;
   bool interferes(NodeId, const Position& a, NodeId, const Position& b) const override;
+  double max_interaction_range() const override;
 
  private:
   double full_range_;
@@ -77,11 +100,15 @@ class MatrixLinkModel final : public LinkModel {
   double prr(NodeId tx, const Position&, NodeId rx, const Position&) const override;
   bool interferes(NodeId tx, const Position&, NodeId rx, const Position&) const override;
   std::uint64_t version() const override { return version_; }
+  bool changed_nodes_since(std::uint64_t since, std::vector<NodeId>& out) const override;
 
  private:
   std::map<std::pair<NodeId, NodeId>, double> prr_;
   std::map<std::pair<NodeId, NodeId>, bool> interference_;
   std::uint64_t version_ = 0;  ///< bumped on every set()/set_interference()
+  /// One entry per version bump: the pair that mutation touched
+  /// (change_log_[v] caused version v -> v+1), behind changed_nodes_since.
+  std::vector<std::pair<NodeId, NodeId>> change_log_;
 };
 
 }  // namespace gttsch

@@ -1,6 +1,8 @@
 #include "phy/medium.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "sim/log.hpp"
 #include "util/check.hpp"
@@ -14,6 +16,35 @@ namespace {
 /// anything that ended more than one maximal airtime ago can no longer
 /// overlap a transmission still in flight.
 constexpr TimeUs kInFlightRetention = kMaxFrameAirtime;
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+/// Grid-cell coordinates of a position, clamped so they pack into 32 bits.
+/// Clamping only merges cells that are astronomically far apart, which
+/// over-approximates a neighborhood (extra candidates) — never misses one.
+void grid_coords(const Position& p, double cell, std::int64_t& cx, std::int64_t& cy) {
+  constexpr double kBound = 2147480000.0;
+  const double inv = 1.0 / cell;
+  cx = static_cast<std::int64_t>(std::clamp(std::floor(p.x * inv), -kBound, kBound));
+  cy = static_cast<std::int64_t>(std::clamp(std::floor(p.y * inv), -kBound, kBound));
+}
+
+std::uint64_t pack_cell(std::int64_t cx, std::int64_t cy) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(cy));
+}
+
+/// Insert `value` into an ascending vector, keeping it sorted and unique.
+void insert_sorted(std::vector<std::uint32_t>& v, std::uint32_t value) {
+  const auto it = std::lower_bound(v.begin(), v.end(), value);
+  if (it == v.end() || *it != value) v.insert(it, value);
+}
+
+/// Remove `value` from an ascending vector if present.
+void erase_sorted(std::vector<std::uint32_t>& v, std::uint32_t value) {
+  const auto it = std::lower_bound(v.begin(), v.end(), value);
+  if (it != v.end() && *it == value) v.erase(it);
+}
 }  // namespace
 
 Medium::Medium(Simulator& sim, std::unique_ptr<LinkModel> model, Rng rng)
@@ -24,17 +55,39 @@ Medium::Medium(Simulator& sim, std::unique_ptr<LinkModel> model, Rng rng)
 void Medium::attach(Radio* radio) {
   GTTSCH_CHECK(radio != nullptr);
   radios_[radio->id()] = radio;
-  ++topo_version_;
+  ++structure_version_;
 }
 
 void Medium::detach(NodeId id) {
   radios_.erase(id);
-  ++topo_version_;
+  ++structure_version_;
 }
 
 void Medium::position_changed(NodeId id) {
-  (void)id;
-  ++topo_version_;
+  if (!cache_valid_) return;  // a full (re)build is pending anyway
+  // Deduplicate: a node walking many steps between medium queries stays
+  // one dirty entry (the refresh reads its *current* position anyway), so
+  // the backlog is bounded by distinct movers and only overflows — into a
+  // full rebuild — when essentially the whole network moved.
+  if (std::find(moved_.begin(), moved_.end(), id) != moved_.end()) return;
+  moved_.push_back(id);
+  if (moved_.size() > cache_ids_.size()) {
+    cache_valid_ = false;
+    moved_.clear();
+  }
+}
+
+void Medium::set_link_cache_enabled(bool enabled) {
+  if (link_cache_enabled_ == enabled) return;
+  link_cache_enabled_ = enabled;
+  cache_valid_ = false;
+  cache_ids_.clear();
+  cache_radios_.clear();
+  cache_pairs_.clear();
+  cache_receivers_.clear();
+  moved_.clear();
+  grid_.clear();
+  node_grid_key_.clear();
 }
 
 double Medium::link_prr(NodeId tx, NodeId rx) const {
@@ -44,12 +97,49 @@ double Medium::link_prr(NodeId tx, NodeId rx) const {
   return model_->prr(tx, a->second->position(), rx, b->second->position());
 }
 
-void Medium::ensure_cache() const {
-  const std::uint64_t model_version = model_->version();
-  if (cache_valid_ && cached_topo_version_ == topo_version_ &&
-      cached_model_version_ == model_version) {
+bool Medium::grid_active() const {
+  return std::isfinite(cache_range_) && cache_range_ > 0.0;
+}
+
+void Medium::update_grid_membership(std::uint32_t idx) const {
+  if (!grid_active()) return;
+  std::int64_t cx = 0;
+  std::int64_t cy = 0;
+  grid_coords(cache_radios_[idx]->position(), cache_range_, cx, cy);
+  const std::uint64_t key = pack_cell(cx, cy);
+  if (key == node_grid_key_[idx]) return;
+  const auto old_it = grid_.find(node_grid_key_[idx]);
+  if (old_it != grid_.end()) {
+    std::erase(old_it->second, idx);
+    if (old_it->second.empty()) grid_.erase(old_it);
+  }
+  grid_[key].push_back(idx);
+  node_grid_key_[idx] = key;
+}
+
+void Medium::collect_candidates(const Position& pos,
+                                std::vector<std::uint32_t>& out) const {
+  out.clear();
+  if (!grid_active()) {
+    for (std::uint32_t i = 0; i < cache_ids_.size(); ++i) out.push_back(i);
     return;
   }
+  std::int64_t cx = 0;
+  std::int64_t cy = 0;
+  grid_coords(pos, cache_range_, cx, cy);
+  for (std::int64_t dx = -1; dx <= 1; ++dx) {
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      const auto it = grid_.find(pack_cell(cx + dx, cy + dy));
+      if (it == grid_.end()) continue;
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+  // Receiver lists must come out ascending by NodeId (== by cache index),
+  // so candidates are visited in sorted order.
+  std::sort(out.begin(), out.end());
+}
+
+void Medium::rebuild_cache() const {
   const std::size_t n = radios_.size();
   cache_ids_.clear();
   cache_radios_.clear();
@@ -61,27 +151,134 @@ void Medium::ensure_cache() const {
   }
   cache_pairs_.assign(n * n, PairLink{});
   cache_receivers_.assign(n, {});
-  for (std::size_t t = 0; t < n; ++t) {
+  cache_range_ = model_->max_interaction_range();
+  grid_.clear();
+  node_grid_key_.assign(n, 0);
+  if (grid_active()) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::int64_t cx = 0;
+      std::int64_t cy = 0;
+      grid_coords(cache_radios_[i]->position(), cache_range_, cx, cy);
+      const std::uint64_t key = pack_cell(cx, cy);
+      grid_[key].push_back(i);
+      node_grid_key_[i] = key;
+    }
+  }
+  // Pairs outside a node's grid neighborhood stay {0, false}, which the
+  // model's max_interaction_range contract guarantees the model would
+  // answer too — so this O(n * degree) build is bit-identical to the
+  // all-pairs one.
+  for (std::uint32_t t = 0; t < n; ++t) {
     const Position& tx_pos = cache_radios_[t]->position();
-    for (std::size_t r = 0; r < n; ++r) {
+    collect_candidates(tx_pos, candidate_scratch_);
+    for (const std::uint32_t r : candidate_scratch_) {
       if (r == t) continue;
       const Position& rx_pos = cache_radios_[r]->position();
       PairLink& link = cache_pairs_[t * n + r];
       link.prr = model_->prr(cache_ids_[t], tx_pos, cache_ids_[r], rx_pos);
       link.interferes =
           model_->interferes(cache_ids_[t], tx_pos, cache_ids_[r], rx_pos);
-      if (link.prr > 0.0)
-        cache_receivers_[t].push_back(static_cast<std::uint32_t>(r));
+      if (link.prr > 0.0) cache_receivers_[t].push_back(r);
     }
   }
-  cached_topo_version_ = topo_version_;
-  cached_model_version_ = model_version;
+  cached_structure_version_ = structure_version_;
+  cached_model_version_ = model_->version();
+  moved_.clear();
   cache_valid_ = true;
+}
+
+void Medium::refresh_node(std::uint32_t m) const {
+  const std::size_t n = cache_ids_.size();
+  // Clear column m: forget every sender's link *to* the node (the prr > 0
+  // ones are exactly those holding m in their receiver list).
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (s == m) continue;
+    PairLink& to_m = cache_pairs_[s * n + m];
+    if (to_m.prr > 0.0) erase_sorted(cache_receivers_[s], m);
+    to_m = PairLink{};
+  }
+  // Clear row m.
+  std::fill(cache_pairs_.begin() + static_cast<std::ptrdiff_t>(m * n),
+            cache_pairs_.begin() + static_cast<std::ptrdiff_t>((m + 1) * n),
+            PairLink{});
+  cache_receivers_[m].clear();
+  // Recompute both directions against the grid neighborhood of the
+  // node's current position. Values are whatever the model answers for
+  // current positions, and anything farther than the spatial bound is
+  // {0, false} on both sides — bit-identical to a full rebuild.
+  const Position& m_pos = cache_radios_[m]->position();
+  collect_candidates(m_pos, candidate_scratch_);
+  for (const std::uint32_t r : candidate_scratch_) {
+    if (r == m) continue;
+    const Position& r_pos = cache_radios_[r]->position();
+    PairLink& out = cache_pairs_[m * n + r];
+    out.prr = model_->prr(cache_ids_[m], m_pos, cache_ids_[r], r_pos);
+    out.interferes = model_->interferes(cache_ids_[m], m_pos, cache_ids_[r], r_pos);
+    if (out.prr > 0.0) cache_receivers_[m].push_back(r);  // candidates ascend
+    PairLink& in = cache_pairs_[r * n + m];
+    in.prr = model_->prr(cache_ids_[r], r_pos, cache_ids_[m], m_pos);
+    in.interferes = model_->interferes(cache_ids_[r], r_pos, cache_ids_[m], m_pos);
+    if (in.prr > 0.0) insert_sorted(cache_receivers_[r], m);
+  }
+}
+
+void Medium::ensure_cache() const {
+  if (!link_cache_enabled_) return;
+  const std::uint64_t model_version = model_->version();
+  if (cache_valid_ && cached_structure_version_ == structure_version_ &&
+      cached_model_version_ == model_version && moved_.empty()) {
+    return;
+  }
+  if (!cache_valid_ || cached_structure_version_ != structure_version_) {
+    rebuild_cache();  // structural change: membership itself moved
+    return;
+  }
+
+  // Incremental path: collect the indices whose rows/columns must refresh.
+  dirty_scratch_.clear();
+  if (cached_model_version_ != model_version) {
+    // A model change may come with a new spatial bound (e.g. a dynamic
+    // override activating beyond the base geometry) — the grid must then
+    // be resized, which only a full rebuild does.
+    if (model_->max_interaction_range() != cache_range_) {
+      rebuild_cache();
+      return;
+    }
+    model_dirty_scratch_.clear();
+    if (!model_->changed_nodes_since(cached_model_version_, model_dirty_scratch_)) {
+      rebuild_cache();  // unattributable model change
+      return;
+    }
+    for (const NodeId id : model_dirty_scratch_) {
+      const std::size_t idx = cache_index(id);
+      if (idx != kNpos) dirty_scratch_.push_back(static_cast<std::uint32_t>(idx));
+    }
+  }
+  for (const NodeId id : moved_) {
+    const std::size_t idx = cache_index(id);
+    // A moved radio unknown to the cache would have changed the structure
+    // version and taken the rebuild branch above.
+    if (idx != kNpos) dirty_scratch_.push_back(static_cast<std::uint32_t>(idx));
+  }
+  std::sort(dirty_scratch_.begin(), dirty_scratch_.end());
+  dirty_scratch_.erase(std::unique(dirty_scratch_.begin(), dirty_scratch_.end()),
+                       dirty_scratch_.end());
+  const std::size_t n = cache_ids_.size();
+  if (dirty_scratch_.size() * 2 >= n && dirty_scratch_.size() > 1) {
+    rebuild_cache();  // most rows dirty: the full build is cheaper
+    return;
+  }
+  // Settle every dirty node's grid cell first so candidate discovery sees
+  // final geometry even when several nodes moved in the same batch.
+  for (const std::uint32_t idx : dirty_scratch_) update_grid_membership(idx);
+  for (const std::uint32_t idx : dirty_scratch_) refresh_node(idx);
+  cached_model_version_ = model_version;
+  moved_.clear();
 }
 
 std::size_t Medium::cache_index(NodeId id) const {
   const auto it = std::lower_bound(cache_ids_.begin(), cache_ids_.end(), id);
-  if (it == cache_ids_.end() || *it != id) return static_cast<std::size_t>(-1);
+  if (it == cache_ids_.end() || *it != id) return kNpos;
   return static_cast<std::size_t>(it - cache_ids_.begin());
 }
 
@@ -91,29 +288,41 @@ void Medium::start_transmission(Radio& sender, FramePtr frame, PhysChannel chann
   GTTSCH_CHECK(frame->length_bytes <= kMaxMacFrameBytes);
   const TimeUs air = frame_airtime(frame->length_bytes);
   const std::uint64_t id = next_tx_id_++;
-  in_flight_[channel].push_back(
-      Transmission{id, sender.id(), std::move(frame), channel, sim_.now(), sim_.now() + air});
+  const TimeUs end = sim_.now() + air;
+  ChannelState& cs = channels_[channel];
+  cs.in_flight.push_back(
+      Transmission{id, sender.id(), std::move(frame), channel, sim_.now(), end});
   ++stats_.transmissions;
-  sim_.after(air, [this, channel, id] { finish_transmission(channel, id); });
+  // One drain event per (channel, end-time) rendezvous: every later frame
+  // ending at the same instant on the same channel (the TSCH case — equal
+  // frame lengths transmitted at the same slot's tx offset) rides the
+  // first frame's event. Airtime is strictly positive, so the drain this
+  // frame may join cannot have fired already.
+  if (std::find(cs.pending_drains.begin(), cs.pending_drains.end(), end) ==
+      cs.pending_drains.end()) {
+    cs.pending_drains.push_back(end);
+    sim_.after(air, [this, channel, end] { drain_channel(channel, end); });
+  }
 }
 
 bool Medium::suffers_collision(const Transmission& tx, const Radio& rx) const {
-  const auto bucket_it = in_flight_.find(tx.channel);
-  if (bucket_it == in_flight_.end()) return false;
+  const auto bucket_it = channels_.find(tx.channel);
+  if (bucket_it == channels_.end()) return false;
   const std::size_t rx_idx = cache_index(rx.id());
   const std::size_t n = cache_ids_.size();
-  for (const auto& other : bucket_it->second) {
+  for (const auto& other : bucket_it->second.in_flight) {
     if (other.id == tx.id) continue;
     if (other.sender == rx.id()) continue;  // a radio cannot jam itself here:
     // it would be transmitting, and the listening check already failed.
     const bool overlap = other.start < tx.end && tx.start < other.end;
     if (!overlap) continue;
     const std::size_t s_idx = cache_index(other.sender);
-    if (rx_idx != static_cast<std::size_t>(-1) && s_idx != static_cast<std::size_t>(-1)) {
+    if (rx_idx != kNpos && s_idx != kNpos) {
       if (cache_pairs_[s_idx * n + rx_idx].interferes) return true;
       continue;
     }
-    // Uncached (e.g. sender detached mid-flight): ask the model directly.
+    // Uncached (e.g. sender detached mid-flight, or the cache is in
+    // reference mode): ask the model directly.
     const auto it = radios_.find(other.sender);
     if (it == radios_.end()) continue;
     if (model_->interferes(other.sender, it->second->position(), rx.id(), rx.position()))
@@ -125,18 +334,18 @@ bool Medium::suffers_collision(const Transmission& tx, const Radio& rx) const {
 TimeUs Medium::busy_until(NodeId listener, PhysChannel channel) const {
   const auto lit = radios_.find(listener);
   if (lit == radios_.end()) return 0;
-  const auto bucket_it = in_flight_.find(channel);
-  if (bucket_it == in_flight_.end()) return 0;
+  const auto bucket_it = channels_.find(channel);
+  if (bucket_it == channels_.end()) return 0;
   ensure_cache();
   const std::size_t l_idx = cache_index(listener);
   const std::size_t n = cache_ids_.size();
   const Position& lpos = lit->second->position();
   TimeUs latest = 0;
-  for (const auto& tx : bucket_it->second) {
+  for (const auto& tx : bucket_it->second.in_flight) {
     if (tx.sender == listener) continue;
     if (tx.end <= sim_.now()) continue;
     const std::size_t s_idx = cache_index(tx.sender);
-    if (s_idx != static_cast<std::size_t>(-1) && l_idx != static_cast<std::size_t>(-1)) {
+    if (s_idx != kNpos && l_idx != kNpos) {
       const PairLink& link = cache_pairs_[s_idx * n + l_idx];
       if (link.prr > 0.0 || link.interferes) latest = std::max(latest, tx.end);
       continue;
@@ -174,8 +383,24 @@ void Medium::resolve_receiver(const Transmission& tx, NodeId rid, Radio& radio,
   radio.medium_deliver(tx.frame);
 }
 
+void Medium::drain_channel(PhysChannel channel, TimeUs end) {
+  ChannelState& cs = channels_[channel];
+  std::erase(cs.pending_drains, end);
+  // Snapshot the batch first: delivery callbacks may start new
+  // transmissions (which end strictly later — never in this batch) and
+  // the per-frame pruning below compacts the bucket.
+  drain_scratch_.clear();
+  for (const Transmission& t : cs.in_flight) {
+    if (t.end == end) drain_scratch_.push_back(t.id);
+  }
+  // Bucket order is insertion order, so the batch runs in ascending
+  // transmission id — exactly the order the per-frame completion events
+  // fired in before batching.
+  for (const std::uint64_t id : drain_scratch_) finish_transmission(channel, id);
+}
+
 void Medium::finish_transmission(PhysChannel channel, std::uint64_t tx_id) {
-  auto& bucket = in_flight_[channel];
+  auto& bucket = channels_[channel].in_flight;
   const auto it = std::find_if(bucket.begin(), bucket.end(),
                                [tx_id](const Transmission& t) { return t.id == tx_id; });
   GTTSCH_CHECK(it != bucket.end());
@@ -185,9 +410,8 @@ void Medium::finish_transmission(PhysChannel channel, std::uint64_t tx_id) {
   Radio* sender = sender_it == radios_.end() ? nullptr : sender_it->second;
 
   ensure_cache();
-  const std::size_t s_idx = sender != nullptr ? cache_index(tx.sender)
-                                              : static_cast<std::size_t>(-1);
-  if (s_idx != static_cast<std::size_t>(-1)) {
+  const std::size_t s_idx = sender != nullptr ? cache_index(tx.sender) : kNpos;
+  if (s_idx != kNpos) {
     const std::size_t n = cache_ids_.size();
     // Only receivers in communication range (prr > 0) draw from the RNG,
     // in ascending node id — matching the full-radio iteration this fast
@@ -206,10 +430,10 @@ void Medium::finish_transmission(PhysChannel channel, std::uint64_t tx_id) {
       resolve_receiver(tx, cand.id, *cand.radio, cand.prr);
     }
   } else {
-    // Sender unknown to the cache (detached mid-flight): resolve each
-    // receiver against the model directly, as the uncached path did —
-    // with the same snapshot + revalidation discipline as above, since
-    // delivery callbacks may detach radios mid-loop.
+    // Sender unknown to the cache (detached mid-flight, or reference
+    // mode): resolve each receiver against the model directly — with the
+    // same snapshot + revalidation discipline as above, since delivery
+    // callbacks may detach radios mid-loop.
     delivery_scratch_.clear();
     for (auto& [rid, radio] : radios_) {
       if (rid == tx.sender) continue;

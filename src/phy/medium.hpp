@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "phy/link_model.hpp"
@@ -25,11 +26,21 @@ struct MediumStats {
 };
 
 /// Delivery resolution is cached: the pairwise PRR/interference matrix and
-/// the per-sender in-range receiver lists are compiled from the link model
-/// and rebuilt whenever a radio attaches/detaches/moves or the model
-/// reports a new version() (mobility, dynamic link overrides, matrix
-/// edits). In-flight transmissions are bucketed per physical channel so
-/// carrier sense and collision checks touch only same-channel frames.
+/// the per-sender in-range receiver lists are compiled from the link model.
+/// Invalidation is *incremental*: a moved radio (Radio::set_position) or a
+/// model change the model can attribute (LinkModel::changed_nodes_since)
+/// refreshes only the affected rows/columns, discovering candidates through
+/// a uniform-grid spatial index sized by LinkModel::max_interaction_range()
+/// — O(degree) model calls per move instead of the full O(n^2) rebuild.
+/// Attach/detach (structural) and unattributable model changes still
+/// rebuild from scratch. Cached answers are bit-identical to querying the
+/// model directly (set_link_cache_enabled(false) is the reference mode the
+/// property tests compare against).
+///
+/// In-flight transmissions are bucketed per physical channel, and frame
+/// completions are *batched*: one drain event per (channel, end-time)
+/// rendezvous resolves every frame ending at that instant in transmission
+/// order, instead of one simulator event per frame.
 class Medium {
  public:
   Medium(Simulator& sim, std::unique_ptr<LinkModel> model, Rng rng);
@@ -37,7 +48,8 @@ class Medium {
   void attach(Radio* radio);
   void detach(NodeId id);
 
-  /// Radio position changed (mobility): invalidates the link cache.
+  /// Radio position changed (mobility): marks only that radio's cache
+  /// rows/columns for refresh.
   void position_changed(NodeId id);
 
   /// Called by Radio::transmit. Takes care of completion and delivery.
@@ -55,6 +67,14 @@ class Medium {
   /// PRR between two attached radios under the current model (testing aid).
   double link_prr(NodeId tx, NodeId rx) const;
 
+  /// Reference mode for the cache property tests: with the link cache off,
+  /// every delivery, carrier-sense and collision check queries the model
+  /// directly. Observably identical to the cached mode (same candidate
+  /// order, same RNG draw discipline) — which is exactly what the tests
+  /// assert, bit for bit.
+  void set_link_cache_enabled(bool enabled);
+  bool link_cache_enabled() const { return link_cache_enabled_; }
+
  private:
   struct Transmission {
     std::uint64_t id;
@@ -65,21 +85,43 @@ class Medium {
     TimeUs end;
   };
 
+  /// Per-channel in-flight bucket plus the end times that already have a
+  /// drain event scheduled (one event per distinct end time).
+  struct ChannelState {
+    std::vector<Transmission> in_flight;
+    std::vector<TimeUs> pending_drains;
+  };
+
   /// One compiled link-cache entry (row-major: pairs_[tx_idx*n + rx_idx]).
   struct PairLink {
     double prr = 0.0;
     bool interferes = false;
   };
 
+  /// Resolve every transmission on `channel` ending exactly at `end`, in
+  /// transmission-id (= start) order — the batched replacement for the
+  /// old one-event-per-frame completion.
+  void drain_channel(PhysChannel channel, TimeUs end);
   void finish_transmission(PhysChannel channel, std::uint64_t tx_id);
   /// Resolve one candidate receiver of a finished transmission: listening
   /// filters, collision check, PRR draw, stats, delivery. Shared by the
-  /// cached fast path and the detached-sender fallback so the filter order
+  /// cached fast path and the model-direct fallback so the filter order
   /// and RNG-draw discipline (part of the fast-path bit-equivalence
   /// contract) cannot drift between them. `prr` <= 0 draws nothing.
   void resolve_receiver(const Transmission& tx, NodeId rid, Radio& radio, double prr);
   bool suffers_collision(const Transmission& tx, const Radio& rx) const;
   void ensure_cache() const;
+  void rebuild_cache() const;
+  /// Recompute row + column `idx` of the pair matrix (and the affected
+  /// receiver lists) against the node's current position, touching only
+  /// its grid neighborhood.
+  void refresh_node(std::uint32_t idx) const;
+  /// Move node `idx` to the grid cell of its current position.
+  void update_grid_membership(std::uint32_t idx) const;
+  /// Candidate peer indices for a node at `pos`: occupants of the 3x3
+  /// grid neighborhood, or every node when the model has no spatial bound.
+  void collect_candidates(const Position& pos, std::vector<std::uint32_t>& out) const;
+  bool grid_active() const;
   /// Cache row index for `id`, or npos when unknown (e.g. detached).
   std::size_t cache_index(NodeId id) const;
 
@@ -87,15 +129,19 @@ class Medium {
   std::unique_ptr<LinkModel> model_;
   Rng rng_;
   std::map<NodeId, Radio*> radios_;
-  /// In-flight (and recently-ended, pruned lazily) transmissions, one
-  /// bucket per physical channel.
-  std::map<PhysChannel, std::vector<Transmission>> in_flight_;
+  std::map<PhysChannel, ChannelState> channels_;
   std::uint64_t next_tx_id_ = 1;
   MediumStats stats_;
+  /// Batch snapshot for drain_channel (ids of the frames ending at the
+  /// drained instant); member so the steady state never allocates. Safe
+  /// because drains never nest: a delivery callback can only start
+  /// transmissions ending strictly later.
+  std::vector<std::uint64_t> drain_scratch_;
 
   // --- compiled link cache (see class comment) --------------------------
-  std::uint64_t topo_version_ = 1;  ///< attach/detach/move counter
-  mutable std::uint64_t cached_topo_version_ = 0;
+  bool link_cache_enabled_ = true;
+  std::uint64_t structure_version_ = 1;  ///< attach/detach counter
+  mutable std::uint64_t cached_structure_version_ = 0;
   mutable std::uint64_t cached_model_version_ = 0;
   mutable bool cache_valid_ = false;
   mutable std::vector<NodeId> cache_ids_;     ///< ascending
@@ -104,13 +150,26 @@ class Medium {
   /// Per sender index: receiver indices with prr > 0, ascending by NodeId
   /// (the delivery-loop order, so RNG draws match the uncached iteration).
   mutable std::vector<std::vector<std::uint32_t>> cache_receivers_;
+  /// Radios whose position changed since the cache last refreshed.
+  mutable std::vector<NodeId> moved_;
+
+  // --- uniform-grid spatial index over radio positions ------------------
+  /// Cell size == the model's max_interaction_range at the last full
+  /// rebuild; infinity (or <= 0) disables the grid (all-pairs refresh).
+  mutable double cache_range_ = 0.0;
+  mutable std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> grid_;
+  mutable std::vector<std::uint64_t> node_grid_key_;  ///< parallel to cache_ids_
+  mutable std::vector<std::uint32_t> dirty_scratch_;
+  mutable std::vector<std::uint32_t> candidate_scratch_;
+  mutable std::vector<NodeId> model_dirty_scratch_;
+
   /// Snapshot of one sender's candidates taken before the delivery loop:
   /// delivery callbacks may invalidate/rebuild the cache (mobility hooks,
   /// attach/detach), so the loop must not read cache vectors directly, and
   /// each entry is re-validated against radios_ before dereferencing in
   /// case a callback detached that radio. Reused across calls — no
   /// steady-state allocation. Safe because finish_transmission never
-  /// nests: it only runs as a queue event, and although delivery
+  /// nests: it only runs from drain_channel, and although delivery
   /// callbacks execute synchronously inside it (Radio::medium_deliver ->
   /// on_rx), no rx path synchronously completes another transmission.
   struct DeliveryCandidate {

@@ -1,6 +1,7 @@
 #include "scenario/experiment.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 
 #include "util/check.hpp"
@@ -45,7 +46,30 @@ NodeStackConfig ScenarioConfig::make_node_config() const {
 }
 
 TopologySpec ScenarioConfig::make_topology() const {
-  return build_multi_dodag(dodag_count, nodes_per_dodag, hop_distance);
+  switch (topology) {
+    case TopologyKind::kMultiDodag:
+      return build_multi_dodag(dodag_count, nodes_per_dodag, hop_distance);
+    case TopologyKind::kGrid: {
+      // Squarest grid holding topology_nodes; surplus corner cells (when
+      // n is not a product of the chosen sides) are trimmed off the end.
+      const int n = std::max(topology_nodes, 1);
+      const int cols = std::max(1, static_cast<int>(std::ceil(std::sqrt(n))));
+      const int rows = (n + cols - 1) / cols;
+      TopologySpec spec = build_grid(1, Position{0.0, 0.0}, cols, rows, hop_distance);
+      spec.nodes.resize(static_cast<std::size_t>(n));
+      return spec;
+    }
+    case TopologyKind::kLine: {
+      // build_line counts hops, so a 1-node "line" is just the root.
+      if (topology_nodes <= 1) return build_grid(1, Position{0.0, 0.0}, 1, 1, hop_distance);
+      return build_line(1, Position{0.0, 0.0}, topology_nodes - 1, hop_distance);
+    }
+    case TopologyKind::kRandomDisk:
+      return build_random_disk(1, Position{0.0, 0.0}, std::max(topology_nodes, 1),
+                               disk_radius, hop_distance, topology_seed);
+  }
+  GTTSCH_CHECK(false);
+  return {};
 }
 
 ExperimentResult run_scenario(const ScenarioConfig& config) {
@@ -141,6 +165,20 @@ std::vector<std::uint64_t> default_seeds() {
 
 const char* scheduler_name(SchedulerKind kind) {
   return kind == SchedulerKind::kGtTsch ? "GT-TSCH" : "Orchestra";
+}
+
+const char* topology_name(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kMultiDodag:
+      return "multi-dodag";
+    case TopologyKind::kGrid:
+      return "grid";
+    case TopologyKind::kLine:
+      return "line";
+    case TopologyKind::kRandomDisk:
+      return "random-disk";
+  }
+  return "?";
 }
 
 }  // namespace gttsch

@@ -11,13 +11,26 @@
 
 namespace gttsch {
 
+/// Topology family a scenario is built on. kMultiDodag is the paper's
+/// setup (independent Fig-6-shaped DODAGs); the builder kinds open the
+/// large-scale workloads (50/100/200-node grids, chains and random
+/// multihop meshes) as first-class, campaign-sweepable scenarios.
+enum class TopologyKind : std::uint8_t { kMultiDodag, kGrid, kLine, kRandomDisk };
+
 struct ScenarioConfig {
   SchedulerKind scheduler = SchedulerKind::kGtTsch;
 
-  // Topology.
+  // Topology. kMultiDodag uses dodag_count x nodes_per_dodag; the builder
+  // kinds (grid / line / random-disk) place `topology_nodes` total nodes
+  // with `hop_distance` spacing (grid pitch, chain step, or the
+  // random-disk connectivity radius).
+  TopologyKind topology = TopologyKind::kMultiDodag;
   int dodag_count = 2;
   int nodes_per_dodag = 7;
   double hop_distance = 30.0;
+  int topology_nodes = 50;        ///< total nodes for grid/line/random-disk
+  double disk_radius = 120.0;     ///< random-disk placement radius
+  std::uint64_t topology_seed = 1;  ///< random-disk placement stream
 
   // Radio / medium.
   double radio_range = 40.0;
@@ -85,5 +98,6 @@ AveragedMetrics run_averaged(ScenarioConfig config, const std::vector<std::uint6
 std::vector<std::uint64_t> default_seeds();
 
 const char* scheduler_name(SchedulerKind kind);
+const char* topology_name(TopologyKind kind);
 
 }  // namespace gttsch

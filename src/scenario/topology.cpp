@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace gttsch {
 
@@ -84,6 +85,46 @@ TopologySpec build_line(NodeId first_id, Position start, int hops, double hop_di
     spec.nodes.push_back(
         NodeSpec{static_cast<NodeId>(first_id + i),
                  Position{start.x + hop_distance * i, start.y}, i == 0});
+  }
+  return spec;
+}
+
+TopologySpec build_random_disk(NodeId first_id, Position center, int n_nodes,
+                               double radius, double connect_range,
+                               std::uint64_t seed) {
+  GTTSCH_CHECK(n_nodes >= 1);
+  GTTSCH_CHECK(radius > 0.0 && connect_range > 0.0);
+  const double two_pi = 6.283185307179586;
+  TopologySpec spec;
+  NodeId next = first_id;
+  spec.nodes.push_back(NodeSpec{next++, center, true});
+  Rng rng(seed);
+  // Candidates beyond connect_range of every placed node are redrawn; a
+  // node that keeps missing (sparse disk, unlucky stream) is snapped one
+  // connect_range away from a random placed node so the builder is total.
+  constexpr int kMaxDraws = 256;
+  for (int i = 1; i < n_nodes; ++i) {
+    Position pos{};
+    bool connected = false;
+    for (int attempt = 0; attempt < kMaxDraws && !connected; ++attempt) {
+      const double r = radius * std::sqrt(rng.uniform_double());
+      const double theta = two_pi * rng.uniform_double();
+      pos = Position{center.x + r * std::cos(theta), center.y + r * std::sin(theta)};
+      for (const NodeSpec& placed : spec.nodes) {
+        if (distance(placed.pos, pos) <= connect_range) {
+          connected = true;
+          break;
+        }
+      }
+    }
+    if (!connected) {
+      const auto anchor = static_cast<std::size_t>(rng.uniform(spec.nodes.size()));
+      const double theta = two_pi * rng.uniform_double();
+      const Position& ap = spec.nodes[anchor].pos;
+      pos = Position{ap.x + 0.9 * connect_range * std::cos(theta),
+                     ap.y + 0.9 * connect_range * std::sin(theta)};
+    }
+    spec.nodes.push_back(NodeSpec{next++, pos, false});
   }
   return spec;
 }

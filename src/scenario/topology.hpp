@@ -44,4 +44,17 @@ TopologySpec build_line(NodeId first_id, Position start, int hops, double hop_di
 TopologySpec build_grid(NodeId first_id, Position origin, int cols, int rows,
                         double spacing);
 
+/// Random multihop mesh with *guaranteed* connectivity: the root sits at
+/// `center`, and the remaining `n_nodes - 1` nodes are drawn uniformly
+/// from the disk of `radius` around it, redrawing any candidate farther
+/// than `connect_range` from every already-placed node — so the unit-disk
+/// graph at radio range >= connect_range is connected by construction.
+/// After many rejections a candidate is snapped next to a random placed
+/// node instead, which keeps the builder total even for sparse disks.
+/// Deterministic in `seed` (placement is independent of the run seed, so
+/// seed-averaged campaigns run on one fixed topology per point).
+TopologySpec build_random_disk(NodeId first_id, Position center, int n_nodes,
+                               double radius, double connect_range,
+                               std::uint64_t seed);
+
 }  // namespace gttsch

@@ -158,6 +158,40 @@ TEST(CampaignSpec, ApplyFieldParsesAndRangeChecks) {
   EXPECT_FALSE(campaign::known_fields().empty());
 }
 
+TEST(CampaignSpec, TopologyAxesSweepBuilderKinds) {
+  ScenarioConfig c;
+  std::string error;
+  for (const char* name : {"multi-dodag", "grid", "line", "random-disk"}) {
+    EXPECT_TRUE(campaign::apply_field(c, "topology", name, &error)) << error;
+    EXPECT_STREQ(topology_name(c.topology), name);
+  }
+  EXPECT_TRUE(campaign::apply_field(c, "topology_nodes", "200", &error));
+  EXPECT_EQ(c.topology_nodes, 200);
+  EXPECT_TRUE(campaign::apply_field(c, "disk_radius", "220", &error));
+  EXPECT_EQ(c.disk_radius, 220.0);
+  // Seeds go through the exact-integer grammar, not strtod.
+  EXPECT_TRUE(campaign::apply_field(c, "topology_seed", "9007199254740993", &error));
+  EXPECT_EQ(c.topology_seed, 9007199254740993ull);  // 2^53 + 1: double-lossy
+  EXPECT_FALSE(campaign::apply_field(c, "topology", "star", &error));
+  EXPECT_FALSE(campaign::apply_field(c, "topology_nodes", "0", &error));
+  EXPECT_FALSE(campaign::apply_field(c, "topology_seed", "-3", &error));
+
+  // The new fields are campaign axes end to end: a 2x2 grid over topology
+  // kind and size expands, and different node counts fingerprint apart.
+  CampaignSpec spec;
+  spec.seeds = {1};
+  ASSERT_TRUE(campaign::parse_grid("topology=grid,line;topology_nodes=50,100",
+                                   &spec.axes, &error))
+      << error;
+  const auto points = campaign::expand_grid(spec, &error);
+  ASSERT_EQ(points.size(), 4u) << error;
+  CampaignSpec other = spec;
+  other.base.disk_radius = 300.0;  // not swept: only the fingerprint sees it
+  const auto other_points = campaign::expand_grid(other, &error);
+  EXPECT_NE(campaign::campaign_fingerprint(points, spec.seeds),
+            campaign::campaign_fingerprint(other_points, other.seeds));
+}
+
 TEST(CampaignSpec, ParsesGridAndSeedStrings) {
   std::vector<Axis> axes;
   std::string error;

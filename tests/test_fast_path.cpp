@@ -5,6 +5,7 @@
 // processing strictly fewer simulator events.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <map>
 #include <memory>
 
@@ -38,8 +39,11 @@ struct ModeResult {
 };
 
 /// Mirrors run_scenario(), but with direct control of per_slot_stepping.
+/// `setup` (optional) runs after start() — e.g. to schedule mid-run moves;
+/// it must be deterministic so both stepping modes see identical inputs.
 ModeResult run_mode(const ScenarioConfig& sc, std::uint64_t seed, bool per_slot,
-                    double max_drift_ppm = 0.0, std::uint16_t broadcast_slots = 0) {
+                    double max_drift_ppm = 0.0, std::uint16_t broadcast_slots = 0,
+                    const std::function<void(Network&)>& setup = nullptr) {
   const TimeUs measure_end = sc.warmup + sc.measure;
   RunStats stats(sc.warmup, measure_end);
   auto nc = sc.make_node_config();
@@ -52,6 +56,7 @@ ModeResult run_mode(const ScenarioConfig& sc, std::uint64_t seed, bool per_slot,
   net.sim().at(sc.warmup, [&stats] { stats.begin_measurement(); });
   net.sim().at(measure_end, [&stats] { stats.end_measurement(); });
   net.start();
+  if (setup) setup(net);
   net.medium().reset_stats();
   net.sim().run_until(measure_end + sc.drain);
 
@@ -204,6 +209,52 @@ TEST(FastPathEquivalence, MinimalScheduleSkipsByOccupancy) {
       run_mode(sc, 1000, /*per_slot=*/true, /*drift=*/0.0, /*broadcast_slots=*/2);
   expect_identical(fast, ref);
   EXPECT_LT(fast.events_processed * 5, ref.events_processed);  // >= 5x fewer
+}
+
+TEST(FastPathEquivalence, FiftyNodeGridTopology) {
+  // A builder topology at campaign scale: 50-node grid, multihop routes.
+  // Equivalence must hold through the heavier contention and the much
+  // larger schedule population.
+  ScenarioConfig sc = fig8_config(SchedulerKind::kGtTsch);
+  sc.topology = TopologyKind::kGrid;
+  sc.topology_nodes = 50;
+  sc.traffic_ppm = 30.0;
+  sc.warmup = 90_s;
+  sc.measure = 60_s;
+  const ModeResult fast = run_mode(sc, 1000, /*per_slot=*/false);
+  const ModeResult ref = run_mode(sc, 1000, /*per_slot=*/true);
+  ASSERT_EQ(fast.nodes.size(), 50u);
+  expect_identical(fast, ref);
+}
+
+TEST(FastPathEquivalence, MobilityScenario) {
+  // Mid-run moves invalidate the medium's link cache incrementally; the
+  // skipping MAC must stay bit-identical while links fade and reform.
+  ScenarioConfig sc = fig8_config(SchedulerKind::kGtTsch);
+  sc.dodag_count = 1;
+  sc.warmup = 120_s;
+  sc.measure = 120_s;
+  const auto roam = [](Network& net) {
+    // Node 6 (a leaf) walks outward, far off, and back — losing and
+    // re-gaining its parent link; node 4 jitters in place every 10 s.
+    for (int step = 0; step < 8; ++step) {
+      const double dx = step < 4 ? 20.0 * (step + 1) : 20.0 * (8 - step);
+      net.sim().at(130_s + step * 10_s, [&net, dx] {
+        Node& n = net.node(6);
+        n.move_to({n.position().x + dx, n.position().y});
+      });
+    }
+    for (int step = 0; step < 12; ++step) {
+      const double dy = (step % 2 == 0) ? 2.0 : -2.0;
+      net.sim().at(125_s + step * 10_s, [&net, dy] {
+        Node& n = net.node(4);
+        n.move_to({n.position().x, n.position().y + dy});
+      });
+    }
+  };
+  const ModeResult fast = run_mode(sc, 3000, false, 0.0, 0, roam);
+  const ModeResult ref = run_mode(sc, 3000, true, 0.0, 0, roam);
+  expect_identical(fast, ref);
 }
 
 TEST(FastPathEquivalence, IdleAssociatedMacReportsCurrentAsn) {

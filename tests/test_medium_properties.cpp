@@ -1,11 +1,18 @@
 // Randomized property tests on the wireless medium: conservation laws,
-// determinism, and metamorphic relations that must hold for any topology.
+// determinism, metamorphic relations that must hold for any topology, and
+// the link-cache contract — incremental refreshes (mobility, dynamic
+// links) must be bit-identical to a cache-disabled reference medium and
+// cost O(degree) model calls, not O(n^2).
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 #include <vector>
 
+#include "phy/dynamic_link.hpp"
 #include "phy/medium.hpp"
+#include "scenario/experiment.hpp"
+#include "scenario/network.hpp"
 #include "sim/simulator.hpp"
 
 namespace gttsch {
@@ -130,6 +137,216 @@ TEST(MediumProperty, SingleNodeNoReceivers) {
   const AirResult r = run_random_air(sc);
   EXPECT_EQ(r.stats.deliveries, 0u);
   EXPECT_EQ(r.stats.transmissions, 50u);
+}
+
+// ---------------------------------------------------------------------------
+// Link-cache contract: incremental invalidation vs the uncached reference.
+// ---------------------------------------------------------------------------
+
+/// Counts every prr()/interferes() query so the tests can assert how much
+/// model work a cache refresh performs.
+class CountingModel final : public LinkModel {
+ public:
+  explicit CountingModel(std::unique_ptr<LinkModel> base) : base_(std::move(base)) {}
+
+  double prr(NodeId tx, const Position& a, NodeId rx, const Position& b) const override {
+    ++calls_;
+    return base_->prr(tx, a, rx, b);
+  }
+  bool interferes(NodeId tx, const Position& a, NodeId rx,
+                  const Position& b) const override {
+    ++calls_;
+    return base_->interferes(tx, a, rx, b);
+  }
+  std::uint64_t version() const override { return base_->version(); }
+  double max_interaction_range() const override { return base_->max_interaction_range(); }
+  bool changed_nodes_since(std::uint64_t since, std::vector<NodeId>& out) const override {
+    return base_->changed_nodes_since(since, out);
+  }
+
+  std::uint64_t calls() const { return calls_; }
+  void reset_calls() { calls_ = 0; }
+
+ private:
+  std::unique_ptr<LinkModel> base_;
+  mutable std::uint64_t calls_ = 0;
+};
+
+TEST(MediumCacheIncremental, SingleMoveCostsODegreeModelCalls) {
+  using namespace literals;
+  Simulator sim(1);
+  auto counting =
+      std::make_unique<CountingModel>(std::make_unique<UnitDiskModel>(40.0, 1.0, 1.5));
+  CountingModel* model = counting.get();
+  Medium medium(sim, std::move(counting), Rng(1));
+
+  // 100 nodes spread over 600x600 m: interaction range 60 m, so each node
+  // has only a handful of grid neighbors.
+  constexpr int kNodes = 100;
+  Rng place(3);
+  std::vector<std::unique_ptr<Radio>> radios;
+  for (int i = 0; i < kNodes; ++i) {
+    radios.push_back(std::make_unique<Radio>(
+        sim, medium, static_cast<NodeId>(i),
+        Position{place.uniform_double(0, 600), place.uniform_double(0, 600)}));
+    radios.back()->on_rx = [](FramePtr) {};
+  }
+  // Any delivery resolution compiles the cache.
+  const auto kick = [&] {
+    radios[1]->listen(17);
+    radios[0]->transmit(make_data_frame(0, kBroadcastId, DataPayload{}), 17);
+    sim.run_until(sim.now() + 10_ms);
+    radios[1]->turn_off();
+  };
+  kick();
+  const std::uint64_t build_calls = model->calls();
+  EXPECT_GT(build_calls, 0u);
+  // The grid-driven full build already beats all-pairs (2*n*(n-1) calls).
+  EXPECT_LT(build_calls, 2u * kNodes * (kNodes - 1));
+
+  // Warm cache: zero model work.
+  model->reset_calls();
+  kick();
+  EXPECT_EQ(model->calls(), 0u);
+
+  // One move refreshes one row/column through the grid neighborhood:
+  // O(degree) calls — two orders of magnitude under the ~19800-call
+  // all-pairs rebuild, and well under even one full row scan pair (4n).
+  radios[5]->set_position(
+      Position{radios[5]->position().x + 3.0, radios[5]->position().y - 2.0});
+  model->reset_calls();
+  kick();
+  const std::uint64_t move_calls = model->calls();
+  EXPECT_GT(move_calls, 0u);
+  EXPECT_LT(move_calls, 2u * kNodes);
+  EXPECT_LT(move_calls * 20, build_calls + 1);
+}
+
+TEST(MediumCacheIncremental, MatrixModelEditRefreshesOnlyTouchedNodes) {
+  // A MatrixLinkModel mutation is attributed through changed_nodes_since:
+  // only the touched pair's rows refresh (here: against all peers, since
+  // the matrix has no spatial bound), never the full n^2 matrix.
+  using namespace literals;
+  Simulator sim(2);
+  auto matrix_owned = std::make_unique<MatrixLinkModel>();
+  MatrixLinkModel* matrix = matrix_owned.get();
+  auto counting = std::make_unique<CountingModel>(std::move(matrix_owned));
+  CountingModel* model = counting.get();
+  Medium medium(sim, std::move(counting), Rng(2));
+
+  constexpr int kNodes = 40;
+  std::vector<std::unique_ptr<Radio>> radios;
+  for (int i = 0; i < kNodes; ++i) {
+    radios.push_back(
+        std::make_unique<Radio>(sim, medium, static_cast<NodeId>(i), Position{}));
+    radios.back()->on_rx = [](FramePtr) {};
+  }
+  // A chain 0-1-2-...: every consecutive pair connected.
+  for (int i = 0; i + 1 < kNodes; ++i)
+    matrix->set(static_cast<NodeId>(i), static_cast<NodeId>(i + 1), 1.0);
+
+  const auto kick = [&] {
+    radios[1]->listen(17);
+    radios[0]->transmit(make_data_frame(0, kBroadcastId, DataPayload{}), 17);
+    sim.run_until(sim.now() + 10_ms);
+    radios[1]->turn_off();
+  };
+  kick();
+  model->reset_calls();
+  kick();
+  EXPECT_EQ(model->calls(), 0u);  // warm cache
+
+  matrix->set(10, 11, 0.25);  // one link degrades
+  model->reset_calls();
+  kick();
+  const std::uint64_t edit_calls = model->calls();
+  EXPECT_GT(edit_calls, 0u);
+  // Two dirty nodes x (n-1) peers x 2 queries x 2 directions, vs the
+  // 2*n*(n-1) = 3120 calls of a full rebuild.
+  EXPECT_LE(edit_calls, 8u * kNodes);
+  EXPECT_LT(edit_calls, 2u * kNodes * (kNodes - 1) / 2);
+}
+
+/// Per-node observable state of a full-stack run, for bit-identity checks.
+struct StackSnapshot {
+  std::map<NodeId, MacCounters> mac;
+  std::map<NodeId, TimeUs> radio_on;
+  std::map<NodeId, std::uint64_t> app_generated;
+  MediumStats medium;
+  std::uint64_t deliveries = 0;
+};
+
+bool counters_equal(const MacCounters& a, const MacCounters& b) {
+  return a.unicast_tx_attempts == b.unicast_tx_attempts &&
+         a.unicast_success == b.unicast_success && a.unicast_drops == b.unicast_drops &&
+         a.retransmissions == b.retransmissions && a.broadcast_sent == b.broadcast_sent &&
+         a.eb_sent == b.eb_sent && a.rx_frames == b.rx_frames &&
+         a.rx_duplicates == b.rx_duplicates && a.acks_sent == b.acks_sent;
+}
+
+/// A GT-TSCH network over a DynamicLinkModel with mid-run moves, link
+/// overrides and a node kill — every cache-invalidation source at once.
+StackSnapshot run_dynamic_stack(bool cache_enabled) {
+  using namespace literals;
+  ScenarioConfig sc;
+  sc.scheduler = SchedulerKind::kGtTsch;
+  sc.dodag_count = 1;
+  sc.nodes_per_dodag = 7;
+  sc.traffic_ppm = 60.0;
+  sc.warmup = 120_s;
+  sc.measure = 120_s;
+  auto nc = sc.make_node_config();
+  nc.app_end = 0;
+  const Network::LinkModelFactory factory = [&sc](Simulator& sim) {
+    auto dyn = std::make_unique<DynamicLinkModel>(
+        sim, std::make_unique<UnitDiskModel>(sc.radio_range, sc.link_prr,
+                                             sc.interference_factor));
+    dyn->override_prr(150_s, 2, 4, 0.4);   // link fades mid-run
+    dyn->override_prr(190_s, 2, 4, 1.0);   // ...and recovers
+    dyn->kill_node(210_s, 7);              // a leaf dies outright
+    return dyn;
+  };
+  Network net(77, factory, sc.make_topology(), nc, nullptr);
+  net.medium().set_link_cache_enabled(cache_enabled);
+  net.start();
+  // Node 6 roams in small steps through the measurement window.
+  for (int step = 0; step < 10; ++step) {
+    const double dx = (step % 2 == 0) ? 6.0 : -4.0;
+    net.sim().at(130_s + step * 9_s, [&net, dx] {
+      Node& n = net.node(6);
+      n.move_to({n.position().x + dx, n.position().y + 1.0});
+    });
+  }
+  net.sim().run_until(sc.warmup + sc.measure);
+
+  StackSnapshot snap;
+  for (const auto& [id, node] : net.nodes()) {
+    snap.mac[id] = node->mac().counters();
+    snap.radio_on[id] = node->radio().on_time();
+    snap.app_generated[id] = node->app_generated();
+  }
+  snap.medium = net.medium().stats();
+  snap.deliveries = snap.medium.deliveries;
+  return snap;
+}
+
+TEST(MediumCacheIncremental, DynamicStackMatchesUncachedReferenceBitForBit) {
+  const StackSnapshot cached = run_dynamic_stack(/*cache_enabled=*/true);
+  const StackSnapshot reference = run_dynamic_stack(/*cache_enabled=*/false);
+
+  ASSERT_EQ(cached.mac.size(), reference.mac.size());
+  for (const auto& [id, counters] : cached.mac) {
+    SCOPED_TRACE(::testing::Message() << "node " << id);
+    EXPECT_TRUE(counters_equal(counters, reference.mac.at(id)));
+    EXPECT_EQ(cached.radio_on.at(id), reference.radio_on.at(id));
+    EXPECT_EQ(cached.app_generated.at(id), reference.app_generated.at(id));
+  }
+  EXPECT_EQ(cached.medium.transmissions, reference.medium.transmissions);
+  EXPECT_EQ(cached.medium.deliveries, reference.medium.deliveries);
+  EXPECT_EQ(cached.medium.collision_losses, reference.medium.collision_losses);
+  EXPECT_EQ(cached.medium.prr_losses, reference.medium.prr_losses);
+  // The scenario must actually have exercised the medium.
+  EXPECT_GT(cached.deliveries, 100u);
 }
 
 }  // namespace

@@ -2,6 +2,9 @@
 // geometry that the Section III analysis relies on.
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "scenario/experiment.hpp"
 #include "scenario/topology.hpp"
 
 namespace gttsch {
@@ -94,6 +97,86 @@ TEST(Topology, RootsHelper) {
   ASSERT_EQ(roots.size(), 2u);
   EXPECT_EQ(roots[0], 1);
   EXPECT_EQ(roots[1], 7);
+}
+
+/// True when the unit-disk graph over `spec` at `range` is connected.
+bool disk_graph_connected(const TopologySpec& spec, double range) {
+  const std::size_t n = spec.size();
+  if (n == 0) return true;
+  std::vector<bool> seen(n, false);
+  std::vector<std::size_t> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const std::size_t a = stack.back();
+    stack.pop_back();
+    for (std::size_t b = 0; b < n; ++b) {
+      if (seen[b] || distance(spec.nodes[a].pos, spec.nodes[b].pos) > range) continue;
+      seen[b] = true;
+      ++visited;
+      stack.push_back(b);
+    }
+  }
+  return visited == n;
+}
+
+TEST(Topology, RandomDiskIsConnectedAtConnectRange) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull, 1234ull}) {
+    const auto t = build_random_disk(1, {0, 0}, 100, 150.0, 30.0, seed);
+    ASSERT_EQ(t.size(), 100u);
+    EXPECT_EQ(t.root_count(), 1u);
+    EXPECT_TRUE(t.nodes[0].is_root);
+    EXPECT_TRUE(disk_graph_connected(t, 30.0)) << "seed " << seed;
+  }
+}
+
+TEST(Topology, RandomDiskIsDeterministicInSeedOnly) {
+  const auto a = build_random_disk(1, {0, 0}, 50, 120.0, 30.0, 9);
+  const auto b = build_random_disk(1, {0, 0}, 50, 120.0, 30.0, 9);
+  const auto c = build_random_disk(1, {0, 0}, 50, 120.0, 30.0, 10);
+  ASSERT_EQ(a.size(), b.size());
+  bool any_differs_from_c = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].pos, b.nodes[i].pos);
+    if (!(a.nodes[i].pos == c.nodes[i].pos)) any_differs_from_c = true;
+  }
+  EXPECT_TRUE(any_differs_from_c);
+}
+
+TEST(Topology, RandomDiskStaysNearTheDisk) {
+  // The connectivity fallback may nudge a node slightly outside; it must
+  // never teleport far from the deployment.
+  const auto t = build_random_disk(1, {10, -20}, 200, 200.0, 30.0, 5);
+  for (const NodeSpec& node : t.nodes) {
+    EXPECT_LE(distance(node.pos, {10, -20}), 200.0 + 30.0);
+  }
+}
+
+TEST(Topology, ScenarioConfigBuilderKinds) {
+  ScenarioConfig sc;
+  sc.topology = TopologyKind::kGrid;
+  sc.topology_nodes = 50;
+  EXPECT_EQ(sc.make_topology().size(), 50u);
+  EXPECT_EQ(sc.make_topology().root_count(), 1u);
+
+  sc.topology = TopologyKind::kLine;
+  sc.topology_nodes = 12;
+  EXPECT_EQ(sc.make_topology().size(), 12u);
+  sc.topology_nodes = 1;  // boundary: a 1-node "line" is just the root
+  EXPECT_EQ(sc.make_topology().size(), 1u);
+  EXPECT_EQ(sc.make_topology().root_count(), 1u);
+
+  sc.topology = TopologyKind::kRandomDisk;
+  sc.topology_nodes = 75;
+  sc.disk_radius = 140.0;
+  const auto disk = sc.make_topology();
+  EXPECT_EQ(disk.size(), 75u);
+  // Connected at hop_distance (the connect range) by construction.
+  EXPECT_TRUE(disk_graph_connected(disk, sc.hop_distance));
+
+  sc.topology = TopologyKind::kMultiDodag;
+  EXPECT_EQ(sc.make_topology().size(),
+            static_cast<std::size_t>(sc.dodag_count * sc.nodes_per_dodag));
 }
 
 }  // namespace
