@@ -29,9 +29,11 @@
 #include <string>
 #include <vector>
 
+#include "phy/dynamic_link.hpp"
 #include "phy/medium.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/network.hpp"
+#include "scenario/trace.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
@@ -106,7 +108,8 @@ BENCHMARK(BM_MediumSingleMoveRefresh)->Arg(50)->Arg(200);
 // The end-to-end multi-point baseline.
 // ---------------------------------------------------------------------------
 
-/// One scenario class of the perf baseline.
+/// One scenario class of the perf baseline. Mobility rides on the shared
+/// trace generator (config.trace_*), not bench-local walkers.
 struct ScenarioPoint {
   const char* name;
   ScenarioConfig config;
@@ -114,7 +117,6 @@ struct ScenarioPoint {
   TimeUs formation = 180_s;
   TimeUs measure = 600_s;
   bool with_per_slot = false;  ///< also time the per-slot reference
-  int movers = 0;              ///< random-walk movers during the window
 };
 
 ScenarioPoint sparse7_point() {
@@ -160,9 +162,15 @@ ScenarioPoint mobile100_point() {
   p.config.topology_nodes = 100;
   p.config.disk_radius = 150.0;
   p.config.traffic_ppm = 30;
+  // 20 random-walk movers from the shared trace generator (~5 m per 2 s
+  // tick, the pace of the old bench-local walker).
+  p.config.trace_kind = TraceKind::kRandomWalk;
+  p.config.trace_seed = 90210;
+  p.config.trace_movers = 20;
+  p.config.trace_speed_mps = 2.5;
+  p.config.trace_interval_s = 2.0;
   p.formation = 600_s;
   p.measure = 600_s;
-  p.movers = 20;
   return p;
 }
 
@@ -177,40 +185,6 @@ ScenarioPoint nodes200_point() {
   p.formation = 600_s;
   p.measure = 3600_s;
   return p;
-}
-
-/// Deterministic random-walk mobility: `movers` non-root nodes take a
-/// small step every 2 s of the measurement window, drifting back toward
-/// the origin when they stray past the placement radius.
-void schedule_mobility(Network& net, const ScenarioPoint& p, TimeUs from, TimeUs until) {
-  if (p.movers <= 0) return;
-  Rng rng(90210);
-  std::vector<NodeId> candidates;
-  for (const auto& [id, node] : net.nodes()) {
-    if (!node->is_root()) candidates.push_back(id);
-  }
-  const int movers = std::min<int>(p.movers, static_cast<int>(candidates.size()));
-  const double bound = p.config.disk_radius;
-  for (int m = 0; m < movers; ++m) {
-    const NodeId id = candidates[static_cast<std::size_t>(m) * candidates.size() /
-                                 static_cast<std::size_t>(movers)];
-    for (TimeUs t = from + (m % 20) * 100_ms; t < until; t += 2_s) {
-      const double dx = rng.uniform_double(-5.0, 5.0);
-      const double dy = rng.uniform_double(-5.0, 5.0);
-      net.sim().at(t, [&net, id, dx, dy, bound] {
-        Node& node = net.node(id);
-        Position pos = node.position();
-        pos.x += dx;
-        pos.y += dy;
-        // Stay roughly inside the deployment: fold runaway walkers back.
-        if (pos.x * pos.x + pos.y * pos.y > bound * bound * 1.2) {
-          pos.x *= 0.8;
-          pos.y *= 0.8;
-        }
-        node.move_to(pos);
-      });
-    }
-  }
 }
 
 struct EndToEnd {
@@ -228,14 +202,29 @@ EndToEnd run_point(const ScenarioPoint& p, bool per_slot) {
   nc.app_end = 0;
   nc.mac.per_slot_stepping = per_slot;
   if (p.broadcast_slots > 0) nc.gt.layout.broadcast_slots = p.broadcast_slots;
+
+  // The shared generator synthesizes the point's dynamics over the
+  // measured window (the bench's formation/measure override the config's
+  // paper-default timing).
+  ScenarioConfig trace_config = p.config;
+  trace_config.warmup = p.formation;
+  trace_config.measure = p.measure;
+  const TopologySpec topology = trace_config.make_topology();
+  Trace trace;
+  std::string trace_error;
+  if (!trace_config.make_trace(topology, &trace, &trace_error)) {
+    std::fprintf(stderr, "bench_sim_core: %s\n", trace_error.c_str());
+    std::abort();
+  }
+
+  DynamicLinkModel* failures = nullptr;
   auto net = std::make_unique<Network>(
-      42,
-      std::make_unique<UnitDiskModel>(p.config.radio_range, p.config.link_prr,
-                                      p.config.interference_factor),
-      p.config.make_topology(), nc, nullptr);
+      42, scenario_link_model_factory(trace_config, trace, &failures), topology, nc,
+      nullptr);
+  TracePlayer player(*net, std::move(trace), failures);
   net->start();
+  player.start();
   net->sim().run_until(p.formation);
-  schedule_mobility(*net, p, p.formation, p.formation + p.measure);
 
   const std::uint64_t events_before = net->sim().events_processed();
   const auto wall_start = std::chrono::steady_clock::now();
@@ -278,7 +267,8 @@ bool write_simcore_json(const std::string& path) {
                  "      \"slotframe_length\": %u, \"traffic_ppm\": %.0f,\n"
                  "      \"movers\": %d, \"measured_sim_seconds\": %.0f,\n",
                  p.name, topology_name(p.config.topology), fast.nodes, fast.joined,
-                 p.config.gt_slotframe_length, p.config.traffic_ppm, p.movers,
+                 p.config.gt_slotframe_length, p.config.traffic_ppm,
+                 p.config.trace_kind == TraceKind::kNone ? 0 : p.config.trace_movers,
                  us_to_s(p.measure));
     if (p.with_per_slot) {
       const EndToEnd ref = run_point(p, /*per_slot=*/true);

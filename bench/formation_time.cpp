@@ -7,16 +7,20 @@
 // shared with the figure benches (see figure_common.hpp / ROADMAP):
 //   --jobs N, --seeds LIST, --out PREFIX, --shard i/N,
 //   --journal PATH, --resume PATH, --ci-rel FRAC (+ --min-seeds/
-//   --max-seeds/--batch/--metric)
+//   --max-seeds/--batch/--metric), --set "field=v;..." (base-config
+//   overrides, e.g. trace_kind=random-walk for formation under mobility)
 // Journal/CSV metric mapping (formation seconds ride in the panel slots):
 //   pdr_percent <- assoc_s, avg_delay_ms <- joined_s,
 //   p95_delay_ms <- operational_s (0 for Orchestra); 600 = never (budget).
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "campaign/report.hpp"
 #include "campaign/runner.hpp"
+#include "figure_common.hpp"
+#include "phy/dynamic_link.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/network.hpp"
 #include "util/flags.hpp"
@@ -40,11 +44,30 @@ FormationResult measure(const ScenarioConfig& sc) {
   auto nc = sc.make_node_config();
   nc.app_rate_ppm = 0.0;  // formation only
 
-  const auto topo = build_dodag(1, {0, 0}, sc.nodes_per_dodag, sc.hop_distance);
-  Network net(sc.seed, std::make_unique<UnitDiskModel>(sc.radio_range, sc.link_prr,
-                                                       sc.interference_factor),
-              topo, nc, nullptr);
+  // The config's own topology (identical to the historical
+  // build_dodag(1, ...) for the default dodag_count=1 grid), so --set
+  // topology/dodag overrides — and the pre-run trace validation, which
+  // checks node ids against make_topology() — see the network actually run.
+  const TopologySpec topo = sc.make_topology();
+
+  // Optional dynamics (--set trace_kind=...): formation under churn. The
+  // trace window covers the whole formation budget, not the paper's
+  // warmup/measure split.
+  ScenarioConfig trace_config = sc;
+  trace_config.warmup = 0;
+  trace_config.measure = static_cast<TimeUs>(kBudgetSeconds) * 1000000;
+  Trace trace;
+  std::string trace_error;
+  if (!trace_config.make_trace(topo, &trace, &trace_error)) {
+    std::fprintf(stderr, "formation_time: %s\n", trace_error.c_str());
+    std::abort();
+  }
+  DynamicLinkModel* failures = nullptr;
+  Network net(sc.seed, scenario_link_model_factory(sc, trace, &failures), topo, nc,
+              nullptr);
+  TracePlayer player(net, std::move(trace), failures);
   net.start();
+  player.start();
 
   FormationResult r;
   for (int t = 1; t <= static_cast<int>(kBudgetSeconds); ++t) {
@@ -125,14 +148,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "formation_time: %s\n", error.c_str());
     return 2;
   }
+  std::vector<campaign::GridPoint> grid = formation_grid();
+  // Base-config overrides (shared --set grammar, figure_common.hpp) —
+  // e.g. trace_kind=random-walk to measure formation under mobility, or
+  // radio_range/hop_distance to stress the geometry. Read before the
+  // unknown-flag check so --set registers as a known flag.
+  if (!bench::apply_set_overrides(flags.get("set", ""), &grid, &error)) {
+    std::fprintf(stderr, "formation_time: --set: %s\n", error.c_str());
+    return 2;
+  }
+
   const std::string out_prefix = flags.get("out", "");
   for (const std::string& flag : flags.unknown()) {
     std::fprintf(stderr, "formation_time: unknown flag --%s\n", flag.c_str());
     return 2;
   }
   options.runner.run_fn = run_formation_job;
-
-  const std::vector<campaign::GridPoint> grid = formation_grid();
   campaign::CampaignResult result;
   if (!campaign::run_points_campaign(grid, seeds, options, &result, &error)) {
     std::fprintf(stderr, "formation_time: %s\n", error.c_str());

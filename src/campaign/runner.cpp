@@ -400,6 +400,10 @@ bool run_points_campaign(const std::vector<GridPoint>& points,
   if (options.resume && options.journal_path.empty()) {
     return fail(error, "resume requested without a journal path");
   }
+  // Callers that bypass expand_grid (the figure benches build their grids
+  // by hand) still get the loud pre-run trace check instead of an abort
+  // deep inside run_scenario.
+  if (!validate_points_trace(points, error)) return false;
   const std::uint64_t campaign_fp = campaign_fingerprint(points, seeds);
   return options.adaptive.enabled()
              ? run_adaptive(points, seeds, campaign_fp, options, out, error)

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <map>
 #include <set>
 
 namespace gttsch::campaign {
@@ -109,6 +110,25 @@ bool apply_measure(ScenarioConfig& c, const std::string& value, std::string* err
   return true;
 }
 
+bool apply_trace_kind(ScenarioConfig& c, const std::string& value, std::string* error) {
+  if (parse_trace_kind(value, &c.trace_kind)) return true;
+  return fail(error, "trace_kind: unknown value '" + value +
+                         "' (expected none, file, random-walk or random-waypoint)");
+}
+
+bool apply_trace_path(ScenarioConfig& c, const std::string& value, std::string* error) {
+  // Eager syntax check: a bad trace file fails the spec here, naming the
+  // offending line, before any simulation runs. Node ids depend on the
+  // topology axes and are checked per grid point in expand_grid.
+  Trace probe;
+  std::string trace_error;
+  if (!load_trace(value, &probe, &trace_error)) {
+    return fail(error, "trace: " + trace_error);
+  }
+  c.trace = value;
+  return true;
+}
+
 bool apply_tx_margin(ScenarioConfig& c, const std::string& value, std::string* error) {
   if (parse_bool(value, &c.enforce_tx_margin)) return true;
   return fail(error, "enforce_tx_margin: expected a boolean, got '" + value + "'");
@@ -210,6 +230,44 @@ const FieldDef kFields[] = {
     {"enforce_interleave", apply_interleave},
     {"warmup_s", apply_warmup},
     {"measure_s", apply_measure},
+    {"trace_kind", apply_trace_kind},
+    {"trace", apply_trace_path},
+    {"trace_seed",
+     [](ScenarioConfig& c, const std::string& v, std::string* e) {
+       // Exact-u64 grammar, like topology_seed: a seed must round-trip
+       // exactly (doubles lose integers beyond 2^53).
+       std::uint64_t seed = 0;
+       if (!parse_bounded_u64(v, std::numeric_limits<std::uint64_t>::max(), &seed)) {
+         return fail(e, "trace_seed: expected a non-negative integer, got '" + v + "'");
+       }
+       c.trace_seed = seed;
+       return true;
+     }},
+    {"trace_movers",
+     [](ScenarioConfig& c, const std::string& v, std::string* e) {
+       return set_number(c, v, e, "trace_movers", &ScenarioConfig::trace_movers, 0,
+                         4096);
+     }},
+    {"trace_speed_mps",
+     [](ScenarioConfig& c, const std::string& v, std::string* e) {
+       return set_number(c, v, e, "trace_speed_mps", &ScenarioConfig::trace_speed_mps,
+                         0, 1000);
+     }},
+    {"trace_interval_s",
+     [](ScenarioConfig& c, const std::string& v, std::string* e) {
+       return set_number(c, v, e, "trace_interval_s", &ScenarioConfig::trace_interval_s,
+                         1e-3, 1e5);
+     }},
+    {"trace_fail_count",
+     [](ScenarioConfig& c, const std::string& v, std::string* e) {
+       return set_number(c, v, e, "trace_fail_count", &ScenarioConfig::trace_fail_count,
+                         0, 4096);
+     }},
+    {"trace_fail_at_s",
+     [](ScenarioConfig& c, const std::string& v, std::string* e) {
+       return set_number(c, v, e, "trace_fail_at_s", &ScenarioConfig::trace_fail_at_s,
+                         0, 1e9);
+     }},
 };
 
 std::vector<std::string> split(const std::string& text, char sep) {
@@ -292,7 +350,48 @@ std::vector<GridPoint> expand_grid(const CampaignSpec& spec, std::string* error)
     points = std::move(next);
   }
   for (std::size_t i = 0; i < points.size(); ++i) points[i].index = i;
+  // Trace setup is cross-field (kind x path x topology x generator knobs)
+  // and only checkable on fully resolved points — validate_points_trace
+  // runs in run_points_campaign, the chokepoint every execution path
+  // (run_campaign and the hand-built bench grids alike) funnels through.
   return points;
+}
+
+bool validate_points_trace(const std::vector<GridPoint>& points, std::string* error) {
+  // One disk read + parse per unique trace file, however many points
+  // reference it (a file axis crossed with other axes repeats each path).
+  struct CachedFile {
+    bool ok = false;
+    Trace trace;
+    std::string error;
+  };
+  std::map<std::string, CachedFile> files;
+  for (const GridPoint& point : points) {
+    const ScenarioConfig& c = point.config;
+    std::string trace_error;
+    bool ok;
+    if (c.trace_kind == TraceKind::kFile && !c.trace.empty()) {
+      auto [it, inserted] = files.try_emplace(c.trace);
+      if (inserted) it->second.ok = load_trace(c.trace, &it->second.trace, &it->second.error);
+      if (it->second.ok) {
+        // Node ids are per point: the same file can be valid for one
+        // topology axis value and not another.
+        ok = validate_trace_nodes(it->second.trace, c.make_topology(), &trace_error);
+      } else {
+        ok = false;
+        trace_error = it->second.error;
+      }
+    } else {
+      // kNone, the generators, and the empty-path kFile error: all cheap.
+      ok = c.validate_trace(&trace_error);
+    }
+    if (!ok) {
+      return fail(error, (point.label.empty() ? std::string("base config")
+                                              : "point '" + point.label + "'") +
+                             ": " + trace_error);
+    }
+  }
+  return true;
 }
 
 std::vector<Job> make_jobs(const CampaignSpec& spec, std::string* error) {
@@ -423,10 +522,27 @@ class Fingerprint {
   std::uint64_t hash_ = 14695981039346656037ull;
 };
 
+/// Canonical trace-file content per path, memoized across the grid points
+/// of one fingerprint call (a file axis crossed with other axes repeats
+/// each path): one disk read + parse per unique file.
+using TraceContentCache = std::map<std::string, std::string>;
+
+const std::string& canonical_trace_content(const std::string& path,
+                                           TraceContentCache& cache) {
+  auto [it, inserted] = cache.try_emplace(path);
+  if (inserted) {
+    Trace t;
+    std::string ignored;
+    it->second =
+        load_trace(path, &t, &ignored) ? format_trace(t) : std::string("<unreadable>");
+  }
+  return it->second;
+}
+
 /// Every ScenarioConfig field except `seed` (per-job, journaled
 /// separately), in declaration order. The static_assert below fires when
 /// a field is added or resized: extend this list before adjusting it.
-void mix_config(Fingerprint& fp, const ScenarioConfig& c) {
+void mix_config(Fingerprint& fp, const ScenarioConfig& c, TraceContentCache& cache) {
   fp.mix(static_cast<std::uint64_t>(c.scheduler));
   fp.mix(static_cast<std::uint64_t>(c.topology));
   fp.mix(static_cast<std::uint64_t>(c.dodag_count));
@@ -451,9 +567,29 @@ void mix_config(Fingerprint& fp, const ScenarioConfig& c) {
   fp.mix(static_cast<std::uint64_t>(c.warmup));
   fp.mix(static_cast<std::uint64_t>(c.measure));
   fp.mix(static_cast<std::uint64_t>(c.drain));
+  fp.mix(static_cast<std::uint64_t>(c.trace_kind));
+  fp.mix(c.trace_seed);
+  fp.mix(static_cast<std::uint64_t>(c.trace_movers));
+  fp.mix(static_cast<std::uint64_t>(c.trace_fail_count));
+  fp.mix(c.trace_speed_mps);
+  fp.mix(c.trace_interval_s);
+  fp.mix(c.trace_fail_at_s);
+  fp.mix(c.trace);
+  if (c.trace_kind == TraceKind::kFile && !c.trace.empty()) {
+    // Fingerprint the trace *content* too, not just the path: editing the
+    // file between runs must invalidate resume/merge exactly like any
+    // other config change. format_trace canonicalizes, so a cosmetic
+    // rewrite (comments, whitespace) does not break resumability. An
+    // unreadable file gets a sentinel; validation fails the campaign
+    // before any job runs anyway.
+    fp.mix(canonical_trace_content(c.trace, cache));
+  }
 }
-#if defined(__x86_64__) || defined(__aarch64__)
-static_assert(sizeof(ScenarioConfig) == 160,
+// The std::string `trace` member makes sizeof stdlib-dependent (32 bytes
+// under libstdc++, 24 under libc++), so the tripwire is gated on libstdc++
+// — the library every CI leg builds against.
+#if (defined(__x86_64__) || defined(__aarch64__)) && defined(_GLIBCXX_RELEASE)
+static_assert(sizeof(ScenarioConfig) == 240,
               "ScenarioConfig changed: add the new field to mix_config, then "
               "update this size");
 #endif
@@ -463,13 +599,14 @@ static_assert(sizeof(ScenarioConfig) == 160,
 std::uint64_t campaign_fingerprint(const std::vector<GridPoint>& points,
                                    const std::vector<std::uint64_t>& seeds) {
   Fingerprint fp;
+  TraceContentCache trace_cache;
   for (const GridPoint& point : points) {
     fp.mix(point.label);
     for (const auto& [key, value] : point.coords) {
       fp.mix(key);
       fp.mix(value);
     }
-    mix_config(fp, point.config);
+    mix_config(fp, point.config, trace_cache);
   }
   for (const std::uint64_t seed : seeds) fp.mix(seed);
   return fp.value();

@@ -58,6 +58,14 @@ bool apply_field(ScenarioConfig& config, const std::string& field,
 /// value applies cleanly) and the seed list (non-empty, no duplicates).
 bool validate(const CampaignSpec& spec, std::string* error);
 
+/// Pre-run trace validation over fully resolved points — the shared check
+/// behind expand_grid and run_points_campaign (the fig benches build their
+/// grids by hand and bypass expand_grid). Generator params are
+/// range-checked per point; each trace *file* is read and parsed once per
+/// unique path, its node ids checked against every referencing point's
+/// topology. Failures name the offending point.
+bool validate_points_trace(const std::vector<GridPoint>& points, std::string* error);
+
 /// Cartesian product of the axes over the base config; the first axis
 /// varies slowest. A spec with no axes yields the single base point.
 /// Returns an empty vector with `error` set when validation fails.

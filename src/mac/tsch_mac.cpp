@@ -117,6 +117,13 @@ void TschMac::start_scanning() {
 }
 
 void TschMac::shutdown() {
+  if (state_ == State::kAssociated) {
+    // Freeze the on-demand ASN: once state_ leaves kAssociated, asn()
+    // reports the stored anchor verbatim, so walk it to now first — a MAC
+    // killed mid-run must report the same final ASN whether the anchor was
+    // advanced every slot or left behind by idle-slot skipping.
+    walk_anchor(asn_, current_slot_start_, drift_accum_, sim_.now());
+  }
   slot_timer_.stop();
   action_timer_.stop();
   ack_timer_.stop();

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
+#include "phy/dynamic_link.hpp"
 #include "util/check.hpp"
 
 namespace gttsch {
@@ -72,20 +74,126 @@ TopologySpec ScenarioConfig::make_topology() const {
   return {};
 }
 
+namespace {
+
+bool fail_with(std::string* error, const char* message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+/// Range checks shared by make_trace (before synthesizing) and
+/// validate_trace (which must stay cheap — no synthesis).
+bool check_generator_params(const ScenarioConfig& c, std::string* error) {
+  if (!(c.trace_interval_s > 0) || !std::isfinite(c.trace_interval_s)) {
+    return fail_with(error, "trace_interval_s must be a positive number of seconds");
+  }
+  if (c.trace_speed_mps < 0 || !std::isfinite(c.trace_speed_mps)) {
+    return fail_with(error, "trace_speed_mps must be a non-negative speed");
+  }
+  if (c.trace_movers < 0) return fail_with(error, "trace_movers must be >= 0");
+  if (c.trace_fail_count < 0) return fail_with(error, "trace_fail_count must be >= 0");
+  if (c.trace_fail_at_s < 0 || !std::isfinite(c.trace_fail_at_s)) {
+    return fail_with(error, "trace_fail_at_s must be a non-negative time in seconds");
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ScenarioConfig::make_trace(const TopologySpec& topology, Trace* out,
+                                std::string* error) const {
+  out->events.clear();
+  switch (trace_kind) {
+    case TraceKind::kNone:
+      return true;  // stray trace_* params are inert without a kind
+    case TraceKind::kFile:
+      if (trace.empty()) {
+        return fail_with(error, "trace_kind=file requires trace=PATH");
+      }
+      if (!load_trace(trace, out, error)) return false;
+      return validate_trace_nodes(*out, topology, error);
+    case TraceKind::kRandomWalk:
+    case TraceKind::kRandomWaypoint: {
+      if (!check_generator_params(*this, error)) return false;
+      TraceGenParams params;
+      params.seed = trace_seed;
+      params.movers = trace_movers;
+      params.speed_mps = trace_speed_mps;
+      params.interval_s = trace_interval_s;
+      params.fail_count = trace_fail_count;
+      params.fail_at_s =
+          trace_fail_at_s > 0 ? trace_fail_at_s : us_to_s(warmup + measure / 2);
+      params.start = warmup;
+      params.end = warmup + measure;
+      *out = generate_trace(trace_kind, topology, params);
+      return true;
+    }
+  }
+  GTTSCH_CHECK(false);
+  return false;
+}
+
+bool ScenarioConfig::validate_trace(std::string* error) const {
+  switch (trace_kind) {
+    case TraceKind::kNone:
+      return true;
+    case TraceKind::kFile: {
+      if (trace.empty()) {
+        return fail_with(error, "trace_kind=file requires trace=PATH");
+      }
+      Trace t;
+      if (!load_trace(trace, &t, error)) return false;
+      return validate_trace_nodes(t, make_topology(), error);
+    }
+    case TraceKind::kRandomWalk:
+    case TraceKind::kRandomWaypoint:
+      return check_generator_params(*this, error);
+  }
+  GTTSCH_CHECK(false);
+  return false;
+}
+
+Network::LinkModelFactory scenario_link_model_factory(const ScenarioConfig& config,
+                                                      const Trace& trace,
+                                                      DynamicLinkModel** failures) {
+  const double radio_range = config.radio_range;
+  const double link_prr = config.link_prr;
+  const double interference_factor = config.interference_factor;
+  const bool wants_failures = trace.has_failures();
+  return [radio_range, link_prr, interference_factor, wants_failures,
+          failures](Simulator& sim) -> std::unique_ptr<LinkModel> {
+    auto base =
+        std::make_unique<UnitDiskModel>(radio_range, link_prr, interference_factor);
+    if (!wants_failures) return base;
+    auto dynamic = std::make_unique<DynamicLinkModel>(sim, std::move(base));
+    if (failures != nullptr) *failures = dynamic.get();
+    return dynamic;
+  };
+}
+
 ExperimentResult run_scenario(const ScenarioConfig& config) {
   GTTSCH_CHECK(config.measure > 0);
   const TimeUs measure_end = config.warmup + config.measure;
+  const TopologySpec topology = config.make_topology();
+
+  Trace trace;
+  std::string trace_error;
+  if (!config.make_trace(topology, &trace, &trace_error)) {
+    std::fprintf(stderr, "run_scenario: %s\n", trace_error.c_str());
+    GTTSCH_CHECK(false && "invalid trace configuration");
+  }
 
   RunStats stats(config.warmup, measure_end);
-  auto link_model = std::make_unique<UnitDiskModel>(config.radio_range, config.link_prr,
-                                                    config.interference_factor);
-  Network net(config.seed, std::move(link_model), config.make_topology(),
-              config.make_node_config(), &stats);
+  DynamicLinkModel* failures = nullptr;
+  Network net(config.seed, scenario_link_model_factory(config, trace, &failures),
+              topology, config.make_node_config(), &stats);
+  TracePlayer player(net, std::move(trace), failures);
 
   net.sim().at(config.warmup, [&stats] { stats.begin_measurement(); });
   net.sim().at(measure_end, [&stats] { stats.end_measurement(); });
 
   net.start();
+  player.start();
   net.medium().reset_stats();  // formation noise excluded below via snapshot
   net.sim().run_until(config.warmup);
   const MediumStats at_warmup = net.medium().stats();

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "scenario/network.hpp"
+#include "scenario/trace.hpp"
 
 namespace gttsch {
 
@@ -67,12 +68,46 @@ struct ScenarioConfig {
   TimeUs measure = 300000000;   ///< measurement window length
   TimeUs drain = 10000000;      ///< run-out so in-flight packets arrive
 
+  // Mobility & failure trace (scenario/trace.hpp). kNone runs static;
+  // kFile plays the `trace` file; the generator kinds synthesize a
+  // deterministic stream over [warmup, warmup + measure) from trace_seed.
+  TraceKind trace_kind = TraceKind::kNone;
+  std::uint64_t trace_seed = 1;     ///< generator stream (independent of `seed`)
+  int trace_movers = 8;             ///< nodes walking (generator kinds)
+  int trace_fail_count = 0;         ///< nodes that die mid-run
+  double trace_speed_mps = 1.5;     ///< mover speed (meters/second)
+  double trace_interval_s = 2.0;    ///< move tick / failure stagger period
+  double trace_fail_at_s = 0.0;     ///< first failure (absolute s); 0 = window midpoint
+  std::string trace;                ///< trace file path (trace_kind == kFile)
+
   std::uint64_t seed = 1;
 
   /// Derived: Table-II-style MAC settings for this scenario.
   NodeStackConfig make_node_config() const;
   TopologySpec make_topology() const;
+
+  /// Builds this scenario's trace against `topology` (empty for kNone):
+  /// loads + validates the file for kFile, synthesizes for the generator
+  /// kinds. Returns false with a message (including the offending line for
+  /// file traces) on any invalid configuration.
+  bool make_trace(const TopologySpec& topology, Trace* out, std::string* error) const;
+
+  /// The campaign layer's pre-run check that a grid point's trace setup is
+  /// sound before any simulation starts: generator params range-checked,
+  /// file traces loaded and their node ids checked against this config's
+  /// own topology. Cheap — never synthesizes a generator stream.
+  bool validate_trace(std::string* error) const;
 };
+
+/// Link-model factory for a scenario run: the UnitDisk model from the
+/// config's radio fields, wrapped in a DynamicLinkModel only when `trace`
+/// carries failure events (kill_node silences in-flight frames; move-only
+/// and static runs stay on the plain model). `*failures` (optional)
+/// receives the wrapper when the factory runs — hand it to TracePlayer.
+/// Captures by value: safe to use after `config`/`trace` go out of scope.
+Network::LinkModelFactory scenario_link_model_factory(const ScenarioConfig& config,
+                                                      const Trace& trace,
+                                                      DynamicLinkModel** failures);
 
 /// One run (single seed). Exposes the end-state network for inspection.
 struct ExperimentResult {

@@ -1,0 +1,430 @@
+#include "scenario/trace.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "phy/dynamic_link.hpp"
+#include "scenario/network.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace gttsch {
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+std::string at_line(int line, const std::string& message) {
+  if (line <= 0) return message;
+  return "line " + std::to_string(line) + ": " + message;
+}
+
+/// strtod with a restricted charset: plain decimal/scientific notation
+/// only, full consumption, finite result. Rejects the hex, inf and nan
+/// spellings strtod would otherwise accept.
+bool parse_finite_double(const std::string& text, double* out) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789.+-eE") != std::string::npos) {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || errno == ERANGE || !std::isfinite(v)) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool parse_node_id(const std::string& text, NodeId* out) {
+  if (text.empty() || text.size() > 5 ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  const unsigned long v = std::strtoul(text.c_str(), nullptr, 10);
+  if (v > kMaxTraceNodeId) return false;
+  *out = static_cast<NodeId>(v);
+  return true;
+}
+
+std::vector<std::string> split_whitespace(const std::string& line) {
+  // '\r' counts as whitespace so CRLF trace files parse identically to LF.
+  const auto is_space = [](char c) { return c == ' ' || c == '\t' || c == '\r'; };
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && is_space(line[i])) ++i;
+    const std::size_t start = i;
+    while (i < line.size() && !is_space(line[i])) ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+/// Microsecond-exact time formatting ("35.000000"); the parsing direction
+/// (strtod + llround(v * 1e6)) reproduces the exact TimeUs for any value
+/// within kMaxTraceSeconds, so format/parse round trips are lossless.
+std::string format_time(TimeUs at) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%lld.%06lld",
+                static_cast<long long>(at / 1000000),
+                static_cast<long long>(at % 1000000));
+  return buf;
+}
+
+std::string format_coord(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+struct Bounds {
+  double min_x = 0, max_x = 0, min_y = 0, max_y = 0;
+};
+
+/// Deployment bounding box plus a margin, so movers may roam a little
+/// beyond the initial placements without escaping to infinity.
+Bounds walk_bounds(const TopologySpec& topology) {
+  Bounds b;
+  bool first = true;
+  for (const NodeSpec& n : topology.nodes) {
+    if (first) {
+      b.min_x = b.max_x = n.pos.x;
+      b.min_y = b.max_y = n.pos.y;
+      first = false;
+      continue;
+    }
+    b.min_x = std::min(b.min_x, n.pos.x);
+    b.max_x = std::max(b.max_x, n.pos.x);
+    b.min_y = std::min(b.min_y, n.pos.y);
+    b.max_y = std::max(b.max_y, n.pos.y);
+  }
+  const double margin =
+      std::max(10.0, 0.15 * std::max(b.max_x - b.min_x, b.max_y - b.min_y));
+  b.min_x -= margin;
+  b.max_x += margin;
+  b.min_y -= margin;
+  b.max_y += margin;
+  return b;
+}
+
+double clamp(double v, double lo, double hi) { return std::min(std::max(v, lo), hi); }
+
+/// Uniform direction via rejection sampling in the unit disk: avoids libm
+/// trig (whose rounding varies across libms) so generated streams are
+/// bit-portable. Returns a vector of length `step`.
+void random_step(Rng& rng, double step, double* dx, double* dy) {
+  double x = 0, y = 0, n2 = 0;
+  do {
+    x = rng.uniform_double(-1.0, 1.0);
+    y = rng.uniform_double(-1.0, 1.0);
+    n2 = x * x + y * y;
+  } while (n2 > 1.0 || n2 < 1e-12);
+  const double scale = step / std::sqrt(n2);
+  *dx = x * scale;
+  *dy = y * scale;
+}
+
+}  // namespace
+
+bool Trace::has_failures() const {
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEventKind::kFail) return true;
+  }
+  return false;
+}
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kNone:
+      return "none";
+    case TraceKind::kFile:
+      return "file";
+    case TraceKind::kRandomWalk:
+      return "random-walk";
+    case TraceKind::kRandomWaypoint:
+      return "random-waypoint";
+  }
+  return "?";
+}
+
+bool parse_trace_kind(const std::string& text, TraceKind* out) {
+  for (const TraceKind kind : {TraceKind::kNone, TraceKind::kFile,
+                               TraceKind::kRandomWalk, TraceKind::kRandomWaypoint}) {
+    if (text == trace_kind_name(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_trace(const std::string& text, Trace* out, std::string* error) {
+  out->events.clear();
+  std::istringstream stream(text);
+  std::string line;
+  int line_no = 0;
+  TimeUs last_at = 0;
+  std::map<NodeId, int> failed_on_line;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::vector<std::string> tokens = split_whitespace(line);
+    if (tokens.empty()) continue;
+    const auto err = [&](const std::string& message) {
+      return fail(error, at_line(line_no, message));
+    };
+    if (tokens.size() < 2) {
+      return err("expected '<t> move <node> <x> <y>' or '<t> fail <node>'");
+    }
+    double t_s = 0;
+    if (!parse_finite_double(tokens[0], &t_s) || t_s < 0 || t_s > kMaxTraceSeconds) {
+      return err("bad timestamp '" + tokens[0] +
+                 "' (expected seconds in [0, 1e9])");
+    }
+    TraceEvent event;
+    event.at = static_cast<TimeUs>(std::llround(t_s * 1e6));
+    event.line = line_no;
+    if (!out->events.empty() && event.at < last_at) {
+      return err("timestamp " + tokens[0] + " goes backwards (previous event at " +
+                 format_time(last_at) + " s)");
+    }
+    const std::string& keyword = tokens[1];
+    if (keyword == "move") {
+      if (tokens.size() != 5) {
+        return err("move takes exactly '<t> move <node> <x> <y>'");
+      }
+      event.kind = TraceEventKind::kMove;
+      if (!parse_node_id(tokens[2], &event.node)) {
+        return err("bad node id '" + tokens[2] + "'");
+      }
+      double coords[2] = {0, 0};
+      for (int c = 0; c < 2; ++c) {
+        if (!parse_finite_double(tokens[static_cast<std::size_t>(3 + c)], &coords[c]) ||
+            std::abs(coords[c]) > kMaxTraceCoordinate) {
+          return err("coordinate '" + tokens[static_cast<std::size_t>(3 + c)] +
+                     "' is not a number in [-1e6, 1e6]");
+        }
+      }
+      event.pos = Position{coords[0], coords[1]};
+    } else if (keyword == "fail") {
+      if (tokens.size() != 3) {
+        return err("fail takes exactly '<t> fail <node>'");
+      }
+      event.kind = TraceEventKind::kFail;
+      if (!parse_node_id(tokens[2], &event.node)) {
+        return err("bad node id '" + tokens[2] + "'");
+      }
+    } else {
+      return err("unknown event '" + keyword + "' (expected move or fail)");
+    }
+    const auto failed = failed_on_line.find(event.node);
+    if (failed != failed_on_line.end()) {
+      return err("node " + std::to_string(event.node) + " already failed on line " +
+                 std::to_string(failed->second));
+    }
+    if (event.kind == TraceEventKind::kFail) failed_on_line[event.node] = line_no;
+    last_at = event.at;
+    out->events.push_back(event);
+  }
+  return true;
+}
+
+bool load_trace(const std::string& path, Trace* out, std::string* error) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return fail(error, "cannot read trace file '" + path + "'");
+  std::ostringstream content;
+  content << file.rdbuf();
+  if (file.bad()) return fail(error, "cannot read trace file '" + path + "'");
+  if (!parse_trace(content.str(), out, error)) {
+    return fail(error, path + ": " + (error != nullptr ? *error : ""));
+  }
+  return true;
+}
+
+std::string format_trace(const Trace& trace) {
+  std::string out;
+  for (const TraceEvent& e : trace.events) {
+    out += format_time(e.at);
+    if (e.kind == TraceEventKind::kMove) {
+      out += " move " + std::to_string(e.node) + ' ' + format_coord(e.pos.x) + ' ' +
+             format_coord(e.pos.y);
+    } else {
+      out += " fail " + std::to_string(e.node);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool save_trace(const std::string& path, const Trace& trace, std::string* error) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return fail(error, "cannot write trace file '" + path + "'");
+  file << format_trace(trace);
+  file.flush();
+  if (!file) return fail(error, "cannot write trace file '" + path + "'");
+  return true;
+}
+
+bool validate_trace_nodes(const Trace& trace, const TopologySpec& topology,
+                          std::string* error) {
+  std::set<NodeId> known;
+  for (const NodeSpec& n : topology.nodes) known.insert(n.id);
+  for (const TraceEvent& e : trace.events) {
+    if (known.count(e.node) == 0) {
+      return fail(error, at_line(e.line, "unknown node id " + std::to_string(e.node) +
+                                             " (topology has " +
+                                             std::to_string(topology.nodes.size()) +
+                                             " nodes)"));
+    }
+  }
+  return true;
+}
+
+Trace generate_trace(TraceKind kind, const TopologySpec& topology,
+                     const TraceGenParams& params) {
+  GTTSCH_CHECK(kind == TraceKind::kRandomWalk || kind == TraceKind::kRandomWaypoint);
+  GTTSCH_CHECK(params.interval_s > 0 && std::isfinite(params.interval_s));
+  GTTSCH_CHECK(params.speed_mps >= 0 && std::isfinite(params.speed_mps));
+  GTTSCH_CHECK(params.movers >= 0 && params.fail_count >= 0);
+  GTTSCH_CHECK(params.fail_count == 0 ||
+               (params.fail_at_s >= 0 && std::isfinite(params.fail_at_s)));
+
+  Trace out;
+  // Non-root candidates in ascending id order, so the selection below is a
+  // pure function of (topology, seed).
+  std::vector<NodeSpec> candidates;
+  for (const NodeSpec& n : topology.nodes) {
+    if (!n.is_root) candidates.push_back(n);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const NodeSpec& a, const NodeSpec& b) { return a.id < b.id; });
+  if (candidates.empty()) return out;
+
+  Rng rng(params.seed);
+  std::vector<std::size_t> order(candidates.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+
+  const std::size_t n_movers =
+      std::min<std::size_t>(static_cast<std::size_t>(params.movers), order.size());
+  const std::size_t n_fails =
+      std::min<std::size_t>(static_cast<std::size_t>(params.fail_count), order.size());
+  const TimeUs interval_us =
+      std::max<TimeUs>(1, static_cast<TimeUs>(std::llround(params.interval_s * 1e6)));
+
+  // Failing nodes come from the *end* of the shuffled order, so they only
+  // overlap the movers (drawn from the front) when fail_count + movers
+  // exceeds the population. The i-th failure is staggered one tick apart.
+  std::map<NodeId, TimeUs> fail_time;
+  for (std::size_t i = 0; i < n_fails; ++i) {
+    const NodeId id = candidates[order[order.size() - 1 - i]].id;
+    const TimeUs at = static_cast<TimeUs>(std::llround(params.fail_at_s * 1e6)) +
+                      static_cast<TimeUs>(i) * interval_us;
+    fail_time[id] = at;
+  }
+
+  struct MoverState {
+    NodeId id;
+    Position pos;
+    Position target;
+    bool has_target = false;
+    Rng rng;
+  };
+  std::vector<MoverState> movers;
+  for (std::size_t i = 0; i < n_movers; ++i) {
+    const NodeSpec& spec = candidates[order[i]];
+    movers.push_back(MoverState{spec.id, spec.pos, Position{}, false, rng.fork(spec.id)});
+  }
+
+  const Bounds bounds = walk_bounds(topology);
+  const double step = params.speed_mps * params.interval_s;
+  for (TimeUs t = params.start + interval_us; t < params.end; t += interval_us) {
+    for (MoverState& m : movers) {
+      const auto dies = fail_time.find(m.id);
+      if (dies != fail_time.end() && t >= dies->second) continue;  // dead men don't walk
+      if (kind == TraceKind::kRandomWalk) {
+        double dx = 0, dy = 0;
+        random_step(m.rng, step, &dx, &dy);
+        m.pos.x = clamp(m.pos.x + dx, bounds.min_x, bounds.max_x);
+        m.pos.y = clamp(m.pos.y + dy, bounds.min_y, bounds.max_y);
+      } else {
+        if (!m.has_target) {
+          m.target = Position{m.rng.uniform_double(bounds.min_x, bounds.max_x),
+                              m.rng.uniform_double(bounds.min_y, bounds.max_y)};
+          m.has_target = true;
+        }
+        const double dx = m.target.x - m.pos.x;
+        const double dy = m.target.y - m.pos.y;
+        const double dist = std::sqrt(dx * dx + dy * dy);
+        if (dist <= step) {
+          m.pos = m.target;
+          m.has_target = false;  // next tick heads for a fresh waypoint
+        } else {
+          m.pos.x += dx * (step / dist);
+          m.pos.y += dy * (step / dist);
+        }
+      }
+      out.events.push_back(TraceEvent{t, TraceEventKind::kMove, m.id, m.pos, 0});
+    }
+  }
+
+  for (const auto& [id, at] : fail_time) {
+    if (at < params.end) {
+      out.events.push_back(TraceEvent{at, TraceEventKind::kFail, id, Position{}, 0});
+    }
+  }
+  // Moves were emitted tick-major (already time-sorted); a stable sort
+  // threads the failures in while preserving the per-tick mover order.
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.at < b.at; });
+  return out;
+}
+
+TracePlayer::TracePlayer(Network& net, Trace trace, DynamicLinkModel* failures)
+    : net_(net), trace_(std::move(trace)), failures_(failures) {}
+
+void TracePlayer::start() {
+  GTTSCH_CHECK(!started_);
+  started_ = true;
+  for (const TraceEvent& e : trace_.events) {
+    if (net_.nodes().find(e.node) == net_.nodes().end()) {
+      std::fprintf(stderr, "TracePlayer: %s\n",
+                   at_line(e.line, "unknown node id " + std::to_string(e.node)).c_str());
+      GTTSCH_CHECK(false && "trace addresses a node the network does not have");
+    }
+    if (e.kind == TraceEventKind::kFail && failures_ != nullptr) {
+      failures_->kill_node(e.at, e.node);
+    }
+  }
+  // All events are scheduled up front (not chained): their queue insertion
+  // order is then fixed by the trace alone, so same-instant ties against
+  // other default-key events resolve identically whatever the stepping
+  // mode — the fast-path bit-equivalence tests lean on this.
+  for (const TraceEvent& e : trace_.events) {
+    net_.sim().at(e.at, [this, &e] { apply(e); });
+  }
+}
+
+void TracePlayer::apply(const TraceEvent& event) {
+  Node& node = net_.node(event.node);
+  if (event.kind == TraceEventKind::kMove) {
+    node.move_to(event.pos);
+  } else {
+    node.fail();
+  }
+  ++applied_;
+}
+
+}  // namespace gttsch

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <random>
 
 #include "campaign/journal.hpp"
@@ -236,6 +237,89 @@ TEST(CampaignSpec, FingerprintSeesBaseConfigAndSeedChanges) {
   EXPECT_NE(campaign::campaign_fingerprint(other_points, other.seeds), fp);
 
   EXPECT_NE(campaign::campaign_fingerprint(points, {9, 8, 7}), fp);
+}
+
+TEST(CampaignSpec, FingerprintCoversEveryTraceField) {
+  // Two trace campaigns differing in ANY trace field must not share a
+  // fingerprint — this is what keeps journals from, say, different
+  // trace_seeds (identical labels, coords and seeds) from being merged or
+  // resumed together.
+  const CampaignSpec spec = tiny_spec();
+  std::string error;
+  const auto points = campaign::expand_grid(spec, &error);
+  ASSERT_FALSE(points.empty()) << error;
+  const std::uint64_t fp = campaign::campaign_fingerprint(points, spec.seeds);
+
+  const std::vector<std::function<void(ScenarioConfig&)>> mutations = {
+      [](ScenarioConfig& c) { c.trace_kind = TraceKind::kRandomWalk; },
+      [](ScenarioConfig& c) { c.trace_seed = 99; },
+      [](ScenarioConfig& c) { c.trace_movers += 1; },
+      [](ScenarioConfig& c) { c.trace_fail_count += 1; },
+      [](ScenarioConfig& c) { c.trace_speed_mps += 0.5; },
+      [](ScenarioConfig& c) { c.trace_interval_s += 0.5; },
+      [](ScenarioConfig& c) { c.trace_fail_at_s += 1.0; },
+      [](ScenarioConfig& c) { c.trace = "some/file.trace"; },
+  };
+  for (std::size_t i = 0; i < mutations.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "trace mutation " << i);
+    std::vector<campaign::GridPoint> mutated = points;
+    for (campaign::GridPoint& p : mutated) mutations[i](p.config);
+    EXPECT_EQ(mutated[0].label, points[0].label);  // axes can't see it
+    EXPECT_NE(campaign::campaign_fingerprint(mutated, spec.seeds), fp);
+  }
+}
+
+TEST(CampaignSpec, FingerprintSeesTraceFileContentNotJustPath) {
+  // Editing a trace file between runs must invalidate resume/merge like
+  // any config change — the path string alone cannot see it.
+  const std::string path = ::testing::TempDir() + "fp_content.trace";
+  {
+    std::ofstream f(path);
+    f << "10 move 2 5 5\n";
+  }
+  CampaignSpec spec = tiny_spec();
+  spec.base.trace_kind = TraceKind::kFile;
+  spec.base.trace = path;
+  std::string error;
+  const auto points = campaign::expand_grid(spec, &error);
+  ASSERT_FALSE(points.empty()) << error;
+  const std::uint64_t fp = campaign::campaign_fingerprint(points, spec.seeds);
+
+  {
+    std::ofstream f(path);
+    f << "10 move 2 6 5\n";  // one coordinate differs
+  }
+  const std::uint64_t fp_edited = campaign::campaign_fingerprint(points, spec.seeds);
+  EXPECT_NE(fp_edited, fp);
+
+  {
+    std::ofstream f(path);
+    f << "# cosmetic rewrite only\n10   move 2 6 5\n";
+  }
+  // Canonicalized content: comments/whitespace do not break resumability.
+  EXPECT_EQ(campaign::campaign_fingerprint(points, spec.seeds), fp_edited);
+}
+
+TEST(CampaignSpec, TraceAxesExpandAndValidate) {
+  CampaignSpec spec = tiny_spec();
+  spec.axes.push_back(
+      campaign::Axis{"trace_kind", {"none", "random-walk", "random-waypoint"}});
+  spec.axes.push_back(campaign::Axis{"trace_seed", {"1", "2"}});
+  std::string error;
+  const auto points = campaign::expand_grid(spec, &error);
+  // tiny_spec's 2x2 grid times the two trace axes.
+  EXPECT_EQ(points.size(), 4u * 3u * 2u) << error;
+  EXPECT_TRUE(campaign::validate_points_trace(points, &error)) << error;
+
+  // A generator axis with a bad companion knob fails the pre-run check
+  // loudly, naming both the point and the knob.
+  CampaignSpec bad = tiny_spec();
+  bad.base.trace_interval_s = -1.0;
+  bad.axes.push_back(campaign::Axis{"trace_kind", {"none", "random-walk"}});
+  const auto bad_points = campaign::expand_grid(bad, &error);
+  ASSERT_FALSE(bad_points.empty()) << error;
+  EXPECT_FALSE(campaign::validate_points_trace(bad_points, &error));
+  EXPECT_NE(error.find("trace_interval_s"), std::string::npos) << error;
 }
 
 // ------------------------------------------------------------- aggregate --

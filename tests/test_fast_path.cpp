@@ -8,10 +8,13 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 
 #include "mac/tsch_mac.hpp"
+#include "phy/dynamic_link.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/network.hpp"
+#include "scenario/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace gttsch {
@@ -41,6 +44,8 @@ struct ModeResult {
 /// Mirrors run_scenario(), but with direct control of per_slot_stepping.
 /// `setup` (optional) runs after start() — e.g. to schedule mid-run moves;
 /// it must be deterministic so both stepping modes see identical inputs.
+/// ScenarioConfig trace fields are honored the same way run_scenario
+/// honors them (generator or file, failures via DynamicLinkModel).
 ModeResult run_mode(const ScenarioConfig& sc, std::uint64_t seed, bool per_slot,
                     double max_drift_ppm = 0.0, std::uint16_t broadcast_slots = 0,
                     const std::function<void(Network&)>& setup = nullptr) {
@@ -50,12 +55,21 @@ ModeResult run_mode(const ScenarioConfig& sc, std::uint64_t seed, bool per_slot,
   nc.mac.per_slot_stepping = per_slot;
   nc.max_drift_ppm = max_drift_ppm;
   if (broadcast_slots > 0) nc.gt.layout.broadcast_slots = broadcast_slots;
-  auto model =
-      std::make_unique<UnitDiskModel>(sc.radio_range, sc.link_prr, sc.interference_factor);
-  Network net(seed, std::move(model), sc.make_topology(), nc, &stats);
+  const TopologySpec topology = sc.make_topology();
+  Trace trace;
+  std::string trace_error;
+  if (!sc.make_trace(topology, &trace, &trace_error)) {
+    ADD_FAILURE() << "trace: " << trace_error;
+    return {};
+  }
+  DynamicLinkModel* failures = nullptr;
+  Network net(seed, scenario_link_model_factory(sc, trace, &failures), topology, nc,
+              &stats);
+  TracePlayer player(net, std::move(trace), failures);
   net.sim().at(sc.warmup, [&stats] { stats.begin_measurement(); });
   net.sim().at(measure_end, [&stats] { stats.end_measurement(); });
   net.start();
+  player.start();
   if (setup) setup(net);
   net.medium().reset_stats();
   net.sim().run_until(measure_end + sc.drain);
@@ -255,6 +269,87 @@ TEST(FastPathEquivalence, MobilityScenario) {
   const ModeResult fast = run_mode(sc, 3000, false, 0.0, 0, roam);
   const ModeResult ref = run_mode(sc, 3000, true, 0.0, 0, roam);
   expect_identical(fast, ref);
+}
+
+/// Trace-driven churn (shared generator): movers walking plus one node
+/// dying mid-measurement. The skipping MAC must stay bit-identical while
+/// links fade, the victim's cells go dark, and RPL re-homes children.
+ScenarioConfig trace_config(SchedulerKind kind) {
+  ScenarioConfig sc = fig8_config(kind);
+  sc.dodag_count = 1;  // 7 nodes
+  sc.trace_kind = TraceKind::kRandomWalk;
+  sc.trace_seed = 42;
+  sc.trace_movers = 3;
+  sc.trace_speed_mps = 3.0;
+  sc.trace_interval_s = 5.0;
+  sc.trace_fail_count = 1;
+  sc.trace_fail_at_s = 180.0;  // mid-measurement
+  return sc;
+}
+
+TEST(FastPathEquivalence, TraceDrivenGtTschTwoSeeds) {
+  const ScenarioConfig sc = trace_config(SchedulerKind::kGtTsch);
+  for (const std::uint64_t seed : {4000ull, 4017ull}) {
+    SCOPED_TRACE(::testing::Message() << "seed " << seed);
+    const ModeResult fast = run_mode(sc, seed, /*per_slot=*/false);
+    const ModeResult ref = run_mode(sc, seed, /*per_slot=*/true);
+    expect_identical(fast, ref);
+  }
+}
+
+TEST(FastPathEquivalence, TraceDrivenOrchestraTwoSeeds) {
+  const ScenarioConfig sc = trace_config(SchedulerKind::kOrchestra);
+  for (const std::uint64_t seed : {4000ull, 4017ull}) {
+    SCOPED_TRACE(::testing::Message() << "seed " << seed);
+    const ModeResult fast = run_mode(sc, seed, /*per_slot=*/false);
+    const ModeResult ref = run_mode(sc, seed, /*per_slot=*/true);
+    expect_identical(fast, ref);
+  }
+}
+
+TEST(FastPathEquivalence, TraceFileEqualsGeneratorConfig) {
+  // The acceptance contract: a scenario driven by a trace *file* and the
+  // same scenario driven by the equivalent generator config produce
+  // identical RunStats — and the file-driven run is itself bit-identical
+  // between fast-path and per-slot stepping.
+  const ScenarioConfig generated = trace_config(SchedulerKind::kGtTsch);
+
+  // Materialize the generator's stream as a file.
+  Trace trace;
+  std::string error;
+  ASSERT_TRUE(generated.make_trace(generated.make_topology(), &trace, &error)) << error;
+  ASSERT_FALSE(trace.empty());
+  const std::string path = ::testing::TempDir() + "fast_path_equiv.trace";
+  ASSERT_TRUE(save_trace(path, trace, &error)) << error;
+
+  ScenarioConfig from_file = generated;
+  from_file.trace_kind = TraceKind::kFile;
+  from_file.trace = path;
+
+  const ModeResult gen_fast = run_mode(generated, 4000, /*per_slot=*/false);
+  const ModeResult file_fast = run_mode(from_file, 4000, /*per_slot=*/false);
+  const ModeResult file_ref = run_mode(from_file, 4000, /*per_slot=*/true);
+
+  // File == generator, down to the event count (the very same streams).
+  ASSERT_EQ(gen_fast.nodes.size(), file_fast.nodes.size());
+  for (const auto& [id, g] : gen_fast.nodes) {
+    SCOPED_TRACE(::testing::Message() << "node " << id);
+    const NodeSnapshot& f = file_fast.nodes.at(id);
+    EXPECT_EQ(g.mac.unicast_tx_attempts, f.mac.unicast_tx_attempts);
+    EXPECT_EQ(g.mac.rx_frames, f.mac.rx_frames);
+    EXPECT_EQ(g.radio_on, f.radio_on);
+    EXPECT_EQ(g.asn, f.asn);
+    EXPECT_EQ(g.joined, f.joined);
+  }
+  EXPECT_EQ(gen_fast.medium.transmissions, file_fast.medium.transmissions);
+  EXPECT_EQ(gen_fast.medium.deliveries, file_fast.medium.deliveries);
+  EXPECT_EQ(gen_fast.metrics.pdr_percent, file_fast.metrics.pdr_percent);
+  EXPECT_EQ(gen_fast.metrics.avg_delay_ms, file_fast.metrics.avg_delay_ms);
+  EXPECT_EQ(gen_fast.metrics.delivered, file_fast.metrics.delivered);
+  EXPECT_EQ(gen_fast.events_processed, file_fast.events_processed);
+
+  // ...and the file-driven scenario honors the fast-path contract too.
+  expect_identical(file_fast, file_ref);
 }
 
 TEST(FastPathEquivalence, IdleAssociatedMacReportsCurrentAsn) {

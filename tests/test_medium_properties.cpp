@@ -7,12 +7,14 @@
 
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "phy/dynamic_link.hpp"
 #include "phy/medium.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/network.hpp"
+#include "scenario/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace gttsch {
@@ -347,6 +349,124 @@ TEST(MediumCacheIncremental, DynamicStackMatchesUncachedReferenceBitForBit) {
   EXPECT_EQ(cached.medium.prr_losses, reference.medium.prr_losses);
   // The scenario must actually have exercised the medium.
   EXPECT_GT(cached.deliveries, 100u);
+}
+
+/// A GT-TSCH stack under a random-waypoint trace whose per-tick jumps
+/// (speed * interval = 120 m) dwarf the spatial-grid cell size
+/// (max_interaction_range = 40 * 1.6 = 64 m): every move teleports the
+/// walker across grid cells, exercising the membership-update path of the
+/// incremental cache.
+StackSnapshot run_waypoint_stack(bool cache_enabled) {
+  using namespace literals;
+  ScenarioConfig sc;
+  sc.scheduler = SchedulerKind::kGtTsch;
+  sc.dodag_count = 1;
+  sc.nodes_per_dodag = 7;
+  sc.traffic_ppm = 60.0;
+  sc.warmup = 120_s;
+  sc.measure = 120_s;
+  sc.trace_kind = TraceKind::kRandomWaypoint;
+  sc.trace_seed = 99;
+  sc.trace_movers = 3;
+  sc.trace_speed_mps = 30.0;
+  sc.trace_interval_s = 4.0;
+
+  const TopologySpec topo = sc.make_topology();
+  Trace trace;
+  std::string error;
+  if (!sc.make_trace(topo, &trace, &error)) {
+    ADD_FAILURE() << error;
+    return {};
+  }
+  auto nc = sc.make_node_config();
+  nc.app_end = 0;
+  Network net(123, std::make_unique<UnitDiskModel>(sc.radio_range, sc.link_prr,
+                                                   sc.interference_factor),
+              topo, nc, nullptr);
+  net.medium().set_link_cache_enabled(cache_enabled);
+  TracePlayer player(net, std::move(trace), nullptr);
+  net.start();
+  player.start();
+  net.sim().run_until(sc.warmup + sc.measure);
+  // 3 movers x ~29 ticks: the teleports actually happened.
+  EXPECT_GT(player.applied(), 80u);
+
+  StackSnapshot snap;
+  for (const auto& [id, node] : net.nodes()) {
+    snap.mac[id] = node->mac().counters();
+    snap.radio_on[id] = node->radio().on_time();
+    snap.app_generated[id] = node->app_generated();
+  }
+  snap.medium = net.medium().stats();
+  snap.deliveries = snap.medium.deliveries;
+  return snap;
+}
+
+TEST(MediumCacheIncremental, WaypointTeleportsMatchUncachedReferenceBitForBit) {
+  const StackSnapshot cached = run_waypoint_stack(/*cache_enabled=*/true);
+  const StackSnapshot reference = run_waypoint_stack(/*cache_enabled=*/false);
+
+  ASSERT_EQ(cached.mac.size(), reference.mac.size());
+  for (const auto& [id, counters] : cached.mac) {
+    SCOPED_TRACE(::testing::Message() << "node " << id);
+    EXPECT_TRUE(counters_equal(counters, reference.mac.at(id)));
+    EXPECT_EQ(cached.radio_on.at(id), reference.radio_on.at(id));
+    EXPECT_EQ(cached.app_generated.at(id), reference.app_generated.at(id));
+  }
+  EXPECT_EQ(cached.medium.transmissions, reference.medium.transmissions);
+  EXPECT_EQ(cached.medium.deliveries, reference.medium.deliveries);
+  EXPECT_EQ(cached.medium.collision_losses, reference.medium.collision_losses);
+  EXPECT_EQ(cached.medium.prr_losses, reference.medium.prr_losses);
+  EXPECT_GT(cached.deliveries, 100u);
+}
+
+TEST(MediumCacheIncremental, SingleTraceMoveStaysUnderTwoNModelCalls) {
+  // A one-event trace through the full stack: the refresh triggered by
+  // the played move must cost O(degree) model calls — strictly under the
+  // 2n bound (even one full row+column re-scan would be ~4n).
+  using namespace literals;
+  ScenarioConfig sc;
+  sc.scheduler = SchedulerKind::kGtTsch;
+  sc.topology = TopologyKind::kRandomDisk;
+  sc.topology_nodes = 64;
+  sc.disk_radius = 400.0;  // sparse: a 3x3 grid neighborhood holds few nodes
+  sc.topology_seed = 5;
+  sc.interference_factor = 1.0;  // interaction range 40 m -> small grid cells
+  sc.traffic_ppm = 30.0;
+  const TopologySpec topo = sc.make_topology();
+
+  auto nc = sc.make_node_config();
+  nc.app_end = 0;
+  CountingModel* model = nullptr;
+  const Network::LinkModelFactory factory =
+      [&sc, &model](Simulator&) -> std::unique_ptr<LinkModel> {
+    auto counting = std::make_unique<CountingModel>(std::make_unique<UnitDiskModel>(
+        sc.radio_range, sc.link_prr, sc.interference_factor));
+    model = counting.get();
+    return counting;
+  };
+  Network net(321, factory, topo, nc, nullptr);
+
+  Trace trace;
+  trace.events.push_back(
+      TraceEvent{66_s, TraceEventKind::kMove, 5,
+                 Position{net.node(5).position().x + 3.0,
+                          net.node(5).position().y - 2.0}, 0});
+  TracePlayer player(net, std::move(trace), nullptr);
+  net.start();
+  player.start();
+
+  // Warm up: the cache compiles during formation traffic.
+  net.sim().run_until(60_s);
+  model->reset_calls();
+  net.sim().run_until(65_s);
+  EXPECT_EQ(model->calls(), 0u);  // warm cache, nobody moved
+
+  net.sim().run_until(80_s);  // the trace move lands at 66 s
+  EXPECT_EQ(player.applied(), 1u);
+  const std::uint64_t move_calls = model->calls();
+  EXPECT_GT(move_calls, 0u);
+  EXPECT_LT(move_calls, 2u * static_cast<std::uint64_t>(sc.topology_nodes));
 }
 
 }  // namespace

@@ -1,0 +1,339 @@
+// The trace subsystem's contract: strict parsing (every malformed line
+// rejected with its line number), lossless format/parse round trips,
+// deterministic synthetic generators, and a TracePlayer that applies
+// moves and failures to a live network.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "phy/dynamic_link.hpp"
+#include "scenario/experiment.hpp"
+#include "scenario/network.hpp"
+#include "scenario/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace gttsch {
+namespace {
+
+using namespace literals;
+
+// ---------------------------------------------------------------- parser --
+
+TEST(TraceParser, ParsesEventsCommentsAndBlankLines) {
+  const std::string text =
+      "# a comment line\n"
+      "\n"
+      "10 move 3 12.5 -7.25   # trailing comment\n"
+      "10 fail 4\n"
+      "12.000001 move 3 13 -7\n";
+  Trace trace;
+  std::string error;
+  ASSERT_TRUE(parse_trace(text, &trace, &error)) << error;
+  ASSERT_EQ(trace.events.size(), 3u);
+
+  EXPECT_EQ(trace.events[0].at, 10_s);
+  EXPECT_EQ(trace.events[0].kind, TraceEventKind::kMove);
+  EXPECT_EQ(trace.events[0].node, 3);
+  EXPECT_DOUBLE_EQ(trace.events[0].pos.x, 12.5);
+  EXPECT_DOUBLE_EQ(trace.events[0].pos.y, -7.25);
+  EXPECT_EQ(trace.events[0].line, 3);
+
+  EXPECT_EQ(trace.events[1].kind, TraceEventKind::kFail);
+  EXPECT_EQ(trace.events[1].node, 4);
+  EXPECT_EQ(trace.events[1].at, 10_s);
+
+  EXPECT_EQ(trace.events[2].at, 12_s + 1);  // microsecond-exact timestamps
+  EXPECT_TRUE(trace.has_failures());
+}
+
+/// Every rejection must carry the 1-based number of the offending line.
+struct BadTraceCase {
+  const char* name;
+  const char* text;
+  const char* expect_in_error;
+  int line;
+};
+
+class TraceParserRejects : public ::testing::TestWithParam<BadTraceCase> {};
+
+TEST_P(TraceParserRejects, WithLineNumber) {
+  const BadTraceCase& c = GetParam();
+  Trace trace;
+  std::string error;
+  EXPECT_FALSE(parse_trace(c.text, &trace, &error)) << c.name;
+  EXPECT_NE(error.find("line " + std::to_string(c.line)), std::string::npos)
+      << c.name << ": error was '" << error << "'";
+  EXPECT_NE(error.find(c.expect_in_error), std::string::npos)
+      << c.name << ": error was '" << error << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TraceParserRejects,
+    ::testing::Values(
+        BadTraceCase{"malformed keyword", "5 wiggle 3 1 2\n", "unknown event", 1},
+        BadTraceCase{"bare word", "# ok\nnonsense\n", "expected", 2},
+        BadTraceCase{"move arity", "5 move 3 1\n", "move takes exactly", 1},
+        BadTraceCase{"fail arity", "5 fail 3 9\n", "fail takes exactly", 1},
+        BadTraceCase{"bad timestamp", "abc move 3 1 2\n", "bad timestamp", 1},
+        BadTraceCase{"negative timestamp", "-5 move 3 1 2\n", "bad timestamp", 1},
+        BadTraceCase{"huge timestamp", "1e12 move 3 1 2\n", "bad timestamp", 1},
+        BadTraceCase{"non-monotonic", "10 move 3 1 2\n9 move 3 1 2\n",
+                     "goes backwards", 2},
+        BadTraceCase{"bad node id", "5 move abc 1 2\n", "bad node id", 1},
+        BadTraceCase{"reserved node id", "5 fail 65535\n", "bad node id", 1},
+        BadTraceCase{"bad coordinate", "5 move 3 east 2\n", "coordinate", 1},
+        BadTraceCase{"out-of-range coordinate", "5 move 3 1 2e7\n", "coordinate", 1},
+        BadTraceCase{"nan coordinate", "5 move 3 nan 2\n", "coordinate", 1},
+        BadTraceCase{"move after fail", "5 fail 3\n9 move 3 1 2\n",
+                     "already failed", 2},
+        BadTraceCase{"double fail", "5 fail 3\n9 fail 3\n", "already failed", 2}),
+    [](const auto& info) {
+      std::string name = info.param.name;
+      for (char& ch : name)
+        if (ch == ' ' || ch == '-') ch = '_';
+      return name;
+    });
+
+TEST(TraceParser, CrlfLineEndingsParseIdenticallyToLf) {
+  Trace lf, crlf;
+  std::string error;
+  ASSERT_TRUE(parse_trace("10 move 3 1.5 2\n10 fail 4\n", &lf, &error)) << error;
+  ASSERT_TRUE(parse_trace("10 move 3 1.5 2\r\n10 fail 4\r\n", &crlf, &error)) << error;
+  ASSERT_EQ(crlf.events.size(), lf.events.size());
+  for (std::size_t i = 0; i < lf.events.size(); ++i) {
+    EXPECT_TRUE(lf.events[i] == crlf.events[i]) << "event " << i;
+  }
+}
+
+TEST(TraceParser, UnknownNodeRejectedAgainstTopology) {
+  Trace trace;
+  std::string error;
+  ASSERT_TRUE(parse_trace("5 move 9 1 2\n", &trace, &error)) << error;
+
+  TopologySpec topo;
+  topo.nodes.push_back(NodeSpec{1, {0, 0}, true});
+  topo.nodes.push_back(NodeSpec{2, {0, 30}, false});
+  EXPECT_FALSE(validate_trace_nodes(trace, topo, &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("unknown node id 9"), std::string::npos) << error;
+}
+
+TEST(TraceParser, MissingFileNamesThePath) {
+  Trace trace;
+  std::string error;
+  EXPECT_FALSE(load_trace("/no/such/file.trace", &trace, &error));
+  EXPECT_NE(error.find("/no/such/file.trace"), std::string::npos) << error;
+}
+
+// ------------------------------------------------------------ round trip --
+
+ScenarioConfig generator_config(TraceKind kind) {
+  ScenarioConfig sc;
+  sc.dodag_count = 2;
+  sc.nodes_per_dodag = 7;
+  sc.warmup = 60_s;
+  sc.measure = 120_s;
+  sc.trace_kind = kind;
+  sc.trace_seed = 7;
+  sc.trace_movers = 4;
+  sc.trace_speed_mps = 2.0;
+  sc.trace_interval_s = 3.0;
+  sc.trace_fail_count = 2;
+  sc.trace_fail_at_s = 100.0;
+  return sc;
+}
+
+class TraceGenerators : public ::testing::TestWithParam<TraceKind> {};
+
+TEST_P(TraceGenerators, FormatParseRoundTripIsLossless) {
+  const ScenarioConfig sc = generator_config(GetParam());
+  Trace trace;
+  std::string error;
+  ASSERT_TRUE(sc.make_trace(sc.make_topology(), &trace, &error)) << error;
+  ASSERT_FALSE(trace.empty());
+  EXPECT_TRUE(trace.has_failures());
+
+  Trace reparsed;
+  ASSERT_TRUE(parse_trace(format_trace(trace), &reparsed, &error)) << error;
+  ASSERT_EQ(reparsed.events.size(), trace.events.size());
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "event " << i);
+    EXPECT_TRUE(trace.events[i] == reparsed.events[i]);
+  }
+}
+
+TEST_P(TraceGenerators, SameSeedSameStreamDifferentSeedDiverges) {
+  const ScenarioConfig sc = generator_config(GetParam());
+  const TopologySpec topo = sc.make_topology();
+  Trace a, b;
+  std::string error;
+  ASSERT_TRUE(sc.make_trace(topo, &a, &error)) << error;
+  ASSERT_TRUE(sc.make_trace(topo, &b, &error)) << error;
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_TRUE(a.events[i] == b.events[i]) << "event " << i;
+  }
+
+  ScenarioConfig other = sc;
+  other.trace_seed = 8;
+  Trace c;
+  ASSERT_TRUE(other.make_trace(topo, &c, &error)) << error;
+  bool any_difference = c.events.size() != a.events.size();
+  for (std::size_t i = 0; !any_difference && i < a.events.size(); ++i) {
+    any_difference = !(a.events[i] == c.events[i]);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_P(TraceGenerators, EventsStayInWindowAndRespectFailures) {
+  const ScenarioConfig sc = generator_config(GetParam());
+  Trace trace;
+  std::string error;
+  ASSERT_TRUE(sc.make_trace(sc.make_topology(), &trace, &error)) << error;
+
+  std::map<NodeId, TimeUs> failed_at;
+  TimeUs last = 0;
+  int fails = 0;
+  for (const TraceEvent& e : trace.events) {
+    EXPECT_GE(e.at, last);  // time-ordered
+    last = e.at;
+    EXPECT_GT(e.at, sc.warmup);
+    EXPECT_LT(e.at, sc.warmup + sc.measure);
+    const auto dead = failed_at.find(e.node);
+    if (dead != failed_at.end()) {
+      ADD_FAILURE() << "event for node " << e.node << " after its failure";
+    }
+    if (e.kind == TraceEventKind::kFail) {
+      failed_at[e.node] = e.at;
+      ++fails;
+    }
+  }
+  EXPECT_EQ(fails, sc.trace_fail_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, TraceGenerators,
+                         ::testing::Values(TraceKind::kRandomWalk,
+                                           TraceKind::kRandomWaypoint),
+                         [](const auto& info) {
+                           return info.param == TraceKind::kRandomWalk
+                                      ? "random_walk"
+                                      : "random_waypoint";
+                         });
+
+TEST(TraceGenerator, WaypointStepsBoundedBySpeedTimesInterval) {
+  const ScenarioConfig sc = generator_config(TraceKind::kRandomWaypoint);
+  Trace trace;
+  std::string error;
+  ASSERT_TRUE(sc.make_trace(sc.make_topology(), &trace, &error)) << error;
+  std::map<NodeId, Position> last;
+  const double bound = sc.trace_speed_mps * sc.trace_interval_s * (1 + 1e-9);
+  for (const TraceEvent& e : trace.events) {
+    if (e.kind != TraceEventKind::kMove) continue;
+    const auto prev = last.find(e.node);
+    if (prev != last.end()) {
+      const double dx = e.pos.x - prev->second.x;
+      const double dy = e.pos.y - prev->second.y;
+      EXPECT_LE(dx * dx + dy * dy, bound * bound);
+    }
+    last[e.node] = e.pos;
+  }
+}
+
+// ----------------------------------------------------- config validation --
+
+TEST(TraceConfig, FileKindWithoutPathIsRejected) {
+  ScenarioConfig sc;
+  sc.trace_kind = TraceKind::kFile;
+  std::string error;
+  EXPECT_FALSE(sc.validate_trace(&error));
+  EXPECT_NE(error.find("trace=PATH"), std::string::npos) << error;
+}
+
+TEST(TraceConfig, BadGeneratorParamsAreRejected) {
+  ScenarioConfig sc;
+  sc.trace_kind = TraceKind::kRandomWalk;
+  sc.trace_interval_s = 0.0;
+  std::string error;
+  EXPECT_FALSE(sc.validate_trace(&error));
+  EXPECT_NE(error.find("trace_interval_s"), std::string::npos) << error;
+
+  sc.trace_interval_s = 2.0;
+  sc.trace_movers = -1;
+  EXPECT_FALSE(sc.validate_trace(&error));
+  EXPECT_NE(error.find("trace_movers"), std::string::npos) << error;
+}
+
+TEST(TraceConfig, NoneKindIsAlwaysValidAndEmpty) {
+  ScenarioConfig sc;  // defaults: kNone
+  std::string error;
+  EXPECT_TRUE(sc.validate_trace(&error));
+  Trace trace;
+  ASSERT_TRUE(sc.make_trace(sc.make_topology(), &trace, &error)) << error;
+  EXPECT_TRUE(trace.empty());
+}
+
+// ----------------------------------------------------------- trace player --
+
+TEST(TracePlayerTest, AppliesMovesAndFailuresAtTheirInstants) {
+  TopologySpec topo;
+  topo.nodes.push_back(NodeSpec{1, {0, 0}, true});
+  topo.nodes.push_back(NodeSpec{2, {0, 30}, false});
+  topo.nodes.push_back(NodeSpec{3, {0, -30}, false});
+
+  ScenarioConfig sc;
+  auto nc = sc.make_node_config();
+  DynamicLinkModel* model = nullptr;
+  const Network::LinkModelFactory factory =
+      [&model](Simulator& sim) -> std::unique_ptr<LinkModel> {
+    auto dynamic = std::make_unique<DynamicLinkModel>(
+        sim, std::make_unique<UnitDiskModel>(40.0, 1.0, 1.6));
+    model = dynamic.get();
+    return dynamic;
+  };
+  Network net(1, factory, topo, nc, nullptr);
+
+  Trace trace;
+  std::string error;
+  ASSERT_TRUE(parse_trace("10 move 2 5 25\n20 fail 3\n", &trace, &error)) << error;
+  TracePlayer player(net, std::move(trace), model);
+  net.start();
+  player.start();
+
+  net.sim().run_until(9_s);
+  EXPECT_DOUBLE_EQ(net.node(2).position().x, 0.0);
+  EXPECT_FALSE(net.node(3).failed());
+
+  net.sim().run_until(15_s);
+  EXPECT_DOUBLE_EQ(net.node(2).position().x, 5.0);
+  EXPECT_DOUBLE_EQ(net.node(2).position().y, 25.0);
+  EXPECT_EQ(player.applied(), 1u);
+
+  net.sim().run_until(25_s);
+  EXPECT_TRUE(net.node(3).failed());
+  EXPECT_EQ(player.applied(), 2u);
+  // The kill also silences the node at the medium level.
+  EXPECT_DOUBLE_EQ(model->prr(3, {0, -30}, 1, {0, 0}), 0.0);
+}
+
+// ------------------------------------------------------ file round trips --
+
+TEST(TraceFile, SaveLoadRoundTrip) {
+  const ScenarioConfig sc = generator_config(TraceKind::kRandomWalk);
+  Trace trace;
+  std::string error;
+  ASSERT_TRUE(sc.make_trace(sc.make_topology(), &trace, &error)) << error;
+
+  const std::string path = ::testing::TempDir() + "roundtrip.trace";
+  ASSERT_TRUE(save_trace(path, trace, &error)) << error;
+  Trace loaded;
+  ASSERT_TRUE(load_trace(path, &loaded, &error)) << error;
+  ASSERT_EQ(loaded.events.size(), trace.events.size());
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    EXPECT_TRUE(trace.events[i] == loaded.events[i]) << "event " << i;
+  }
+}
+
+}  // namespace
+}  // namespace gttsch

@@ -37,6 +37,9 @@ void print_usage() {
       "\n"
       "Run options:\n"
       "  --grid SPEC    axes as \"field=v1,v2;field2=v3,v4\" (cartesian product)\n"
+      "                 mobility/failure traces sweep like any field, e.g.\n"
+      "                 \"trace_kind=none,random-walk;trace_seed=1,2\" or\n"
+      "                 \"trace=a.trace,b.trace\" (see --list-fields)\n"
       "  --set SPEC     base-config overrides, same \"field=v;field2=v\" grammar\n"
       "  --seeds LIST   comma-separated seed list (default: the bench seeds,\n"
       "                 count adjustable via GTTSCH_SEEDS)\n"
