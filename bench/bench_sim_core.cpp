@@ -35,6 +35,7 @@
 #include "scenario/network.hpp"
 #include "scenario/trace.hpp"
 #include "sim/simulator.hpp"
+#include "stats/telemetry.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -116,7 +117,8 @@ struct ScenarioPoint {
   std::uint16_t broadcast_slots = 0;  ///< override; 0 = layout default
   TimeUs formation = 180_s;
   TimeUs measure = 600_s;
-  bool with_per_slot = false;  ///< also time the per-slot reference
+  bool with_per_slot = false;   ///< also time the per-slot reference
+  bool with_telemetry = false;  ///< attach a Telemetry recorder to the run
 };
 
 ScenarioPoint sparse7_point() {
@@ -134,6 +136,17 @@ ScenarioPoint sparse7_point() {
   p.formation = 600_s;
   p.measure = 3600_s;
   p.with_per_slot = true;
+  return p;
+}
+
+// sparse-7 again, but with the full telemetry recorder attached (1 s gauge
+// sampling, 4 probe senders). Comparing against sparse-7's fast_path numbers
+// puts a price on observability; perf_diff tracks it like any other point.
+ScenarioPoint telemetry_overhead_point() {
+  ScenarioPoint p = sparse7_point();
+  p.name = "telemetry-overhead";
+  p.with_per_slot = false;
+  p.with_telemetry = true;
   return p;
 }
 
@@ -222,6 +235,16 @@ EndToEnd run_point(const ScenarioPoint& p, bool per_slot) {
       42, scenario_link_model_factory(trace_config, trace, &failures), topology, nc,
       nullptr);
   TracePlayer player(*net, std::move(trace), failures);
+  std::unique_ptr<Telemetry> telemetry;
+  if (p.with_telemetry) {
+    TelemetryConfig tc;
+    tc.sample_period = 1_s;
+    tc.probe_count = 4;
+    tc.probe_period = 10_s;
+    telemetry = std::make_unique<Telemetry>(tc);
+    telemetry->default_probe_window(p.formation, p.formation + p.measure);
+    telemetry->attach(*net, /*stats=*/nullptr);
+  }
   net->start();
   player.start();
   net->sim().run_until(p.formation);
@@ -250,8 +273,9 @@ void print_mode_json(FILE* f, const char* key, const EndToEnd& r, bool trailing_
 }
 
 bool write_simcore_json(const std::string& path) {
-  const std::vector<ScenarioPoint> points = {sparse7_point(), dense50_point(),
-                                             mobile100_point(), nodes200_point()};
+  const std::vector<ScenarioPoint> points = {
+      sparse7_point(), telemetry_overhead_point(), dense50_point(),
+      mobile100_point(), nodes200_point()};
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_sim_core: cannot write %s\n", path.c_str());

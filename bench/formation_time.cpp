@@ -23,6 +23,7 @@
 #include "phy/dynamic_link.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/network.hpp"
+#include "stats/telemetry.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -69,20 +70,39 @@ FormationResult measure(const ScenarioConfig& sc) {
   net.start();
   player.start();
 
+  // Stage counts ride the shared Timeline sampler (stats/telemetry.hpp) at
+  // 1 Hz — the same engine Telemetry drives for its JSONL gauge samples.
+  const auto count_non_roots = [&net](auto pred) {
+    double n = 0;
+    for (const auto& [id, node] : net.nodes()) {
+      if (!node->is_root() && pred(*node)) n += 1;
+    }
+    return n;
+  };
+  const double total = count_non_roots([](Node&) { return true; });
+  Timeline sampler(net.sim(), 1_s);
+  sampler.add_gauge("assoc", [&count_non_roots] {
+    return count_non_roots([](Node& n) { return n.mac().associated(); });
+  });
+  sampler.add_gauge("joined", [&count_non_roots] {
+    return count_non_roots([](Node& n) { return n.rpl().joined(); });
+  });
+  // Orchestra nodes have no 6P bootstrap and count as trivially operational.
+  sampler.add_gauge("operational", [&count_non_roots] {
+    return count_non_roots([](Node& n) {
+      const auto* sf = n.gt_sf();
+      return sf == nullptr || sf->stage() == GtTschSf::Stage::kOperational;
+    });
+  });
+  sampler.start();
+
   FormationResult r;
   for (int t = 1; t <= static_cast<int>(kBudgetSeconds); ++t) {
     net.sim().run_until(static_cast<TimeUs>(t) * 1000000);
-    bool all_assoc = true, all_joined = true, all_oper = true;
-    for (const auto& [id, node] : net.nodes()) {
-      if (node->is_root()) continue;
-      all_assoc &= node->mac().associated();
-      all_joined &= node->rpl().joined();
-      if (auto* sf = node->gt_sf())
-        all_oper &= sf->stage() == GtTschSf::Stage::kOperational;
-    }
-    if (r.assoc_s < 0 && all_assoc) r.assoc_s = t;
-    if (r.joined_s < 0 && all_joined) r.joined_s = t;
-    if (sc.scheduler == SchedulerKind::kGtTsch && r.operational_s < 0 && all_oper)
+    if (r.assoc_s < 0 && sampler.latest("assoc") == total) r.assoc_s = t;
+    if (r.joined_s < 0 && sampler.latest("joined") == total) r.joined_s = t;
+    if (sc.scheduler == SchedulerKind::kGtTsch && r.operational_s < 0 &&
+        sampler.latest("operational") == total)
       r.operational_s = t;
     if (r.joined_s >= 0 &&
         (sc.scheduler != SchedulerKind::kGtTsch || r.operational_s >= 0)) {

@@ -10,7 +10,7 @@
 #include "scenario/experiment.hpp"
 #include "scenario/network.hpp"
 #include "stats/energy.hpp"
-#include "stats/timeline.hpp"
+#include "stats/telemetry.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 

@@ -57,6 +57,11 @@ constexpr NamedMetric kNamedMetrics[] = {
     {"queue_loss_per_node", &PointAggregate::queue_loss_per_node},
     {"throughput_per_minute", &PointAggregate::throughput_per_minute},
     {"mean_hops", &PointAggregate::mean_hops},
+    {"pre_pdr_percent", &PointAggregate::pre_pdr_percent},
+    {"churn_pdr_percent", &PointAggregate::churn_pdr_percent},
+    {"post_pdr_percent", &PointAggregate::post_pdr_percent},
+    {"probe_pdr_percent", &PointAggregate::probe_pdr_percent},
+    {"probe_avg_latency_ms", &PointAggregate::probe_avg_latency_ms},
 };
 
 }  // namespace
@@ -101,6 +106,11 @@ PointAggregate PointAccumulator::finalize() const {
       {&PointAggregate::queue_loss_per_node, &RunMetrics::queue_loss_per_node},
       {&PointAggregate::throughput_per_minute, &RunMetrics::throughput_per_minute},
       {&PointAggregate::mean_hops, &RunMetrics::mean_hops},
+      {&PointAggregate::pre_pdr_percent, &RunMetrics::pre_pdr_percent},
+      {&PointAggregate::churn_pdr_percent, &RunMetrics::churn_pdr_percent},
+      {&PointAggregate::post_pdr_percent, &RunMetrics::post_pdr_percent},
+      {&PointAggregate::probe_pdr_percent, &RunMetrics::probe_pdr_percent},
+      {&PointAggregate::probe_avg_latency_ms, &RunMetrics::probe_avg_latency_ms},
   };
   std::vector<double> samples;
   samples.reserve(by_seed_.size());
@@ -122,6 +132,18 @@ PointAggregate PointAccumulator::finalize() const {
     out.mean.nodes_joined += m.nodes_joined;
     out.mean.node_count = m.node_count;
     out.mean.measure_minutes += m.measure_minutes;
+    out.mean.churn_phases |= m.churn_phases;
+    out.mean.pre_generated += m.pre_generated;
+    out.mean.churn_generated += m.churn_generated;
+    out.mean.post_generated += m.post_generated;
+    out.mean.pre_delivered += m.pre_delivered;
+    out.mean.churn_delivered += m.churn_delivered;
+    out.mean.post_delivered += m.post_delivered;
+    out.mean.probes_sent += m.probes_sent;
+    out.mean.probes_delivered += m.probes_delivered;
+    out.mean.pre_avg_delay_ms += m.pre_avg_delay_ms;
+    out.mean.churn_avg_delay_ms += m.churn_avg_delay_ms;
+    out.mean.post_avg_delay_ms += m.post_avg_delay_ms;
     out.medium_sum.transmissions += result.medium.transmissions;
     out.medium_sum.deliveries += result.medium.deliveries;
     out.medium_sum.collision_losses += result.medium.collision_losses;
@@ -138,6 +160,14 @@ PointAggregate PointAccumulator::finalize() const {
   out.mean.throughput_per_minute = out.throughput_per_minute.mean;
   out.mean.mean_hops = out.mean_hops.mean;
   out.mean.measure_minutes /= static_cast<double>(out.runs);
+  out.mean.pre_avg_delay_ms /= static_cast<double>(out.runs);
+  out.mean.churn_avg_delay_ms /= static_cast<double>(out.runs);
+  out.mean.post_avg_delay_ms /= static_cast<double>(out.runs);
+  out.mean.pre_pdr_percent = out.pre_pdr_percent.mean;
+  out.mean.churn_pdr_percent = out.churn_pdr_percent.mean;
+  out.mean.post_pdr_percent = out.post_pdr_percent.mean;
+  out.mean.probe_pdr_percent = out.probe_pdr_percent.mean;
+  out.mean.probe_avg_latency_ms = out.probe_avg_latency_ms.mean;
   return out;
 }
 

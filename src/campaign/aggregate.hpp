@@ -46,6 +46,13 @@ struct PointAggregate {
   SampleStats queue_loss_per_node;
   SampleStats throughput_per_minute;
   SampleStats mean_hops;
+  // Churn-phase and probe telemetry (all-zero when the point's runs had
+  // no failure trace / no probes).
+  SampleStats pre_pdr_percent;
+  SampleStats churn_pdr_percent;
+  SampleStats post_pdr_percent;
+  SampleStats probe_pdr_percent;
+  SampleStats probe_avg_latency_ms;
 
   RunMetrics mean;        ///< means (and summed counters), as run_averaged
   MediumStats medium_sum; ///< summed medium counters over seeds

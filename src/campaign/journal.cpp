@@ -61,6 +61,14 @@ constexpr DoubleField kMetricDoubles[] = {
     {"throughput_per_minute", &RunMetrics::throughput_per_minute},
     {"mean_hops", &RunMetrics::mean_hops},
     {"measure_minutes", &RunMetrics::measure_minutes},
+    {"pre_pdr_percent", &RunMetrics::pre_pdr_percent},
+    {"churn_pdr_percent", &RunMetrics::churn_pdr_percent},
+    {"post_pdr_percent", &RunMetrics::post_pdr_percent},
+    {"pre_avg_delay_ms", &RunMetrics::pre_avg_delay_ms},
+    {"churn_avg_delay_ms", &RunMetrics::churn_avg_delay_ms},
+    {"post_avg_delay_ms", &RunMetrics::post_avg_delay_ms},
+    {"probe_pdr_percent", &RunMetrics::probe_pdr_percent},
+    {"probe_avg_latency_ms", &RunMetrics::probe_avg_latency_ms},
 };
 
 constexpr U64Field kMetricCounters[] = {
@@ -71,6 +79,15 @@ constexpr U64Field kMetricCounters[] = {
     {"no_route_drops", &RunMetrics::no_route_drops},
     {"nodes_joined", &RunMetrics::nodes_joined},
     {"node_count", &RunMetrics::node_count},
+    {"churn_phases", &RunMetrics::churn_phases},
+    {"pre_generated", &RunMetrics::pre_generated},
+    {"churn_generated", &RunMetrics::churn_generated},
+    {"post_generated", &RunMetrics::post_generated},
+    {"pre_delivered", &RunMetrics::pre_delivered},
+    {"churn_delivered", &RunMetrics::churn_delivered},
+    {"post_delivered", &RunMetrics::post_delivered},
+    {"probes_sent", &RunMetrics::probes_sent},
+    {"probes_delivered", &RunMetrics::probes_delivered},
 };
 
 constexpr MediumField kMediumCounters[] = {

@@ -22,6 +22,11 @@ constexpr MetricColumn kMetrics[] = {
     {"queue_loss_per_node", &PointAggregate::queue_loss_per_node},
     {"throughput_per_minute", &PointAggregate::throughput_per_minute},
     {"mean_hops", &PointAggregate::mean_hops},
+    {"pre_pdr_percent", &PointAggregate::pre_pdr_percent},
+    {"churn_pdr_percent", &PointAggregate::churn_pdr_percent},
+    {"post_pdr_percent", &PointAggregate::post_pdr_percent},
+    {"probe_pdr_percent", &PointAggregate::probe_pdr_percent},
+    {"probe_avg_latency_ms", &PointAggregate::probe_avg_latency_ms},
 };
 
 std::string fmt(double v) {
@@ -61,9 +66,11 @@ std::vector<std::string> csv_header(const std::vector<PointAggregate>& aggregate
     header.push_back(std::string(m.name) + "_stddev");
     header.push_back(std::string(m.name) + "_ci95");
   }
-  for (const char* name : {"generated", "delivered", "queue_drops", "mac_drops",
-                           "no_route_drops", "medium_transmissions",
-                           "medium_collision_losses", "medium_prr_losses"}) {
+  for (const char* name :
+       {"generated", "delivered", "queue_drops", "mac_drops", "no_route_drops",
+        "medium_transmissions", "medium_collision_losses", "medium_prr_losses",
+        "pre_generated", "churn_generated", "post_generated", "pre_delivered",
+        "churn_delivered", "post_delivered", "probes_sent", "probes_delivered"}) {
     header.push_back(name);
   }
   return header;
@@ -88,6 +95,14 @@ std::vector<std::string> csv_row(const PointAggregate& a) {
   row.push_back(fmt(a.medium_sum.transmissions));
   row.push_back(fmt(a.medium_sum.collision_losses));
   row.push_back(fmt(a.medium_sum.prr_losses));
+  row.push_back(fmt(a.mean.pre_generated));
+  row.push_back(fmt(a.mean.churn_generated));
+  row.push_back(fmt(a.mean.post_generated));
+  row.push_back(fmt(a.mean.pre_delivered));
+  row.push_back(fmt(a.mean.churn_delivered));
+  row.push_back(fmt(a.mean.post_delivered));
+  row.push_back(fmt(a.mean.probes_sent));
+  row.push_back(fmt(a.mean.probes_delivered));
   return row;
 }
 
@@ -143,7 +158,15 @@ std::string render_json(const std::vector<PointAggregate>& aggregates) {
            ", \"delivered\": " + fmt(a.mean.delivered) +
            ", \"queue_drops\": " + fmt(a.mean.queue_drops) +
            ", \"mac_drops\": " + fmt(a.mean.mac_drops) +
-           ", \"no_route_drops\": " + fmt(a.mean.no_route_drops) + "},\n";
+           ", \"no_route_drops\": " + fmt(a.mean.no_route_drops) +
+           ", \"pre_generated\": " + fmt(a.mean.pre_generated) +
+           ", \"churn_generated\": " + fmt(a.mean.churn_generated) +
+           ", \"post_generated\": " + fmt(a.mean.post_generated) +
+           ", \"pre_delivered\": " + fmt(a.mean.pre_delivered) +
+           ", \"churn_delivered\": " + fmt(a.mean.churn_delivered) +
+           ", \"post_delivered\": " + fmt(a.mean.post_delivered) +
+           ", \"probes_sent\": " + fmt(a.mean.probes_sent) +
+           ", \"probes_delivered\": " + fmt(a.mean.probes_delivered) + "},\n";
     out += "    \"medium\": {\"transmissions\": " + fmt(a.medium_sum.transmissions) +
            ", \"deliveries\": " + fmt(a.medium_sum.deliveries) +
            ", \"collision_losses\": " + fmt(a.medium_sum.collision_losses) +

@@ -354,8 +354,9 @@ Runner::Result Runner::run(const std::vector<Job>& jobs) {
       if (cancel_.load(std::memory_order_relaxed)) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= jobs.size()) return;
-      out.results[i] = options_.run_fn ? options_.run_fn(jobs[i].config)
-                                       : run_scenario(jobs[i].config);
+      out.results[i] = options_.run_job_fn ? options_.run_job_fn(jobs[i])
+                       : options_.run_fn   ? options_.run_fn(jobs[i].config)
+                                           : run_scenario(jobs[i].config);
       out.completed[i] = 1;
       const std::size_t completed = done.fetch_add(1, std::memory_order_relaxed) + 1;
       if (options_.on_progress) {

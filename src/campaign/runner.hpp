@@ -42,6 +42,10 @@ struct RunnerOptions {
   /// How one job is executed; defaults to run_scenario. Tests substitute
   /// a synthetic function to count invocations and shape metric noise.
   std::function<ExperimentResult(const ScenarioConfig&)> run_fn;
+  /// Job-aware variant, taking precedence over run_fn: receives the whole
+  /// Job so per-job artifacts can be keyed by point/seed index (e.g.
+  /// gt_campaign --telemetry-dir writes one JSONL per job).
+  std::function<ExperimentResult(const Job&)> run_job_fn;
 };
 
 class Runner {

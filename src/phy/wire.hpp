@@ -56,6 +56,9 @@ struct DataPayload {
   std::uint32_t seq = 0;      ///< per-origin sequence number
   TimeUs generated_at = 0;    ///< for end-to-end delay measurement
   std::uint8_t hops = 0;      ///< incremented per forwarding hop
+  /// Telemetry probe frames travel like data but are excluded from the
+  /// RunStats panel metrics (unless the telemetry config counts them).
+  bool is_probe = false;
 };
 
 /// TSCH Enhanced Beacon. Carries synchronisation info plus — GT-TSCH

@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "phy/dynamic_link.hpp"
+#include "stats/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace gttsch {
@@ -172,6 +173,10 @@ Network::LinkModelFactory scenario_link_model_factory(const ScenarioConfig& conf
 }
 
 ExperimentResult run_scenario(const ScenarioConfig& config) {
+  return run_scenario(config, nullptr);
+}
+
+ExperimentResult run_scenario(const ScenarioConfig& config, Telemetry* telemetry) {
   GTTSCH_CHECK(config.measure > 0);
   const TimeUs measure_end = config.warmup + config.measure;
   const TopologySpec topology = config.make_topology();
@@ -184,6 +189,18 @@ ExperimentResult run_scenario(const ScenarioConfig& config) {
   }
 
   RunStats stats(config.warmup, measure_end);
+  if (trace.has_failures()) {
+    // Churn-phase split at the first failure and last failure + settle.
+    TimeUs first_fail = 0, last_fail = 0;
+    bool seen = false;
+    for (const TraceEvent& e : trace.events) {
+      if (e.kind != TraceEventKind::kFail) continue;
+      if (!seen || e.at < first_fail) first_fail = e.at;
+      if (!seen || e.at > last_fail) last_fail = e.at;
+      seen = true;
+    }
+    stats.set_churn_phases(first_fail, last_fail + kChurnSettle);
+  }
   DynamicLinkModel* failures = nullptr;
   Network net(config.seed, scenario_link_model_factory(config, trace, &failures),
               topology, config.make_node_config(), &stats);
@@ -191,6 +208,11 @@ ExperimentResult run_scenario(const ScenarioConfig& config) {
 
   net.sim().at(config.warmup, [&stats] { stats.begin_measurement(); });
   net.sim().at(measure_end, [&stats] { stats.end_measurement(); });
+
+  if (telemetry != nullptr) {
+    telemetry->default_probe_window(config.warmup, measure_end);
+    telemetry->attach(net, &stats);
+  }
 
   net.start();
   player.start();
@@ -205,6 +227,7 @@ ExperimentResult run_scenario(const ScenarioConfig& config) {
 
   ExperimentResult result;
   result.metrics = stats.finalize();
+  if (telemetry != nullptr) telemetry->fill_probe_metrics(&result.metrics);
   MediumStats window = net.medium().stats();
   window.transmissions -= at_warmup.transmissions;
   window.deliveries -= at_warmup.deliveries;
@@ -239,6 +262,19 @@ AveragedMetrics run_averaged(ScenarioConfig config,
     sum.measure_minutes += r.metrics.measure_minutes;
     sum.nodes_joined += r.metrics.nodes_joined;
     sum.node_count = r.metrics.node_count;
+    sum.churn_phases |= r.metrics.churn_phases;
+    sum.pre_generated += r.metrics.pre_generated;
+    sum.churn_generated += r.metrics.churn_generated;
+    sum.post_generated += r.metrics.post_generated;
+    sum.pre_delivered += r.metrics.pre_delivered;
+    sum.churn_delivered += r.metrics.churn_delivered;
+    sum.post_delivered += r.metrics.post_delivered;
+    sum.pre_pdr_percent += r.metrics.pre_pdr_percent;
+    sum.churn_pdr_percent += r.metrics.churn_pdr_percent;
+    sum.post_pdr_percent += r.metrics.post_pdr_percent;
+    sum.pre_avg_delay_ms += r.metrics.pre_avg_delay_ms;
+    sum.churn_avg_delay_ms += r.metrics.churn_avg_delay_ms;
+    sum.post_avg_delay_ms += r.metrics.post_avg_delay_ms;
     out.medium_sum.transmissions += r.medium.transmissions;
     out.medium_sum.deliveries += r.medium.deliveries;
     out.medium_sum.collision_losses += r.medium.collision_losses;
@@ -257,6 +293,12 @@ AveragedMetrics run_averaged(ScenarioConfig config,
   out.mean.throughput_per_minute /= n;
   out.mean.mean_hops /= n;
   out.mean.measure_minutes /= n;
+  out.mean.pre_pdr_percent /= n;
+  out.mean.churn_pdr_percent /= n;
+  out.mean.post_pdr_percent /= n;
+  out.mean.pre_avg_delay_ms /= n;
+  out.mean.churn_avg_delay_ms /= n;
+  out.mean.post_avg_delay_ms /= n;
   return out;
 }
 

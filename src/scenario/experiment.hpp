@@ -118,6 +118,16 @@ struct ExperimentResult {
 
 ExperimentResult run_scenario(const ScenarioConfig& config);
 
+/// Same run with a telemetry recorder attached: gauge samples, probe
+/// frames and the structured event trace accumulate in `telemetry`
+/// (constructed by the caller, written out by the caller), and its probe
+/// summary is copied into the returned metrics. Telemetry lives outside
+/// ScenarioConfig on purpose: it is not part of a scenario's identity
+/// (campaign fingerprints are unchanged), and with probes disabled the
+/// result is bit-identical to run_scenario(config).
+class Telemetry;
+ExperimentResult run_scenario(const ScenarioConfig& config, Telemetry* telemetry);
+
 /// Averages the panel metrics over `seeds` runs of the same scenario.
 struct AveragedMetrics {
   RunMetrics mean;          ///< each field averaged over seeds

@@ -1,5 +1,6 @@
 #include "scenario/network.hpp"
 
+#include "stats/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace gttsch {
@@ -28,11 +29,20 @@ Network::Network(std::uint64_t seed, const LinkModelFactory& factory,
   }
 }
 
+Network::~Network() {
+  if (telemetry_ != nullptr) telemetry_->detach();
+}
+
 void Network::start() {
   for (auto& [id, node] : nodes_)
     if (node->is_root()) node->start();
   for (auto& [id, node] : nodes_)
     if (!node->is_root()) node->start();
+}
+
+void Network::set_telemetry(Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  for (auto& [id, node] : nodes_) node->set_telemetry(telemetry);
 }
 
 Node& Network::node(NodeId id) {

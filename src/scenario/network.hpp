@@ -29,6 +29,11 @@ class Network {
           const TopologySpec& topology, const NodeStackConfig& node_config,
           RunStats* stats);
 
+  /// Detaches any telemetry recorder while the simulator is still alive:
+  /// the recorder usually outlives the network (its records are written
+  /// after the run), and its sampling timer must not outlive the sim.
+  ~Network();
+
   /// Boots every node (roots first) — call once, then run the simulator.
   void start();
 
@@ -44,11 +49,17 @@ class Network {
   /// True when every non-root node has an RPL parent and an associated MAC.
   bool fully_formed() const;
 
+  /// Attach a telemetry recorder to every node (null detaches). Called by
+  /// Telemetry::attach; TracePlayer reads it back for move/fail events.
+  void set_telemetry(Telemetry* telemetry);
+  Telemetry* telemetry() const { return telemetry_; }
+
  private:
   Simulator sim_;
   Medium medium_;
   std::map<NodeId, std::unique_ptr<Node>> nodes_;
   RunStats* stats_;
+  Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace gttsch

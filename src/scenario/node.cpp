@@ -1,6 +1,7 @@
 #include "scenario/node.hpp"
 
 #include "sim/log.hpp"
+#include "stats/telemetry.hpp"
 #include "util/check.hpp"
 
 namespace gttsch {
@@ -68,7 +69,24 @@ void Node::fail() {
   mac_.shutdown();
 }
 
+void Node::set_telemetry(Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ != nullptr) {
+    sixp_.set_transaction_observer(
+        [this](NodeId peer, SixpCommand command, bool timed_out, bool ok) {
+          telemetry_->on_sixp_done(id_, peer, command, timed_out, ok);
+        });
+  } else {
+    sixp_.set_transaction_observer(nullptr);
+  }
+}
+
+bool Node::count_in_panels(const DataPayload& data) const {
+  return !data.is_probe || telemetry_ == nullptr || telemetry_->probes_in_panels();
+}
+
 void Node::mac_associated(Asn, const Frame&) {
+  if (telemetry_ != nullptr) telemetry_->on_associated(id_);
   sf_->on_associated();
   rpl_.start_soliciting();
 }
@@ -99,19 +117,35 @@ void Node::mac_frame_received(const Frame& frame) {
 void Node::mac_tx_result(const Frame& frame, bool acked, int attempts) {
   if (frame.dst == kBroadcastId) return;
   rpl_.on_tx_result(frame.dst, acked, attempts);
-  if (!acked && frame.type == FrameType::kData && stats_ != nullptr)
-    stats_->on_mac_drop(id_, sim_.now());
+  if (!acked && frame.type == FrameType::kData) {
+    const DataPayload& data = frame.as<DataPayload>();
+    if (telemetry_ != nullptr) telemetry_->on_drop(id_, Telemetry::DropKind::kMac);
+    if (stats_ != nullptr && count_in_panels(data))
+      stats_->on_mac_drop(id_, sim_.now());
+  }
 }
 
 void Node::rpl_parent_changed(NodeId old_parent, NodeId new_parent) {
+  if (telemetry_ != nullptr) {
+    if (old_parent == kNoNode) {
+      telemetry_->on_join(id_, new_parent);
+    } else if (new_parent != kNoNode) {
+      telemetry_->on_parent_switch(id_, old_parent, new_parent);
+    } else {
+      telemetry_->on_detach(id_, old_parent);
+    }
+  }
   if (old_parent != kNoNode) {
     if (new_parent != kNoNode) {
       mac_.queues().retarget(old_parent, new_parent);
     } else {
       // Detached (local repair): the backlog has nowhere to go.
       const std::size_t dropped = mac_.queues().drop_queue(old_parent);
-      if (stats_ != nullptr)
-        for (std::size_t i = 0; i < dropped; ++i) stats_->on_no_route(id_, sim_.now());
+      for (std::size_t i = 0; i < dropped; ++i) {
+        if (telemetry_ != nullptr)
+          telemetry_->on_drop(id_, Telemetry::DropKind::kNoRoute);
+        if (stats_ != nullptr) stats_->on_no_route(id_, sim_.now());
+      }
     }
   }
   sixp_.abort_peer(old_parent);
@@ -128,6 +162,7 @@ void Node::generate_packet() {
   const NodeId parent = rpl_.parent();
   if (stats_ != nullptr) stats_->on_generated(id_, sim_.now());
   if (parent == kNoNode || !mac_.associated()) {
+    if (telemetry_ != nullptr) telemetry_->on_drop(id_, Telemetry::DropKind::kNoRoute);
     if (stats_ != nullptr) stats_->on_no_route(id_, sim_.now());
     return;
   }
@@ -137,29 +172,64 @@ void Node::generate_packet() {
   data.generated_at = sim_.now();
   data.hops = 0;
   if (!mac_.enqueue(make_data_frame(id_, parent, data))) {
+    if (telemetry_ != nullptr) telemetry_->on_drop(id_, Telemetry::DropKind::kQueue);
     if (stats_ != nullptr) stats_->on_queue_drop(id_, sim_.now());
+  }
+}
+
+void Node::send_probe() {
+  GTTSCH_CHECK(telemetry_ != nullptr);
+  if (failed_ || is_root_) return;
+  const TimeUs now = sim_.now();
+  DataPayload data;
+  data.origin = id_;
+  data.seq = probe_seq_++;
+  data.generated_at = now;
+  data.hops = 0;
+  data.is_probe = true;
+  telemetry_->on_probe_sent(id_, data.seq);
+  // Probes deliberately skip sf_->on_local_packet_generated(): they are
+  // measurement traffic and must not inflate the scheduler's demand
+  // estimate.
+  const bool panels = telemetry_->probes_in_panels();
+  if (panels && stats_ != nullptr) stats_->on_generated(id_, now);
+  const NodeId parent = rpl_.parent();
+  if (parent == kNoNode || !mac_.associated()) {
+    telemetry_->on_drop(id_, Telemetry::DropKind::kNoRoute);
+    if (panels && stats_ != nullptr) stats_->on_no_route(id_, now);
+    return;
+  }
+  if (!mac_.enqueue(make_data_frame(id_, parent, data))) {
+    telemetry_->on_drop(id_, Telemetry::DropKind::kQueue);
+    if (panels && stats_ != nullptr) stats_->on_queue_drop(id_, now);
   }
 }
 
 void Node::handle_data(const Frame& frame) {
   const DataPayload& data = frame.as<DataPayload>();
   if (is_root_) {
-    if (stats_ != nullptr) stats_->on_delivered(id_, data, sim_.now());
+    if (data.is_probe && telemetry_ != nullptr)
+      telemetry_->on_probe_delivered(data.origin, data.seq, data.generated_at,
+                                     data.hops, sim_.now());
+    if (stats_ != nullptr && count_in_panels(data))
+      stats_->on_delivered(id_, data, sim_.now());
     return;
   }
   // Forward upward.
   const NodeId parent = rpl_.parent();
   if (parent == kNoNode) {
-    if (stats_ != nullptr) stats_->on_no_route(id_, sim_.now());
+    if (telemetry_ != nullptr) telemetry_->on_drop(id_, Telemetry::DropKind::kNoRoute);
+    if (stats_ != nullptr && count_in_panels(data)) stats_->on_no_route(id_, sim_.now());
     return;
   }
   DataPayload fwd = data;
   fwd.hops = static_cast<std::uint8_t>(data.hops + 1);
   if (!mac_.enqueue(make_data_frame(id_, parent, fwd))) {
-    if (stats_ != nullptr) stats_->on_queue_drop(id_, sim_.now());
+    if (telemetry_ != nullptr) telemetry_->on_drop(id_, Telemetry::DropKind::kQueue);
+    if (stats_ != nullptr && count_in_panels(data)) stats_->on_queue_drop(id_, sim_.now());
     return;
   }
-  if (stats_ != nullptr) stats_->on_forwarded(id_, sim_.now());
+  if (stats_ != nullptr && count_in_panels(data)) stats_->on_forwarded(id_, sim_.now());
 }
 
 }  // namespace gttsch

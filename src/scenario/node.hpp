@@ -19,6 +19,8 @@
 
 namespace gttsch {
 
+class Telemetry;
+
 enum class SchedulerKind { kGtTsch, kOrchestra };
 
 struct NodeStackConfig {
@@ -72,6 +74,16 @@ class Node final : public MacUpcalls, public RplCallbacks {
 
   std::uint64_t app_generated() const { return app_generated_; }
 
+  /// Attach a telemetry recorder (null detaches). Hooks are pointer-gated
+  /// null checks, so a run without telemetry stays allocation-free.
+  void set_telemetry(Telemetry* telemetry);
+
+  /// Send one telemetry probe frame toward the root: real traffic marked
+  /// DataPayload::is_probe, excluded from the RunStats panel metrics
+  /// unless the telemetry config counts probes in panels. Only valid with
+  /// a telemetry recorder attached.
+  void send_probe();
+
   // MacUpcalls:
   void mac_associated(Asn asn, const Frame& eb) override;
   void mac_frame_received(const Frame& frame) override;
@@ -84,11 +96,15 @@ class Node final : public MacUpcalls, public RplCallbacks {
  private:
   void generate_packet();
   void handle_data(const Frame& frame);
+  /// False only for probe frames the telemetry config excludes from the
+  /// panel metrics.
+  bool count_in_panels(const DataPayload& data) const;
 
   Simulator& sim_;
   NodeId id_;
   bool is_root_;
   RunStats* stats_;
+  Telemetry* telemetry_ = nullptr;
   Rng rng_;
 
   Radio radio_;
@@ -104,6 +120,7 @@ class Node final : public MacUpcalls, public RplCallbacks {
 
   std::uint32_t app_seq_ = 0;
   std::uint64_t app_generated_ = 0;
+  std::uint32_t probe_seq_ = 0;
   bool failed_ = false;
 };
 

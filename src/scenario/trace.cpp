@@ -12,6 +12,7 @@
 
 #include "phy/dynamic_link.hpp"
 #include "scenario/network.hpp"
+#include "stats/telemetry.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -419,10 +420,14 @@ void TracePlayer::start() {
 
 void TracePlayer::apply(const TraceEvent& event) {
   Node& node = net_.node(event.node);
+  Telemetry* telemetry = net_.telemetry();
   if (event.kind == TraceEventKind::kMove) {
     node.move_to(event.pos);
+    if (telemetry != nullptr)
+      telemetry->on_trace_move(event.node, event.pos.x, event.pos.y);
   } else {
     node.fail();
+    if (telemetry != nullptr) telemetry->on_trace_fail(event.node);
   }
   ++applied_;
 }

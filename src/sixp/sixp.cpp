@@ -55,6 +55,7 @@ void SixpAgent::on_frame(const Frame& frame) {
   const SixpCommand command = it->second.command;
   outstanding_.erase(it);
   ++counters_.responses_received;
+  if (observer_) observer_(peer, command, false, p.code == SixpReturnCode::kSuccess);
   if (callbacks_ != nullptr) callbacks_->sixp_transaction_done(peer, command, false, p);
 }
 
@@ -65,6 +66,7 @@ void SixpAgent::on_timeout(NodeId peer) {
   outstanding_.erase(it);
   ++counters_.timeouts;
   GTTSCH_LOG_DEBUG("6p", "node %u: transaction to %u timed out", mac_.id(), peer);
+  if (observer_) observer_(peer, command, true, false);
   if (callbacks_ != nullptr)
     callbacks_->sixp_transaction_done(peer, command, true, SixpPayload{});
 }

@@ -46,6 +46,15 @@ class SixpAgent {
 
   void set_callbacks(SixpSfCallbacks* cb) { callbacks_ = cb; }
 
+  /// Read-only telemetry tap, invoked (before the SF callback) whenever a
+  /// transaction this agent initiated concludes. `ok` means a response
+  /// arrived with return code SUCCESS.
+  using TransactionObserver =
+      std::function<void(NodeId peer, SixpCommand command, bool timed_out, bool ok)>;
+  void set_transaction_observer(TransactionObserver observer) {
+    observer_ = std::move(observer);
+  }
+
   /// Initiate a transaction toward `peer`. Returns false when one is
   /// already outstanding toward that peer (RFC 8480 rule) or the request
   /// could not be queued.
@@ -74,6 +83,7 @@ class SixpAgent {
   TschMac& mac_;
   TimeUs response_timeout_;
   SixpSfCallbacks* callbacks_ = nullptr;
+  TransactionObserver observer_;
   std::map<NodeId, std::uint8_t> next_seqnum_;
   std::map<NodeId, Transaction> outstanding_;
   SixpCounters counters_;

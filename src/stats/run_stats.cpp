@@ -18,8 +18,17 @@ void RunStats::register_node(NodeId id, bool is_root, const Radio* radio) {
   counters_[id];  // default-construct
 }
 
+void RunStats::set_churn_phases(TimeUs t1, TimeUs t2) {
+  GTTSCH_CHECK(t1 <= t2);
+  phases_enabled_ = true;
+  phase_t1_ = t1;
+  phase_t2_ = t2;
+}
+
 void RunStats::on_generated(NodeId origin, TimeUs now) {
-  if (in_window(now)) ++counters_[origin].generated;
+  if (!in_window(now)) return;
+  ++counters_[origin].generated;
+  if (phases_enabled_) ++phase_generated_[phase_of(now)];
 }
 
 void RunStats::on_delivered(NodeId root, const DataPayload& data, TimeUs now) {
@@ -29,6 +38,13 @@ void RunStats::on_delivered(NodeId root, const DataPayload& data, TimeUs now) {
   delay_ms_.add(us_to_ms(now - data.generated_at));
   delay_hist_.add(us_to_ms(now - data.generated_at));
   hops_.add(static_cast<double>(data.hops));
+  if (phases_enabled_) {
+    // Attributed by generation time (like the window itself), so the
+    // per-phase counters sum exactly to the whole-run ones.
+    const std::size_t phase = phase_of(data.generated_at);
+    ++phase_delivered_[phase];
+    phase_delay_ms_[phase].add(us_to_ms(now - data.generated_at));
+  }
 }
 
 void RunStats::on_forwarded(NodeId node, TimeUs now) {
@@ -106,6 +122,27 @@ RunMetrics RunStats::finalize() const {
 
   for (const auto& [id, entry] : nodes_)
     if (entry.joined) ++m.nodes_joined;
+
+  if (phases_enabled_) {
+    m.churn_phases = 1;
+    m.pre_generated = phase_generated_[0];
+    m.churn_generated = phase_generated_[1];
+    m.post_generated = phase_generated_[2];
+    m.pre_delivered = phase_delivered_[0];
+    m.churn_delivered = phase_delivered_[1];
+    m.post_delivered = phase_delivered_[2];
+    const auto pdr = [](std::uint64_t gen, std::uint64_t del) {
+      return gen == 0 ? 0.0
+                      : 100.0 * static_cast<double>(del) /
+                            static_cast<double>(gen);
+    };
+    m.pre_pdr_percent = pdr(m.pre_generated, m.pre_delivered);
+    m.churn_pdr_percent = pdr(m.churn_generated, m.churn_delivered);
+    m.post_pdr_percent = pdr(m.post_generated, m.post_delivered);
+    m.pre_avg_delay_ms = phase_delay_ms_[0].mean();
+    m.churn_avg_delay_ms = phase_delay_ms_[1].mean();
+    m.post_avg_delay_ms = phase_delay_ms_[2].mean();
+  }
   return m;
 }
 

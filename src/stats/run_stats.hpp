@@ -45,7 +45,37 @@ struct RunMetrics {
   double measure_minutes = 0.0;
   std::uint64_t nodes_joined = 0;  ///< nodes with an RPL parent (or root)
   std::uint64_t node_count = 0;
+
+  // --- churn-phase split (set when the run's trace kills nodes) --------
+  // The measurement window is partitioned at the first failure (t1) and
+  // the last failure plus a settle margin (t2): pre = [warmup, t1),
+  // churn = [t1, t2), post = [t2, measure_end]. Both generated and
+  // delivered are attributed by *generation* time, so the three phases
+  // sum exactly to the whole-run counters above.
+  std::uint64_t churn_phases = 0;     ///< 0 = no split, 1 = split active
+  std::uint64_t pre_generated = 0;
+  std::uint64_t churn_generated = 0;
+  std::uint64_t post_generated = 0;
+  std::uint64_t pre_delivered = 0;
+  std::uint64_t churn_delivered = 0;
+  std::uint64_t post_delivered = 0;
+  double pre_pdr_percent = 0.0;
+  double churn_pdr_percent = 0.0;
+  double post_pdr_percent = 0.0;
+  double pre_avg_delay_ms = 0.0;
+  double churn_avg_delay_ms = 0.0;
+  double post_avg_delay_ms = 0.0;
+
+  // --- probe time-series summary (telemetry runs only) -----------------
+  std::uint64_t probes_sent = 0;
+  std::uint64_t probes_delivered = 0;
+  double probe_pdr_percent = 0.0;
+  double probe_avg_latency_ms = 0.0;
 };
+
+/// Settle margin after the last trace failure before the "post" churn
+/// phase begins: routes usually need tens of seconds to re-converge.
+inline constexpr TimeUs kChurnSettle = 60000000;
 
 class RunStats {
  public:
@@ -73,6 +103,10 @@ class RunStats {
   /// Report whether a node ended the run joined (set before finalize).
   void set_joined(NodeId node, bool joined);
 
+  /// Enable the churn-phase split: pre = [warmup, t1), churn = [t1, t2),
+  /// post = [t2, measure_end]. Call before the run starts.
+  void set_churn_phases(TimeUs t1, TimeUs t2);
+
   RunMetrics finalize() const;
   const std::map<NodeId, NodeCounters>& per_node() const { return counters_; }
   TimeUs warmup() const { return warmup_; }
@@ -80,9 +114,19 @@ class RunStats {
 
  private:
   bool in_window(TimeUs t) const { return t >= warmup_ && t <= measure_end_; }
+  /// Phase index (0 pre / 1 churn / 2 post) of an in-window timestamp.
+  std::size_t phase_of(TimeUs t) const {
+    return t < phase_t1_ ? 0 : t < phase_t2_ ? 1 : 2;
+  }
 
   TimeUs warmup_;
   TimeUs measure_end_;
+  bool phases_enabled_ = false;
+  TimeUs phase_t1_ = 0;
+  TimeUs phase_t2_ = 0;
+  std::uint64_t phase_generated_[3] = {0, 0, 0};
+  std::uint64_t phase_delivered_[3] = {0, 0, 0};
+  SummaryStats phase_delay_ms_[3];
   struct NodeEntry {
     bool is_root = false;
     const Radio* radio = nullptr;

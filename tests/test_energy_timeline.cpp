@@ -7,7 +7,7 @@
 #include "phy/medium.hpp"
 #include "sim/simulator.hpp"
 #include "stats/energy.hpp"
-#include "stats/timeline.hpp"
+#include "stats/telemetry.hpp"
 
 namespace gttsch {
 namespace {

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Validate telemetry JSONL files emitted by gt_campaign --telemetry-dir.
+
+Usage: check_telemetry.py FILE.jsonl [FILE.jsonl ...]
+
+Checks, per file:
+  * every line parses as one JSON object,
+  * every record has a numeric "t_s" and a known "type"
+    (sample / probe / event / summary),
+  * timestamps are monotone non-decreasing across the stream,
+  * type-specific schema keys are present (samples carry the gauge
+    panel, probes carry origin/seq/latency_ms, events carry event/node),
+  * the stream contains at least one sample and ends with the summary.
+
+Exit codes: 0 all files valid, 1 validation failure, 2 unreadable file
+or bad usage.
+"""
+
+import json
+import sys
+
+KNOWN_TYPES = {"sample", "probe", "event", "summary"}
+REQUIRED_KEYS = {
+    "sample": ("joined", "queue", "tx_cells", "mean_etx", "duty_percent",
+               "drops", "probes_sent", "probes_delivered"),
+    "probe": ("origin", "seq", "latency_ms", "hops"),
+    "event": ("event", "node"),
+    "summary": ("samples", "events", "events_dropped", "probes_sent",
+                "probes_delivered"),
+}
+
+
+def check_file(path):
+    """Returns a list of problem strings (empty = valid)."""
+    problems = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        raise SystemExit(f"check_telemetry: cannot read {path}: {e}")
+
+    last_t = None
+    counts = {t: 0 for t in KNOWN_TYPES}
+    last_type = None
+    for i, line in enumerate(lines, start=1):
+        if not line.strip():
+            problems.append(f"line {i}: empty line")
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as e:
+            problems.append(f"line {i}: not JSON ({e})")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"line {i}: not a JSON object")
+            continue
+        t_s = record.get("t_s")
+        if not isinstance(t_s, (int, float)):
+            problems.append(f"line {i}: missing numeric t_s")
+        elif last_t is not None and t_s < last_t:
+            problems.append(f"line {i}: t_s {t_s} < previous {last_t}")
+        else:
+            last_t = t_s
+        kind = record.get("type")
+        if kind not in KNOWN_TYPES:
+            problems.append(f"line {i}: unknown type {kind!r}")
+            continue
+        counts[kind] += 1
+        last_type = kind
+        missing = [k for k in REQUIRED_KEYS[kind] if k not in record]
+        if missing:
+            problems.append(f"line {i}: {kind} record missing {missing}")
+
+    if not lines:
+        problems.append("file is empty")
+    if counts["sample"] == 0:
+        problems.append("no sample records")
+    if counts["summary"] != 1 or last_type != "summary":
+        problems.append("stream must end with exactly one summary record")
+    return problems
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        problems = check_file(path)
+        if problems:
+            failed = True
+            for p in problems[:20]:
+                print(f"{path}: {p}", file=sys.stderr)
+            if len(problems) > 20:
+                print(f"{path}: ... {len(problems) - 20} more", file=sys.stderr)
+        else:
+            print(f"{path}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

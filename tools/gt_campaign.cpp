@@ -18,11 +18,13 @@
 // usage (unknown flag/field, malformed value, mismatched journal).
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <set>
 
 #include "campaign/journal.hpp"
 #include "campaign/report.hpp"
 #include "campaign/runner.hpp"
+#include "stats/telemetry.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -54,6 +56,13 @@ void print_usage() {
       "  --batch N      seeds added per adaptive wave (default 2)\n"
       "  --metric NAME  adaptive stopping metric (default pdr_percent)\n"
       "  --out PREFIX   write PREFIX.csv and PREFIX.json artifacts\n"
+      "  --telemetry-dir DIR     write one telemetry JSONL per job into DIR\n"
+      "                          (pointNNN_seedNN.jsonl: gauge samples, event\n"
+      "                          trace, probe records; see README Observability)\n"
+      "  --telemetry-period S    gauge sampling period in seconds (default 1)\n"
+      "  --telemetry-probes N    probe-sender nodes per run (default 0; probes\n"
+      "                          are excluded from the panel metrics)\n"
+      "  --telemetry-probe-period S  per-sender probe period (default 10)\n"
       "  --quiet        suppress per-job progress on stderr\n"
       "  --list-fields  print the sweepable ScenarioConfig fields and exit\n"
       "  --list-metrics print the adaptive stopping metrics and exit\n"
@@ -183,6 +192,61 @@ int run_campaign_command(const Flags& flags) {
 
   if (!campaign::parse_campaign_flags(flags, &options, &error)) {
     return fail_usage("bad option", error);
+  }
+
+  // In-run telemetry: when --telemetry-dir is given, each job runs with a
+  // private Telemetry recorder and writes DIR/pointNNN_seedNN.jsonl. The
+  // sub-flags are meaningless without the directory, so reject them alone
+  // rather than silently ignoring a half-typed request.
+  const std::string telemetry_dir = flags.get("telemetry-dir", "");
+  const double telemetry_period_s = flags.get_double("telemetry-period", 1.0);
+  const double probe_period_s = flags.get_double("telemetry-probe-period", 10.0);
+  const std::int64_t telemetry_probes = flags.get_int("telemetry-probes", 0);
+  if (telemetry_dir.empty()) {
+    for (const char* sub :
+         {"telemetry-period", "telemetry-probes", "telemetry-probe-period"}) {
+      if (flags.has(sub)) {
+        return fail_usage(("--" + std::string(sub)).c_str(),
+                          "requires --telemetry-dir");
+      }
+    }
+  } else {
+    if (telemetry_period_s <= 0.0) {
+      return fail_usage("--telemetry-period", "must be > 0 seconds");
+    }
+    if (probe_period_s <= 0.0) {
+      return fail_usage("--telemetry-probe-period", "must be > 0 seconds");
+    }
+    if (telemetry_probes < 0) {
+      return fail_usage("--telemetry-probes", "must be >= 0");
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(telemetry_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "gt_campaign: cannot create %s: %s\n",
+                   telemetry_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+    TelemetryConfig telemetry_config;
+    telemetry_config.sample_period =
+        static_cast<TimeUs>(telemetry_period_s * 1e6);
+    telemetry_config.probe_count = static_cast<int>(telemetry_probes);
+    telemetry_config.probe_period = static_cast<TimeUs>(probe_period_s * 1e6);
+    options.runner.run_job_fn = [telemetry_dir, telemetry_config](
+                                    const campaign::Job& job) {
+      Telemetry telemetry(telemetry_config);
+      const ExperimentResult result = run_scenario(job.config, &telemetry);
+      char name[48];
+      std::snprintf(name, sizeof name, "point%03zu_seed%02zu.jsonl",
+                    job.point_index, job.seed_index);
+      const std::string path = telemetry_dir + "/" + name;
+      // A failed artifact write must not poison the campaign result;
+      // warn and keep the (already computed) metrics.
+      if (!telemetry.write_jsonl(path)) {
+        std::fprintf(stderr, "gt_campaign: failed to write %s\n", path.c_str());
+      }
+      return result;
+    };
   }
 
   const std::string out_prefix = flags.get("out", "");
