@@ -30,13 +30,13 @@ int main() {
 
   struct Variant {
     const char* name;
-    SchedulerKind kind;
+    const char* kind;  ///< SfRegistry key
     bool channel_hash;
   };
   const Variant variants[] = {
-      {"GT-TSCH (Alg 1 channels)", SchedulerKind::kGtTsch, false},
-      {"Orchestra (fixed offset)", SchedulerKind::kOrchestra, false},
-      {"Orchestra (hashed offset)", SchedulerKind::kOrchestra, true},
+      {"GT-TSCH (Alg 1 channels)", "gt-tsch", false},
+      {"Orchestra (fixed offset)", "orchestra", false},
+      {"Orchestra (hashed offset)", "orchestra", true},
   };
 
   TablePrinter t({"variant", "PDR %", "collisions", "collision %", "PRR losses", "tx"});

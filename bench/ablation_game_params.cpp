@@ -60,7 +60,7 @@ int main() {
                   "duty %"});
   for (const Setting& s : settings) {
     ScenarioConfig c;
-    c.scheduler = SchedulerKind::kGtTsch;
+    c.scheduler = "gt-tsch";
     c.dodag_count = 1;
     c.nodes_per_dodag = 7;
     c.traffic_ppm = 120.0;

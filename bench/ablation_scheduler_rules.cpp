@@ -31,7 +31,7 @@ int main() {
                   "loss/min", "throughput/min"});
   for (const Variant& v : variants) {
     ScenarioConfig c;
-    c.scheduler = SchedulerKind::kGtTsch;
+    c.scheduler = "gt-tsch";
     c.dodag_count = 2;
     c.nodes_per_dodag = 9;       // saturate the forwarders
     c.traffic_ppm = 165.0;

@@ -17,9 +17,9 @@ int main(int argc, char** argv) {
   for (const int len : {8, 12, 16, 20}) {
     SweepPoint p;
     p.label = TablePrinter::num(static_cast<std::int64_t>(len));
-    p.gt = paper_base(SchedulerKind::kGtTsch);
+    p.gt = paper_base("gt-tsch");
     p.gt.gt_slotframe_length = static_cast<std::uint16_t>(4 * len);
-    p.orchestra = paper_base(SchedulerKind::kOrchestra);
+    p.orchestra = paper_base("orchestra");
     p.orchestra.orchestra_unicast_length = static_cast<std::uint16_t>(len);
     points.push_back(std::move(p));
   }

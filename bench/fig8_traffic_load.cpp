@@ -16,9 +16,9 @@ int main(int argc, char** argv) {
   for (const double ppm : {30.0, 75.0, 120.0, 165.0}) {
     SweepPoint p;
     p.label = TablePrinter::num(static_cast<std::int64_t>(ppm));
-    p.gt = paper_base(SchedulerKind::kGtTsch);
+    p.gt = paper_base("gt-tsch");
     p.gt.traffic_ppm = ppm;
-    p.orchestra = paper_base(SchedulerKind::kOrchestra);
+    p.orchestra = paper_base("orchestra");
     p.orchestra.traffic_ppm = ppm;
     points.push_back(std::move(p));
   }

@@ -15,9 +15,9 @@ int main(int argc, char** argv) {
   for (const int size : {6, 7, 8, 9}) {
     SweepPoint p;
     p.label = TablePrinter::num(static_cast<std::int64_t>(size));
-    p.gt = paper_base(SchedulerKind::kGtTsch);
+    p.gt = paper_base("gt-tsch");
     p.gt.nodes_per_dodag = size;
-    p.orchestra = paper_base(SchedulerKind::kOrchestra);
+    p.orchestra = paper_base("orchestra");
     p.orchestra.nodes_per_dodag = size;
     points.push_back(std::move(p));
   }

@@ -270,7 +270,7 @@ inline int run_figure(int argc, char** argv, const char* figure,
 }
 
 /// Shared base configuration for the paper's evaluation (Section VIII).
-inline ScenarioConfig paper_base(SchedulerKind kind) {
+inline ScenarioConfig paper_base(const std::string& kind) {
   using namespace literals;
   ScenarioConfig c;
   c.scheduler = kind;

@@ -1,7 +1,9 @@
 // Bench: network-formation dynamics (the concern of Vallati et al. [32],
-// discussed in the paper's related work). Measures, for both schedulers,
-// when every node has (a) associated to TSCH, (b) acquired an RPL parent,
-// and — GT-TSCH only — (c) completed the 6P bootstrap to Operational.
+// discussed in the paper's related work). Measures, for every scheduler
+// in the SfRegistry zoo, when every node has (a) associated to TSCH,
+// (b) acquired an RPL parent, and (c) reached SchedulingFunction::
+// operational() (GT-TSCH: the 6P bootstrap; e-MSF: the first negotiated
+// cell; autonomous SFs: association).
 //
 // Runs on the campaign engine, so it speaks the full scale-out flag set
 // shared with the figure benches (see figure_common.hpp / ROADMAP):
@@ -11,7 +13,7 @@
 //   overrides, e.g. trace_kind=random-walk for formation under mobility)
 // Journal/CSV metric mapping (formation seconds ride in the panel slots):
 //   pdr_percent <- assoc_s, avg_delay_ms <- joined_s,
-//   p95_delay_ms <- operational_s (0 for Orchestra); 600 = never (budget).
+//   p95_delay_ms <- operational_s; 600 = never (budget).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -23,6 +25,7 @@
 #include "phy/dynamic_link.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/network.hpp"
+#include "sixp/sf_registry.hpp"
 #include "stats/telemetry.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -37,7 +40,7 @@ constexpr double kBudgetSeconds = 600;
 struct FormationResult {
   double assoc_s = -1;        ///< last node associated
   double joined_s = -1;       ///< last node joined RPL
-  double operational_s = -1;  ///< last GT node operational (GT only)
+  double operational_s = -1;  ///< last node's SF operational()
   bool formed = false;
 };
 
@@ -87,12 +90,11 @@ FormationResult measure(const ScenarioConfig& sc) {
   sampler.add_gauge("joined", [&count_non_roots] {
     return count_non_roots([](Node& n) { return n.rpl().joined(); });
   });
-  // Orchestra nodes have no 6P bootstrap and count as trivially operational.
+  // The common-interface stage: associated AND the SF reports itself
+  // operational (autonomous SFs: immediately; 6P SFs: after bootstrap).
   sampler.add_gauge("operational", [&count_non_roots] {
-    return count_non_roots([](Node& n) {
-      const auto* sf = n.gt_sf();
-      return sf == nullptr || sf->stage() == GtTschSf::Stage::kOperational;
-    });
+    return count_non_roots(
+        [](Node& n) { return n.mac().associated() && n.sf().operational(); });
   });
   sampler.start();
 
@@ -101,11 +103,9 @@ FormationResult measure(const ScenarioConfig& sc) {
     net.sim().run_until(static_cast<TimeUs>(t) * 1000000);
     if (r.assoc_s < 0 && sampler.latest("assoc") == total) r.assoc_s = t;
     if (r.joined_s < 0 && sampler.latest("joined") == total) r.joined_s = t;
-    if (sc.scheduler == SchedulerKind::kGtTsch && r.operational_s < 0 &&
-        sampler.latest("operational") == total)
+    if (r.operational_s < 0 && sampler.latest("operational") == total)
       r.operational_s = t;
-    if (r.joined_s >= 0 &&
-        (sc.scheduler != SchedulerKind::kGtTsch || r.operational_s >= 0)) {
+    if (r.joined_s >= 0 && r.operational_s >= 0) {
       r.formed = true;
       break;
     }
@@ -121,26 +121,25 @@ ExperimentResult run_formation_job(const ScenarioConfig& sc) {
   ExperimentResult out;
   out.metrics.pdr_percent = r.assoc_s > 0 ? r.assoc_s : kBudgetSeconds;
   out.metrics.avg_delay_ms = r.joined_s > 0 ? r.joined_s : kBudgetSeconds;
-  // Operational is a GT-TSCH-only stage: 0 marks "not applicable"
-  // (Orchestra); a GT run that never got there charges the full budget so
+  // A run that never got every SF operational charges the full budget so
   // bootstrap failures cannot average (or CI-converge) toward zero.
-  if (sc.scheduler == SchedulerKind::kGtTsch)
-    out.metrics.p95_delay_ms = r.operational_s > 0 ? r.operational_s : kBudgetSeconds;
+  out.metrics.p95_delay_ms = r.operational_s > 0 ? r.operational_s : kBudgetSeconds;
   out.metrics.node_count = static_cast<std::uint64_t>(sc.nodes_per_dodag);
   out.fully_formed = r.formed;
   return out;
 }
 
 std::vector<campaign::GridPoint> formation_grid() {
+  // The scheduler axis is the registry, not a hard-coded pair: a newly
+  // registered SF shows up in this bench with zero edits here.
   std::vector<campaign::GridPoint> grid;
   for (const int nodes : {4, 7, 9}) {
-    for (const SchedulerKind kind : {SchedulerKind::kGtTsch, SchedulerKind::kOrchestra}) {
-      const char* scheduler = kind == SchedulerKind::kGtTsch ? "gt-tsch" : "orchestra";
+    for (const std::string& scheduler : SfRegistry::instance().names()) {
       campaign::GridPoint g;
       g.index = grid.size();
       g.label = "nodes=" + std::to_string(nodes) + " scheduler=" + scheduler;
       g.coords = {{"nodes", std::to_string(nodes)}, {"scheduler", scheduler}};
-      g.config.scheduler = kind;
+      g.config.scheduler = scheduler;
       g.config.dodag_count = 1;
       g.config.nodes_per_dodag = nodes;
       g.config.traffic_ppm = 0.0;
@@ -203,19 +202,18 @@ int main(int argc, char** argv) {
     if (s.n > 1) text += " ±" + TablePrinter::num(s.stddev, 1);
     return text;
   };
-  TablePrinter t({"nodes", "scheduler", "assoc", "RPL joined", "GT operational"});
+  TablePrinter t({"nodes", "scheduler", "assoc", "RPL joined", "SF operational"});
   for (const auto& agg : result.aggregates) {
     if (agg.coords.size() < 2) continue;  // point owned by another shard
-    const bool gt = agg.coords[1].second == "gt-tsch";
-    t.add_row({agg.coords[0].second, gt ? "GT-TSCH" : "Orchestra",
+    t.add_row({agg.coords[0].second, scheduler_name(agg.coords[1].second),
                cell(agg.pdr_percent), cell(agg.avg_delay_ms),
-               cell(agg.p95_delay_ms, gt)});
+               cell(agg.p95_delay_ms)});
   }
   t.print();
   std::printf("\nMetric slots: assoc -> pdr_percent, joined -> avg_delay_ms, "
               "operational -> p95_delay_ms (for --metric / CSV columns).\n"
-              "GT-TSCH's extra stage (ASK-CHANNEL + 6P bootstrap) costs little\n"
-              "beyond RPL join; association dominates for both schedulers.\n");
+              "Negotiating SFs (GT-TSCH, e-MSF) pay an extra bootstrap stage\n"
+              "beyond RPL join; association dominates for the autonomous ones.\n");
 
   if (!out_prefix.empty()) {
     const std::string csv_path = out_prefix + ".csv";

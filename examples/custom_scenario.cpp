@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "scenario/experiment.hpp"
+#include "sixp/sf_registry.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
 
@@ -16,8 +17,10 @@ int main(int argc, char** argv) {
 
   Flags flags(argc, argv);
   if (flags.has("help")) {
+    std::printf(
+        "options: --scheduler=%s --dodags=N --nodes=N --ppm=R\n",
+        SfRegistry::instance().names_joined("|").c_str());
     std::puts(
-        "options: --scheduler=gt|orchestra --dodags=N --nodes=N --ppm=R\n"
         "         --slotframe=M --orchestra-unicast=L --alpha --beta --gamma\n"
         "         --queue=N --range=M --interference=F --prr=P\n"
         "         --warmup-s=S --measure-s=S --seeds=N --seed0=N --drift-ppm=D\n"
@@ -26,8 +29,15 @@ int main(int argc, char** argv) {
   }
 
   ScenarioConfig c;
-  c.scheduler = flags.get("scheduler", "gt") == "orchestra" ? SchedulerKind::kOrchestra
-                                                            : SchedulerKind::kGtTsch;
+  // Any registry key or alias ("gt" canonicalises to "gt-tsch").
+  const std::string scheduler = flags.get("scheduler", "gt");
+  const SfRegistry::Entry* sf_entry = SfRegistry::instance().find(scheduler);
+  if (sf_entry == nullptr) {
+    std::fprintf(stderr, "unknown --scheduler=%s (expected %s)\n", scheduler.c_str(),
+                 SfRegistry::instance().names_joined(", ").c_str());
+    return 2;
+  }
+  c.scheduler = sf_entry->key;
   c.dodag_count = static_cast<int>(flags.get_int("dodags", 2));
   c.nodes_per_dodag = static_cast<int>(flags.get_int("nodes", 7));
   c.traffic_ppm = flags.get_double("ppm", 120.0);

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "core/gt_tsch_sf.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/network.hpp"
 #include "util/flags.hpp"
@@ -36,7 +37,7 @@ int main(int argc, char** argv) {
   NodeStackConfig nc;
   {
     ScenarioConfig c;
-    c.scheduler = SchedulerKind::kGtTsch;
+    c.scheduler = "gt-tsch";
     c.traffic_ppm = 60.0;
     nc = c.make_node_config();
     nc.app_start = 120_s;
@@ -60,7 +61,7 @@ int main(int argc, char** argv) {
   TablePrinter t({"node", "parent", "rank", "ETX to parent", "tx cells", "stage"});
   for (const auto& [id, node] : net.nodes()) {
     if (node->is_root()) continue;
-    auto* sf = node->gt_sf();
+    const auto* sf = dynamic_cast<const GtTschSf*>(&node->sf());
     const NodeId parent = node->rpl().parent();
     t.add_row({TablePrinter::num(static_cast<std::int64_t>(id)),
                TablePrinter::num(static_cast<std::int64_t>(parent)),

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   NodeStackConfig nc;
   {
     ScenarioConfig sc;
-    sc.scheduler = SchedulerKind::kGtTsch;
+    sc.scheduler = "gt-tsch";
     sc.traffic_ppm = 60.0;
     nc = sc.make_node_config();
     nc.app_start = 120_s;
@@ -53,12 +53,10 @@ int main(int argc, char** argv) {
   });
   timeline.add_gauge("n3_etx", [&] { return net.node(3).etx().etx(2); });
   timeline.add_gauge("n3_tx_cells", [&] {
-    auto* sf = net.node(3).gt_sf();
-    return sf == nullptr ? 0.0 : static_cast<double>(sf->allocated_tx_cells());
+    return static_cast<double>(net.node(3).sf().dedicated_tx_cells());
   });
   timeline.add_gauge("n2_tx_cells", [&] {
-    auto* sf = net.node(2).gt_sf();
-    return sf == nullptr ? 0.0 : static_cast<double>(sf->allocated_tx_cells());
+    return static_cast<double>(net.node(2).sf().dedicated_tx_cells());
   });
   timeline.add_gauge("n3_rank", [&] { return static_cast<double>(net.node(3).rpl().rank()); });
 

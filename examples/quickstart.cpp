@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
 
   Flags flags(argc, argv);
   ScenarioConfig config;
-  config.scheduler = SchedulerKind::kGtTsch;
+  config.scheduler = "gt-tsch";
   config.dodag_count = 1;
   config.nodes_per_dodag = static_cast<int>(flags.get_int("nodes", 7));
   config.traffic_ppm = flags.get_double("ppm", 60.0);

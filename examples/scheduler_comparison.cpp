@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   std::vector<std::uint64_t> seeds;
   for (int i = 0; i < n_seeds; ++i) seeds.push_back(7000 + 13ull * i);
 
-  auto configure = [&](SchedulerKind kind) {
+  auto configure = [&](const std::string& kind) {
     ScenarioConfig c;
     c.scheduler = kind;
     c.dodag_count = 2;
@@ -32,8 +32,8 @@ int main(int argc, char** argv) {
 
   std::printf("Scheduler comparison: 14 nodes (2 DODAGs), %.0f ppm/node, %d seed(s)\n\n",
               ppm, n_seeds);
-  const auto gt = run_averaged(configure(SchedulerKind::kGtTsch), seeds);
-  const auto orch = run_averaged(configure(SchedulerKind::kOrchestra), seeds);
+  const auto gt = run_averaged(configure("gt-tsch"), seeds);
+  const auto orch = run_averaged(configure("orchestra"), seeds);
 
   TablePrinter t({"metric", "GT-TSCH", "Orchestra"});
   auto row = [&](const char* name, double a, double b, int prec) {

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   double building_pdr = 0.0;
   for (int floor = 0; floor < floors; ++floor) {
     ScenarioConfig c;
-    c.scheduler = SchedulerKind::kGtTsch;
+    c.scheduler = "gt-tsch";
     c.dodag_count = 1;
     c.nodes_per_dodag = nodes_per_floor;
     c.traffic_ppm = (floor % 2 == 0) ? 30.0 : 90.0;

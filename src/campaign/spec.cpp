@@ -8,6 +8,8 @@
 #include <map>
 #include <set>
 
+#include "sixp/sf_registry.hpp"
+
 namespace gttsch::campaign {
 namespace {
 
@@ -67,16 +69,15 @@ bool set_number(ScenarioConfig& c, const std::string& value, std::string* error,
 }
 
 bool apply_scheduler(ScenarioConfig& c, const std::string& value, std::string* error) {
-  if (value == "gt-tsch" || value == "gt") {
-    c.scheduler = SchedulerKind::kGtTsch;
-    return true;
+  const SfRegistry::Entry* entry = SfRegistry::instance().find(value);
+  if (entry == nullptr) {
+    return fail(error, "scheduler: unknown value '" + value + "' (expected " +
+                           SfRegistry::instance().names_joined(", ") + ")");
   }
-  if (value == "orchestra") {
-    c.scheduler = SchedulerKind::kOrchestra;
-    return true;
-  }
-  return fail(error, "scheduler: unknown value '" + value +
-                         "' (expected gt-tsch or orchestra)");
+  // Canonicalize aliases ("gt" -> "gt-tsch") so fingerprints, journals and
+  // CSV labels never depend on which spelling the user typed.
+  c.scheduler = entry->key;
+  return true;
 }
 
 bool apply_topology(ScenarioConfig& c, const std::string& value, std::string* error) {
@@ -203,6 +204,16 @@ const FieldDef kFields[] = {
      [](ScenarioConfig& c, const std::string& v, std::string* e) {
        return set_number(c, v, e, "orchestra_unicast_length",
                          &ScenarioConfig::orchestra_unicast_length, 1, 65535);
+     }},
+    {"alice_unicast_length",
+     [](ScenarioConfig& c, const std::string& v, std::string* e) {
+       return set_number(c, v, e, "alice_unicast_length",
+                         &ScenarioConfig::alice_unicast_length, 1, 65535);
+     }},
+    {"emsf_slotframe_length",
+     [](ScenarioConfig& c, const std::string& v, std::string* e) {
+       return set_number(c, v, e, "emsf_slotframe_length",
+                         &ScenarioConfig::emsf_slotframe_length, 2, 65535);
      }},
     {"queue_capacity",
      [](ScenarioConfig& c, const std::string& v, std::string* e) {
@@ -341,9 +352,15 @@ std::vector<GridPoint> expand_grid(const CampaignSpec& spec, std::string* error)
         GridPoint q = p;
         // Validated above; re-applying cannot fail.
         apply_field(q.config, axis.field, value, nullptr);
-        q.coords.emplace_back(axis.field, value);
+        // The scheduler axis canonicalizes aliases ("gt" -> "gt-tsch"):
+        // labels, coords and therefore the campaign fingerprint use the
+        // canonical key, so journals and CSV rows cannot fork on which
+        // spelling the user typed.
+        const std::string& shown =
+            axis.field == "scheduler" ? q.config.scheduler : value;
+        q.coords.emplace_back(axis.field, shown);
         if (!q.label.empty()) q.label += ' ';
-        q.label += axis.field + '=' + value;
+        q.label += axis.field + '=' + shown;
         next.push_back(std::move(q));
       }
     }
@@ -543,7 +560,10 @@ const std::string& canonical_trace_content(const std::string& path,
 /// separately), in declaration order. The static_assert below fires when
 /// a field is added or resized: extend this list before adjusting it.
 void mix_config(Fingerprint& fp, const ScenarioConfig& c, TraceContentCache& cache) {
-  fp.mix(static_cast<std::uint64_t>(c.scheduler));
+  // The scheduler is hashed as its canonical name string, not an enum
+  // ordinal: registry order can change (new schedulers slot in) without
+  // invalidating every existing campaign journal.
+  fp.mix(c.scheduler);
   fp.mix(static_cast<std::uint64_t>(c.topology));
   fp.mix(static_cast<std::uint64_t>(c.dodag_count));
   fp.mix(static_cast<std::uint64_t>(c.nodes_per_dodag));
@@ -558,6 +578,8 @@ void mix_config(Fingerprint& fp, const ScenarioConfig& c, TraceContentCache& cac
   fp.mix(static_cast<std::uint64_t>(c.gt_slotframe_length));
   fp.mix(static_cast<std::uint64_t>(c.orchestra_unicast_length));
   fp.mix(static_cast<std::uint64_t>(c.orchestra_channel_hash));
+  fp.mix(static_cast<std::uint64_t>(c.alice_unicast_length));
+  fp.mix(static_cast<std::uint64_t>(c.emsf_slotframe_length));
   fp.mix(static_cast<std::uint64_t>(c.queue_capacity));
   fp.mix(c.alpha);
   fp.mix(c.beta);
@@ -589,7 +611,7 @@ void mix_config(Fingerprint& fp, const ScenarioConfig& c, TraceContentCache& cac
 // under libstdc++, 24 under libc++), so the tripwire is gated on libstdc++
 // — the library every CI leg builds against.
 #if (defined(__x86_64__) || defined(__aarch64__)) && defined(_GLIBCXX_RELEASE)
-static_assert(sizeof(ScenarioConfig) == 240,
+static_assert(sizeof(ScenarioConfig) == 280,
               "ScenarioConfig changed: add the new field to mix_config, then "
               "update this size");
 #endif

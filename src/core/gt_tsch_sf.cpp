@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.hpp"
+#include "sixp/sf_registry.hpp"
 #include "util/check.hpp"
 
 namespace gttsch {
@@ -36,11 +37,7 @@ Slotframe& GtTschSf::own_slotframe() {
   return *sf;
 }
 
-void GtTschSf::start(bool is_root) {
-  is_root_ = is_root;
-  rpl_.set_free_rx_provider([this] { return advertised_free_rx(); });
-  mac_.set_eb_provider([this] { return eb_info(); });
-}
+void GtTschSf::start(bool is_root) { is_root_ = is_root; }
 
 void GtTschSf::on_associated() {
   install_base_cells();
@@ -640,6 +637,19 @@ void GtTschSf::sixp_transaction_done(NodeId peer, SixpCommand command, bool time
     case SixpCommand::kClear:
       return;
   }
+}
+
+void register_gt_tsch_sf(SfRegistry& registry) {
+  SfRegistry::Entry entry;
+  entry.key = "gt-tsch";
+  entry.display_name = "GT-TSCH";
+  entry.summary = "game-theoretic 6P scheduling, family channels, load balancer";
+  entry.aliases = {"gt"};
+  entry.factory = [](const SfContext& ctx) -> std::unique_ptr<SchedulingFunction> {
+    return std::make_unique<GtTschSf>(ctx.sim, ctx.mac, ctx.rpl, ctx.sixp, ctx.etx,
+                                      ctx.configs.gt, ctx.rng);
+  };
+  registry.add(std::move(entry));
 }
 
 }  // namespace gttsch

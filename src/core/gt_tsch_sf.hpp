@@ -13,6 +13,7 @@
 //   AddSixp --(6P ADD of the two 6P cells)--> Operational (monitor runs).
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <vector>
@@ -55,6 +56,15 @@ class GtTschSf final : public SchedulingFunction, public SixpSfCallbacks {
   void on_local_packet_generated() override { ++generated_since_tick_; }
   std::uint16_t advertised_free_rx() override;
   std::optional<EbPayload> eb_info() override;
+
+  bool operational() const override { return stage_ == Stage::kOperational; }
+  int dedicated_tx_cells() const override { return allocated_tx_cells(); }
+  int dedicated_rx_cells() const override { return allocated_rx_cells(); }
+  /// Eq 1's l^tx-min: the game solution's current per-node demand
+  /// (clamped: the balancer's -1 "not yet solved" sentinel reads as 0).
+  double demand_estimate() const override {
+    return balancer_.l_tx_min() > 0 ? static_cast<double>(balancer_.l_tx_min()) : 0.0;
+  }
 
   // SixpSfCallbacks:
   SixpPayload sixp_handle_request(NodeId peer, const SixpPayload& request) override;

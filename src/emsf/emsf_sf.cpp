@@ -1,0 +1,428 @@
+#include "emsf/emsf_sf.hpp"
+
+#include <algorithm>
+
+#include "sixp/sf_registry.hpp"
+#include "util/check.hpp"
+
+namespace gttsch {
+
+namespace {
+constexpr std::uint16_t kSlotframeHandle = 0;
+
+std::uint32_t node_hash(NodeId id) {
+  return static_cast<std::uint32_t>(id) * 2654435761u;
+}
+}  // namespace
+
+EmsfSf::EmsfSf(Simulator& sim, TschMac& mac, RplAgent& rpl, SixpAgent& sixp,
+               EmsfConfig config)
+    : sim_(sim), mac_(mac), rpl_(rpl), sixp_(sixp), config_(config), monitor_(sim) {
+  GTTSCH_CHECK(config_.slotframe_length > 1);
+  GTTSCH_CHECK(config_.num_channel_offsets > 1);
+  GTTSCH_CHECK(config_.min_cells >= 0 && config_.max_cells >= config_.min_cells);
+  sixp_.set_callbacks(this);
+}
+
+Slotframe& EmsfSf::own_slotframe() {
+  Slotframe* sf = mac_.schedule().get(kSlotframeHandle);
+  GTTSCH_CHECK(sf != nullptr);
+  return *sf;
+}
+
+ChannelOffset EmsfSf::link_channel(NodeId child, NodeId parent) const {
+  // Negotiated cells hop over [1, num_channel_offsets) — offset 0 is the
+  // broadcast plane. Mixing both endpoints de-correlates sibling links.
+  const std::uint32_t h = node_hash(child) ^ (node_hash(parent) >> 7);
+  return static_cast<ChannelOffset>(
+      1 + h % static_cast<std::uint32_t>(config_.num_channel_offsets - 1));
+}
+
+void EmsfSf::start(bool is_root) { is_root_ = is_root; }
+
+void EmsfSf::on_associated() {
+  associated_ = true;
+  install_autonomous_cells();
+  if (!is_root_ && rpl_.parent() != kNoNode) install_unicast_tx(rpl_.parent());
+  const TimeUs period = mac_.slotframe_duration(config_.slotframe_length);
+  monitor_.start(period, period, [this] { monitor_tick(); });
+}
+
+void EmsfSf::install_autonomous_cells() {
+  if (mac_.schedule().get(kSlotframeHandle) == nullptr)
+    mac_.schedule().add_slotframe(kSlotframeHandle, config_.slotframe_length);
+  Slotframe& sf = own_slotframe();
+
+  // The 6TiSCH minimal cell: EBs, DIOs and unicast fallback all contend here.
+  Cell shared;
+  shared.slot_offset = 0;
+  shared.channel_offset = config_.broadcast_offset;
+  shared.options = kCellTx | kCellRx | kCellShared;
+  shared.neighbor = kBroadcastId;
+  sf.add(shared);
+
+  // Autonomous Rx at hash(self): where children reach us pre-negotiation.
+  // Slot and channel derive from the owner's id, so senders can compute
+  // them without signalling.
+  Cell rx;
+  rx.slot_offset = static_cast<std::uint16_t>(
+      1 + node_hash(mac_.id()) % (config_.slotframe_length - 1));
+  rx.channel_offset = static_cast<ChannelOffset>(
+      1 + (node_hash(mac_.id()) >> 16) % (config_.num_channel_offsets - 1));
+  rx.options = kCellRx | kCellShared;
+  rx.neighbor = kBroadcastId;
+  sf.add(rx);
+}
+
+void EmsfSf::install_unicast_tx(NodeId peer) {
+  // The mirror of the peer's autonomous Rx cell: shared, because every
+  // node with traffic for the peer derives the same (slot, channel) —
+  // CSMA backoff arbitrates.
+  Slotframe& sf = own_slotframe();
+  const std::uint16_t slot = static_cast<std::uint16_t>(
+      1 + node_hash(peer) % (config_.slotframe_length - 1));
+  for (const Cell& c : sf.all_cells()) {
+    if (c.slot_offset == slot && c.neighbor == peer && c.is_tx()) return;
+  }
+  Cell tx;
+  tx.slot_offset = slot;
+  tx.channel_offset = static_cast<ChannelOffset>(
+      1 + (node_hash(peer) >> 16) % (config_.num_channel_offsets - 1));
+  tx.options = kCellTx | kCellShared;
+  tx.neighbor = peer;
+  sf.add(tx);
+}
+
+std::vector<Cell> EmsfSf::free_candidate_cells(NodeId parent) const {
+  std::vector<Cell> out;
+  const Slotframe* sf = mac_.schedule().get(kSlotframeHandle);
+  if (sf == nullptr) return out;
+  for (std::uint16_t s = 1; s < config_.slotframe_length; ++s) {
+    if (sf->slot_in_use(s)) continue;
+    if (out.size() >= kMaxSixpCellListCells) break;  // 127-byte 6P frame cap
+    Cell c;
+    c.slot_offset = s;
+    c.channel_offset = link_channel(mac_.id(), parent);
+    c.options = kCellTx;
+    c.neighbor = kNoNode;
+    out.push_back(c);
+  }
+  return out;
+}
+
+int EmsfSf::dedicated_tx_cells() const {
+  const Slotframe* sf = mac_.schedule().get(kSlotframeHandle);
+  if (sf == nullptr) return 0;
+  int count = 0;
+  for (const Cell& c : sf->all_cells()) {
+    if (c.is_tx() && !c.is_shared()) ++count;
+  }
+  return count;
+}
+
+int EmsfSf::dedicated_rx_cells() const {
+  const Slotframe* sf = mac_.schedule().get(kSlotframeHandle);
+  if (sf == nullptr) return 0;
+  int count = 0;
+  for (const Cell& c : sf->all_cells()) {
+    if (c.is_rx() && !c.is_shared() && c.neighbor != kBroadcastId) ++count;
+  }
+  return count;
+}
+
+void EmsfSf::on_frame(const Frame& frame) {
+  const auto child_it = children_.find(frame.src);
+  if (child_it != children_.end()) child_it->second.last_heard = sim_.now();
+  // Data addressed to us (we are not the sink) will be forwarded upward —
+  // it loads our Tx cells exactly like locally generated traffic.
+  if (frame.type == FrameType::kData && frame.dst == mac_.id() && !is_root_)
+    ++sent_this_tick_;
+}
+
+void EmsfSf::on_parent_changed(NodeId old_parent, NodeId new_parent) {
+  if (is_root_) return;
+  if (old_parent != kNoNode) {
+    sixp_.abort_peer(old_parent);
+    // Best-effort CLEAR so the old parent releases our Rx grants promptly;
+    // its child_timeout is the backstop when this frame is lost.
+    SixpPayload clear;
+    clear.command = SixpCommand::kClear;
+    sixp_.request(old_parent, clear);
+    if (mac_.schedule().get(kSlotframeHandle) != nullptr) {
+      own_slotframe().remove_if(
+          [old_parent](const Cell& c) { return c.neighbor == old_parent; });
+    }
+  }
+  conflicted_cells_.clear();
+  needs_clear_ = false;
+  over_streak_ = 0;
+  under_streak_ = 0;
+  if (associated_ && new_parent != kNoNode) install_unicast_tx(new_parent);
+}
+
+std::optional<EbPayload> EmsfSf::eb_info() {
+  if (!is_root_ && !rpl_.joined()) return std::nullopt;
+  EbPayload eb;
+  eb.join_priority = rpl_.hops();
+  eb.slotframe_length = config_.slotframe_length;
+  eb.has_family_channel = false;
+  eb.dodag_root = rpl_.dodag_root();
+  return eb;
+}
+
+void EmsfSf::monitor_tick() {
+  if (!mac_.associated()) return;
+
+  // Reclaim grants of children that went silent (lost CLEAR or dead node).
+  if (config_.child_timeout > 0) {
+    for (auto it = children_.begin(); it != children_.end();) {
+      if (it->second.last_heard > 0 &&
+          sim_.now() - it->second.last_heard > config_.child_timeout) {
+        const NodeId gone = it->first;
+        own_slotframe().remove_if([gone](const Cell& c) { return c.neighbor == gone; });
+        it = children_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  const int used = sent_this_tick_;
+  sent_this_tick_ = 0;
+
+  if (is_root_) return;
+  const NodeId parent = rpl_.parent();
+  if (parent == kNoNode) return;
+
+  // Hand back cells we refused during a stale-candidate conflict before
+  // anything else — the parent is holding Rx state we will never use.
+  if (!conflicted_cells_.empty() && !sixp_.busy_with(parent)) {
+    SixpPayload del;
+    del.command = SixpCommand::kDelete;
+    const std::size_t chunk = std::min(conflicted_cells_.size(), kMaxSixpCellListCells);
+    del.num_cells = static_cast<std::uint8_t>(chunk);
+    del.cell_list.assign(conflicted_cells_.begin(),
+                         conflicted_cells_.begin() + static_cast<std::ptrdiff_t>(chunk));
+    conflicted_cells_.erase(
+        conflicted_cells_.begin(),
+        conflicted_cells_.begin() + static_cast<std::ptrdiff_t>(chunk));
+    sixp_.request(parent, del);
+    return;  // one transaction per tick
+  }
+
+  // Grant-state desync (parent at its cap, we hold nothing): wipe both
+  // sides with CLEAR and let the next tick's bootstrap ADD start afresh.
+  if (needs_clear_ && !sixp_.busy_with(parent)) {
+    needs_clear_ = false;
+    SixpPayload clear;
+    clear.command = SixpCommand::kClear;
+    sixp_.request(parent, clear);
+    return;  // one transaction per tick
+  }
+
+  const int negotiated = dedicated_tx_cells();
+
+  // Bootstrap: a joined node with zero dedicated cells requests its first
+  // immediately (and keeps retrying every tick until granted) — the shared
+  // fallback cell alone cannot carry steady traffic.
+  if (negotiated == 0) {
+    utilization_ = used > 0 ? 1.0 : 0.0;
+    over_streak_ = 0;
+    under_streak_ = 0;
+    if (!sixp_.busy_with(parent)) {
+      SixpPayload add;
+      add.command = SixpCommand::kAdd;
+      add.num_cells = static_cast<std::uint8_t>(std::max(1, config_.min_cells));
+      add.cell_options = kCellTx;
+      add.cell_list = free_candidate_cells(parent);
+      sixp_.request(parent, add);
+    }
+    return;
+  }
+
+  // e-MSF's utilization estimator: packets offered this slotframe over the
+  // dedicated Tx capacity, smoothed only by the hysteresis streaks.
+  utilization_ = static_cast<double>(used) / static_cast<double>(negotiated);
+
+  if (utilization_ > config_.add_threshold) {
+    ++over_streak_;
+    under_streak_ = 0;
+  } else if (utilization_ < config_.delete_threshold) {
+    ++under_streak_;
+    over_streak_ = 0;
+  } else {
+    over_streak_ = 0;
+    under_streak_ = 0;
+  }
+
+  if (over_streak_ >= config_.hysteresis_ticks && negotiated < config_.max_cells &&
+      !sixp_.busy_with(parent)) {
+    over_streak_ = 0;
+    SixpPayload add;
+    add.command = SixpCommand::kAdd;
+    add.num_cells = 1;
+    add.cell_options = kCellTx;
+    add.cell_list = free_candidate_cells(parent);
+    sixp_.request(parent, add);
+  } else if (under_streak_ >= config_.hysteresis_ticks && negotiated > config_.min_cells &&
+             !sixp_.busy_with(parent)) {
+    under_streak_ = 0;
+    // Release the highest-offset dedicated cell toward the parent.
+    const std::vector<Cell> cells = own_slotframe().all_cells();
+    const Cell* victim = nullptr;
+    for (const Cell& c : cells) {
+      if (!c.is_tx() || c.is_shared() || c.neighbor != parent) continue;
+      if (victim == nullptr || c.slot_offset > victim->slot_offset) victim = &c;
+    }
+    if (victim != nullptr) {
+      SixpPayload del;
+      del.command = SixpCommand::kDelete;
+      del.num_cells = 1;
+      del.cell_list.push_back(*victim);
+      sixp_.request(parent, del);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parent-side 6P handling.
+// ---------------------------------------------------------------------------
+
+SixpPayload EmsfSf::sixp_handle_request(NodeId peer, const SixpPayload& request) {
+  SixpPayload r;
+  switch (request.command) {
+    case SixpCommand::kAdd: {
+      ChildState& child = children_[peer];
+      child.last_heard = sim_.now();
+      // Make sure the response (and future unicast) can reach the child
+      // over its autonomous Rx cell instead of the congested slot-0 plane.
+      install_unicast_tx(peer);
+      // Bound the grant leak from lost responses: a child that already
+      // holds a full complement re-requests only when its side is out of
+      // sync, and the child_timeout GC — not more grants — resolves that.
+      if (child.granted_rx >= config_.max_cells) {
+        r.code = SixpReturnCode::kErrNoResource;
+        break;
+      }
+      Slotframe& sf = own_slotframe();
+      for (const Cell& proposed : request.cell_list) {
+        if (r.cell_list.size() >= static_cast<std::size_t>(request.num_cells)) break;
+        if (proposed.slot_offset == 0 ||
+            proposed.slot_offset >= config_.slotframe_length)
+          continue;
+        if (sf.slot_in_use(proposed.slot_offset)) continue;
+        Cell mine;
+        mine.slot_offset = proposed.slot_offset;
+        mine.channel_offset = proposed.channel_offset;
+        mine.options = kCellRx;
+        mine.neighbor = peer;
+        sf.add(mine);
+        Cell theirs = mine;
+        theirs.options = kCellTx;
+        theirs.neighbor = kNoNode;  // filled in by the requester
+        r.cell_list.push_back(theirs);
+      }
+      child.granted_rx += static_cast<int>(r.cell_list.size());
+      r.num_cells = static_cast<std::uint8_t>(r.cell_list.size());
+      r.code = r.cell_list.empty() ? SixpReturnCode::kErrNoResource
+                                   : SixpReturnCode::kSuccess;
+      break;
+    }
+    case SixpCommand::kDelete: {
+      Slotframe& sf = own_slotframe();
+      int removed = 0;
+      for (const Cell& c : request.cell_list) {
+        // Cells arrive in the requester's (Tx) perspective; ours mirror it.
+        const std::size_t n = sf.remove_if([&](const Cell& mine) {
+          return mine.neighbor == peer && mine.slot_offset == c.slot_offset &&
+                 mine.is_rx() && !mine.is_shared();
+        });
+        if (n > 0) {
+          ++removed;
+          r.cell_list.push_back(c);
+        }
+      }
+      const auto it = children_.find(peer);
+      if (it != children_.end()) {
+        it->second.last_heard = sim_.now();
+        it->second.granted_rx = std::max(0, it->second.granted_rx - removed);
+      }
+      r.num_cells = static_cast<std::uint8_t>(r.cell_list.size());
+      r.code = SixpReturnCode::kSuccess;
+      break;
+    }
+    case SixpCommand::kClear: {
+      own_slotframe().remove_if([peer](const Cell& c) { return c.neighbor == peer; });
+      children_.erase(peer);
+      r.code = SixpReturnCode::kSuccess;
+      break;
+    }
+    case SixpCommand::kAskChannel:
+      r.code = SixpReturnCode::kErr;  // GT-TSCH-specific; not part of e-MSF
+      break;
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Child-side transaction completion.
+// ---------------------------------------------------------------------------
+
+void EmsfSf::sixp_transaction_done(NodeId peer, SixpCommand command, bool timed_out,
+                                   const SixpPayload& response) {
+  if (timed_out) return;  // the monitor retries
+  if (peer != rpl_.parent()) return;
+
+  switch (command) {
+    case SixpCommand::kAdd: {
+      if (response.code == SixpReturnCode::kErrNoResource && dedicated_tx_cells() == 0) {
+        // The parent refused a *bootstrap* ADD: its books say we already
+        // hold cells (responses lost in flight). 6P inconsistency recovery.
+        needs_clear_ = true;
+        return;
+      }
+      if (response.code != SixpReturnCode::kSuccess) return;
+      Slotframe& sf = own_slotframe();
+      for (Cell c : response.cell_list) {
+        c.neighbor = peer;
+        // Our proposal may have gone stale while in flight (we granted the
+        // slot to one of our own children). Never double-book the radio:
+        // refuse the cell and hand it back via DELETE.
+        if (sf.slot_in_use(c.slot_offset)) {
+          conflicted_cells_.push_back(c);
+          continue;
+        }
+        sf.add(c);
+      }
+      return;
+    }
+    case SixpCommand::kDelete: {
+      Slotframe& sf = own_slotframe();
+      for (const Cell& c : response.cell_list) {
+        sf.remove_if([&](const Cell& mine) {
+          return mine.neighbor == peer && mine.slot_offset == c.slot_offset &&
+                 mine.is_tx() && !mine.is_shared();
+        });
+      }
+      return;
+    }
+    case SixpCommand::kClear:
+    case SixpCommand::kAskChannel:
+      return;
+  }
+}
+
+void register_emsf_sf(SfRegistry& registry) {
+  SfRegistry::Entry entry;
+  entry.key = "emsf";
+  entry.display_name = "e-MSF";
+  entry.summary = "6P ADD/DELETE from cell-utilization thresholds with hysteresis";
+  entry.aliases = {"e-msf"};
+  entry.factory = [](const SfContext& ctx) -> std::unique_ptr<SchedulingFunction> {
+    return std::make_unique<EmsfSf>(ctx.sim, ctx.mac, ctx.rpl, ctx.sixp,
+                                    ctx.configs.emsf);
+  };
+  registry.add(std::move(entry));
+}
+
+}  // namespace gttsch

@@ -1,0 +1,121 @@
+// e-MSF baseline (Domingo-Prieto et al., "Enhanced Minimal Scheduling
+// Function for IEEE 802.15.4e TSCH", arXiv:1901.10591; the MSF lineage of
+// RFC 9033) — 6P-adaptive scheduling driven by cell-utilization
+// thresholds with hysteresis.
+//
+// Bootstrap plane (autonomous, 6TiSCH-minimal style), one slotframe:
+//   * a shared broadcast cell at slot 0 (EBs, DIOs, unicast fallback),
+//   * an autonomous Rx cell at hash(self) — where children reach us
+//     before negotiation,
+//   * a shared autonomous Tx cell at hash(parent) — how 6P requests and
+//     early data reach the parent (siblings contend, CSMA backoff),
+//   * a shared autonomous Tx cell at hash(child), installed lazily on the
+//     first 6P request from that child — how 6P *responses* reach it.
+//     Without this the response would ride the network-wide slot-0 cell,
+//     where data traffic starves it: the transaction times out at the
+//     child while the parent keeps the grant, leaking one Rx cell per
+//     bootstrap retry until the slotframe fills.
+//
+// Adaptation: each slotframe the SF compares the packets it tried to send
+// upward against the dedicated Tx cells available. Utilization above
+// `add_threshold` for `hysteresis_ticks` consecutive ticks triggers a 6P
+// ADD of one cell; below `delete_threshold` equally long triggers a 6P
+// DELETE (never below `min_cells`). The hysteresis is e-MSF's fix for
+// MSF's add/delete oscillation under bursty traffic.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "mac/tsch_mac.hpp"
+#include "net/rpl.hpp"
+#include "sim/timer.hpp"
+#include "sixp/sf.hpp"
+#include "sixp/sixp.hpp"
+
+namespace gttsch {
+
+struct EmsfConfig {
+  std::uint16_t slotframe_length = 32;
+  ChannelOffset broadcast_offset = 0;       ///< shared cell's channel
+  std::uint8_t num_channel_offsets = 8;
+  double add_threshold = 0.75;     ///< utilization above -> ADD
+  double delete_threshold = 0.25;  ///< utilization below -> DELETE
+  int hysteresis_ticks = 2;        ///< consecutive ticks before acting
+  int min_cells = 1;               ///< dedicated-cell floor (never deleted)
+  int max_cells = 16;              ///< dedicated-cell ceiling
+  /// Reclaim a child's granted cells when nothing was heard from it for
+  /// this long (covers CLEAR lost during re-parenting). 0 disables.
+  TimeUs child_timeout = 120000000;
+};
+
+class EmsfSf final : public SchedulingFunction, public SixpSfCallbacks {
+ public:
+  EmsfSf(Simulator& sim, TschMac& mac, RplAgent& rpl, SixpAgent& sixp,
+         EmsfConfig config);
+
+  // SchedulingFunction:
+  const char* name() const override { return "emsf"; }
+  void start(bool is_root) override;
+  void on_associated() override;
+  void on_frame(const Frame& frame) override;
+  void on_parent_changed(NodeId old_parent, NodeId new_parent) override;
+  void on_local_packet_generated() override { ++sent_this_tick_; }
+  std::uint16_t advertised_free_rx() override { return 0; }
+  std::optional<EbPayload> eb_info() override;
+
+  bool operational() const override {
+    return associated_ && (is_root_ || dedicated_tx_cells() > 0);
+  }
+  int dedicated_tx_cells() const override;
+  int dedicated_rx_cells() const override;
+  double demand_estimate() const override { return utilization_; }
+
+  // SixpSfCallbacks:
+  SixpPayload sixp_handle_request(NodeId peer, const SixpPayload& request) override;
+  void sixp_transaction_done(NodeId peer, SixpCommand command, bool timed_out,
+                             const SixpPayload& response) override;
+
+  const EmsfConfig& config() const { return config_; }
+
+ private:
+  struct ChildState {
+    int granted_rx = 0;
+    TimeUs last_heard = 0;
+  };
+
+  Slotframe& own_slotframe();
+  /// Per-link channel for negotiated cells: both endpoints derive it from
+  /// the (child, parent) pair, over [1, num_channel_offsets).
+  ChannelOffset link_channel(NodeId child, NodeId parent) const;
+  void install_autonomous_cells();
+  /// Shared Tx mirror of `peer`'s autonomous Rx cell (slot/channel both
+  /// derive from peer's id). Idempotent: used for the parent at
+  /// association/re-parenting and lazily for each requesting child.
+  void install_unicast_tx(NodeId peer);
+  void monitor_tick();
+  std::vector<Cell> free_candidate_cells(NodeId parent) const;
+
+  Simulator& sim_;
+  TschMac& mac_;
+  RplAgent& rpl_;
+  SixpAgent& sixp_;
+  EmsfConfig config_;
+  bool is_root_ = false;
+  bool associated_ = false;
+  PeriodicTimer monitor_;
+  int sent_this_tick_ = 0;   ///< generated + forwarded packets this window
+  double utilization_ = 0.0; ///< last tick's used / capacity
+  int over_streak_ = 0;
+  int under_streak_ = 0;
+  /// Set when the parent refuses a bootstrap ADD for lack of resources:
+  /// its grant books are ahead of ours (lost responses). The next monitor
+  /// tick sends CLEAR to resynchronize before re-bootstrapping.
+  bool needs_clear_ = false;
+  std::map<NodeId, ChildState> children_;
+  /// Granted cells we could not install (slot taken while the transaction
+  /// was in flight); returned to the parent via DELETE on the next tick.
+  std::vector<Cell> conflicted_cells_;
+};
+
+}  // namespace gttsch

@@ -1,5 +1,6 @@
 #include "orchestra/orchestra_sf.hpp"
 
+#include "sixp/sf_registry.hpp"
 #include "util/check.hpp"
 
 namespace gttsch {
@@ -25,10 +26,7 @@ ChannelOffset OrchestraSf::unicast_offset_for(NodeId receiver) const {
   return static_cast<ChannelOffset>(3 + hash(receiver, span));
 }
 
-void OrchestraSf::start(bool is_root) {
-  is_root_ = is_root;
-  mac_.set_eb_provider([this] { return eb_info(); });
-}
+void OrchestraSf::start(bool is_root) { is_root_ = is_root; }
 
 void OrchestraSf::on_associated() {
   TschSchedule& sched = mac_.schedule();
@@ -103,6 +101,17 @@ std::optional<EbPayload> OrchestraSf::eb_info() {
   eb.has_family_channel = false;
   eb.dodag_root = rpl_.dodag_root();
   return eb;
+}
+
+void register_orchestra_sf(SfRegistry& registry) {
+  SfRegistry::Entry entry;
+  entry.key = "orchestra";
+  entry.display_name = "Orchestra";
+  entry.summary = "receiver-based autonomous cells, no 6P (SenSys'15)";
+  entry.factory = [](const SfContext& ctx) -> std::unique_ptr<SchedulingFunction> {
+    return std::make_unique<OrchestraSf>(ctx.mac, ctx.rpl, ctx.configs.orchestra);
+  };
+  registry.add(std::move(entry));
 }
 
 }  // namespace gttsch

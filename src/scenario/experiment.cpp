@@ -29,18 +29,21 @@ NodeStackConfig ScenarioConfig::make_node_config() const {
 
   // GT-TSCH layout: broadcast slots scale with the slotframe (m/8), three
   // shared slots per family (ceil(max_children/2) with |F|=8 -> 5 children).
-  nc.gt.layout.length = gt_slotframe_length;
-  nc.gt.layout.broadcast_slots =
+  nc.sf.gt.layout.length = gt_slotframe_length;
+  nc.sf.gt.layout.broadcast_slots =
       std::max<std::uint16_t>(2, static_cast<std::uint16_t>(gt_slotframe_length / 8));
-  nc.gt.layout.shared_slots = 3;
-  nc.gt.broadcast_offset = 0;
-  nc.gt.queue_max = static_cast<double>(queue_capacity);
-  nc.gt.load_balancer.weights = game::Weights{alpha, beta, gamma};
-  nc.gt.placement_rules.tx_margin = enforce_tx_margin;
-  nc.gt.placement_rules.interleave = enforce_interleave;
+  nc.sf.gt.layout.shared_slots = 3;
+  nc.sf.gt.broadcast_offset = 0;
+  nc.sf.gt.queue_max = static_cast<double>(queue_capacity);
+  nc.sf.gt.load_balancer.weights = game::Weights{alpha, beta, gamma};
+  nc.sf.gt.placement_rules.tx_margin = enforce_tx_margin;
+  nc.sf.gt.placement_rules.interleave = enforce_interleave;
 
-  nc.orchestra.unicast_slotframe_length = orchestra_unicast_length;
-  nc.orchestra.unicast_channel_hash = orchestra_channel_hash;
+  nc.sf.orchestra.unicast_slotframe_length = orchestra_unicast_length;
+  nc.sf.orchestra.unicast_channel_hash = orchestra_channel_hash;
+
+  nc.sf.alice.unicast_slotframe_length = alice_unicast_length;
+  nc.sf.emsf.slotframe_length = emsf_slotframe_length;
 
   nc.app_rate_ppm = traffic_ppm;
   nc.app_start = std::max<TimeUs>(5_s, warmup / 3);
@@ -313,8 +316,11 @@ std::vector<std::uint64_t> default_seeds() {
   return seeds;
 }
 
-const char* scheduler_name(SchedulerKind kind) {
-  return kind == SchedulerKind::kGtTsch ? "GT-TSCH" : "Orchestra";
+const char* scheduler_name(const std::string& key) {
+  const SfRegistry::Entry* entry = SfRegistry::instance().find(key);
+  // The singleton's entries are stable for the process lifetime, so the
+  // returned c_str() stays valid like the old literal did.
+  return entry != nullptr ? entry->display_name.c_str() : "?";
 }
 
 const char* topology_name(TopologyKind kind) {

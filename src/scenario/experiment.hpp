@@ -19,7 +19,9 @@ namespace gttsch {
 enum class TopologyKind : std::uint8_t { kMultiDodag, kGrid, kLine, kRandomDisk };
 
 struct ScenarioConfig {
-  SchedulerKind scheduler = SchedulerKind::kGtTsch;
+  /// SfRegistry key ("gt-tsch", "orchestra", "alice", "emsf"); the
+  /// campaign parser canonicalizes aliases before runs and fingerprints.
+  std::string scheduler = "gt-tsch";
 
   // Topology. kMultiDodag uses dodag_count x nodes_per_dodag; the builder
   // kinds (grid / line / random-disk) place `topology_nodes` total nodes
@@ -50,6 +52,11 @@ struct ScenarioConfig {
   // Orchestra channel strategy (the Section III critique): false = one
   // fixed unicast offset (Contiki-NG default), true = hashed per receiver.
   bool orchestra_channel_hash = false;
+
+  // Baseline-scheduler knobs (sweepable like the two above): ALICE's
+  // unicast/rehash slotframe length and e-MSF's single slotframe length.
+  std::uint16_t alice_unicast_length = 8;
+  std::uint16_t emsf_slotframe_length = 32;
 
   // Queueing (Q_Max).
   std::size_t queue_capacity = 16;
@@ -142,7 +149,9 @@ AveragedMetrics run_averaged(ScenarioConfig config, const std::vector<std::uint6
 /// GTTSCH_SEEDS environment variable).
 std::vector<std::uint64_t> default_seeds();
 
-const char* scheduler_name(SchedulerKind kind);
+/// Registry display name ("GT-TSCH") for a scheduler key or alias; "?"
+/// for unknown keys — derived from SfRegistry, never a parallel table.
+const char* scheduler_name(const std::string& key);
 const char* topology_name(TopologyKind kind);
 
 }  // namespace gttsch

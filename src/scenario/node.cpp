@@ -36,20 +36,20 @@ Node::Node(Simulator& sim, Medium& medium, const NodeSpec& spec,
       max_scan_start_delay_(config.max_scan_start_delay) {
   mac_.set_upcalls(this);
   rpl_.set_callbacks(this);
-  if (config.scheduler == SchedulerKind::kGtTsch) {
-    auto sf = std::make_unique<GtTschSf>(sim, mac_, rpl_, sixp_, etx_, config.gt,
-                                         rng.fork(0x67));
-    gt_sf_ = sf.get();
-    sf_ = std::move(sf);
-  } else {
-    sf_ = std::make_unique<OrchestraSf>(mac_, rpl_, config.orchestra);
-  }
+  sf_ = SfRegistry::instance().create(
+      config.scheduler,
+      SfContext{sim, mac_, rpl_, sixp_, etx_, rng.fork(0x67), config.sf});
   if (config.app_end != 0) app_.set_end_time(config.app_end);
 }
 
 Node::~Node() = default;
 
 void Node::start() {
+  // Provider wiring lives here, not in each SF: every scheduler answers
+  // these through the common interface (advertised_free_rx defaults to 0
+  // for autonomous SFs, so the DIO option stays inert for them).
+  rpl_.set_free_rx_provider([this] { return sf_->advertised_free_rx(); });
+  mac_.set_eb_provider([this] { return sf_->eb_info(); });
   sf_->start(is_root_);
   if (is_root_) {
     rpl_.start_as_root();

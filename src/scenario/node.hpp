@@ -1,19 +1,21 @@
 // The full per-node protocol stack: radio + TSCH MAC + RPL + 6P + a
-// scheduling function (GT-TSCH or Orchestra) + application traffic.
-// This is the integration layer that dispatches MAC upcalls to the right
-// protocol module and implements convergecast forwarding.
+// scheduling function + application traffic. This is the integration
+// layer that dispatches MAC upcalls to the right protocol module and
+// implements convergecast forwarding. The scheduling function is chosen
+// by registry key (sixp/sf_registry.hpp) and driven exclusively through
+// the SchedulingFunction interface — no downcasts.
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "app/traffic.hpp"
-#include "core/gt_tsch_sf.hpp"
 #include "mac/tsch_mac.hpp"
 #include "net/rpl.hpp"
-#include "orchestra/orchestra_sf.hpp"
 #include "phy/medium.hpp"
 #include "scenario/topology.hpp"
 #include "sixp/sf.hpp"
+#include "sixp/sf_registry.hpp"
 #include "sixp/sixp.hpp"
 #include "stats/run_stats.hpp"
 
@@ -21,14 +23,11 @@ namespace gttsch {
 
 class Telemetry;
 
-enum class SchedulerKind { kGtTsch, kOrchestra };
-
 struct NodeStackConfig {
-  SchedulerKind scheduler = SchedulerKind::kGtTsch;
+  std::string scheduler = "gt-tsch";  ///< SfRegistry key (or alias)
   MacConfig mac;
   RplConfig rpl;
-  GtTschConfig gt;
-  OrchestraConfig orchestra;
+  SfConfigs sf;  ///< per-scheduler config blobs; the factory reads its own
   double app_rate_ppm = 0.0;  ///< 0 = no local traffic (roots)
   TimeUs app_start = 5000000;
   TimeUs app_end = 0;  ///< absolute; 0 = run forever
@@ -70,7 +69,7 @@ class Node final : public MacUpcalls, public RplCallbacks {
   SixpAgent& sixp() { return sixp_; }
   EtxEstimator& etx() { return etx_; }
   SchedulingFunction& sf() { return *sf_; }
-  GtTschSf* gt_sf() { return gt_sf_; }
+  const SchedulingFunction& sf() const { return *sf_; }
 
   std::uint64_t app_generated() const { return app_generated_; }
 
@@ -113,7 +112,6 @@ class Node final : public MacUpcalls, public RplCallbacks {
   RplAgent rpl_;
   SixpAgent sixp_;
   std::unique_ptr<SchedulingFunction> sf_;
-  GtTschSf* gt_sf_ = nullptr;  // non-owning view when scheduler == kGtTsch
   PeriodicSource app_;
   TimeUs app_start_;
   TimeUs max_scan_start_delay_;

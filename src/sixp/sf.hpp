@@ -1,7 +1,9 @@
 // The scheduling-function interface (the "SF" role of RFC 8480/8180):
-// the pluggable policy that owns the TSCH schedule content. GT-TSCH and
-// the Orchestra baseline both implement it; the Node integration layer
-// drives it with MAC/RPL events.
+// the pluggable policy that owns the TSCH schedule content. Every
+// scheduler in the zoo (GT-TSCH, Orchestra, ALICE, e-MSF, ...) implements
+// it; the Node integration layer drives it with MAC/RPL events and reads
+// it back only through this interface — no downcasts. New schedulers
+// plug in via the SfRegistry (sixp/sf_registry.hpp).
 #pragma once
 
 #include <optional>
@@ -15,7 +17,7 @@ class SchedulingFunction {
  public:
   virtual ~SchedulingFunction() = default;
 
-  /// Name for reports ("gt-tsch", "orchestra").
+  /// Canonical registry key ("gt-tsch", "orchestra", "alice", "emsf").
   virtual const char* name() const = 0;
 
   /// Called once after the node's stack is wired (before association).
@@ -41,6 +43,28 @@ class SchedulingFunction {
   /// EB content (join priority, GT-TSCH family channel). nullopt = do not
   /// beacon yet.
   virtual std::optional<EbPayload> eb_info() = 0;
+
+  // Introspection hooks for the integration layer (telemetry, benches,
+  // the parametrized conformance suite). Defaults describe an autonomous
+  // scheduler with no negotiated state, so purely hash-based SFs need not
+  // override them.
+
+  /// True once the SF has finished its own bootstrap and is serving
+  /// traffic (GT-TSCH: the 6P handshake completed; autonomous SFs: as
+  /// soon as the MAC associated). Join state is tracked by RPL, not here.
+  virtual bool operational() const { return true; }
+
+  /// Dedicated (negotiated or per-link autonomous, non-shared) data Tx
+  /// cells currently installed toward the preferred parent.
+  virtual int dedicated_tx_cells() const { return 0; }
+
+  /// Dedicated data Rx cells currently installed for children.
+  virtual int dedicated_rx_cells() const { return 0; }
+
+  /// The SF's current local-demand estimate in cells per slotframe
+  /// (GT-TSCH: Eq 1's l^tx-min; e-MSF: its utilization target). 0 for
+  /// schedulers that do not estimate demand.
+  virtual double demand_estimate() const { return 0.0; }
 };
 
 }  // namespace gttsch

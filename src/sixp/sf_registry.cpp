@@ -1,0 +1,63 @@
+#include "sixp/sf_registry.hpp"
+
+#include "util/check.hpp"
+
+namespace gttsch {
+
+const SfRegistry& SfRegistry::instance() {
+  static const SfRegistry registry = [] {
+    SfRegistry r;
+    // Canonical order: the paper's scheduler first, then the baselines in
+    // the order they joined the zoo. This order is user-visible (usage
+    // text, README table) — append, don't reorder.
+    register_gt_tsch_sf(r);
+    register_orchestra_sf(r);
+    register_alice_sf(r);
+    register_emsf_sf(r);
+    return r;
+  }();
+  return registry;
+}
+
+void SfRegistry::add(Entry entry) {
+  GTTSCH_CHECK(!entry.key.empty());
+  GTTSCH_CHECK(entry.factory != nullptr);
+  GTTSCH_CHECK(find(entry.key) == nullptr);  // keys and aliases are unique
+  for (const std::string& alias : entry.aliases) GTTSCH_CHECK(find(alias) == nullptr);
+  entries_.push_back(std::move(entry));
+}
+
+const SfRegistry::Entry* SfRegistry::find(const std::string& name) const {
+  for (const Entry& entry : entries_) {
+    if (entry.key == name) return &entry;
+    for (const std::string& alias : entry.aliases) {
+      if (alias == name) return &entry;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> SfRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) out.push_back(entry.key);
+  return out;
+}
+
+std::string SfRegistry::names_joined(const char* separator) const {
+  std::string out;
+  for (const Entry& entry : entries_) {
+    if (!out.empty()) out += separator;
+    out += entry.key;
+  }
+  return out;
+}
+
+std::unique_ptr<SchedulingFunction> SfRegistry::create(const std::string& name,
+                                                       const SfContext& context) const {
+  const Entry* entry = find(name);
+  GTTSCH_CHECK(entry != nullptr && "unknown scheduler name");
+  return entry->factory(context);
+}
+
+}  // namespace gttsch

@@ -1,0 +1,95 @@
+// String-keyed scheduling-function registry: the one table every
+// scheduler-name surface derives from. Node construction, the campaign
+// spec parser (`scheduler=` axis), gt_campaign's usage text and
+// experiment.cpp's display names all consult this registry, so adding a
+// scheduler is one file pair implementing SchedulingFunction plus one
+// registration entry here — no parallel switch statements to keep in
+// sync.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alice/alice_sf.hpp"
+#include "core/gt_tsch_sf.hpp"
+#include "emsf/emsf_sf.hpp"
+#include "orchestra/orchestra_sf.hpp"
+#include "sixp/sf.hpp"
+
+namespace gttsch {
+
+/// Per-scheduler configuration blobs, one member per registered SF. A
+/// NodeStackConfig carries all of them; each factory reads only its own.
+struct SfConfigs {
+  GtTschConfig gt;
+  OrchestraConfig orchestra;
+  AliceConfig alice;
+  EmsfConfig emsf;
+};
+
+/// Everything a scheduling-function factory may wire against. The Rng is
+/// a per-node fork dedicated to the SF (pass-by-value: forking the
+/// parent stream is const and does not perturb other consumers).
+struct SfContext {
+  Simulator& sim;
+  TschMac& mac;
+  RplAgent& rpl;
+  SixpAgent& sixp;
+  EtxEstimator& etx;
+  Rng rng;
+  const SfConfigs& configs;
+};
+
+class SfRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<SchedulingFunction>(const SfContext&)>;
+
+  struct Entry {
+    std::string key;           ///< canonical name ("gt-tsch")
+    std::string display_name;  ///< report label ("GT-TSCH")
+    std::string summary;       ///< one-liner for usage/README text
+    std::vector<std::string> aliases;  ///< accepted spellings ("gt")
+    Factory factory;
+  };
+
+  /// The process-wide registry, populated on first use by the explicit
+  /// registration calls below (explicit, not static-initializer magic:
+  /// a static library would dead-strip self-registering object files).
+  static const SfRegistry& instance();
+
+  /// Lookup by canonical key or alias; nullptr when unknown.
+  const Entry* find(const std::string& name) const;
+
+  /// All entries in registration order (the canonical display order).
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Canonical keys in registration order.
+  std::vector<std::string> names() const;
+
+  /// "gt-tsch, orchestra, alice, emsf" — for usage and error text.
+  std::string names_joined(const char* separator = ", ") const;
+
+  /// Construct the named scheduler. Aborts (GTTSCH_CHECK) on an unknown
+  /// name: callers validate user input through find() first.
+  std::unique_ptr<SchedulingFunction> create(const std::string& name,
+                                             const SfContext& context) const;
+
+  /// Registration API for the per-scheduler register_*_sf functions.
+  void add(Entry entry);
+
+ private:
+  SfRegistry() = default;
+  std::vector<Entry> entries_;
+};
+
+// One registration function per scheduler, defined next to the scheduler
+// it registers (gt_tsch_sf.cpp, orchestra_sf.cpp, ...). sf_registry.cpp
+// calls them in canonical order to build the singleton.
+void register_gt_tsch_sf(SfRegistry& registry);
+void register_orchestra_sf(SfRegistry& registry);
+void register_alice_sf(SfRegistry& registry);
+void register_emsf_sf(SfRegistry& registry);
+
+}  // namespace gttsch

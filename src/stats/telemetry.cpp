@@ -174,6 +174,13 @@ void Telemetry::attach(Network& net, RunStats* stats) {
       }
       return static_cast<double>(total);
     });
+    timeline_->add_gauge("demand", [this] {
+      // Network-wide scheduler demand, through the common SF interface
+      // (GT-TSCH: Eq 1's l^tx-min; e-MSF: utilization; autonomous SFs: 0).
+      double sum = 0.0;
+      for (const auto& [id, node] : net_->nodes()) sum += node->sf().demand_estimate();
+      return sum;
+    });
     timeline_->set_sample_observer(
         [this](const Timeline::Sample& s) { render_sample(s); });
     timeline_->start();

@@ -66,8 +66,8 @@ TEST(CampaignSpec, GridIsFullCartesianProduct) {
   EXPECT_EQ(points[1].label, "traffic_ppm=30 scheduler=orchestra");
   EXPECT_EQ(points[5].label, "traffic_ppm=120 scheduler=orchestra");
   EXPECT_DOUBLE_EQ(points[4].config.traffic_ppm, 120.0);
-  EXPECT_EQ(points[4].config.scheduler, SchedulerKind::kGtTsch);
-  EXPECT_EQ(points[5].config.scheduler, SchedulerKind::kOrchestra);
+  EXPECT_EQ(points[4].config.scheduler, "gt-tsch");
+  EXPECT_EQ(points[5].config.scheduler, "orchestra");
   for (std::size_t i = 0; i < points.size(); ++i) {
     EXPECT_EQ(points[i].index, i);
     EXPECT_EQ(points[i].coords.size(), 2u);
@@ -137,9 +137,9 @@ TEST(CampaignSpec, ApplyFieldParsesAndRangeChecks) {
   ScenarioConfig c;
   std::string error;
   EXPECT_TRUE(campaign::apply_field(c, "scheduler", "orchestra", &error));
-  EXPECT_EQ(c.scheduler, SchedulerKind::kOrchestra);
+  EXPECT_EQ(c.scheduler, "orchestra");
   EXPECT_TRUE(campaign::apply_field(c, "scheduler", "gt", &error));
-  EXPECT_EQ(c.scheduler, SchedulerKind::kGtTsch);
+  EXPECT_EQ(c.scheduler, "gt-tsch");
   EXPECT_TRUE(campaign::apply_field(c, "gt_slotframe_length", "64", &error));
   EXPECT_EQ(c.gt_slotframe_length, 64);
   EXPECT_TRUE(campaign::apply_field(c, "enforce_interleave", "false", &error));
@@ -565,7 +565,7 @@ TEST(CampaignShard, JobPartitionIsDisjointAndComplete) {
 ExperimentResult synthetic_run(const ScenarioConfig& c) {
   ExperimentResult r;
   const double seed = static_cast<double>(c.seed);
-  const double scheduler_bias = c.scheduler == SchedulerKind::kGtTsch ? 0.0 : 7.0;
+  const double scheduler_bias = c.scheduler == "gt-tsch" ? 0.0 : 7.0;
   r.metrics.pdr_percent = 100.0 / 3.0 + seed / 7.0 + c.traffic_ppm / 11.0;
   r.metrics.avg_delay_ms = 100.0 + seed * 1.1 + scheduler_bias;
   r.metrics.p95_delay_ms = 280.0 + seed / 3.0;

@@ -29,7 +29,7 @@ struct PerSlotGuard {
 /// [120 s, 240 s) measurement window, so all three phases are non-trivial
 /// (pre: 120-180, churn: 180-240 given the 60 s settle, post: empty here —
 /// a second config below moves the kill early so post is populated too).
-ScenarioConfig killed_config(SchedulerKind kind, double fail_at_s) {
+ScenarioConfig killed_config(const std::string& kind, double fail_at_s) {
   ScenarioConfig sc;
   sc.scheduler = kind;
   sc.dodag_count = 1;
@@ -74,7 +74,7 @@ void expect_phases_partition(const RunMetrics& m) {
 
 TEST(ChurnPhases, PartitionExactlyGtTsch) {
   // Kill at 150 s: pre = [120, 150), churn = [150, 210), post = [210, 300).
-  const ScenarioConfig sc = killed_config(SchedulerKind::kGtTsch, 150.0);
+  const ScenarioConfig sc = killed_config("gt-tsch", 150.0);
   for (const std::uint64_t seed : {4000ull, 4017ull}) {
     SCOPED_TRACE(::testing::Message() << "seed " << seed);
     ScenarioConfig run = sc;
@@ -88,7 +88,7 @@ TEST(ChurnPhases, PartitionExactlyGtTsch) {
 }
 
 TEST(ChurnPhases, PartitionExactlyOrchestra) {
-  const ScenarioConfig sc = killed_config(SchedulerKind::kOrchestra, 150.0);
+  const ScenarioConfig sc = killed_config("orchestra", 150.0);
   ScenarioConfig run = sc;
   run.seed = 4000;
   const ExperimentResult r = run_scenario(run);
@@ -96,7 +96,7 @@ TEST(ChurnPhases, PartitionExactlyOrchestra) {
 }
 
 TEST(ChurnPhases, FastPathAndPerSlotAgreeExactly) {
-  ScenarioConfig sc = killed_config(SchedulerKind::kGtTsch, 150.0);
+  ScenarioConfig sc = killed_config("gt-tsch", 150.0);
   sc.seed = 4000;
   const ExperimentResult fast = run_scenario(sc);
   ExperimentResult ref;
@@ -123,7 +123,7 @@ TEST(ChurnPhases, FastPathAndPerSlotAgreeExactly) {
 TEST(ChurnPhases, LateKillLeavesPostEmpty) {
   // Kill at 280 s: churn runs to 340 s, past measure_end (300 s) — the
   // post phase window is empty and its counters must stay zero.
-  ScenarioConfig sc = killed_config(SchedulerKind::kGtTsch, 280.0);
+  ScenarioConfig sc = killed_config("gt-tsch", 280.0);
   sc.seed = 4000;
   const ExperimentResult r = run_scenario(sc);
   expect_phases_partition(r.metrics);
@@ -134,7 +134,7 @@ TEST(ChurnPhases, LateKillLeavesPostEmpty) {
 }
 
 TEST(ChurnPhases, NoFailuresMeansNoPhases) {
-  ScenarioConfig sc = killed_config(SchedulerKind::kGtTsch, 150.0);
+  ScenarioConfig sc = killed_config("gt-tsch", 150.0);
   sc.trace_fail_count = 0;
   sc.seed = 4000;
   const ExperimentResult r = run_scenario(sc);

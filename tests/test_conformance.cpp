@@ -7,6 +7,7 @@
 
 #include <set>
 
+#include "core/gt_tsch_sf.hpp"
 #include "core/tx_alloc.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/network.hpp"
@@ -15,6 +16,12 @@ namespace gttsch {
 namespace {
 
 using namespace literals;
+
+/// GT-specific assertions reach the concrete SF through the common
+/// interface; nullptr when the node runs a different scheduler.
+const GtTschSf* gt_sf(const Node& n) {
+  return dynamic_cast<const GtTschSf*>(&n.sf());
+}
 
 struct SweepCase {
   std::uint64_t seed;
@@ -25,7 +32,7 @@ class GtConformance : public ::testing::TestWithParam<SweepCase> {
  protected:
   static NodeStackConfig config(double ppm) {
     ScenarioConfig sc;
-    sc.scheduler = SchedulerKind::kGtTsch;
+    sc.scheduler = "gt-tsch";
     sc.traffic_ppm = ppm;
     auto nc = sc.make_node_config();
     nc.app_start = 60_s;
@@ -83,7 +90,7 @@ TEST_P(GtConformance, ScheduleInvariantsAfterLongRun) {
     std::set<ChannelOffset> child_channels;
     for (const auto& [cid, child] : net.nodes()) {
       if (child->is_root() || child->rpl().parent() != node->id()) continue;
-      auto* csf = child->gt_sf();
+      const auto* csf = gt_sf(*child);
       ASSERT_NE(csf, nullptr);
       if (csf->family_channel() == kNoChannel) continue;
       EXPECT_TRUE(child_channels.insert(csf->family_channel()).second)
@@ -95,7 +102,7 @@ TEST_P(GtConformance, ScheduleInvariantsAfterLongRun) {
 TEST_P(GtConformance, PdrRobustAcrossSeeds) {
   const SweepCase c = GetParam();
   ScenarioConfig sc;
-  sc.scheduler = SchedulerKind::kGtTsch;
+  sc.scheduler = "gt-tsch";
   sc.dodag_count = 1;
   sc.nodes_per_dodag = 7;
   sc.traffic_ppm = c.ppm;
@@ -115,7 +122,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(OrchestraConformance, ScheduleStableUnderLoad) {
   ScenarioConfig sc;
-  sc.scheduler = SchedulerKind::kOrchestra;
+  sc.scheduler = "orchestra";
   sc.traffic_ppm = 120.0;
   auto nc = sc.make_node_config();
   nc.app_start = 60_s;

@@ -106,7 +106,7 @@ TEST(Drift, ChildResyncsToTimeSource) {
 TEST(Drift, NetworkDeliversWithRealisticClocks) {
   // Full GT-TSCH stack with ±40 ppm per-node clocks (typical crystal).
   ScenarioConfig sc;
-  sc.scheduler = SchedulerKind::kGtTsch;
+  sc.scheduler = "gt-tsch";
   sc.traffic_ppm = 60.0;
   auto nc = sc.make_node_config();
   nc.app_start = 60_s;

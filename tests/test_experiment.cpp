@@ -10,7 +10,7 @@ namespace {
 
 using namespace literals;
 
-ScenarioConfig small(SchedulerKind kind, double ppm) {
+ScenarioConfig small(const std::string& kind, double ppm) {
   ScenarioConfig c;
   c.scheduler = kind;
   c.dodag_count = 1;
@@ -30,8 +30,8 @@ TEST(ScenarioConfig, NodeConfigFollowsTableII) {
   EXPECT_EQ(nc.mac.max_retries, 4);
   EXPECT_EQ(nc.mac.hopping.sequence(),
             (std::vector<PhysChannel>{17, 23, 15, 25, 19, 11, 13, 21}));
-  EXPECT_EQ(nc.gt.layout.length, 32);
-  EXPECT_EQ(nc.gt.layout.broadcast_slots, 4);
+  EXPECT_EQ(nc.sf.gt.layout.length, 32);
+  EXPECT_EQ(nc.sf.gt.layout.broadcast_slots, 4);
   EXPECT_EQ(nc.rpl.min_hop_rank_increase, 256);
 }
 
@@ -39,8 +39,8 @@ TEST(ScenarioConfig, SlotframeScaling) {
   ScenarioConfig c;
   c.gt_slotframe_length = 80;
   const auto nc = c.make_node_config();
-  EXPECT_EQ(nc.gt.layout.length, 80);
-  EXPECT_EQ(nc.gt.layout.broadcast_slots, 10);
+  EXPECT_EQ(nc.sf.gt.layout.length, 80);
+  EXPECT_EQ(nc.sf.gt.layout.broadcast_slots, 10);
 }
 
 TEST(ScenarioConfig, TopologyMatchesCounts) {
@@ -53,7 +53,7 @@ TEST(ScenarioConfig, TopologyMatchesCounts) {
 }
 
 TEST(Experiment, GtRunProducesSaneMetrics) {
-  const auto r = run_scenario(small(SchedulerKind::kGtTsch, 30.0));
+  const auto r = run_scenario(small("gt-tsch", 30.0));
   EXPECT_TRUE(r.fully_formed);
   EXPECT_GT(r.metrics.generated, 40u);  // 6 senders x 30ppm x 2min x margin
   EXPECT_GT(r.metrics.pdr_percent, 85.0);
@@ -64,22 +64,22 @@ TEST(Experiment, GtRunProducesSaneMetrics) {
 }
 
 TEST(Experiment, OrchestraRunProducesSaneMetrics) {
-  const auto r = run_scenario(small(SchedulerKind::kOrchestra, 30.0));
+  const auto r = run_scenario(small("orchestra", 30.0));
   EXPECT_TRUE(r.fully_formed);
   EXPECT_GT(r.metrics.generated, 40u);
   EXPECT_GT(r.metrics.pdr_percent, 50.0);
 }
 
 TEST(Experiment, DeterministicPerSeed) {
-  const auto a = run_scenario(small(SchedulerKind::kGtTsch, 60.0));
-  const auto b = run_scenario(small(SchedulerKind::kGtTsch, 60.0));
+  const auto a = run_scenario(small("gt-tsch", 60.0));
+  const auto b = run_scenario(small("gt-tsch", 60.0));
   EXPECT_EQ(a.metrics.generated, b.metrics.generated);
   EXPECT_EQ(a.metrics.delivered, b.metrics.delivered);
   EXPECT_DOUBLE_EQ(a.metrics.avg_delay_ms, b.metrics.avg_delay_ms);
 }
 
 TEST(Experiment, SeedsChangeOutcomes) {
-  auto c = small(SchedulerKind::kGtTsch, 60.0);
+  auto c = small("gt-tsch", 60.0);
   const auto a = run_scenario(c);
   c.seed = 6;
   const auto b = run_scenario(c);
@@ -89,14 +89,14 @@ TEST(Experiment, SeedsChangeOutcomes) {
 TEST(Experiment, HeadlineComparisonUnderHeavyLoad) {
   // The paper's core claim (Fig 8): under heavy traffic GT-TSCH keeps PDR
   // high while Orchestra collapses toward ~50%.
-  const auto gt = run_scenario(small(SchedulerKind::kGtTsch, 120.0));
-  const auto orch = run_scenario(small(SchedulerKind::kOrchestra, 120.0));
+  const auto gt = run_scenario(small("gt-tsch", 120.0));
+  const auto orch = run_scenario(small("orchestra", 120.0));
   EXPECT_GT(gt.metrics.pdr_percent, orch.metrics.pdr_percent + 10.0);
   EXPECT_GT(gt.metrics.throughput_per_minute, orch.metrics.throughput_per_minute);
 }
 
 TEST(Experiment, AveragingAccumulates) {
-  auto c = small(SchedulerKind::kGtTsch, 30.0);
+  auto c = small("gt-tsch", 30.0);
   c.measure = 60_s;
   const auto avg = run_averaged(c, {1, 2});
   EXPECT_EQ(avg.runs, 2);
@@ -112,8 +112,8 @@ TEST(Experiment, DefaultSeedsNonEmpty) {
 }
 
 TEST(Experiment, SchedulerNames) {
-  EXPECT_STREQ(scheduler_name(SchedulerKind::kGtTsch), "GT-TSCH");
-  EXPECT_STREQ(scheduler_name(SchedulerKind::kOrchestra), "Orchestra");
+  EXPECT_STREQ(scheduler_name("gt-tsch"), "GT-TSCH");
+  EXPECT_STREQ(scheduler_name("orchestra"), "Orchestra");
 }
 
 }  // namespace

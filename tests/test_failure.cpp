@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "phy/dynamic_link.hpp"
+#include "core/gt_tsch_sf.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/network.hpp"
 
@@ -12,9 +13,15 @@ namespace {
 
 using namespace literals;
 
+/// GT-specific assertions reach the concrete SF through the common
+/// interface; nullptr when the node runs a different scheduler.
+const GtTschSf* gt_sf(const Node& n) {
+  return dynamic_cast<const GtTschSf*>(&n.sf());
+}
+
 NodeStackConfig gt_config(double ppm) {
   ScenarioConfig sc;
-  sc.scheduler = SchedulerKind::kGtTsch;
+  sc.scheduler = "gt-tsch";
   sc.traffic_ppm = ppm;
   auto nc = sc.make_node_config();
   nc.app_start = 60_s;
@@ -123,8 +130,8 @@ TEST(Failure, GameShrinksHeadroomOnBadLink) {
   ASSERT_TRUE(net.fully_formed());
   net.sim().run_until(500_s);
   // The node still holds enough cells to carry its traffic...
-  ASSERT_NE(net.node(3).gt_sf(), nullptr);
-  EXPECT_GE(net.node(3).gt_sf()->allocated_tx_cells(), 1);
+  ASSERT_NE(gt_sf(net.node(3)), nullptr);
+  EXPECT_GE(gt_sf(net.node(3))->allocated_tx_cells(), 1);
   // ...but its ETX-driven link cost is visibly above 1.
   EXPECT_GT(net.node(3).etx().etx(2), 1.5);
 }
@@ -153,10 +160,10 @@ TEST(Failure, LeafReparentsWhenRouterDies) {
   EXPECT_TRUE(net.node(first_parent).failed());
   EXPECT_EQ(net.node(4).rpl().parent(), other);
   // The leaf is operational again under the new parent.
-  ASSERT_NE(net.node(4).gt_sf(), nullptr);
-  EXPECT_EQ(net.node(4).gt_sf()->stage(), GtTschSf::Stage::kOperational);
-  EXPECT_EQ(net.node(4).gt_sf()->channel_to_parent(),
-            net.node(other).gt_sf()->family_channel());
+  ASSERT_NE(gt_sf(net.node(4)), nullptr);
+  EXPECT_EQ(gt_sf(net.node(4))->stage(), GtTschSf::Stage::kOperational);
+  EXPECT_EQ(gt_sf(net.node(4))->channel_to_parent(),
+            gt_sf(net.node(other))->family_channel());
 }
 
 TEST(Failure, ParentReclaimsCellsOfDeadChild) {
@@ -164,22 +171,22 @@ TEST(Failure, ParentReclaimsCellsOfDeadChild) {
   // the relay must reclaim its Rx cells and erase the child.
   const auto topo = build_line(1, {0, 0}, 2, 30.0);
   auto nc = gt_config(60.0);
-  nc.gt.child_timeout = 60_s;
+  nc.sf.gt.child_timeout = 60_s;
   DynamicLinkModel* dyn = nullptr;
   Network net(81, dynamic_disk(&dyn), topo, nc, nullptr);
 
   net.start();
   net.sim().run_until(240_s);
   ASSERT_TRUE(net.fully_formed());
-  ASSERT_EQ(net.node(2).gt_sf()->child_count(), 1u);
-  ASSERT_GT(net.node(2).gt_sf()->allocated_rx_cells(), 0);
+  ASSERT_EQ(gt_sf(net.node(2))->child_count(), 1u);
+  ASSERT_GT(gt_sf(net.node(2))->allocated_rx_cells(), 0);
 
   dyn->kill_node(250_s, 3);
   net.sim().at(250_s, [&] { net.node(3).fail(); });
   net.sim().run_until(600_s);
 
-  EXPECT_EQ(net.node(2).gt_sf()->child_count(), 0u);
-  EXPECT_EQ(net.node(2).gt_sf()->allocated_rx_cells(), 0);
+  EXPECT_EQ(gt_sf(net.node(2))->child_count(), 0u);
+  EXPECT_EQ(gt_sf(net.node(2))->allocated_rx_cells(), 0);
 }
 
 TEST(Failure, DeliveryRecoversAfterRouterFailure) {
@@ -220,7 +227,7 @@ TEST(Failure, OrchestraAlsoRecovers) {
   topo.nodes.push_back(NodeSpec{4, {55, 0}, false});
 
   ScenarioConfig sc;
-  sc.scheduler = SchedulerKind::kOrchestra;
+  sc.scheduler = "orchestra";
   sc.traffic_ppm = 30.0;
   auto nc = sc.make_node_config();
   nc.app_start = 60_s;

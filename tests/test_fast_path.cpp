@@ -54,7 +54,7 @@ ModeResult run_mode(const ScenarioConfig& sc, std::uint64_t seed, bool per_slot,
   auto nc = sc.make_node_config();
   nc.mac.per_slot_stepping = per_slot;
   nc.max_drift_ppm = max_drift_ppm;
-  if (broadcast_slots > 0) nc.gt.layout.broadcast_slots = broadcast_slots;
+  if (broadcast_slots > 0) nc.sf.gt.layout.broadcast_slots = broadcast_slots;
   const TopologySpec topology = sc.make_topology();
   Trace trace;
   std::string trace_error;
@@ -148,7 +148,7 @@ void expect_identical(const ModeResult& fast, const ModeResult& ref) {
 
 /// Fig 8 default setup (paper Section VIII), shortened run so the per-slot
 /// reference stays cheap under sanitizers.
-ScenarioConfig fig8_config(SchedulerKind kind) {
+ScenarioConfig fig8_config(const std::string& kind) {
   ScenarioConfig sc;
   sc.scheduler = kind;
   sc.dodag_count = 2;
@@ -163,21 +163,21 @@ ScenarioConfig fig8_config(SchedulerKind kind) {
 }
 
 TEST(FastPathEquivalence, GtTschFig8SeedA) {
-  const ScenarioConfig sc = fig8_config(SchedulerKind::kGtTsch);
+  const ScenarioConfig sc = fig8_config("gt-tsch");
   const ModeResult fast = run_mode(sc, 1000, /*per_slot=*/false);
   const ModeResult ref = run_mode(sc, 1000, /*per_slot=*/true);
   expect_identical(fast, ref);
 }
 
 TEST(FastPathEquivalence, GtTschFig8SeedB) {
-  const ScenarioConfig sc = fig8_config(SchedulerKind::kGtTsch);
+  const ScenarioConfig sc = fig8_config("gt-tsch");
   const ModeResult fast = run_mode(sc, 1017, /*per_slot=*/false);
   const ModeResult ref = run_mode(sc, 1017, /*per_slot=*/true);
   expect_identical(fast, ref);
 }
 
 TEST(FastPathEquivalence, OrchestraFig8) {
-  const ScenarioConfig sc = fig8_config(SchedulerKind::kOrchestra);
+  const ScenarioConfig sc = fig8_config("orchestra");
   const ModeResult fast = run_mode(sc, 1000, /*per_slot=*/false);
   const ModeResult ref = run_mode(sc, 1000, /*per_slot=*/true);
   expect_identical(fast, ref);
@@ -187,7 +187,7 @@ TEST(FastPathEquivalence, HoldsUnderClockDrift) {
   // ±40 ppm per-node oscillators: skipped spans must accumulate the exact
   // same drifted boundary times (bit-identical double residue) as stepping
   // slot by slot, including across EB time corrections.
-  ScenarioConfig sc = fig8_config(SchedulerKind::kGtTsch);
+  ScenarioConfig sc = fig8_config("gt-tsch");
   sc.dodag_count = 1;
   const ModeResult fast = run_mode(sc, 2000, /*per_slot=*/false, /*drift=*/40.0);
   const ModeResult ref = run_mode(sc, 2000, /*per_slot=*/true, /*drift=*/40.0);
@@ -198,7 +198,7 @@ TEST(FastPathEquivalence, SparseScheduleSkipsProportionally) {
   // Slotframe length 397 with GT-TSCH's default layout rule (m/8 -> 49
   // broadcast slots): ~15% occupancy, so the fast path should shed the
   // ~85% idle boundaries while every rx-guard listen still costs events.
-  ScenarioConfig sc = fig8_config(SchedulerKind::kGtTsch);
+  ScenarioConfig sc = fig8_config("gt-tsch");
   sc.dodag_count = 1;
   sc.gt_slotframe_length = 397;
   sc.traffic_ppm = 30.0;
@@ -213,7 +213,7 @@ TEST(FastPathEquivalence, MinimalScheduleSkipsByOccupancy) {
   // slots (plus the shared/unicast handful) — the idle-slot-dominated
   // regime the bench_sim_core end-to-end benchmark measures. Events must
   // collapse by the occupancy ratio, not a constant factor.
-  ScenarioConfig sc = fig8_config(SchedulerKind::kGtTsch);
+  ScenarioConfig sc = fig8_config("gt-tsch");
   sc.dodag_count = 1;
   sc.gt_slotframe_length = 397;
   sc.traffic_ppm = 30.0;
@@ -229,7 +229,7 @@ TEST(FastPathEquivalence, FiftyNodeGridTopology) {
   // A builder topology at campaign scale: 50-node grid, multihop routes.
   // Equivalence must hold through the heavier contention and the much
   // larger schedule population.
-  ScenarioConfig sc = fig8_config(SchedulerKind::kGtTsch);
+  ScenarioConfig sc = fig8_config("gt-tsch");
   sc.topology = TopologyKind::kGrid;
   sc.topology_nodes = 50;
   sc.traffic_ppm = 30.0;
@@ -244,7 +244,7 @@ TEST(FastPathEquivalence, FiftyNodeGridTopology) {
 TEST(FastPathEquivalence, MobilityScenario) {
   // Mid-run moves invalidate the medium's link cache incrementally; the
   // skipping MAC must stay bit-identical while links fade and reform.
-  ScenarioConfig sc = fig8_config(SchedulerKind::kGtTsch);
+  ScenarioConfig sc = fig8_config("gt-tsch");
   sc.dodag_count = 1;
   sc.warmup = 120_s;
   sc.measure = 120_s;
@@ -274,7 +274,7 @@ TEST(FastPathEquivalence, MobilityScenario) {
 /// Trace-driven churn (shared generator): movers walking plus one node
 /// dying mid-measurement. The skipping MAC must stay bit-identical while
 /// links fade, the victim's cells go dark, and RPL re-homes children.
-ScenarioConfig trace_config(SchedulerKind kind) {
+ScenarioConfig trace_config(const std::string& kind) {
   ScenarioConfig sc = fig8_config(kind);
   sc.dodag_count = 1;  // 7 nodes
   sc.trace_kind = TraceKind::kRandomWalk;
@@ -288,7 +288,7 @@ ScenarioConfig trace_config(SchedulerKind kind) {
 }
 
 TEST(FastPathEquivalence, TraceDrivenGtTschTwoSeeds) {
-  const ScenarioConfig sc = trace_config(SchedulerKind::kGtTsch);
+  const ScenarioConfig sc = trace_config("gt-tsch");
   for (const std::uint64_t seed : {4000ull, 4017ull}) {
     SCOPED_TRACE(::testing::Message() << "seed " << seed);
     const ModeResult fast = run_mode(sc, seed, /*per_slot=*/false);
@@ -298,7 +298,7 @@ TEST(FastPathEquivalence, TraceDrivenGtTschTwoSeeds) {
 }
 
 TEST(FastPathEquivalence, TraceDrivenOrchestraTwoSeeds) {
-  const ScenarioConfig sc = trace_config(SchedulerKind::kOrchestra);
+  const ScenarioConfig sc = trace_config("orchestra");
   for (const std::uint64_t seed : {4000ull, 4017ull}) {
     SCOPED_TRACE(::testing::Message() << "seed " << seed);
     const ModeResult fast = run_mode(sc, seed, /*per_slot=*/false);
@@ -312,7 +312,7 @@ TEST(FastPathEquivalence, TraceFileEqualsGeneratorConfig) {
   // same scenario driven by the equivalent generator config produce
   // identical RunStats — and the file-driven run is itself bit-identical
   // between fast-path and per-slot stepping.
-  const ScenarioConfig generated = trace_config(SchedulerKind::kGtTsch);
+  const ScenarioConfig generated = trace_config("gt-tsch");
 
   // Materialize the generator's stream as a file.
   Trace trace;

@@ -3,6 +3,7 @@
 // schedulers, and the Section III / V invariants checked on live schedules.
 #include <gtest/gtest.h>
 
+#include "core/gt_tsch_sf.hpp"
 #include "core/tx_alloc.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/network.hpp"
@@ -12,9 +13,15 @@ namespace {
 
 using namespace literals;
 
+/// GT-specific assertions reach the concrete SF through the common
+/// interface; nullptr when the node runs a different scheduler.
+const GtTschSf* gt_sf(const Node& n) {
+  return dynamic_cast<const GtTschSf*>(&n.sf());
+}
+
 NodeStackConfig gt_config(double ppm = 30.0) {
   ScenarioConfig sc;
-  sc.scheduler = SchedulerKind::kGtTsch;
+  sc.scheduler = "gt-tsch";
   sc.traffic_ppm = ppm;
   auto nc = sc.make_node_config();
   nc.app_start = 60_s;
@@ -24,7 +31,7 @@ NodeStackConfig gt_config(double ppm = 30.0) {
 
 NodeStackConfig orchestra_config(double ppm = 30.0) {
   ScenarioConfig sc;
-  sc.scheduler = SchedulerKind::kOrchestra;
+  sc.scheduler = "orchestra";
   sc.traffic_ppm = ppm;
   auto nc = sc.make_node_config();
   nc.app_start = 60_s;
@@ -74,7 +81,7 @@ TEST(Integration, GtBootstrapReachesOperational) {
   net.start();
   net.sim().run_until(240_s);
   for (const auto& [id, node] : net.nodes()) {
-    auto* sf = node->gt_sf();
+    const auto* sf = gt_sf(*node);
     ASSERT_NE(sf, nullptr);
     EXPECT_EQ(sf->stage(), GtTschSf::Stage::kOperational) << "node " << id;
     EXPECT_NE(sf->family_channel(), kNoChannel) << "node " << id;
@@ -88,9 +95,9 @@ TEST(Integration, GtChannelPropertiesHoldOnLiveTree) {
   net.sim().run_until(240_s);
   // Three-hop uniqueness on every leaf -> router -> root path.
   for (NodeId leaf = 4; leaf <= 7; ++leaf) {
-    auto* leaf_sf = net.node(leaf).gt_sf();
+    const auto* leaf_sf = gt_sf(net.node(leaf));
     const NodeId router = net.node(leaf).rpl().parent();
-    auto* router_sf = net.node(router).gt_sf();
+    const auto* router_sf = gt_sf(net.node(router));
     ASSERT_NE(leaf_sf, nullptr);
     ASSERT_NE(router_sf, nullptr);
     // Leaf tx channel == router family channel.
@@ -101,7 +108,7 @@ TEST(Integration, GtChannelPropertiesHoldOnLiveTree) {
     EXPECT_NE(leaf_sf->family_channel(), leaf_sf->channel_to_parent());
   }
   // Sibling routers have distinct family channels.
-  EXPECT_NE(net.node(2).gt_sf()->family_channel(), net.node(3).gt_sf()->family_channel());
+  EXPECT_NE(gt_sf(net.node(2))->family_channel(), gt_sf(net.node(3))->family_channel());
 }
 
 TEST(Integration, GtSectionVInvariantsOnLiveSchedules) {
@@ -126,8 +133,8 @@ TEST(Integration, GtDataCellsFollowDemand) {
   net.sim().run_until(300_s);
   // Routers forward two leaves' traffic plus their own: they must have
   // acquired more Tx cells than the leaves.
-  const int router_tx = net.node(2).gt_sf()->allocated_tx_cells();
-  const int leaf_tx = net.node(4).gt_sf()->allocated_tx_cells();
+  const int router_tx = gt_sf(net.node(2))->allocated_tx_cells();
+  const int leaf_tx = gt_sf(net.node(4))->allocated_tx_cells();
   EXPECT_GT(router_tx, 0);
   EXPECT_GT(leaf_tx, 0);
   EXPECT_GE(router_tx, leaf_tx);

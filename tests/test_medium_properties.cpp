@@ -291,7 +291,7 @@ bool counters_equal(const MacCounters& a, const MacCounters& b) {
 StackSnapshot run_dynamic_stack(bool cache_enabled) {
   using namespace literals;
   ScenarioConfig sc;
-  sc.scheduler = SchedulerKind::kGtTsch;
+  sc.scheduler = "gt-tsch";
   sc.dodag_count = 1;
   sc.nodes_per_dodag = 7;
   sc.traffic_ppm = 60.0;
@@ -359,7 +359,7 @@ TEST(MediumCacheIncremental, DynamicStackMatchesUncachedReferenceBitForBit) {
 StackSnapshot run_waypoint_stack(bool cache_enabled) {
   using namespace literals;
   ScenarioConfig sc;
-  sc.scheduler = SchedulerKind::kGtTsch;
+  sc.scheduler = "gt-tsch";
   sc.dodag_count = 1;
   sc.nodes_per_dodag = 7;
   sc.traffic_ppm = 60.0;
@@ -426,7 +426,7 @@ TEST(MediumCacheIncremental, SingleTraceMoveStaysUnderTwoNModelCalls) {
   // 2n bound (even one full row+column re-scan would be ~4n).
   using namespace literals;
   ScenarioConfig sc;
-  sc.scheduler = SchedulerKind::kGtTsch;
+  sc.scheduler = "gt-tsch";
   sc.topology = TopologyKind::kRandomDisk;
   sc.topology_nodes = 64;
   sc.disk_radius = 400.0;  // sparse: a 3x3 grid neighborhood holds few nodes

@@ -3,6 +3,7 @@
 // the authors' companion work DT-SF, exercised here as an extension).
 #include <gtest/gtest.h>
 
+#include "core/gt_tsch_sf.hpp"
 #include "scenario/experiment.hpp"
 #include "scenario/network.hpp"
 
@@ -11,9 +12,15 @@ namespace {
 
 using namespace literals;
 
+/// GT-specific assertions reach the concrete SF through the common
+/// interface; nullptr when the node runs a different scheduler.
+const GtTschSf* gt_sf(const Node& n) {
+  return dynamic_cast<const GtTschSf*>(&n.sf());
+}
+
 NodeStackConfig gt_config(double ppm) {
   ScenarioConfig sc;
-  sc.scheduler = SchedulerKind::kGtTsch;
+  sc.scheduler = "gt-tsch";
   sc.traffic_ppm = ppm;
   auto nc = sc.make_node_config();
   nc.app_start = 60_s;
@@ -45,10 +52,10 @@ TEST(Mobility, PositionUpdatesAffectLinks) {
 
   // The old link is out of range now; the node must have re-homed to 3.
   EXPECT_EQ(net.node(4).rpl().parent(), 3);
-  ASSERT_NE(net.node(4).gt_sf(), nullptr);
-  EXPECT_EQ(net.node(4).gt_sf()->stage(), GtTschSf::Stage::kOperational);
-  EXPECT_EQ(net.node(4).gt_sf()->channel_to_parent(),
-            net.node(3).gt_sf()->family_channel());
+  ASSERT_NE(gt_sf(net.node(4)), nullptr);
+  EXPECT_EQ(gt_sf(net.node(4))->stage(), GtTschSf::Stage::kOperational);
+  EXPECT_EQ(gt_sf(net.node(4))->channel_to_parent(),
+            gt_sf(net.node(3))->family_channel());
 }
 
 TEST(Mobility, DeliveryContinuesAfterRoam) {

@@ -141,7 +141,7 @@ void expect_identical(const ModeResult& with, const ModeResult& without) {
 
 /// 7-node single-DODAG scenario with movers and one mid-run failure, so
 /// the event trace sees joins, parent switches, trace moves and a death.
-ScenarioConfig churny_config(SchedulerKind kind) {
+ScenarioConfig churny_config(const std::string& kind) {
   ScenarioConfig sc;
   sc.scheduler = kind;
   sc.dodag_count = 1;
@@ -173,7 +173,7 @@ TelemetryConfig passive_config() {
 }
 
 TEST(TelemetryBitIdentity, GtTschBothSteppingModesTwoSeeds) {
-  const ScenarioConfig sc = churny_config(SchedulerKind::kGtTsch);
+  const ScenarioConfig sc = churny_config("gt-tsch");
   for (const std::uint64_t seed : {4000ull, 4017ull}) {
     for (const bool per_slot : {false, true}) {
       SCOPED_TRACE(::testing::Message() << "seed " << seed << " per_slot " << per_slot);
@@ -188,7 +188,7 @@ TEST(TelemetryBitIdentity, GtTschBothSteppingModesTwoSeeds) {
 }
 
 TEST(TelemetryBitIdentity, OrchestraBothSteppingModesTwoSeeds) {
-  const ScenarioConfig sc = churny_config(SchedulerKind::kOrchestra);
+  const ScenarioConfig sc = churny_config("orchestra");
   for (const std::uint64_t seed : {4000ull, 4017ull}) {
     for (const bool per_slot : {false, true}) {
       SCOPED_TRACE(::testing::Message() << "seed " << seed << " per_slot " << per_slot);
@@ -205,7 +205,7 @@ TEST(TelemetryProbes, ExcludedFromPanelsByDefault) {
   // But the *generated* panel counter is pure application traffic, whose
   // generation schedule no probe can perturb — so it must match a
   // probe-free run exactly, while the probe time series itself flows.
-  ScenarioConfig sc = churny_config(SchedulerKind::kGtTsch);
+  ScenarioConfig sc = churny_config("gt-tsch");
   sc.trace_fail_count = 0;  // keep every prospective probe sender alive
   const ModeResult base = run_mode(sc, 4000, /*per_slot=*/false, nullptr);
 
@@ -240,7 +240,7 @@ TEST(TelemetryProbes, ExcludedFromPanelsByDefault) {
 }
 
 TEST(TelemetryProbes, OptInToPanelsCountsThem) {
-  ScenarioConfig sc = churny_config(SchedulerKind::kGtTsch);
+  ScenarioConfig sc = churny_config("gt-tsch");
   sc.trace_fail_count = 0;
   const ModeResult base = run_mode(sc, 4000, /*per_slot=*/false, nullptr);
 
@@ -258,7 +258,7 @@ TEST(TelemetryProbes, OptInToPanelsCountsThem) {
 }
 
 TEST(TelemetryStream, MonotoneTimestampsAndSummary) {
-  const ScenarioConfig sc = churny_config(SchedulerKind::kGtTsch);
+  const ScenarioConfig sc = churny_config("gt-tsch");
   TelemetryConfig tc = passive_config();
   tc.probe_count = 2;
   Telemetry telemetry(tc);
@@ -294,7 +294,7 @@ TEST(TelemetryStream, MonotoneTimestampsAndSummary) {
 }
 
 TEST(TelemetryStream, EventTraceIsBounded) {
-  const ScenarioConfig sc = churny_config(SchedulerKind::kGtTsch);
+  const ScenarioConfig sc = churny_config("gt-tsch");
   TelemetryConfig tc = passive_config();
   tc.max_events = 5;
   Telemetry telemetry(tc);
@@ -310,7 +310,7 @@ TEST(TelemetryStream, EventTraceIsBounded) {
 }
 
 TEST(TelemetryStream, SamplesCarryGaugePanel) {
-  const ScenarioConfig sc = churny_config(SchedulerKind::kGtTsch);
+  const ScenarioConfig sc = churny_config("gt-tsch");
   Telemetry telemetry(passive_config());
   run_mode(sc, 4000, /*per_slot=*/false, &telemetry);
 

@@ -24,6 +24,7 @@
 #include "campaign/journal.hpp"
 #include "campaign/report.hpp"
 #include "campaign/runner.hpp"
+#include "sixp/sf_registry.hpp"
 #include "stats/telemetry.hpp"
 #include "util/flags.hpp"
 #include "util/table.hpp"
@@ -39,7 +40,9 @@ void print_usage() {
       "\n"
       "Run options:\n"
       "  --grid SPEC    axes as \"field=v1,v2;field2=v3,v4\" (cartesian product)\n"
-      "                 mobility/failure traces sweep like any field, e.g.\n"
+      "                 schedulers sweep like any field, e.g.\n"
+      "                 \"scheduler=%s\";\n"
+      "                 mobility/failure traces too, e.g.\n"
       "                 \"trace_kind=none,random-walk;trace_seed=1,2\" or\n"
       "                 \"trace=a.trace,b.trace\" (see --list-fields)\n"
       "  --set SPEC     base-config overrides, same \"field=v;field2=v\" grammar\n"
@@ -68,7 +71,8 @@ void print_usage() {
       "  --list-metrics print the adaptive stopping metrics and exit\n"
       "\n"
       "merge combines per-shard journals into one aggregate report,\n"
-      "bit-identical to an unsharded run over the same jobs.\n");
+      "bit-identical to an unsharded run over the same jobs.\n",
+      SfRegistry::instance().names_joined(",").c_str());
 }
 
 int fail_usage(const char* what, const std::string& detail) {
