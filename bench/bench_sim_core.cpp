@@ -11,6 +11,8 @@
 //   mobile-100  100-node random-disk mesh with a population of random-
 //               walk movers (exercises the incremental medium cache)
 //   nodes-200   200-node random-disk mesh over a full simulated hour
+//   churn-100   100-node random-disk mesh under crashloop fault
+//               injection (staggered fail -> revive cycles)
 // — written to BENCH_simcore.json so every later PR can be compared per
 // scenario class (tools/perf_diff.py prints the delta table; CI's
 // perf-smoke job runs it against the committed baseline).
@@ -219,6 +221,29 @@ ScenarioPoint emsf50_point() {
   return p;
 }
 
+// Fault-injection at mobile-100 scale: ten crashers in staggered
+// fail -> revive cycles from the crashloop generator, so kill/revive
+// medium-cache invalidation and reboot-driven beacon scans ride the perf
+// trajectory. Appended after the historical points: their event counts
+// must stay byte-identical.
+ScenarioPoint churn100_point() {
+  ScenarioPoint p;
+  p.name = "churn-100";
+  p.config.scheduler = "gt-tsch";
+  p.config.topology = TopologyKind::kRandomDisk;
+  p.config.topology_nodes = 100;
+  p.config.disk_radius = 150.0;
+  p.config.traffic_ppm = 30;
+  p.config.trace_kind = TraceKind::kCrashloop;
+  p.config.trace_seed = 90210;
+  p.config.trace_fail_count = 10;
+  p.config.trace_fail_at_s = 660.0;  // five 120 s cycles across the window
+  p.config.trace_interval_s = 2.0;
+  p.formation = 600_s;
+  p.measure = 600_s;
+  return p;
+}
+
 struct EndToEnd {
   double wall_seconds = 0.0;
   double sim_per_wall = 0.0;
@@ -295,7 +320,7 @@ bool write_simcore_json(const std::string& path) {
   const std::vector<ScenarioPoint> points = {
       sparse7_point(),   telemetry_overhead_point(), dense50_point(),
       mobile100_point(), nodes200_point(),           alice50_point(),
-      emsf50_point()};
+      emsf50_point(),    churn100_point()};
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_sim_core: cannot write %s\n", path.c_str());

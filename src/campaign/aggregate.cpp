@@ -62,6 +62,9 @@ constexpr NamedMetric kNamedMetrics[] = {
     {"post_pdr_percent", &PointAggregate::post_pdr_percent},
     {"probe_pdr_percent", &PointAggregate::probe_pdr_percent},
     {"probe_avg_latency_ms", &PointAggregate::probe_avg_latency_ms},
+    {"recovery_rejoin_s", &PointAggregate::recovery_rejoin_s},
+    {"recovery_first_delivery_s", &PointAggregate::recovery_first_delivery_s},
+    {"recovery_ttr_s", &PointAggregate::recovery_ttr_s},
 };
 
 }  // namespace
@@ -111,6 +114,10 @@ PointAggregate PointAccumulator::finalize() const {
       {&PointAggregate::post_pdr_percent, &RunMetrics::post_pdr_percent},
       {&PointAggregate::probe_pdr_percent, &RunMetrics::probe_pdr_percent},
       {&PointAggregate::probe_avg_latency_ms, &RunMetrics::probe_avg_latency_ms},
+      {&PointAggregate::recovery_rejoin_s, &RunMetrics::recovery_rejoin_s},
+      {&PointAggregate::recovery_first_delivery_s,
+       &RunMetrics::recovery_first_delivery_s},
+      {&PointAggregate::recovery_ttr_s, &RunMetrics::recovery_ttr_s},
   };
   std::vector<double> samples;
   samples.reserve(by_seed_.size());
@@ -141,6 +148,11 @@ PointAggregate PointAccumulator::finalize() const {
     out.mean.post_delivered += m.post_delivered;
     out.mean.probes_sent += m.probes_sent;
     out.mean.probes_delivered += m.probes_delivered;
+    out.mean.node_failures += m.node_failures;
+    out.mean.node_revivals += m.node_revivals;
+    out.mean.node_rejoins += m.node_rejoins;
+    out.mean.orphan_intervals += m.orphan_intervals;
+    out.mean.recovery_ttr_censored += m.recovery_ttr_censored;
     out.mean.pre_avg_delay_ms += m.pre_avg_delay_ms;
     out.mean.churn_avg_delay_ms += m.churn_avg_delay_ms;
     out.mean.post_avg_delay_ms += m.post_avg_delay_ms;
@@ -168,6 +180,9 @@ PointAggregate PointAccumulator::finalize() const {
   out.mean.post_pdr_percent = out.post_pdr_percent.mean;
   out.mean.probe_pdr_percent = out.probe_pdr_percent.mean;
   out.mean.probe_avg_latency_ms = out.probe_avg_latency_ms.mean;
+  out.mean.recovery_rejoin_s = out.recovery_rejoin_s.mean;
+  out.mean.recovery_first_delivery_s = out.recovery_first_delivery_s.mean;
+  out.mean.recovery_ttr_s = out.recovery_ttr_s.mean;
   return out;
 }
 

@@ -53,6 +53,10 @@ struct PointAggregate {
   SampleStats post_pdr_percent;
   SampleStats probe_pdr_percent;
   SampleStats probe_avg_latency_ms;
+  // Recovery metrics (all-zero without fail/revive trace events).
+  SampleStats recovery_rejoin_s;
+  SampleStats recovery_first_delivery_s;
+  SampleStats recovery_ttr_s;
 
   RunMetrics mean;        ///< means (and summed counters), as run_averaged
   MediumStats medium_sum; ///< summed medium counters over seeds

@@ -69,6 +69,9 @@ constexpr DoubleField kMetricDoubles[] = {
     {"post_avg_delay_ms", &RunMetrics::post_avg_delay_ms},
     {"probe_pdr_percent", &RunMetrics::probe_pdr_percent},
     {"probe_avg_latency_ms", &RunMetrics::probe_avg_latency_ms},
+    {"recovery_rejoin_s", &RunMetrics::recovery_rejoin_s},
+    {"recovery_first_delivery_s", &RunMetrics::recovery_first_delivery_s},
+    {"recovery_ttr_s", &RunMetrics::recovery_ttr_s},
 };
 
 constexpr U64Field kMetricCounters[] = {
@@ -88,6 +91,11 @@ constexpr U64Field kMetricCounters[] = {
     {"post_delivered", &RunMetrics::post_delivered},
     {"probes_sent", &RunMetrics::probes_sent},
     {"probes_delivered", &RunMetrics::probes_delivered},
+    {"node_failures", &RunMetrics::node_failures},
+    {"node_revivals", &RunMetrics::node_revivals},
+    {"node_rejoins", &RunMetrics::node_rejoins},
+    {"orphan_intervals", &RunMetrics::orphan_intervals},
+    {"recovery_ttr_censored", &RunMetrics::recovery_ttr_censored},
 };
 
 constexpr MediumField kMediumCounters[] = {

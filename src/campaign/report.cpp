@@ -27,6 +27,9 @@ constexpr MetricColumn kMetrics[] = {
     {"post_pdr_percent", &PointAggregate::post_pdr_percent},
     {"probe_pdr_percent", &PointAggregate::probe_pdr_percent},
     {"probe_avg_latency_ms", &PointAggregate::probe_avg_latency_ms},
+    {"recovery_rejoin_s", &PointAggregate::recovery_rejoin_s},
+    {"recovery_first_delivery_s", &PointAggregate::recovery_first_delivery_s},
+    {"recovery_ttr_s", &PointAggregate::recovery_ttr_s},
 };
 
 std::string fmt(double v) {
@@ -70,7 +73,9 @@ std::vector<std::string> csv_header(const std::vector<PointAggregate>& aggregate
        {"generated", "delivered", "queue_drops", "mac_drops", "no_route_drops",
         "medium_transmissions", "medium_collision_losses", "medium_prr_losses",
         "pre_generated", "churn_generated", "post_generated", "pre_delivered",
-        "churn_delivered", "post_delivered", "probes_sent", "probes_delivered"}) {
+        "churn_delivered", "post_delivered", "probes_sent", "probes_delivered",
+        "node_failures", "node_revivals", "node_rejoins", "orphan_intervals",
+        "recovery_ttr_censored"}) {
     header.push_back(name);
   }
   return header;
@@ -103,6 +108,11 @@ std::vector<std::string> csv_row(const PointAggregate& a) {
   row.push_back(fmt(a.mean.post_delivered));
   row.push_back(fmt(a.mean.probes_sent));
   row.push_back(fmt(a.mean.probes_delivered));
+  row.push_back(fmt(a.mean.node_failures));
+  row.push_back(fmt(a.mean.node_revivals));
+  row.push_back(fmt(a.mean.node_rejoins));
+  row.push_back(fmt(a.mean.orphan_intervals));
+  row.push_back(fmt(a.mean.recovery_ttr_censored));
   return row;
 }
 
@@ -166,7 +176,12 @@ std::string render_json(const std::vector<PointAggregate>& aggregates) {
            ", \"churn_delivered\": " + fmt(a.mean.churn_delivered) +
            ", \"post_delivered\": " + fmt(a.mean.post_delivered) +
            ", \"probes_sent\": " + fmt(a.mean.probes_sent) +
-           ", \"probes_delivered\": " + fmt(a.mean.probes_delivered) + "},\n";
+           ", \"probes_delivered\": " + fmt(a.mean.probes_delivered) +
+           ", \"node_failures\": " + fmt(a.mean.node_failures) +
+           ", \"node_revivals\": " + fmt(a.mean.node_revivals) +
+           ", \"node_rejoins\": " + fmt(a.mean.node_rejoins) +
+           ", \"orphan_intervals\": " + fmt(a.mean.orphan_intervals) +
+           ", \"recovery_ttr_censored\": " + fmt(a.mean.recovery_ttr_censored) + "},\n";
     out += "    \"medium\": {\"transmissions\": " + fmt(a.medium_sum.transmissions) +
            ", \"deliveries\": " + fmt(a.medium_sum.deliveries) +
            ", \"collision_losses\": " + fmt(a.medium_sum.collision_losses) +

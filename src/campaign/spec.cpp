@@ -114,7 +114,8 @@ bool apply_measure(ScenarioConfig& c, const std::string& value, std::string* err
 bool apply_trace_kind(ScenarioConfig& c, const std::string& value, std::string* error) {
   if (parse_trace_kind(value, &c.trace_kind)) return true;
   return fail(error, "trace_kind: unknown value '" + value +
-                         "' (expected none, file, random-walk or random-waypoint)");
+                         "' (expected none, file, random-walk, random-waypoint or "
+                         "crashloop)");
 }
 
 bool apply_trace_path(ScenarioConfig& c, const std::string& value, std::string* error) {
@@ -278,6 +279,16 @@ const FieldDef kFields[] = {
      [](ScenarioConfig& c, const std::string& v, std::string* e) {
        return set_number(c, v, e, "trace_fail_at_s", &ScenarioConfig::trace_fail_at_s,
                          0, 1e9);
+     }},
+    {"trace_down_s",
+     [](ScenarioConfig& c, const std::string& v, std::string* e) {
+       return set_number(c, v, e, "trace_down_s", &ScenarioConfig::trace_down_s, 1e-3,
+                         1e9);
+     }},
+    {"trace_cycle_s",
+     [](ScenarioConfig& c, const std::string& v, std::string* e) {
+       return set_number(c, v, e, "trace_cycle_s", &ScenarioConfig::trace_cycle_s,
+                         1e-3, 1e9);
      }},
 };
 
@@ -596,6 +607,8 @@ void mix_config(Fingerprint& fp, const ScenarioConfig& c, TraceContentCache& cac
   fp.mix(c.trace_speed_mps);
   fp.mix(c.trace_interval_s);
   fp.mix(c.trace_fail_at_s);
+  fp.mix(c.trace_down_s);
+  fp.mix(c.trace_cycle_s);
   fp.mix(c.trace);
   if (c.trace_kind == TraceKind::kFile && !c.trace.empty()) {
     // Fingerprint the trace *content* too, not just the path: editing the
@@ -611,7 +624,7 @@ void mix_config(Fingerprint& fp, const ScenarioConfig& c, TraceContentCache& cac
 // under libstdc++, 24 under libc++), so the tripwire is gated on libstdc++
 // — the library every CI leg builds against.
 #if (defined(__x86_64__) || defined(__aarch64__)) && defined(_GLIBCXX_RELEASE)
-static_assert(sizeof(ScenarioConfig) == 280,
+static_assert(sizeof(ScenarioConfig) == 296,
               "ScenarioConfig changed: add the new field to mix_config, then "
               "update this size");
 #endif

@@ -14,14 +14,28 @@ DynamicLinkModel::DynamicLinkModel(const Simulator& sim, std::unique_ptr<LinkMod
 
 void DynamicLinkModel::override_prr(TimeUs at, NodeId tx, NodeId rx, double prr,
                                     bool symmetric) {
+  GTTSCH_CHECK(prr >= 0.0 && prr <= 1.0);
   overrides_.push_back(Override{at, tx, rx, prr, false});
   if (symmetric) overrides_.push_back(Override{at, rx, tx, prr, false});
   if (prr > 0.0) has_positive_override_ = true;
   next_recount_at_ = std::min(next_recount_at_, at);
 }
 
+void DynamicLinkModel::clear_override(TimeUs at, NodeId tx, NodeId rx) {
+  // prr < 0 is the "defer to base" sentinel; it supersedes earlier
+  // overrides for the pair just like any later override would.
+  overrides_.push_back(Override{at, tx, rx, -1.0, false});
+  overrides_.push_back(Override{at, rx, tx, -1.0, false});
+  next_recount_at_ = std::min(next_recount_at_, at);
+}
+
 void DynamicLinkModel::kill_node(TimeUs at, NodeId id) {
-  kills_.push_back(NodeKill{at, id, false});
+  life_.push_back(LifeEvent{at, id, /*dead=*/true, false});
+  next_recount_at_ = std::min(next_recount_at_, at);
+}
+
+void DynamicLinkModel::revive_node(TimeUs at, NodeId id) {
+  life_.push_back(LifeEvent{at, id, /*dead=*/false, false});
   next_recount_at_ = std::min(next_recount_at_, at);
 }
 
@@ -56,7 +70,7 @@ std::uint64_t DynamicLinkModel::version() const {
         next_recount_at_ = std::min(next_recount_at_, o.at);
       }
     }
-    for (NodeKill& k : kills_) {
+    for (LifeEvent& k : life_) {
       if (k.at <= now) {
         ++active_count_;
         if (!k.logged) {
@@ -90,15 +104,22 @@ bool DynamicLinkModel::changed_nodes_since(std::uint64_t since,
 
 bool DynamicLinkModel::node_dead(NodeId id) const {
   const TimeUs now = sim_.now();
-  for (const NodeKill& k : kills_)
-    if (k.id == id && k.at <= now) return true;
-  return false;
+  // Latest active liveness event wins; at equal times the later-registered
+  // entry (>=) wins, so playback order matches trace order.
+  const LifeEvent* latest = nullptr;
+  for (const LifeEvent& k : life_) {
+    if (k.id != id || k.at > now) continue;
+    if (latest == nullptr || k.at >= latest->at) latest = &k;
+  }
+  return latest != nullptr && latest->dead;
 }
 
 double DynamicLinkModel::prr(NodeId tx, const Position& tx_pos, NodeId rx,
                              const Position& rx_pos) const {
   if (node_dead(tx) || node_dead(rx)) return 0.0;
-  if (const Override* o = active_override(tx, rx)) return o->prr;
+  if (const Override* o = active_override(tx, rx)) {
+    if (o->prr >= 0.0) return o->prr;  // cleared entries defer to base
+  }
   return base_->prr(tx, tx_pos, rx, rx_pos);
 }
 
@@ -108,7 +129,7 @@ bool DynamicLinkModel::interferes(NodeId tx, const Position& tx_pos, NodeId rx,
   // PRR overrides model fading on the communication link; interference
   // reach follows the base geometry unless the link is fully dead.
   if (const Override* o = active_override(tx, rx)) {
-    if (o->prr <= 0.0) return false;
+    if (o->prr == 0.0) return false;
   }
   return base_->interferes(tx, tx_pos, rx, rx_pos);
 }

@@ -1,10 +1,12 @@
 // Time-varying link quality: wraps a base model with scheduled per-link
-// PRR overrides. Used for the paper's core motivation — "changes of the
-// wireless link quality" — in tests, examples, and failure-injection
-// scenarios (an override of 0 at time T models a link or node dying).
+// PRR overrides and node liveness events. Used for the paper's core
+// motivation — "changes of the wireless link quality" — in tests,
+// examples, and fault-injection scenarios (an override of 0 at time T
+// models a link dying; kill/revive model a node crash-rebooting).
 #pragma once
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "phy/link_model.hpp"
@@ -21,18 +23,28 @@ class DynamicLinkModel final : public LinkModel {
   /// ones; links without overrides follow the base model.
   void override_prr(TimeUs at, NodeId tx, NodeId rx, double prr, bool symmetric = true);
 
+  /// From `at` onward, the (tx <-> rx) pair reverts to the base model in
+  /// both directions, superseding any earlier override (the end of a
+  /// scripted link episode).
+  void clear_override(TimeUs at, NodeId tx, NodeId rx);
+
   /// From `at` onward, node `id` is silent in both directions (radio dead
   /// at the medium level): PRR 0 and no interference from it.
   void kill_node(TimeUs at, NodeId id);
+
+  /// From `at` onward, node `id` participates again (undoes the latest
+  /// kill). At equal times the later-registered event wins, matching
+  /// trace order.
+  void revive_node(TimeUs at, NodeId id);
 
   double prr(NodeId tx, const Position& tx_pos, NodeId rx,
              const Position& rx_pos) const override;
   bool interferes(NodeId tx, const Position& tx_pos, NodeId rx,
                   const Position& rx_pos) const override;
 
-  /// Base version + the number of overrides/kills whose activation time
-  /// has passed: activations never revert and inserting an
-  /// already-active override raises the count too, so this is monotone
+  /// Base version + the number of overrides/clears/kills/revivals whose
+  /// activation time has passed: activations never revert and inserting
+  /// an already-active entry raises the count too, so this is monotone
   /// and changes exactly when the effective link table can change.
   /// Amortized O(1): the active count is cached together with the next
   /// pending activation time, and only recounted once sim time (or an
@@ -41,15 +53,17 @@ class DynamicLinkModel final : public LinkModel {
   std::uint64_t version() const override;
 
   /// Base bound while every registered override only removes links
-  /// (prr 0 — kills, link-downs); infinity once a positive override is
-  /// registered, since it may connect a pair beyond the base geometry.
-  /// Pre-activation the base bound still holds for current answers, and
-  /// the activation bumps version() — satisfying the LinkModel contract.
+  /// (prr 0 — kills, link-downs) or restores base behavior (clears,
+  /// revivals); infinity once a positive override is registered, since it
+  /// may connect a pair beyond the base geometry. Pre-activation the base
+  /// bound still holds for current answers, and the activation bumps
+  /// version() — satisfying the LinkModel contract.
   double max_interaction_range() const override;
 
   /// Exhaustive when the base model is static (version 0): the activation
-  /// log maps every version step to the pair of nodes it touched. A
-  /// mutable base cannot be attributed -> full-rebuild answer (false).
+  /// log maps every version step to the pair of nodes it touched (kills
+  /// and revivals log as (id, id)). A mutable base cannot be attributed
+  /// -> full-rebuild answer (false).
   bool changed_nodes_since(std::uint64_t since, std::vector<NodeId>& out) const override;
 
   const LinkModel& base() const { return *base_; }
@@ -59,12 +73,15 @@ class DynamicLinkModel final : public LinkModel {
     TimeUs at;
     NodeId tx;
     NodeId rx;
-    double prr;
+    double prr;           ///< < 0 = cleared: defer to the base model
     bool logged = false;  ///< already appended to activation_log_
   };
-  struct NodeKill {
+  /// One kill or revival; liveness at time T is decided by the latest
+  /// entry with at <= T (ties: later registration wins — trace order).
+  struct LifeEvent {
     TimeUs at;
     NodeId id;
+    bool dead;
     bool logged = false;
   };
 
@@ -77,7 +94,7 @@ class DynamicLinkModel final : public LinkModel {
   // The entry vectors are mutable because the lazy recount in version()
   // stamps `logged` as activations land in activation_log_.
   mutable std::vector<Override> overrides_;  // kept in insertion order
-  mutable std::vector<NodeKill> kills_;
+  mutable std::vector<LifeEvent> life_;      // kept in insertion order
   bool has_positive_override_ = false;  ///< any registered prr > 0 override
   mutable std::uint64_t active_count_ = 0;   ///< entries with at <= now
   mutable TimeUs next_recount_at_ = 0;       ///< recount when now reaches this

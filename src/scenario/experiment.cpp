@@ -99,6 +99,14 @@ bool check_generator_params(const ScenarioConfig& c, std::string* error) {
   if (c.trace_fail_at_s < 0 || !std::isfinite(c.trace_fail_at_s)) {
     return fail_with(error, "trace_fail_at_s must be a non-negative time in seconds");
   }
+  if (c.trace_kind == TraceKind::kCrashloop) {
+    if (!(c.trace_down_s > 0) || !std::isfinite(c.trace_down_s)) {
+      return fail_with(error, "trace_down_s must be a positive number of seconds");
+    }
+    if (!(c.trace_cycle_s > c.trace_down_s) || !std::isfinite(c.trace_cycle_s)) {
+      return fail_with(error, "trace_cycle_s must exceed trace_down_s");
+    }
+  }
   return true;
 }
 
@@ -117,7 +125,8 @@ bool ScenarioConfig::make_trace(const TopologySpec& topology, Trace* out,
       if (!load_trace(trace, out, error)) return false;
       return validate_trace_nodes(*out, topology, error);
     case TraceKind::kRandomWalk:
-    case TraceKind::kRandomWaypoint: {
+    case TraceKind::kRandomWaypoint:
+    case TraceKind::kCrashloop: {
       if (!check_generator_params(*this, error)) return false;
       TraceGenParams params;
       params.seed = trace_seed;
@@ -127,6 +136,8 @@ bool ScenarioConfig::make_trace(const TopologySpec& topology, Trace* out,
       params.fail_count = trace_fail_count;
       params.fail_at_s =
           trace_fail_at_s > 0 ? trace_fail_at_s : us_to_s(warmup + measure / 2);
+      params.down_s = trace_down_s;
+      params.cycle_s = trace_cycle_s;
       params.start = warmup;
       params.end = warmup + measure;
       *out = generate_trace(trace_kind, topology, params);
@@ -151,6 +162,7 @@ bool ScenarioConfig::validate_trace(std::string* error) const {
     }
     case TraceKind::kRandomWalk:
     case TraceKind::kRandomWaypoint:
+    case TraceKind::kCrashloop:
       return check_generator_params(*this, error);
   }
   GTTSCH_CHECK(false);
@@ -163,7 +175,7 @@ Network::LinkModelFactory scenario_link_model_factory(const ScenarioConfig& conf
   const double radio_range = config.radio_range;
   const double link_prr = config.link_prr;
   const double interference_factor = config.interference_factor;
-  const bool wants_failures = trace.has_failures();
+  const bool wants_failures = trace.needs_dynamic_model();
   return [radio_range, link_prr, interference_factor, wants_failures,
           failures](Simulator& sim) -> std::unique_ptr<LinkModel> {
     auto base =
@@ -192,17 +204,20 @@ ExperimentResult run_scenario(const ScenarioConfig& config, Telemetry* telemetry
   }
 
   RunStats stats(config.warmup, measure_end);
-  if (trace.has_failures()) {
-    // Churn-phase split at the first failure and last failure + settle.
-    TimeUs first_fail = 0, last_fail = 0;
+  if (trace.needs_dynamic_model()) {
+    // Churn-phase split at the first churn event and the last churn event
+    // of ANY kind (fail/revive/prr/pause/resume) + settle: a revival or a
+    // link episode disturbs routing just like a failure, so the "post"
+    // window must not start before the network last changed.
+    TimeUs first_churn = 0, last_churn = 0;
     bool seen = false;
     for (const TraceEvent& e : trace.events) {
-      if (e.kind != TraceEventKind::kFail) continue;
-      if (!seen || e.at < first_fail) first_fail = e.at;
-      if (!seen || e.at > last_fail) last_fail = e.at;
+      if (e.kind == TraceEventKind::kMove) continue;
+      if (!seen || e.at < first_churn) first_churn = e.at;
+      if (!seen || e.at > last_churn) last_churn = e.at;
       seen = true;
     }
-    stats.set_churn_phases(first_fail, last_fail + kChurnSettle);
+    stats.set_churn_phases(first_churn, last_churn + kChurnSettle);
   }
   DynamicLinkModel* failures = nullptr;
   Network net(config.seed, scenario_link_model_factory(config, trace, &failures),
@@ -278,6 +293,14 @@ AveragedMetrics run_averaged(ScenarioConfig config,
     sum.pre_avg_delay_ms += r.metrics.pre_avg_delay_ms;
     sum.churn_avg_delay_ms += r.metrics.churn_avg_delay_ms;
     sum.post_avg_delay_ms += r.metrics.post_avg_delay_ms;
+    sum.node_failures += r.metrics.node_failures;
+    sum.node_revivals += r.metrics.node_revivals;
+    sum.node_rejoins += r.metrics.node_rejoins;
+    sum.orphan_intervals += r.metrics.orphan_intervals;
+    sum.recovery_ttr_censored += r.metrics.recovery_ttr_censored;
+    sum.recovery_rejoin_s += r.metrics.recovery_rejoin_s;
+    sum.recovery_first_delivery_s += r.metrics.recovery_first_delivery_s;
+    sum.recovery_ttr_s += r.metrics.recovery_ttr_s;
     out.medium_sum.transmissions += r.medium.transmissions;
     out.medium_sum.deliveries += r.medium.deliveries;
     out.medium_sum.collision_losses += r.medium.collision_losses;
@@ -302,6 +325,9 @@ AveragedMetrics run_averaged(ScenarioConfig config,
   out.mean.pre_avg_delay_ms /= n;
   out.mean.churn_avg_delay_ms /= n;
   out.mean.post_avg_delay_ms /= n;
+  out.mean.recovery_rejoin_s /= n;
+  out.mean.recovery_first_delivery_s /= n;
+  out.mean.recovery_ttr_s /= n;
   return out;
 }
 

@@ -85,6 +85,8 @@ struct ScenarioConfig {
   double trace_speed_mps = 1.5;     ///< mover speed (meters/second)
   double trace_interval_s = 2.0;    ///< move tick / failure stagger period
   double trace_fail_at_s = 0.0;     ///< first failure (absolute s); 0 = window midpoint
+  double trace_down_s = 30.0;       ///< crashloop: downtime before each revive
+  double trace_cycle_s = 120.0;     ///< crashloop: fail-to-fail period per node
   std::string trace;                ///< trace file path (trace_kind == kFile)
 
   std::uint64_t seed = 1;

@@ -7,6 +7,12 @@
 namespace gttsch {
 
 namespace {
+/// Fork-tag base for reboot RNG derivation: boot k (k >= 1) builds its
+/// stack from boot_rng_.fork(kRebootForkBase + k). Distinct from every
+/// per-module tag used below, so reboot streams never collide with the
+/// first boot's.
+constexpr std::uint64_t kRebootForkBase = 0xB007;
+
 /// Instantiate this node's MAC config, drawing its oscillator error.
 MacConfig node_mac_config(const NodeStackConfig& config, Rng rng) {
   MacConfig mc = config.mac;
@@ -18,66 +24,98 @@ MacConfig node_mac_config(const NodeStackConfig& config, Rng rng) {
 }
 }  // namespace
 
+Node::Stack::Stack(Node& node, const MacConfig& mac_config, const Rng& rng)
+    : mac(node.sim_, node.medium_, node.radio_, mac_config, rng.fork(0x3AC)),
+      etx(),
+      rpl(node.sim_, mac, etx, node.config_.rpl, rng.fork(0x491)),
+      sixp(node.sim_, mac),
+      app(node.sim_, rng.fork(0xA99), node.is_root_ ? 0.0 : node.config_.app_rate_ppm,
+          [&node] { node.generate_packet(); }) {
+  mac.set_upcalls(&node);
+  rpl.set_callbacks(&node);
+  sf = SfRegistry::instance().create(
+      node.config_.scheduler,
+      SfContext{node.sim_, mac, rpl, sixp, etx, rng.fork(0x67), node.config_.sf});
+  if (node.config_.app_end != 0) app.set_end_time(node.config_.app_end);
+}
+
 Node::Node(Simulator& sim, Medium& medium, const NodeSpec& spec,
            const NodeStackConfig& config, RunStats* stats, Rng rng)
     : sim_(sim),
+      medium_(medium),
       id_(spec.id),
       is_root_(spec.is_root),
       stats_(stats),
       rng_(rng),
+      boot_rng_(rng),
+      config_(config),
+      mac_config_(node_mac_config(config, rng)),
       radio_(sim, medium, spec.id, spec.pos),
-      mac_(sim, medium, radio_, node_mac_config(config, rng), rng.fork(0x3AC)),
-      etx_(),
-      rpl_(sim, mac_, etx_, config.rpl, rng.fork(0x491)),
-      sixp_(sim, mac_),
-      app_(sim, rng.fork(0xA99), spec.is_root ? 0.0 : config.app_rate_ppm,
-           [this] { generate_packet(); }),
+      stack_(std::make_unique<Stack>(*this, mac_config_, rng)),
       app_start_(config.app_start),
-      max_scan_start_delay_(config.max_scan_start_delay) {
-  mac_.set_upcalls(this);
-  rpl_.set_callbacks(this);
-  sf_ = SfRegistry::instance().create(
-      config.scheduler,
-      SfContext{sim, mac_, rpl_, sixp_, etx_, rng.fork(0x67), config.sf});
-  if (config.app_end != 0) app_.set_end_time(config.app_end);
-}
+      max_scan_start_delay_(config.max_scan_start_delay) {}
 
 Node::~Node() = default;
 
-void Node::start() {
+void Node::boot_stack() {
   // Provider wiring lives here, not in each SF: every scheduler answers
   // these through the common interface (advertised_free_rx defaults to 0
   // for autonomous SFs, so the DIO option stays inert for them).
-  rpl_.set_free_rx_provider([this] { return sf_->advertised_free_rx(); });
-  mac_.set_eb_provider([this] { return sf_->eb_info(); });
-  sf_->start(is_root_);
+  stack_->rpl.set_free_rx_provider([this] { return stack_->sf->advertised_free_rx(); });
+  stack_->mac.set_eb_provider([this] { return stack_->sf->eb_info(); });
+  stack_->sf->start(is_root_);
   if (is_root_) {
-    rpl_.start_as_root();
-    mac_.start_as_root();
+    stack_->rpl.start_as_root();
+    stack_->mac.start_as_root();
   } else {
-    rpl_.start();
+    stack_->rpl.start();
     const TimeUs delay = static_cast<TimeUs>(
         rng_.uniform(static_cast<std::uint64_t>(std::max<TimeUs>(1, max_scan_start_delay_))));
-    sim_.after(delay, [this] { mac_.start_scanning(); });
+    // The epoch guard keeps a scan-start scheduled by this life from
+    // firing into a later one (or a failed node): a crash inside the
+    // delay window would otherwise start the next stack's scan twice.
+    const int boot = reboots_;
+    sim_.after(delay, [this, boot] {
+      if (reboots_ == boot && !failed_) stack_->mac.start_scanning();
+    });
   }
-  app_.start(app_start_);
+  stack_->app.start(app_start_);
 }
+
+void Node::start() { boot_stack(); }
 
 void Node::fail() {
   failed_ = true;
-  app_.stop();
-  mac_.shutdown();
+  stack_->app.stop();
+  stack_->mac.shutdown();
+  if (stats_ != nullptr) stats_->on_node_failed(id_, sim_.now());
+}
+
+void Node::reboot() {
+  GTTSCH_CHECK(failed_ && "reboot() requires a prior fail()");
+  ++reboots_;
+  // Destroying the stack cancels every pending timer/callback of the old
+  // life (RAII), so nothing from before the crash can fire afterwards.
+  // The MAC destructor severs the radio hooks; the new MAC re-wires them.
+  stack_.reset();
+  stack_ = std::make_unique<Stack>(
+      *this, mac_config_,
+      boot_rng_.fork(kRebootForkBase + static_cast<std::uint64_t>(reboots_)));
+  failed_ = false;
+  set_telemetry(telemetry_);  // re-aim the 6P observer at the new agent
+  boot_stack();
+  if (stats_ != nullptr) stats_->on_node_rebooted(id_, sim_.now());
 }
 
 void Node::set_telemetry(Telemetry* telemetry) {
   telemetry_ = telemetry;
   if (telemetry_ != nullptr) {
-    sixp_.set_transaction_observer(
+    stack_->sixp.set_transaction_observer(
         [this](NodeId peer, SixpCommand command, bool timed_out, bool ok) {
           telemetry_->on_sixp_done(id_, peer, command, timed_out, ok);
         });
   } else {
-    sixp_.set_transaction_observer(nullptr);
+    stack_->sixp.set_transaction_observer(nullptr);
   }
 }
 
@@ -87,26 +125,27 @@ bool Node::count_in_panels(const DataPayload& data) const {
 
 void Node::mac_associated(Asn, const Frame&) {
   if (telemetry_ != nullptr) telemetry_->on_associated(id_);
-  sf_->on_associated();
-  rpl_.start_soliciting();
+  if (stats_ != nullptr) stats_->on_associated(id_, sim_.now());
+  stack_->sf->on_associated();
+  stack_->rpl.start_soliciting();
 }
 
 void Node::mac_frame_received(const Frame& frame) {
   // SF-specific sniffing sees everything (GT-TSCH learns channels from EBs
   // and l^rx from DIOs).
-  sf_->on_frame(frame);
+  stack_->sf->on_frame(frame);
   switch (frame.type) {
     case FrameType::kData:
       handle_data(frame);
       break;
     case FrameType::kDio:
-      rpl_.on_dio(frame);
+      stack_->rpl.on_dio(frame);
       break;
     case FrameType::kDis:
-      rpl_.on_dis(frame);
+      stack_->rpl.on_dis(frame);
       break;
     case FrameType::kSixp:
-      sixp_.on_frame(frame);
+      stack_->sixp.on_frame(frame);
       break;
     case FrameType::kEb:
     case FrameType::kAck:
@@ -116,7 +155,7 @@ void Node::mac_frame_received(const Frame& frame) {
 
 void Node::mac_tx_result(const Frame& frame, bool acked, int attempts) {
   if (frame.dst == kBroadcastId) return;
-  rpl_.on_tx_result(frame.dst, acked, attempts);
+  stack_->rpl.on_tx_result(frame.dst, acked, attempts);
   if (!acked && frame.type == FrameType::kData) {
     const DataPayload& data = frame.as<DataPayload>();
     if (telemetry_ != nullptr) telemetry_->on_drop(id_, Telemetry::DropKind::kMac);
@@ -137,10 +176,10 @@ void Node::rpl_parent_changed(NodeId old_parent, NodeId new_parent) {
   }
   if (old_parent != kNoNode) {
     if (new_parent != kNoNode) {
-      mac_.queues().retarget(old_parent, new_parent);
+      stack_->mac.queues().retarget(old_parent, new_parent);
     } else {
       // Detached (local repair): the backlog has nowhere to go.
-      const std::size_t dropped = mac_.queues().drop_queue(old_parent);
+      const std::size_t dropped = stack_->mac.queues().drop_queue(old_parent);
       for (std::size_t i = 0; i < dropped; ++i) {
         if (telemetry_ != nullptr)
           telemetry_->on_drop(id_, Telemetry::DropKind::kNoRoute);
@@ -148,8 +187,8 @@ void Node::rpl_parent_changed(NodeId old_parent, NodeId new_parent) {
       }
     }
   }
-  sixp_.abort_peer(old_parent);
-  sf_->on_parent_changed(old_parent, new_parent);
+  stack_->sixp.abort_peer(old_parent);
+  stack_->sf->on_parent_changed(old_parent, new_parent);
   if (stats_ != nullptr) stats_->set_joined(id_, new_parent != kNoNode);
 }
 
@@ -158,10 +197,10 @@ void Node::rpl_rank_changed(std::uint16_t) {}
 void Node::generate_packet() {
   GTTSCH_CHECK(!is_root_);
   ++app_generated_;
-  sf_->on_local_packet_generated();
-  const NodeId parent = rpl_.parent();
+  stack_->sf->on_local_packet_generated();
+  const NodeId parent = stack_->rpl.parent();
   if (stats_ != nullptr) stats_->on_generated(id_, sim_.now());
-  if (parent == kNoNode || !mac_.associated()) {
+  if (parent == kNoNode || !stack_->mac.associated()) {
     if (telemetry_ != nullptr) telemetry_->on_drop(id_, Telemetry::DropKind::kNoRoute);
     if (stats_ != nullptr) stats_->on_no_route(id_, sim_.now());
     return;
@@ -171,7 +210,7 @@ void Node::generate_packet() {
   data.seq = app_seq_++;
   data.generated_at = sim_.now();
   data.hops = 0;
-  if (!mac_.enqueue(make_data_frame(id_, parent, data))) {
+  if (!stack_->mac.enqueue(make_data_frame(id_, parent, data))) {
     if (telemetry_ != nullptr) telemetry_->on_drop(id_, Telemetry::DropKind::kQueue);
     if (stats_ != nullptr) stats_->on_queue_drop(id_, sim_.now());
   }
@@ -188,18 +227,18 @@ void Node::send_probe() {
   data.hops = 0;
   data.is_probe = true;
   telemetry_->on_probe_sent(id_, data.seq);
-  // Probes deliberately skip sf_->on_local_packet_generated(): they are
+  // Probes deliberately skip sf->on_local_packet_generated(): they are
   // measurement traffic and must not inflate the scheduler's demand
   // estimate.
   const bool panels = telemetry_->probes_in_panels();
   if (panels && stats_ != nullptr) stats_->on_generated(id_, now);
-  const NodeId parent = rpl_.parent();
-  if (parent == kNoNode || !mac_.associated()) {
+  const NodeId parent = stack_->rpl.parent();
+  if (parent == kNoNode || !stack_->mac.associated()) {
     telemetry_->on_drop(id_, Telemetry::DropKind::kNoRoute);
     if (panels && stats_ != nullptr) stats_->on_no_route(id_, now);
     return;
   }
-  if (!mac_.enqueue(make_data_frame(id_, parent, data))) {
+  if (!stack_->mac.enqueue(make_data_frame(id_, parent, data))) {
     telemetry_->on_drop(id_, Telemetry::DropKind::kQueue);
     if (panels && stats_ != nullptr) stats_->on_queue_drop(id_, now);
   }
@@ -216,7 +255,7 @@ void Node::handle_data(const Frame& frame) {
     return;
   }
   // Forward upward.
-  const NodeId parent = rpl_.parent();
+  const NodeId parent = stack_->rpl.parent();
   if (parent == kNoNode) {
     if (telemetry_ != nullptr) telemetry_->on_drop(id_, Telemetry::DropKind::kNoRoute);
     if (stats_ != nullptr && count_in_panels(data)) stats_->on_no_route(id_, sim_.now());
@@ -224,7 +263,7 @@ void Node::handle_data(const Frame& frame) {
   }
   DataPayload fwd = data;
   fwd.hops = static_cast<std::uint8_t>(data.hops + 1);
-  if (!mac_.enqueue(make_data_frame(id_, parent, fwd))) {
+  if (!stack_->mac.enqueue(make_data_frame(id_, parent, fwd))) {
     if (telemetry_ != nullptr) telemetry_->on_drop(id_, Telemetry::DropKind::kQueue);
     if (stats_ != nullptr && count_in_panels(data)) stats_->on_queue_drop(id_, sim_.now());
     return;

@@ -4,6 +4,12 @@
 // implements convergecast forwarding. The scheduling function is chosen
 // by registry key (sixp/sf_registry.hpp) and driven exclusively through
 // the SchedulingFunction interface — no downcasts.
+//
+// The protocol stack lives behind one indirection (Stack) so a failed
+// node can crash-reboot: reboot() destroys every protocol object (RAII
+// timers cancel all pending callbacks) and rebuilds them from the stored
+// boot config — fresh MAC/RPL/SF state, same radio hardware (position,
+// oscillator drift, energy accounting persist).
 #pragma once
 
 #include <memory>
@@ -53,7 +59,19 @@ class Node final : public MacUpcalls, public RplCallbacks {
   /// Pair with DynamicLinkModel::kill_node so in-flight frames die too.
   void fail();
 
+  /// Crash-reboot a failed node: the entire protocol stack is torn down
+  /// and reconstructed (fresh MAC/RPL/SF/6P/app state, queues empty) and
+  /// the node re-associates from a beacon scan. The radio object persists
+  /// — position and energy accounting carry over, and the oscillator
+  /// keeps its drift (same hardware). App/probe sequence counters also
+  /// persist so delivered-packet accounting stays unambiguous at the root.
+  /// Pair with DynamicLinkModel::revive_node. Deterministic: boot k draws
+  /// its protocol RNG streams from fork tags fixed by (node seed, k).
+  void reboot();
+
   bool failed() const { return failed_; }
+  /// Number of completed reboot() calls.
+  int reboots() const { return reboots_; }
 
   /// Relocate the node (mobility). Takes effect for all subsequent
   /// transmissions; link qualities follow the distance-based model.
@@ -64,12 +82,12 @@ class Node final : public MacUpcalls, public RplCallbacks {
   bool is_root() const { return is_root_; }
 
   Radio& radio() { return radio_; }
-  TschMac& mac() { return mac_; }
-  RplAgent& rpl() { return rpl_; }
-  SixpAgent& sixp() { return sixp_; }
-  EtxEstimator& etx() { return etx_; }
-  SchedulingFunction& sf() { return *sf_; }
-  const SchedulingFunction& sf() const { return *sf_; }
+  TschMac& mac() { return stack_->mac; }
+  RplAgent& rpl() { return stack_->rpl; }
+  SixpAgent& sixp() { return stack_->sixp; }
+  EtxEstimator& etx() { return stack_->etx; }
+  SchedulingFunction& sf() { return *stack_->sf; }
+  const SchedulingFunction& sf() const { return *stack_->sf; }
 
   std::uint64_t app_generated() const { return app_generated_; }
 
@@ -93,6 +111,22 @@ class Node final : public MacUpcalls, public RplCallbacks {
   void rpl_rank_changed(std::uint16_t rank) override;
 
  private:
+  /// Every protocol object above the radio, grouped so reboot() can tear
+  /// them down and rebuild them as one unit. Construction wires the MAC
+  /// upcalls, RPL callbacks and the SF factory exactly like first boot.
+  struct Stack {
+    Stack(Node& node, const MacConfig& mac_config, const Rng& rng);
+
+    TschMac mac;
+    EtxEstimator etx;
+    RplAgent rpl;
+    SixpAgent sixp;
+    std::unique_ptr<SchedulingFunction> sf;
+    PeriodicSource app;
+  };
+
+  /// Shared boot path: provider wiring + SF/RPL/MAC start + app start.
+  void boot_stack();
   void generate_packet();
   void handle_data(const Frame& frame);
   /// False only for probe frames the telemetry config excludes from the
@@ -100,25 +134,29 @@ class Node final : public MacUpcalls, public RplCallbacks {
   bool count_in_panels(const DataPayload& data) const;
 
   Simulator& sim_;
+  Medium& medium_;
   NodeId id_;
   bool is_root_;
   RunStats* stats_;
   Telemetry* telemetry_ = nullptr;
   Rng rng_;
+  /// Immutable copy of the construction RNG: reboot k derives its stack
+  /// streams as boot_rng_.fork(kRebootForkBase + k), so replay is exact in
+  /// both stepping modes and independent of how much entropy the first
+  /// life consumed.
+  const Rng boot_rng_;
+  const NodeStackConfig config_;
+  const MacConfig mac_config_;  ///< resolved once (drift = the oscillator)
 
   Radio radio_;
-  TschMac mac_;
-  EtxEstimator etx_;
-  RplAgent rpl_;
-  SixpAgent sixp_;
-  std::unique_ptr<SchedulingFunction> sf_;
-  PeriodicSource app_;
+  std::unique_ptr<Stack> stack_;
   TimeUs app_start_;
   TimeUs max_scan_start_delay_;
 
   std::uint32_t app_seq_ = 0;
   std::uint64_t app_generated_ = 0;
   std::uint32_t probe_seq_ = 0;
+  int reboots_ = 0;
   bool failed_ = false;
 };
 

@@ -9,6 +9,7 @@
 #include <map>
 #include <set>
 #include <sstream>
+#include <utility>
 
 #include "phy/dynamic_link.hpp"
 #include "scenario/network.hpp"
@@ -89,6 +90,11 @@ std::string format_coord(double v) {
   return buf;
 }
 
+/// Canonical unordered key for a link's pause/resume bookkeeping.
+std::pair<NodeId, NodeId> link_key(NodeId a, NodeId b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
 struct Bounds {
   double min_x = 0, max_x = 0, min_y = 0, max_y = 0;
 };
@@ -136,11 +142,23 @@ void random_step(Rng& rng, double step, double* dx, double* dy) {
   *dy = y * scale;
 }
 
+bool is_link_event(TraceEventKind kind) {
+  return kind == TraceEventKind::kPrr || kind == TraceEventKind::kPause ||
+         kind == TraceEventKind::kResume;
+}
+
 }  // namespace
 
 bool Trace::has_failures() const {
   for (const TraceEvent& e : events) {
     if (e.kind == TraceEventKind::kFail) return true;
+  }
+  return false;
+}
+
+bool Trace::needs_dynamic_model() const {
+  for (const TraceEvent& e : events) {
+    if (e.kind != TraceEventKind::kMove) return true;
   }
   return false;
 }
@@ -155,13 +173,16 @@ const char* trace_kind_name(TraceKind kind) {
       return "random-walk";
     case TraceKind::kRandomWaypoint:
       return "random-waypoint";
+    case TraceKind::kCrashloop:
+      return "crashloop";
   }
   return "?";
 }
 
 bool parse_trace_kind(const std::string& text, TraceKind* out) {
-  for (const TraceKind kind : {TraceKind::kNone, TraceKind::kFile,
-                               TraceKind::kRandomWalk, TraceKind::kRandomWaypoint}) {
+  for (const TraceKind kind :
+       {TraceKind::kNone, TraceKind::kFile, TraceKind::kRandomWalk,
+        TraceKind::kRandomWaypoint, TraceKind::kCrashloop}) {
     if (text == trace_kind_name(kind)) {
       *out = kind;
       return true;
@@ -176,7 +197,15 @@ bool parse_trace(const std::string& text, Trace* out, std::string* error) {
   std::string line;
   int line_no = 0;
   TimeUs last_at = 0;
-  std::map<NodeId, int> failed_on_line;
+  // Liveness per node (present = currently dead) and blackout state per
+  // unordered link, so the grammar can reject events on dead nodes,
+  // revivals of the living, and unbalanced pause/resume pairs.
+  struct FailureSite {
+    int line = 0;
+    TimeUs at = 0;
+  };
+  std::map<NodeId, FailureSite> dead;
+  std::map<std::pair<NodeId, NodeId>, int> paused_on_line;
   while (std::getline(stream, line)) {
     ++line_no;
     const std::size_t hash = line.find('#');
@@ -187,7 +216,9 @@ bool parse_trace(const std::string& text, Trace* out, std::string* error) {
       return fail(error, at_line(line_no, message));
     };
     if (tokens.size() < 2) {
-      return err("expected '<t> move <node> <x> <y>' or '<t> fail <node>'");
+      return err(
+          "expected '<t> move|fail|revive|prr|pause|resume ...' (see the trace "
+          "grammar)");
     }
     double t_s = 0;
     if (!parse_finite_double(tokens[0], &t_s) || t_s < 0 || t_s > kMaxTraceSeconds) {
@@ -219,23 +250,92 @@ bool parse_trace(const std::string& text, Trace* out, std::string* error) {
         }
       }
       event.pos = Position{coords[0], coords[1]};
-    } else if (keyword == "fail") {
+    } else if (keyword == "fail" || keyword == "revive") {
       if (tokens.size() != 3) {
-        return err("fail takes exactly '<t> fail <node>'");
+        return err(keyword + " takes exactly '<t> " + keyword + " <node>'");
       }
-      event.kind = TraceEventKind::kFail;
+      event.kind =
+          keyword == "fail" ? TraceEventKind::kFail : TraceEventKind::kRevive;
       if (!parse_node_id(tokens[2], &event.node)) {
         return err("bad node id '" + tokens[2] + "'");
       }
+    } else if (keyword == "prr" || keyword == "pause" || keyword == "resume") {
+      const std::size_t arity = keyword == "prr" ? 5 : 4;
+      if (tokens.size() != arity) {
+        return err(keyword + " takes exactly '<t> " + keyword + " <a> <b>" +
+                   (keyword == "prr" ? " <value>'" : "'"));
+      }
+      event.kind = keyword == "prr"     ? TraceEventKind::kPrr
+                   : keyword == "pause" ? TraceEventKind::kPause
+                                        : TraceEventKind::kResume;
+      if (!parse_node_id(tokens[2], &event.node)) {
+        return err("bad node id '" + tokens[2] + "'");
+      }
+      if (!parse_node_id(tokens[3], &event.peer)) {
+        return err("bad node id '" + tokens[3] + "'");
+      }
+      if (event.node == event.peer) {
+        return err("link endpoints must differ (got " + tokens[2] + " " +
+                   tokens[3] + ")");
+      }
+      if (keyword == "prr") {
+        if (!parse_finite_double(tokens[4], &event.value) || event.value < 0.0 ||
+            event.value > 1.0) {
+          return err("prr value '" + tokens[4] + "' is not a number in [0, 1]");
+        }
+      }
     } else {
-      return err("unknown event '" + keyword + "' (expected move or fail)");
+      return err("unknown event '" + keyword +
+                 "' (expected move, fail, revive, prr, pause or resume)");
     }
-    const auto failed = failed_on_line.find(event.node);
-    if (failed != failed_on_line.end()) {
-      return err("node " + std::to_string(event.node) + " already failed on line " +
-                 std::to_string(failed->second));
+
+    // Lifecycle checks: no events touch a dead node (revive excepted),
+    // revive requires a strictly earlier fail, pause/resume must balance.
+    const auto reject_dead = [&](NodeId id) {
+      const auto it = dead.find(id);
+      if (it == dead.end()) return true;
+      return err("node " + std::to_string(id) + " already failed on line " +
+                 std::to_string(it->second.line));
+    };
+    switch (event.kind) {
+      case TraceEventKind::kFail:
+        if (!reject_dead(event.node)) return false;
+        dead[event.node] = FailureSite{line_no, event.at};
+        break;
+      case TraceEventKind::kRevive: {
+        const auto it = dead.find(event.node);
+        if (it == dead.end()) {
+          return err("revive of node " + std::to_string(event.node) +
+                     " without a prior fail");
+        }
+        if (event.at <= it->second.at) {
+          return err("revive must come strictly after the failure on line " +
+                     std::to_string(it->second.line));
+        }
+        dead.erase(it);
+        break;
+      }
+      default:
+        if (!reject_dead(event.node)) return false;
+        if (is_link_event(event.kind) && !reject_dead(event.peer)) return false;
+        break;
     }
-    if (event.kind == TraceEventKind::kFail) failed_on_line[event.node] = line_no;
+    if (event.kind == TraceEventKind::kPause) {
+      const auto key = link_key(event.node, event.peer);
+      const auto it = paused_on_line.find(key);
+      if (it != paused_on_line.end()) {
+        return err("link " + std::to_string(event.node) + "<->" +
+                   std::to_string(event.peer) + " already paused on line " +
+                   std::to_string(it->second));
+      }
+      paused_on_line[key] = line_no;
+    } else if (event.kind == TraceEventKind::kResume) {
+      const auto key = link_key(event.node, event.peer);
+      if (paused_on_line.erase(key) == 0) {
+        return err("resume of link " + std::to_string(event.node) + "<->" +
+                   std::to_string(event.peer) + " without a matching pause");
+      }
+    }
     last_at = event.at;
     out->events.push_back(event);
   }
@@ -258,11 +358,27 @@ std::string format_trace(const Trace& trace) {
   std::string out;
   for (const TraceEvent& e : trace.events) {
     out += format_time(e.at);
-    if (e.kind == TraceEventKind::kMove) {
-      out += " move " + std::to_string(e.node) + ' ' + format_coord(e.pos.x) + ' ' +
-             format_coord(e.pos.y);
-    } else {
-      out += " fail " + std::to_string(e.node);
+    switch (e.kind) {
+      case TraceEventKind::kMove:
+        out += " move " + std::to_string(e.node) + ' ' + format_coord(e.pos.x) +
+               ' ' + format_coord(e.pos.y);
+        break;
+      case TraceEventKind::kFail:
+        out += " fail " + std::to_string(e.node);
+        break;
+      case TraceEventKind::kRevive:
+        out += " revive " + std::to_string(e.node);
+        break;
+      case TraceEventKind::kPrr:
+        out += " prr " + std::to_string(e.node) + ' ' + std::to_string(e.peer) +
+               ' ' + format_coord(e.value);
+        break;
+      case TraceEventKind::kPause:
+        out += " pause " + std::to_string(e.node) + ' ' + std::to_string(e.peer);
+        break;
+      case TraceEventKind::kResume:
+        out += " resume " + std::to_string(e.node) + ' ' + std::to_string(e.peer);
+        break;
     }
     out += '\n';
   }
@@ -282,20 +398,24 @@ bool validate_trace_nodes(const Trace& trace, const TopologySpec& topology,
                           std::string* error) {
   std::set<NodeId> known;
   for (const NodeSpec& n : topology.nodes) known.insert(n.id);
+  const auto check = [&](const TraceEvent& e, NodeId id) {
+    if (known.count(id) != 0) return true;
+    return fail(error, at_line(e.line, "unknown node id " + std::to_string(id) +
+                                           " (topology has " +
+                                           std::to_string(topology.nodes.size()) +
+                                           " nodes)"));
+  };
   for (const TraceEvent& e : trace.events) {
-    if (known.count(e.node) == 0) {
-      return fail(error, at_line(e.line, "unknown node id " + std::to_string(e.node) +
-                                             " (topology has " +
-                                             std::to_string(topology.nodes.size()) +
-                                             " nodes)"));
-    }
+    if (!check(e, e.node)) return false;
+    if (is_link_event(e.kind) && !check(e, e.peer)) return false;
   }
   return true;
 }
 
 Trace generate_trace(TraceKind kind, const TopologySpec& topology,
                      const TraceGenParams& params) {
-  GTTSCH_CHECK(kind == TraceKind::kRandomWalk || kind == TraceKind::kRandomWaypoint);
+  GTTSCH_CHECK(kind == TraceKind::kRandomWalk || kind == TraceKind::kRandomWaypoint ||
+               kind == TraceKind::kCrashloop);
   GTTSCH_CHECK(params.interval_s > 0 && std::isfinite(params.interval_s));
   GTTSCH_CHECK(params.speed_mps >= 0 && std::isfinite(params.speed_mps));
   GTTSCH_CHECK(params.movers >= 0 && params.fail_count >= 0);
@@ -324,6 +444,37 @@ Trace generate_trace(TraceKind kind, const TopologySpec& topology,
       std::min<std::size_t>(static_cast<std::size_t>(params.fail_count), order.size());
   const TimeUs interval_us =
       std::max<TimeUs>(1, static_cast<TimeUs>(std::llround(params.interval_s * 1e6)));
+
+  if (kind == TraceKind::kCrashloop) {
+    // Staggered fail -> revive cycles; no mobility. Each crasher first
+    // fails one tick after the previous one, stays down for down_s, and
+    // re-crashes every cycle_s until the window closes. A revive that
+    // would land at/after `end` is dropped: the node stays dead.
+    GTTSCH_CHECK(params.down_s > 0 && std::isfinite(params.down_s));
+    GTTSCH_CHECK(params.cycle_s > params.down_s && std::isfinite(params.cycle_s));
+    const TimeUs down_us =
+        std::max<TimeUs>(1, static_cast<TimeUs>(std::llround(params.down_s * 1e6)));
+    const TimeUs cycle_us = std::max<TimeUs>(
+        down_us + 1, static_cast<TimeUs>(std::llround(params.cycle_s * 1e6)));
+    for (std::size_t i = 0; i < n_fails; ++i) {
+      const NodeId id = candidates[order[order.size() - 1 - i]].id;
+      TimeUs t_fail = static_cast<TimeUs>(std::llround(params.fail_at_s * 1e6)) +
+                      static_cast<TimeUs>(i) * interval_us;
+      while (t_fail < params.end) {
+        out.events.push_back(TraceEvent{t_fail, TraceEventKind::kFail, id, 0,
+                                        Position{}, 0.0, 0});
+        const TimeUs t_revive = t_fail + down_us;
+        if (t_revive >= params.end) break;
+        out.events.push_back(TraceEvent{t_revive, TraceEventKind::kRevive, id, 0,
+                                        Position{}, 0.0, 0});
+        t_fail += cycle_us;
+      }
+    }
+    std::stable_sort(
+        out.events.begin(), out.events.end(),
+        [](const TraceEvent& a, const TraceEvent& b) { return a.at < b.at; });
+    return out;
+  }
 
   // Failing nodes come from the *end* of the shuffled order, so they only
   // overlap the movers (drawn from the front) when fail_count + movers
@@ -377,13 +528,15 @@ Trace generate_trace(TraceKind kind, const TopologySpec& topology,
           m.pos.y += dy * (step / dist);
         }
       }
-      out.events.push_back(TraceEvent{t, TraceEventKind::kMove, m.id, m.pos, 0});
+      out.events.push_back(
+          TraceEvent{t, TraceEventKind::kMove, m.id, 0, m.pos, 0.0, 0});
     }
   }
 
   for (const auto& [id, at] : fail_time) {
     if (at < params.end) {
-      out.events.push_back(TraceEvent{at, TraceEventKind::kFail, id, Position{}, 0});
+      out.events.push_back(
+          TraceEvent{at, TraceEventKind::kFail, id, 0, Position{}, 0.0, 0});
     }
   }
   // Moves were emitted tick-major (already time-sorted); a stable sort
@@ -400,13 +553,32 @@ void TracePlayer::start() {
   GTTSCH_CHECK(!started_);
   started_ = true;
   for (const TraceEvent& e : trace_.events) {
-    if (net_.nodes().find(e.node) == net_.nodes().end()) {
+    if (net_.nodes().find(e.node) == net_.nodes().end() ||
+        (is_link_event(e.kind) &&
+         net_.nodes().find(e.peer) == net_.nodes().end())) {
       std::fprintf(stderr, "TracePlayer: %s\n",
                    at_line(e.line, "unknown node id " + std::to_string(e.node)).c_str());
       GTTSCH_CHECK(false && "trace addresses a node the network does not have");
     }
-    if (e.kind == TraceEventKind::kFail && failures_ != nullptr) {
-      failures_->kill_node(e.at, e.node);
+    if (failures_ == nullptr) continue;
+    switch (e.kind) {
+      case TraceEventKind::kFail:
+        failures_->kill_node(e.at, e.node);
+        break;
+      case TraceEventKind::kRevive:
+        failures_->revive_node(e.at, e.node);
+        break;
+      case TraceEventKind::kPrr:
+        failures_->override_prr(e.at, e.node, e.peer, e.value, /*symmetric=*/false);
+        break;
+      case TraceEventKind::kPause:
+        failures_->override_prr(e.at, e.node, e.peer, 0.0, /*symmetric=*/true);
+        break;
+      case TraceEventKind::kResume:
+        failures_->clear_override(e.at, e.node, e.peer);
+        break;
+      case TraceEventKind::kMove:
+        break;
     }
   }
   // All events are scheduled up front (not chained): their queue insertion
@@ -421,13 +593,30 @@ void TracePlayer::start() {
 void TracePlayer::apply(const TraceEvent& event) {
   Node& node = net_.node(event.node);
   Telemetry* telemetry = net_.telemetry();
-  if (event.kind == TraceEventKind::kMove) {
-    node.move_to(event.pos);
-    if (telemetry != nullptr)
-      telemetry->on_trace_move(event.node, event.pos.x, event.pos.y);
-  } else {
-    node.fail();
-    if (telemetry != nullptr) telemetry->on_trace_fail(event.node);
+  switch (event.kind) {
+    case TraceEventKind::kMove:
+      node.move_to(event.pos);
+      if (telemetry != nullptr)
+        telemetry->on_trace_move(event.node, event.pos.x, event.pos.y);
+      break;
+    case TraceEventKind::kFail:
+      node.fail();
+      if (telemetry != nullptr) telemetry->on_trace_fail(event.node);
+      break;
+    case TraceEventKind::kRevive:
+      node.reboot();
+      if (telemetry != nullptr) telemetry->on_trace_revive(event.node);
+      break;
+    case TraceEventKind::kPrr:
+      if (telemetry != nullptr)
+        telemetry->on_trace_prr(event.node, event.peer, event.value);
+      break;
+    case TraceEventKind::kPause:
+      if (telemetry != nullptr) telemetry->on_trace_pause(event.node, event.peer);
+      break;
+    case TraceEventKind::kResume:
+      if (telemetry != nullptr) telemetry->on_trace_resume(event.node, event.peer);
+      break;
   }
   ++applied_;
 }

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <map>
+#include <vector>
 
 #include "phy/radio.hpp"
 #include "phy/wire.hpp"
@@ -71,11 +72,34 @@ struct RunMetrics {
   std::uint64_t probes_delivered = 0;
   double probe_pdr_percent = 0.0;
   double probe_avg_latency_ms = 0.0;
+
+  // --- recovery metrics (fault-injection runs) -------------------------
+  // Per-node recovery is a three-stage pipeline per failure: fail ->
+  // reboot -> re-associate (rejoin) -> first packet delivered at a root.
+  // A later failure of the same node abandons (censors) any unfinished
+  // pipeline. Network-level time-to-recover (TTR) is measured from the
+  // last churn event until the 10 s generation-time-bucketed PDR climbs
+  // back to >= 95% of the pre-churn baseline and stays there; runs that
+  // never recover report the censored distance to measure_end.
+  std::uint64_t node_failures = 0;    ///< fail events on registered nodes
+  std::uint64_t node_revivals = 0;    ///< completed reboots
+  std::uint64_t node_rejoins = 0;     ///< reboots that re-associated in-run
+  std::uint64_t orphan_intervals = 0; ///< joined -> orphan transitions
+  std::uint64_t recovery_ttr_censored = 0;  ///< 1 = PDR never re-converged
+  double recovery_rejoin_s = 0.0;     ///< mean fail -> re-association (s)
+  double recovery_first_delivery_s = 0.0;  ///< mean fail -> first delivery (s)
+  double recovery_ttr_s = 0.0;        ///< last churn -> PDR recovered (s)
 };
 
-/// Settle margin after the last trace failure before the "post" churn
-/// phase begins: routes usually need tens of seconds to re-converge.
+/// Settle margin after the last trace churn event before the "post"
+/// churn phase begins: routes usually need tens of seconds to re-converge.
 inline constexpr TimeUs kChurnSettle = 60000000;
+
+/// Generation-time bucket width for the TTR (time-to-recover) scan.
+inline constexpr TimeUs kRecoveryBucket = 10000000;
+/// A post-churn bucket counts as recovered once its PDR reaches this
+/// fraction of the pre-churn baseline PDR.
+inline constexpr double kRecoveryFraction = 0.95;
 
 class RunStats {
  public:
@@ -92,6 +116,16 @@ class RunStats {
   void on_queue_drop(NodeId node, TimeUs now);
   void on_mac_drop(NodeId node, TimeUs now);
   void on_no_route(NodeId node, TimeUs now);
+
+  // --- node-lifecycle hooks (fault injection) ---------------------------
+  /// The node's stack halted (trace `fail`). Opens a recovery pipeline;
+  /// an unfinished pipeline from an earlier failure is abandoned.
+  void on_node_failed(NodeId node, TimeUs now);
+  /// The node crash-rebooted (trace `revive`).
+  void on_node_rebooted(NodeId node, TimeUs now);
+  /// The node (re-)associated with the TSCH network. Only associations
+  /// following a reboot feed the rejoin-latency metric.
+  void on_associated(NodeId node, TimeUs now);
 
   /// Call exactly at t = warmup to snapshot radio on-times.
   void begin_measurement();
@@ -119,20 +153,46 @@ class RunStats {
     return t < phase_t1_ ? 0 : t < phase_t2_ ? 1 : 2;
   }
 
+  /// Generation-time bucket index of an in-window timestamp.
+  std::size_t bucket_of(TimeUs t) const {
+    return static_cast<std::size_t>((t - warmup_) / kRecoveryBucket);
+  }
+  struct Bucket;
+  Bucket& bucket_at(TimeUs t) const;
+
   TimeUs warmup_;
   TimeUs measure_end_;
   bool phases_enabled_ = false;
   TimeUs phase_t1_ = 0;
   TimeUs phase_t2_ = 0;
+  /// Last churn event (TTR anchor): derived from t2 - kChurnSettle.
+  TimeUs churn_anchor_ = 0;
   std::uint64_t phase_generated_[3] = {0, 0, 0};
   std::uint64_t phase_delivered_[3] = {0, 0, 0};
   SummaryStats phase_delay_ms_[3];
+  /// 10 s generation-time PDR buckets (churn runs only), lazily grown.
+  struct Bucket {
+    std::uint64_t generated = 0;
+    std::uint64_t delivered = 0;
+  };
+  mutable std::vector<Bucket> buckets_;
+  std::uint64_t failures_ = 0;
+  std::uint64_t revivals_ = 0;
+  std::uint64_t rejoins_ = 0;
+  std::uint64_t orphan_intervals_ = 0;
+  SummaryStats rejoin_s_;
+  SummaryStats first_delivery_s_;
   struct NodeEntry {
     bool is_root = false;
     const Radio* radio = nullptr;
     TimeUs on_time_at_warmup = 0;
     TimeUs on_time_at_end = -1;  ///< -1 until end_measurement() runs
     bool joined = false;
+    // Recovery pipeline for the node's most recent failure (-1 = none).
+    TimeUs failed_at = -1;
+    bool rebooted = false;            ///< reboot seen for this failure
+    bool rejoined = false;            ///< re-association recorded
+    bool awaiting_delivery = false;   ///< first post-rejoin delivery pending
   };
   std::map<NodeId, NodeEntry> nodes_;
   std::map<NodeId, NodeCounters> counters_;

@@ -329,6 +329,36 @@ void Telemetry::on_trace_fail(NodeId node) {
   append_event(json_head(sim_->now(), "event") + buf);
 }
 
+void Telemetry::on_trace_revive(NodeId node) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, ",\"event\":\"trace_revive\",\"node\":%u}",
+                static_cast<unsigned>(node));
+  append_event(json_head(sim_->now(), "event") + buf);
+}
+
+void Telemetry::on_trace_prr(NodeId node, NodeId peer, double prr) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                ",\"event\":\"trace_prr\",\"node\":%u,\"peer\":%u,\"prr\":%.6f}",
+                static_cast<unsigned>(node), static_cast<unsigned>(peer), prr);
+  append_event(json_head(sim_->now(), "event") + buf);
+}
+
+void Telemetry::on_trace_pause(NodeId node, NodeId peer) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, ",\"event\":\"trace_pause\",\"node\":%u,\"peer\":%u}",
+                static_cast<unsigned>(node), static_cast<unsigned>(peer));
+  append_event(json_head(sim_->now(), "event") + buf);
+}
+
+void Telemetry::on_trace_resume(NodeId node, NodeId peer) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf,
+                ",\"event\":\"trace_resume\",\"node\":%u,\"peer\":%u}",
+                static_cast<unsigned>(node), static_cast<unsigned>(peer));
+  append_event(json_head(sim_->now(), "event") + buf);
+}
+
 void Telemetry::on_probe_sent(NodeId origin, std::uint32_t seq) {
   ++probes_sent_;
   char buf[96];

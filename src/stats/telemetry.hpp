@@ -128,6 +128,10 @@ class Telemetry {
                     bool ok);
   void on_trace_move(NodeId node, double x, double y);
   void on_trace_fail(NodeId node);
+  void on_trace_revive(NodeId node);
+  void on_trace_prr(NodeId node, NodeId peer, double prr);
+  void on_trace_pause(NodeId node, NodeId peer);
+  void on_trace_resume(NodeId node, NodeId peer);
   void on_probe_sent(NodeId origin, std::uint32_t seq);
   void on_probe_delivered(NodeId origin, std::uint32_t seq, TimeUs generated_at,
                           std::uint8_t hops, TimeUs now);

@@ -4,13 +4,17 @@
 #     to the unsharded run
 #   * resuming a trace campaign against a journal from a different
 #     trace_seed is rejected by the campaign fingerprint (exit 2)
-#   * the committed example trace file runs end to end, and malformed
-#     trace files fail the spec naming the offending line
-# Usage: gt_campaign_trace_cli_test.sh /path/to/gt_campaign example.trace
+#   * the committed example trace files run end to end (the crashloop one
+#     filling the recovery_* report columns), and malformed trace files
+#     fail the spec naming the offending line
+#   * `gt_campaign validate` vets every grid point's trace without
+#     simulating: exit 0 when sound, exit 2 naming the offender otherwise
+# Usage: gt_campaign_trace_cli_test.sh /path/to/gt_campaign example.trace crashloop.trace
 set -u
 
 BIN=$1
 EXAMPLE_TRACE=$2
+CRASHLOOP_TRACE=$3
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 fails=0
@@ -39,7 +43,8 @@ expect_stderr() {
 # The sweepable surface includes every trace field.
 expect_exit 0 "--list-fields" --list-fields
 for field in trace trace_kind trace_seed trace_movers trace_speed_mps \
-             trace_interval_s trace_fail_count trace_fail_at_s; do
+             trace_interval_s trace_fail_count trace_fail_at_s \
+             trace_down_s trace_cycle_s; do
     if ! grep -qx "$field" "$TMP/out"; then
         echo "FAIL: --list-fields does not list $field" >&2
         fails=$((fails + 1))
@@ -67,6 +72,25 @@ printf '10 move 99 5 5\n' > "$TMP/ghost.trace"
 expect_exit 2 "trace with unknown node" --quiet --seeds 1 \
     --set "dodag_count=1;nodes_per_dodag=4;warmup_s=30;measure_s=30;trace_kind=file;trace=$TMP/ghost.trace"
 expect_stderr "unknown node id 99" "trace with unknown node"
+
+# `validate` vets the whole sweep's traces without running a single slot.
+expect_exit 0 "validate sound crashloop grid" validate --seeds 1,2 \
+    --grid trace_down_s=20,40 \
+    --set "trace_kind=crashloop;trace_cycle_s=90;warmup_s=30;measure_s=60"
+if ! grep -q "^validate: 2 points x 2 seeds OK" "$TMP/out"; then
+    echo "FAIL: validate did not report the point/seed count" >&2
+    cat "$TMP/out" >&2
+    fails=$((fails + 1))
+fi
+expect_exit 2 "validate rejects bad crashloop params" validate \
+    --set "trace_kind=crashloop;trace_down_s=200;trace_cycle_s=100"
+expect_stderr "trace_cycle_s must exceed trace_down_s" \
+    "validate rejects bad crashloop params"
+printf '10 fail 2\n10 revive 2\n' > "$TMP/twice.trace"
+expect_exit 2 "validate names the offending line" validate \
+    --set "trace_kind=file;trace=$TMP/twice.trace"
+expect_stderr "line 2" "validate names the offending line"
+expect_stderr "strictly after" "validate names the offending line"
 
 # Trace-axis sweep: shard 2 + merge is byte-identical to the unsharded run.
 GRID="trace_kind=none,random-walk"
@@ -112,6 +136,25 @@ expect_stderr "resumed: 2 jobs from journal, 0 run now" "matching resume"
 # scenario (1x7 DODAG; ids 1..7).
 expect_exit 0 "example trace file" --quiet --seeds 1 \
     --set "dodag_count=1;nodes_per_dodag=7;warmup_s=30;measure_s=30;trace_kind=file;trace=$EXAMPLE_TRACE"
+
+# The committed crashloop example fills the recovery columns: both crashed
+# leaves reboot and rejoin, so node_rejoins >= 1 and the rejoin latency is
+# a real number, not a blank.
+expect_exit 0 "crashloop example trace" --quiet --seeds 1 \
+    --set "dodag_count=1;nodes_per_dodag=7;warmup_s=40;measure_s=80;trace_kind=file;trace=$CRASHLOOP_TRACE" \
+    --out "$TMP/crash"
+for col in recovery_rejoin_s_mean recovery_ttr_s_mean node_rejoins; do
+    if ! head -1 "$TMP/crash.csv" | tr ',' '\n' | grep -qx "$col"; then
+        echo "FAIL: crashloop report lacks column $col" >&2
+        fails=$((fails + 1))
+    fi
+done
+rejoins=$(awk -F, 'NR==1 { for (i = 1; i <= NF; i++) if ($i == "node_rejoins") c = i }
+                   NR==2 { print $c }' "$TMP/crash.csv")
+if [ "${rejoins:-0}" -lt 1 ]; then
+    echo "FAIL: crashloop example recorded no rejoins (got '${rejoins:-}')" >&2
+    fails=$((fails + 1))
+fi
 
 if [ "$fails" -ne 0 ]; then
     echo "$fails trace CLI check(s) failed" >&2

@@ -142,6 +142,17 @@ void expect_identical(const ModeResult& fast, const ModeResult& ref) {
   EXPECT_EQ(fast.metrics.nodes_joined, ref.metrics.nodes_joined);
   EXPECT_EQ(fast.fully_formed, ref.fully_formed);
 
+  // Recovery accounting rides the same event stream, so it must agree too.
+  EXPECT_EQ(fast.metrics.node_failures, ref.metrics.node_failures);
+  EXPECT_EQ(fast.metrics.node_revivals, ref.metrics.node_revivals);
+  EXPECT_EQ(fast.metrics.node_rejoins, ref.metrics.node_rejoins);
+  EXPECT_EQ(fast.metrics.orphan_intervals, ref.metrics.orphan_intervals);
+  EXPECT_EQ(fast.metrics.recovery_rejoin_s, ref.metrics.recovery_rejoin_s);
+  EXPECT_EQ(fast.metrics.recovery_first_delivery_s,
+            ref.metrics.recovery_first_delivery_s);
+  EXPECT_EQ(fast.metrics.recovery_ttr_s, ref.metrics.recovery_ttr_s);
+  EXPECT_EQ(fast.metrics.recovery_ttr_censored, ref.metrics.recovery_ttr_censored);
+
   // The entire point: the fast path must do strictly less event work.
   EXPECT_LT(fast.events_processed, ref.events_processed);
 }
@@ -304,6 +315,51 @@ TEST(FastPathEquivalence, TraceDrivenOrchestraTwoSeeds) {
     const ModeResult fast = run_mode(sc, seed, /*per_slot=*/false);
     const ModeResult ref = run_mode(sc, seed, /*per_slot=*/true);
     expect_identical(fast, ref);
+  }
+}
+
+/// Grammar-v2 churn: a leaf crash-reboots mid-measurement (fail -> revive ->
+/// beacon-scan rejoin) while link-quality episodes fade and black out other
+/// links. The fast path must stay bit-identical through the reboot's fresh
+/// stack, the rejoin, and the recovery accounting it feeds.
+ScenarioConfig revive_config(const std::string& kind, const std::string& path) {
+  ScenarioConfig sc = fig8_config(kind);
+  sc.dodag_count = 1;  // 7 nodes: root 1, routers 2-3, leaves 4-7
+  sc.measure = 180_s;  // room for the slowest scheduler's beacon-scan rejoin
+  sc.trace_kind = TraceKind::kFile;
+  sc.trace = path;
+  return sc;
+}
+
+TEST(FastPathEquivalence, ReviveAndLinkEpisodesTwoSchedulersTwoSeeds) {
+  const std::string path = ::testing::TempDir() + "fast_path_revive.trace";
+  Trace trace;
+  std::string error;
+  ASSERT_TRUE(parse_trace(
+                  "150 fail 6\n"
+                  "165 revive 6\n"
+                  "180 prr 2 4 0.5\n"
+                  "190 pause 3 5\n"
+                  "200 prr 2 4 1\n"
+                  "210 resume 3 5\n",
+                  &trace, &error))
+      << error;
+  ASSERT_TRUE(save_trace(path, trace, &error)) << error;
+
+  for (const char* scheduler : {"gt-tsch", "emsf"}) {
+    const ScenarioConfig sc = revive_config(scheduler, path);
+    for (const std::uint64_t seed : {4000ull, 4017ull}) {
+      SCOPED_TRACE(::testing::Message() << scheduler << " seed " << seed);
+      const ModeResult fast = run_mode(sc, seed, /*per_slot=*/false);
+      const ModeResult ref = run_mode(sc, seed, /*per_slot=*/true);
+      expect_identical(fast, ref);
+      // The churn actually happened: one crash, one reboot, and the leaf
+      // found its way back into the DODAG before the run ended.
+      EXPECT_EQ(fast.metrics.node_failures, 1u);
+      EXPECT_EQ(fast.metrics.node_revivals, 1u);
+      EXPECT_EQ(fast.metrics.node_rejoins, 1u);
+      EXPECT_GT(fast.metrics.recovery_rejoin_s, 0.0);
+    }
   }
 }
 

@@ -287,7 +287,9 @@ bool counters_equal(const MacCounters& a, const MacCounters& b) {
 }
 
 /// A GT-TSCH network over a DynamicLinkModel with mid-run moves, link
-/// overrides and a node kill — every cache-invalidation source at once.
+/// overrides (symmetric, directional and cleared again), a blackout
+/// episode, and a node kill followed by a revive — every
+/// cache-invalidation source at once.
 StackSnapshot run_dynamic_stack(bool cache_enabled) {
   using namespace literals;
   ScenarioConfig sc;
@@ -305,7 +307,11 @@ StackSnapshot run_dynamic_stack(bool cache_enabled) {
                                              sc.interference_factor));
     dyn->override_prr(150_s, 2, 4, 0.4);   // link fades mid-run
     dyn->override_prr(190_s, 2, 4, 1.0);   // ...and recovers
+    dyn->override_prr(155_s, 3, 6, 0.5, /*symmetric=*/false);  // one-way fade
+    dyn->override_prr(160_s, 3, 5, 0.0);   // blackout episode (pause)...
+    dyn->clear_override(175_s, 3, 5);      // ...lifted again (resume)
     dyn->kill_node(210_s, 7);              // a leaf dies outright
+    dyn->revive_node(225_s, 7);            // ...and crash-reboots
     return dyn;
   };
   Network net(77, factory, sc.make_topology(), nc, nullptr);
@@ -449,9 +455,10 @@ TEST(MediumCacheIncremental, SingleTraceMoveStaysUnderTwoNModelCalls) {
 
   Trace trace;
   trace.events.push_back(
-      TraceEvent{66_s, TraceEventKind::kMove, 5,
+      TraceEvent{66_s, TraceEventKind::kMove, 5, /*peer=*/0,
                  Position{net.node(5).position().x + 3.0,
-                          net.node(5).position().y - 2.0}, 0});
+                          net.node(5).position().y - 2.0},
+                 /*value=*/0.0, /*line=*/0});
   TracePlayer player(net, std::move(trace), nullptr);
   net.start();
   player.start();

@@ -48,6 +48,34 @@ TEST(TraceParser, ParsesEventsCommentsAndBlankLines) {
   EXPECT_TRUE(trace.has_failures());
 }
 
+TEST(TraceParser, ParsesGrammarV2LifecycleAndLinkEvents) {
+  const std::string text =
+      "10 fail 4\n"
+      "15 revive 4\n"
+      "20 prr 2 5 0.25\n"
+      "25 pause 2 5\n"
+      "30 resume 2 5\n";
+  Trace trace;
+  std::string error;
+  ASSERT_TRUE(parse_trace(text, &trace, &error)) << error;
+  ASSERT_EQ(trace.events.size(), 5u);
+
+  EXPECT_EQ(trace.events[1].kind, TraceEventKind::kRevive);
+  EXPECT_EQ(trace.events[1].node, 4);
+  EXPECT_EQ(trace.events[1].at, 15_s);
+
+  EXPECT_EQ(trace.events[2].kind, TraceEventKind::kPrr);
+  EXPECT_EQ(trace.events[2].node, 2);
+  EXPECT_EQ(trace.events[2].peer, 5);
+  EXPECT_DOUBLE_EQ(trace.events[2].value, 0.25);
+
+  EXPECT_EQ(trace.events[3].kind, TraceEventKind::kPause);
+  EXPECT_EQ(trace.events[4].kind, TraceEventKind::kResume);
+  EXPECT_EQ(trace.events[4].peer, 5);
+  EXPECT_TRUE(trace.has_failures());
+  EXPECT_TRUE(trace.needs_dynamic_model());
+}
+
 /// Every rejection must carry the 1-based number of the offending line.
 struct BadTraceCase {
   const char* name;
@@ -88,7 +116,41 @@ INSTANTIATE_TEST_SUITE_P(
         BadTraceCase{"nan coordinate", "5 move 3 nan 2\n", "coordinate", 1},
         BadTraceCase{"move after fail", "5 fail 3\n9 move 3 1 2\n",
                      "already failed", 2},
-        BadTraceCase{"double fail", "5 fail 3\n9 fail 3\n", "already failed", 2}),
+        BadTraceCase{"double fail", "5 fail 3\n9 fail 3\n", "already failed", 2},
+        BadTraceCase{"revive arity", "5 fail 3\n9 revive 3 7\n",
+                     "revive takes exactly", 2},
+        BadTraceCase{"revive without fail", "5 revive 3\n", "without a prior fail",
+                     1},
+        BadTraceCase{"revive not after fail", "5 fail 3\n5 revive 3\n",
+                     "strictly after the failure on line 1", 2},
+        BadTraceCase{"double revive", "5 fail 3\n9 revive 3\n10 revive 3\n",
+                     "without a prior fail", 3},
+        BadTraceCase{"prr arity", "5 prr 2 3\n", "prr takes exactly", 1},
+        BadTraceCase{"prr value too large", "5 prr 2 3 1.5\n",
+                     "not a number in [0, 1]", 1},
+        BadTraceCase{"prr value negative", "5 prr 2 3 -0.1\n",
+                     "not a number in [0, 1]", 1},
+        BadTraceCase{"prr value nan", "5 prr 2 3 nan\n", "not a number in [0, 1]",
+                     1},
+        BadTraceCase{"prr self link", "5 prr 3 3 0.5\n",
+                     "link endpoints must differ", 1},
+        BadTraceCase{"prr on dead node", "5 fail 3\n9 prr 3 4 0.5\n",
+                     "already failed", 2},
+        BadTraceCase{"prr on dead peer", "5 fail 4\n9 prr 3 4 0.5\n",
+                     "already failed", 2},
+        BadTraceCase{"pause arity", "5 pause 2\n", "pause takes exactly", 1},
+        BadTraceCase{"pause self link", "5 pause 3 3\n",
+                     "link endpoints must differ", 1},
+        BadTraceCase{"double pause", "5 pause 2 3\n9 pause 3 2\n",
+                     "already paused on line 1", 2},
+        BadTraceCase{"pause on dead node", "5 fail 2\n9 pause 2 3\n",
+                     "already failed", 2},
+        BadTraceCase{"resume arity", "5 resume 2 3 4\n", "resume takes exactly",
+                     1},
+        BadTraceCase{"resume without pause", "5 resume 2 3\n",
+                     "without a matching pause", 1},
+        BadTraceCase{"double resume", "5 pause 2 3\n9 resume 2 3\n10 resume 2 3\n",
+                     "without a matching pause", 3}),
     [](const auto& info) {
       std::string name = info.param.name;
       for (char& ch : name)
@@ -202,6 +264,15 @@ TEST_P(TraceGenerators, EventsStayInWindowAndRespectFailures) {
     EXPECT_GT(e.at, sc.warmup);
     EXPECT_LT(e.at, sc.warmup + sc.measure);
     const auto dead = failed_at.find(e.node);
+    if (e.kind == TraceEventKind::kRevive) {
+      if (dead == failed_at.end()) {
+        ADD_FAILURE() << "revive of live node " << e.node;
+      } else {
+        EXPECT_GT(e.at, dead->second);  // strictly after the failure
+        failed_at.erase(dead);
+      }
+      continue;
+    }
     if (dead != failed_at.end()) {
       ADD_FAILURE() << "event for node " << e.node << " after its failure";
     }
@@ -210,16 +281,26 @@ TEST_P(TraceGenerators, EventsStayInWindowAndRespectFailures) {
       ++fails;
     }
   }
-  EXPECT_EQ(fails, sc.trace_fail_count);
+  // Walk/waypoint kill each victim exactly once; crashloop re-crashes on
+  // every cycle, so it can only produce more failures, never fewer.
+  if (GetParam() == TraceKind::kCrashloop) {
+    EXPECT_GE(fails, sc.trace_fail_count);
+  } else {
+    EXPECT_EQ(fails, sc.trace_fail_count);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Kinds, TraceGenerators,
                          ::testing::Values(TraceKind::kRandomWalk,
-                                           TraceKind::kRandomWaypoint),
+                                           TraceKind::kRandomWaypoint,
+                                           TraceKind::kCrashloop),
                          [](const auto& info) {
-                           return info.param == TraceKind::kRandomWalk
-                                      ? "random_walk"
-                                      : "random_waypoint";
+                           switch (info.param) {
+                             case TraceKind::kRandomWalk: return "random_walk";
+                             case TraceKind::kRandomWaypoint:
+                               return "random_waypoint";
+                             default: return "crashloop";
+                           }
                          });
 
 TEST(TraceGenerator, WaypointStepsBoundedBySpeedTimesInterval) {
@@ -238,6 +319,46 @@ TEST(TraceGenerator, WaypointStepsBoundedBySpeedTimesInterval) {
       EXPECT_LE(dx * dx + dy * dy, bound * bound);
     }
     last[e.node] = e.pos;
+  }
+}
+
+TEST(TraceGenerator, CrashloopAlternatesFailReviveWithConfiguredTiming) {
+  ScenarioConfig sc = generator_config(TraceKind::kCrashloop);
+  sc.trace_down_s = 10.0;
+  sc.trace_cycle_s = 30.0;
+  Trace trace;
+  std::string error;
+  ASSERT_TRUE(sc.make_trace(sc.make_topology(), &trace, &error)) << error;
+  ASSERT_FALSE(trace.empty());
+
+  const TimeUs down_us = 10_s;
+  const TimeUs cycle_us = 30_s;
+  const TimeUs end = sc.warmup + sc.measure;
+  // Per node the stream must read fail, revive, fail, revive, ... with
+  // revive = fail + down and the next fail one cycle after the previous.
+  std::map<NodeId, std::vector<TraceEvent>> per_node;
+  for (const TraceEvent& e : trace.events) {
+    EXPECT_TRUE(e.kind == TraceEventKind::kFail ||
+                e.kind == TraceEventKind::kRevive)
+        << "crashloop generated a non-lifecycle event";
+    EXPECT_LT(e.at, end);
+    per_node[e.node].push_back(e);
+  }
+  EXPECT_EQ(per_node.size(), static_cast<std::size_t>(sc.trace_fail_count));
+  for (const auto& [id, events] : per_node) {
+    SCOPED_TRACE(::testing::Message() << "node " << id);
+    ASSERT_GE(events.size(), 2u);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const bool expect_fail = i % 2 == 0;
+      EXPECT_EQ(events[i].kind, expect_fail ? TraceEventKind::kFail
+                                            : TraceEventKind::kRevive);
+      if (i == 0) continue;
+      if (expect_fail) {
+        EXPECT_EQ(events[i].at, events[i - 2].at + cycle_us);
+      } else {
+        EXPECT_EQ(events[i].at, events[i - 1].at + down_us);
+      }
+    }
   }
 }
 
@@ -263,6 +384,22 @@ TEST(TraceConfig, BadGeneratorParamsAreRejected) {
   sc.trace_movers = -1;
   EXPECT_FALSE(sc.validate_trace(&error));
   EXPECT_NE(error.find("trace_movers"), std::string::npos) << error;
+}
+
+TEST(TraceConfig, BadCrashloopParamsAreRejected) {
+  ScenarioConfig sc;
+  sc.trace_kind = TraceKind::kCrashloop;
+  sc.trace_down_s = 0.0;
+  std::string error;
+  EXPECT_FALSE(sc.validate_trace(&error));
+  EXPECT_NE(error.find("trace_down_s"), std::string::npos) << error;
+
+  sc.trace_down_s = 40.0;
+  sc.trace_cycle_s = 40.0;  // must strictly exceed the down time
+  EXPECT_FALSE(sc.validate_trace(&error));
+  EXPECT_NE(error.find("trace_cycle_s must exceed trace_down_s"),
+            std::string::npos)
+      << error;
 }
 
 TEST(TraceConfig, NoneKindIsAlwaysValidAndEmpty) {
@@ -315,6 +452,67 @@ TEST(TracePlayerTest, AppliesMovesAndFailuresAtTheirInstants) {
   EXPECT_EQ(player.applied(), 2u);
   // The kill also silences the node at the medium level.
   EXPECT_DOUBLE_EQ(model->prr(3, {0, -30}, 1, {0, 0}), 0.0);
+}
+
+TEST(TracePlayerTest, AppliesRevivesAndLinkEpisodes) {
+  TopologySpec topo;
+  topo.nodes.push_back(NodeSpec{1, {0, 0}, true});
+  topo.nodes.push_back(NodeSpec{2, {0, 30}, false});
+  topo.nodes.push_back(NodeSpec{3, {0, -30}, false});
+
+  ScenarioConfig sc;
+  auto nc = sc.make_node_config();
+  DynamicLinkModel* model = nullptr;
+  const Network::LinkModelFactory factory =
+      [&model](Simulator& sim) -> std::unique_ptr<LinkModel> {
+    auto dynamic = std::make_unique<DynamicLinkModel>(
+        sim, std::make_unique<UnitDiskModel>(40.0, 1.0, 1.6));
+    model = dynamic.get();
+    return dynamic;
+  };
+  Network net(1, factory, topo, nc, nullptr);
+
+  Trace trace;
+  std::string error;
+  ASSERT_TRUE(parse_trace(
+                  "10 fail 2\n"
+                  "20 revive 2\n"
+                  "30 prr 1 2 0.25\n"
+                  "40 pause 1 3\n"
+                  "50 prr 1 2 1\n"
+                  "60 resume 1 3\n",
+                  &trace, &error))
+      << error;
+  TracePlayer player(net, std::move(trace), model);
+  net.start();
+  player.start();
+
+  const Position p1{0, 0}, p2{0, 30}, p3{0, -30};
+
+  net.sim().run_until(15_s);  // node 2 is down and radio-silent
+  EXPECT_TRUE(net.node(2).failed());
+  EXPECT_DOUBLE_EQ(model->prr(2, p2, 1, p1), 0.0);
+
+  net.sim().run_until(25_s);  // ...and back, with the base link restored
+  EXPECT_FALSE(net.node(2).failed());
+  EXPECT_DOUBLE_EQ(model->prr(2, p2, 1, p1), 1.0);
+  EXPECT_EQ(player.applied(), 2u);
+
+  net.sim().run_until(35_s);  // prr override is directional: only 1 -> 2 fades
+  EXPECT_DOUBLE_EQ(model->prr(1, p1, 2, p2), 0.25);
+  EXPECT_DOUBLE_EQ(model->prr(2, p2, 1, p1), 1.0);
+
+  net.sim().run_until(45_s);  // pause blacks out both directions of 1 <-> 3
+  EXPECT_DOUBLE_EQ(model->prr(1, p1, 3, p3), 0.0);
+  EXPECT_DOUBLE_EQ(model->prr(3, p3, 1, p1), 0.0);
+
+  net.sim().run_until(55_s);  // prr 1 restores full delivery on 1 -> 2
+  EXPECT_DOUBLE_EQ(model->prr(1, p1, 2, p2), 1.0);
+
+  net.sim().run_until(65_s);  // resume lifts the blackout
+  EXPECT_DOUBLE_EQ(model->prr(1, p1, 3, p3), 1.0);
+  EXPECT_DOUBLE_EQ(model->prr(3, p3, 1, p1), 1.0);
+  EXPECT_EQ(player.applied(), 6u);
 }
 
 // ------------------------------------------------------ file round trips --

@@ -29,6 +29,14 @@ REQUIRED_KEYS = {
                 "probes_delivered"),
 }
 
+# Extra keys required per event name (trace grammar v2: link episodes name
+# their peer, prr overrides carry the probability).
+EVENT_EXTRA_KEYS = {
+    "trace_prr": ("peer", "prr"),
+    "trace_pause": ("peer",),
+    "trace_resume": ("peer",),
+}
+
 
 def check_file(path):
     """Returns a list of problem strings (empty = valid)."""
@@ -70,6 +78,16 @@ def check_file(path):
         missing = [k for k in REQUIRED_KEYS[kind] if k not in record]
         if missing:
             problems.append(f"line {i}: {kind} record missing {missing}")
+        if kind == "event":
+            name = record.get("event")
+            extra = [k for k in EVENT_EXTRA_KEYS.get(name, ()) if k not in record]
+            if extra:
+                problems.append(f"line {i}: {name} event missing {extra}")
+            prr = record.get("prr")
+            if name == "trace_prr" and not (
+                isinstance(prr, (int, float)) and 0.0 <= prr <= 1.0
+            ):
+                problems.append(f"line {i}: trace_prr value {prr!r} not in [0, 1]")
 
     if not lines:
         problems.append("file is empty")

@@ -37,6 +37,7 @@ void print_usage() {
   std::printf(
       "Usage: gt_campaign [run] [options]\n"
       "       gt_campaign merge --out PREFIX JOURNAL.jsonl [JOURNAL.jsonl...]\n"
+      "       gt_campaign validate [--set SPEC] [--grid SPEC] [--seeds LIST]\n"
       "\n"
       "Run options:\n"
       "  --grid SPEC    axes as \"field=v1,v2;field2=v3,v4\" (cartesian product)\n"
@@ -71,7 +72,12 @@ void print_usage() {
       "  --list-metrics print the adaptive stopping metrics and exit\n"
       "\n"
       "merge combines per-shard journals into one aggregate report,\n"
-      "bit-identical to an unsharded run over the same jobs.\n",
+      "bit-identical to an unsharded run over the same jobs.\n"
+      "\n"
+      "validate dry-runs the grid expansion and checks every resolved\n"
+      "point's trace setup (file parse with line numbers, node ids against\n"
+      "that point's topology, generator parameter ranges) without running\n"
+      "any simulation. Exit 0 = sound, 2 = invalid (details on stderr).\n",
       SfRegistry::instance().names_joined(",").c_str());
 }
 
@@ -150,8 +156,9 @@ int run_merge(const Flags& flags, const std::vector<std::string>& journals) {
   return write_artifacts(out_prefix, aggregates);
 }
 
-int run_campaign_command(const Flags& flags) {
-  campaign::CampaignSpec spec;
+/// Builds the campaign spec from --set / --grid / --seeds (shared by the
+/// run and validate subcommands). Returns 0 on success, else the exit code.
+int parse_spec_flags(const Flags& flags, campaign::CampaignSpec* spec) {
   std::string error;
 
   // Base-config overrides reuse the axis grammar with single values; a
@@ -168,22 +175,55 @@ int run_campaign_command(const Flags& flags) {
     if (!override_keys.insert(o.field).second) {
       return fail_usage("--set", o.field + ": key appears twice");
     }
-    if (!campaign::apply_field(spec.base, o.field, o.values.front(), &error)) {
+    if (!campaign::apply_field(spec->base, o.field, o.values.front(), &error)) {
       return fail_usage("--set", error);
     }
   }
 
-  if (!campaign::parse_grid(flags.get("grid", ""), &spec.axes, &error)) {
+  if (!campaign::parse_grid(flags.get("grid", ""), &spec->axes, &error)) {
     return fail_usage("--grid", error);
   }
 
   if (flags.has("seeds")) {
-    if (!campaign::parse_seeds(flags.get("seeds", ""), &spec.seeds, &error)) {
+    if (!campaign::parse_seeds(flags.get("seeds", ""), &spec->seeds, &error)) {
       return fail_usage("--seeds", error);
     }
   } else {
-    spec.seeds = default_seeds();
+    spec->seeds = default_seeds();
   }
+  return 0;
+}
+
+/// `gt_campaign validate`: expand the grid and run the campaign's
+/// pre-flight trace checks — file parse (with the offending line number),
+/// per-point node-id/topology cross-check, generator parameter ranges —
+/// then exit without simulating anything.
+int run_validate(const Flags& flags) {
+  campaign::CampaignSpec spec;
+  const int code = parse_spec_flags(flags, &spec);
+  if (code != 0) return code;
+  for (const std::string& flag : flags.unknown()) {
+    return fail_usage("validate: unknown flag", "--" + flag + " (see --help)");
+  }
+  std::string error;
+  const std::vector<campaign::GridPoint> points = campaign::expand_grid(spec, &error);
+  if (points.empty()) {
+    return fail_usage("invalid campaign", error);
+  }
+  if (!campaign::validate_points_trace(points, &error)) {
+    return fail_usage("invalid trace setup", error);
+  }
+  std::printf("validate: %zu point%s x %zu seed%s OK\n", points.size(),
+              points.size() == 1 ? "" : "s", spec.seeds.size(),
+              spec.seeds.size() == 1 ? "" : "s");
+  return 0;
+}
+
+int run_campaign_command(const Flags& flags) {
+  campaign::CampaignSpec spec;
+  const int spec_code = parse_spec_flags(flags, &spec);
+  if (spec_code != 0) return spec_code;
+  std::string error;
 
   campaign::CampaignOptions options;
   const bool quiet = flags.get_bool("quiet", false);
@@ -307,6 +347,14 @@ int main(int argc, char** argv) {
   if (!positional.empty() && positional.front() == "merge") {
     positional.erase(positional.begin());
     return run_merge(flags, positional);
+  }
+  if (!positional.empty() && positional.front() == "validate") {
+    positional.erase(positional.begin());
+    if (!positional.empty()) {
+      return fail_usage("validate: unexpected argument",
+                        "'" + positional.front() + "' (see --help)");
+    }
+    return run_validate(flags);
   }
   if (!positional.empty() && positional.front() == "run") {
     positional.erase(positional.begin());
