@@ -6,6 +6,48 @@
 
 namespace gttsch::campaign {
 
+const char* job_status_name(JobStatus status) {
+  switch (status) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kCrashed: return "crashed";
+    case JobStatus::kTimeout: return "timeout";
+    case JobStatus::kFailed: return "failed";
+  }
+  GTTSCH_CHECK(false);
+  return "?";
+}
+
+bool parse_job_status(const std::string& name, JobStatus* out) {
+  for (const JobStatus s : {JobStatus::kOk, JobStatus::kCrashed,
+                            JobStatus::kTimeout, JobStatus::kFailed}) {
+    if (name == job_status_name(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* point_status(const PointAggregate& a) {
+  if (a.runs > 0) return "ok";
+  return a.runs_failed > 0 ? "failed" : "empty";
+}
+
+std::string failure_kinds_label(const PointAggregate& a) {
+  std::string out;
+  const auto append = [&out](const char* kind, int count) {
+    if (count == 0) return;
+    if (!out.empty()) out += ';';
+    out += kind;
+    out += ':';
+    out += std::to_string(count);
+  };
+  append("crashed", a.failed_crashed);
+  append("timeout", a.failed_timeout);
+  append("failed", a.failed_other);
+  return out;
+}
+
 double t_critical_95(std::uint64_t df) {
   // Two-sided 95% quantiles of the Student-t distribution; beyond df=30
   // the normal value is accurate to well under the precision we report.
@@ -88,10 +130,28 @@ const std::vector<std::string>& metric_names() {
 void PointAccumulator::add(std::size_t seed_index, const ExperimentResult& result) {
   const bool inserted = by_seed_.emplace(seed_index, result).second;
   GTTSCH_CHECK(inserted);
+  // A success supersedes a quarantined record for the same seed — the
+  // --retry-quarantined path appends the retried result to the same
+  // journal, and the newer ok record must win.
+  failed_.erase(seed_index);
+}
+
+void PointAccumulator::add_failure(std::size_t seed_index, JobStatus status) {
+  GTTSCH_CHECK(status != JobStatus::kOk);
+  if (by_seed_.count(seed_index) > 0) return;  // ok already recorded: it wins
+  failed_.emplace(seed_index, status);         // duplicate failures keep-first
 }
 
 PointAggregate PointAccumulator::finalize() const {
   PointAggregate out;
+  for (const auto& [seed_index, status] : failed_) {
+    ++out.runs_failed;
+    switch (status) {
+      case JobStatus::kCrashed: ++out.failed_crashed; break;
+      case JobStatus::kTimeout: ++out.failed_timeout; break;
+      default: ++out.failed_other; break;
+    }
+  }
   if (by_seed_.empty()) return out;
 
   // Collect per-metric sample vectors in seed order (std::map iterates in

@@ -16,6 +16,23 @@
 
 namespace gttsch::campaign {
 
+/// Terminal state of one (grid point, seed) job. Everything except kOk is
+/// a *quarantined* job: it exhausted its retries and contributes no
+/// metrics, only failure accounting.
+enum class JobStatus : std::uint8_t {
+  kOk,       ///< result is valid
+  kCrashed,  ///< isolated child died on a signal (term_signal says which)
+  kTimeout,  ///< isolated child exceeded --job-timeout and was SIGKILLed
+  kFailed,   ///< nonzero exit, protocol breakage, or in-process watchdog trip
+};
+
+/// Stable wire name ("ok" / "crashed" / "timeout" / "failed") — the journal
+/// status grammar.
+const char* job_status_name(JobStatus status);
+
+/// Inverse of job_status_name; returns false on an unknown name.
+bool parse_job_status(const std::string& name, JobStatus* out);
+
 /// Spread of one scalar metric across seeds.
 struct SampleStats {
   std::uint64_t n = 0;
@@ -62,7 +79,23 @@ struct PointAggregate {
   MediumStats medium_sum; ///< summed medium counters over seeds
   int runs = 0;
   int fully_formed_runs = 0;
+  // Quarantined jobs (crash / timeout / other failure after retries).
+  // They contribute nothing to the statistics above — aggregation
+  // degrades gracefully instead of poisoning the means.
+  int runs_failed = 0;
+  int failed_crashed = 0;
+  int failed_timeout = 0;
+  int failed_other = 0;
 };
+
+/// Report status of a point: "ok" when it has at least one successful run,
+/// "failed" when every attempted run was quarantined, "empty" when nothing
+/// ran at all (e.g. the point belongs to another shard).
+const char* point_status(const PointAggregate& aggregate);
+
+/// Compact per-point failure breakdown for reports, e.g.
+/// "crashed:2;timeout:1" — empty when runs_failed == 0.
+std::string failure_kinds_label(const PointAggregate& aggregate);
 
 /// Maps a panel-metric name ("pdr_percent", "avg_delay_ms", ...) to its
 /// SampleStats member, or nullptr when unknown — used by adaptive
@@ -76,15 +109,24 @@ const std::vector<std::string>& metric_names();
 class PointAccumulator {
  public:
   /// `seed_index` positions the result in the deterministic reduction
-  /// order; adding the same index twice is a programming error.
+  /// order; adding the same index twice is a programming error. A success
+  /// supersedes any earlier add_failure for the same index (the
+  /// --retry-quarantined path).
   void add(std::size_t seed_index, const ExperimentResult& result);
 
+  /// Records a quarantined job for the point. Ignored when the same seed
+  /// index already holds (or later gains) a successful result; duplicate
+  /// failures keep the first status.
+  void add_failure(std::size_t seed_index, JobStatus status);
+
   std::size_t size() const { return by_seed_.size(); }
+  std::size_t failed_size() const { return failed_.size(); }
 
   PointAggregate finalize() const;
 
  private:
   std::map<std::size_t, ExperimentResult> by_seed_;
+  std::map<std::size_t, JobStatus> failed_;
 };
 
 }  // namespace gttsch::campaign

@@ -4,36 +4,21 @@
 #include <cstdlib>
 #include <filesystem>
 #include <map>
+#include <set>
+
+#include "campaign/jsonio.hpp"
 
 namespace gttsch::campaign {
 namespace {
 
+using jsonio::Cursor;
+using jsonio::escape;
+using jsonio::fmt_double;
+using jsonio::parse_object;
+
 bool fail(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
   return false;
-}
-
-/// %.17g: enough digits that strtod recovers the exact IEEE-754 double,
-/// which is what keeps resumed/merged aggregation bit-identical.
-std::string fmt_double(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  return buf;
-}
-
-std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c;
-    }
-  }
-  return out;
 }
 
 /// Per-field serialization tables: one row per RunMetrics / MediumStats
@@ -105,144 +90,9 @@ constexpr MediumField kMediumCounters[] = {
     {"prr_losses", &MediumStats::prr_losses},
 };
 
-// ------------------------------------------------------------ parsing --
-// A minimal recursive-descent reader for the flat JSON we emit: objects,
-// strings, numbers and booleans (no arrays, no nested escapes beyond the
-// ones `escape` produces). Unknown keys are skipped for forward compat.
-
-class Cursor {
- public:
-  explicit Cursor(const std::string& text) : text_(text) {}
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  bool expect(char c) {
-    skip_ws();
-    if (pos_ >= text_.size() || text_[pos_] != c) return false;
-    ++pos_;
-    return true;
-  }
-
-  bool peek(char c) {
-    skip_ws();
-    return pos_ < text_.size() && text_[pos_] == c;
-  }
-
-  bool at_end() {
-    skip_ws();
-    return pos_ >= text_.size();
-  }
-
-  bool parse_string(std::string* out) {
-    if (!expect('"')) return false;
-    out->clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return true;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return false;
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': *out += '"'; break;
-          case '\\': *out += '\\'; break;
-          case '/': *out += '/'; break;
-          case 'n': *out += '\n'; break;
-          case 't': *out += '\t'; break;
-          default: return false;
-        }
-      } else {
-        *out += c;
-      }
-    }
-    return false;  // unterminated (the truncation case)
-  }
-
-  bool parse_double(double* out) {
-    skip_ws();
-    const char* start = text_.c_str() + pos_;
-    char* end = nullptr;
-    *out = std::strtod(start, &end);
-    if (end == start) return false;
-    pos_ += static_cast<std::size_t>(end - start);
-    return true;
-  }
-
-  bool parse_u64(std::uint64_t* out) {
-    skip_ws();
-    const char* start = text_.c_str() + pos_;
-    if (*start < '0' || *start > '9') return false;
-    char* end = nullptr;
-    *out = std::strtoull(start, &end, 10);
-    if (end == start) return false;
-    pos_ += static_cast<std::size_t>(end - start);
-    return true;
-  }
-
-  bool parse_bool(bool* out) {
-    skip_ws();
-    if (text_.compare(pos_, 4, "true") == 0) {
-      pos_ += 4;
-      *out = true;
-      return true;
-    }
-    if (text_.compare(pos_, 5, "false") == 0) {
-      pos_ += 5;
-      *out = false;
-      return true;
-    }
-    return false;
-  }
-
-  /// Skips a string, number, boolean, or (possibly nested) object.
-  bool skip_value() {
-    skip_ws();
-    if (pos_ >= text_.size()) return false;
-    const char c = text_[pos_];
-    if (c == '"') {
-      std::string ignored;
-      return parse_string(&ignored);
-    }
-    if (c == '{') {
-      ++pos_;
-      if (peek('}')) return expect('}');
-      for (;;) {
-        std::string key;
-        if (!parse_string(&key) || !expect(':') || !skip_value()) return false;
-        if (expect(',')) continue;
-        return expect('}');
-      }
-    }
-    if (c == 't' || c == 'f') {
-      bool ignored = false;
-      return parse_bool(&ignored);
-    }
-    double ignored = 0;
-    return parse_double(&ignored);
-  }
-
- private:
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-/// Parses `{"key": value, ...}` dispatching each pair through `field`.
-template <typename FieldFn>
-bool parse_object(Cursor& cur, FieldFn&& field) {
-  if (!cur.expect('{')) return false;
-  if (cur.peek('}')) return cur.expect('}');
-  for (;;) {
-    std::string key;
-    if (!cur.parse_string(&key) || !cur.expect(':')) return false;
-    if (!field(key)) return false;
-    if (cur.expect(',')) continue;
-    return cur.expect('}');
-  }
-}
+// ---------------------------------------------------------- parsing --
+// The shared reader lives in campaign/jsonio.hpp; what follows are the
+// journal-specific object parsers built on it.
 
 bool parse_metrics(Cursor& cur, RunMetrics* metrics) {
   return parse_object(cur, [&](const std::string& key) {
@@ -289,7 +139,21 @@ std::string render_journal_line(const JournalRecord& r) {
     out += '"' + escape(r.coords[i].first) + "\": \"" + escape(r.coords[i].second) +
            '"';
   }
-  out += "}, \"fully_formed\": ";
+  out += '}';
+  if (r.status != JobStatus::kOk) {
+    // Quarantined job: failure fields instead of metrics.
+    out += ", \"status\": \"" + std::string(job_status_name(r.status)) +
+           "\", \"attempts\": " + std::to_string(r.attempts) +
+           ", \"exit_code\": " + std::to_string(r.exit_code) +
+           ", \"term_signal\": " + std::to_string(r.term_signal) + "}";
+    return out;
+  }
+  // Successful job. With attempts == 1 (the overwhelmingly common case)
+  // this is byte-identical to the pre-status journal format, which keeps
+  // old journals and new ones interchangeable and preserves the
+  // isolated-vs-in-process byte-identity contract.
+  if (r.attempts != 1) out += ", \"attempts\": " + std::to_string(r.attempts);
+  out += ", \"fully_formed\": ";
   out += r.result.fully_formed ? "true" : "false";
   out += ", \"metrics\": {";
   bool first = true;
@@ -334,6 +198,29 @@ bool parse_journal_line(const std::string& line, JournalRecord* out,
     if (key == "campaign_fp") return cur.parse_u64(&out->campaign_fp);
     if (key == "label") return cur.parse_string(&out->label);
     if (key == "coords") return parse_coords(cur, &out->coords);
+    if (key == "status") {
+      // Absent in rev-1 journals; JournalRecord defaults to kOk.
+      std::string name;
+      return cur.parse_string(&name) && parse_job_status(name, &out->status);
+    }
+    if (key == "attempts") {
+      std::uint64_t v = 0;
+      if (!cur.parse_u64(&v) || v == 0) return false;
+      out->attempts = static_cast<int>(v);
+      return true;
+    }
+    if (key == "exit_code") {
+      std::uint64_t v = 0;
+      if (!cur.parse_u64(&v)) return false;
+      out->exit_code = static_cast<int>(v);
+      return true;
+    }
+    if (key == "term_signal") {
+      std::uint64_t v = 0;
+      if (!cur.parse_u64(&v)) return false;
+      out->term_signal = static_cast<int>(v);
+      return true;
+    }
     if (key == "fully_formed") return cur.parse_bool(&out->result.fully_formed);
     if (key == "metrics") return parse_metrics(cur, &out->result.metrics);
     if (key == "medium") return parse_medium(cur, &out->result.medium);
@@ -432,7 +319,7 @@ bool read_journal(const std::string& path, std::vector<JournalRecord>* out,
     // campaigns concatenated into one file — dropping one silently would
     // bypass the mixed-campaign rejection that aggregate_records enforces
     // for separate files.
-    const JournalRecord& kept = (*out)[it->second];
+    JournalRecord& kept = (*out)[it->second];
     if (record.seed != kept.seed || record.label != kept.label ||
         record.coords != kept.coords ||
         (record.campaign_fp != 0 && kept.campaign_fp != 0 &&
@@ -441,6 +328,11 @@ bool read_journal(const std::string& path, std::vector<JournalRecord>* out,
                              std::to_string(record.point_index) + " seed #" +
                              std::to_string(record.seed_index) +
                              " (two campaigns concatenated?)");
+    }
+    // --retry-quarantined appends the successful re-run after the original
+    // quarantine record; the later ok record supersedes the failure.
+    if (kept.status != JobStatus::kOk && record.status == JobStatus::kOk) {
+      kept = std::move(record);
     }
   }
   return true;
@@ -455,6 +347,7 @@ bool aggregate_records(const std::vector<JournalRecord>& records,
     std::string label;
     std::vector<std::pair<std::string, std::string>> coords;
     std::map<std::size_t, std::uint64_t> seed_by_index;
+    std::set<std::size_t> ok_seeds;  ///< seeds whose success is already added
   };
   std::map<std::size_t, PointData> by_point;
   // One fingerprint across ALL records, not per point: two campaigns that
@@ -493,9 +386,22 @@ bool aggregate_records(const std::vector<JournalRecord>& records,
                                std::to_string(it->second) + " vs " +
                                std::to_string(r.seed));
       }
-      continue;  // exact duplicate (e.g. overlapping resumed journals)
+      // Duplicate key across journals (e.g. overlapping resumed shards):
+      // keep the first record, except that an ok record supersedes an
+      // earlier quarantined one (--retry-quarantined appends the retried
+      // success after the failure it cures).
+      if (r.status == JobStatus::kOk && data.ok_seeds.count(r.seed_index) == 0) {
+        data.accumulator.add(r.seed_index, r.result);
+        data.ok_seeds.insert(r.seed_index);
+      }
+      continue;
     }
-    data.accumulator.add(r.seed_index, r.result);
+    if (r.status == JobStatus::kOk) {
+      data.accumulator.add(r.seed_index, r.result);
+      data.ok_seeds.insert(r.seed_index);
+    } else {
+      data.accumulator.add_failure(r.seed_index, r.status);
+    }
   }
   out->clear();
   out->reserve(by_point.size());

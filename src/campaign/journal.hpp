@@ -22,8 +22,15 @@
 
 namespace gttsch::campaign {
 
-/// One completed job, keyed by (point_index, seed_index) — the stable
+/// One finished job, keyed by (point_index, seed_index) — the stable
 /// identity shared by every shard of the same campaign spec.
+///
+/// Schema rev 2 (fault tolerance): `status` records how the job ended.
+/// Old journals carry no status key and parse as `ok` with attempts == 1;
+/// conversely an ok record with attempts == 1 renders byte-identically to
+/// the rev-1 format, so healthy journals are byte-stable across the rev.
+/// Quarantined records (status != ok) carry exit_code / term_signal /
+/// attempts instead of metrics.
 struct JournalRecord {
   std::size_t point_index = 0;
   std::size_t seed_index = 0;
@@ -35,7 +42,11 @@ struct JournalRecord {
   std::uint64_t campaign_fp = 0;
   std::string label;  ///< grid-point label, for merge output and sanity checks
   std::vector<std::pair<std::string, std::string>> coords;
-  ExperimentResult result;
+  JobStatus status = JobStatus::kOk;
+  int attempts = 1;      ///< executions spent on the job (1 + retries used)
+  int exit_code = 0;     ///< child exit code (status == failed, isolated)
+  int term_signal = 0;   ///< fatal signal number (status == crashed)
+  ExperimentResult result;  ///< valid only when status == ok
 };
 
 /// Renders one record as a single JSON line (no trailing newline).
@@ -67,20 +78,27 @@ class JournalWriter {
 /// Reads a journal written by JournalWriter. A truncated or malformed
 /// *final* line (the crash case) is dropped silently; a malformed line
 /// followed by further records is a hard error, as is an unreadable
-/// file. Exact duplicate keys keep the first record; a duplicate key
-/// with a different seed/label/coords — the signature of two campaigns'
-/// journals concatenated into one file — is a hard error.
+/// file. Exact duplicate keys keep the first record — except that an `ok`
+/// record supersedes an earlier quarantined one for the same key (the
+/// --retry-quarantined append path). A duplicate key with a different
+/// seed/label/coords — the signature of two campaigns' journals
+/// concatenated into one file — is a hard error.
 bool read_journal(const std::string& path, std::vector<JournalRecord>* out,
                   std::string* error);
 
 /// Reconstructs per-point aggregates from journal records — typically the
 /// concatenated union of per-shard journals. Records reduce keyed by
-/// (point_index, seed_index) with exact duplicates keeping the first, so
+/// (point_index, seed_index) with exact duplicates keeping the first
+/// (an `ok` record supersedes a quarantined one for the same key), so
 /// the output is bit-identical to an unsharded run over the same jobs,
-/// ordered by point_index. Returns false (with `error` set when non-null)
-/// when the records disagree about a point's label/coords or a seed
-/// index's seed value — the signature of journals from two different
-/// campaigns, which would otherwise silently corrupt the statistics.
+/// ordered by point_index. Quarantined records flow into the aggregate's
+/// runs_failed / failure-kind counters instead of the statistics; a point
+/// whose records are all quarantined yields runs == 0, runs_failed > 0 —
+/// reported as status=failed, never as silently empty stats. Returns
+/// false (with `error` set when non-null) when the records disagree about
+/// a point's label/coords or a seed index's seed value — the signature of
+/// journals from two different campaigns, which would otherwise silently
+/// corrupt the statistics.
 bool aggregate_records(const std::vector<JournalRecord>& records,
                        std::vector<PointAggregate>* out, std::string* error);
 

@@ -1,0 +1,188 @@
+// Minimal JSON reading/writing helpers shared by the campaign-layer
+// serializers (journal records, job envelopes for process isolation).
+//
+// This is deliberately not a general JSON library: it covers exactly the
+// flat objects we emit — strings, numbers, booleans and nested objects,
+// with the escape set `escape` produces — and doubles round-trip exactly
+// via %.17g, which is what keeps resumed/merged aggregation and
+// isolated-job results bit-identical to in-process execution.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace gttsch::campaign::jsonio {
+
+/// %.17g: enough digits that strtod recovers the exact IEEE-754 double.
+inline std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+inline std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// A minimal recursive-descent reader for the flat JSON we emit: objects,
+// strings, numbers and booleans (no arrays, no nested escapes beyond the
+// ones `escape` produces). Unknown keys are skipped for forward compat.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool peek(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ >= text_.size();
+  }
+
+  bool parse_string(std::string* out) {
+    if (!expect('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'n': *out += '\n'; break;
+          case 't': *out += '\t'; break;
+          default: return false;
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return false;  // unterminated (the truncation case)
+  }
+
+  bool parse_double(double* out) {
+    skip_ws();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    *out = std::strtod(start, &end);
+    if (end == start) return false;
+    pos_ += static_cast<std::size_t>(end - start);
+    return true;
+  }
+
+  bool parse_i64(std::int64_t* out) {
+    skip_ws();
+    const char* start = text_.c_str() + pos_;
+    if (*start != '-' && (*start < '0' || *start > '9')) return false;
+    char* end = nullptr;
+    *out = std::strtoll(start, &end, 10);
+    if (end == start) return false;
+    pos_ += static_cast<std::size_t>(end - start);
+    return true;
+  }
+
+  bool parse_u64(std::uint64_t* out) {
+    skip_ws();
+    const char* start = text_.c_str() + pos_;
+    if (*start < '0' || *start > '9') return false;
+    char* end = nullptr;
+    *out = std::strtoull(start, &end, 10);
+    if (end == start) return false;
+    pos_ += static_cast<std::size_t>(end - start);
+    return true;
+  }
+
+  bool parse_bool(bool* out) {
+    skip_ws();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      *out = true;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      *out = false;
+      return true;
+    }
+    return false;
+  }
+
+  /// Skips a string, number, boolean, or (possibly nested) object.
+  bool skip_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '"') {
+      std::string ignored;
+      return parse_string(&ignored);
+    }
+    if (c == '{') {
+      ++pos_;
+      if (peek('}')) return expect('}');
+      for (;;) {
+        std::string key;
+        if (!parse_string(&key) || !expect(':') || !skip_value()) return false;
+        if (expect(',')) continue;
+        return expect('}');
+      }
+    }
+    if (c == 't' || c == 'f') {
+      bool ignored = false;
+      return parse_bool(&ignored);
+    }
+    double ignored = 0;
+    return parse_double(&ignored);
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+/// Parses `{"key": value, ...}` dispatching each pair through `field`.
+template <typename FieldFn>
+bool parse_object(Cursor& cur, FieldFn&& field) {
+  if (!cur.expect('{')) return false;
+  if (cur.peek('}')) return cur.expect('}');
+  for (;;) {
+    std::string key;
+    if (!cur.parse_string(&key) || !cur.expect(':')) return false;
+    if (!field(key)) return false;
+    if (cur.expect(',')) continue;
+    return cur.expect('}');
+  }
+}
+
+}  // namespace gttsch::campaign::jsonio

@@ -64,6 +64,9 @@ std::vector<std::string> csv_header(const std::vector<PointAggregate>& aggregate
   }
   header.push_back("runs");
   header.push_back("fully_formed_runs");
+  header.push_back("status");
+  header.push_back("failed_jobs");
+  header.push_back("failure_kinds");
   for (const MetricColumn& m : kMetrics) {
     header.push_back(std::string(m.name) + "_mean");
     header.push_back(std::string(m.name) + "_stddev");
@@ -86,6 +89,9 @@ std::vector<std::string> csv_row(const PointAggregate& a) {
   for (const auto& [field, value] : a.coords) row.push_back(value);
   row.push_back(std::to_string(a.runs));
   row.push_back(std::to_string(a.fully_formed_runs));
+  row.push_back(point_status(a));
+  row.push_back(std::to_string(a.runs_failed));
+  row.push_back(failure_kinds_label(a));
   for (const MetricColumn& m : kMetrics) {
     const SampleStats& s = a.*m.stats;
     row.push_back(fmt(s.mean));
@@ -153,6 +159,11 @@ std::string render_json(const std::vector<PointAggregate>& aggregates) {
     out += "},\n";
     out += "    \"runs\": " + std::to_string(a.runs) + ",\n";
     out += "    \"fully_formed_runs\": " + std::to_string(a.fully_formed_runs) + ",\n";
+    out += "    \"status\": \"" + std::string(point_status(a)) + "\",\n";
+    out += "    \"failed_jobs\": " + std::to_string(a.runs_failed) + ",\n";
+    out += "    \"failure_kinds\": {\"crashed\": " + std::to_string(a.failed_crashed) +
+           ", \"timeout\": " + std::to_string(a.failed_timeout) +
+           ", \"failed\": " + std::to_string(a.failed_other) + "},\n";
     out += "    \"metrics\": {\n";
     for (std::size_t m = 0; m < std::size(kMetrics); ++m) {
       const SampleStats& s = a.*kMetrics[m].stats;

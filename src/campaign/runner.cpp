@@ -1,14 +1,17 @@
 #include "campaign/runner.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
 #include <thread>
 
+#include "campaign/isolate.hpp"
 #include "campaign/journal.hpp"
 #include "util/check.hpp"
 
@@ -119,7 +122,11 @@ RunnerOptions with_journal(const RunnerOptions& base, JournalWriter* writer,
     record.campaign_fp = campaign_fp;
     record.label = points[p.job->point_index].label;
     record.coords = points[p.job->point_index].coords;
-    record.result = *p.result;
+    record.status = p.outcome->status;
+    record.attempts = p.outcome->attempts;
+    record.exit_code = p.outcome->exit_code;
+    record.term_signal = p.outcome->term_signal;
+    if (p.outcome->status == JobStatus::kOk) record.result = p.outcome->result;
     if (!writer->append(record) && *runner != nullptr) (*runner)->cancel();
     if (user) user(p);
   };
@@ -132,10 +139,12 @@ void finalize_into(const std::vector<GridPoint>& points,
   out->points = points;
   out->aggregates.clear();
   out->aggregates.reserve(points.size());
+  out->jobs_failed = 0;
   for (std::size_t i = 0; i < points.size(); ++i) {
     PointAggregate agg = accumulators[i].finalize();
     agg.label = points[i].label;
     agg.coords = points[i].coords;
+    out->jobs_failed += static_cast<std::size_t>(agg.runs_failed);
     out->aggregates.push_back(std::move(agg));
   }
 }
@@ -180,8 +189,14 @@ bool run_fixed(const std::vector<GridPoint>& points,
                            &prior, &out->error_kind, error)) {
     return false;
   }
+  // Ok records are always satisfied from the journal. Quarantined records
+  // are too — a crashed job stays quarantined across resumes — unless
+  // --retry-quarantined asks for them to run again.
   std::set<std::pair<std::size_t, std::size_t>> done;
-  for (const JournalRecord& r : prior) done.emplace(r.point_index, r.seed_index);
+  for (const JournalRecord& r : prior) {
+    if (r.status != JobStatus::kOk && options.fault.retry_quarantined) continue;
+    done.emplace(r.point_index, r.seed_index);
+  }
 
   std::vector<Job> pending;
   pending.reserve(my_jobs.size());
@@ -200,12 +215,25 @@ bool run_fixed(const std::vector<GridPoint>& points,
 
   std::vector<PointAccumulator> accumulators(points.size());
   for (const JournalRecord& r : prior) {
-    accumulators[r.point_index].add(r.seed_index, r.result);
+    if (r.status == JobStatus::kOk) {
+      accumulators[r.point_index].add(r.seed_index, r.result);
+    } else if (!options.fault.retry_quarantined) {
+      accumulators[r.point_index].add_failure(r.seed_index, r.status);
+    }
+    // retry_quarantined failures were left out of `done`; their re-run
+    // outcome below decides what the aggregate sees.
   }
   out->jobs_run = 0;
   for (std::size_t i = 0; i < pending.size(); ++i) {
     if (!run.completed[i]) continue;
-    accumulators[pending[i].point_index].add(pending[i].seed_index, run.results[i]);
+    const JobOutcome& outcome = run.outcomes[i];
+    if (outcome.status == JobStatus::kOk) {
+      accumulators[pending[i].point_index].add(pending[i].seed_index,
+                                               outcome.result);
+    } else {
+      accumulators[pending[i].point_index].add_failure(pending[i].seed_index,
+                                                       outcome.status);
+    }
     ++out->jobs_run;
   }
   out->jobs_skipped = my_jobs.size() - pending.size();
@@ -262,8 +290,18 @@ bool run_adaptive(const std::vector<GridPoint>& points,
                              "; rerun with a larger --max-seeds or without "
                              "adaptive seeding");
     }
+    if (r.status != JobStatus::kOk && options.fault.retry_quarantined) {
+      continue;  // leave done == 0 so the wave scheduler re-runs the seed
+    }
     done[r.point_index][r.seed_index] = 1;
-    accumulators[r.point_index].add(r.seed_index, r.result);
+    if (r.status == JobStatus::kOk) {
+      accumulators[r.point_index].add(r.seed_index, r.result);
+    } else {
+      // Quarantined seed: it holds its done slot (so waves skip it) but
+      // contributes only failure accounting; the stopping rule proceeds
+      // on the surviving seeds.
+      accumulators[r.point_index].add_failure(r.seed_index, r.status);
+    }
     // Match fixed mode: report only this shard's jobs as skipped, even
     // when the journal also carries other shards' records.
     if (in_shard[r.point_index]) ++out->jobs_skipped;
@@ -315,7 +353,16 @@ bool run_adaptive(const std::vector<GridPoint>& points,
     const Runner::Result run = runner.run(wave);
     for (std::size_t i = 0; i < wave.size(); ++i) {
       if (!run.completed[i]) continue;
-      accumulators[wave[i].point_index].add(wave[i].seed_index, run.results[i]);
+      const JobOutcome& outcome = run.outcomes[i];
+      if (outcome.status == JobStatus::kOk) {
+        accumulators[wave[i].point_index].add(wave[i].seed_index, outcome.result);
+      } else {
+        // The failed seed is spent (done), not re-scheduled: adaptivity
+        // may still reach its CI target with later seeds, and a
+        // deterministic crasher would otherwise burn the whole budget.
+        accumulators[wave[i].point_index].add_failure(wave[i].seed_index,
+                                                      outcome.status);
+      }
       done[wave[i].point_index][wave[i].seed_index] = 1;
       ++out->jobs_run;
     }
@@ -338,7 +385,7 @@ Runner::Result Runner::run(const std::vector<Job>& jobs) {
   cancel_.store(false, std::memory_order_relaxed);
 
   Result out;
-  out.results.resize(jobs.size());
+  out.outcomes.resize(jobs.size());
   out.completed.assign(jobs.size(), 0);
   if (jobs.empty()) return out;
 
@@ -349,14 +396,51 @@ Runner::Result Runner::run(const std::vector<Job>& jobs) {
   std::atomic<std::size_t> done{0};
   std::mutex progress_mutex;
 
+  auto should_cancel = [&] {
+    if (cancel_.load(std::memory_order_relaxed)) return true;
+    // External cancellation (a SIGINT flag): latch it into the internal
+    // flag so every worker — and the caller via Result::cancelled — sees
+    // one consistent signal.
+    if (options_.cancel_flag != nullptr &&
+        options_.cancel_flag->load(std::memory_order_relaxed)) {
+      cancel_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  };
+
+  auto execute = [&](const Job& job) -> JobOutcome {
+    if (options_.execute_fn) return options_.execute_fn(job);
+    JobOutcome outcome;
+    outcome.result = options_.run_job_fn ? options_.run_job_fn(job)
+                     : options_.run_fn   ? options_.run_fn(job.config)
+                                         : run_scenario(job.config);
+    return outcome;
+  };
+
   auto worker = [&] {
     for (;;) {
-      if (cancel_.load(std::memory_order_relaxed)) return;
+      if (should_cancel()) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= jobs.size()) return;
-      out.results[i] = options_.run_job_fn ? options_.run_job_fn(jobs[i])
-                       : options_.run_fn   ? options_.run_fn(jobs[i].config)
-                                           : run_scenario(jobs[i].config);
+      JobOutcome outcome = execute(jobs[i]);
+      outcome.attempts = 1;
+      // Perturbation-free retries: the exact same job, with exponential
+      // backoff so a transient failure (OOM pressure, a busy host) gets
+      // breathing room. Only the final outcome is reported/journaled.
+      while (outcome.status != JobStatus::kOk &&
+             outcome.attempts <= options_.retries && !should_cancel()) {
+        const int shift = std::min(outcome.attempts - 1, 10);
+        const int backoff_ms =
+            std::min(options_.retry_backoff_ms << shift, 10'000);
+        if (backoff_ms > 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        }
+        JobOutcome retry = execute(jobs[i]);
+        retry.attempts = outcome.attempts + 1;
+        outcome = std::move(retry);
+      }
+      out.outcomes[i] = std::move(outcome);
       out.completed[i] = 1;
       const std::size_t completed = done.fetch_add(1, std::memory_order_relaxed) + 1;
       if (options_.on_progress) {
@@ -364,7 +448,8 @@ Runner::Result Runner::run(const std::vector<Job>& jobs) {
         p.completed = completed;
         p.total = jobs.size();
         p.job = &jobs[i];
-        p.result = &out.results[i];
+        p.outcome = &out.outcomes[i];
+        p.result = &out.outcomes[i].result;
         std::lock_guard<std::mutex> lock(progress_mutex);
         options_.on_progress(p);
       }
@@ -405,10 +490,62 @@ bool run_points_campaign(const std::vector<GridPoint>& points,
   // by hand) still get the loud pre-run trace check instead of an abort
   // deep inside run_scenario.
   if (!validate_points_trace(points, error)) return false;
+
+  CampaignOptions effective = options;
+  if (options.fault.active()) {
+    if (options.runner.run_fn || options.runner.run_job_fn ||
+        options.runner.execute_fn) {
+      return fail(error,
+                  "fault-tolerant execution (--isolate / --job-timeout) cannot "
+                  "be combined with a custom run function (e.g. --telemetry-dir)");
+    }
+    if (options.fault.isolate && options.fault.exec_path.empty()) {
+      return fail(error, "isolate requested without an executable path");
+    }
+    effective.runner.retries = options.fault.retries;
+    effective.runner.retry_backoff_ms = options.fault.retry_backoff_ms;
+    if (options.fault.isolate) {
+      // Labels ride along so the child can key per-point behavior (the
+      // chaos hook) and the parent can verify the echo. shared_ptr: the
+      // closure must stay valid after this frame for the worker threads.
+      auto labels = std::make_shared<std::vector<std::string>>();
+      labels->reserve(points.size());
+      for (const GridPoint& point : points) labels->push_back(point.label);
+      const std::string exec_path = options.fault.exec_path;
+      const double timeout_s = options.fault.job_timeout_s;
+      effective.runner.execute_fn = [labels, exec_path,
+                                     timeout_s](const Job& job) {
+        JobEnvelope envelope;
+        envelope.point_index = job.point_index;
+        envelope.seed_index = job.seed_index;
+        envelope.label = (*labels)[job.point_index];
+        envelope.config = job.config;
+        return run_job_isolated(exec_path, timeout_s, envelope);
+      };
+    } else {
+      // In-process fallback: no crash protection, but the simulator
+      // watchdog still converts a livelocked/overlong run into a
+      // quarantined job instead of a hung campaign.
+      const double timeout_s = options.fault.job_timeout_s;
+      effective.runner.execute_fn = [timeout_s](const Job& job) {
+        JobOutcome outcome;
+        RunGuard guard;
+        guard.max_wall_s = timeout_s;
+        std::string guard_error;
+        if (!run_scenario_guarded(job.config, guard, &outcome.result,
+                                  &guard_error)) {
+          outcome.status = JobStatus::kFailed;
+          outcome.detail = guard_error;
+        }
+        return outcome;
+      };
+    }
+  }
+
   const std::uint64_t campaign_fp = campaign_fingerprint(points, seeds);
   return options.adaptive.enabled()
-             ? run_adaptive(points, seeds, campaign_fp, options, out, error)
-             : run_fixed(points, seeds, campaign_fp, options, out, error);
+             ? run_adaptive(points, seeds, campaign_fp, effective, out, error)
+             : run_fixed(points, seeds, campaign_fp, effective, out, error);
 }
 
 bool run_campaign(const CampaignSpec& spec, const CampaignOptions& options,
@@ -479,6 +616,27 @@ bool parse_campaign_flags(const Flags& flags, CampaignOptions* options,
     return fail(error, "--metric: unknown metric '" + adaptive.metric +
                            "' (see --list-metrics)");
   }
+
+  FaultOptions& fault = options->fault;
+  fault.isolate = flags.get_bool("isolate", fault.isolate);
+  if (flags.has("job-timeout")) {
+    fault.job_timeout_s = flags.get_double("job-timeout", 0.0);
+    if (!(fault.job_timeout_s > 0.0)) {
+      return fail(error, "--job-timeout: expected a positive number of "
+                         "seconds, got '" +
+                             flags.get("job-timeout", "") + "'");
+    }
+  }
+  std::size_t retries = 0;
+  if (!parse_count_flag(flags, "retries", &retries, error)) return false;
+  if (flags.has("retries")) fault.retries = static_cast<int>(retries);
+  if (flags.has("retry-quarantined")) {
+    fault.retry_quarantined = flags.get_bool("retry-quarantined", false);
+    if (fault.retry_quarantined && !options->resume) {
+      return fail(error,
+                  "--retry-quarantined only takes effect with --resume");
+    }
+  }
   return true;
 }
 
@@ -501,7 +659,10 @@ PointAggregate run_point(const ScenarioConfig& config,
   const Runner::Result run = runner.run(jobs);
   PointAccumulator acc;
   for (const Job& job : jobs) {
-    if (run.completed[job.index]) acc.add(job.seed_index, run.results[job.index]);
+    if (run.completed[job.index] &&
+        run.outcomes[job.index].status == JobStatus::kOk) {
+      acc.add(job.seed_index, run.outcomes[job.index].result);
+    }
   }
   return acc.finalize();
 }

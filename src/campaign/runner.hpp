@@ -25,12 +25,26 @@
 
 namespace gttsch::campaign {
 
+/// How one job ended, after all retries: an ok result, or a quarantined
+/// failure with enough forensics for the journal (exit code / signal /
+/// attempt count).
+struct JobOutcome {
+  JobStatus status = JobStatus::kOk;
+  int exit_code = 0;    ///< child exit code (status == kFailed, isolated)
+  int term_signal = 0;  ///< fatal signal number (status == kCrashed)
+  int attempts = 1;     ///< executions spent (1 + retries used)
+  std::string detail;   ///< human-readable failure note for the summary
+  ExperimentResult result;  ///< valid only when status == kOk
+};
+
 /// Snapshot handed to the progress callback after each job completes.
+/// Retried jobs report once, with their final outcome.
 struct Progress {
   std::size_t completed = 0;  ///< jobs finished so far (including this one)
   std::size_t total = 0;
   const Job* job = nullptr;     ///< the job that just finished
-  const ExperimentResult* result = nullptr;  ///< its result
+  const ExperimentResult* result = nullptr;  ///< outcome->result (legacy alias)
+  const JobOutcome* outcome = nullptr;       ///< full outcome incl. failures
 };
 
 struct RunnerOptions {
@@ -46,6 +60,18 @@ struct RunnerOptions {
   /// Job so per-job artifacts can be keyed by point/seed index (e.g.
   /// gt_campaign --telemetry-dir writes one JSONL per job).
   std::function<ExperimentResult(const Job&)> run_job_fn;
+  /// Outcome-aware variant, taking precedence over both: the only one
+  /// that can report a *failed* job (crash/timeout in an isolated child,
+  /// watchdog trip in-process). Failures are retried per `retries` below;
+  /// the other run functions are assumed infallible (they abort on error).
+  std::function<JobOutcome(const Job&)> execute_fn;
+  /// Re-executions granted to a failing job before it is quarantined.
+  int retries = 0;
+  /// First retry backoff; doubles per subsequent retry (capped at 10 s).
+  int retry_backoff_ms = 200;
+  /// Optional external cancellation (e.g. a SIGINT flag): polled between
+  /// jobs exactly like Runner::cancel(). Must outlive run().
+  const std::atomic<bool>* cancel_flag = nullptr;
 };
 
 class Runner {
@@ -53,9 +79,10 @@ class Runner {
   explicit Runner(RunnerOptions options = {});
 
   struct Result {
-    /// Positional: results[i] belongs to jobs[i] of the run() argument,
-    /// regardless of completion order.
-    std::vector<ExperimentResult> results;
+    /// Positional: outcomes[i] belongs to jobs[i] of the run() argument,
+    /// regardless of completion order. A non-ok outcome is a quarantined
+    /// job — already retried per RunnerOptions::retries.
+    std::vector<JobOutcome> outcomes;
     /// completed[i] is false only when the run was cancelled before job i.
     std::vector<std::uint8_t> completed;
     bool cancelled = false;
@@ -86,8 +113,35 @@ struct AdaptiveOptions {
   bool enabled() const { return ci_rel > 0.0; }
 };
 
+/// Fault-tolerant execution (the --isolate / --job-timeout / --retries
+/// surface). Failures never stop the campaign: after `retries`
+/// re-executions a failing job is *quarantined* — journaled with its
+/// status, counted in the aggregates' runs_failed, and skipped on resume
+/// unless retry_quarantined asks for another attempt.
+struct FaultOptions {
+  /// Run each job in a forked child re-entering `exec_path run-job`, so a
+  /// crash/OOM/livelock costs one job, not the campaign.
+  bool isolate = false;
+  /// Path of the binary implementing the run-job protocol (gt_campaign
+  /// sets its own path); empty + isolate is a spec error.
+  std::string exec_path;
+  /// Wall-clock budget per job in seconds; <= 0 = unlimited. Isolated
+  /// jobs are SIGKILLed on expiry (kTimeout); in-process jobs arm the
+  /// simulator watchdog and abort as kFailed.
+  double job_timeout_s = 0.0;
+  /// Re-executions granted to a failing job before quarantine.
+  int retries = 0;
+  /// First retry backoff; doubles per retry. Exposed for fast tests.
+  int retry_backoff_ms = 200;
+  /// With resume: re-run quarantined journal records instead of skipping
+  /// them (ok records are always skipped).
+  bool retry_quarantined = false;
+
+  bool active() const { return isolate || job_timeout_s > 0.0; }
+};
+
 /// Everything beyond raw pool execution: sharding, journal/resume,
-/// adaptive seeding.
+/// adaptive seeding, fault tolerance.
 struct CampaignOptions {
   RunnerOptions runner;
   ShardSpec shard;           ///< jobs (fixed mode) / points (adaptive mode)
@@ -97,6 +151,7 @@ struct CampaignOptions {
   /// scripts can pass --resume unconditionally.
   bool resume = false;
   AdaptiveOptions adaptive;
+  FaultOptions fault;
 };
 
 /// Why a campaign call returned false — callers map kSpec to a usage
@@ -114,6 +169,10 @@ struct CampaignResult {
   bool cancelled = false;
   std::size_t jobs_run = 0;      ///< executed by this invocation
   std::size_t jobs_skipped = 0;  ///< satisfied from the resume journal
+  /// Quarantined jobs visible in the aggregates (this run's failures plus
+  /// quarantined resume records that were not retried). > 0 maps to
+  /// gt_campaign exit code 3.
+  std::size_t jobs_failed = 0;
   CampaignErrorKind error_kind = CampaignErrorKind::kSpec;  ///< valid on failure
 };
 
@@ -136,9 +195,11 @@ bool run_campaign(const CampaignSpec& spec, const RunnerOptions& options,
 /// Shared command-line surface for the scale-out options — used by both
 /// gt_campaign and the figure benches so the flag grammar cannot drift:
 ///   --jobs N, --shard i/N, --journal PATH, --resume PATH (conflicts with
-///   an unequal --journal), --ci-rel FRAC, and the adaptive-only flags
+///   an unequal --journal), --ci-rel FRAC, the adaptive-only flags
 ///   --max-seeds/--min-seeds/--batch/--metric, which error out loudly
-///   when given without --ci-rel (they would otherwise be silent no-ops).
+///   when given without --ci-rel (they would otherwise be silent no-ops),
+///   and the fault-tolerance flags --isolate, --job-timeout S, --retries N
+///   and --retry-quarantined (which requires --resume).
 /// Count-valued flags are validated (digits only, bounded): a negative,
 /// non-numeric, or bare path-less value is a usage error, never a silent
 /// wraparound or a journal literally named "true".

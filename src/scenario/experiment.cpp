@@ -191,7 +191,15 @@ ExperimentResult run_scenario(const ScenarioConfig& config) {
   return run_scenario(config, nullptr);
 }
 
-ExperimentResult run_scenario(const ScenarioConfig& config, Telemetry* telemetry) {
+namespace {
+
+/// Shared body of run_scenario and run_scenario_guarded. `guard` == null
+/// runs unguarded (always returns true); with a guard, a watchdog trip
+/// returns false before any finalization so a partial run can never be
+/// mistaken for a result.
+bool run_scenario_impl(const ScenarioConfig& config, Telemetry* telemetry,
+                       const RunGuard* guard, ExperimentResult* out,
+                       std::string* error) {
   GTTSCH_CHECK(config.measure > 0);
   const TimeUs measure_end = config.warmup + config.measure;
   const TopologySpec topology = config.make_topology();
@@ -232,28 +240,59 @@ ExperimentResult run_scenario(const ScenarioConfig& config, Telemetry* telemetry
     telemetry->attach(net, &stats);
   }
 
+  if (guard != nullptr) {
+    Watchdog watchdog;
+    watchdog.max_wall_s = guard->max_wall_s;
+    watchdog.livelock_events = guard->livelock_events;
+    net.sim().arm_watchdog(watchdog);
+  }
+
+  auto tripped = [&] {
+    if (!net.sim().watchdog_tripped()) return false;
+    if (error != nullptr) {
+      *error = "run aborted by watchdog: " + net.sim().watchdog_reason();
+    }
+    return true;
+  };
+
   net.start();
   player.start();
   net.medium().reset_stats();  // formation noise excluded below via snapshot
   net.sim().run_until(config.warmup);
+  if (tripped()) return false;
   const MediumStats at_warmup = net.medium().stats();
   net.sim().run_until(measure_end + config.drain);
+  if (tripped()) return false;
 
   // Mark join state for the report.
   for (const auto& [id, node] : net.nodes())
     stats.set_joined(id, node->is_root() || node->rpl().joined());
 
-  ExperimentResult result;
-  result.metrics = stats.finalize();
-  if (telemetry != nullptr) telemetry->fill_probe_metrics(&result.metrics);
+  out->metrics = stats.finalize();
+  if (telemetry != nullptr) telemetry->fill_probe_metrics(&out->metrics);
   MediumStats window = net.medium().stats();
   window.transmissions -= at_warmup.transmissions;
   window.deliveries -= at_warmup.deliveries;
   window.collision_losses -= at_warmup.collision_losses;
   window.prr_losses -= at_warmup.prr_losses;
-  result.medium = window;
-  result.fully_formed = net.fully_formed();
+  out->medium = window;
+  out->fully_formed = net.fully_formed();
+  return true;
+}
+
+}  // namespace
+
+ExperimentResult run_scenario(const ScenarioConfig& config, Telemetry* telemetry) {
+  ExperimentResult result;
+  const bool ok =
+      run_scenario_impl(config, telemetry, /*guard=*/nullptr, &result, nullptr);
+  GTTSCH_CHECK(ok);  // unguarded runs cannot trip
   return result;
+}
+
+bool run_scenario_guarded(const ScenarioConfig& config, const RunGuard& guard,
+                          ExperimentResult* out, std::string* error) {
+  return run_scenario_impl(config, /*telemetry=*/nullptr, &guard, out, error);
 }
 
 AveragedMetrics run_averaged(ScenarioConfig config,

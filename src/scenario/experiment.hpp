@@ -127,6 +127,26 @@ struct ExperimentResult {
 
 ExperimentResult run_scenario(const ScenarioConfig& config);
 
+/// Runaway-run guard for fault-tolerant campaigns (--job-timeout without
+/// --isolate): limits on the wall clock and on same-virtual-time event
+/// storms, enforced inside the simulator's event loop.
+struct RunGuard {
+  double max_wall_s = 0.0;  ///< wall-clock budget (s); <= 0 = unlimited
+  /// Events allowed at one virtual timestamp before the run is declared
+  /// livelocked. The default is far above anything a healthy scenario
+  /// produces (a whole run processes a few million events) while still
+  /// catching a zero-delay event spin within seconds.
+  std::uint64_t livelock_events = 10'000'000;
+};
+
+/// run_scenario with the guard armed: returns true with `*out` filled —
+/// bit-identical to run_scenario(config) — when the run finishes within
+/// budget, false with `*error` describing the trip (and `*out`
+/// unspecified) when the watchdog aborts it. Never throws/aborts on a
+/// guard trip; config errors still abort exactly like run_scenario.
+bool run_scenario_guarded(const ScenarioConfig& config, const RunGuard& guard,
+                          ExperimentResult* out, std::string* error);
+
 /// Same run with a telemetry recorder attached: gauge samples, probe
 /// frames and the structured event trace accumulate in `telemetry`
 /// (constructed by the caller, written out by the caller), and its probe

@@ -1,10 +1,60 @@
 #include "sim/simulator.hpp"
 
+#include <chrono>
+
 #include "util/check.hpp"
 
 namespace gttsch {
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 Simulator::Simulator(std::uint64_t seed) : rng_(seed), seed_(seed) {}
+
+void Simulator::arm_watchdog(const Watchdog& watchdog) {
+  watchdog_ = watchdog;
+  watchdog_armed_ = watchdog.max_wall_s > 0.0 || watchdog.livelock_events > 0;
+  watchdog_tripped_ = false;
+  watchdog_reason_.clear();
+  watchdog_deadline_ =
+      watchdog.max_wall_s > 0.0 ? steady_seconds() + watchdog.max_wall_s : 0.0;
+  watchdog_last_time_ = -1;
+  watchdog_same_time_events_ = 0;
+}
+
+bool Simulator::watchdog_step() {
+  if (!watchdog_armed_) return false;
+  if (watchdog_tripped_) return true;
+  if (watchdog_.livelock_events > 0) {
+    if (now_ == watchdog_last_time_) {
+      if (++watchdog_same_time_events_ > watchdog_.livelock_events) {
+        watchdog_tripped_ = true;
+        watchdog_reason_ = "livelock: over " +
+                           std::to_string(watchdog_.livelock_events) +
+                           " events at virtual time " + std::to_string(now_) +
+                           " us";
+        return true;
+      }
+    } else {
+      watchdog_last_time_ = now_;
+      watchdog_same_time_events_ = 1;
+    }
+  }
+  if (watchdog_deadline_ > 0.0 && (processed_ & 0xFFF) == 0 &&
+      steady_seconds() > watchdog_deadline_) {
+    watchdog_tripped_ = true;
+    watchdog_reason_ = "wall-clock budget of " +
+                       std::to_string(watchdog_.max_wall_s) + " s exceeded";
+    return true;
+  }
+  return false;
+}
 
 EventId Simulator::at(TimeUs when, SmallFn fn) {
   return at_keyed(when, kDefaultEventKey, std::move(fn));
@@ -27,6 +77,7 @@ EventId Simulator::after_keyed(TimeUs delay, std::uint32_t key, SmallFn fn) {
 void Simulator::cancel(EventId id) { queue_.cancel(id); }
 
 void Simulator::run_until(TimeUs until) {
+  if (watchdog_tripped_) return;
   SmallFn fn;
   while (queue_.next_time() <= until) {
     TimeUs t = 0;
@@ -36,11 +87,13 @@ void Simulator::run_until(TimeUs until) {
     now_ = t;
     fn();
     ++processed_;
+    if (watchdog_armed_ && watchdog_step()) return;
   }
   if (now_ < until) now_ = until;
 }
 
 void Simulator::run_all() {
+  if (watchdog_tripped_) return;
   TimeUs t = 0;
   SmallFn fn;
   while (queue_.pop_next(t, fn)) {
@@ -48,6 +101,7 @@ void Simulator::run_all() {
     now_ = t;
     fn();
     ++processed_;
+    if (watchdog_armed_ && watchdog_step()) return;
   }
 }
 

@@ -1,11 +1,23 @@
 // Discrete-event simulation core: a virtual clock plus an event queue.
 #pragma once
 
+#include <string>
+
 #include "sim/event_queue.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
 namespace gttsch {
+
+/// Runaway-run protection for the event loop: a wall-clock budget plus a
+/// livelock detector (too many events without the virtual clock moving —
+/// a zero-delay self-rescheduling event would otherwise spin forever and
+/// never hit a wall-clock check cheaply). Both limits <= 0 disable the
+/// respective check.
+struct Watchdog {
+  double max_wall_s = 0.0;           ///< wall-clock budget for the whole run
+  std::uint64_t livelock_events = 0; ///< same-virtual-time event budget
+};
 
 class Simulator {
  public:
@@ -42,12 +54,36 @@ class Simulator {
   Rng& rng() { return rng_; }
   std::uint64_t seed() const { return seed_; }
 
+  /// Arms the runaway-run watchdog (idempotent; call before run_until).
+  /// When it trips, the current run_until/run_all returns early and every
+  /// later call returns immediately — the run is over, only partially
+  /// simulated, and must not be finalized as a result.
+  void arm_watchdog(const Watchdog& watchdog);
+
+  bool watchdog_tripped() const { return watchdog_tripped_; }
+  /// Human-readable cause ("" while not tripped).
+  const std::string& watchdog_reason() const { return watchdog_reason_; }
+
  private:
+  /// Returns true when the armed watchdog says stop. The wall clock is
+  /// only consulted every 4096th event: a steady_clock read per event
+  /// would dominate the event loop, and a 4096-event granularity is still
+  /// well under a millisecond of overshoot for this simulator.
+  bool watchdog_step();
+
   TimeUs now_ = 0;
   EventQueue queue_;
   Rng rng_;
   std::uint64_t seed_;
   std::uint64_t processed_ = 0;
+
+  Watchdog watchdog_;
+  bool watchdog_armed_ = false;
+  bool watchdog_tripped_ = false;
+  std::string watchdog_reason_;
+  double watchdog_deadline_ = 0.0;   ///< steady_clock seconds; 0 = no limit
+  TimeUs watchdog_last_time_ = -1;   ///< virtual time of the livelock window
+  std::uint64_t watchdog_same_time_events_ = 0;
 };
 
 }  // namespace gttsch

@@ -12,6 +12,8 @@
 #include <fstream>
 #include <functional>
 #include <random>
+#include <set>
+#include <utility>
 
 #include "campaign/journal.hpp"
 #include "campaign/report.hpp"
@@ -763,6 +765,67 @@ TEST(CampaignRunner, DeadJournalCancelsInsteadOfBurningTheCampaign) {
   EXPECT_FALSE(campaign::run_campaign(spec, options, &result, &error));
   EXPECT_EQ(result.error_kind, campaign::CampaignErrorKind::kIo);
   EXPECT_EQ(invocations.load(), 1);  // stopped after the first failed append
+}
+
+TEST(CampaignRunner, CancelMidCampaignKeepsJournalAndFlagsConsistent) {
+  // Runner::cancel() mid-campaign: in-flight jobs finish and are journaled,
+  // unclaimed jobs never start, and the three books — invocation count,
+  // completed flags (via jobs_run), journal records — agree exactly.
+  for (const int workers : {1, 4}) {
+    const CampaignSpec spec = tiny_spec();  // 12 jobs
+    const std::string journal =
+        test_file(("cancel_mid_" + std::to_string(workers) + ".jsonl").c_str());
+    std::filesystem::remove(journal);
+
+    std::atomic<bool> interrupted{false};
+    std::atomic<bool> trigger_armed{true};  // only the first run cancels
+    std::atomic<int> invocations{0};
+    campaign::CampaignOptions options;
+    options.runner.jobs = workers;
+    options.runner.cancel_flag = &interrupted;
+    options.runner.run_fn = [&invocations](const ScenarioConfig& c) {
+      ++invocations;
+      return synthetic_run(c);
+    };
+    options.runner.on_progress = [&interrupted,
+                                  &trigger_armed](const campaign::Progress& p) {
+      if (trigger_armed.load() && p.completed == 3) interrupted.store(true);
+    };
+    options.journal_path = journal;
+
+    campaign::CampaignResult result;
+    std::string error;
+    ASSERT_TRUE(campaign::run_campaign(spec, options, &result, &error)) << error;
+    EXPECT_TRUE(result.cancelled);
+    // Every claimed job ran to completion; nothing was claimed after the
+    // flag flipped (serial: exactly 3; parallel: the other workers'
+    // in-flight jobs finish too, but nothing new starts, so < 12).
+    EXPECT_GE(result.jobs_run, 3u);
+    EXPECT_LT(result.jobs_run, 12u);
+    if (workers == 1) {
+      EXPECT_EQ(result.jobs_run, 3u);
+    }
+    EXPECT_EQ(static_cast<std::size_t>(invocations.load()), result.jobs_run);
+
+    std::vector<campaign::JournalRecord> records;
+    ASSERT_TRUE(campaign::read_journal(journal, &records, &error)) << error;
+    EXPECT_EQ(records.size(), result.jobs_run);
+    std::set<std::pair<std::size_t, std::size_t>> seen;
+    for (const campaign::JournalRecord& r : records) {
+      EXPECT_TRUE(seen.emplace(r.point_index, r.seed_index).second);
+      EXPECT_EQ(r.status, campaign::JobStatus::kOk);
+    }
+
+    // The journaled prefix resumes cleanly: exactly the rest runs.
+    trigger_armed.store(false);
+    interrupted.store(false);
+    invocations = 0;
+    options.resume = true;
+    campaign::CampaignResult resumed;
+    ASSERT_TRUE(campaign::run_campaign(spec, options, &resumed, &error)) << error;
+    EXPECT_EQ(resumed.jobs_skipped, records.size());
+    EXPECT_EQ(resumed.jobs_run, 12u - records.size());
+  }
 }
 
 // -------------------------------------------------------------- adaptive --

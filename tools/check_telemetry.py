@@ -1,9 +1,13 @@
 #!/usr/bin/env python3
-"""Validate telemetry JSONL files emitted by gt_campaign --telemetry-dir.
+"""Validate telemetry JSONL files emitted by gt_campaign --telemetry-dir,
+or campaign report JSON files written by gt_campaign --out.
 
-Usage: check_telemetry.py FILE.jsonl [FILE.jsonl ...]
+Usage: check_telemetry.py FILE [FILE ...]
 
-Checks, per file:
+A file whose first non-space byte is "[" is treated as a campaign report
+(PREFIX.json); anything else as a telemetry JSONL stream.
+
+Telemetry checks, per file:
   * every line parses as one JSON object,
   * every record has a numeric "t_s" and a known "type"
     (sample / probe / event / summary),
@@ -11,6 +15,11 @@ Checks, per file:
   * type-specific schema keys are present (samples carry the gauge
     panel, probes carry origin/seq/latency_ms, events carry event/node),
   * the stream contains at least one sample and ends with the summary.
+
+Report checks, per point object (schema only, no metric semantics):
+  * required keys present (label/runs/status/failed_jobs/failure_kinds),
+  * status is one of ok/failed/empty and consistent with runs/failed_jobs,
+  * failure_kinds counts are non-negative and sum to failed_jobs.
 
 Exit codes: 0 all files valid, 1 validation failure, 2 unreadable file
 or bad usage.
@@ -98,13 +107,91 @@ def check_file(path):
     return problems
 
 
+REPORT_REQUIRED_KEYS = ("label", "coords", "runs", "fully_formed_runs",
+                        "status", "failed_jobs", "failure_kinds", "metrics")
+REPORT_STATUSES = {"ok", "failed", "empty"}
+FAILURE_KIND_KEYS = ("crashed", "timeout", "failed")
+
+
+def check_report(path):
+    """Schema check for a gt_campaign report JSON (the failure summary
+    block in particular). Returns a list of problem strings."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            document = json.load(f)
+    except OSError as e:
+        raise SystemExit(f"check_telemetry: cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        return [f"not JSON ({e})"]
+
+    if not isinstance(document, list):
+        return ["report must be a JSON array of point objects"]
+    if not document:
+        return ["report contains no points"]
+    problems = []
+    for i, point in enumerate(document):
+        where = f"point {i}"
+        if not isinstance(point, dict):
+            problems.append(f"{where}: not a JSON object")
+            continue
+        if isinstance(point.get("label"), str) and point["label"]:
+            where = f"point {i} ({point['label']})"
+        missing = [k for k in REPORT_REQUIRED_KEYS if k not in point]
+        if missing:
+            problems.append(f"{where}: missing {missing}")
+            continue
+        runs = point["runs"]
+        failed_jobs = point["failed_jobs"]
+        status = point["status"]
+        kinds = point["failure_kinds"]
+        if not isinstance(runs, int) or runs < 0:
+            problems.append(f"{where}: runs {runs!r} not a non-negative int")
+            continue
+        if not isinstance(failed_jobs, int) or failed_jobs < 0:
+            problems.append(
+                f"{where}: failed_jobs {failed_jobs!r} not a non-negative int")
+            continue
+        if status not in REPORT_STATUSES:
+            problems.append(f"{where}: unknown status {status!r}")
+        elif runs > 0 and status != "ok":
+            problems.append(f"{where}: runs {runs} > 0 but status {status!r}")
+        elif runs == 0 and failed_jobs > 0 and status != "failed":
+            problems.append(
+                f"{where}: all {failed_jobs} jobs failed but status {status!r}")
+        if not isinstance(kinds, dict):
+            problems.append(f"{where}: failure_kinds is not an object")
+            continue
+        unknown = [k for k in kinds if k not in FAILURE_KIND_KEYS]
+        if unknown:
+            problems.append(f"{where}: unknown failure kinds {unknown}")
+        bad = [k for k, v in kinds.items()
+               if not isinstance(v, int) or v < 0]
+        if bad:
+            problems.append(f"{where}: non-count failure kinds {bad}")
+            continue
+        total = sum(kinds.get(k, 0) for k in FAILURE_KIND_KEYS)
+        if total != failed_jobs:
+            problems.append(
+                f"{where}: failure_kinds sum {total} != failed_jobs {failed_jobs}")
+    return problems
+
+
+def is_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            head = f.read(64)
+    except OSError as e:
+        raise SystemExit(f"check_telemetry: cannot read {path}: {e}")
+    return head.lstrip()[:1] == "["
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     failed = False
     for path in argv[1:]:
-        problems = check_file(path)
+        problems = check_report(path) if is_report(path) else check_file(path)
         if problems:
             failed = True
             for p in problems[:20]:

@@ -15,12 +15,21 @@
 //   then:   gt_campaign merge --out fig8 a.jsonl b.jsonl
 //
 // Exit codes: 0 success, 1 runtime/I-O failure or cancellation, 2 bad
-// usage (unknown flag/field, malformed value, mismatched journal).
+// usage (unknown flag/field, malformed value, mismatched journal),
+// 3 campaign completed but quarantined at least one failed job,
+// 130 interrupted (SIGINT/SIGTERM; partial artifacts are still written).
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <set>
 
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+#include "campaign/isolate.hpp"
 #include "campaign/journal.hpp"
 #include "campaign/report.hpp"
 #include "campaign/runner.hpp"
@@ -32,6 +41,41 @@
 namespace {
 
 using namespace gttsch;
+
+// Graceful shutdown: the first SIGINT/SIGTERM flips the cancel flag the
+// runner polls between jobs — in-flight jobs finish, the journal stays
+// valid, partial artifacts are written, and the process exits 130. A
+// second signal hard-exits for users who really mean it.
+std::atomic<bool> g_interrupted{false};
+std::atomic<int> g_signal_count{0};
+
+extern "C" void handle_interrupt(int /*signum*/) {
+  if (g_signal_count.fetch_add(1) == 0) {
+    g_interrupted.store(true);
+  } else {
+    _exit(130);  // async-signal-safe, unlike std::exit
+  }
+}
+
+void install_signal_handlers() {
+  std::signal(SIGINT, handle_interrupt);
+  std::signal(SIGTERM, handle_interrupt);
+}
+
+/// Path of this binary, for re-entering via `run-job` in isolated mode.
+/// /proc/self/exe survives PATH-relative invocation and cwd changes;
+/// argv[0] is the portable fallback.
+std::string self_exe_path(const char* argv0) {
+#if defined(__linux__)
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+#endif
+  return argv0 != nullptr ? argv0 : "";
+}
 
 void print_usage() {
   std::printf(
@@ -59,6 +103,16 @@ void print_usage() {
       "  --min-seeds N  never stop a point below N seeds (default 3)\n"
       "  --batch N      seeds added per adaptive wave (default 2)\n"
       "  --metric NAME  adaptive stopping metric (default pdr_percent)\n"
+      "  --isolate      run each job in a forked child process, so a crash\n"
+      "                 or OOM kill quarantines one job instead of killing\n"
+      "                 the campaign (exit 3 when any job stays quarantined)\n"
+      "  --job-timeout S  per-job wall-clock budget: isolated jobs are\n"
+      "                 SIGKILLed on expiry; without --isolate an in-process\n"
+      "                 watchdog aborts the run (both -> quarantine)\n"
+      "  --retries N    re-run a failing job up to N times (exponential\n"
+      "                 backoff) before quarantining it (default 0)\n"
+      "  --retry-quarantined  with --resume: re-run quarantined journal\n"
+      "                 records instead of keeping them failed\n"
       "  --out PREFIX   write PREFIX.csv and PREFIX.json artifacts\n"
       "  --telemetry-dir DIR     write one telemetry JSONL per job into DIR\n"
       "                          (pointNNN_seedNN.jsonl: gauge samples, event\n"
@@ -77,7 +131,10 @@ void print_usage() {
       "validate dry-runs the grid expansion and checks every resolved\n"
       "point's trace setup (file parse with line numbers, node ids against\n"
       "that point's topology, generator parameter ranges) without running\n"
-      "any simulation. Exit 0 = sound, 2 = invalid (details on stderr).\n",
+      "any simulation. Exit 0 = sound, 2 = invalid (details on stderr).\n"
+      "\n"
+      "Exit codes: 0 success, 1 runtime/I-O failure, 2 bad usage,\n"
+      "3 completed with quarantined (failed) jobs, 130 interrupted.\n",
       SfRegistry::instance().names_joined(",").c_str());
 }
 
@@ -87,22 +144,60 @@ int fail_usage(const char* what, const std::string& detail) {
 }
 
 void print_table(const std::vector<campaign::PointAggregate>& aggregates) {
-  TablePrinter table({"point", "runs", "PDR % (±sd)", "delay ms (±sd)",
-                      "loss/min (±sd)", "duty % (±sd)", "qloss/node (±sd)",
-                      "rx/min (±sd)"});
+  // The failed column only appears when some point actually quarantined a
+  // job, keeping the healthy-path table (and everything that greps it)
+  // unchanged.
+  bool any_failed = false;
+  for (const campaign::PointAggregate& a : aggregates) {
+    if (a.runs_failed > 0) any_failed = true;
+  }
+  std::vector<std::string> columns{"point", "runs"};
+  if (any_failed) columns.push_back("failed");
+  for (const char* name : {"PDR % (±sd)", "delay ms (±sd)", "loss/min (±sd)",
+                           "duty % (±sd)", "qloss/node (±sd)", "rx/min (±sd)"}) {
+    columns.push_back(name);
+  }
+  TablePrinter table(columns);
   auto cell = [](const campaign::SampleStats& s, int precision) {
     return TablePrinter::num(s.mean, precision) + " ±" +
            TablePrinter::num(s.stddev, precision);
   };
   for (const campaign::PointAggregate& a : aggregates) {
-    table.add_row({a.label.empty() ? std::string("base") : a.label,
-                   TablePrinter::num(static_cast<std::int64_t>(a.runs)),
-                   cell(a.pdr_percent, 1), cell(a.avg_delay_ms, 0),
-                   cell(a.loss_per_minute, 1), cell(a.duty_cycle_percent, 2),
-                   cell(a.queue_loss_per_node, 1),
-                   cell(a.throughput_per_minute, 0)});
+    std::vector<std::string> row{a.label.empty() ? std::string("base") : a.label,
+                                 TablePrinter::num(static_cast<std::int64_t>(a.runs))};
+    if (any_failed) {
+      row.push_back(TablePrinter::num(static_cast<std::int64_t>(a.runs_failed)));
+    }
+    for (std::string& value :
+         std::vector<std::string>{cell(a.pdr_percent, 1), cell(a.avg_delay_ms, 0),
+                                  cell(a.loss_per_minute, 1),
+                                  cell(a.duty_cycle_percent, 2),
+                                  cell(a.queue_loss_per_node, 1),
+                                  cell(a.throughput_per_minute, 0)}) {
+      row.push_back(std::move(value));
+    }
+    table.add_row(row);
   }
   table.print();
+}
+
+/// Per-point quarantine summary on stderr + the total; returns the count.
+std::size_t print_failure_summary(
+    const std::vector<campaign::PointAggregate>& aggregates) {
+  std::size_t total = 0;
+  for (const campaign::PointAggregate& a : aggregates) {
+    total += static_cast<std::size_t>(a.runs_failed);
+  }
+  if (total == 0) return 0;
+  std::fprintf(stderr, "[campaign] %zu job(s) quarantined after retries:\n",
+               total);
+  for (const campaign::PointAggregate& a : aggregates) {
+    if (a.runs_failed == 0) continue;
+    std::fprintf(stderr, "[campaign]   %s: %d failed (%s), %d ok\n",
+                 a.label.empty() ? "base" : a.label.c_str(), a.runs_failed,
+                 campaign::failure_kinds_label(a).c_str(), a.runs);
+  }
+  return total;
 }
 
 /// Writes PREFIX.csv / PREFIX.json (atomically); returns the exit code.
@@ -153,7 +248,11 @@ int run_merge(const Flags& flags, const std::vector<std::string>& journals) {
     return fail_usage("merge", "journals contain no records");
   }
   print_table(aggregates);
-  return write_artifacts(out_prefix, aggregates);
+  const int artifact_code = write_artifacts(out_prefix, aggregates);
+  if (artifact_code != 0) return artifact_code;
+  // Quarantined records survive the merge; surface them the same way a
+  // run does so a scripted merge can branch on exit 3.
+  return print_failure_summary(aggregates) > 0 ? 3 : 0;
 }
 
 /// Builds the campaign spec from --set / --grid / --seeds (shared by the
@@ -219,7 +318,7 @@ int run_validate(const Flags& flags) {
   return 0;
 }
 
-int run_campaign_command(const Flags& flags) {
+int run_campaign_command(const Flags& flags, const char* argv0) {
   campaign::CampaignSpec spec;
   const int spec_code = parse_spec_flags(flags, &spec);
   if (spec_code != 0) return spec_code;
@@ -229,6 +328,18 @@ int run_campaign_command(const Flags& flags) {
   const bool quiet = flags.get_bool("quiet", false);
   if (!quiet) {
     options.runner.on_progress = [](const campaign::Progress& p) {
+      if (p.outcome != nullptr &&
+          p.outcome->status != campaign::JobStatus::kOk) {
+        std::fprintf(stderr,
+                     "[campaign] %zu/%zu jobs done (point %zu, seed #%zu) -- "
+                     "%s after %d attempt(s)%s%s\n",
+                     p.completed, p.total, p.job->point_index,
+                     p.job->seed_index,
+                     campaign::job_status_name(p.outcome->status),
+                     p.outcome->attempts, p.outcome->detail.empty() ? "" : ": ",
+                     p.outcome->detail.c_str());
+        return;
+      }
       std::fprintf(stderr, "[campaign] %zu/%zu jobs done (point %zu, seed #%zu)\n",
                    p.completed, p.total, p.job->point_index, p.job->seed_index);
     };
@@ -237,6 +348,18 @@ int run_campaign_command(const Flags& flags) {
   if (!campaign::parse_campaign_flags(flags, &options, &error)) {
     return fail_usage("bad option", error);
   }
+  if (options.fault.isolate) {
+#if defined(_WIN32)
+    return fail_usage("--isolate", "not supported on this platform");
+#else
+    options.fault.exec_path = self_exe_path(argv0);
+    if (options.fault.exec_path.empty()) {
+      return fail_usage("--isolate", "cannot determine own executable path");
+    }
+#endif
+  }
+  install_signal_handlers();
+  options.runner.cancel_flag = &g_interrupted;
 
   // In-run telemetry: when --telemetry-dir is given, each job runs with a
   // private Telemetry recorder and writes DIR/pointNNN_seedNN.jsonl. The
@@ -313,14 +436,32 @@ int run_campaign_command(const Flags& flags) {
 
   print_table(result.aggregates);
 
+  // Artifacts are written even for interrupted runs: the journal already
+  // holds the finished jobs, and a partial report beats no report.
   const int artifact_code = write_artifacts(out_prefix, result.aggregates);
   if (artifact_code != 0) return artifact_code;
-  return result.cancelled ? 1 : 0;
+  const std::size_t quarantined = print_failure_summary(result.aggregates);
+  if (g_interrupted.load()) {
+    std::fprintf(stderr,
+                 "[campaign] interrupted: %zu jobs finished; resume with "
+                 "--resume to continue\n",
+                 result.jobs_run);
+    return 130;
+  }
+  if (result.cancelled) return 1;
+  return quarantined > 0 ? 3 : 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Hidden child-process entry for --isolate: one envelope line on stdin,
+  // one record line on stdout. Dispatched before any flag parsing so the
+  // protocol surface cannot drift with the CLI grammar.
+  if (argc >= 2 && std::string(argv[1]) == "run-job") {
+    return campaign::run_job_protocol(stdin, stdout);
+  }
+
   Flags flags(argc, argv);
 
   if (flags.get_bool("help", false)) {
@@ -363,5 +504,5 @@ int main(int argc, char** argv) {
     return fail_usage("unexpected argument",
                       "'" + positional.front() + "' (see --help)");
   }
-  return run_campaign_command(flags);
+  return run_campaign_command(flags, argv[0]);
 }
