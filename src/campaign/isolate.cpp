@@ -12,6 +12,7 @@
 #include "campaign/jsonio.hpp"
 
 #if !defined(_WIN32)
+#include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
 #include <sys/wait.h>
@@ -330,6 +331,43 @@ JobOutcome run_job_isolated(const std::string&, double, const JobEnvelope&) {
 
 #else
 
+#if defined(__linux__) || defined(__FreeBSD__) || defined(__NetBSD__) || \
+    defined(__OpenBSD__)
+#define GTTSCH_HAVE_PIPE2 1
+#else
+#define GTTSCH_HAVE_PIPE2 0
+#endif
+
+namespace {
+
+// The protocol pipes must be O_CLOEXEC: worker threads run
+// run_job_isolated concurrently, and a sibling job's fork() landing
+// between our pipe() and the parent-side close() below hands the
+// sibling's child copies of these fds that survive its exec for that
+// child's whole lifetime. A leaked from_child[1] write end means this
+// job's parent never sees EOF after its own child exits — a hung sibling
+// then blocks a finished healthy job forever (no --job-timeout) or gets
+// it misclassified kTimeout. dup2 in the child clears CLOEXEC on the
+// stdio copies, so the pipes still cross the exec as fds 0/1.
+bool pipe_cloexec(int fds[2]) {
+#if GTTSCH_HAVE_PIPE2
+  return ::pipe2(fds, O_CLOEXEC) == 0;
+#else
+  if (::pipe(fds) != 0) return false;
+  ::fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+  ::fcntl(fds[1], F_SETFD, FD_CLOEXEC);
+  return true;
+#endif
+}
+
+#if !GTTSCH_HAVE_PIPE2
+// Without atomic pipe2, FD_CLOEXEC lands an instant after the fds exist;
+// serializing every pipe+fork sequence closes that last window too.
+std::mutex g_spawn_mutex;
+#endif
+
+}  // namespace
+
 JobOutcome run_job_isolated(const std::string& exec_path, double timeout_s,
                             const JobEnvelope& envelope) {
   // A child dying before it reads the whole envelope turns our write into
@@ -337,12 +375,15 @@ JobOutcome run_job_isolated(const std::string& exec_path, double timeout_s,
   static std::once_flag sigpipe_once;
   std::call_once(sigpipe_once, [] { ::signal(SIGPIPE, SIG_IGN); });
 
+#if !GTTSCH_HAVE_PIPE2
+  std::unique_lock<std::mutex> spawn_lock(g_spawn_mutex);
+#endif
   int to_child[2] = {-1, -1};
   int from_child[2] = {-1, -1};
-  if (::pipe(to_child) != 0) {
+  if (!pipe_cloexec(to_child)) {
     return failed_outcome(std::string("pipe() failed: ") + std::strerror(errno));
   }
-  if (::pipe(from_child) != 0) {
+  if (!pipe_cloexec(from_child)) {
     const std::string detail = std::strerror(errno);
     ::close(to_child[0]);
     ::close(to_child[1]);
@@ -360,6 +401,13 @@ JobOutcome run_job_isolated(const std::string& exec_path, double timeout_s,
     // Child: protocol pipes become stdin/stdout, then re-enter the tool.
     // fork() in a multithreaded parent leaves only this thread alive, so
     // nothing but async-signal-safe calls until exec.
+    //
+    // Own process group first: a terminal Ctrl-C delivers SIGINT to the
+    // whole foreground group, which would kill every in-flight child and
+    // journal them quarantined — contradicting the drain-on-first-SIGINT
+    // contract (and a later plain --resume would skip them). The timeout
+    // watchdog kills by pid, so leaving the group costs nothing.
+    ::setpgid(0, 0);
     ::dup2(to_child[0], 0);
     ::dup2(from_child[1], 1);
     for (const int fd : {to_child[0], to_child[1], from_child[0], from_child[1]})
@@ -368,6 +416,9 @@ JobOutcome run_job_isolated(const std::string& exec_path, double timeout_s,
             static_cast<char*>(nullptr));
     _exit(127);  // exec failed; parent reports kFailed with exit_code 127
   }
+#if !GTTSCH_HAVE_PIPE2
+  spawn_lock.unlock();  // fds are CLOEXEC now; sibling forks are harmless
+#endif
   ::close(to_child[0]);
   ::close(from_child[1]);
 

@@ -210,14 +210,17 @@ bool parse_journal_line(const std::string& line, JournalRecord* out,
       return true;
     }
     if (key == "exit_code") {
-      std::uint64_t v = 0;
-      if (!cur.parse_u64(&v)) return false;
+      // Signed: the WIFEXITED-false fallback journals exit_code -1, and a
+      // record the writer emits must never fail to parse back (a malformed
+      // non-final line is a hard read_journal error that bricks resume).
+      std::int64_t v = 0;
+      if (!cur.parse_i64(&v)) return false;
       out->exit_code = static_cast<int>(v);
       return true;
     }
     if (key == "term_signal") {
-      std::uint64_t v = 0;
-      if (!cur.parse_u64(&v)) return false;
+      std::int64_t v = 0;
+      if (!cur.parse_i64(&v)) return false;
       out->term_signal = static_cast<int>(v);
       return true;
     }

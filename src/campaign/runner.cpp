@@ -629,7 +629,16 @@ bool parse_campaign_flags(const Flags& flags, CampaignOptions* options,
   }
   std::size_t retries = 0;
   if (!parse_count_flag(flags, "retries", &retries, error)) return false;
-  if (flags.has("retries")) fault.retries = static_cast<int>(retries);
+  if (flags.has("retries")) {
+    // Without isolation or a watchdog every run path is infallible, so a
+    // lone --retries would be a silent no-op; reject it loudly like the
+    // adaptive-only flags above.
+    if (!fault.active()) {
+      return fail(error,
+                  "--retries only takes effect with --isolate or --job-timeout");
+    }
+    fault.retries = static_cast<int>(retries);
+  }
   if (flags.has("retry-quarantined")) {
     fault.retry_quarantined = flags.get_bool("retry-quarantined", false);
     if (fault.retry_quarantined && !options->resume) {

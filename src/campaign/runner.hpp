@@ -199,7 +199,8 @@ bool run_campaign(const CampaignSpec& spec, const RunnerOptions& options,
 ///   --max-seeds/--min-seeds/--batch/--metric, which error out loudly
 ///   when given without --ci-rel (they would otherwise be silent no-ops),
 ///   and the fault-tolerance flags --isolate, --job-timeout S, --retries N
-///   and --retry-quarantined (which requires --resume).
+///   (which requires --isolate or --job-timeout) and --retry-quarantined
+///   (which requires --resume).
 /// Count-valued flags are validated (digits only, bounded): a negative,
 /// non-numeric, or bare path-less value is a usage error, never a silent
 /// wraparound or a journal literally named "true".

@@ -38,6 +38,8 @@ COMMON="--grid traffic_ppm=30,120 --seeds 1,2 --quiet --set"
 # ---- flag grammar ---------------------------------------------------------
 expect_exit 2 "bad --job-timeout" $COMMON "$SET" --job-timeout 0
 expect_exit 2 "negative --retries" $COMMON "$SET" --isolate --retries -1
+expect_exit 2 "--retries without --isolate/--job-timeout" \
+    $COMMON "$SET" --retries 2
 expect_exit 2 "--retry-quarantined without --resume" \
     $COMMON "$SET" --retry-quarantined
 expect_exit 2 "--isolate with --telemetry-dir" \

@@ -1034,6 +1034,26 @@ TEST(CampaignFlags, ValidatesCountFlags) {
                   &error));
 }
 
+TEST(CampaignFlags, RetriesRequireIsolateOrJobTimeout) {
+  // Without --isolate or --job-timeout every run path is infallible, so a
+  // lone --retries would be a silent no-op; it must error out loudly like
+  // the adaptive-only flags without --ci-rel.
+  campaign::CampaignOptions options;
+  std::string error;
+  EXPECT_FALSE(parse_flags({"--retries=2"}, &options, &error));
+  EXPECT_NE(error.find("retries"), std::string::npos) << error;
+
+  options = {};
+  ASSERT_TRUE(parse_flags({"--isolate", "--retries=2"}, &options, &error))
+      << error;
+  EXPECT_EQ(options.fault.retries, 2);
+
+  options = {};
+  ASSERT_TRUE(parse_flags({"--job-timeout=5", "--retries=1"}, &options, &error))
+      << error;
+  EXPECT_EQ(options.fault.retries, 1);
+}
+
 TEST(CampaignFlags, BareJournalAndResumeRequirePaths) {
   // A value-less flag parses as the string "true"; without the guard the
   // campaign would silently journal to a file literally named 'true'.

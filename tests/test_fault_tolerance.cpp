@@ -115,6 +115,25 @@ TEST(FaultJournal, FailureRecordRoundTripsAndCarriesNoMetrics) {
   EXPECT_EQ(parsed.label, r.label);
 }
 
+// run_job_isolated journals exit_code -1 when waitpid reports neither
+// WIFEXITED nor WIFSIGNALED; the parser must accept the sign, or that
+// record becomes a malformed non-final line that bricks resume/merge.
+TEST(FaultJournal, NegativeExitCodeRoundTrips) {
+  JournalRecord r = ok_record(1, 0);
+  r.result = {};
+  r.status = JobStatus::kFailed;
+  r.exit_code = -1;
+  r.attempts = 2;
+  JournalRecord parsed;
+  std::string error;
+  ASSERT_TRUE(campaign::parse_journal_line(campaign::render_journal_line(r),
+                                           &parsed, &error))
+      << error;
+  EXPECT_EQ(parsed.status, JobStatus::kFailed);
+  EXPECT_EQ(parsed.exit_code, -1);
+  EXPECT_EQ(parsed.attempts, 2);
+}
+
 TEST(FaultJournal, OkRecordKeepsRetryAttemptCount) {
   JournalRecord r = ok_record(0, 0);
   r.attempts = 2;  // succeeded on the first retry

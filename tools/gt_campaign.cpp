@@ -110,7 +110,8 @@ void print_usage() {
       "                 SIGKILLed on expiry; without --isolate an in-process\n"
       "                 watchdog aborts the run (both -> quarantine)\n"
       "  --retries N    re-run a failing job up to N times (exponential\n"
-      "                 backoff) before quarantining it (default 0)\n"
+      "                 backoff) before quarantining it (default 0;\n"
+      "                 requires --isolate or --job-timeout)\n"
       "  --retry-quarantined  with --resume: re-run quarantined journal\n"
       "                 records instead of keeping them failed\n"
       "  --out PREFIX   write PREFIX.csv and PREFIX.json artifacts\n"
