@@ -74,6 +74,8 @@ SampleStats summarize(const std::vector<double>& samples) {
   }
   const double n = static_cast<double>(s.n);
   s.mean = sum / n;
+  // n == 1 keeps stddev at 0 and ci95_half at 0 (reported as blank/null):
+  // sq / (n - 1.0) would be 0/0 = NaN and leak into every report column.
   if (s.n > 1) {
     double sq = 0.0;
     for (const double x : samples) sq += (x - s.mean) * (x - s.mean);

@@ -96,7 +96,9 @@ std::vector<std::string> csv_row(const PointAggregate& a) {
     const SampleStats& s = a.*m.stats;
     row.push_back(fmt(s.mean));
     row.push_back(fmt(s.stddev));
-    row.push_back(fmt(s.ci95_half));
+    // A 95% CI needs at least two samples; a single-seed point gets a
+    // blank cell, not a fake 0-width interval.
+    row.push_back(s.n > 1 ? fmt(s.ci95_half) : std::string());
   }
   row.push_back(fmt(a.mean.generated));
   row.push_back(fmt(a.mean.delivered));
@@ -170,7 +172,8 @@ std::string render_json(const std::vector<PointAggregate>& aggregates) {
       out += "      \"";
       out += kMetrics[m].name;
       out += "\": {\"mean\": " + fmt(s.mean) + ", \"stddev\": " + fmt(s.stddev) +
-             ", \"ci95\": " + fmt(s.ci95_half) + ", \"min\": " + fmt(s.min) +
+             ", \"ci95\": " + (s.n > 1 ? fmt(s.ci95_half) : std::string("null")) +
+             ", \"min\": " + fmt(s.min) +
              ", \"max\": " + fmt(s.max) + ", \"n\": " + std::to_string(s.n) + "}";
       out += (m + 1 < std::size(kMetrics)) ? ",\n" : "\n";
     }

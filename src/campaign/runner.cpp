@@ -14,18 +14,10 @@
 #include "campaign/isolate.hpp"
 #include "campaign/journal.hpp"
 #include "util/check.hpp"
+#include "util/concurrency.hpp"
 
 namespace gttsch::campaign {
 namespace {
-
-int default_worker_count() {
-  if (const char* env = std::getenv("GTTSCH_JOBS")) {
-    const int parsed = std::atoi(env);
-    if (parsed > 0) return parsed;
-  }
-  const int hw = static_cast<int>(std::thread::hardware_concurrency());
-  return hw > 0 ? hw : 1;
-}
 
 bool fail(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
@@ -389,8 +381,17 @@ Runner::Result Runner::run(const std::vector<Job>& jobs) {
   out.completed.assign(jobs.size(), 0);
   if (jobs.empty()) return out;
 
-  int workers = options_.jobs > 0 ? options_.jobs : default_worker_count();
+  // default_worker_count (util/concurrency) handles the GTTSCH_JOBS env
+  // override and the hardware_concurrency()==0 case (clamped to 1, never
+  // 0 workers).
+  int workers = default_worker_count(options_.jobs);
   workers = std::min<int>(workers, static_cast<int>(jobs.size()));
+
+  // Reserve our worker count for the duration of the campaign so nested
+  // island-parallel runs size themselves into the leftover hardware
+  // threads instead of multiplying against us (GTTSCH_JOBS x islands
+  // stays bounded by the machine).
+  WorkerReservation reservation(workers);
 
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};

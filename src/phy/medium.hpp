@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "phy/link_model.hpp"
@@ -41,9 +42,19 @@ struct MediumStats {
 /// completions are *batched*: one drain event per (channel, end-time)
 /// rendezvous resolves every frame ending at that instant in transmission
 /// order, instead of one simulator event per frame.
-class Medium {
+///
+/// The medium is also the simulator's IslandSource (PR 10): the same grid
+/// that bounds cache refreshes partitions nodes into interference islands
+/// (union-find over the compiled pair matrix), and all transmission state
+/// is sharded per island so island lanes never share mutable PHY state.
+/// Delivery RNG is per-*receiver* (forked from the medium stream by node
+/// id at attach), so the draw a receiver makes is independent of the
+/// global interleaving of other islands' deliveries — the keystone of the
+/// parallel == sequential bit-identity contract.
+class Medium final : public IslandSource {
  public:
   Medium(Simulator& sim, std::unique_ptr<LinkModel> model, Rng rng);
+  ~Medium() override;
 
   void attach(Radio* radio);
   void detach(NodeId id);
@@ -55,8 +66,9 @@ class Medium {
   /// Called by Radio::transmit. Takes care of completion and delivery.
   void start_transmission(Radio& sender, FramePtr frame, PhysChannel channel);
 
-  const MediumStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = MediumStats{}; }
+  /// Aggregated over all island shards.
+  MediumStats stats() const;
+  void reset_stats();
 
   /// Latest end time of any in-flight transmission on `channel` audible at
   /// `listener` (carrier sense). Returns 0 when the channel is clear.
@@ -75,6 +87,25 @@ class Medium {
   void set_link_cache_enabled(bool enabled);
   bool link_cache_enabled() const { return link_cache_enabled_; }
 
+  /// Radio hot-state mirror (SoA): radios push their state transitions
+  /// here so the delivery loop filters against three contiguous arrays
+  /// instead of pointer-chasing into each Radio object.
+  void radio_hot_changed(std::uint32_t slot, RadioState state,
+                         PhysChannel channel, TimeUs listen_since) {
+    if (slot >= hot_state_.size()) return;
+    hot_state_[slot] = static_cast<std::uint8_t>(state);
+    hot_channel_[slot] = channel;
+    hot_listen_since_[slot] = listen_since;
+  }
+
+  // --- IslandSource (see sim/simulator.hpp) -----------------------------
+  std::uint64_t partition_epoch() const override;
+  bool compute_islands(
+      std::vector<std::pair<std::uint32_t, std::uint32_t>>* owner_island,
+      std::uint32_t* island_count) override;
+  void on_partition() override;
+  void settle(TimeUs now) override;
+
  private:
   struct Transmission {
     std::uint64_t id;
@@ -85,11 +116,18 @@ class Medium {
     TimeUs end;
   };
 
+  /// A scheduled (channel, end-time) drain rendezvous. The EventId is
+  /// kept so a repartition can cancel and re-home pending drains.
+  struct PendingDrain {
+    TimeUs end;
+    EventId event;
+  };
+
   /// Per-channel in-flight bucket plus the end times that already have a
   /// drain event scheduled (one event per distinct end time).
   struct ChannelState {
     std::vector<Transmission> in_flight;
-    std::vector<TimeUs> pending_drains;
+    std::vector<PendingDrain> pending_drains;
   };
 
   /// One compiled link-cache entry (row-major: pairs_[tx_idx*n + rx_idx]).
@@ -98,18 +136,65 @@ class Medium {
     bool interferes = false;
   };
 
+  /// See the delivery-loop comment in finish_transmission.
+  struct DeliveryCandidate {
+    NodeId id;
+    std::uint32_t r_idx;
+    Radio* radio;
+    double prr;
+  };
+
+  /// Carrier-sense batch memo: the bucket scan (live transmissions with
+  /// resolved sender cache indices) is shared by every node polling the
+  /// same (instant, channel) — the TSCH rx-guard case, where all receivers
+  /// of a slot check the same channel at the same tick.
+  struct LiveTx {
+    std::uint32_t s_idx;  ///< sender cache index; npos32 when uncached
+    NodeId sender;
+    TimeUs end;
+  };
+  struct BusyMemo {
+    TimeUs at = -1;
+    PhysChannel channel = 0;
+    std::uint64_t mutations = 0;
+    std::uint64_t cache_builds = 0;
+    std::vector<LiveTx> live;
+  };
+
+  /// All mutable transmission state of one island (shard 0 doubles as the
+  /// sequential / global shard). Island lanes only ever touch their own
+  /// shard, selected by the executing simulator context.
+  struct Shard {
+    std::map<PhysChannel, ChannelState> channels;
+    MediumStats stats;
+    std::uint64_t next_tx_id = 1;
+    /// Bucket-change counter; invalidates the carrier-sense memo.
+    std::uint64_t mutations = 0;
+    std::vector<std::uint64_t> drain_scratch;
+    std::vector<DeliveryCandidate> delivery_scratch;
+    BusyMemo busy_memo;
+  };
+
+  Shard& shard() const;
+
   /// Resolve every transmission on `channel` ending exactly at `end`, in
   /// transmission-id (= start) order — the batched replacement for the
   /// old one-event-per-frame completion.
   void drain_channel(PhysChannel channel, TimeUs end);
-  void finish_transmission(PhysChannel channel, std::uint64_t tx_id);
+  void finish_transmission(Shard& sh, PhysChannel channel, std::uint64_t tx_id);
   /// Resolve one candidate receiver of a finished transmission: listening
-  /// filters, collision check, PRR draw, stats, delivery. Shared by the
-  /// cached fast path and the model-direct fallback so the filter order
-  /// and RNG-draw discipline (part of the fast-path bit-equivalence
-  /// contract) cannot drift between them. `prr` <= 0 draws nothing.
-  void resolve_receiver(const Transmission& tx, NodeId rid, Radio& radio, double prr);
-  bool suffers_collision(const Transmission& tx, const Radio& rx) const;
+  /// filters, collision check, PRR draw, stats, delivery. `fast` reads
+  /// the SoA mirror by cache index; `slow` reads the Radio (reference
+  /// mode / structure changed mid-batch). Both share the filter order and
+  /// RNG-draw discipline (part of the fast-path bit-equivalence
+  /// contract). `prr` <= 0 draws nothing.
+  void resolve_receiver_fast(Shard& sh, const Transmission& tx, NodeId rid,
+                             std::uint32_t r_idx, double prr);
+  void resolve_receiver_slow(Shard& sh, const Transmission& tx, NodeId rid,
+                             Radio& radio, double prr);
+  bool suffers_collision(const Shard& sh, const Transmission& tx, NodeId rid,
+                         std::size_t rx_idx, const Radio* rx) const;
+  Rng& rx_rng(NodeId id) const;
   void ensure_cache() const;
   void rebuild_cache() const;
   /// Recompute row + column `idx` of the pair matrix (and the affected
@@ -127,22 +212,21 @@ class Medium {
 
   Simulator& sim_;
   std::unique_ptr<LinkModel> model_;
-  Rng rng_;
+  Rng rng_;  ///< fork source for the per-receiver delivery streams
   std::map<NodeId, Radio*> radios_;
-  std::map<PhysChannel, ChannelState> channels_;
-  std::uint64_t next_tx_id_ = 1;
-  MediumStats stats_;
-  /// Batch snapshot for drain_channel (ids of the frames ending at the
-  /// drained instant); member so the steady state never allocates. Safe
-  /// because drains never nest: a delivery callback can only start
-  /// transmissions ending strictly later.
-  std::vector<std::uint64_t> drain_scratch_;
+  /// Per-receiver delivery RNG, forked by node id at first attach and
+  /// persistent across reboots — draw order within one receiver is its
+  /// own delivery order, independent of other islands' interleaving.
+  mutable std::map<NodeId, Rng> rx_rngs_;
+  mutable std::vector<std::unique_ptr<Shard>> shards_;  ///< [0] = global
 
   // --- compiled link cache (see class comment) --------------------------
   bool link_cache_enabled_ = true;
   std::uint64_t structure_version_ = 1;  ///< attach/detach counter
+  std::uint64_t position_epoch_ = 0;     ///< every position_changed call
   mutable std::uint64_t cached_structure_version_ = 0;
   mutable std::uint64_t cached_model_version_ = 0;
+  mutable std::uint64_t cache_builds_ = 0;  ///< full rebuild counter
   mutable bool cache_valid_ = false;
   mutable std::vector<NodeId> cache_ids_;     ///< ascending
   mutable std::vector<Radio*> cache_radios_;  ///< parallel to cache_ids_
@@ -153,6 +237,14 @@ class Medium {
   /// Radios whose position changed since the cache last refreshed.
   mutable std::vector<NodeId> moved_;
 
+  /// SoA hot mirror of radio state, parallel to cache_ids_ — the delivery
+  /// filters scan these contiguous arrays; the Radio object is only
+  /// dereferenced for an actual delivery.
+  mutable std::vector<std::uint8_t> hot_state_;
+  mutable std::vector<std::uint8_t> hot_channel_;
+  mutable std::vector<TimeUs> hot_listen_since_;
+  mutable std::vector<Rng*> hot_rng_;  ///< &rx_rngs_[cache_ids_[i]]
+
   // --- uniform-grid spatial index over radio positions ------------------
   /// Cell size == the model's max_interaction_range at the last full
   /// rebuild; infinity (or <= 0) disables the grid (all-pairs refresh).
@@ -162,22 +254,6 @@ class Medium {
   mutable std::vector<std::uint32_t> dirty_scratch_;
   mutable std::vector<std::uint32_t> candidate_scratch_;
   mutable std::vector<NodeId> model_dirty_scratch_;
-
-  /// Snapshot of one sender's candidates taken before the delivery loop:
-  /// delivery callbacks may invalidate/rebuild the cache (mobility hooks,
-  /// attach/detach), so the loop must not read cache vectors directly, and
-  /// each entry is re-validated against radios_ before dereferencing in
-  /// case a callback detached that radio. Reused across calls — no
-  /// steady-state allocation. Safe because finish_transmission never
-  /// nests: it only runs from drain_channel, and although delivery
-  /// callbacks execute synchronously inside it (Radio::medium_deliver ->
-  /// on_rx), no rx path synchronously completes another transmission.
-  struct DeliveryCandidate {
-    NodeId id;
-    Radio* radio;
-    double prr;
-  };
-  std::vector<DeliveryCandidate> delivery_scratch_;
 };
 
 }  // namespace gttsch

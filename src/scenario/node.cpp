@@ -1,7 +1,10 @@
 #include "scenario/node.hpp"
 
+#include <new>
+
 #include "sim/log.hpp"
 #include "stats/telemetry.hpp"
+#include "util/arena.hpp"
 #include "util/check.hpp"
 
 namespace gttsch {
@@ -40,7 +43,8 @@ Node::Stack::Stack(Node& node, const MacConfig& mac_config, const Rng& rng)
 }
 
 Node::Node(Simulator& sim, Medium& medium, const NodeSpec& spec,
-           const NodeStackConfig& config, RunStats* stats, Rng rng)
+           const NodeStackConfig& config, RunStats* stats, Rng rng,
+           Arena* stack_arena)
     : sim_(sim),
       medium_(medium),
       id_(spec.id),
@@ -50,12 +54,33 @@ Node::Node(Simulator& sim, Medium& medium, const NodeSpec& spec,
       boot_rng_(rng),
       config_(config),
       mac_config_(node_mac_config(config, rng)),
+      stack_arena_(stack_arena),
       radio_(sim, medium, spec.id, spec.pos),
-      stack_(std::make_unique<Stack>(*this, mac_config_, rng)),
+      stack_(make_stack(rng)),
       app_start_(config.app_start),
       max_scan_start_delay_(config.max_scan_start_delay) {}
 
 Node::~Node() = default;
+
+std::size_t Node::stack_slot_size() { return sizeof(Stack); }
+std::size_t Node::stack_slot_align() { return alignof(Stack); }
+
+void Node::StackDeleter::operator()(Stack* stack) const noexcept {
+  if (arena == nullptr) {
+    delete stack;
+    return;
+  }
+  stack->~Stack();
+  arena->deallocate(stack);
+}
+
+auto Node::make_stack(const Rng& rng) -> std::unique_ptr<Stack, StackDeleter> {
+  if (stack_arena_ == nullptr) {
+    return {new Stack(*this, mac_config_, rng), StackDeleter{nullptr}};
+  }
+  void* slot = stack_arena_->allocate();
+  return {new (slot) Stack(*this, mac_config_, rng), StackDeleter{stack_arena_}};
+}
 
 void Node::boot_stack() {
   // Provider wiring lives here, not in each SF: every scheduler answers
@@ -82,9 +107,19 @@ void Node::boot_stack() {
   stack_->app.start(app_start_);
 }
 
-void Node::start() { boot_stack(); }
+// start/fail/reboot are the entry points that begin a node's causal chain
+// (boot events, trace application): the ScopedOwner attributes everything
+// they schedule — in both execution modes, so owners (part of the event
+// order) never differ between them — to this node, homing the chain to the
+// node's island.
+
+void Node::start() {
+  Simulator::ScopedOwner owner(sim_, id_);
+  boot_stack();
+}
 
 void Node::fail() {
+  Simulator::ScopedOwner owner(sim_, id_);
   failed_ = true;
   stack_->app.stop();
   stack_->mac.shutdown();
@@ -93,13 +128,16 @@ void Node::fail() {
 
 void Node::reboot() {
   GTTSCH_CHECK(failed_ && "reboot() requires a prior fail()");
+  Simulator::ScopedOwner owner(sim_, id_);
   ++reboots_;
   // Destroying the stack cancels every pending timer/callback of the old
   // life (RAII), so nothing from before the crash can fire afterwards.
   // The MAC destructor severs the radio hooks; the new MAC re-wires them.
+  // With an arena the LIFO freelist hands the new stack the very slot the
+  // old one vacated — the rebooted node stays where its neighbors expect
+  // it in the slab, and churn never touches the global allocator.
   stack_.reset();
-  stack_ = std::make_unique<Stack>(
-      *this, mac_config_,
+  stack_ = make_stack(
       boot_rng_.fork(kRebootForkBase + static_cast<std::uint64_t>(reboots_)));
   failed_ = false;
   set_telemetry(telemetry_);  // re-aim the 6P observer at the new agent
@@ -189,7 +227,7 @@ void Node::rpl_parent_changed(NodeId old_parent, NodeId new_parent) {
   }
   stack_->sixp.abort_peer(old_parent);
   stack_->sf->on_parent_changed(old_parent, new_parent);
-  if (stats_ != nullptr) stats_->set_joined(id_, new_parent != kNoNode);
+  if (stats_ != nullptr) stats_->set_joined(id_, new_parent != kNoNode, sim_.now());
 }
 
 void Node::rpl_rank_changed(std::uint16_t) {}

@@ -4,50 +4,65 @@
 
 namespace gttsch {
 
-namespace {
-// An EventId packs (generation << 32) | (slot + 1); the +1 keeps 0 free for
-// kInvalidEvent. Generations advance when a slot is reclaimed, so stale ids
-// (fired or cancelled long ago) can never alias a live event.
-constexpr EventId make_id(std::uint32_t generation, std::uint32_t slot) {
-  return (static_cast<EventId>(generation) << 32) | (slot + 1u);
-}
-constexpr std::uint32_t id_slot(EventId id) {
-  return static_cast<std::uint32_t>(id & 0xFFFFFFFFu) - 1u;
-}
-constexpr std::uint32_t id_generation(EventId id) {
-  return static_cast<std::uint32_t>(id >> 32);
-}
-}  // namespace
-
-EventId EventQueue::schedule_keyed(TimeUs at, std::uint32_t key, SmallFn fn) {
-  std::uint32_t slot;
-  if (!free_slots_.empty()) {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-  } else {
-    slot = static_cast<std::uint32_t>(pool_.size());
-    pool_.emplace_back();
+EventPool::~EventPool() {
+  const std::uint32_t used = next_fresh_.load(std::memory_order_acquire);
+  const std::uint32_t chunk_count = (used + kChunkSize - 1u) >> kChunkShift;
+  for (std::uint32_t i = 0; i < chunk_count; ++i) {
+    delete[] chunks_[i].load(std::memory_order_acquire);
   }
-  Record& rec = pool_[slot];
-  rec.fn = std::move(fn);
-  rec.armed = true;
-  rec.cancelled = false;
-  heap_.push(Entry{at, next_seq_++, key, slot});
-  ++live_;
-  return make_id(rec.generation, slot);
 }
 
-EventQueue::Record* EventQueue::record_for(EventId id) {
+std::uint32_t EventPool::alloc(std::vector<std::uint32_t>& free_slots) {
+  if (!free_slots.empty()) {
+    const std::uint32_t slot = free_slots.back();
+    free_slots.pop_back();
+    return slot;
+  }
+  const std::uint32_t slot = next_fresh_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t chunk = slot >> kChunkShift;
+  GTTSCH_CHECK(chunk < kMaxChunks);
+  if (chunks_[chunk].load(std::memory_order_acquire) == nullptr) {
+    std::lock_guard<std::mutex> lock(grow_mutex_);
+    if (chunks_[chunk].load(std::memory_order_relaxed) == nullptr) {
+      chunks_[chunk].store(new EventRecord[kChunkSize],
+                           std::memory_order_release);
+    }
+  }
+  return slot;
+}
+
+void EventPool::release(std::uint32_t slot,
+                        std::vector<std::uint32_t>& free_slots) {
+  EventRecord& rec = record(slot);
+  rec.fn.reset();
+  rec.armed = false;
+  rec.cancelled = false;
+  ++rec.generation;
+  free_slots.push_back(slot);
+}
+
+EventRecord* EventPool::record_for(EventId id) {
   if (id == kInvalidEvent) return nullptr;
-  const std::uint32_t slot = id_slot(id);
-  if (slot >= pool_.size()) return nullptr;
-  Record& rec = pool_[slot];
-  if (rec.generation != id_generation(id)) return nullptr;  // already reclaimed
+  const std::uint32_t slot = event_id_slot(id);
+  if (slot >= next_fresh_.load(std::memory_order_acquire)) return nullptr;
+  EventRecord& rec = record(slot);
+  if (rec.generation != event_id_generation(id)) return nullptr;  // reclaimed
   return &rec;
 }
 
+EventId EventQueue::schedule_keyed(TimeUs at, std::uint32_t key, SmallFn fn) {
+  const std::uint32_t slot = pool_.alloc(free_slots_);
+  EventRecord& rec = pool_.record(slot);
+  rec.fn = std::move(fn);
+  rec.armed = true;
+  rec.cancelled = false;
+  heap_.push(EventEntry{at, next_seq_++, key, kGlobalOwner, slot});
+  ++live_;
+  return make_event_id(rec.generation, slot);
+}
+
 void EventQueue::cancel(EventId id) {
-  Record* rec = record_for(id);
+  EventRecord* rec = pool_.record_for(id);
   if (rec == nullptr || !rec->armed || rec->cancelled) return;
   rec->cancelled = true;
   rec->fn.reset();  // release captures now; the heap entry dies lazily
@@ -55,18 +70,9 @@ void EventQueue::cancel(EventId id) {
   --live_;
 }
 
-void EventQueue::release_slot(std::uint32_t slot) {
-  Record& rec = pool_[slot];
-  rec.fn.reset();
-  rec.armed = false;
-  rec.cancelled = false;
-  ++rec.generation;
-  free_slots_.push_back(slot);
-}
-
 void EventQueue::drop_cancelled() {
-  while (!heap_.empty() && pool_[heap_.top().slot].cancelled) {
-    release_slot(heap_.top().slot);
+  while (!heap_.empty() && pool_.record(heap_.top().slot).cancelled) {
+    pool_.release(heap_.top().slot, free_slots_);
     heap_.pop();
   }
 }
@@ -81,11 +87,10 @@ bool EventQueue::pop_next(TimeUs& out_time, SmallFn& out_fn) {
   if (heap_.empty()) return false;
   // Move the callback out before running it: the callback may schedule
   // new events and mutate both the heap and the slot pool.
-  const Entry top = heap_.top();
-  heap_.pop();
+  const EventEntry top = heap_.pop();
   out_time = top.at;
-  out_fn = std::move(pool_[top.slot].fn);
-  release_slot(top.slot);
+  out_fn = std::move(pool_.record(top.slot).fn);
+  pool_.release(top.slot, free_slots_);
   GTTSCH_CHECK(live_ > 0);
   --live_;
   return true;

@@ -1,8 +1,24 @@
 // Priority queue of timed events with stable FIFO ordering at equal times.
+//
+// Since the island-parallel scheduler (PR 10) the event machinery is split
+// into three pieces so multiple per-island heaps can share one callback
+// store:
+//   * EventPool — chunked, address-stable slot storage for callbacks.
+//     EventIds stay valid while their entry migrates between heaps during
+//     island repartitioning, and chunk growth is thread-safe so islands
+//     can allocate slots concurrently.
+//   * EventHeap — an iterable binary heap of EventEntry (std::push_heap /
+//     std::pop_heap over a plain vector), so a repartition can sweep and
+//     redistribute entries without draining through the comparator.
+//   * EventQueue — the legacy single-threaded facade composed of one pool
+//     and one heap; unit tests and simple consumers use it unchanged.
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <queue>
+#include <mutex>
 #include <vector>
 
 #include "sim/small_fn.hpp"
@@ -24,9 +40,143 @@ inline constexpr EventId kInvalidEvent = 0;
 /// which is precisely what differs between the two modes.
 inline constexpr std::uint32_t kDefaultEventKey = 0xFFFFFFFFu;
 
-/// Min-heap of (time, key, insertion order) -> callback. Events inserted
-/// earlier fire first among equal (time, key) pairs, which keeps runs
-/// reproducible. Cancellation is lazy: cancelled entries are skipped on pop.
+/// Owner of an event that belongs to no particular node: scenario-level
+/// bookkeeping (trace application, measurement boundaries, stats timers).
+/// Global-owner events sort after node-owned events at equal (at, key) and
+/// always execute on the main thread between island phases.
+inline constexpr std::uint32_t kGlobalOwner = 0xFFFFFFFFu;
+
+/// A scheduled event as it sits in a heap. `owner` is the node the event
+/// belongs to (kGlobalOwner for scenario-level events); it participates in
+/// the ordering so that ties between events of *different* nodes resolve
+/// by node id — independent of which island executed the scheduling code,
+/// which is what makes parallel island stepping bit-identical to the
+/// sequential reference mode. Ties within one owner keep FIFO order via
+/// `seq`, whose per-owner relative order is mode-independent as well.
+struct EventEntry {
+  TimeUs at = 0;
+  std::uint64_t seq = 0;                 // per-context insertion order
+  std::uint32_t key = kDefaultEventKey;  // ordering class at equal times
+  std::uint32_t owner = kGlobalOwner;    // node id, or kGlobalOwner
+  std::uint32_t slot = 0;                // index into the EventPool
+};
+
+/// Heap comparator: "a fires later than b". Full event order is
+/// (at, key, owner, seq) ascending.
+struct EventLater {
+  bool operator()(const EventEntry& a, const EventEntry& b) const {
+    if (a.at != b.at) return a.at > b.at;
+    if (a.key != b.key) return a.key > b.key;
+    if (a.owner != b.owner) return a.owner > b.owner;
+    return a.seq > b.seq;
+  }
+};
+
+/// True when `a` fires strictly before `b` in the full event order.
+inline bool event_before(const EventEntry& a, const EventEntry& b) {
+  return EventLater{}(b, a);
+}
+
+/// An EventId packs (generation << 32) | (slot + 1); the +1 keeps 0 free
+/// for kInvalidEvent. Generations advance when a slot is reclaimed, so
+/// stale ids (fired or cancelled long ago) can never alias a live event.
+constexpr EventId make_event_id(std::uint32_t generation, std::uint32_t slot) {
+  return (static_cast<EventId>(generation) << 32) | (slot + 1u);
+}
+constexpr std::uint32_t event_id_slot(EventId id) {
+  return static_cast<std::uint32_t>(id & 0xFFFFFFFFu) - 1u;
+}
+constexpr std::uint32_t event_id_generation(EventId id) {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+
+/// Callback slot: the payload an EventEntry points at.
+struct EventRecord {
+  SmallFn fn;
+  std::uint32_t generation = 1;
+  std::uint32_t ctx = 0;   // execution context whose heap holds the entry
+  bool armed = false;      // a heap entry references this slot
+  bool cancelled = false;  // armed but logically dead; reclaimed on pop
+};
+
+/// Chunked slot store. Chunks are allocated once and never move, so
+/// `record()` references stay valid across growth — and growth itself is
+/// guarded so concurrent island threads can allocate fresh slots safely.
+/// Freelists are *external* (owned by each execution context): slot reuse
+/// is context-local and needs no synchronization.
+class EventPool {
+ public:
+  static constexpr std::uint32_t kChunkShift = 12;  // 4096 records per chunk
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  static constexpr std::uint32_t kMaxChunks = 2048;  // 8M concurrent events
+
+  EventPool() = default;
+  ~EventPool();
+  EventPool(const EventPool&) = delete;
+  EventPool& operator=(const EventPool&) = delete;
+
+  /// Pop a slot from `free_slots`, or carve a fresh one from the chunk
+  /// store. The returned record has fn reset and armed/cancelled false.
+  std::uint32_t alloc(std::vector<std::uint32_t>& free_slots);
+
+  /// Reclaim a slot after its entry left a heap: resets the callback,
+  /// bumps the generation, and pushes the slot onto `free_slots`.
+  void release(std::uint32_t slot, std::vector<std::uint32_t>& free_slots);
+
+  EventRecord& record(std::uint32_t slot) {
+    return chunks_[slot >> kChunkShift].load(std::memory_order_acquire)
+        [slot & (kChunkSize - 1u)];
+  }
+
+  /// Generation-checked lookup; nullptr for invalid/stale ids.
+  EventRecord* record_for(EventId id);
+
+  /// Slots ever carved from the chunk store — bounded by the peak count of
+  /// concurrently pending events (regression hook for the memory tests).
+  std::size_t slots_allocated() const {
+    return next_fresh_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::array<std::atomic<EventRecord*>, kMaxChunks> chunks_{};
+  std::atomic<std::uint32_t> next_fresh_{0};
+  std::mutex grow_mutex_;
+};
+
+/// Iterable min-heap of EventEntry. Exposes its backing vector so a
+/// repartition can sweep entries out and `heapify()` what remains.
+class EventHeap {
+ public:
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  const EventEntry& top() const { return entries_.front(); }
+
+  void push(const EventEntry& entry) {
+    entries_.push_back(entry);
+    std::push_heap(entries_.begin(), entries_.end(), EventLater{});
+  }
+
+  EventEntry pop() {
+    std::pop_heap(entries_.begin(), entries_.end(), EventLater{});
+    EventEntry top = entries_.back();
+    entries_.pop_back();
+    return top;
+  }
+
+  /// Direct access for redistribution; call heapify() after mutating.
+  std::vector<EventEntry>& raw() { return entries_; }
+  void heapify() {
+    std::make_heap(entries_.begin(), entries_.end(), EventLater{});
+  }
+
+ private:
+  std::vector<EventEntry> entries_;
+};
+
+/// Min-heap of (time, key, owner, insertion order) -> callback. Events
+/// inserted earlier fire first among equal (time, key, owner) tuples,
+/// which keeps runs reproducible. Cancellation is lazy: cancelled entries
+/// are skipped on pop.
 ///
 /// Callbacks live in a recycled slot pool (an EventId is slot + generation),
 /// so the queue performs no per-event heap allocation in steady state and
@@ -57,35 +207,13 @@ class EventQueue {
 
   /// Number of callback slots ever allocated — bounded by the peak count of
   /// concurrently pending events (regression hook for the memory tests).
-  std::size_t slot_pool_size() const { return pool_.size(); }
+  std::size_t slot_pool_size() const { return pool_.slots_allocated(); }
 
  private:
-  struct Entry {
-    TimeUs at;
-    std::uint64_t seq;   // global insertion order (FIFO tie-break)
-    std::uint32_t key;   // ordering class at equal times
-    std::uint32_t slot;  // index into pool_
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      if (a.key != b.key) return a.key > b.key;
-      return a.seq > b.seq;
-    }
-  };
-  struct Record {
-    SmallFn fn;
-    std::uint32_t generation = 1;
-    bool armed = false;      // an entry in the heap references this slot
-    bool cancelled = false;  // armed but logically dead; reclaimed on pop
-  };
-
   void drop_cancelled();
-  void release_slot(std::uint32_t slot);
-  Record* record_for(EventId id);
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::vector<Record> pool_;
+  EventPool pool_;
+  EventHeap heap_;
   std::vector<std::uint32_t> free_slots_;
   std::size_t live_ = 0;
   std::uint64_t next_seq_ = 1;

@@ -1,0 +1,91 @@
+// Fixed-slot arena (util/arena): slot geometry, LIFO slot reuse (the
+// reboot-lands-in-its-own-slot contract), block growth, and the
+// contiguity that makes Network's stack slab cache-friendly.
+#include "util/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <vector>
+
+namespace gttsch {
+namespace {
+
+TEST(Arena, SlotsAreAlignedAndRoundedUp) {
+  Arena arena(/*slot_bytes=*/24, /*alignment=*/64, /*slots_per_block=*/4);
+  EXPECT_EQ(arena.slot_bytes() % 64, 0u);
+  EXPECT_GE(arena.slot_bytes(), 24u);
+  void* a = arena.allocate();
+  void* b = arena.allocate();
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 64, 0u);
+  arena.deallocate(b);
+  arena.deallocate(a);
+}
+
+TEST(Arena, SameBlockAllocationsAreContiguous) {
+  Arena arena(128, 64, /*slots_per_block=*/8);
+  void* prev = arena.allocate();
+  for (int i = 1; i < 8; ++i) {
+    void* cur = arena.allocate();
+    EXPECT_EQ(static_cast<std::byte*>(cur) - static_cast<std::byte*>(prev),
+              static_cast<std::ptrdiff_t>(arena.slot_bytes()));
+    prev = cur;
+  }
+  EXPECT_EQ(arena.blocks(), 1u);
+}
+
+TEST(Arena, FreedSlotIsReusedLifo) {
+  // The crash-reboot contract: destroy a stack, build the next one, and
+  // it must land in the exact slot just vacated.
+  Arena arena(256, 64, 16);
+  void* first = arena.allocate();
+  void* second = arena.allocate();
+  arena.deallocate(second);
+  EXPECT_EQ(arena.allocate(), second);
+  arena.deallocate(second);
+  arena.deallocate(first);
+  EXPECT_EQ(arena.allocate(), first);
+  EXPECT_EQ(arena.allocate(), second);
+}
+
+TEST(Arena, GrowsByBlocksAndTracksUsage) {
+  Arena arena(64, 64, /*slots_per_block=*/4);
+  std::vector<void*> slots;
+  for (int i = 0; i < 10; ++i) slots.push_back(arena.allocate());
+  EXPECT_EQ(arena.blocks(), 3u);  // ceil(10 / 4)
+  EXPECT_EQ(arena.slots_in_use(), 10u);
+  // All live slots are distinct.
+  EXPECT_EQ(std::set<void*>(slots.begin(), slots.end()).size(), 10u);
+  for (void* p : slots) arena.deallocate(p);
+  EXPECT_EQ(arena.slots_in_use(), 0u);
+  // Draining the freelist hands back only previously-carved slots.
+  for (int i = 0; i < 10; ++i) {
+    void* p = arena.allocate();
+    EXPECT_EQ(std::count(slots.begin(), slots.end(), p), 1);
+  }
+  EXPECT_EQ(arena.blocks(), 3u);  // no growth while the freelist feeds
+}
+
+TEST(Arena, SlotContentsSurviveUntilFreed) {
+  Arena arena(sizeof(std::uint64_t) * 4, alignof(std::uint64_t), 4);
+  void* a = arena.allocate();
+  void* b = arena.allocate();
+  std::memset(a, 0xAB, arena.slot_bytes());
+  std::memset(b, 0xCD, arena.slot_bytes());
+  EXPECT_EQ(static_cast<unsigned char*>(a)[arena.slot_bytes() - 1], 0xAB);
+  EXPECT_EQ(static_cast<unsigned char*>(b)[0], 0xCD);
+  arena.deallocate(a);
+  arena.deallocate(b);
+}
+
+TEST(Arena, NullDeallocateIsIgnored) {
+  Arena arena(32, 16);
+  arena.deallocate(nullptr);
+  EXPECT_EQ(arena.slots_in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace gttsch

@@ -1106,5 +1106,63 @@ TEST(CampaignReport, JsonCarriesLabelsAndSpread) {
   EXPECT_NE(json.find("\"runs\": 2"), std::string::npos);
 }
 
+TEST(CampaignReport, SingleSeedRoundTripHasZeroStddevAndBlankCi95) {
+  // Full journal round trip at n == 1 — the degenerate-statistics seam: a
+  // single run has no sample variance (df = 0), so the aggregate must
+  // report stddev exactly 0 and *no* confidence interval — a blank CSV
+  // cell and a JSON null, never a division-by-zero artifact (NaN/inf
+  // would poison downstream tooling that parses the report).
+  CampaignSpec spec = tiny_spec();
+  spec.seeds = {42};  // one seed: every point aggregates exactly one run
+
+  const std::string journal = test_file("single_seed_roundtrip.jsonl");
+  std::filesystem::remove(journal);
+  campaign::CampaignOptions options;
+  options.runner.jobs = 1;
+  options.runner.run_fn = synthetic_run;
+  options.journal_path = journal;
+  campaign::CampaignResult result;
+  std::string error;
+  ASSERT_TRUE(campaign::run_campaign(spec, options, &result, &error)) << error;
+
+  // journal -> aggregate
+  std::vector<campaign::JournalRecord> records;
+  ASSERT_TRUE(campaign::read_journal(journal, &records, &error)) << error;
+  EXPECT_EQ(records.size(), 4u);  // 4 points x 1 seed
+  std::vector<campaign::PointAggregate> aggregates;
+  ASSERT_TRUE(campaign::aggregate_records(records, &aggregates, &error)) << error;
+  ASSERT_EQ(aggregates.size(), 4u);
+  for (const campaign::PointAggregate& agg : aggregates) {
+    EXPECT_EQ(agg.pdr_percent.n, 1u);
+    EXPECT_DOUBLE_EQ(agg.pdr_percent.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(agg.pdr_percent.ci95_half, 0.0);
+    EXPECT_DOUBLE_EQ(agg.avg_delay_ms.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(agg.avg_delay_ms.ci95_half, 0.0);
+  }
+
+  // aggregate -> CSV: every *_ci95 cell is empty, stddev cells are "0".
+  const auto header = campaign::csv_header(aggregates);
+  const auto row = campaign::csv_row(aggregates.front());
+  ASSERT_EQ(header.size(), row.size());
+  std::size_t ci95_columns = 0;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i].size() > 5 && header[i].substr(header[i].size() - 5) == "_ci95") {
+      ++ci95_columns;
+      EXPECT_TRUE(row[i].empty()) << header[i] << " = '" << row[i] << "'";
+    }
+    if (header[i].size() > 7 &&
+        header[i].substr(header[i].size() - 7) == "_stddev") {
+      EXPECT_EQ(std::stod(row[i]), 0.0) << header[i];
+    }
+  }
+  EXPECT_GT(ci95_columns, 0u);
+
+  // aggregate -> JSON: ci95 renders as null, and no NaN leaks anywhere.
+  const std::string json = campaign::render_json(aggregates);
+  EXPECT_NE(json.find("\"ci95\": null"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace gttsch

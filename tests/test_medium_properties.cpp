@@ -476,5 +476,69 @@ TEST(MediumCacheIncremental, SingleTraceMoveStaysUnderTwoNModelCalls) {
   EXPECT_LT(move_calls, 2u * static_cast<std::uint64_t>(sc.topology_nodes));
 }
 
+TEST(MediumCacheIncremental, WholeNetworkMoveCapFiresAtLiveRadioCount) {
+  // Regression for the moved-backlog overflow cap in position_changed:
+  // the cap must be measured against the *attached* radio count (which
+  // shrinks on detach, while the compiled cache keeps its stale size) and
+  // must fire at equality — dedup bounds the backlog at the attached
+  // count, so a `>` comparison could never trip once radios detach.
+  using namespace literals;
+  Simulator sim(9);
+  auto counting =
+      std::make_unique<CountingModel>(std::make_unique<UnitDiskModel>(40.0, 1.0, 1.5));
+  CountingModel* model = counting.get();
+  Medium medium(sim, std::move(counting), Rng(9));
+
+  constexpr int kNodes = 40;
+  Rng place(11);
+  std::vector<std::unique_ptr<Radio>> radios;
+  for (int i = 0; i < kNodes; ++i) {
+    radios.push_back(std::make_unique<Radio>(
+        sim, medium, static_cast<NodeId>(i),
+        Position{place.uniform_double(0, 400), place.uniform_double(0, 400)}));
+    radios.back()->on_rx = [](FramePtr) {};
+  }
+  const auto kick = [&] {
+    radios[1]->listen(17);
+    radios[0]->transmit(make_data_frame(0, kBroadcastId, DataPayload{}), 17);
+    sim.run_until(sim.now() + 10_ms);
+    radios[1]->turn_off();
+  };
+  kick();
+  const std::uint64_t build_calls = model->calls();
+  EXPECT_GT(build_calls, 0u);
+
+  // Detach a quarter of the network; the compiled cache still spans all
+  // kNodes until the next query rebuilds it.
+  for (int i = kNodes - 10; i < kNodes; ++i) radios[static_cast<std::size_t>(i)].reset();
+
+  // Now move every *remaining* radio. The backlog reaches the live count
+  // (30) — far below the stale cache size (40) — and must still collapse
+  // the whole batch into one full rebuild.
+  for (int i = 0; i < kNodes - 10; ++i) {
+    auto& r = radios[static_cast<std::size_t>(i)];
+    r->set_position(Position{r->position().x + 1.0, r->position().y + 1.0});
+  }
+  model->reset_calls();
+  kick();
+  const std::uint64_t batch_calls = model->calls();
+  EXPECT_GT(batch_calls, 0u);
+  // One rebuild of the shrunken network, not per-mover incremental
+  // refreshes stacked on top of it (those would roughly double the work).
+  EXPECT_LE(batch_calls, build_calls);
+
+  // The backlog must be gone: a warm-cache query costs nothing, and a
+  // single follow-up move costs O(degree), proving no mover lingered.
+  model->reset_calls();
+  kick();
+  EXPECT_EQ(model->calls(), 0u);
+  radios[5]->set_position(
+      Position{radios[5]->position().x + 2.0, radios[5]->position().y});
+  model->reset_calls();
+  kick();
+  EXPECT_GT(model->calls(), 0u);
+  EXPECT_LT(model->calls(), 2u * kNodes);
+}
+
 }  // namespace
 }  // namespace gttsch

@@ -1,0 +1,300 @@
+// Island-parallel equivalence: stepping interference islands concurrently
+// (Simulator::set_parallel fed by the Medium's partition) must be
+// *observably pure* — bit-identical MAC counters, Medium stats, RunStats,
+// radio duty times and recovery accounting versus the sequential reference
+// mode (parallel_islands = 0 / GTTSCH_FORCE_SEQUENTIAL) — across every
+// scheduler, both stepping modes, and mobility/crashloop churn.
+//
+// Event counts are deliberately NOT compared: the medium keeps one drain
+// rendezvous per (channel, end) per island shard, so the parallel run may
+// schedule a different (still deterministic) number of events.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "mac/tsch_mac.hpp"
+#include "phy/dynamic_link.hpp"
+#include "scenario/experiment.hpp"
+#include "scenario/network.hpp"
+#include "scenario/trace.hpp"
+#include "sim/simulator.hpp"
+#include "stats/run_stats.hpp"
+
+namespace gttsch {
+namespace {
+
+using namespace literals;
+
+struct NodeSnapshot {
+  MacCounters mac;
+  TimeUs radio_on = 0;
+  TimeUs radio_tx = 0;
+  TimeUs radio_rx = 0;
+  Asn asn = 0;
+  std::uint64_t app_generated = 0;
+  bool joined = false;
+};
+
+struct ModeResult {
+  RunMetrics metrics;
+  MediumStats medium;
+  std::map<NodeId, NodeSnapshot> nodes;
+  std::uint32_t ctx_count = 1;
+  bool fully_formed = false;
+};
+
+/// Mirrors run_scenario(), but drives Simulator::set_parallel directly so
+/// the test exercises real island lanes even on a small CI machine
+/// (run_scenario's available_island_workers clamp would demote to
+/// sequential on a 1-2 core runner and the comparison would be vacuous).
+ModeResult run_mode(const ScenarioConfig& sc, std::uint64_t seed, int lanes,
+                    bool per_slot = false,
+                    const std::function<void(Network&)>& setup = nullptr) {
+  const TimeUs measure_end = sc.warmup + sc.measure;
+  RunStats stats(sc.warmup, measure_end);
+  auto nc = sc.make_node_config();
+  nc.mac.per_slot_stepping = per_slot;
+  const TopologySpec topology = sc.make_topology();
+  Trace trace;
+  std::string trace_error;
+  if (!sc.make_trace(topology, &trace, &trace_error)) {
+    ADD_FAILURE() << "trace: " << trace_error;
+    return {};
+  }
+  DynamicLinkModel* failures = nullptr;
+  Network net(seed, scenario_link_model_factory(sc, trace, &failures), topology, nc,
+              &stats);
+  TracePlayer player(net, std::move(trace), failures);
+  if (lanes > 1) {
+    net.sim().set_parallel(lanes, &net.medium());
+    stats.set_concurrent(true, &net.sim());
+  }
+  net.sim().at(sc.warmup, [&stats] { stats.begin_measurement(); });
+  net.sim().at(measure_end, [&stats] { stats.end_measurement(); });
+  net.start();
+  player.start();
+  if (setup) setup(net);
+  net.medium().reset_stats();
+  net.sim().run_until(measure_end + sc.drain);
+
+  ModeResult out;
+  for (const auto& [id, node] : net.nodes()) {
+    stats.set_joined(id, node->is_root() || node->rpl().joined());
+    NodeSnapshot snap;
+    snap.mac = node->mac().counters();
+    snap.radio_on = node->radio().on_time();
+    snap.radio_tx = node->radio().tx_time();
+    snap.radio_rx = node->radio().rx_time();
+    snap.asn = node->mac().asn();
+    snap.app_generated = node->app_generated();
+    snap.joined = node->is_root() || node->rpl().joined();
+    out.nodes.emplace(id, snap);
+  }
+  out.metrics = stats.finalize();
+  out.medium = net.medium().stats();
+  out.ctx_count = net.sim().ctx_count();
+  out.fully_formed = net.fully_formed();
+  return out;
+}
+
+void expect_identical(const ModeResult& par, const ModeResult& ref) {
+  // MAC counters, radio times and ASN per node: exact.
+  ASSERT_EQ(par.nodes.size(), ref.nodes.size());
+  for (const auto& [id, p] : par.nodes) {
+    SCOPED_TRACE(::testing::Message() << "node " << id);
+    const NodeSnapshot& r = ref.nodes.at(id);
+    EXPECT_EQ(p.mac.unicast_tx_attempts, r.mac.unicast_tx_attempts);
+    EXPECT_EQ(p.mac.unicast_success, r.mac.unicast_success);
+    EXPECT_EQ(p.mac.unicast_drops, r.mac.unicast_drops);
+    EXPECT_EQ(p.mac.retransmissions, r.mac.retransmissions);
+    EXPECT_EQ(p.mac.broadcast_sent, r.mac.broadcast_sent);
+    EXPECT_EQ(p.mac.eb_sent, r.mac.eb_sent);
+    EXPECT_EQ(p.mac.rx_frames, r.mac.rx_frames);
+    EXPECT_EQ(p.mac.rx_duplicates, r.mac.rx_duplicates);
+    EXPECT_EQ(p.mac.acks_sent, r.mac.acks_sent);
+    EXPECT_EQ(p.radio_on, r.radio_on);
+    EXPECT_EQ(p.radio_tx, r.radio_tx);
+    EXPECT_EQ(p.radio_rx, r.radio_rx);
+    EXPECT_EQ(p.asn, r.asn);
+    EXPECT_EQ(p.app_generated, r.app_generated);
+    EXPECT_EQ(p.joined, r.joined);
+  }
+
+  // Medium stats: exact (same per-receiver RNG draw sequences).
+  EXPECT_EQ(par.medium.transmissions, ref.medium.transmissions);
+  EXPECT_EQ(par.medium.deliveries, ref.medium.deliveries);
+  EXPECT_EQ(par.medium.collision_losses, ref.medium.collision_losses);
+  EXPECT_EQ(par.medium.prr_losses, ref.medium.prr_losses);
+
+  // RunStats: bit-identical doubles (the concurrent op-log replays in the
+  // exact sequential event order, so FP accumulation order is the same).
+  EXPECT_EQ(par.metrics.pdr_percent, ref.metrics.pdr_percent);
+  EXPECT_EQ(par.metrics.avg_delay_ms, ref.metrics.avg_delay_ms);
+  EXPECT_EQ(par.metrics.p95_delay_ms, ref.metrics.p95_delay_ms);
+  EXPECT_EQ(par.metrics.loss_per_minute, ref.metrics.loss_per_minute);
+  EXPECT_EQ(par.metrics.duty_cycle_percent, ref.metrics.duty_cycle_percent);
+  EXPECT_EQ(par.metrics.queue_loss_per_node, ref.metrics.queue_loss_per_node);
+  EXPECT_EQ(par.metrics.throughput_per_minute, ref.metrics.throughput_per_minute);
+  EXPECT_EQ(par.metrics.generated, ref.metrics.generated);
+  EXPECT_EQ(par.metrics.delivered, ref.metrics.delivered);
+  EXPECT_EQ(par.metrics.queue_drops, ref.metrics.queue_drops);
+  EXPECT_EQ(par.metrics.mac_drops, ref.metrics.mac_drops);
+  EXPECT_EQ(par.metrics.no_route_drops, ref.metrics.no_route_drops);
+  EXPECT_EQ(par.metrics.mean_hops, ref.metrics.mean_hops);
+  EXPECT_EQ(par.metrics.nodes_joined, ref.metrics.nodes_joined);
+  EXPECT_EQ(par.fully_formed, ref.fully_formed);
+
+  // Churn-phase split + recovery accounting ride the same event stream.
+  EXPECT_EQ(par.metrics.pre_pdr_percent, ref.metrics.pre_pdr_percent);
+  EXPECT_EQ(par.metrics.churn_pdr_percent, ref.metrics.churn_pdr_percent);
+  EXPECT_EQ(par.metrics.post_pdr_percent, ref.metrics.post_pdr_percent);
+  EXPECT_EQ(par.metrics.node_failures, ref.metrics.node_failures);
+  EXPECT_EQ(par.metrics.node_revivals, ref.metrics.node_revivals);
+  EXPECT_EQ(par.metrics.node_rejoins, ref.metrics.node_rejoins);
+  EXPECT_EQ(par.metrics.orphan_intervals, ref.metrics.orphan_intervals);
+  EXPECT_EQ(par.metrics.recovery_rejoin_s, ref.metrics.recovery_rejoin_s);
+  EXPECT_EQ(par.metrics.recovery_first_delivery_s,
+            ref.metrics.recovery_first_delivery_s);
+  EXPECT_EQ(par.metrics.recovery_ttr_s, ref.metrics.recovery_ttr_s);
+  EXPECT_EQ(par.metrics.recovery_ttr_censored, ref.metrics.recovery_ttr_censored);
+}
+
+/// Fig 8 defaults, shortened: two DODAGs 30 km apart — two genuine
+/// interference islands the partitioner must find and step concurrently.
+ScenarioConfig two_dodag_config(const std::string& kind) {
+  ScenarioConfig sc;
+  sc.scheduler = kind;
+  sc.dodag_count = 2;
+  sc.nodes_per_dodag = 7;  // 14 nodes total
+  sc.traffic_ppm = 120.0;
+  sc.warmup = 120_s;
+  sc.measure = 120_s;
+  sc.drain = 10_s;
+  return sc;
+}
+
+TEST(ParallelIslands, AllFourSchedulersTwoDodags) {
+  for (const char* kind : {"gt-tsch", "orchestra", "alice", "emsf"}) {
+    SCOPED_TRACE(::testing::Message() << "scheduler " << kind);
+    const ScenarioConfig sc = two_dodag_config(kind);
+    const ModeResult par = run_mode(sc, 1000, /*lanes=*/3);
+    const ModeResult ref = run_mode(sc, 1000, /*lanes=*/0);
+    // The partition actually engaged: two islands + the global context.
+    EXPECT_GE(par.ctx_count, 3u);
+    EXPECT_EQ(ref.ctx_count, 1u);
+    expect_identical(par, ref);
+  }
+}
+
+TEST(ParallelIslands, PerSlotSteppingReference) {
+  // The per-slot MAC (no idle-slot skipping) exercises far more same-time
+  // slot-boundary events per island; ordering keys must keep it identical.
+  const ScenarioConfig sc = two_dodag_config("gt-tsch");
+  const ModeResult par = run_mode(sc, 1017, /*lanes=*/3, /*per_slot=*/true);
+  const ModeResult ref = run_mode(sc, 1017, /*lanes=*/0, /*per_slot=*/true);
+  expect_identical(par, ref);
+}
+
+TEST(ParallelIslands, MobilityTraceSplitsAndMergesIslands) {
+  // Random-walk movers inside each DODAG plus one mid-run failure: moves
+  // dirty the link cache, the partition epoch advances, and islands can
+  // split (a mover walks out of range) and re-merge. Every repartition
+  // re-homes in-flight transmissions and drains; equivalence must survive
+  // all of it. Two seeds, two schedulers.
+  ScenarioConfig sc = two_dodag_config("gt-tsch");
+  sc.trace_kind = TraceKind::kRandomWalk;
+  sc.trace_seed = 42;
+  sc.trace_movers = 4;
+  sc.trace_speed_mps = 3.0;
+  sc.trace_interval_s = 5.0;
+  sc.trace_fail_count = 1;
+  sc.trace_fail_at_s = 180.0;  // mid-measurement
+  for (const char* kind : {"gt-tsch", "alice"}) {
+    sc.scheduler = kind;
+    for (const std::uint64_t seed : {4000ull, 4017ull}) {
+      SCOPED_TRACE(::testing::Message() << kind << " seed " << seed);
+      const ModeResult par = run_mode(sc, seed, /*lanes=*/4);
+      const ModeResult ref = run_mode(sc, seed, /*lanes=*/0);
+      expect_identical(par, ref);
+    }
+  }
+}
+
+TEST(ParallelIslands, CrashloopTraceWithRevivals) {
+  // Crash-looping nodes (fail -> dead window -> revive -> beacon-scan
+  // rejoin) stress the ScopedOwner entry points: fail() and reboot() home
+  // a node's whole causal chain to its island, and the recovery pipeline
+  // (orphan intervals, rejoin/TTR sums) replays through the op-log.
+  ScenarioConfig sc = two_dodag_config("gt-tsch");
+  sc.measure = 180_s;
+  sc.trace_kind = TraceKind::kCrashloop;
+  sc.trace_seed = 7;
+  sc.trace_fail_count = 2;
+  sc.trace_down_s = 20.0;
+  sc.trace_cycle_s = 90.0;
+  for (const char* kind : {"gt-tsch", "orchestra"}) {
+    sc.scheduler = kind;
+    SCOPED_TRACE(::testing::Message() << "scheduler " << kind);
+    const ModeResult par = run_mode(sc, 5000, /*lanes=*/3);
+    const ModeResult ref = run_mode(sc, 5000, /*lanes=*/0);
+    expect_identical(par, ref);
+    EXPECT_GT(par.metrics.node_failures, 0u);
+    EXPECT_GT(par.metrics.node_revivals, 0u);
+  }
+}
+
+TEST(ParallelIslands, SingleIslandDemotesGracefully) {
+  // One DODAG: every node interferes with every other, so the partition
+  // has a single island and parallel stepping adds lanes it cannot use.
+  // Results must still match the sequential reference exactly.
+  ScenarioConfig sc = two_dodag_config("gt-tsch");
+  sc.dodag_count = 1;
+  const ModeResult par = run_mode(sc, 1000, /*lanes=*/4);
+  const ModeResult ref = run_mode(sc, 1000, /*lanes=*/0);
+  expect_identical(par, ref);
+}
+
+TEST(ParallelIslands, RunScenarioHonorsParallelIslandsConfig) {
+  // The public entry point: ScenarioConfig::parallel_islands versus the
+  // sequential default must agree metric for metric. (On a small machine
+  // available_island_workers may demote the run to sequential — the
+  // comparison is then trivially true, which is exactly the contract.)
+  ScenarioConfig sc = two_dodag_config("gt-tsch");
+  ScenarioConfig par_sc = sc;
+  par_sc.parallel_islands = 3;
+  const ExperimentResult ref = run_scenario(sc);
+  const ExperimentResult par = run_scenario(par_sc);
+  EXPECT_EQ(par.metrics.pdr_percent, ref.metrics.pdr_percent);
+  EXPECT_EQ(par.metrics.avg_delay_ms, ref.metrics.avg_delay_ms);
+  EXPECT_EQ(par.metrics.p95_delay_ms, ref.metrics.p95_delay_ms);
+  EXPECT_EQ(par.metrics.duty_cycle_percent, ref.metrics.duty_cycle_percent);
+  EXPECT_EQ(par.metrics.generated, ref.metrics.generated);
+  EXPECT_EQ(par.metrics.delivered, ref.metrics.delivered);
+  EXPECT_EQ(par.metrics.nodes_joined, ref.metrics.nodes_joined);
+  EXPECT_EQ(par.medium.transmissions, ref.medium.transmissions);
+  EXPECT_EQ(par.medium.deliveries, ref.medium.deliveries);
+  EXPECT_EQ(par.fully_formed, ref.fully_formed);
+}
+
+TEST(ParallelIslands, ForceSequentialEnvWins) {
+  // GTTSCH_FORCE_SEQUENTIAL (non-empty, non-"0") overrides any lane
+  // request — the escape hatch the README documents for debugging.
+  ScenarioConfig sc = two_dodag_config("gt-tsch");
+  sc.measure = 60_s;
+  sc.parallel_islands = 4;
+  ::setenv("GTTSCH_FORCE_SEQUENTIAL", "1", 1);
+  const ExperimentResult forced = run_scenario(sc);
+  ::unsetenv("GTTSCH_FORCE_SEQUENTIAL");
+  sc.parallel_islands = 0;
+  const ExperimentResult ref = run_scenario(sc);
+  EXPECT_EQ(forced.metrics.pdr_percent, ref.metrics.pdr_percent);
+  EXPECT_EQ(forced.metrics.delivered, ref.metrics.delivered);
+  EXPECT_EQ(forced.medium.transmissions, ref.medium.transmissions);
+}
+
+}  // namespace
+}  // namespace gttsch

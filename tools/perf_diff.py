@@ -54,7 +54,7 @@ def main():
 
     names = list(base.keys()) + [n for n in fresh.keys() if n not in base]
     header = (
-        f"{'scenario':<12} {'sim-s/wall-s':>14} {'(was)':>10} {'delta':>7}"
+        f"{'scenario':<20} {'sim-s/wall-s':>14} {'(was)':>10} {'delta':>7}"
         f" {'wall-s':>9} {'(was)':>9} {'delta':>7} {'events':>12} {'delta':>7}"
     )
     print(header)
@@ -73,10 +73,27 @@ def main():
             return f"{v:{width}{fmt}}" if v is not None else f"{'-':>{width}}"
 
         print(
-            f"{name:<12} {num(spw_f, 14, ',.0f')} {num(spw_b, 10, ',.0f')}"
+            f"{name:<20} {num(spw_f, 14, ',.0f')} {num(spw_b, 10, ',.0f')}"
             f" {fmt_delta(spw_b, spw_f)} {num(wall_f, 9, '.2f')} {num(wall_b, 9, '.2f')}"
             f" {fmt_delta(wall_b, wall_f)} {num(ev_f, 12, ',d')} {fmt_delta(ev_b, ev_f)}"
         )
+
+    # Island-parallel points: the wall-clock ratio against the sequential
+    # sibling (same scenario name minus "-parallel") is the speedup the
+    # parallel stepping delivers on this runner. <1.0x on single-core
+    # runners is expected — the coordination overhead with no cores to
+    # spread islands over — and still worth tracking.
+    speedups = []
+    for name in names:
+        if not name.endswith("-parallel"):
+            continue
+        sibling = name[: -len("-parallel")]
+        wall_par = metric(fresh.get(name), "wall_seconds")
+        wall_seq = metric(fresh.get(sibling), "wall_seconds")
+        if wall_par and wall_seq:
+            speedups.append(f"{sibling}: {wall_seq / wall_par:.2f}x")
+    if speedups:
+        print(f"\nparallel speedup vs sequential (fresh): {', '.join(speedups)}")
     print(
         "\n(deltas are fresh vs baseline; sim-s/wall-s up and wall-s/events"
         " down are improvements; shared-runner clocks are noisy — event"
